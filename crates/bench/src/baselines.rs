@@ -1,0 +1,190 @@
+//! In-repo baselines for the Table 1 capability comparison.
+//!
+//! The paper compares LSS against two modeling paradigms. To make each
+//! Table 1 cell *executable* rather than anecdotal, we implement a minimal
+//! but honest representative of each paradigm and probe it:
+//!
+//! * [`static_structural`] — a Ptolemy/Vergil-style declarative netlist:
+//!   the description is data, so it is fully analyzable before execution,
+//!   but there is no mechanism for a *parametric number* of instances or
+//!   connections: flexible hierarchies must be unrolled by hand (§3.1).
+//! * [`structural_oop`] — a SystemC-style run-time composition: structure
+//!   is built by arbitrary host code with loops and conditionals, but that
+//!   code only runs when the model runs, so nothing structural is known
+//!   statically and polymorphism must be resolved by explicit type
+//!   instantiation at construction time (§3.2).
+
+/// The static-structural paradigm: a declarative, immediately-analyzable
+/// netlist with per-instance value parameters only.
+pub mod static_structural {
+    use std::collections::BTreeMap;
+
+    /// A declarative netlist description.
+    #[derive(Debug, Default, Clone)]
+    pub struct Description {
+        /// (instance name, component kind).
+        pub instances: Vec<(String, String)>,
+        /// Value parameters per instance.
+        pub params: BTreeMap<(String, String), i64>,
+        /// (from.port, to.port) pairs.
+        pub connections: Vec<(String, String)>,
+    }
+
+    impl Description {
+        /// Creates an empty description.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Declares an instance. Note the signature: a *name and a kind* —
+        /// there is deliberately no hook for code, so the set of instances
+        /// is fixed by the description text. This is the paradigm's §3.1
+        /// limitation, not an implementation shortcut.
+        pub fn instance(&mut self, name: &str, kind: &str) -> &mut Self {
+            self.instances.push((name.to_string(), kind.to_string()));
+            self
+        }
+
+        /// Sets a value parameter (parameterizable components: supported).
+        pub fn param(&mut self, instance: &str, key: &str, value: i64) -> &mut Self {
+            self.params.insert((instance.to_string(), key.to_string()), value);
+            self
+        }
+
+        /// Connects two ports.
+        pub fn connect(&mut self, from: &str, to: &str) -> &mut Self {
+            self.connections.push((from.to_string(), to.to_string()));
+            self
+        }
+
+        /// Static analysis: the description *is* the structure, available
+        /// without executing anything.
+        pub fn instance_count(&self) -> usize {
+            self.instances.len()
+        }
+
+        /// Static analysis: fan-in per port, computable pre-run.
+        pub fn fan_in(&self, port: &str) -> usize {
+            self.connections.iter().filter(|(_, to)| to == port).count()
+        }
+    }
+
+    /// The only way to get an n-stage delay chain in this paradigm: a
+    /// *generator outside the paradigm* (or a human) must unroll it into
+    /// the description. The description itself cannot iterate.
+    pub fn unrolled_delay_chain(n: usize) -> Description {
+        let mut d = Description::new();
+        d.instance("gen", "source");
+        for i in 0..n {
+            d.instance(&format!("d{i}"), "delay");
+        }
+        d.instance("hole", "sink");
+        d.connect("gen.out", "d0.in");
+        for i in 1..n {
+            d.connect(&format!("d{}.out", i - 1), &format!("d{i}.in"));
+        }
+        d.connect(&format!("d{}.out", n - 1), "hole.in");
+        d
+    }
+}
+
+/// The structural-OOP paradigm: structure built by arbitrary host code at
+/// model run time.
+pub mod structural_oop {
+    /// A component instance created at run time.
+    #[derive(Debug, Clone)]
+    pub struct Component {
+        /// Instance name.
+        pub name: String,
+        /// Kind.
+        pub kind: String,
+        /// Explicitly instantiated port type — the user must write this;
+        /// nothing can infer it because connectivity is only known after
+        /// the construction code runs (§3.2).
+        pub port_type: &'static str,
+    }
+
+    /// A model whose structure is produced by executing `build`.
+    pub struct Model {
+        build: Box<dyn Fn() -> (Vec<Component>, Vec<(String, String)>)>,
+    }
+
+    impl Model {
+        /// Wraps construction code. Loops, conditionals, parameters — any
+        /// host-language control flow is fine (algorithmic structure:
+        /// supported).
+        pub fn new(
+            build: impl Fn() -> (Vec<Component>, Vec<(String, String)>) + 'static,
+        ) -> Self {
+            Model { build: Box::new(build) }
+        }
+
+        /// The *only* way to learn the structure: execute the model's
+        /// construction code. Before this, no analysis is possible — this
+        /// method is the paradigm's §3.2 limitation made concrete.
+        pub fn elaborate_at_run_time(&self) -> (Vec<Component>, Vec<(String, String)>) {
+            (self.build)()
+        }
+    }
+
+    /// The n-stage delay chain is easy here (Figure 3's pseudo-code)...
+    pub fn delay_chain(n: usize) -> Model {
+        Model::new(move || {
+            let mut comps = vec![Component {
+                name: "gen".into(),
+                kind: "source".into(),
+                // ...but the type must be written explicitly: the OOP
+                // paradigm cannot infer it from connections it has not
+                // made yet.
+                port_type: "int",
+            }];
+            let mut conns = Vec::new();
+            for i in 0..n {
+                comps.push(Component {
+                    name: format!("d{i}"),
+                    kind: "delay".into(),
+                    port_type: "int",
+                });
+            }
+            comps.push(Component { name: "hole".into(), kind: "sink".into(), port_type: "int" });
+            conns.push(("gen.out".to_string(), "d0.in".to_string()));
+            for i in 1..n {
+                conns.push((format!("d{}.out", i - 1), format!("d{i}.in")));
+            }
+            conns.push((format!("d{}.out", n - 1), "hole.in".to_string()));
+            (comps, conns)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_description_is_analyzable_without_running() {
+        let d = static_structural::unrolled_delay_chain(3);
+        assert_eq!(d.instance_count(), 5);
+        assert_eq!(d.fan_in("d1.in"), 1);
+        assert_eq!(d.fan_in("hole.in"), 1);
+    }
+
+    #[test]
+    fn static_description_grows_linearly_with_n() {
+        // The point of §3.1: the *description* (not a reusable component)
+        // must contain one entry per stage.
+        let d10 = static_structural::unrolled_delay_chain(10);
+        let d20 = static_structural::unrolled_delay_chain(20);
+        assert_eq!(d10.instance_count() + 10, d20.instance_count());
+    }
+
+    #[test]
+    fn oop_structure_only_exists_after_execution() {
+        let model = structural_oop::delay_chain(4);
+        let (comps, conns) = model.elaborate_at_run_time();
+        assert_eq!(comps.len(), 6);
+        assert_eq!(conns.len(), 5);
+        // Every component carries an explicitly-specified type.
+        assert!(comps.iter().all(|c| c.port_type == "int"));
+    }
+}

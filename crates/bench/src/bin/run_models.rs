@@ -1,0 +1,38 @@
+//! Runs all six Table 3 models to completion and reports their
+//! performance statistics (the "flexible models in practice" evidence of
+//! §7: the same component library executes six very different machines).
+//!
+//! Run with `cargo run --release -p bench --bin run_models`.
+
+use lss_models::runner::run_to_completion;
+use lss_models::{compile_model, models};
+use lss_sim::Scheduler;
+
+fn main() {
+    println!(
+        "{:<6} {:<20} {:>10} {:>10} {:>7} {:>11} {:>12}",
+        "Model", "Name", "Instrs", "Cycles", "CPI", "Mispredicts", "Evals/cycle"
+    );
+    for m in models() {
+        let compiled = compile_model(m).unwrap_or_else(|e| panic!("model {}: {e}", m.id));
+        let stats = run_to_completion(&compiled.netlist, Scheduler::Static, 10_000_000)
+            .unwrap_or_else(|e| panic!("model {}: {e}", m.id));
+        println!(
+            "{:<6} {:<20} {:>10} {:>10} {:>7.3} {:>11} {:>12.1}",
+            m.id,
+            m.name,
+            stats.committed,
+            stats.cycles,
+            stats.cpi,
+            stats.mispredicts,
+            stats.sim.comp_evals as f64 / stats.cycles.max(1) as f64,
+        );
+        let mut keys: Vec<&String> = stats.collectors.keys().collect();
+        keys.sort();
+        for key in keys {
+            let table = &stats.collectors[key];
+            let kv: Vec<String> = table.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            println!("         probe {key}: {}", kv.join(" "));
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! `lssc` — the LSS compiler and simulator driver.
+//!
+//! ```text
+//! lssc [OPTIONS] FILE.lss...
+//!
+//! Options:
+//!   --lib FILE         add FILE as a library source (counts as "from library")
+//!   --no-corelib       do not preload the corelib
+//!   --model A..F       compile one of the built-in Table 3 models instead of files
+//!   --run N            simulate N cycles after compiling
+//!   --run-model        run a built-in model to completion and report CPI
+//!   --scheduler S      static (default) or dynamic
+//!   --emit-lss         pretty-print the parsed sources in canonical form
+//!   --dump-tree        print the instance hierarchy
+//!   --dump-dot         print the flattened wire graph as GraphViz dot
+//!   --dump-json        print the netlist as JSON
+//!   --watch PREFIX     log every value fired by instances under PREFIX
+//!   --vcd FILE         write the watched firings as a VCD waveform
+//!   --wave             print the watched firings as an ASCII waveform
+//!   --lint             run the static model lints and print findings
+//!   --stats            print Table 2 reuse statistics
+//!   --naive-inference  solve types without the paper's heuristics
+//! ```
+
+use std::process::ExitCode;
+
+use liberty::{Lse, Scheduler};
+use lss_netlist::{dump, reuse_stats};
+
+struct Options {
+    files: Vec<String>,
+    libs: Vec<String>,
+    corelib: bool,
+    model: Option<char>,
+    run: Option<u64>,
+    run_model: bool,
+    scheduler: Scheduler,
+    emit_lss: bool,
+    dump_tree: bool,
+    dump_dot: bool,
+    dump_json: bool,
+    stats: bool,
+    naive: bool,
+    lint: bool,
+    watch: Vec<String>,
+    vcd: Option<String>,
+    wave: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lssc [--lib FILE]... [--no-corelib] [--model A-F] [--run N] [--run-model]\n\
+         \x20           [--scheduler static|dynamic] [--dump-tree] [--dump-dot] [--stats]\n\
+         \x20           [--naive-inference] FILE.lss..."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        files: Vec::new(),
+        libs: Vec::new(),
+        corelib: true,
+        model: None,
+        run: None,
+        run_model: false,
+        scheduler: Scheduler::Static,
+        emit_lss: false,
+        dump_tree: false,
+        dump_dot: false,
+        dump_json: false,
+        stats: false,
+        naive: false,
+        lint: false,
+        watch: Vec::new(),
+        vcd: None,
+        wave: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--lib" => match args.next() {
+                Some(f) => opts.libs.push(f),
+                None => usage(),
+            },
+            "--no-corelib" => opts.corelib = false,
+            "--model" => match args.next().and_then(|m| m.chars().next()) {
+                Some(c) => opts.model = Some(c),
+                None => usage(),
+            },
+            "--run" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => opts.run = Some(n),
+                None => usage(),
+            },
+            "--run-model" => opts.run_model = true,
+            "--scheduler" => match args.next().as_deref() {
+                Some("static") => opts.scheduler = Scheduler::Static,
+                Some("dynamic") => opts.scheduler = Scheduler::Dynamic,
+                _ => usage(),
+            },
+            "--emit-lss" => opts.emit_lss = true,
+            "--dump-tree" => opts.dump_tree = true,
+            "--dump-dot" => opts.dump_dot = true,
+            "--dump-json" => opts.dump_json = true,
+            "--stats" => opts.stats = true,
+            "--lint" => opts.lint = true,
+            "--watch" => match args.next() {
+                Some(p) => opts.watch.push(p),
+                None => usage(),
+            },
+            "--vcd" => match args.next() {
+                Some(f) => opts.vcd = Some(f),
+                None => usage(),
+            },
+            "--wave" => opts.wave = true,
+            "--naive-inference" => opts.naive = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other}");
+                usage();
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.files.is_empty() && opts.model.is_none() {
+        usage();
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let mut lse = if opts.corelib { Lse::with_corelib() } else { Lse::new() };
+    if opts.naive {
+        lse.options.solver = liberty::SolverConfig::naive().with_budget(50_000_000);
+    }
+    lse.sim_options.scheduler = opts.scheduler;
+
+    if let Some(id) = opts.model {
+        let Some(model) = lss_models::model(id) else {
+            eprintln!("no such model `{id}` (expected A-F)");
+            return ExitCode::from(2);
+        };
+        lse.add_source("cpu_lib.lss", lss_models::cpu_lib());
+        lse.add_source(&format!("model_{id}.lss"), model.source);
+    }
+    for lib in &opts.libs {
+        match std::fs::read_to_string(lib) {
+            Ok(text) => lse.add_library(lib, &text),
+            Err(e) => {
+                eprintln!("cannot read {lib}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    for file in &opts.files {
+        match std::fs::read_to_string(file) {
+            Ok(text) => lse.add_source(file, &text),
+            Err(e) => {
+                eprintln!("cannot read {file}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    if opts.emit_lss {
+        // Canonical pretty-printing of the user's sources (not the corelib).
+        for file in &opts.files {
+            let text = std::fs::read_to_string(file).unwrap_or_default();
+            let mut sources = liberty::ast::SourceMap::new();
+            let id = sources.add_file(file.as_str(), text.as_str());
+            let mut diags = liberty::ast::DiagnosticBag::new();
+            let program = liberty::ast::parse(id, &text, &mut diags);
+            if diags.has_errors() {
+                eprintln!("{}", diags.render(&sources));
+                return ExitCode::from(1);
+            }
+            print!("{}", liberty::ast::pretty::program_to_string(&program));
+        }
+    }
+
+    let compiled = match lse.compile() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(1);
+        }
+    };
+    eprintln!(
+        "compiled: {} instances, {} connections, {} type constraints \
+         ({} unification steps, {} branches)",
+        compiled.netlist.instances.len(),
+        compiled.netlist.connections.len(),
+        compiled.netlist.constraints.len(),
+        compiled.solve_stats.unify_steps,
+        compiled.solve_stats.branches,
+    );
+    for line in &compiled.prints {
+        println!("{line}");
+    }
+
+    if opts.dump_tree {
+        print!("{}", dump::tree(&compiled.netlist));
+    }
+    if opts.dump_dot {
+        print!("{}", dump::dot(&compiled.netlist));
+    }
+    if opts.dump_json {
+        print!("{}", lss_netlist::to_json(&compiled.netlist));
+    }
+    if opts.lint {
+        let findings = lss_netlist::lint(&compiled.netlist);
+        if findings.is_empty() {
+            println!("lint: clean");
+        }
+        for finding in findings {
+            println!("lint: {finding}");
+        }
+    }
+    if opts.stats {
+        let stats = reuse_stats(&compiled.netlist);
+        println!("{}", lss_netlist::header());
+        println!("{}", lss_netlist::format_row("model", &stats));
+    }
+
+    if opts.run_model {
+        match lss_models::runner::run_to_completion(
+            &compiled.netlist,
+            opts.scheduler,
+            10_000_000,
+        ) {
+            Ok(stats) => {
+                println!(
+                    "ran {} cycles, committed {} instructions, CPI {:.3}, {} mispredicts",
+                    stats.cycles, stats.committed, stats.cpi, stats.mispredicts
+                );
+                for (key, table) in &stats.collectors {
+                    let kv: Vec<String> =
+                        table.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    println!("  collector {key}: {}", kv.join(" "));
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(1);
+            }
+        }
+    } else if let Some(cycles) = opts.run {
+        let mut sim = match lse.simulator(&compiled.netlist) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(1);
+            }
+        };
+        for prefix in &opts.watch {
+            sim.watch(prefix.clone());
+        }
+        if let Err(e) = sim.run(cycles) {
+            eprintln!("simulation failed: {e}");
+            return ExitCode::from(1);
+        }
+        let stats = sim.stats();
+        println!(
+            "simulated {} cycles ({} component evaluations, {} port firings)",
+            stats.cycles, stats.comp_evals, stats.port_firings
+        );
+        for (path, event, table) in sim.collector_reports() {
+            let kv: Vec<String> = table.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            println!("  collector {path}/{event}: {}", kv.join(" "));
+        }
+        if opts.wave {
+            print!("{}", liberty::sim::to_ascii(sim.firing_log(), 200));
+        } else {
+            for record in sim.firing_log() {
+                println!(
+                    "  cycle {:>6} {}.{}[{}] = {}",
+                    record.cycle, record.path, record.port, record.lane, record.value
+                );
+            }
+        }
+        if let Some(path) = &opts.vcd {
+            let vcd = liberty::sim::to_vcd(sim.firing_log(), "1ns");
+            if let Err(e) = std::fs::write(path, vcd) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(1);
+            }
+            eprintln!("wrote {path}");
+        }
+    }
+    ExitCode::SUCCESS
+}

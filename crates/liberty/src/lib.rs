@@ -1,0 +1,207 @@
+//! The Liberty Simulation Environment facade.
+//!
+//! Ties the pipeline of Figure 4 together behind one API: LSS sources are
+//! parsed, *executed at compile time* into a netlist (deferred-evaluation
+//! semantics with use-based specialization), statically analyzed (the §5
+//! type-inference engine), and combined with leaf behaviors from the
+//! component registry into an executable simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use liberty::Lse;
+//!
+//! let mut lse = Lse::with_corelib();
+//! lse.add_source(
+//!     "model.lss",
+//!     r#"
+//!     instance gen:source;
+//!     instance chain:delayn;
+//!     chain.n = 3;
+//!     instance hole:sink;
+//!     gen.out -> chain.in;
+//!     chain.out -> hole.in;
+//!     "#,
+//! );
+//! let compiled = lse.compile()?;
+//! assert_eq!(compiled.netlist.instances.len(), 6);
+//! let mut sim = lse.simulator(&compiled.netlist)?;
+//! sim.run(10)?;
+//! assert_eq!(sim.rtv("hole", "count").unwrap().as_int(), Some(10));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use lss_ast as ast;
+pub use lss_corelib as corelib;
+pub use lss_interp as interp;
+pub use lss_models as models;
+pub use lss_netlist as netlist;
+pub use lss_sim as sim;
+pub use lss_types as types;
+
+pub use lss_interp::{CompileOptions, Compiled};
+pub use lss_netlist::{reuse_stats, Netlist, ReuseStats};
+pub use lss_sim::{Scheduler, SimOptions, SimStats, Simulator};
+pub use lss_types::SolverConfig;
+
+use lss_ast::{parse, DiagnosticBag, Program, SourceMap};
+use lss_sim::ComponentRegistry;
+
+/// A compilation session: sources, options, and the behavior registry.
+pub struct Lse {
+    sources: SourceMap,
+    units: Vec<(Program, bool)>,
+    parse_errors: Option<String>,
+    /// Compilation options (elaboration limits, solver heuristics).
+    pub options: CompileOptions,
+    /// Simulation options (scheduler choice, fixpoint caps).
+    pub sim_options: SimOptions,
+    registry: ComponentRegistry,
+}
+
+impl std::fmt::Debug for Lse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lse").field("units", &self.units.len()).finish()
+    }
+}
+
+impl Default for Lse {
+    fn default() -> Self {
+        Lse::new()
+    }
+}
+
+impl Lse {
+    /// An empty session with an empty registry.
+    pub fn new() -> Self {
+        Lse {
+            sources: SourceMap::new(),
+            units: Vec::new(),
+            parse_errors: None,
+            options: CompileOptions::default(),
+            sim_options: SimOptions::default(),
+            registry: ComponentRegistry::new(),
+        }
+    }
+
+    /// A session preloaded with the corelib modules and behaviors.
+    pub fn with_corelib() -> Self {
+        let mut lse = Lse::new();
+        lse.registry = lss_corelib::registry();
+        lse.add_unit("corelib.lss", &lss_corelib::corelib_source(), true);
+        lse
+    }
+
+    fn add_unit(&mut self, name: &str, text: &str, library: bool) {
+        let file = self.sources.add_file(name, text);
+        let mut diags = DiagnosticBag::new();
+        let program = parse(file, text, &mut diags);
+        if diags.has_errors() {
+            let rendered = diags.render(&self.sources);
+            self.parse_errors = Some(match self.parse_errors.take() {
+                Some(prev) => format!("{prev}\n{rendered}"),
+                None => rendered,
+            });
+        }
+        self.units.push((program, library));
+    }
+
+    /// Adds a library source (its instances count as "from library" in the
+    /// reuse statistics).
+    pub fn add_library(&mut self, name: &str, text: &str) {
+        self.add_unit(name, text, true);
+    }
+
+    /// Adds a model source.
+    pub fn add_source(&mut self, name: &str, text: &str) {
+        self.add_unit(name, text, false);
+    }
+
+    /// Replaces the behavior registry (for custom component sets).
+    pub fn set_registry(&mut self, registry: ComponentRegistry) {
+        self.registry = registry;
+    }
+
+    /// The source map (for rendering custom diagnostics).
+    pub fn sources(&self) -> &SourceMap {
+        &self.sources
+    }
+
+    /// Elaborates and type-checks everything added so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns rendered diagnostics (parse, elaboration, or inference).
+    pub fn compile(&self) -> Result<Compiled, String> {
+        if let Some(errors) = &self.parse_errors {
+            return Err(errors.clone());
+        }
+        let units: Vec<lss_interp::Unit<'_>> = self
+            .units
+            .iter()
+            .map(|(program, library)| lss_interp::Unit { program, library: *library })
+            .collect();
+        let mut diags = DiagnosticBag::new();
+        lss_interp::compile(&units, &self.options, &mut diags)
+            .ok_or_else(|| diags.render(&self.sources))
+    }
+
+    /// Builds a simulator for a compiled netlist using this session's
+    /// registry and simulation options.
+    ///
+    /// # Errors
+    ///
+    /// Returns the build error message (unknown behaviors, untyped ports,
+    /// bad BSL code).
+    pub fn simulator(&self, netlist: &Netlist) -> Result<Simulator, String> {
+        lss_sim::build(netlist, &self.registry, self.sim_options.clone())
+            .map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corelib_session_compiles_and_simulates() {
+        let mut lse = Lse::with_corelib();
+        lse.add_source(
+            "m.lss",
+            "instance gen:source;\ninstance hole:sink;\ngen.out -> hole.in;\ngen.out :: int;",
+        );
+        let compiled = lse.compile().expect("compiles");
+        assert_eq!(compiled.netlist.instances.len(), 2);
+        let mut sim = lse.simulator(&compiled.netlist).expect("builds");
+        sim.run(5).unwrap();
+        assert_eq!(sim.rtv("hole", "count").unwrap().as_int(), Some(5));
+    }
+
+    #[test]
+    fn parse_errors_are_reported_at_compile() {
+        let mut lse = Lse::with_corelib();
+        lse.add_source("bad.lss", "instance x:");
+        let err = lse.compile().unwrap_err();
+        assert!(err.contains("expected identifier"), "{err}");
+    }
+
+    #[test]
+    fn elaboration_errors_are_rendered() {
+        let mut lse = Lse::with_corelib();
+        lse.add_source("m.lss", "instance x:nonexistent_module;");
+        let err = lse.compile().unwrap_err();
+        assert!(err.contains("unknown module"), "{err}");
+    }
+
+    #[test]
+    fn empty_registry_fails_at_simulator_build() {
+        let mut lse = Lse::with_corelib();
+        lse.set_registry(ComponentRegistry::new());
+        lse.add_source("m.lss", "instance gen:source;\ngen.out :: int;");
+        let compiled = lse.compile().unwrap();
+        let err = lse.simulator(&compiled.netlist).unwrap_err();
+        assert!(err.contains("no behavior registered"), "{err}");
+    }
+}

@@ -1,0 +1,532 @@
+//! Abstract syntax tree for LSS programs.
+//!
+//! The shapes here follow the paper's figures: module declarations with
+//! `parameter` / `inport` / `outport` / `userpoint` interfaces (Figures 5, 8,
+//! 10, 12), instance creation and nominal parameter assignment (Figures 6,
+//! 9, 11), connections with `->`, imperative control flow, and
+//! `new instance[n](mod, "name")` instance arrays.
+
+use crate::span::Span;
+
+/// An identifier with its source location.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ident {
+    /// The identifier text.
+    pub name: String,
+    /// Where it appeared.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Creates an identifier.
+    pub fn new(name: impl Into<String>, span: Span) -> Self {
+        Ident { name: name.into(), span }
+    }
+}
+
+impl std::fmt::Display for Ident {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// A complete LSS specification: module declarations plus the top-level
+/// statement list (the "main" elaboration body, `S0` in the paper's §6.2).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Module templates declared in this program.
+    pub modules: Vec<ModuleDecl>,
+    /// Top-level statements executed to elaborate the model.
+    pub top: Vec<Stmt>,
+}
+
+/// A module template declaration (`module name { ... };`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleDecl {
+    /// Template name.
+    pub name: Ident,
+    /// Constructor body: interface declarations and elaboration code.
+    pub body: Vec<Stmt>,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// `inport`
+    In,
+    /// `outport`
+    Out,
+}
+
+impl std::fmt::Display for PortDir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PortDir::In => write!(f, "inport"),
+            PortDir::Out => write!(f, "outport"),
+        }
+    }
+}
+
+/// A statement inside a module body or at top level.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `parameter name = default : type;` — `default` optional.
+    Parameter(ParamDecl),
+    /// `inport name : scheme;` / `outport name : scheme;`
+    Port(PortDecl),
+    /// `instance name : module;`
+    Instance(InstanceDecl),
+    /// `var name : type = init;` — compile-time variable.
+    Var(VarDecl),
+    /// `runtime var name : type = init;` — simulation-time state (§4.3).
+    RuntimeVar(RuntimeVarDecl),
+    /// `event name(type, ...);` — declared instrumentation event (§4.5).
+    Event(EventDecl),
+    /// `collector path : event = "bsl";` — aspect-style probe (§4.5).
+    Collector(CollectorDecl),
+    /// `lvalue = expr;`
+    Assign(AssignStmt),
+    /// `src -> dst;` or `src -> dst : scheme;`
+    Connect(ConnectStmt),
+    /// `path :: type;` — explicit type instantiation.
+    TypeInstantiation(TypeInstStmt),
+    /// Bare expression statement (typically a builtin call).
+    Expr(Expr),
+    /// `if (cond) { .. } else { .. }`
+    If(IfStmt),
+    /// `for (init; cond; step) { .. }`
+    For(ForStmt),
+    /// `while (cond) { .. }`
+    While(WhileStmt),
+    /// `{ .. }`
+    Block(Vec<Stmt>, Span),
+    /// `return expr;` — only inside `fun` bodies.
+    Return(Option<Expr>, Span),
+    /// `fun name(a, b) { .. }` — compile-time helper function.
+    Fun(FunDecl),
+}
+
+impl Stmt {
+    /// The source span of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Parameter(d) => d.span,
+            Stmt::Port(d) => d.span,
+            Stmt::Instance(d) => d.span,
+            Stmt::Var(d) => d.span,
+            Stmt::RuntimeVar(d) => d.span,
+            Stmt::Event(d) => d.span,
+            Stmt::Collector(d) => d.span,
+            Stmt::Assign(d) => d.span,
+            Stmt::Connect(d) => d.span,
+            Stmt::TypeInstantiation(d) => d.span,
+            Stmt::Expr(e) => e.span,
+            Stmt::If(d) => d.span,
+            Stmt::For(d) => d.span,
+            Stmt::While(d) => d.span,
+            Stmt::Block(_, s) => *s,
+            Stmt::Return(_, s) => *s,
+            Stmt::Fun(d) => d.span,
+        }
+    }
+}
+
+/// `parameter name = default : type;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter name (referenced nominally by users).
+    pub name: Ident,
+    /// Optional default value.
+    pub default: Option<Expr>,
+    /// Declared type (may be a `userpoint(..)` signature).
+    pub ty: TypeExpr,
+    /// Whole-declaration span.
+    pub span: Span,
+}
+
+/// `inport` / `outport` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortDecl {
+    /// Direction.
+    pub dir: PortDir,
+    /// Port name.
+    pub name: Ident,
+    /// Type scheme (may contain type variables and disjunctions).
+    pub ty: TypeExpr,
+    /// Whole-declaration span.
+    pub span: Span,
+}
+
+/// `instance name : module;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceDecl {
+    /// Instance name.
+    pub name: Ident,
+    /// Module template to instantiate.
+    pub module: Ident,
+    /// Whole-declaration span.
+    pub span: Span,
+}
+
+/// Compile-time `var` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: Ident,
+    /// Optional declared type (checked when present).
+    pub ty: Option<TypeExpr>,
+    /// Optional initializer.
+    pub init: Option<Expr>,
+    /// Whole-declaration span.
+    pub span: Span,
+}
+
+/// `runtime var` declaration: state available during simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeVarDecl {
+    /// Variable name (visible to userpoint BSL code).
+    pub name: Ident,
+    /// Value type.
+    pub ty: TypeExpr,
+    /// Optional initial-value expression (evaluated at compile time).
+    pub init: Option<Expr>,
+    /// Whole-declaration span.
+    pub span: Span,
+}
+
+/// `event name(type, ...);`
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventDecl {
+    /// Event name.
+    pub name: Ident,
+    /// Types of the values sent with each emission.
+    pub args: Vec<TypeExpr>,
+    /// Whole-declaration span.
+    pub span: Span,
+}
+
+/// `collector target : event = "bsl code";`
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectorDecl {
+    /// Instance (path expression) whose events are observed.
+    pub target: Expr,
+    /// Event name on that instance; the implicit port-firing event for port
+    /// `p` is named `p.fire` and written `: p_fire` — see interp docs.
+    pub event: Ident,
+    /// BSL code run on each emission.
+    pub body: Expr,
+    /// Whole-declaration span.
+    pub span: Span,
+}
+
+/// `lvalue = expr;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignStmt {
+    /// Assignment target (identifier, field path, or index).
+    pub target: Expr,
+    /// Value.
+    pub value: Expr,
+    /// Whole-statement span.
+    pub span: Span,
+}
+
+/// `src -> dst;` with optional `: scheme` annotation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectStmt {
+    /// Sending port expression.
+    pub src: Expr,
+    /// Receiving port expression.
+    pub dst: Expr,
+    /// Optional connection type annotation.
+    pub ty: Option<TypeExpr>,
+    /// Whole-statement span.
+    pub span: Span,
+}
+
+/// `path :: type;` — pins a port's polymorphic type explicitly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeInstStmt {
+    /// The port being annotated.
+    pub target: Expr,
+    /// The annotation.
+    pub ty: TypeExpr,
+    /// Whole-statement span.
+    pub span: Span,
+}
+
+/// `if` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IfStmt {
+    /// Condition.
+    pub cond: Expr,
+    /// Then-branch body.
+    pub then_body: Vec<Stmt>,
+    /// Else-branch body (empty if absent).
+    pub else_body: Vec<Stmt>,
+    /// Whole-statement span.
+    pub span: Span,
+}
+
+/// C-style `for` loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForStmt {
+    /// Initialization statement (assignment or var decl), if any.
+    pub init: Option<Box<Stmt>>,
+    /// Loop condition, if any (absent means `true`).
+    pub cond: Option<Expr>,
+    /// Step statement, if any.
+    pub step: Option<Box<Stmt>>,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+    /// Whole-statement span.
+    pub span: Span,
+}
+
+/// `while` loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhileStmt {
+    /// Loop condition.
+    pub cond: Expr,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+    /// Whole-statement span.
+    pub span: Span,
+}
+
+/// Compile-time helper function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunDecl {
+    /// Function name.
+    pub name: Ident,
+    /// Parameter names (dynamically typed at compile time).
+    pub params: Vec<Ident>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Whole-declaration span.
+    pub span: Span,
+}
+
+/// A type expression / type scheme (§5 grammar).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeExpr {
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// `float`
+    Float,
+    /// `string`
+    String,
+    /// `t[n]` — element type plus compile-time length expression.
+    Array(Box<TypeExpr>, Box<Expr>),
+    /// `struct { name : type; ... }`
+    Struct(Vec<(Ident, TypeExpr)>),
+    /// `'a` — a type variable.
+    Var(Ident),
+    /// `t1 | t2 | ...` — a disjunctive type scheme (component overloading).
+    Disjunction(Vec<TypeExpr>),
+    /// `instance ref` (`array` true for `instance ref[]`).
+    InstanceRef {
+        /// Whether this is an array of instance references.
+        array: bool,
+    },
+    /// `userpoint(arg : type, ... => type)` — algorithmic parameter (§4.3).
+    Userpoint(UserpointSig),
+}
+
+impl TypeExpr {
+    /// True if any type variable occurs in the expression.
+    pub fn has_vars(&self) -> bool {
+        match self {
+            TypeExpr::Var(_) => true,
+            TypeExpr::Array(t, _) => t.has_vars(),
+            TypeExpr::Struct(fields) => fields.iter().any(|(_, t)| t.has_vars()),
+            TypeExpr::Disjunction(ts) => ts.iter().any(TypeExpr::has_vars),
+            _ => false,
+        }
+    }
+
+    /// True if any disjunction occurs in the expression.
+    pub fn has_disjunction(&self) -> bool {
+        match self {
+            TypeExpr::Disjunction(_) => true,
+            TypeExpr::Array(t, _) => t.has_disjunction(),
+            TypeExpr::Struct(fields) => fields.iter().any(|(_, t)| t.has_disjunction()),
+            _ => false,
+        }
+    }
+}
+
+/// Signature of a userpoint parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserpointSig {
+    /// Argument names and types available to the BSL body.
+    pub args: Vec<(Ident, TypeExpr)>,
+    /// Return type the BSL body must produce.
+    pub ret: Box<TypeExpr>,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl std::fmt::Display for BinOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// An expression with its span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// What kind of expression.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Creates an expression node.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// If this expression is a plain identifier, returns it.
+    pub fn as_ident(&self) -> Option<&Ident> {
+        match &self.kind {
+            ExprKind::Ident(id) => Some(id),
+            _ => None,
+        }
+    }
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// Identifier reference.
+    Ident(Ident),
+    /// Field access `base.field` (sub-instance parameters/ports, `p.width`).
+    Field(Box<Expr>, Ident),
+    /// Index `base[i]` (port instances, arrays).
+    Index(Box<Expr>, Box<Expr>),
+    /// Call `callee(args)` — builtins and `fun` helpers.
+    Call(Box<Expr>, Vec<Expr>),
+    /// `new instance[len](module, name)` — instance array creation (Fig. 8).
+    NewInstanceArray {
+        /// Number of instances.
+        len: Box<Expr>,
+        /// Module template to instantiate.
+        module: Ident,
+        /// Base name for the created instances (a string expression).
+        name: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `[a, b, c]`
+    ArrayLit(Vec<Expr>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Span {
+        Span::synthetic()
+    }
+
+    #[test]
+    fn type_expr_var_detection() {
+        let plain = TypeExpr::Array(Box::new(TypeExpr::Int), Box::new(Expr::new(ExprKind::Int(4), s())));
+        assert!(!plain.has_vars());
+        let var = TypeExpr::Struct(vec![(
+            Ident::new("x", s()),
+            TypeExpr::Var(Ident::new("a", s())),
+        )]);
+        assert!(var.has_vars());
+        assert!(!var.has_disjunction());
+        let disj = TypeExpr::Disjunction(vec![TypeExpr::Int, TypeExpr::Float]);
+        assert!(disj.has_disjunction());
+        assert!(!disj.has_vars());
+    }
+
+    #[test]
+    fn expr_as_ident() {
+        let e = Expr::new(ExprKind::Ident(Ident::new("d1", s())), s());
+        assert_eq!(e.as_ident().unwrap().name, "d1");
+        let e2 = Expr::new(ExprKind::Int(3), s());
+        assert!(e2.as_ident().is_none());
+    }
+
+    #[test]
+    fn stmt_span_dispatch() {
+        let stmt = Stmt::Return(None, s());
+        assert!(stmt.span().is_synthetic());
+        let blk = Stmt::Block(vec![], s());
+        assert!(blk.span().is_synthetic());
+    }
+}

@@ -1,0 +1,220 @@
+//! Diagnostics: errors, warnings, and notes with source locations.
+
+use std::fmt;
+
+use crate::span::{SourceMap, Span};
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational note, usually attached to another diagnostic.
+    Note,
+    /// Suspicious but not fatal.
+    Warning,
+    /// Compilation cannot produce a valid model.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A secondary message attached to a [`Diagnostic`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Note {
+    /// The message text.
+    pub message: String,
+    /// Optional location the note refers to.
+    pub span: Option<Span>,
+}
+
+/// A single compiler diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Primary message.
+    pub message: String,
+    /// Primary location.
+    pub span: Span,
+    /// Attached notes.
+    pub notes: Vec<Note>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Error, message: message.into(), span, notes: Vec::new() }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Warning, message: message.into(), span, notes: Vec::new() }
+    }
+
+    /// Attaches a note with a location.
+    pub fn with_note_at(mut self, message: impl Into<String>, span: Span) -> Self {
+        self.notes.push(Note { message: message.into(), span: Some(span) });
+        self
+    }
+
+    /// Attaches a free-floating note.
+    pub fn with_note(mut self, message: impl Into<String>) -> Self {
+        self.notes.push(Note { message: message.into(), span: None });
+        self
+    }
+
+    /// Renders the diagnostic with a source excerpt.
+    pub fn render(&self, sources: &SourceMap) -> String {
+        let mut out = String::new();
+        render_one(&mut out, self.severity, &self.message, Some(self.span), sources);
+        for note in &self.notes {
+            render_one(&mut out, Severity::Note, &note.message, note.span, sources);
+        }
+        out
+    }
+}
+
+fn render_one(
+    out: &mut String,
+    severity: Severity,
+    message: &str,
+    span: Option<Span>,
+    sources: &SourceMap,
+) {
+    use fmt::Write;
+    let _ = writeln!(out, "{severity}: {message}");
+    let Some(span) = span else { return };
+    if span.is_synthetic() {
+        return;
+    }
+    let _ = writeln!(out, "  --> {}", sources.describe(span));
+    if let Some(file) = sources.get(span.file) {
+        let (line, col) = file.line_col(span.start);
+        let text = file.line_text(line);
+        let _ = writeln!(out, "   | {text}");
+        let underline_len = (span.len() as usize).clamp(1, text.len().saturating_sub(col as usize - 1).max(1));
+        let _ = writeln!(out, "   | {}{}", " ".repeat(col as usize - 1), "^".repeat(underline_len));
+    }
+}
+
+/// Accumulates diagnostics across compiler phases.
+#[derive(Debug, Default)]
+pub struct DiagnosticBag {
+    diags: Vec<Diagnostic>,
+}
+
+impl DiagnosticBag {
+    /// Creates an empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a diagnostic.
+    pub fn push(&mut self, diag: Diagnostic) {
+        self.diags.push(diag);
+    }
+
+    /// Shorthand for pushing an error.
+    pub fn error(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::error(message, span));
+    }
+
+    /// Shorthand for pushing a warning.
+    pub fn warning(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::warning(message, span));
+    }
+
+    /// True if any error-severity diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of diagnostics recorded.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// Whether no diagnostics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Iterates recorded diagnostics in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter()
+    }
+
+    /// Consumes the bag, returning the diagnostics.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+
+    /// Renders every diagnostic, separated by blank lines.
+    pub fn render(&self, sources: &SourceMap) -> String {
+        self.diags.iter().map(|d| d.render(sources)).collect::<Vec<_>>().join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::FileId;
+
+    fn setup() -> (SourceMap, Span) {
+        let mut map = SourceMap::new();
+        let id = map.add_file("x.lss", "instance d1:delay;\nd1.out -> d2.in;\n");
+        (map, Span::new(id, 0, 8))
+    }
+
+    #[test]
+    fn render_includes_location_and_caret() {
+        let (map, span) = setup();
+        let d = Diagnostic::error("unknown module `delay`", span)
+            .with_note("22 modules are in scope");
+        let rendered = d.render(&map);
+        assert!(rendered.contains("error: unknown module `delay`"));
+        assert!(rendered.contains("x.lss:1:1"));
+        assert!(rendered.contains("^^^^^^^^"));
+        assert!(rendered.contains("note: 22 modules are in scope"));
+    }
+
+    #[test]
+    fn bag_tracks_errors() {
+        let (map, span) = setup();
+        let mut bag = DiagnosticBag::new();
+        assert!(bag.is_empty());
+        bag.warning("unused instance", span);
+        assert!(!bag.has_errors());
+        bag.error("bad connection", span);
+        assert!(bag.has_errors());
+        assert_eq!(bag.len(), 2);
+        let rendered = bag.render(&map);
+        assert!(rendered.contains("warning: unused instance"));
+        assert!(rendered.contains("error: bad connection"));
+    }
+
+    #[test]
+    fn synthetic_span_renders_without_excerpt() {
+        let map = SourceMap::new();
+        let d = Diagnostic::error("boom", Span::synthetic());
+        let rendered = d.render(&map);
+        assert_eq!(rendered, "error: boom\n");
+    }
+
+    #[test]
+    fn note_at_span_points_to_second_line() {
+        let (map, _) = setup();
+        let second = Span::new(FileId(0), 19, 25);
+        let d = Diagnostic::error("width mismatch", second).with_note_at("connected here", second);
+        let rendered = d.render(&map);
+        assert!(rendered.contains("x.lss:2:1"));
+        assert!(rendered.contains("d1.out"));
+    }
+}

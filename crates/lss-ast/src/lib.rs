@@ -1,0 +1,41 @@
+//! Front end for the Liberty Structural Specification Language (LSS).
+//!
+//! This crate provides the lexer, parser, abstract syntax tree, source map,
+//! and diagnostic machinery shared by the rest of the reproduction of
+//! Vachharajani, Vachharajani & August, *The Liberty Structural
+//! Specification Language* (PLDI 2004).
+//!
+//! # Example
+//!
+//! ```
+//! use lss_ast::{parse, DiagnosticBag, SourceMap};
+//!
+//! let src = "module delay { inport in:int; outport out:int; };";
+//! let mut sources = SourceMap::new();
+//! let file = sources.add_file("example.lss", src);
+//! let mut diags = DiagnosticBag::new();
+//! let program = parse(file, src, &mut diags);
+//! assert!(!diags.has_errors());
+//! assert_eq!(program.modules[0].name.name, "delay");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod token;
+
+pub use ast::{
+    AssignStmt, BinOp, CollectorDecl, ConnectStmt, EventDecl, Expr, ExprKind, ForStmt, FunDecl,
+    Ident, IfStmt, InstanceDecl, ModuleDecl, ParamDecl, PortDecl, PortDir, Program,
+    RuntimeVarDecl, Stmt, TypeExpr, TypeInstStmt, UnOp, UserpointSig, VarDecl, WhileStmt,
+};
+pub use diag::{Diagnostic, DiagnosticBag, Note, Severity};
+pub use lexer::lex;
+pub use parser::parse;
+pub use span::{FileId, SourceFile, SourceMap, Span, Spanned};
+pub use token::{Token, TokenKind};

@@ -1,0 +1,1052 @@
+//! Recursive-descent parser for LSS.
+//!
+//! The grammar follows the paper's examples:
+//!
+//! ```text
+//! program   := (module | stmt)* EOF
+//! module    := 'module' IDENT '{' stmt* '}' ';'?
+//! stmt      := 'parameter' IDENT ('=' expr)? ':' type ';'
+//!            | ('inport' | 'outport') IDENT ':' type ';'
+//!            | 'instance' IDENT ':' IDENT ';'
+//!            | 'var' IDENT (':' type)? ('=' expr)? ';'
+//!            | 'runtime' 'var' IDENT ':' type ('=' expr)? ';'
+//!            | 'event' IDENT '(' type,* ')' ';'
+//!            | 'collector' expr ':' IDENT '=' expr ';'
+//!            | 'if' '(' expr ')' block ('else' (block | if))?
+//!            | 'for' '(' simple? ';' expr? ';' simple? ')' block
+//!            | 'while' '(' expr ')' block
+//!            | 'fun' IDENT '(' IDENT,* ')' block
+//!            | 'return' expr? ';'
+//!            | block
+//!            | simple ';'
+//! simple    := expr ('=' expr | '->' expr (':' type)? | '::' type)?
+//! type      := tprim ('|' tprim)*
+//! tprim     := ('int'|'bool'|'float'|'string'|TYPEVAR|structty|instref|upoint|'(' type ')') ('[' expr? ']')*
+//! ```
+
+use crate::ast::*;
+use crate::diag::{Diagnostic, DiagnosticBag};
+use crate::lexer::lex;
+use crate::span::{FileId, Span};
+use crate::token::{Token, TokenKind};
+
+/// Parses LSS source text into a [`Program`].
+///
+/// All lex and parse errors are reported into `diags`; the returned program
+/// contains whatever could be recovered (callers should check
+/// [`DiagnosticBag::has_errors`] before using it).
+pub fn parse(file: FileId, text: &str, diags: &mut DiagnosticBag) -> Program {
+    let tokens = lex(file, text, diags);
+    Parser { tokens, pos: 0, diags }.program()
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    diags: &'a mut DiagnosticBag,
+}
+
+impl<'a> Parser<'a> {
+    // ---- token-stream helpers -------------------------------------------
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        let idx = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> bool {
+        if self.eat(kind) {
+            true
+        } else {
+            self.error_here(format!("expected {}, found {}", kind.describe(), self.peek().describe()));
+            false
+        }
+    }
+
+    fn error_here(&mut self, msg: String) {
+        let span = self.span();
+        self.diags.push(Diagnostic::error(msg, span));
+    }
+
+    fn ident(&mut self) -> Option<Ident> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.span();
+                self.bump();
+                Some(Ident::new(name, span))
+            }
+            other => {
+                self.error_here(format!("expected identifier, found {}", other.describe()));
+                None
+            }
+        }
+    }
+
+    /// Skips forward past the next `;` (or to a `}` / EOF) for recovery.
+    fn recover_to_stmt_end(&mut self) {
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                TokenKind::Eof => return,
+                TokenKind::Semi if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                TokenKind::RBrace if depth == 0 => return,
+                TokenKind::LBrace | TokenKind::LParen | TokenKind::LBracket => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::RBrace | TokenKind::RParen | TokenKind::RBracket => {
+                    depth = depth.saturating_sub(1);
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    // ---- grammar productions --------------------------------------------
+
+    fn program(mut self) -> Program {
+        let mut program = Program::default();
+        while !self.at(&TokenKind::Eof) {
+            if self.at(&TokenKind::Module) {
+                if let Some(m) = self.module_decl() {
+                    program.modules.push(m);
+                }
+            } else {
+                match self.stmt() {
+                    Some(s) => program.top.push(s),
+                    None => {
+                        self.recover_to_stmt_end();
+                        // A stray `}` at top level would stall recovery
+                        // forever (recovery stops *at* braces for the sake
+                        // of enclosing blocks); consume it here.
+                        if self.at(&TokenKind::RBrace) {
+                            self.error_here("unmatched `}`".to_string());
+                            self.bump();
+                        }
+                    }
+                }
+            }
+        }
+        program
+    }
+
+    fn module_decl(&mut self) -> Option<ModuleDecl> {
+        let start = self.span();
+        self.expect(&TokenKind::Module);
+        let name = self.ident()?;
+        self.expect(&TokenKind::LBrace);
+        let body = self.stmt_list_until_rbrace();
+        let end = self.prev_span();
+        self.eat(&TokenKind::Semi); // trailing `;` after `}` is optional
+        Some(ModuleDecl { name, body, span: start.merge(end) })
+    }
+
+    fn stmt_list_until_rbrace(&mut self) -> Vec<Stmt> {
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) && !self.at(&TokenKind::Eof) {
+            match self.stmt() {
+                Some(s) => stmts.push(s),
+                None => self.recover_to_stmt_end(),
+            }
+        }
+        self.expect(&TokenKind::RBrace);
+        stmts
+    }
+
+    fn block(&mut self) -> Vec<Stmt> {
+        if !self.expect(&TokenKind::LBrace) {
+            return Vec::new();
+        }
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) && !self.at(&TokenKind::Eof) {
+            match self.stmt() {
+                Some(s) => stmts.push(s),
+                None => self.recover_to_stmt_end(),
+            }
+        }
+        self.expect(&TokenKind::RBrace);
+        stmts
+    }
+
+    fn stmt(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        match self.peek() {
+            TokenKind::Parameter => self.parameter_stmt(),
+            TokenKind::Inport | TokenKind::Outport => self.port_stmt(),
+            TokenKind::Instance => self.instance_stmt(),
+            TokenKind::Var => self.var_stmt(false),
+            TokenKind::Runtime => {
+                self.bump();
+                self.var_stmt(true)
+            }
+            TokenKind::Event => self.event_stmt(),
+            TokenKind::Collector => self.collector_stmt(),
+            TokenKind::If => self.if_stmt(),
+            TokenKind::For => self.for_stmt(),
+            TokenKind::While => self.while_stmt(),
+            TokenKind::Fun => self.fun_stmt(),
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.at(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+                self.expect(&TokenKind::Semi);
+                Some(Stmt::Return(value, start.merge(self.prev_span())))
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let body = self.stmt_list_until_rbrace();
+                Some(Stmt::Block(body, start.merge(self.prev_span())))
+            }
+            TokenKind::Semi => {
+                self.bump();
+                Some(Stmt::Block(Vec::new(), start))
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(&TokenKind::Semi);
+                Some(s)
+            }
+        }
+    }
+
+    fn parameter_stmt(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        self.bump(); // parameter
+        let name = self.ident()?;
+        let default = if self.eat(&TokenKind::Eq) { Some(self.expr()?) } else { None };
+        self.expect(&TokenKind::Colon);
+        let ty = self.type_expr()?;
+        self.expect(&TokenKind::Semi);
+        Some(Stmt::Parameter(ParamDecl { name, default, ty, span: start.merge(self.prev_span()) }))
+    }
+
+    fn port_stmt(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        let dir = if self.eat(&TokenKind::Inport) {
+            PortDir::In
+        } else {
+            self.expect(&TokenKind::Outport);
+            PortDir::Out
+        };
+        let name = self.ident()?;
+        self.expect(&TokenKind::Colon);
+        let ty = self.type_expr()?;
+        self.expect(&TokenKind::Semi);
+        Some(Stmt::Port(PortDecl { dir, name, ty, span: start.merge(self.prev_span()) }))
+    }
+
+    fn instance_stmt(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        self.bump(); // instance
+        let name = self.ident()?;
+        self.expect(&TokenKind::Colon);
+        let module = self.ident()?;
+        self.expect(&TokenKind::Semi);
+        Some(Stmt::Instance(InstanceDecl { name, module, span: start.merge(self.prev_span()) }))
+    }
+
+    fn var_stmt(&mut self, runtime: bool) -> Option<Stmt> {
+        let start = self.span();
+        self.expect(&TokenKind::Var);
+        let name = self.ident()?;
+        let ty = if self.eat(&TokenKind::Colon) { Some(self.type_expr()?) } else { None };
+        let init = if self.eat(&TokenKind::Eq) { Some(self.expr()?) } else { None };
+        self.expect(&TokenKind::Semi);
+        let span = start.merge(self.prev_span());
+        if runtime {
+            let Some(ty) = ty else {
+                self.diags.push(Diagnostic::error(
+                    "runtime variables must declare a type",
+                    span,
+                ));
+                return None;
+            };
+            Some(Stmt::RuntimeVar(RuntimeVarDecl { name, ty, init, span }))
+        } else {
+            Some(Stmt::Var(VarDecl { name, ty, init, span }))
+        }
+    }
+
+    fn event_stmt(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        self.bump(); // event
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen);
+        let mut args = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                args.push(self.type_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen);
+        self.expect(&TokenKind::Semi);
+        Some(Stmt::Event(EventDecl { name, args, span: start.merge(self.prev_span()) }))
+    }
+
+    fn collector_stmt(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        self.bump(); // collector
+        let target = self.expr()?;
+        self.expect(&TokenKind::Colon);
+        let event = self.ident()?;
+        self.expect(&TokenKind::Eq);
+        let body = self.expr()?;
+        self.expect(&TokenKind::Semi);
+        Some(Stmt::Collector(CollectorDecl {
+            target,
+            event,
+            body,
+            span: start.merge(self.prev_span()),
+        }))
+    }
+
+    fn if_stmt(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        self.bump(); // if
+        self.expect(&TokenKind::LParen);
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen);
+        let then_body = self.block();
+        let else_body = if self.eat(&TokenKind::Else) {
+            if self.at(&TokenKind::If) {
+                match self.if_stmt() {
+                    Some(s) => vec![s],
+                    None => Vec::new(),
+                }
+            } else {
+                self.block()
+            }
+        } else {
+            Vec::new()
+        };
+        Some(Stmt::If(IfStmt { cond, then_body, else_body, span: start.merge(self.prev_span()) }))
+    }
+
+    fn for_stmt(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        self.bump(); // for
+        self.expect(&TokenKind::LParen);
+        let init = if self.at(&TokenKind::Semi) {
+            None
+        } else if self.at(&TokenKind::Var) {
+            let s = self.var_stmt(false)?; // consumes `;`
+            Some(Box::new(s))
+        } else {
+            let s = self.simple_stmt()?;
+            self.expect(&TokenKind::Semi);
+            Some(Box::new(s))
+        };
+        if init.is_none() {
+            self.expect(&TokenKind::Semi);
+        }
+        let cond = if self.at(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+        self.expect(&TokenKind::Semi);
+        let step =
+            if self.at(&TokenKind::RParen) { None } else { Some(Box::new(self.simple_stmt()?)) };
+        self.expect(&TokenKind::RParen);
+        let body = self.block();
+        Some(Stmt::For(ForStmt { init, cond, step, body, span: start.merge(self.prev_span()) }))
+    }
+
+    fn while_stmt(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        self.bump(); // while
+        self.expect(&TokenKind::LParen);
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen);
+        let body = self.block();
+        Some(Stmt::While(WhileStmt { cond, body, span: start.merge(self.prev_span()) }))
+    }
+
+    fn fun_stmt(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        self.bump(); // fun
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen);
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                params.push(self.ident()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen);
+        let body = self.block();
+        Some(Stmt::Fun(FunDecl { name, params, body, span: start.merge(self.prev_span()) }))
+    }
+
+    /// An expression statement, assignment, connection, or explicit type
+    /// instantiation — everything that starts with an expression.
+    fn simple_stmt(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        let first = self.expr()?;
+        if self.eat(&TokenKind::Eq) {
+            let value = self.expr()?;
+            return Some(Stmt::Assign(AssignStmt {
+                target: first,
+                value,
+                span: start.merge(self.prev_span()),
+            }));
+        }
+        if self.eat(&TokenKind::Arrow) {
+            let dst = self.expr()?;
+            let ty = if self.eat(&TokenKind::Colon) { Some(self.type_expr()?) } else { None };
+            return Some(Stmt::Connect(ConnectStmt {
+                src: first,
+                dst,
+                ty,
+                span: start.merge(self.prev_span()),
+            }));
+        }
+        if self.eat(&TokenKind::ColonColon) {
+            let ty = self.type_expr()?;
+            return Some(Stmt::TypeInstantiation(TypeInstStmt {
+                target: first,
+                ty,
+                span: start.merge(self.prev_span()),
+            }));
+        }
+        Some(Stmt::Expr(first))
+    }
+
+    // ---- types ------------------------------------------------------------
+
+    fn type_expr(&mut self) -> Option<TypeExpr> {
+        let first = self.type_primary()?;
+        if !self.at(&TokenKind::Pipe) {
+            return Some(first);
+        }
+        let mut alts = vec![first];
+        while self.eat(&TokenKind::Pipe) {
+            alts.push(self.type_primary()?);
+        }
+        Some(TypeExpr::Disjunction(alts))
+    }
+
+    fn type_primary(&mut self) -> Option<TypeExpr> {
+        let mut ty = match self.peek().clone() {
+            TokenKind::IntTy => {
+                self.bump();
+                TypeExpr::Int
+            }
+            TokenKind::BoolTy => {
+                self.bump();
+                TypeExpr::Bool
+            }
+            TokenKind::FloatTy => {
+                self.bump();
+                TypeExpr::Float
+            }
+            TokenKind::StringTy => {
+                self.bump();
+                TypeExpr::String
+            }
+            TokenKind::TypeVar(name) => {
+                let span = self.span();
+                self.bump();
+                TypeExpr::Var(Ident::new(name, span))
+            }
+            TokenKind::Struct => self.struct_type()?,
+            TokenKind::Instance => {
+                self.bump();
+                self.expect(&TokenKind::Ref);
+                let array = if self.at(&TokenKind::LBracket)
+                    && self.peek_at(1) == &TokenKind::RBracket
+                {
+                    self.bump();
+                    self.bump();
+                    true
+                } else {
+                    false
+                };
+                return Some(TypeExpr::InstanceRef { array });
+            }
+            TokenKind::Userpoint => self.userpoint_type()?,
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.type_expr()?;
+                self.expect(&TokenKind::RParen);
+                inner
+            }
+            other => {
+                self.error_here(format!("expected a type, found {}", other.describe()));
+                return None;
+            }
+        };
+        // Array suffixes: `t[n]` (fixed length) — may be repeated.
+        while self.at(&TokenKind::LBracket) {
+            self.bump();
+            if self.eat(&TokenKind::RBracket) {
+                // `t[]` — dynamically sized compile-time array.
+                let len = Expr::new(ExprKind::Int(-1), self.prev_span());
+                ty = TypeExpr::Array(Box::new(ty), Box::new(len));
+                continue;
+            }
+            let len = self.expr()?;
+            self.expect(&TokenKind::RBracket);
+            ty = TypeExpr::Array(Box::new(ty), Box::new(len));
+        }
+        Some(ty)
+    }
+
+    fn struct_type(&mut self) -> Option<TypeExpr> {
+        self.expect(&TokenKind::Struct);
+        self.expect(&TokenKind::LBrace);
+        let mut fields = Vec::new();
+        while !self.at(&TokenKind::RBrace) && !self.at(&TokenKind::Eof) {
+            let name = self.ident()?;
+            self.expect(&TokenKind::Colon);
+            let ty = self.type_expr()?;
+            self.expect(&TokenKind::Semi);
+            fields.push((name, ty));
+        }
+        self.expect(&TokenKind::RBrace);
+        Some(TypeExpr::Struct(fields))
+    }
+
+    fn userpoint_type(&mut self) -> Option<TypeExpr> {
+        self.expect(&TokenKind::Userpoint);
+        self.expect(&TokenKind::LParen);
+        let mut args = Vec::new();
+        if !self.at(&TokenKind::FatArrow) {
+            loop {
+                let name = self.ident()?;
+                self.expect(&TokenKind::Colon);
+                let ty = self.type_expr()?;
+                args.push((name, ty));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::FatArrow);
+        let ret = self.type_expr()?;
+        self.expect(&TokenKind::RParen);
+        Some(TypeExpr::Userpoint(UserpointSig { args, ret: Box::new(ret) }))
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Option<Expr> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Option<Expr> {
+        let cond = self.or_expr()?;
+        if !self.eat(&TokenKind::Question) {
+            return Some(cond);
+        }
+        let then = self.expr()?;
+        self.expect(&TokenKind::Colon);
+        let els = self.expr()?;
+        let span = cond.span.merge(els.span);
+        Some(Expr::new(ExprKind::Ternary(Box::new(cond), Box::new(then), Box::new(els)), span))
+    }
+
+    fn binary_level(
+        &mut self,
+        next: fn(&mut Self) -> Option<Expr>,
+        ops: &[(TokenKind, BinOp)],
+    ) -> Option<Expr> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in ops {
+                if self.at(tok) {
+                    self.bump();
+                    let rhs = next(self)?;
+                    let span = lhs.span.merge(rhs.span);
+                    lhs = Expr::new(ExprKind::Binary(*op, Box::new(lhs), Box::new(rhs)), span);
+                    continue 'outer;
+                }
+            }
+            return Some(lhs);
+        }
+    }
+
+    fn or_expr(&mut self) -> Option<Expr> {
+        self.binary_level(Self::and_expr, &[(TokenKind::OrOr, BinOp::Or)])
+    }
+
+    fn and_expr(&mut self) -> Option<Expr> {
+        self.binary_level(Self::equality, &[(TokenKind::AndAnd, BinOp::And)])
+    }
+
+    fn equality(&mut self) -> Option<Expr> {
+        self.binary_level(
+            Self::relational,
+            &[(TokenKind::EqEq, BinOp::Eq), (TokenKind::NotEq, BinOp::Ne)],
+        )
+    }
+
+    fn relational(&mut self) -> Option<Expr> {
+        self.binary_level(
+            Self::additive,
+            &[
+                (TokenKind::Le, BinOp::Le),
+                (TokenKind::Ge, BinOp::Ge),
+                (TokenKind::Lt, BinOp::Lt),
+                (TokenKind::Gt, BinOp::Gt),
+            ],
+        )
+    }
+
+    fn additive(&mut self) -> Option<Expr> {
+        self.binary_level(
+            Self::multiplicative,
+            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+        )
+    }
+
+    fn multiplicative(&mut self) -> Option<Expr> {
+        self.binary_level(
+            Self::unary,
+            &[
+                (TokenKind::Star, BinOp::Mul),
+                (TokenKind::Slash, BinOp::Div),
+                (TokenKind::Percent, BinOp::Rem),
+            ],
+        )
+    }
+
+    fn unary(&mut self) -> Option<Expr> {
+        let start = self.span();
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.unary()?;
+            let span = start.merge(inner.span);
+            return Some(Expr::new(ExprKind::Unary(UnOp::Neg, Box::new(inner)), span));
+        }
+        if self.eat(&TokenKind::Bang) {
+            let inner = self.unary()?;
+            let span = start.merge(inner.span);
+            return Some(Expr::new(ExprKind::Unary(UnOp::Not, Box::new(inner)), span));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Option<Expr> {
+        let mut expr = self.primary()?;
+        loop {
+            if self.eat(&TokenKind::Dot) {
+                let field = self.ident()?;
+                let span = expr.span.merge(field.span);
+                expr = Expr::new(ExprKind::Field(Box::new(expr), field), span);
+            } else if self.at(&TokenKind::LBracket) {
+                self.bump();
+                let index = self.expr()?;
+                self.expect(&TokenKind::RBracket);
+                let span = expr.span.merge(self.prev_span());
+                expr = Expr::new(ExprKind::Index(Box::new(expr), Box::new(index)), span);
+            } else if self.at(&TokenKind::LParen) {
+                self.bump();
+                let mut args = Vec::new();
+                if !self.at(&TokenKind::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RParen);
+                let span = expr.span.merge(self.prev_span());
+                expr = Expr::new(ExprKind::Call(Box::new(expr), args), span);
+            } else {
+                return Some(expr);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Option<Expr> {
+        let start = self.span();
+        let kind = match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                ExprKind::Int(v)
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                ExprKind::Float(v)
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                ExprKind::Str(s)
+            }
+            TokenKind::True => {
+                self.bump();
+                ExprKind::Bool(true)
+            }
+            TokenKind::False => {
+                self.bump();
+                ExprKind::Bool(false)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                ExprKind::Ident(Ident::new(name, start))
+            }
+            TokenKind::New => return self.new_instance_array(),
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen);
+                return Some(inner);
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut elems = Vec::new();
+                if !self.at(&TokenKind::RBracket) {
+                    loop {
+                        elems.push(self.expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RBracket);
+                return Some(Expr::new(ExprKind::ArrayLit(elems), start.merge(self.prev_span())));
+            }
+            other => {
+                self.error_here(format!("expected an expression, found {}", other.describe()));
+                return None;
+            }
+        };
+        Some(Expr::new(kind, start))
+    }
+
+    /// `new instance[len](module, "basename")`
+    fn new_instance_array(&mut self) -> Option<Expr> {
+        let start = self.span();
+        self.expect(&TokenKind::New);
+        self.expect(&TokenKind::Instance);
+        self.expect(&TokenKind::LBracket);
+        let len = self.expr()?;
+        self.expect(&TokenKind::RBracket);
+        self.expect(&TokenKind::LParen);
+        let module = self.ident()?;
+        self.expect(&TokenKind::Comma);
+        let name = self.expr()?;
+        self.expect(&TokenKind::RParen);
+        let span = start.merge(self.prev_span());
+        Some(Expr::new(
+            ExprKind::NewInstanceArray {
+                len: Box::new(len),
+                module,
+                name: Box::new(name),
+            },
+            span,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SourceMap;
+
+    fn parse_ok(src: &str) -> Program {
+        let mut map = SourceMap::new();
+        let id = map.add_file("t.lss", src);
+        let mut diags = DiagnosticBag::new();
+        let prog = parse(id, src, &mut diags);
+        assert!(!diags.has_errors(), "parse errors:\n{}", diags.render(&map));
+        prog
+    }
+
+    fn parse_err(src: &str) -> DiagnosticBag {
+        let mut map = SourceMap::new();
+        let id = map.add_file("t.lss", src);
+        let mut diags = DiagnosticBag::new();
+        let _ = parse(id, src, &mut diags);
+        assert!(diags.has_errors(), "expected parse errors for: {src}");
+        diags
+    }
+
+    #[test]
+    fn parses_figure5_leaf_module() {
+        let prog = parse_ok(
+            r#"
+            module delay {
+                parameter initial_state = 0:int;
+                inport in:int;
+                outport out:int;
+                tar_file = "corelib/delay.tar";
+            };
+            "#,
+        );
+        assert_eq!(prog.modules.len(), 1);
+        let m = &prog.modules[0];
+        assert_eq!(m.name.name, "delay");
+        assert_eq!(m.body.len(), 4);
+        match &m.body[0] {
+            Stmt::Parameter(p) => {
+                assert_eq!(p.name.name, "initial_state");
+                assert!(p.default.is_some());
+                assert_eq!(p.ty, TypeExpr::Int);
+            }
+            other => panic!("expected parameter, got {other:?}"),
+        }
+        assert!(matches!(&m.body[1], Stmt::Port(p) if p.dir == PortDir::In));
+        assert!(matches!(&m.body[2], Stmt::Port(p) if p.dir == PortDir::Out));
+        assert!(matches!(&m.body[3], Stmt::Assign(_)));
+    }
+
+    #[test]
+    fn parses_figure6_instantiation_and_connection() {
+        let prog = parse_ok(
+            "instance d1:delay;\ninstance d2:delay;\nd1.initial_state = 1;\nd1.out -> d2.in;\n",
+        );
+        assert_eq!(prog.top.len(), 4);
+        assert!(matches!(&prog.top[0], Stmt::Instance(i) if i.name.name == "d1"));
+        assert!(matches!(&prog.top[2], Stmt::Assign(_)));
+        match &prog.top[3] {
+            Stmt::Connect(c) => assert!(c.ty.is_none()),
+            other => panic!("expected connect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_figure8_delayn() {
+        let prog = parse_ok(
+            r#"
+            module delayn {
+                parameter n:int;
+                inport in: 'a;
+                outport out: 'a;
+                var delays:instance ref[];
+                delays = new instance[n](delay, "delays");
+                var i:int;
+                in -> delays[0].in;
+                for (i = 1; i < n; i = i + 1) {
+                    delays[i-1].out -> delays[i].in;
+                }
+                delays[n-1].out -> out;
+            };
+            "#,
+        );
+        let m = &prog.modules[0];
+        assert_eq!(m.name.name, "delayn");
+        // parameter, inport, outport, var, assign(new), var, connect, for, connect
+        assert_eq!(m.body.len(), 9);
+        match &m.body[1] {
+            Stmt::Port(p) => assert!(matches!(&p.ty, TypeExpr::Var(v) if v.name == "a")),
+            other => panic!("expected port, got {other:?}"),
+        }
+        match &m.body[3] {
+            Stmt::Var(v) => {
+                assert_eq!(v.ty, Some(TypeExpr::InstanceRef { array: true }));
+            }
+            other => panic!("expected var, got {other:?}"),
+        }
+        match &m.body[4] {
+            Stmt::Assign(a) => {
+                assert!(matches!(&a.value.kind, ExprKind::NewInstanceArray { .. }));
+            }
+            other => panic!("expected assign, got {other:?}"),
+        }
+        assert!(matches!(&m.body[7], Stmt::For(_)));
+    }
+
+    #[test]
+    fn parses_disjunctive_port_type() {
+        let prog = parse_ok("module alu { inport a: int|float; };");
+        match &prog.modules[0].body[0] {
+            Stmt::Port(p) => match &p.ty {
+                TypeExpr::Disjunction(alts) => {
+                    assert_eq!(alts, &vec![TypeExpr::Int, TypeExpr::Float]);
+                }
+                other => panic!("expected disjunction, got {other:?}"),
+            },
+            other => panic!("expected port, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_userpoint_parameter() {
+        let prog = parse_ok(
+            "module arb { parameter policy: userpoint(reqs: int, count: int => int); };",
+        );
+        match &prog.modules[0].body[0] {
+            Stmt::Parameter(p) => match &p.ty {
+                TypeExpr::Userpoint(sig) => {
+                    assert_eq!(sig.args.len(), 2);
+                    assert_eq!(sig.args[0].0.name, "reqs");
+                    assert_eq!(*sig.ret, TypeExpr::Int);
+                }
+                other => panic!("expected userpoint type, got {other:?}"),
+            },
+            other => panic!("expected parameter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_struct_and_array_types() {
+        let prog = parse_ok("module m { inport a: struct { x:int; y:float[4]; }; };");
+        match &prog.modules[0].body[0] {
+            Stmt::Port(p) => match &p.ty {
+                TypeExpr::Struct(fields) => {
+                    assert_eq!(fields.len(), 2);
+                    assert!(matches!(&fields[1].1, TypeExpr::Array(..)));
+                }
+                other => panic!("expected struct, got {other:?}"),
+            },
+            other => panic!("expected port, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_connection_annotation_and_explicit_instantiation() {
+        let prog = parse_ok("a.out -> b.in : int;\nb.out :: float;\n");
+        match &prog.top[0] {
+            Stmt::Connect(c) => assert_eq!(c.ty, Some(TypeExpr::Int)),
+            other => panic!("expected connect, got {other:?}"),
+        }
+        match &prog.top[1] {
+            Stmt::TypeInstantiation(t) => assert_eq!(t.ty, TypeExpr::Float),
+            other => panic!("expected type instantiation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_chain_and_while() {
+        let prog = parse_ok(
+            "module m { var x:int = 0; if (x < 1) { x = 1; } else if (x < 2) { x = 2; } else { x = 3; } while (x > 0) { x = x - 1; } };",
+        );
+        let m = &prog.modules[0];
+        assert!(matches!(&m.body[1], Stmt::If(i) if i.else_body.len() == 1));
+        assert!(matches!(&m.body[2], Stmt::While(_)));
+    }
+
+    #[test]
+    fn parses_runtime_var_event_collector() {
+        let prog = parse_ok(
+            r#"
+            module bp {
+                runtime var hits:int = 0;
+                event predicted(int, bool);
+            };
+            instance b:bp;
+            collector b : predicted = "hits = hits + 1";
+            "#,
+        );
+        let m = &prog.modules[0];
+        assert!(matches!(&m.body[0], Stmt::RuntimeVar(v) if v.name.name == "hits"));
+        assert!(matches!(&m.body[1], Stmt::Event(e) if e.args.len() == 2));
+        assert!(matches!(&prog.top[1], Stmt::Collector(_)));
+    }
+
+    #[test]
+    fn parses_operator_precedence() {
+        let prog = parse_ok("var x:int = 1 + 2 * 3 < 7 && true ? 1 : 0;");
+        match &prog.top[0] {
+            Stmt::Var(v) => {
+                let init = v.init.as_ref().unwrap();
+                // Top node must be the ternary.
+                assert!(matches!(&init.kind, ExprKind::Ternary(..)));
+            }
+            other => panic!("expected var, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_fun_and_return() {
+        let prog = parse_ok("fun twice(x) { return x * 2; }\nvar y:int = twice(21);");
+        assert!(matches!(&prog.top[0], Stmt::Fun(f) if f.params.len() == 1));
+    }
+
+    #[test]
+    fn parses_calls_and_paths() {
+        let prog = parse_ok("LSS_connect_bus(gen.out, delay3.in, 5);");
+        match &prog.top[0] {
+            Stmt::Expr(e) => match &e.kind {
+                ExprKind::Call(callee, args) => {
+                    assert_eq!(callee.as_ident().unwrap().name, "LSS_connect_bus");
+                    assert_eq!(args.len(), 3);
+                }
+                other => panic!("expected call, got {other:?}"),
+            },
+            other => panic!("expected expr stmt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_missing_semicolon_recovers() {
+        let diags = parse_err("instance a:delay\ninstance b:delay;");
+        assert!(diags.iter().any(|d| d.message.contains("expected `;`")));
+    }
+
+    #[test]
+    fn error_on_bad_type() {
+        parse_err("module m { inport a: 3; };");
+    }
+
+    #[test]
+    fn error_on_unclosed_module_body() {
+        parse_err("module m { inport a: int;");
+    }
+
+    #[test]
+    fn parses_port_index_connection() {
+        let prog = parse_ok("a.out[2] -> b.in[0];");
+        match &prog.top[0] {
+            Stmt::Connect(c) => {
+                assert!(matches!(&c.src.kind, ExprKind::Index(..)));
+                assert!(matches!(&c.dst.kind, ExprKind::Index(..)));
+            }
+            other => panic!("expected connect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_width_access() {
+        let prog = parse_ok("module m { inport in:'a; outport out:'a; if (out.width < in.width) { } };");
+        assert!(matches!(&prog.modules[0].body[2], Stmt::If(_)));
+    }
+
+    #[test]
+    fn empty_statement_is_tolerated() {
+        let prog = parse_ok(";;");
+        assert_eq!(prog.top.len(), 2);
+    }
+}

@@ -1,0 +1,267 @@
+//! Source positions, spans, and the source map.
+//!
+//! Every AST node carries a [`Span`] pointing back into the source text so
+//! that diagnostics produced by later phases (interpretation, type
+//! inference, netlist checks) can show the offending LSS code.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies a file registered in a [`SourceMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u32);
+
+/// A half-open byte range `[start, end)` within a single source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// File the span points into.
+    pub file: FileId,
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a new span. `start` must not exceed `end`.
+    pub fn new(file: FileId, start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start {start} past end {end}");
+        Span { file, start, end }
+    }
+
+    /// A zero-length span used for synthesized nodes.
+    pub fn synthetic() -> Self {
+        Span { file: FileId(u32::MAX), start: 0, end: 0 }
+    }
+
+    /// Returns true for spans produced by [`Span::synthetic`].
+    pub fn is_synthetic(&self) -> bool {
+        self.file == FileId(u32::MAX)
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the spans point into different files.
+    pub fn merge(self, other: Span) -> Span {
+        if self.is_synthetic() {
+            return other;
+        }
+        if other.is_synthetic() {
+            return self;
+        }
+        debug_assert_eq!(self.file, other.file, "merging spans from different files");
+        Span { file: self.file, start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A value together with the span it came from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Spanned<T> {
+    /// The wrapped value.
+    pub node: T,
+    /// Where it appeared in the source.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Wraps `node` with `span`.
+    pub fn new(node: T, span: Span) -> Self {
+        Spanned { node, span }
+    }
+
+    /// Maps the wrapped value, preserving the span.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Spanned<U> {
+        Spanned { node: f(self.node), span: self.span }
+    }
+}
+
+/// A single registered source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Display name (path or pseudo-name like `<model A>`).
+    pub name: String,
+    /// Full text of the file.
+    pub text: Arc<str>,
+    /// Byte offsets of the start of each line (always contains 0).
+    line_starts: Vec<u32>,
+}
+
+impl SourceFile {
+    fn new(name: String, text: Arc<str>) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceFile { name, text, line_starts }
+    }
+
+    /// Converts a byte offset to a 1-based `(line, column)` pair.
+    pub fn line_col(&self, offset: u32) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(l) => l,
+            Err(l) => l - 1,
+        };
+        let col = offset - self.line_starts[line];
+        (line as u32 + 1, col + 1)
+    }
+
+    /// Returns the full text of 1-based line `line`, without the newline.
+    pub fn line_text(&self, line: u32) -> &str {
+        let idx = (line - 1) as usize;
+        let start = self.line_starts[idx] as usize;
+        let end = self
+            .line_starts
+            .get(idx + 1)
+            .map(|&e| e as usize)
+            .unwrap_or(self.text.len());
+        self.text[start..end].trim_end_matches(['\n', '\r'])
+    }
+
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+/// Collection of all source files seen during a compilation.
+///
+/// The map hands out [`FileId`]s and resolves spans back to human-readable
+/// positions when diagnostics are rendered.
+#[derive(Debug, Default)]
+pub struct SourceMap {
+    files: Vec<SourceFile>,
+}
+
+impl SourceMap {
+    /// Creates an empty source map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a file and returns its id.
+    pub fn add_file(&mut self, name: impl Into<String>, text: impl Into<Arc<str>>) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(SourceFile::new(name.into(), text.into()));
+        id
+    }
+
+    /// Looks up a registered file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this map.
+    pub fn file(&self, id: FileId) -> &SourceFile {
+        &self.files[id.0 as usize]
+    }
+
+    /// Returns the file for `id` if it exists and is not synthetic.
+    pub fn get(&self, id: FileId) -> Option<&SourceFile> {
+        self.files.get(id.0 as usize)
+    }
+
+    /// The source text covered by `span`, or `None` for synthetic spans.
+    pub fn snippet(&self, span: Span) -> Option<&str> {
+        if span.is_synthetic() {
+            return None;
+        }
+        let file = self.get(span.file)?;
+        file.text.get(span.start as usize..span.end as usize)
+    }
+
+    /// Formats a span as `name:line:col`.
+    pub fn describe(&self, span: Span) -> String {
+        if span.is_synthetic() {
+            return "<synthesized>".to_string();
+        }
+        match self.get(span.file) {
+            Some(f) => {
+                let (line, col) = f.line_col(span.start);
+                format!("{}:{}:{}", f.name, line, col)
+            }
+            None => "<unknown>".to_string(),
+        }
+    }
+
+    /// Iterates over all registered files.
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, &SourceFile)> {
+        self.files.iter().enumerate().map(|(i, f)| (FileId(i as u32), f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_lookup() {
+        let mut map = SourceMap::new();
+        let id = map.add_file("t.lss", "abc\ndef\n\nx");
+        let f = map.file(id);
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(2), (1, 3));
+        assert_eq!(f.line_col(4), (2, 1));
+        assert_eq!(f.line_col(8), (3, 1));
+        assert_eq!(f.line_col(9), (4, 1));
+        assert_eq!(f.line_count(), 4);
+    }
+
+    #[test]
+    fn line_text_strips_newline() {
+        let mut map = SourceMap::new();
+        let id = map.add_file("t.lss", "abc\r\ndef");
+        let f = map.file(id);
+        assert_eq!(f.line_text(1), "abc");
+        assert_eq!(f.line_text(2), "def");
+    }
+
+    #[test]
+    fn span_merge_and_snippet() {
+        let mut map = SourceMap::new();
+        let id = map.add_file("t.lss", "hello world");
+        let a = Span::new(id, 0, 5);
+        let b = Span::new(id, 6, 11);
+        let m = a.merge(b);
+        assert_eq!(map.snippet(m), Some("hello world"));
+        assert_eq!(m.len(), 11);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn synthetic_span_merges_transparently() {
+        let mut map = SourceMap::new();
+        let id = map.add_file("t.lss", "hello");
+        let a = Span::new(id, 1, 3);
+        assert_eq!(Span::synthetic().merge(a), a);
+        assert_eq!(a.merge(Span::synthetic()), a);
+        assert!(Span::synthetic().is_synthetic());
+        assert_eq!(map.describe(Span::synthetic()), "<synthesized>");
+    }
+
+    #[test]
+    fn describe_points_at_line_and_col() {
+        let mut map = SourceMap::new();
+        let id = map.add_file("m.lss", "module d {\n  inport in:int;\n}");
+        let span = Span::new(id, 13, 19);
+        assert_eq!(map.describe(span), "m.lss:2:3");
+    }
+}

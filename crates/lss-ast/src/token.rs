@@ -1,0 +1,287 @@
+//! Token definitions for the LSS lexer.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    /// An identifier such as `delayn` or `tar_file`.
+    Ident(String),
+    /// A type variable, written `'a` in source.
+    TypeVar(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A string literal (already unescaped).
+    Str(String),
+
+    // Keywords.
+    /// `module`
+    Module,
+    /// `parameter`
+    Parameter,
+    /// `inport`
+    Inport,
+    /// `outport`
+    Outport,
+    /// `instance`
+    Instance,
+    /// `var`
+    Var,
+    /// `new`
+    New,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `for`
+    For,
+    /// `while`
+    While,
+    /// `struct`
+    Struct,
+    /// `userpoint`
+    Userpoint,
+    /// `runtime`
+    Runtime,
+    /// `event`
+    Event,
+    /// `collector`
+    Collector,
+    /// `ref`
+    Ref,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `int`
+    IntTy,
+    /// `bool`
+    BoolTy,
+    /// `float`
+    FloatTy,
+    /// `string`
+    StringTy,
+    /// `return`
+    Return,
+    /// `fun` — compile-time helper function definition.
+    Fun,
+
+    // Punctuation and operators.
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `::` — explicit port type instantiation.
+    ColonColon,
+    /// `.`
+    Dot,
+    /// `->` — port connection.
+    Arrow,
+    /// `=>` — userpoint argument/result separator.
+    FatArrow,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `|` — disjunctive type separator.
+    Pipe,
+    /// `?`
+    Question,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Maps an identifier to a keyword kind, if it is one.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "module" => TokenKind::Module,
+            "parameter" => TokenKind::Parameter,
+            "inport" => TokenKind::Inport,
+            "outport" => TokenKind::Outport,
+            "instance" => TokenKind::Instance,
+            "var" => TokenKind::Var,
+            "new" => TokenKind::New,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "for" => TokenKind::For,
+            "while" => TokenKind::While,
+            "struct" => TokenKind::Struct,
+            "userpoint" => TokenKind::Userpoint,
+            "runtime" => TokenKind::Runtime,
+            "event" => TokenKind::Event,
+            "collector" => TokenKind::Collector,
+            "ref" => TokenKind::Ref,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "int" => TokenKind::IntTy,
+            "bool" => TokenKind::BoolTy,
+            "float" => TokenKind::FloatTy,
+            "string" => TokenKind::StringTy,
+            "return" => TokenKind::Return,
+            "fun" => TokenKind::Fun,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::TypeVar(s) => format!("type variable `'{s}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Float(v) => format!("float `{v}`"),
+            TokenKind::Str(_) => "string literal".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{other}`"),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TokenKind::Ident(s) => return write!(f, "{s}"),
+            TokenKind::TypeVar(s) => return write!(f, "'{s}"),
+            TokenKind::Int(v) => return write!(f, "{v}"),
+            TokenKind::Float(v) => return write!(f, "{v}"),
+            TokenKind::Str(s) => return write!(f, "{s:?}"),
+            TokenKind::Module => "module",
+            TokenKind::Parameter => "parameter",
+            TokenKind::Inport => "inport",
+            TokenKind::Outport => "outport",
+            TokenKind::Instance => "instance",
+            TokenKind::Var => "var",
+            TokenKind::New => "new",
+            TokenKind::If => "if",
+            TokenKind::Else => "else",
+            TokenKind::For => "for",
+            TokenKind::While => "while",
+            TokenKind::Struct => "struct",
+            TokenKind::Userpoint => "userpoint",
+            TokenKind::Runtime => "runtime",
+            TokenKind::Event => "event",
+            TokenKind::Collector => "collector",
+            TokenKind::Ref => "ref",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::IntTy => "int",
+            TokenKind::BoolTy => "bool",
+            TokenKind::FloatTy => "float",
+            TokenKind::StringTy => "string",
+            TokenKind::Return => "return",
+            TokenKind::Fun => "fun",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Colon => ":",
+            TokenKind::ColonColon => "::",
+            TokenKind::Dot => ".",
+            TokenKind::Arrow => "->",
+            TokenKind::FatArrow => "=>",
+            TokenKind::Eq => "=",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Bang => "!",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::Pipe => "|",
+            TokenKind::Question => "?",
+            TokenKind::Eof => "<eof>",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip() {
+        for kw in ["module", "parameter", "inport", "outport", "instance", "var", "new", "if",
+                   "else", "for", "while", "struct", "userpoint", "runtime", "event",
+                   "collector", "ref", "true", "false", "int", "bool", "float", "string",
+                   "return", "fun"] {
+            let k = TokenKind::keyword(kw).unwrap_or_else(|| panic!("{kw} should be a keyword"));
+            assert_eq!(k.to_string(), kw);
+        }
+        assert_eq!(TokenKind::keyword("delay"), None);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::Arrow.describe(), "`->`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+        assert_eq!(TokenKind::TypeVar("a".into()).describe(), "type variable `'a`");
+    }
+}

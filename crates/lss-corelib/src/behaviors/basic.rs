@@ -1,0 +1,219 @@
+//! Basic data-movement components: sources, sinks, registers, fan-out.
+
+use lss_sim::{BuildError, CompCtx, CompSpec, Component, SimError};
+use lss_types::{Datum, Ty};
+
+/// `corelib/source.tar` — emits a value on every lane of `out` each cycle.
+///
+/// For `int` ports it counts from `start`; for any other inferred type it
+/// emits the type's default value (the polymorphic case).
+pub struct Source {
+    out: usize,
+    start: i64,
+    ty: Ty,
+}
+
+impl Source {
+    /// Factory.
+    pub fn new(spec: &CompSpec) -> Result<Box<dyn Component>, BuildError> {
+        let out = spec.port_index("out")?;
+        Ok(Box::new(Source {
+            out,
+            start: spec.int_param_or("start", 0)?,
+            ty: spec.ports[out].ty.clone(),
+        }))
+    }
+}
+
+impl Component for Source {
+    fn eval(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        let value = match self.ty {
+            Ty::Int => Datum::Int(self.start + ctx.cycle() as i64),
+            ref other => Datum::default_for(other),
+        };
+        for lane in 0..ctx.width(self.out) {
+            ctx.set_output(self.out, lane, value.clone());
+        }
+        Ok(())
+    }
+}
+
+/// `corelib/sink.tar` — consumes everything on `in`, counting arrivals in
+/// the runtime variable `count` (declared by the corelib module).
+pub struct Sink {
+    inp: usize,
+}
+
+impl Sink {
+    /// Factory.
+    pub fn new(spec: &CompSpec) -> Result<Box<dyn Component>, BuildError> {
+        Ok(Box::new(Sink { inp: spec.port_index("in")? }))
+    }
+}
+
+impl Component for Sink {
+    fn eval(&mut self, _ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        Ok(())
+    }
+
+    fn end_of_timestep(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        let mut count = ctx.rtv("count").as_int().unwrap_or(0);
+        for lane in 0..ctx.width(self.inp) {
+            if ctx.input(self.inp, lane).is_some() {
+                count += 1;
+            }
+        }
+        ctx.set_rtv("count", Datum::Int(count));
+        Ok(())
+    }
+
+    fn input_is_combinational(&self, _port: usize) -> bool {
+        false
+    }
+}
+
+/// `corelib/delay.tar` — the paper's Figure 5 single-cycle delay element:
+/// `out` carries the state (initially `initial_state`), which takes `in`'s
+/// value at the end of each cycle.
+pub struct Delay {
+    inp: usize,
+    out: usize,
+    state: Datum,
+}
+
+impl Delay {
+    /// Factory.
+    pub fn new(spec: &CompSpec) -> Result<Box<dyn Component>, BuildError> {
+        Ok(Box::new(Delay {
+            inp: spec.port_index("in")?,
+            out: spec.port_index("out")?,
+            state: Datum::Int(spec.int_param_or("initial_state", 0)?),
+        }))
+    }
+}
+
+impl Component for Delay {
+    fn eval(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        for lane in 0..ctx.width(self.out) {
+            ctx.set_output(self.out, lane, self.state.clone());
+        }
+        Ok(())
+    }
+
+    fn end_of_timestep(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        if let Some(v) = ctx.input(self.inp, 0) {
+            self.state = v;
+        }
+        Ok(())
+    }
+
+    fn input_is_combinational(&self, _port: usize) -> bool {
+        false
+    }
+}
+
+/// `corelib/latch.tar` — a polymorphic register: each `out` lane carries
+/// what the matching `in` lane held at the end of the previous cycle
+/// (nothing in the first cycle).
+pub struct Latch {
+    inp: usize,
+    out: usize,
+    state: Vec<Option<Datum>>,
+}
+
+impl Latch {
+    /// Factory.
+    pub fn new(spec: &CompSpec) -> Result<Box<dyn Component>, BuildError> {
+        Ok(Box::new(Latch {
+            inp: spec.port_index("in")?,
+            out: spec.port_index("out")?,
+            state: Vec::new(),
+        }))
+    }
+}
+
+impl Component for Latch {
+    fn eval(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        for lane in 0..ctx.width(self.out) {
+            if let Some(v) = self.state.get(lane as usize).cloned().flatten() {
+                ctx.set_output(self.out, lane, v);
+            }
+        }
+        Ok(())
+    }
+
+    fn end_of_timestep(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        let lanes = ctx.width(self.inp).max(ctx.width(self.out)) as usize;
+        self.state.resize(lanes, None);
+        for lane in 0..lanes {
+            self.state[lane] = ctx.input(self.inp, lane as u32);
+        }
+        Ok(())
+    }
+
+    fn input_is_combinational(&self, _port: usize) -> bool {
+        false
+    }
+}
+
+/// `corelib/tee.tar` — combinational fan-out: copies `in[0]` to every lane
+/// of `out`.
+pub struct Tee {
+    inp: usize,
+    out: usize,
+}
+
+impl Tee {
+    /// Factory.
+    pub fn new(spec: &CompSpec) -> Result<Box<dyn Component>, BuildError> {
+        Ok(Box::new(Tee { inp: spec.port_index("in")?, out: spec.port_index("out")? }))
+    }
+}
+
+impl Component for Tee {
+    fn eval(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        if let Some(v) = ctx.input(self.inp, 0) {
+            for lane in 0..ctx.width(self.out) {
+                ctx.set_output(self.out, lane, v.clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `corelib/probe.tar` — a pure observation tap: counts arrivals per lane
+/// into the `seen` runtime variable and emits an `observed` event per
+/// value. Lets models be instrumented without touching other components
+/// (§4.5).
+pub struct Probe {
+    inp: usize,
+}
+
+impl Probe {
+    /// Factory.
+    pub fn new(spec: &CompSpec) -> Result<Box<dyn Component>, BuildError> {
+        Ok(Box::new(Probe { inp: spec.port_index("in")? }))
+    }
+}
+
+impl Component for Probe {
+    fn eval(&mut self, _ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        Ok(())
+    }
+
+    fn end_of_timestep(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        let mut seen = ctx.rtv("seen").as_int().unwrap_or(0);
+        for lane in 0..ctx.width(self.inp) {
+            if let Some(v) = ctx.input(self.inp, lane) {
+                seen += 1;
+                ctx.emit("observed", vec![v]);
+            }
+        }
+        ctx.set_rtv("seen", Datum::Int(seen));
+        Ok(())
+    }
+
+    fn input_is_combinational(&self, _port: usize) -> bool {
+        false
+    }
+}

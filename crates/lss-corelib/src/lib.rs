@@ -1,0 +1,37 @@
+//! The Liberty reusable component library.
+//!
+//! Mirrors the paper's shared 22-component library (Table 2): LSS module
+//! declarations (`corelib.lss`, exposed via [`corelib_source`]) plus their
+//! Rust leaf behaviors keyed by `tar_file` (our documented substitute for
+//! the paper's BSL `.tar` payloads), a [`registry()`](registry()) binding them together,
+//! and the synthetic instruction workload generator in [`instr`].
+//!
+//! # Example
+//!
+//! ```
+//! use lss_corelib::{corelib_source, registry};
+//!
+//! let src = corelib_source();
+//! assert!(src.contains("module delayn"));
+//! assert_eq!(registry().len(), 22);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod behaviors {
+    //! Rust implementations of the corelib leaf behaviors.
+    pub mod basic;
+    pub mod compute;
+    pub mod cpu;
+    pub mod flow;
+}
+pub mod instr;
+pub mod registry;
+
+pub use instr::{instr_ty, Instr, Mix, OpClass, Workload, INSTR_TYPE_LSS};
+pub use registry::registry;
+
+/// The corelib LSS source with the instruction struct type spliced in.
+pub fn corelib_source() -> String {
+    include_str!("../lss/corelib.lss").replace("INSTR_T", INSTR_TYPE_LSS)
+}

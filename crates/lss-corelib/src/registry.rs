@@ -1,0 +1,48 @@
+//! The behavior registry: maps every corelib `tar_file` key to its Rust
+//! implementation.
+
+use lss_sim::ComponentRegistry;
+
+use crate::behaviors::{basic, compute, cpu, flow};
+
+/// Builds a registry with every corelib behavior registered.
+pub fn registry() -> ComponentRegistry {
+    let mut reg = ComponentRegistry::new();
+    // Basic elements.
+    reg.register("corelib/source.tar", basic::Source::new);
+    reg.register("corelib/sink.tar", basic::Sink::new);
+    reg.register("corelib/delay.tar", basic::Delay::new);
+    reg.register("corelib/latch.tar", basic::Latch::new);
+    reg.register("corelib/tee.tar", basic::Tee::new);
+    reg.register("corelib/probe.tar", basic::Probe::new);
+    // Data-flow plumbing.
+    reg.register("corelib/queue.tar", flow::Queue::new);
+    reg.register("corelib/arbiter.tar", flow::Arbiter::new);
+    reg.register("corelib/mux.tar", flow::Mux::new);
+    reg.register("corelib/demux.tar", flow::Demux::new);
+    // Computation and storage.
+    reg.register("corelib/alu.tar", compute::Alu::new);
+    reg.register("corelib/regfile.tar", compute::RegFile::new);
+    reg.register("corelib/ram.tar", compute::Ram::new);
+    reg.register("corelib/memory.tar", compute::MemoryLat::new);
+    reg.register("corelib/cache.tar", compute::Cache::new);
+    // Processor pipeline.
+    reg.register("corelib/fetch.tar", cpu::Fetch::new);
+    reg.register("corelib/decode.tar", cpu::Decode::new);
+    reg.register("corelib/dispatch.tar", cpu::Dispatch::new);
+    reg.register("corelib/issue.tar", cpu::Issue::new);
+    reg.register("corelib/fu.tar", cpu::Fu::new);
+    reg.register("corelib/commit.tar", cpu::Commit::new);
+    reg.register("corelib/bp.tar", cpu::BranchPred::new);
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_22_leaf_behaviors() {
+        assert_eq!(registry().len(), 22);
+    }
+}

@@ -1,0 +1,1736 @@
+//! The LSS evaluator: compile-time elaboration with deferred instantiation.
+//!
+//! This implements the paper's §6.2 evaluation semantics. The program state
+//! is the 7-tuple `(M, Is, L, A, B, e, S)`:
+//!
+//! * `M` — the netlist being built ([`lss_netlist::Netlist`]);
+//! * `Is` — the instantiation stack (the elaborator's stack);
+//! * `L` — the evaluation context ([`crate::env::Env`] within the per-body context);
+//! * `A` — recorded uses of the instance currently elaborating
+//!   (the per-body `a` record);
+//! * `B` — recorded uses of children created by the current body
+//!   (the per-child use contexts);
+//! * `e`, `S` — the expression/statement under evaluation (implicit in the
+//!   recursive-interpreter control flow).
+//!
+//! The two key transition rules are implemented exactly:
+//!
+//! * `instance n : m;` **pushes** `(c.n, body(m))` onto `Is` and continues
+//!   with the current statement list — the module body does *not* run yet;
+//!   subsequent assignments to `n.field` and connections to `n.port` are
+//!   recorded into `B`.
+//! * When the current statement list is exhausted, the top of `Is` is
+//!   popped, its records are extracted from `B` into `A`, and its body
+//!   runs. `parameter` declarations consume matching records (or fall back
+//!   to defaults); `port` declarations read the recorded connection count
+//!   as their inferred `width` (use-based specialization, §6.1). Records
+//!   left in `A` when the body ends are "no such parameter/port" errors.
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use lss_ast::{
+    BinOp, DiagnosticBag, Expr, ExprKind, ModuleDecl, PortDir, Program, Span, Stmt, TypeExpr,
+    UnOp,
+};
+use lss_netlist::{
+    Collector, Connection, Dir, Endpoint, EventDecl, Instance, InstanceId, InstanceKind,
+    ModuleMeta, Netlist, Port, RuntimeVar, Userpoint,
+};
+use lss_types::{Constraint, ConstraintOrigin, Datum, Scheme, Ty, TyVar};
+
+use crate::env::Env;
+use crate::records::{ConnRec, EndRec, ParamAssign, UseCtx};
+use crate::value::Value;
+
+/// Elaboration limits and switches.
+#[derive(Debug, Clone)]
+pub struct ElabOptions {
+    /// Maximum number of instances (guards runaway recursion).
+    pub max_instances: usize,
+    /// Maximum number of statements executed (guards infinite loops).
+    pub max_steps: u64,
+    /// Record a machine-step trace (used by the §6.2 semantics tests).
+    pub trace: bool,
+}
+
+impl Default for ElabOptions {
+    fn default() -> Self {
+        ElabOptions { max_instances: 100_000, max_steps: 50_000_000, trace: false }
+    }
+}
+
+/// One input program plus whether it is part of the shared component
+/// library (drives the Table 2 "from library" metrics).
+#[derive(Debug, Clone, Copy)]
+pub struct Unit<'a> {
+    /// The parsed program.
+    pub program: &'a Program,
+    /// True for library sources.
+    pub library: bool,
+}
+
+/// The result of a successful elaboration.
+#[derive(Debug)]
+pub struct ElabOutput {
+    /// The elaborated netlist (types not yet inferred; see
+    /// [`crate::typeck::infer`]).
+    pub netlist: Netlist,
+    /// Machine-step trace (empty unless [`ElabOptions::trace`]).
+    pub trace: Vec<String>,
+    /// Output of `print(...)` builtin calls.
+    pub prints: Vec<String>,
+}
+
+/// Elaborates `units` (library sources first by convention, though any
+/// order works) into a netlist.
+///
+/// On error, diagnostics are pushed into `diags` and `None` is returned.
+pub fn elaborate(
+    units: &[Unit<'_>],
+    opts: &ElabOptions,
+    diags: &mut DiagnosticBag,
+) -> Option<ElabOutput> {
+    let mut modules: HashMap<String, (Rc<ModuleDecl>, bool)> = HashMap::new();
+    let mut top: Vec<&Stmt> = Vec::new();
+    for unit in units {
+        for m in &unit.program.modules {
+            if let Some((prev, _)) = modules.get(&m.name.name) {
+                diags.push(
+                    lss_ast::Diagnostic::error(
+                        format!("module `{}` is declared twice", m.name.name),
+                        m.name.span,
+                    )
+                    .with_note_at("previous declaration here", prev.name.span),
+                );
+                return None;
+            }
+            modules.insert(m.name.name.clone(), (Rc::new(m.clone()), unit.library));
+        }
+        top.extend(unit.program.top.iter());
+    }
+    let mut elab = Elaborator {
+        modules,
+        netlist: Netlist::new(),
+        stack: Vec::new(),
+        pending_module: HashMap::new(),
+        use_ctx: HashMap::new(),
+        recorded_conns: Vec::new(),
+        ext_counters: HashMap::new(),
+        int_counters: HashMap::new(),
+        port_vars: HashMap::new(),
+        explicit_ports: HashSet::new(),
+        collector_recs: Vec::new(),
+        global_funs: HashMap::new(),
+        diags,
+        opts: opts.clone(),
+        steps: 0,
+        trace: Vec::new(),
+        prints: Vec::new(),
+    };
+    match elab.run(&top) {
+        Ok(()) => Some(ElabOutput {
+            netlist: elab.netlist,
+            trace: elab.trace,
+            prints: elab.prints,
+        }),
+        Err(Abort) => None,
+    }
+}
+
+/// Marker for "an error diagnostic was emitted; unwind".
+#[derive(Debug)]
+struct Abort;
+
+type EResult<T> = Result<T, Abort>;
+
+/// Statement-level control flow.
+enum Flow {
+    Normal,
+    Return(Value),
+}
+
+/// Per-body evaluation context (`L`, `A`, and the local interface tables).
+struct BodyCtx {
+    /// The instance whose body is running (`None` at top level).
+    inst: Option<InstanceId>,
+    /// Hierarchical path prefix ("" at top level).
+    path: String,
+    /// The evaluation context `L`.
+    env: Env,
+    /// Recorded uses extracted from the parent (`A`).
+    a: UseCtx,
+    /// Module-level type-variable scope (`'a` names to fresh vars).
+    tyvars: HashMap<String, TyVar>,
+    /// Ports declared so far on this body's instance.
+    self_ports: HashMap<String, Dir>,
+    /// The `tar_file` internal parameter, if set.
+    tar_file: Option<String>,
+    /// Whether any sub-instance was created.
+    made_children: bool,
+    /// Whether any `parameter` declaration ran (for `ModuleMeta::trivial`).
+    declared_params: bool,
+    /// Depth of `fun` calls (structural statements are forbidden inside).
+    fun_depth: u32,
+    /// True while elaborating a module that came from the shared library —
+    /// explicit type instantiations written by the library author are not
+    /// counted against the model's Table 2 totals.
+    in_library: bool,
+}
+
+impl BodyCtx {
+    fn top() -> Self {
+        BodyCtx {
+            inst: None,
+            path: String::new(),
+            env: Env::new(),
+            a: UseCtx::default(),
+            tyvars: HashMap::new(),
+            self_ports: HashMap::new(),
+            tar_file: None,
+            made_children: false,
+            declared_params: false,
+            fun_depth: 0,
+            in_library: false,
+        }
+    }
+
+    fn child_path(&self, name: &str) -> String {
+        if self.path.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{}", self.path, name)
+        }
+    }
+}
+
+struct Elaborator<'a> {
+    modules: HashMap<String, (Rc<ModuleDecl>, bool)>,
+    netlist: Netlist,
+    /// The instantiation stack `Is`.
+    stack: Vec<InstanceId>,
+    pending_module: HashMap<InstanceId, Rc<ModuleDecl>>,
+    /// The `B` contexts: recorded uses keyed by child instance.
+    use_ctx: HashMap<InstanceId, UseCtx>,
+    recorded_conns: Vec<ConnRec>,
+    /// External-side auto-index counters per (instance, port).
+    ext_counters: HashMap<(InstanceId, String), u32>,
+    /// Internal-side auto-index counters per (instance, port).
+    int_counters: HashMap<(InstanceId, String), u32>,
+    /// Lazily created per-port type variables.
+    port_vars: HashMap<(InstanceId, String), TyVar>,
+    /// Ports pinned by explicit type instantiation.
+    explicit_ports: HashSet<(InstanceId, String)>,
+    /// Collector records: (instance path, event, code, span).
+    collector_recs: Vec<(String, String, String, Span)>,
+    /// `fun` helpers declared at top level, visible in every module body.
+    global_funs: HashMap<String, Rc<lss_ast::FunDecl>>,
+    diags: &'a mut DiagnosticBag,
+    opts: ElabOptions,
+    steps: u64,
+    trace: Vec<String>,
+    prints: Vec<String>,
+}
+
+impl Elaborator<'_> {
+    // ---- driver ----------------------------------------------------------
+
+    fn run(&mut self, top: &[&Stmt]) -> EResult<()> {
+        let mut ctx = BodyCtx::top();
+        for stmt in top {
+            match self.exec_stmt(stmt, &mut ctx)? {
+                Flow::Normal => {}
+                Flow::Return(_) => {
+                    return self.err("`return` outside of a fun body", stmt.span());
+                }
+            }
+        }
+        self.check_consumed(&ctx)?;
+        // Pop the instantiation stack until empty (children are pushed
+        // during their parents' bodies and popped LIFO).
+        while let Some(id) = self.stack.pop() {
+            self.elaborate_instance(id)?;
+        }
+        self.finalize()
+    }
+
+    fn err<T>(&mut self, msg: impl Into<String>, span: Span) -> EResult<T> {
+        self.diags.error(msg, span);
+        Err(Abort)
+    }
+
+    fn tick(&mut self, span: Span) -> EResult<()> {
+        self.steps += 1;
+        if self.steps > self.opts.max_steps {
+            return self.err(
+                format!("elaboration exceeded {} steps (infinite loop?)", self.opts.max_steps),
+                span,
+            );
+        }
+        Ok(())
+    }
+
+    fn trace(&mut self, msg: impl FnOnce() -> String) {
+        if self.opts.trace {
+            self.trace.push(msg());
+        }
+    }
+
+    // ---- instance elaboration (pop rule) ---------------------------------
+
+    fn elaborate_instance(&mut self, id: InstanceId) -> EResult<()> {
+        let module = self
+            .pending_module
+            .remove(&id)
+            .expect("popped instance must have a pending module body");
+        let (path, parent_known) = {
+            let inst = self.netlist.instance(id);
+            (inst.path.clone(), inst.from_library)
+        };
+        self.trace(|| format!("pop {path}"));
+        let a = self.use_ctx.remove(&id).unwrap_or_default();
+        let in_library = self
+            .modules
+            .get(&module.name.name)
+            .map(|(_, library)| *library)
+            .unwrap_or(false);
+        let mut ctx = BodyCtx {
+            inst: Some(id),
+            path: path.clone(),
+            env: Env::new(),
+            a,
+            tyvars: HashMap::new(),
+            self_ports: HashMap::new(),
+            tar_file: None,
+            made_children: false,
+            declared_params: false,
+            fun_depth: 0,
+            in_library,
+        };
+        for stmt in module.body.iter() {
+            match self.exec_stmt(stmt, &mut ctx)? {
+                Flow::Normal => {}
+                Flow::Return(_) => {
+                    return self.err("`return` outside of a fun body", stmt.span());
+                }
+            }
+        }
+        self.check_consumed(&ctx)?;
+        // Determine the instance kind.
+        let kind = match (&ctx.tar_file, ctx.made_children) {
+            (Some(tar), false) => InstanceKind::Leaf { tar_file: tar.clone() },
+            (Some(_), true) => {
+                return self.err(
+                    format!("module `{}` sets tar_file but also instantiates sub-modules", module.name.name),
+                    module.name.span,
+                );
+            }
+            (None, _) => InstanceKind::Hierarchical,
+        };
+        let hierarchical = matches!(kind, InstanceKind::Hierarchical);
+        self.netlist.instance_mut(id).kind = kind;
+        self.netlist.modules.entry(module.name.name.clone()).or_insert(ModuleMeta {
+            hierarchical,
+            from_library: parent_known,
+            trivial: hierarchical && !ctx.declared_params,
+        });
+        Ok(())
+    }
+
+    /// The paper's `A = ∅` check: leftover records mean the parent used a
+    /// parameter that the module never declared.
+    fn check_consumed(&mut self, ctx: &BodyCtx) -> EResult<()> {
+        if let Some(stray) = ctx.a.param_assigns.first() {
+            let path = &ctx.path;
+            return self.err(
+                format!(
+                    "instance `{path}` has no parameter named `{}` (assigned by its parent)",
+                    stray.field
+                ),
+                stray.span,
+            );
+        }
+        Ok(())
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn exec_block(&mut self, stmts: &[Stmt], ctx: &mut BodyCtx) -> EResult<Flow> {
+        ctx.env.push();
+        let mut flow = Flow::Normal;
+        for stmt in stmts {
+            match self.exec_stmt(stmt, ctx)? {
+                Flow::Normal => {}
+                ret @ Flow::Return(_) => {
+                    flow = ret;
+                    break;
+                }
+            }
+        }
+        ctx.env.pop();
+        Ok(flow)
+    }
+
+    fn require_structural(&mut self, what: &str, span: Span, ctx: &BodyCtx) -> EResult<()> {
+        if ctx.fun_depth > 0 {
+            self.diags.error(
+                format!("{what} is structural and cannot appear inside a fun body"),
+                span,
+            );
+            return Err(Abort);
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, ctx: &mut BodyCtx) -> EResult<Flow> {
+        self.tick(stmt.span())?;
+        match stmt {
+            Stmt::Parameter(decl) => {
+                self.require_structural("a parameter declaration", decl.span, ctx)?;
+                self.declare_parameter(decl, ctx)?;
+            }
+            Stmt::Port(decl) => {
+                self.require_structural("a port declaration", decl.span, ctx)?;
+                self.declare_port(decl, ctx)?;
+            }
+            Stmt::Instance(decl) => {
+                self.require_structural("an instance declaration", decl.span, ctx)?;
+                if ctx.env.get(&decl.name.name).is_some() || ctx.self_ports.contains_key(&decl.name.name)
+                {
+                    return self.err(
+                        format!("name `{}` is already declared", decl.name.name),
+                        decl.name.span,
+                    );
+                }
+                let id = self.create_instance(
+                    &decl.module.name,
+                    &ctx.child_path(&decl.name.name),
+                    ctx.inst,
+                    decl.span,
+                )?;
+                ctx.made_children = true;
+                ctx.env.declare(decl.name.name.clone(), Value::Instance(id));
+            }
+            Stmt::Var(decl) => {
+                if ctx.env.declared_here(&decl.name.name) {
+                    return self.err(
+                        format!("variable `{}` is already declared in this scope", decl.name.name),
+                        decl.name.span,
+                    );
+                }
+                let value = match (&decl.init, &decl.ty) {
+                    (Some(init), _) => self.eval(init, ctx)?,
+                    (None, Some(ty)) => self.default_value_for(ty, decl.span)?,
+                    (None, None) => {
+                        return self.err(
+                            "variable needs a type or an initializer",
+                            decl.span,
+                        )
+                    }
+                };
+                if let Some(ty) = &decl.ty {
+                    self.check_var_type(&value, ty, decl.span)?;
+                }
+                ctx.env.declare(decl.name.name.clone(), value);
+            }
+            Stmt::RuntimeVar(decl) => {
+                self.require_structural("a runtime variable", decl.span, ctx)?;
+                let Some(inst) = ctx.inst else {
+                    return self.err("runtime variables belong inside modules", decl.span);
+                };
+                let ty = self.convert_ground(&decl.ty, ctx, decl.span)?;
+                let init = match &decl.init {
+                    Some(e) => {
+                        let v = self.eval(e, ctx)?;
+                        match v.conform(&ty) {
+                            Some(d) => d,
+                            None => {
+                                return self.err(
+                                    format!(
+                                        "runtime variable `{}` initializer has type {}, expected {ty}",
+                                        decl.name.name,
+                                        v.kind()
+                                    ),
+                                    decl.span,
+                                )
+                            }
+                        }
+                    }
+                    None => Datum::default_for(&ty),
+                };
+                self.netlist.instance_mut(inst).runtime_vars.push(RuntimeVar {
+                    name: decl.name.name.clone(),
+                    ty,
+                    init,
+                });
+            }
+            Stmt::Event(decl) => {
+                self.require_structural("an event declaration", decl.span, ctx)?;
+                let Some(inst) = ctx.inst else {
+                    return self.err("events belong inside modules", decl.span);
+                };
+                let mut args = Vec::with_capacity(decl.args.len());
+                for a in &decl.args {
+                    args.push(self.convert_ground(a, ctx, decl.span)?);
+                }
+                self.netlist
+                    .instance_mut(inst)
+                    .events
+                    .push(EventDecl { name: decl.name.name.clone(), args });
+            }
+            Stmt::Collector(decl) => {
+                self.require_structural("a collector", decl.span, ctx)?;
+                let path = self.collector_path(&decl.target, ctx)?;
+                let code = match self.eval(&decl.body, ctx)? {
+                    Value::Str(s) => s,
+                    other => {
+                        return self.err(
+                            format!("collector body must be a BSL string, got {}", other.kind()),
+                            decl.body.span,
+                        )
+                    }
+                };
+                self.collector_recs.push((path, decl.event.name.clone(), code, decl.span));
+            }
+            Stmt::Assign(assign) => {
+                let value = self.eval(&assign.value, ctx)?;
+                self.assign_place(&assign.target, value, ctx)?;
+            }
+            Stmt::Connect(conn) => {
+                self.require_structural("a connection", conn.span, ctx)?;
+                let src = self.resolve_endpoint(&conn.src, ctx)?;
+                let dst = self.resolve_endpoint(&conn.dst, ctx)?;
+                let annot = match &conn.ty {
+                    Some(t) => Some(self.convert_scheme(t, ctx, conn.span)?),
+                    None => None,
+                };
+                self.record_connection(src, dst, annot, conn.span, ctx.in_library)?;
+            }
+            Stmt::TypeInstantiation(ti) => {
+                self.require_structural("a type instantiation", ti.span, ctx)?;
+                let (inst, port) = self.resolve_port_base(&ti.target, ctx)?;
+                let scheme = self.convert_scheme(&ti.ty, ctx, ti.span)?;
+                let var = self.port_var(inst, &port);
+                let target = format!("{}.{port}", self.netlist.instance(inst).path);
+                self.netlist.constraints.push(Constraint::with_origin(
+                    Scheme::Var(var),
+                    scheme,
+                    ConstraintOrigin::Annotation { target },
+                ));
+                if !ctx.in_library {
+                    self.netlist.elab.explicit_type_instantiations += 1;
+                }
+                self.explicit_ports.insert((inst, port));
+            }
+            Stmt::Expr(expr) => {
+                self.eval(expr, ctx)?;
+            }
+            Stmt::If(s) => {
+                let cond = self.eval_bool(&s.cond, ctx)?;
+                let body = if cond { &s.then_body } else { &s.else_body };
+                return self.exec_block(body, ctx);
+            }
+            Stmt::For(s) => {
+                ctx.env.push();
+                if let Some(init) = &s.init {
+                    if let Flow::Return(v) = self.exec_stmt(init, ctx)? {
+                        ctx.env.pop();
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                loop {
+                    self.tick(s.span)?;
+                    let go = match &s.cond {
+                        Some(c) => self.eval_bool(c, ctx)?,
+                        None => true,
+                    };
+                    if !go {
+                        break;
+                    }
+                    if let Flow::Return(v) = self.exec_block(&s.body, ctx)? {
+                        ctx.env.pop();
+                        return Ok(Flow::Return(v));
+                    }
+                    if let Some(step) = &s.step {
+                        if let Flow::Return(v) = self.exec_stmt(step, ctx)? {
+                            ctx.env.pop();
+                            return Ok(Flow::Return(v));
+                        }
+                    }
+                }
+                ctx.env.pop();
+            }
+            Stmt::While(s) => loop {
+                self.tick(s.span)?;
+                if !self.eval_bool(&s.cond, ctx)? {
+                    break;
+                }
+                if let Flow::Return(v) = self.exec_block(&s.body, ctx)? {
+                    return Ok(Flow::Return(v));
+                }
+            },
+            Stmt::Block(stmts, _) => return self.exec_block(stmts, ctx),
+            Stmt::Return(value, span) => {
+                if ctx.fun_depth == 0 {
+                    return self.err("`return` outside of a fun body", *span);
+                }
+                let v = match value {
+                    Some(e) => self.eval(e, ctx)?,
+                    None => Value::Unit,
+                };
+                return Ok(Flow::Return(v));
+            }
+            Stmt::Fun(decl) => {
+                if ctx.env.declared_here(&decl.name.name) {
+                    return self.err(
+                        format!("`{}` is already declared in this scope", decl.name.name),
+                        decl.name.span,
+                    );
+                }
+                let fun = Rc::new(decl.clone());
+                if ctx.inst.is_none() && ctx.fun_depth == 0 {
+                    // Top-level helpers are visible inside every module
+                    // body (they are pure compute, safe to share).
+                    self.global_funs.insert(decl.name.name.clone(), Rc::clone(&fun));
+                }
+                ctx.env.declare(decl.name.name.clone(), Value::Fun(fun));
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    // ---- declarations ------------------------------------------------------
+
+    fn declare_parameter(&mut self, decl: &lss_ast::ParamDecl, ctx: &mut BodyCtx) -> EResult<()> {
+        let Some(inst) = ctx.inst else {
+            return self.err("parameters belong inside modules", decl.span);
+        };
+        let name = &decl.name.name;
+        if ctx.env.get(name).is_some() || ctx.self_ports.contains_key(name) {
+            return self.err(format!("name `{name}` is already declared"), decl.name.span);
+        }
+        ctx.declared_params = true;
+        let recorded = ctx.a.take_assign(name);
+
+        if let TypeExpr::Userpoint(sig) = &decl.ty {
+            // Algorithmic parameter: the value is BSL code.
+            let mut args = Vec::with_capacity(sig.args.len());
+            for (arg_name, arg_ty) in &sig.args {
+                let ty = self.convert_ground(arg_ty, ctx, decl.span)?;
+                args.push((arg_name.name.clone(), ty));
+            }
+            let ret = self.convert_ground(&sig.ret, ctx, decl.span)?;
+            let code = match recorded {
+                Some(assign) => match assign.value {
+                    Value::Str(s) => s,
+                    other => {
+                        return self.err(
+                            format!(
+                                "userpoint `{name}` must be assigned BSL code (a string), got {}",
+                                other.kind()
+                            ),
+                            assign.span,
+                        )
+                    }
+                },
+                None => match &decl.default {
+                    Some(default) => {
+                        let v = self.eval(default, ctx)?;
+                        self.netlist.elab.defaulted_params += 1;
+                        match v {
+                            Value::Str(s) => s,
+                            other => {
+                                return self.err(
+                                    format!(
+                                        "userpoint `{name}` default must be a string, got {}",
+                                        other.kind()
+                                    ),
+                                    decl.span,
+                                )
+                            }
+                        }
+                    }
+                    None => {
+                        return self.err(
+                            format!(
+                                "userpoint `{name}` on `{}` has no value and no default",
+                                ctx.path
+                            ),
+                            decl.span,
+                        )
+                    }
+                },
+            };
+            self.trace(|| format!("userpoint {}.{name}", ctx.path));
+            ctx.env.declare(name.clone(), Value::Str(code.clone()));
+            self.netlist.instance_mut(inst).userpoints.push(Userpoint {
+                name: name.clone(),
+                args,
+                ret,
+                code,
+            });
+            return Ok(());
+        }
+
+        let ty = self.convert_ground(&decl.ty, ctx, decl.span)?;
+        let (datum, source) = match recorded {
+            Some(assign) => match assign.value.conform(&ty) {
+                Some(d) => (d, "recorded"),
+                None => {
+                    return self.err(
+                        format!(
+                            "parameter `{}.{name}` expects {ty}, got {}",
+                            ctx.path,
+                            assign.value.kind()
+                        ),
+                        assign.span,
+                    )
+                }
+            },
+            None => match &decl.default {
+                Some(default) => {
+                    let v = self.eval(default, ctx)?;
+                    match v.conform(&ty) {
+                        Some(d) => {
+                            self.netlist.elab.defaulted_params += 1;
+                            (d, "default")
+                        }
+                        None => {
+                            return self.err(
+                                format!(
+                                    "default for parameter `{name}` has type {}, expected {ty}",
+                                    v.kind()
+                                ),
+                                decl.span,
+                            )
+                        }
+                    }
+                }
+                None => {
+                    return self.err(
+                        format!("parameter `{}.{name}` has no value and no default", ctx.path),
+                        decl.span,
+                    )
+                }
+            },
+        };
+        self.trace(|| format!("param {}.{name} = {datum} ({source})", ctx.path));
+        ctx.env.declare(name.clone(), Value::from_datum(&datum));
+        self.netlist.instance_mut(inst).params.insert(name.clone(), datum);
+        Ok(())
+    }
+
+    fn declare_port(&mut self, decl: &lss_ast::PortDecl, ctx: &mut BodyCtx) -> EResult<()> {
+        let Some(inst) = ctx.inst else {
+            return self.err("ports belong inside modules", decl.span);
+        };
+        let name = &decl.name.name;
+        if ctx.env.get(name).is_some() || ctx.self_ports.contains_key(name) {
+            return self.err(format!("name `{name}` is already declared"), decl.name.span);
+        }
+        // A recorded *parameter assignment* naming a port is an error
+        // (`d.in = 3;` makes no sense).
+        if let Some(assign) = ctx.a.take_assign(name) {
+            return self.err(
+                format!("`{}.{name}` is a port and cannot be assigned a value", ctx.path),
+                assign.span,
+            );
+        }
+        let scheme = self.convert_scheme(&decl.ty, ctx, decl.span)?;
+        let dir = match decl.dir {
+            PortDir::In => Dir::In,
+            PortDir::Out => Dir::Out,
+        };
+        // Use-based specialization: the implicit `width` parameter is the
+        // number of connections the parent recorded against this port.
+        let width = self
+            .ext_counters
+            .get(&(inst, name.clone()))
+            .copied()
+            .unwrap_or(0);
+        if width > 0 {
+            self.netlist.elab.inferred_widths += 1;
+        }
+        let var = self.port_var(inst, name);
+        // The declared scheme constrains the port's type variable.
+        if scheme != Scheme::Var(var) {
+            self.netlist.constraints.push(Constraint::with_origin(
+                Scheme::Var(var),
+                scheme.clone(),
+                ConstraintOrigin::PortDecl { port: format!("{}.{name}", ctx.path) },
+            ));
+        }
+        self.trace(|| format!("port {}.{name} width={width}", ctx.path));
+        ctx.self_ports.insert(name.clone(), dir);
+        self.netlist.instance_mut(inst).ports.push(Port {
+            name: name.clone(),
+            dir,
+            scheme,
+            var,
+            width,
+            ty: None,
+            explicit: false,
+        });
+        Ok(())
+    }
+
+    fn create_instance(
+        &mut self,
+        module_name: &str,
+        path: &str,
+        parent: Option<InstanceId>,
+        span: Span,
+    ) -> EResult<InstanceId> {
+        let Some((module, library)) = self.modules.get(module_name).cloned() else {
+            let mut known: Vec<&String> = self.modules.keys().collect();
+            known.sort();
+            let preview: Vec<String> =
+                known.iter().take(8).map(|s| s.to_string()).collect();
+            return self.err(
+                format!(
+                    "unknown module `{module_name}` (known modules include: {})",
+                    preview.join(", ")
+                ),
+                span,
+            );
+        };
+        if self.netlist.instances.len() >= self.opts.max_instances {
+            return self.err(
+                format!(
+                    "model exceeds {} instances (recursive module instantiation?)",
+                    self.opts.max_instances
+                ),
+                span,
+            );
+        }
+        let id = self.netlist.add_instance(Instance {
+            id: InstanceId(0),
+            path: path.to_string(),
+            module: module_name.to_string(),
+            kind: InstanceKind::Hierarchical,
+            parent,
+            from_library: library,
+            params: Default::default(),
+            ports: Vec::new(),
+            userpoints: Vec::new(),
+            runtime_vars: Vec::new(),
+            events: Vec::new(),
+        });
+        self.pending_module.insert(id, module);
+        self.use_ctx.insert(id, UseCtx::default());
+        self.stack.push(id);
+        self.trace(|| format!("push {path}:{module_name}"));
+        Ok(id)
+    }
+
+    // ---- connections and use records ---------------------------------------
+
+    fn port_var(&mut self, inst: InstanceId, port: &str) -> TyVar {
+        if let Some(&v) = self.port_vars.get(&(inst, port.to_string())) {
+            return v;
+        }
+        let path = self.netlist.instance(inst).path.clone();
+        let v = self.netlist.vars.fresh(format!("{path}.{port}"));
+        self.port_vars.insert((inst, port.to_string()), v);
+        v
+    }
+
+    fn next_index(
+        &mut self,
+        inst: InstanceId,
+        port: &str,
+        internal: bool,
+        explicit: Option<u32>,
+    ) -> u32 {
+        let map = if internal { &mut self.int_counters } else { &mut self.ext_counters };
+        let counter = map.entry((inst, port.to_string())).or_insert(0);
+        match explicit {
+            Some(i) => {
+                *counter = (*counter).max(i + 1);
+                i
+            }
+            None => {
+                let i = *counter;
+                *counter += 1;
+                i
+            }
+        }
+    }
+
+    /// Resolves a connection endpoint expression to `(instance, port)` and
+    /// an optional explicit port-instance index.
+    fn resolve_port_base(
+        &mut self,
+        expr: &Expr,
+        ctx: &mut BodyCtx,
+    ) -> EResult<(InstanceId, String)> {
+        let (base, _) = self.split_endpoint_index(expr, ctx)?;
+        Ok(base)
+    }
+
+    fn split_endpoint_index(
+        &mut self,
+        expr: &Expr,
+        ctx: &mut BodyCtx,
+    ) -> EResult<((InstanceId, String), Option<u32>)> {
+        let (inner, index) = match &expr.kind {
+            ExprKind::Index(base, idx) => {
+                let i = self.eval_index(idx, ctx)?;
+                (&**base, Some(i as u32))
+            }
+            _ => (expr, None),
+        };
+        match &inner.kind {
+            ExprKind::Ident(id) => {
+                if ctx.self_ports.contains_key(&id.name) {
+                    let inst = ctx.inst.expect("self ports imply a module body");
+                    Ok(((inst, id.name.clone()), index))
+                } else {
+                    self.err(
+                        format!("`{}` is not a port of this module", id.name),
+                        id.span,
+                    )
+                }
+            }
+            ExprKind::Field(base, field) => {
+                let value = self.eval(base, ctx)?;
+                match value {
+                    Value::Instance(cid) => Ok(((cid, field.name.clone()), index)),
+                    other => self.err(
+                        format!("expected an instance before `.{}`, got {}", field.name, other.kind()),
+                        base.span,
+                    ),
+                }
+            }
+            _ => self.err("expected a port reference (`inst.port` or a module port)", inner.span),
+        }
+    }
+
+    fn resolve_endpoint(&mut self, expr: &Expr, ctx: &mut BodyCtx) -> EResult<EndRec> {
+        let ((inst, port), explicit) = self.split_endpoint_index(expr, ctx)?;
+        let internal = ctx.inst == Some(inst);
+        // A child endpoint must be a *direct* child of the current body.
+        if !internal && self.netlist.instance(inst).parent != ctx.inst {
+            let path = self.netlist.instance(inst).path.clone();
+            return self.err(
+                format!("`{path}` is not a direct sub-instance of this context"),
+                expr.span,
+            );
+        }
+        let index = self.next_index(inst, &port, internal, explicit);
+        Ok(EndRec { inst, port, index, internal })
+    }
+
+    fn record_connection(
+        &mut self,
+        src: EndRec,
+        dst: EndRec,
+        annot: Option<Scheme>,
+        span: Span,
+        in_library: bool,
+    ) -> EResult<()> {
+        let src_var = self.port_var(src.inst, &src.port);
+        let dst_var = self.port_var(dst.inst, &dst.port);
+        let src_name = format!("{}.{}", self.netlist.instance(src.inst).path, src.port);
+        let dst_name = format!("{}.{}", self.netlist.instance(dst.inst).path, dst.port);
+        self.netlist.constraints.push(Constraint::with_origin(
+            Scheme::Var(src_var),
+            Scheme::Var(dst_var),
+            ConstraintOrigin::Connection { src: src_name.clone(), dst: dst_name.clone() },
+        ));
+        if let Some(scheme) = annot {
+            // "a pair of constraint terms that equate the connected ports'
+            // type variables to the annotated type scheme" (§5).
+            self.netlist.constraints.push(Constraint::with_origin(
+                Scheme::Var(src_var),
+                scheme.clone(),
+                ConstraintOrigin::Annotation { target: src_name.clone() },
+            ));
+            self.netlist.constraints.push(Constraint::with_origin(
+                Scheme::Var(dst_var),
+                scheme,
+                ConstraintOrigin::Annotation { target: dst_name.clone() },
+            ));
+            if !in_library {
+                self.netlist.elab.explicit_type_instantiations += 1;
+            }
+            self.explicit_ports.insert((src.inst, src.port.clone()));
+            self.explicit_ports.insert((dst.inst, dst.port.clone()));
+        }
+        self.trace(|| {
+            format!("record-connect {src_name}[{}] -> {dst_name}[{}]", src.index, dst.index)
+        });
+        self.recorded_conns.push(ConnRec { src, dst, ty: None, span });
+        Ok(())
+    }
+
+    // ---- assignment ----------------------------------------------------------
+
+    fn assign_place(&mut self, target: &Expr, value: Value, ctx: &mut BodyCtx) -> EResult<()> {
+        match &target.kind {
+            ExprKind::Ident(id) if id.name == "tar_file" && ctx.inst.is_some() => {
+                match value {
+                    Value::Str(s) => {
+                        ctx.tar_file = Some(s);
+                        Ok(())
+                    }
+                    other => self.err(
+                        format!("tar_file must be a string, got {}", other.kind()),
+                        target.span,
+                    ),
+                }
+            }
+            ExprKind::Ident(id) => {
+                if ctx.env.assign(&id.name, value) {
+                    Ok(())
+                } else if ctx.self_ports.contains_key(&id.name) {
+                    self.err(
+                        format!("`{}` is a port; use `->` to connect it", id.name),
+                        id.span,
+                    )
+                } else {
+                    self.err(format!("assignment to undeclared variable `{}`", id.name), id.span)
+                }
+            }
+            ExprKind::Field(base, field) => {
+                // `someport.width = ...` — the implicit width parameter is
+                // read-only (it is inferred from connections, §6.1).
+                if field.name == "width" {
+                    if let ExprKind::Ident(p) = &base.kind {
+                        if ctx.self_ports.contains_key(&p.name) {
+                            return self.err(
+                                "port widths are inferred from connections and cannot be assigned",
+                                target.span,
+                            );
+                        }
+                    }
+                }
+                let base_val = self.eval(base, ctx)?;
+                match base_val {
+                    Value::Instance(cid) => {
+                        if self.netlist.instance(cid).parent != ctx.inst {
+                            let path = self.netlist.instance(cid).path.clone();
+                            return self.err(
+                                format!("`{path}` is not a direct sub-instance; only direct children can be parameterized"),
+                                target.span,
+                            );
+                        }
+                        let path = self.netlist.instance(cid).path.clone();
+                        self.trace(|| format!("record-assign {path}.{} = {value}", field.name));
+                        self.use_ctx
+                            .get_mut(&cid)
+                            .expect("children have use contexts")
+                            .param_assigns
+                            .push(ParamAssign {
+                                field: field.name.clone(),
+                                value,
+                                span: target.span,
+                            });
+                        Ok(())
+                    }
+                    other => self.err(
+                        format!("cannot assign field `{}` of {}", field.name, other.kind()),
+                        target.span,
+                    ),
+                }
+            }
+            ExprKind::Index(_, _) => {
+                // Array element update: peel index chain down to an identifier.
+                let mut indices = Vec::new();
+                let mut cur = target;
+                while let ExprKind::Index(base, idx) = &cur.kind {
+                    indices.push(self.eval_index(idx, ctx)?);
+                    cur = base;
+                }
+                indices.reverse();
+                let ExprKind::Ident(root) = &cur.kind else {
+                    return self.err("unsupported assignment target", target.span);
+                };
+                let root_name = root.name.clone();
+                let span = target.span;
+                let Some(slot) = ctx.env.get_mut(&root_name) else {
+                    return self.err(
+                        format!("assignment to undeclared variable `{root_name}`"),
+                        span,
+                    );
+                };
+                let mut slot: &mut Value = slot;
+                for (step, &i) in indices.iter().enumerate() {
+                    let last = step + 1 == indices.len();
+                    match slot {
+                        Value::Array(items) => {
+                            if i >= items.len() {
+                                let len = items.len();
+                                self.diags.error(
+                                    format!("index {i} out of bounds (length {len})"),
+                                    span,
+                                );
+                                return Err(Abort);
+                            }
+                            if last {
+                                items[i] = value;
+                                return Ok(());
+                            }
+                            slot = &mut items[i];
+                        }
+                        Value::InstanceArray(_) => {
+                            self.diags.error(
+                                "instance arrays are immutable once created",
+                                span,
+                            );
+                            return Err(Abort);
+                        }
+                        other => {
+                            let kind = other.kind();
+                            self.diags.error(format!("cannot index into {kind}"), span);
+                            return Err(Abort);
+                        }
+                    }
+                }
+                unreachable!("index chain is non-empty")
+            }
+            _ => self.err("unsupported assignment target", target.span),
+        }
+    }
+
+    // ---- collectors ------------------------------------------------------------
+
+    fn collector_path(&mut self, expr: &Expr, ctx: &mut BodyCtx) -> EResult<String> {
+        match &expr.kind {
+            ExprKind::Ident(id) => match ctx.env.get(&id.name) {
+                Some(Value::Instance(cid)) => Ok(self.netlist.instance(*cid).path.clone()),
+                _ => self.err(
+                    format!("`{}` is not an instance", id.name),
+                    id.span,
+                ),
+            },
+            ExprKind::Field(base, field) => {
+                let prefix = self.collector_path(base, ctx)?;
+                Ok(format!("{prefix}.{}", field.name))
+            }
+            ExprKind::Index(base, idx) => {
+                let prefix = self.collector_path(base, ctx)?;
+                let i = self.eval_index(idx, ctx)?;
+                Ok(format!("{prefix}[{i}]"))
+            }
+            _ => self.err("collector target must be an instance path", expr.span),
+        }
+    }
+
+    // ---- expressions --------------------------------------------------------------
+
+    fn eval_bool(&mut self, expr: &Expr, ctx: &mut BodyCtx) -> EResult<bool> {
+        match self.eval(expr, ctx)? {
+            Value::Bool(b) => Ok(b),
+            other => self.err(format!("expected bool, got {}", other.kind()), expr.span),
+        }
+    }
+
+    fn eval_index(&mut self, expr: &Expr, ctx: &mut BodyCtx) -> EResult<usize> {
+        match self.eval(expr, ctx)? {
+            Value::Int(v) if v >= 0 => Ok(v as usize),
+            Value::Int(v) => self.err(format!("negative index {v}"), expr.span),
+            other => self.err(format!("index must be int, got {}", other.kind()), expr.span),
+        }
+    }
+
+    /// Evaluates a constant non-negative integer (array type lengths).
+    fn eval_const_len(&mut self, expr: &Expr, ctx: &mut BodyCtx) -> EResult<usize> {
+        self.eval_index(expr, ctx)
+    }
+
+    fn eval(&mut self, expr: &Expr, ctx: &mut BodyCtx) -> EResult<Value> {
+        match &expr.kind {
+            ExprKind::Int(v) => Ok(Value::Int(*v)),
+            ExprKind::Float(v) => Ok(Value::Float(*v)),
+            ExprKind::Str(s) => Ok(Value::Str(s.clone())),
+            ExprKind::Bool(b) => Ok(Value::Bool(*b)),
+            ExprKind::Ident(id) => match ctx.env.get(&id.name) {
+                Some(v) => Ok(v.clone()),
+                None if ctx.self_ports.contains_key(&id.name) => self.err(
+                    format!(
+                        "port `{}` is not a value; use it in a connection or read `{}.width`",
+                        id.name, id.name
+                    ),
+                    id.span,
+                ),
+                None => self.err(format!("undefined name `{}`", id.name), id.span),
+            },
+            ExprKind::Field(base, field) => {
+                // `p.width` — use-based specialization's implicit parameter.
+                if field.name == "width" {
+                    if let ExprKind::Ident(p) = &base.kind {
+                        if ctx.self_ports.contains_key(&p.name) {
+                            let inst = ctx.inst.expect("self ports imply module body");
+                            let width = self
+                                .netlist
+                                .instance(inst)
+                                .port(&p.name)
+                                .map(|port| port.width)
+                                .unwrap_or(0);
+                            self.netlist.elab.width_reads += 1;
+                            return Ok(Value::Int(width as i64));
+                        }
+                    }
+                }
+                let value = self.eval(base, ctx)?;
+                match value {
+                    Value::Instance(_) => self.err(
+                        format!(
+                            "`.{}`: sub-instance parameters are write-only during elaboration",
+                            field.name
+                        ),
+                        expr.span,
+                    ),
+                    other => self.err(
+                        format!("{} has no field `{}`", other.kind(), field.name),
+                        expr.span,
+                    ),
+                }
+            }
+            ExprKind::Index(base, idx) => {
+                let i = self.eval_index(idx, ctx)?;
+                let value = self.eval(base, ctx)?;
+                match value {
+                    Value::Array(items) => items.get(i).cloned().ok_or(()).or_else(|_| {
+                        self.err(
+                            format!("index {i} out of bounds (length {})", items.len()),
+                            expr.span,
+                        )
+                    }),
+                    Value::InstanceArray(ids) => ids
+                        .get(i)
+                        .map(|&id| Value::Instance(id))
+                        .ok_or(())
+                        .or_else(|_| {
+                            self.err(
+                                format!("index {i} out of bounds (length {})", ids.len()),
+                                expr.span,
+                            )
+                        }),
+                    other => {
+                        self.err(format!("cannot index into {}", other.kind()), expr.span)
+                    }
+                }
+            }
+            ExprKind::Call(callee, args) => self.eval_call(expr, callee, args, ctx),
+            ExprKind::NewInstanceArray { len, module, name } => {
+                self.require_structural("instance creation", expr.span, ctx)?;
+                let n = self.eval_index(len, ctx)?;
+                let base = match self.eval(name, ctx)? {
+                    Value::Str(s) => s,
+                    other => {
+                        return self.err(
+                            format!("instance array name must be a string, got {}", other.kind()),
+                            name.span,
+                        )
+                    }
+                };
+                let mut ids = Vec::with_capacity(n);
+                for i in 0..n {
+                    let path = ctx.child_path(&format!("{base}[{i}]"));
+                    let id =
+                        self.create_instance(&module.name, &path, ctx.inst, expr.span)?;
+                    ids.push(id);
+                }
+                ctx.made_children |= n > 0;
+                Ok(Value::InstanceArray(ids))
+            }
+            ExprKind::Unary(op, inner) => {
+                let v = self.eval(inner, ctx)?;
+                match (op, v) {
+                    (UnOp::Neg, Value::Int(v)) => Ok(Value::Int(-v)),
+                    (UnOp::Neg, Value::Float(v)) => Ok(Value::Float(-v)),
+                    (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                    (op, v) => self.err(
+                        format!("cannot apply `{op:?}` to {}", v.kind()),
+                        expr.span,
+                    ),
+                }
+            }
+            ExprKind::Binary(op, lhs, rhs) => self.eval_binary(*op, lhs, rhs, expr.span, ctx),
+            ExprKind::Ternary(cond, then, els) => {
+                if self.eval_bool(cond, ctx)? {
+                    self.eval(then, ctx)
+                } else {
+                    self.eval(els, ctx)
+                }
+            }
+            ExprKind::ArrayLit(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(self.eval(item, ctx)?);
+                }
+                Ok(Value::Array(out))
+            }
+        }
+    }
+
+    fn eval_binary(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        span: Span,
+        ctx: &mut BodyCtx,
+    ) -> EResult<Value> {
+        // Short-circuit logical operators.
+        if op == BinOp::And {
+            return Ok(Value::Bool(self.eval_bool(lhs, ctx)? && self.eval_bool(rhs, ctx)?));
+        }
+        if op == BinOp::Or {
+            return Ok(Value::Bool(self.eval_bool(lhs, ctx)? || self.eval_bool(rhs, ctx)?));
+        }
+        let l = self.eval(lhs, ctx)?;
+        let r = self.eval(rhs, ctx)?;
+        if op == BinOp::Eq || op == BinOp::Ne {
+            return match l.eq_value(&r) {
+                Some(eq) => Ok(Value::Bool(if op == BinOp::Eq { eq } else { !eq })),
+                None => self.err(
+                    format!("cannot compare {} with {}", l.kind(), r.kind()),
+                    span,
+                ),
+            };
+        }
+        // String concatenation.
+        if let (BinOp::Add, Value::Str(a), b) = (op, &l, &r) {
+            return Ok(Value::Str(format!("{a}{b}")));
+        }
+        // Numeric operators with int→float promotion.
+        let as_floats = match (&l, &r) {
+            (Value::Float(_), _) | (_, Value::Float(_)) => true,
+            (Value::Int(_), Value::Int(_)) => false,
+            _ => {
+                return self.err(
+                    format!("cannot apply `{op}` to {} and {}", l.kind(), r.kind()),
+                    span,
+                )
+            }
+        };
+        if as_floats {
+            let a = match l {
+                Value::Int(v) => v as f64,
+                Value::Float(v) => v,
+                _ => unreachable!(),
+            };
+            let b = match r {
+                Value::Int(v) => v as f64,
+                Value::Float(v) => v,
+                _ => unreachable!(),
+            };
+            Ok(match op {
+                BinOp::Add => Value::Float(a + b),
+                BinOp::Sub => Value::Float(a - b),
+                BinOp::Mul => Value::Float(a * b),
+                BinOp::Div => Value::Float(a / b),
+                BinOp::Rem => Value::Float(a % b),
+                BinOp::Lt => Value::Bool(a < b),
+                BinOp::Le => Value::Bool(a <= b),
+                BinOp::Gt => Value::Bool(a > b),
+                BinOp::Ge => Value::Bool(a >= b),
+                BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or => unreachable!(),
+            })
+        } else {
+            let (a, b) = (l.as_int().expect("checked"), r.as_int().expect("checked"));
+            if matches!(op, BinOp::Div | BinOp::Rem) && b == 0 {
+                return self.err("division by zero", span);
+            }
+            Ok(match op {
+                BinOp::Add => Value::Int(a + b),
+                BinOp::Sub => Value::Int(a - b),
+                BinOp::Mul => Value::Int(a * b),
+                BinOp::Div => Value::Int(a / b),
+                BinOp::Rem => Value::Int(a % b),
+                BinOp::Lt => Value::Bool(a < b),
+                BinOp::Le => Value::Bool(a <= b),
+                BinOp::Gt => Value::Bool(a > b),
+                BinOp::Ge => Value::Bool(a >= b),
+                BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or => unreachable!(),
+            })
+        }
+    }
+
+    fn arity(&mut self, name: &str, args: &[Expr], n: usize, span: Span) -> EResult<()> {
+        if args.len() != n {
+            return self.err(
+                format!("`{name}` expects {n} argument(s), got {}", args.len()),
+                span,
+            );
+        }
+        Ok(())
+    }
+
+    fn eval_call(
+        &mut self,
+        whole: &Expr,
+        callee: &Expr,
+        args: &[Expr],
+        ctx: &mut BodyCtx,
+    ) -> EResult<Value> {
+        let Some(name) = callee.as_ident().map(|i| i.name.clone()) else {
+            return self.err("only named functions can be called", callee.span);
+        };
+        // User-defined `fun` takes precedence over builtins; local
+        // definitions shadow top-level helpers.
+        let fun = match ctx.env.get(&name) {
+            Some(Value::Fun(decl)) => Some(Rc::clone(decl)),
+            Some(_) => None,
+            None => self.global_funs.get(&name).cloned(),
+        };
+        if let Some(decl) = fun {
+            if args.len() != decl.params.len() {
+                return self.err(
+                    format!(
+                        "fun `{}` expects {} arguments, got {}",
+                        name,
+                        decl.params.len(),
+                        args.len()
+                    ),
+                    whole.span,
+                );
+            }
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                values.push(self.eval(a, ctx)?);
+            }
+            ctx.env.push();
+            for (p, v) in decl.params.iter().zip(values) {
+                ctx.env.declare(p.name.clone(), v);
+            }
+            ctx.fun_depth += 1;
+            let result = (|| {
+                for stmt in &decl.body {
+                    if let Flow::Return(v) = self.exec_stmt(stmt, ctx)? {
+                        return Ok(v);
+                    }
+                }
+                Ok(Value::Unit)
+            })();
+            ctx.fun_depth -= 1;
+            ctx.env.pop();
+            return result;
+        }
+        match name.as_str() {
+            // `LSS_connect_bus(x, y, z)` — Figure 10's builtin:
+            // for (i = 0; i < z; i++) { x[i] -> y[i]; }
+            "LSS_connect_bus" => {
+                self.require_structural("LSS_connect_bus", whole.span, ctx)?;
+                if args.len() != 3 {
+                    return self.err("LSS_connect_bus takes (src, dst, count)", whole.span);
+                }
+                let count = self.eval_index(&args[2], ctx)?;
+                let (src_base, src_idx) = self.split_endpoint_index(&args[0], ctx)?;
+                let (dst_base, dst_idx) = self.split_endpoint_index(&args[1], ctx)?;
+                if src_idx.is_some() || dst_idx.is_some() {
+                    return self.err(
+                        "LSS_connect_bus endpoints must not carry explicit indices",
+                        whole.span,
+                    );
+                }
+                for i in 0..count as u32 {
+                    let src_internal = ctx.inst == Some(src_base.0);
+                    let dst_internal = ctx.inst == Some(dst_base.0);
+                    let src = EndRec {
+                        inst: src_base.0,
+                        port: src_base.1.clone(),
+                        index: self.next_index(src_base.0, &src_base.1, src_internal, Some(i)),
+                        internal: src_internal,
+                    };
+                    let dst = EndRec {
+                        inst: dst_base.0,
+                        port: dst_base.1.clone(),
+                        index: self.next_index(dst_base.0, &dst_base.1, dst_internal, Some(i)),
+                        internal: dst_internal,
+                    };
+                    self.record_connection(src, dst, None, whole.span, ctx.in_library)?;
+                }
+                Ok(Value::Unit)
+            }
+            "len" => {
+                self.arity(&name, args, 1, whole.span)?;
+                let v = self.eval(&args[0], ctx)?;
+                match v {
+                    Value::Array(items) => Ok(Value::Int(items.len() as i64)),
+                    Value::InstanceArray(ids) => Ok(Value::Int(ids.len() as i64)),
+                    Value::Str(s) => Ok(Value::Int(s.len() as i64)),
+                    other => {
+                        self.err(format!("len() of {}", other.kind()), whole.span)
+                    }
+                }
+            }
+            "str" => {
+                self.arity(&name, args, 1, whole.span)?;
+                let v = self.eval(&args[0], ctx)?;
+                Ok(Value::Str(v.to_string()))
+            }
+            "to_int" => {
+                self.arity(&name, args, 1, whole.span)?;
+                let v = self.eval(&args[0], ctx)?;
+                match v {
+                    Value::Int(v) => Ok(Value::Int(v)),
+                    Value::Float(v) => Ok(Value::Int(v as i64)),
+                    Value::Bool(b) => Ok(Value::Int(b as i64)),
+                    other => self.err(format!("to_int() of {}", other.kind()), whole.span),
+                }
+            }
+            "to_float" => {
+                self.arity(&name, args, 1, whole.span)?;
+                let v = self.eval(&args[0], ctx)?;
+                match v {
+                    Value::Int(v) => Ok(Value::Float(v as f64)),
+                    Value::Float(v) => Ok(Value::Float(v)),
+                    other => self.err(format!("to_float() of {}", other.kind()), whole.span),
+                }
+            }
+            "min" | "max" => {
+                self.arity(&name, args, 2, whole.span)?;
+                let a = self.eval(&args[0], ctx)?;
+                let b = self.eval(&args[1], ctx)?;
+                match (a, b) {
+                    (Value::Int(a), Value::Int(b)) => Ok(Value::Int(if name == "min" {
+                        a.min(b)
+                    } else {
+                        a.max(b)
+                    })),
+                    (a, b) => self.err(
+                        format!("{name}() expects ints, got {} and {}", a.kind(), b.kind()),
+                        whole.span,
+                    ),
+                }
+            }
+            "abs" => {
+                self.arity(&name, args, 1, whole.span)?;
+                let v = self.eval(&args[0], ctx)?;
+                match v {
+                    Value::Int(v) => Ok(Value::Int(v.abs())),
+                    Value::Float(v) => Ok(Value::Float(v.abs())),
+                    other => self.err(format!("abs() of {}", other.kind()), whole.span),
+                }
+            }
+            "assert" => {
+                if args.is_empty() || args.len() > 2 {
+                    return self.err("assert takes (condition[, message])", whole.span);
+                }
+                let ok = self.eval_bool(&args[0], ctx)?;
+                if !ok {
+                    let msg = if args.len() == 2 {
+                        self.eval(&args[1], ctx)?.to_string()
+                    } else {
+                        "assertion failed".to_string()
+                    };
+                    return self.err(format!("assertion failed: {msg}"), whole.span);
+                }
+                Ok(Value::Unit)
+            }
+            "print" => {
+                let mut parts = Vec::with_capacity(args.len());
+                for a in args {
+                    parts.push(self.eval(a, ctx)?.to_string());
+                }
+                self.prints.push(parts.join(" "));
+                Ok(Value::Unit)
+            }
+            other => self.err(format!("unknown function `{other}`"), callee.span),
+        }
+    }
+
+    // ---- types -----------------------------------------------------------------
+
+    fn convert_scheme(
+        &mut self,
+        ty: &TypeExpr,
+        ctx: &mut BodyCtx,
+        span: Span,
+    ) -> EResult<Scheme> {
+        Ok(match ty {
+            TypeExpr::Int => Scheme::Int,
+            TypeExpr::Bool => Scheme::Bool,
+            TypeExpr::Float => Scheme::Float,
+            TypeExpr::String => Scheme::String,
+            TypeExpr::Array(inner, len) => {
+                let n = self.eval_const_len(len, ctx)?;
+                Scheme::Array(Box::new(self.convert_scheme(inner, ctx, span)?), n)
+            }
+            TypeExpr::Struct(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (name, t) in fields {
+                    out.push((name.name.clone(), self.convert_scheme(t, ctx, span)?));
+                }
+                Scheme::Struct(out)
+            }
+            TypeExpr::Var(name) => {
+                if let Some(&v) = ctx.tyvars.get(&name.name) {
+                    Scheme::Var(v)
+                } else {
+                    let path = if ctx.path.is_empty() { "<top>" } else { &ctx.path };
+                    let v = self.netlist.vars.fresh(format!("{path}:'{}", name.name));
+                    ctx.tyvars.insert(name.name.clone(), v);
+                    Scheme::Var(v)
+                }
+            }
+            TypeExpr::Disjunction(alts) => {
+                let mut out = Vec::with_capacity(alts.len());
+                for t in alts {
+                    out.push(self.convert_scheme(t, ctx, span)?);
+                }
+                Scheme::Or(out)
+            }
+            TypeExpr::InstanceRef { .. } => {
+                return self.err("`instance ref` is not a data type", span)
+            }
+            TypeExpr::Userpoint(_) => {
+                return self.err("userpoint signatures are not data types", span)
+            }
+        })
+    }
+
+    fn convert_ground(&mut self, ty: &TypeExpr, ctx: &mut BodyCtx, span: Span) -> EResult<Ty> {
+        let scheme = self.convert_scheme(ty, ctx, span)?;
+        match scheme.to_ty() {
+            Some(t) => Ok(t),
+            None => self.err(
+                "this type must be fully concrete (no type variables or `|`)",
+                span,
+            ),
+        }
+    }
+
+    fn default_value_for(&mut self, ty: &TypeExpr, span: Span) -> EResult<Value> {
+        Ok(match ty {
+            TypeExpr::Int => Value::Int(0),
+            TypeExpr::Bool => Value::Bool(false),
+            TypeExpr::Float => Value::Float(0.0),
+            TypeExpr::String => Value::Str(String::new()),
+            TypeExpr::Array(..) => Value::Array(Vec::new()),
+            TypeExpr::InstanceRef { array: true } => Value::InstanceArray(Vec::new()),
+            TypeExpr::InstanceRef { array: false } => {
+                return self.err("an `instance ref` variable needs an initializer", span)
+            }
+            _ => return self.err("variables of this type need an initializer", span),
+        })
+    }
+
+    fn check_var_type(&mut self, value: &Value, ty: &TypeExpr, span: Span) -> EResult<()> {
+        let ok = match (ty, value) {
+            (TypeExpr::Int, Value::Int(_))
+            | (TypeExpr::Bool, Value::Bool(_))
+            | (TypeExpr::Float, Value::Float(_) | Value::Int(_))
+            | (TypeExpr::String, Value::Str(_))
+            | (TypeExpr::Array(..), Value::Array(_))
+            | (TypeExpr::InstanceRef { array: true }, Value::InstanceArray(_))
+            | (TypeExpr::InstanceRef { array: false }, Value::Instance(_)) => true,
+            _ => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            self.err(format!("initializer has type {}", value.kind()), span)
+        }
+    }
+
+    // ---- finalization ---------------------------------------------------------
+
+    fn finalize(&mut self) -> EResult<()> {
+        // Resolve collectors to instances and validate event names.
+        for (path, event, code, span) in std::mem::take(&mut self.collector_recs) {
+            let Some(inst) = self.netlist.find(&path).map(|i| i.id) else {
+                return self.err(format!("collector targets unknown instance `{path}`"), span);
+            };
+            let instance = self.netlist.instance(inst);
+            let declared = instance.events.iter().any(|e| e.name == event);
+            let port_fire = instance
+                .ports
+                .iter()
+                .any(|p| format!("{}_fire", p.name) == event);
+            if !declared && !port_fire {
+                let events: Vec<String> = instance
+                    .events
+                    .iter()
+                    .map(|e| e.name.clone())
+                    .chain(instance.ports.iter().map(|p| format!("{}_fire", p.name)))
+                    .collect();
+                return self.err(
+                    format!(
+                        "instance `{path}` has no event `{event}` (available: {})",
+                        events.join(", ")
+                    ),
+                    span,
+                );
+            }
+            self.netlist.collectors.push(Collector { inst, event, code });
+        }
+
+        // Mark explicitly typed ports.
+        for (inst, port) in std::mem::take(&mut self.explicit_ports) {
+            let path = self.netlist.instance(inst).path.clone();
+            match self.netlist.instance_mut(inst).port_mut(&port) {
+                Some(p) => p.explicit = true,
+                None => {
+                    return self.err(
+                        format!("type instantiation targets unknown port `{path}.{port}`"),
+                        Span::synthetic(),
+                    )
+                }
+            }
+        }
+
+        // Validate recorded connections and lower them to netlist
+        // connections with resolved port positions.
+        let mut seen_src: HashSet<(InstanceId, u32, u32)> = HashSet::new();
+        let mut seen_dst: HashSet<(InstanceId, u32, u32)> = HashSet::new();
+        for rec in std::mem::take(&mut self.recorded_conns) {
+            let src = self.lower_endpoint(&rec.src, true, rec.span)?;
+            let dst = self.lower_endpoint(&rec.dst, false, rec.span)?;
+            if !seen_src.insert((src.inst, src.port, src.index)) {
+                let name = self.netlist.endpoint_name(src);
+                return self.err(
+                    format!("port instance {name} drives more than one connection"),
+                    rec.span,
+                );
+            }
+            if !seen_dst.insert((dst.inst, dst.port, dst.index)) {
+                let name = self.netlist.endpoint_name(dst);
+                return self.err(
+                    format!("port instance {name} is driven by more than one connection"),
+                    rec.span,
+                );
+            }
+            self.netlist.connections.push(Connection { src, dst });
+        }
+        Ok(())
+    }
+
+    fn lower_endpoint(&mut self, end: &EndRec, is_src: bool, span: Span) -> EResult<Endpoint> {
+        let inst = self.netlist.instance(end.inst);
+        let path = inst.path.clone();
+        let Some(pos) = inst.ports.iter().position(|p| p.name == end.port) else {
+            return self.err(
+                format!("connection references unknown port `{path}.{}`", end.port),
+                span,
+            );
+        };
+        let dir = inst.ports[pos].dir;
+        // Direction legality: data flows out of child outports and into
+        // child inports; seen from inside, a module's own inport is a
+        // source and its own outport is a sink.
+        let expected = match (is_src, end.internal) {
+            (true, false) => Dir::Out,
+            (true, true) => Dir::In,
+            (false, false) => Dir::In,
+            (false, true) => Dir::Out,
+        };
+        if dir != expected {
+            let role = if is_src { "source" } else { "destination" };
+            let face = if end.internal { "from inside its module" } else { "from outside" };
+            return self.err(
+                format!(
+                    "port `{path}.{}` is an {}put and cannot be a connection {role} {face}",
+                    end.port,
+                    if dir == Dir::In { "in" } else { "out" },
+                ),
+                span,
+            );
+        }
+        Ok(Endpoint { inst: end.inst, port: pos as u32, index: end.index })
+    }
+}

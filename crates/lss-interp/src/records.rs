@@ -1,0 +1,106 @@
+//! Use-records: the `A`/`B` contexts of the paper's evaluation semantics.
+//!
+//! While an instance's parent executes, every assignment to the instance's
+//! sub-fields and every connection to its ports is *recorded* rather than
+//! applied (§6.2). When the instance is popped off the instantiation stack,
+//! its module body consumes the records: parameter declarations look up
+//! recorded assignments, port declarations read the recorded connection
+//! counts as their inferred `width`.
+
+use lss_ast::Span;
+use lss_netlist::InstanceId;
+use lss_types::Scheme;
+
+use crate::value::Value;
+
+/// A recorded potential parameter assignment (`d1.initial_state = 1;`).
+#[derive(Debug, Clone)]
+pub struct ParamAssign {
+    /// Field (parameter) name on the target instance.
+    pub field: String,
+    /// Assigned compile-time value.
+    pub value: Value,
+    /// Source location of the assignment.
+    pub span: Span,
+}
+
+/// Recorded uses of one not-yet-elaborated instance (its `A` context).
+#[derive(Debug, Clone, Default)]
+pub struct UseCtx {
+    /// Recorded parameter assignments, in program order.
+    pub param_assigns: Vec<ParamAssign>,
+}
+
+impl UseCtx {
+    /// Removes and returns the *last* recorded assignment to `field`
+    /// (imperative last-write-wins), dropping earlier ones.
+    pub fn take_assign(&mut self, field: &str) -> Option<ParamAssign> {
+        let mut found = None;
+        let mut rest = Vec::with_capacity(self.param_assigns.len());
+        for a in self.param_assigns.drain(..) {
+            if a.field == field {
+                found = Some(a);
+            } else {
+                rest.push(a);
+            }
+        }
+        self.param_assigns = rest;
+        found
+    }
+
+    /// True when every record has been consumed (the paper's `A = ∅` check).
+    pub fn is_consumed(&self) -> bool {
+        self.param_assigns.is_empty()
+    }
+}
+
+/// One endpoint of a recorded connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndRec {
+    /// Target instance.
+    pub inst: InstanceId,
+    /// Port name (position resolved after the instance's body runs).
+    pub port: String,
+    /// Port-instance index (auto-assigned or explicit).
+    pub index: u32,
+    /// True if this endpoint is a port of the instance whose body recorded
+    /// the connection (the "inside" face of a hierarchical port).
+    pub internal: bool,
+}
+
+/// A recorded connection between two port instances.
+#[derive(Debug, Clone)]
+pub struct ConnRec {
+    /// Data source endpoint.
+    pub src: EndRec,
+    /// Data sink endpoint.
+    pub dst: EndRec,
+    /// Optional type-scheme annotation on the connection.
+    pub ty: Option<Scheme>,
+    /// Source location of the `->` statement.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_assign_is_last_write_wins() {
+        let mut ctx = UseCtx::default();
+        for (i, v) in [1, 2, 3].iter().enumerate() {
+            ctx.param_assigns.push(ParamAssign {
+                field: if i == 1 { "other".into() } else { "n".into() },
+                value: Value::Int(*v),
+                span: Span::synthetic(),
+            });
+        }
+        let taken = ctx.take_assign("n").unwrap();
+        assert_eq!(taken.value.as_int(), Some(3));
+        assert_eq!(ctx.param_assigns.len(), 1);
+        assert!(!ctx.is_consumed());
+        ctx.take_assign("other").unwrap();
+        assert!(ctx.is_consumed());
+        assert!(ctx.take_assign("n").is_none());
+    }
+}

@@ -1,0 +1,160 @@
+//! Structure-based type inference over an elaborated netlist (§5).
+//!
+//! The constraints were gathered during elaboration (port declarations,
+//! connections, explicit annotations). This pass runs the solver and writes
+//! the inferred basic type onto every port.
+
+use lss_ast::{Diagnostic, DiagnosticBag, Span};
+use lss_types::{SolveError, SolveStats, SolverConfig, Ty};
+
+use lss_netlist::Netlist;
+
+/// Runs type inference and stores each port's resolved [`Ty`].
+///
+/// Ports whose variables remain unresolved after solving:
+///
+/// * **unconnected** ports (width 0) default to `int` — their type can
+///   never matter because no data flows through them (unconnected-port
+///   semantics, §4.2);
+/// * **connected** ports are reported as errors asking for an explicit type
+///   instantiation, mirroring LSE's behavior.
+///
+/// Returns solver statistics on success, `None` (with diagnostics) on
+/// failure.
+pub fn infer(
+    netlist: &mut Netlist,
+    config: &SolverConfig,
+    diags: &mut DiagnosticBag,
+) -> Option<SolveStats> {
+    let solution = match lss_types::solve(&netlist.constraints, config) {
+        Ok(s) => s,
+        Err(SolveError::Unsatisfiable { constraint, reason }) => {
+            diags.push(Diagnostic::error(
+                format!(
+                    "type inference failed at {}: `{constraint}` — {reason}",
+                    constraint.origin
+                ),
+                Span::synthetic(),
+            ));
+            return None;
+        }
+        Err(e @ SolveError::BudgetExhausted { .. }) => {
+            diags.push(Diagnostic::error(e.to_string(), Span::synthetic()));
+            return None;
+        }
+    };
+
+    let mut unresolved_connected: Vec<String> = Vec::new();
+    for inst in &mut netlist.instances {
+        for port in &mut inst.ports {
+            match solution.ty_of(port.var) {
+                Some(ty) => port.ty = Some(ty),
+                None if port.width == 0 => port.ty = Some(Ty::Int),
+                None => unresolved_connected.push(format!("{}.{}", inst.path, port.name)),
+            }
+        }
+    }
+    if !unresolved_connected.is_empty() {
+        unresolved_connected.sort();
+        diags.push(Diagnostic::error(
+            format!(
+                "cannot infer basic types for {} connected port(s); add explicit type \
+                 instantiations (`port :: type;`): {}",
+                unresolved_connected.len(),
+                unresolved_connected.join(", ")
+            ),
+            Span::synthetic(),
+        ));
+        return None;
+    }
+    Some(solution.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lss_netlist::{Dir, InstanceKind, Netlist};
+    use lss_types::{Constraint, Scheme, VarGen};
+
+    fn port(name: &str, dir: Dir, scheme: Scheme, width: u32, vars: &mut VarGen) -> lss_netlist::Port {
+        let var = vars.fresh(name);
+        lss_netlist::Port { name: name.into(), dir, scheme, var, width, ty: None, explicit: false }
+    }
+
+    fn leaf(path: &str, ports: Vec<lss_netlist::Port>) -> lss_netlist::Instance {
+        lss_netlist::Instance {
+            id: lss_netlist::InstanceId(0),
+            path: path.into(),
+            module: "m".into(),
+            kind: InstanceKind::Leaf { tar_file: "t".into() },
+            parent: None,
+            from_library: false,
+            params: Default::default(),
+            ports,
+            userpoints: vec![],
+            runtime_vars: vec![],
+            events: vec![],
+        }
+    }
+
+    #[test]
+    fn writes_resolved_types_to_ports() {
+        let mut vars = VarGen::new();
+        let p = port("a.x", Dir::In, Scheme::Int, 1, &mut vars);
+        let var = p.var;
+        let mut n = Netlist::new();
+        n.add_instance(leaf("a", vec![p]));
+        n.constraints.push(Constraint::eq(Scheme::Var(var), Scheme::Int));
+        n.vars = vars;
+        let mut diags = DiagnosticBag::new();
+        let stats = infer(&mut n, &SolverConfig::heuristic(), &mut diags);
+        assert!(stats.is_some(), "{:?}", diags.into_vec());
+        assert_eq!(n.instances[0].ports[0].ty, Some(Ty::Int));
+    }
+
+    #[test]
+    fn unconnected_polymorphic_port_defaults_to_int() {
+        let mut vars = VarGen::new();
+        let p = port("a.x", Dir::In, Scheme::Var(lss_types::TyVar(0)), 0, &mut vars);
+        let mut n = Netlist::new();
+        n.add_instance(leaf("a", vec![p]));
+        n.vars = vars;
+        let mut diags = DiagnosticBag::new();
+        assert!(infer(&mut n, &SolverConfig::heuristic(), &mut diags).is_some());
+        assert_eq!(n.instances[0].ports[0].ty, Some(Ty::Int));
+    }
+
+    #[test]
+    fn connected_unresolved_port_is_an_error() {
+        let mut vars = VarGen::new();
+        let p = port("a.x", Dir::In, Scheme::Var(lss_types::TyVar(0)), 1, &mut vars);
+        let mut n = Netlist::new();
+        n.add_instance(leaf("a", vec![p]));
+        n.vars = vars;
+        let mut diags = DiagnosticBag::new();
+        assert!(infer(&mut n, &SolverConfig::heuristic(), &mut diags).is_none());
+        assert!(diags.has_errors());
+        let msg = diags.render(&lss_ast::SourceMap::new());
+        assert!(msg.contains("a.x"), "error should name the port: {msg}");
+    }
+
+    #[test]
+    fn contradiction_reports_origin() {
+        let mut vars = VarGen::new();
+        let p = port("a.x", Dir::In, Scheme::Int, 1, &mut vars);
+        let var = p.var;
+        let mut n = Netlist::new();
+        n.add_instance(leaf("a", vec![p]));
+        n.constraints.push(Constraint::eq(Scheme::Var(var), Scheme::Int));
+        n.constraints.push(Constraint::with_origin(
+            Scheme::Var(var),
+            Scheme::Float,
+            lss_types::ConstraintOrigin::Connection { src: "a.x".into(), dst: "b.y".into() },
+        ));
+        n.vars = vars;
+        let mut diags = DiagnosticBag::new();
+        assert!(infer(&mut n, &SolverConfig::heuristic(), &mut diags).is_none());
+        let msg = diags.render(&lss_ast::SourceMap::new());
+        assert!(msg.contains("connection a.x -> b.y"), "{msg}");
+    }
+}

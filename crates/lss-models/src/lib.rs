@@ -1,0 +1,172 @@
+//! The paper's Table 3 processor models, expressed in LSS.
+//!
+//! | Model | Description |
+//! |---|---|
+//! | A | A Tomasulo-style machine for the DLX instruction set |
+//! | B | Same as A, but with a single issue window |
+//! | C | A model equivalent to the SimpleScalar simulator |
+//! | D | An out-of-order processor core for IA-64 |
+//! | E | Two of the cores from D sharing a cache hierarchy |
+//! | F | A validated Itanium 2 processor model |
+//!
+//! The models are LSS sources layered on the corelib (`lss-corelib`) plus a
+//! shared set of hierarchical CPU modules ([`cpu_lib`]). This crate also
+//! provides:
+//!
+//! * [`compile_model`] — corelib + cpu_lib + model → typed netlist;
+//! * [`staticgen`] — generation of the "pre-LSS" static-structural
+//!   equivalent of a model (the §7 line-count experiment);
+//! * [`runner`] — run a compiled model to completion and report CPI and
+//!   collector statistics;
+//! * [`loc`] — the line-counting convention used by the experiments.
+
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod staticgen;
+
+use lss_ast::{parse, DiagnosticBag, SourceMap};
+use lss_corelib::corelib_source;
+use lss_interp::{CompileOptions, Compiled, Unit};
+
+/// One of the Table 3 models.
+#[derive(Debug, Clone, Copy)]
+pub struct Model {
+    /// Single-letter id, `'A'..='F'`.
+    pub id: char,
+    /// Short name.
+    pub name: &'static str,
+    /// Table 3 description.
+    pub description: &'static str,
+    /// The model's LSS source (excluding corelib and cpu_lib).
+    pub source: &'static str,
+}
+
+/// The shared hierarchical CPU modules (frontend, memsys, exec_cluster,
+/// window_core, tomasulo_core).
+pub fn cpu_lib() -> &'static str {
+    include_str!("../models/cpu_lib.lss")
+}
+
+/// All six models, in Table 3 order.
+pub fn models() -> &'static [Model] {
+    &[
+        Model {
+            id: 'A',
+            name: "tomasulo-dlx",
+            description: "A Tomasulo style machine for the DLX instruction set",
+            source: include_str!("../models/model_a.lss"),
+        },
+        Model {
+            id: 'B',
+            name: "single-window-dlx",
+            description: "Same as A, but with a single issue window",
+            source: include_str!("../models/model_b.lss"),
+        },
+        Model {
+            id: 'C',
+            name: "simplescalar",
+            description: "A model equivalent to the SimpleScalar simulator",
+            source: include_str!("../models/model_c.lss"),
+        },
+        Model {
+            id: 'D',
+            name: "ia64-ooo",
+            description: "An out-of-order processor core for IA-64",
+            source: include_str!("../models/model_d.lss"),
+        },
+        Model {
+            id: 'E',
+            name: "ia64-cmp",
+            description: "Two of the cores from D sharing a cache hierarchy",
+            source: include_str!("../models/model_e.lss"),
+        },
+        Model {
+            id: 'F',
+            name: "itanium2",
+            description: "A validated Itanium 2 processor model",
+            source: include_str!("../models/model_f.lss"),
+        },
+    ]
+}
+
+/// Looks a model up by id (case-insensitive).
+pub fn model(id: char) -> Option<&'static Model> {
+    models().iter().find(|m| m.id == id.to_ascii_uppercase())
+}
+
+/// Compiles arbitrary model source against corelib + cpu_lib.
+///
+/// # Errors
+///
+/// Returns the rendered diagnostics on any parse, elaboration, or type
+/// inference failure.
+pub fn compile_source(model_src: &str, opts: &CompileOptions) -> Result<Compiled, String> {
+    let corelib = corelib_source();
+    let cpulib = cpu_lib();
+    let mut sources = SourceMap::new();
+    let corelib_file = sources.add_file("corelib.lss", corelib.as_str());
+    let cpulib_file = sources.add_file("cpu_lib.lss", cpulib);
+    let model_file = sources.add_file("model.lss", model_src);
+    let mut diags = DiagnosticBag::new();
+    let corelib_prog = parse(corelib_file, &corelib, &mut diags);
+    let cpulib_prog = parse(cpulib_file, cpulib, &mut diags);
+    let model_prog = parse(model_file, model_src, &mut diags);
+    if diags.has_errors() {
+        return Err(diags.render(&sources));
+    }
+    lss_interp::compile(
+        &[
+            Unit { program: &corelib_prog, library: true },
+            Unit { program: &cpulib_prog, library: false },
+            Unit { program: &model_prog, library: false },
+        ],
+        opts,
+        &mut diags,
+    )
+    .ok_or_else(|| diags.render(&sources))
+}
+
+/// Compiles one of the six models with default options.
+///
+/// # Errors
+///
+/// See [`compile_source`].
+pub fn compile_model(model: &Model) -> Result<Compiled, String> {
+    compile_source(model.source, &CompileOptions::default())
+}
+
+/// Counts specification lines the way the §7 experiment does: non-blank
+/// lines that are not pure comments.
+pub fn loc(source: &str) -> usize {
+    source
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .count()
+}
+
+/// The total LSS specification size of a model: its own source plus the
+/// shared cpu_lib (corelib is excluded on both sides of the comparison —
+/// both styles reuse leaf components).
+pub fn model_loc(model: &Model) -> usize {
+    loc(model.source) + loc(cpu_lib())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_models_in_order() {
+        let ids: Vec<char> = models().iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec!['A', 'B', 'C', 'D', 'E', 'F']);
+        assert_eq!(model('c').unwrap().name, "simplescalar");
+        assert!(model('z').is_none());
+    }
+
+    #[test]
+    fn loc_ignores_blanks_and_comments() {
+        assert_eq!(loc("// c\n\n  x = 1;\n  // d\n y = 2;\n"), 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Running compiled models to completion and extracting their statistics.
+
+use std::collections::BTreeMap;
+
+use lss_netlist::Netlist;
+use lss_sim::{build, Scheduler, SimOptions, Simulator};
+use lss_types::Datum;
+
+/// Results of running a model to completion.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Total instructions committed (summed over all commit units).
+    pub committed: i64,
+    /// Total instructions the fetch units were configured to produce.
+    pub target: i64,
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// Mispredicts summed over all fetch units.
+    pub mispredicts: i64,
+    /// Collector state tables keyed by `"path/event"`.
+    pub collectors: BTreeMap<String, BTreeMap<String, Datum>>,
+    /// Engine counters.
+    pub sim: lss_sim::SimStats,
+}
+
+/// Builds a simulator for a compiled netlist with the corelib registry.
+///
+/// # Errors
+///
+/// Propagates simulator build errors as strings.
+pub fn build_sim(netlist: &Netlist, scheduler: Scheduler) -> Result<Simulator, String> {
+    build(
+        netlist,
+        &lss_corelib::registry(),
+        SimOptions { scheduler, ..Default::default() },
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// Runs until every fetch unit's instructions have committed (or
+/// `max_cycles` elapses), then gathers statistics.
+///
+/// # Errors
+///
+/// Simulation errors and non-termination are reported as strings.
+pub fn run_to_completion(
+    netlist: &Netlist,
+    scheduler: Scheduler,
+    max_cycles: u64,
+) -> Result<RunStats, String> {
+    let commit_paths: Vec<String> = netlist
+        .leaves()
+        .filter(|i| i.module == "commit")
+        .map(|i| i.path.clone())
+        .collect();
+    let fetch_paths: Vec<String> = netlist
+        .leaves()
+        .filter(|i| i.module == "fetch")
+        .map(|i| i.path.clone())
+        .collect();
+    if commit_paths.is_empty() || fetch_paths.is_empty() {
+        return Err("model has no fetch/commit units to measure".to_string());
+    }
+    let target: i64 = netlist
+        .leaves()
+        .filter(|i| i.module == "fetch")
+        .map(|i| i.params.get("n_instrs").and_then(Datum::as_int).unwrap_or(0))
+        .sum();
+
+    let mut sim = build_sim(netlist, scheduler)?;
+    let committed_total = |sim: &Simulator| -> i64 {
+        commit_paths
+            .iter()
+            .map(|p| sim.rtv(p, "committed").and_then(|d| d.as_int()).unwrap_or(0))
+            .sum()
+    };
+    loop {
+        sim.step().map_err(|e| format!("cycle {}: {e}", sim.cycle()))?;
+        if committed_total(&sim) >= target {
+            break;
+        }
+        if sim.cycle() >= max_cycles {
+            return Err(format!(
+                "model did not finish: {} of {target} instructions committed after {max_cycles} cycles",
+                committed_total(&sim)
+            ));
+        }
+    }
+    let committed = committed_total(&sim);
+    let mispredicts = fetch_paths
+        .iter()
+        .map(|p| sim.rtv(p, "mispredicts").and_then(|d| d.as_int()).unwrap_or(0))
+        .sum();
+    let mut collectors = BTreeMap::new();
+    for (path, event, state) in sim.collector_reports() {
+        let table: BTreeMap<String, Datum> =
+            state.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        collectors.insert(format!("{path}/{event}"), table);
+    }
+    Ok(RunStats {
+        cycles: sim.cycle(),
+        committed,
+        target,
+        cpi: sim.cycle() as f64 / committed.max(1) as f64,
+        mispredicts,
+        collectors,
+        sim: sim.stats(),
+    })
+}

@@ -1,0 +1,332 @@
+//! Compile, inspect, and run all six Table 3 models.
+
+use lss_interp::CompileOptions;
+use lss_models::runner::run_to_completion;
+use lss_models::staticgen::static_source;
+use lss_models::{compile_model, compile_source, loc, model, models};
+use lss_netlist::reuse_stats;
+use lss_sim::Scheduler;
+use lss_types::Datum;
+
+#[test]
+fn all_six_models_compile() {
+    for m in models() {
+        let compiled = compile_model(m)
+            .unwrap_or_else(|e| panic!("model {} failed to compile:\n{e}", m.id));
+        assert!(
+            compiled.netlist.instances.len() >= 15,
+            "model {} has only {} instances",
+            m.id,
+            compiled.netlist.instances.len()
+        );
+    }
+}
+
+#[test]
+fn reuse_statistics_have_the_papers_shape() {
+    for m in models() {
+        let netlist = compile_model(m).unwrap().netlist;
+        let stats = reuse_stats(&netlist);
+        // The overwhelming majority of instances come from the library
+        // (the paper reports 73%-89% across models).
+        assert!(
+            stats.pct_instances_from_library > 60.0,
+            "model {}: only {:.0}% of instances from the library",
+            m.id,
+            stats.pct_instances_from_library
+        );
+        // Type inference removes the need for most explicit instantiations.
+        assert!(
+            stats.explicit_types_with_inference * 2 <= stats.explicit_types_without_inference,
+            "model {}: inference saves too little ({} -> {})",
+            m.id,
+            stats.explicit_types_without_inference,
+            stats.explicit_types_with_inference
+        );
+        // Widths were inferred for every connected port, and the model is
+        // richly connected.
+        assert!(stats.inferred_port_widths > 20, "model {}", m.id);
+        assert!(stats.connections > 40, "model {}: {} connections", m.id, stats.connections);
+    }
+}
+
+#[test]
+fn model_e_contains_two_model_d_cores() {
+    let d = compile_model(model('D').unwrap()).unwrap().netlist;
+    let e = compile_model(model('E').unwrap()).unwrap().netlist;
+    assert!(e.find("core0").is_some() && e.find("core1").is_some());
+    // Each E core keeps a private L1 but no internal memsys...
+    assert!(e.find("core0.l1").is_some());
+    assert!(e.find("core0.ms").is_none());
+    // ...while the standalone D core owns its full hierarchy.
+    assert!(d.find("cpu.ms.l1").is_some());
+    assert!(d.find("cpu.ms.l2").is_some());
+    // The shared L2 sees both cores: 4 request lanes.
+    let l2 = e.find("l2").unwrap();
+    assert_eq!(l2.port("req").unwrap().width, 4);
+    // E is roughly two D's.
+    assert!(e.instances.len() > d.instances.len() * 3 / 2);
+}
+
+#[test]
+fn use_based_specialization_configures_the_cores() {
+    // D's predictor grew a BTB because model D connects branch_target.
+    let d = compile_model(model('D').unwrap()).unwrap().netlist;
+    let pred = d.find("cpu.fe.pred").unwrap();
+    assert_eq!(pred.params["has_btb"], Datum::Int(1));
+    // A's predictor did not.
+    let a = compile_model(model('A').unwrap()).unwrap().netlist;
+    let pred_a = a.find("cpu.fe.pred").unwrap();
+    assert_eq!(pred_a.params["has_btb"], Datum::Int(0));
+    // E's cores kept only the L1 because their lower_req ports are used.
+    let e = compile_model(model('E').unwrap()).unwrap().netlist;
+    let core_l1 = e.find("core0.l1").unwrap();
+    assert_eq!(core_l1.params["has_lower"], Datum::Int(1));
+}
+
+#[test]
+fn model_a_has_reservation_stations_and_a_cdb() {
+    let a = compile_model(model('A').unwrap()).unwrap().netlist;
+    for i in 0..5 {
+        assert!(a.find(&format!("cpu.rs[{i}]")).is_some(), "missing rs[{i}]");
+        assert!(a.find(&format!("cpu.ex.fus[{i}]")).is_some(), "missing fu {i}");
+    }
+    let cdb = a.find("cpu.ex.cdb").unwrap();
+    assert_eq!(cdb.port("in").unwrap().width, 5);
+    assert_eq!(cdb.port("out").unwrap().width, 1);
+    // The CDB arbitration policy came through the userpoint parameter.
+    assert_eq!(cdb.userpoints[0].code, "return cycle;");
+}
+
+#[test]
+fn models_a_b_c_run_to_completion() {
+    for id in ['A', 'B', 'C'] {
+        let netlist = compile_model(model(id).unwrap()).unwrap().netlist;
+        let stats = run_to_completion(&netlist, Scheduler::Static, 400_000)
+            .unwrap_or_else(|e| panic!("model {id}: {e}"));
+        assert_eq!(stats.committed, stats.target, "model {id}");
+        assert!(
+            stats.cpi > 0.2 && stats.cpi < 30.0,
+            "model {id}: CPI {} implausible",
+            stats.cpi
+        );
+        // Collectors observed commits.
+        let commits: i64 = stats
+            .collectors
+            .iter()
+            .filter(|(k, _)| k.ends_with("/commit"))
+            .filter_map(|(_, t)| t.get("n").and_then(Datum::as_int))
+            .sum();
+        assert_eq!(commits, stats.target, "model {id}");
+    }
+}
+
+#[test]
+fn models_d_e_f_run_to_completion() {
+    let mut cpis = Vec::new();
+    for id in ['D', 'E', 'F'] {
+        let netlist = compile_model(model(id).unwrap()).unwrap().netlist;
+        let stats = run_to_completion(&netlist, Scheduler::Static, 600_000)
+            .unwrap_or_else(|e| panic!("model {id}: {e}"));
+        assert_eq!(stats.committed, stats.target, "model {id}");
+        cpis.push((id, stats.cpi, stats.cycles, stats.committed));
+    }
+    // E runs two cores' worth of work; its *per-core* CPI should be in the
+    // same ballpark as D's (same cores, shared L2 adds some interference).
+    let d_cpi = cpis[0].1;
+    let e = &cpis[1];
+    let e_per_core_cpi = e.2 as f64 / (e.3 as f64 / 2.0);
+    assert!(
+        e_per_core_cpi > d_cpi * 0.5 && e_per_core_cpi < d_cpi * 4.0,
+        "E per-core CPI {e_per_core_cpi} vs D {d_cpi}"
+    );
+    // F is in-order: it should not beat the otherwise-similar D.
+    let f_cpi = cpis[2].1;
+    assert!(f_cpi >= d_cpi * 0.9, "in-order F ({f_cpi}) should not beat OOO D ({d_cpi})");
+}
+
+#[test]
+fn model_b_single_window_tracks_model_a() {
+    // The paper's A/B pair explores scheduling structure with everything
+    // else fixed; both must run the same workload to completion with
+    // broadly comparable performance.
+    let a = run_to_completion(
+        &compile_model(model('A').unwrap()).unwrap().netlist,
+        Scheduler::Static,
+        400_000,
+    )
+    .unwrap();
+    let b = run_to_completion(
+        &compile_model(model('B').unwrap()).unwrap().netlist,
+        Scheduler::Static,
+        400_000,
+    )
+    .unwrap();
+    assert_eq!(a.committed, b.committed);
+    let ratio = a.cpi / b.cpi;
+    assert!(
+        (0.3..3.0).contains(&ratio),
+        "A CPI {} vs B CPI {} diverge too far",
+        a.cpi,
+        b.cpi
+    );
+}
+
+#[test]
+fn static_structural_model_c_is_equivalent_but_bigger() {
+    let m = model('C').unwrap();
+    let compiled = compile_model(m).unwrap();
+    let flat_src = static_source(&compiled.netlist);
+
+    // The generated flat netlist is valid LSS and compiles.
+    let flat = compile_source(&flat_src, &CompileOptions::default())
+        .unwrap_or_else(|e| panic!("static model C failed to compile:\n{e}"));
+
+    // Structural equivalence: same leaves, same wires.
+    assert_eq!(flat.netlist.leaves().count(), compiled.netlist.leaves().count());
+    assert_eq!(flat.netlist.flatten().len(), compiled.netlist.flatten().len());
+
+    // Behavioral equivalence: identical cycle counts and commits.
+    let orig = run_to_completion(&compiled.netlist, Scheduler::Static, 400_000).unwrap();
+    let gen = run_to_completion(&flat.netlist, Scheduler::Static, 400_000).unwrap();
+    assert_eq!(orig.cycles, gen.cycles, "static and LSS models must be cycle-identical");
+    assert_eq!(orig.committed, gen.committed);
+
+    // And the static version needs far more explicit type instantiations.
+    let flat_stats = reuse_stats(&flat.netlist);
+    let lss_stats = reuse_stats(&compiled.netlist);
+    assert!(
+        flat_stats.explicit_types_with_inference
+            > lss_stats.explicit_types_with_inference * 5,
+        "static: {} explicit types, LSS: {}",
+        flat_stats.explicit_types_with_inference,
+        lss_stats.explicit_types_with_inference
+    );
+}
+
+#[test]
+fn lss_family_is_at_least_35pct_smaller_than_static_equivalents() {
+    // The §7 claim (35% line-count reduction converting the static
+    // SimpleScalar model to LSS) manifests for us across the exploration:
+    // one shared LSS source family covers all six models, while a static
+    // structural system needs a separate flat specification per model.
+    let lss_total = loc(lss_models::cpu_lib())
+        + models().iter().map(|m| loc(m.source)).sum::<usize>();
+    let static_total: usize = models()
+        .iter()
+        .map(|m| {
+            let netlist = compile_model(m).unwrap().netlist;
+            loc(&static_source(&netlist))
+        })
+        .sum();
+    assert!(
+        (lss_total as f64) < static_total as f64 * 0.65,
+        "LSS family ({lss_total} lines) should be at least 35% smaller than the six static          specifications ({static_total} lines)"
+    );
+}
+
+#[test]
+fn schedulers_agree_on_model_a() {
+    let netlist = compile_model(model('A').unwrap()).unwrap().netlist;
+    let st = run_to_completion(&netlist, Scheduler::Static, 400_000).unwrap();
+    let dy = run_to_completion(&netlist, Scheduler::Dynamic, 400_000).unwrap();
+    assert_eq!(st.cycles, dy.cycles);
+    assert!(dy.sim.comp_evals > st.sim.comp_evals);
+}
+
+#[test]
+fn canonical_pretty_printing_preserves_model_c() {
+    // Pretty-print every source, reparse the canonical text, recompile,
+    // and check the elaborated model is structurally identical — the
+    // printer is a faithful canonical form even on the full corelib.
+    use lss_ast::{parse, pretty, DiagnosticBag, SourceMap};
+    use lss_interp::Unit;
+
+    let corelib = lss_corelib::corelib_source();
+    let cpulib = lss_models::cpu_lib();
+    let model_src = model('C').unwrap().source;
+
+    let canonicalize = |name: &str, text: &str| -> String {
+        let mut sources = SourceMap::new();
+        let id = sources.add_file(name, text);
+        let mut diags = DiagnosticBag::new();
+        let program = parse(id, text, &mut diags);
+        assert!(!diags.has_errors(), "{}", diags.render(&sources));
+        pretty::program_to_string(&program)
+    };
+    let c1 = canonicalize("corelib", &corelib);
+    let c2 = canonicalize("cpulib", cpulib);
+    let c3 = canonicalize("model", model_src);
+
+    let mut sources = SourceMap::new();
+    let f1 = sources.add_file("c1", c1.as_str());
+    let f2 = sources.add_file("c2", c2.as_str());
+    let f3 = sources.add_file("c3", c3.as_str());
+    let mut diags = DiagnosticBag::new();
+    let p1 = parse(f1, &c1, &mut diags);
+    let p2 = parse(f2, &c2, &mut diags);
+    let p3 = parse(f3, &c3, &mut diags);
+    assert!(!diags.has_errors(), "{}", diags.render(&sources));
+    let canonical = lss_interp::compile(
+        &[
+            Unit { program: &p1, library: true },
+            Unit { program: &p2, library: false },
+            Unit { program: &p3, library: false },
+        ],
+        &lss_interp::CompileOptions::default(),
+        &mut diags,
+    )
+    .unwrap_or_else(|| panic!("{}", diags.render(&sources)));
+
+    let original = compile_model(model('C').unwrap()).unwrap();
+    assert_eq!(
+        canonical.netlist.instances.len(),
+        original.netlist.instances.len()
+    );
+    assert_eq!(
+        canonical.netlist.connections.len(),
+        original.netlist.connections.len()
+    );
+    for (a, b) in canonical.netlist.instances.iter().zip(&original.netlist.instances) {
+        assert_eq!(a.path, b.path);
+        assert_eq!(a.params, b.params);
+    }
+}
+
+#[test]
+fn static_structural_model_a_equivalence_including_userpoints() {
+    // Model A carries a CDB arbitration *userpoint* ("return cycle;"),
+    // which the static generator must re-emit with correct escaping.
+    let m = model('A').unwrap();
+    let compiled = compile_model(m).unwrap();
+    let flat_src = static_source(&compiled.netlist);
+    assert!(
+        flat_src.contains("cpu_ex_cdb.policy = \"return cycle;\";"),
+        "userpoint must be spelled out:\n{}",
+        &flat_src[..600]
+    );
+    let flat = compile_source(&flat_src, &lss_interp::CompileOptions::default())
+        .unwrap_or_else(|e| panic!("static model A failed to compile:\n{e}"));
+    let orig = run_to_completion(&compiled.netlist, Scheduler::Static, 400_000).unwrap();
+    let gen = run_to_completion(&flat.netlist, Scheduler::Static, 400_000).unwrap();
+    assert_eq!(orig.cycles, gen.cycles);
+    assert_eq!(orig.committed, gen.committed);
+    assert_eq!(orig.mispredicts, gen.mispredicts);
+}
+
+#[test]
+fn static_structural_model_e_equivalence_two_cores_shared_l2() {
+    // The hardest flattening case: two hierarchical cores, a shared
+    // multi-ported L2, banked memory, per-chip debug tickers.
+    let m = model('E').unwrap();
+    let compiled = compile_model(m).unwrap();
+    let flat_src = static_source(&compiled.netlist);
+    let flat = compile_source(&flat_src, &lss_interp::CompileOptions::default())
+        .unwrap_or_else(|e| panic!("static model E failed to compile:\n{e}"));
+    assert_eq!(flat.netlist.leaves().count(), compiled.netlist.leaves().count());
+    assert_eq!(flat.netlist.flatten().len(), compiled.netlist.flatten().len());
+    let orig = run_to_completion(&compiled.netlist, Scheduler::Static, 600_000).unwrap();
+    let gen = run_to_completion(&flat.netlist, Scheduler::Static, 600_000).unwrap();
+    assert_eq!(orig.cycles, gen.cycles, "static E must be cycle-identical");
+    assert_eq!(orig.committed, gen.committed);
+}

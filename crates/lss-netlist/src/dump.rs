@@ -1,0 +1,135 @@
+//! Human-readable netlist dumps: an ASCII hierarchy tree and GraphViz dot.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use crate::netlist::{InstanceId, Netlist};
+
+/// Renders the instance hierarchy as an indented tree.
+pub fn tree(netlist: &Netlist) -> String {
+    let mut children: BTreeMap<Option<InstanceId>, Vec<InstanceId>> = BTreeMap::new();
+    for inst in &netlist.instances {
+        children.entry(inst.parent).or_default().push(inst.id);
+    }
+    let mut out = String::new();
+    fn walk(
+        netlist: &Netlist,
+        children: &BTreeMap<Option<InstanceId>, Vec<InstanceId>>,
+        id: InstanceId,
+        depth: usize,
+        out: &mut String,
+    ) {
+        let inst = netlist.instance(id);
+        let local = inst.path.rsplit('.').next().unwrap_or(&inst.path);
+        let kind = if inst.is_leaf() { "leaf" } else { "hier" };
+        let ports: Vec<String> = inst
+            .ports
+            .iter()
+            .map(|p| {
+                let ty = p.ty.as_ref().map(|t| t.to_string()).unwrap_or_else(|| "?".into());
+                format!("{}:{}[w={}]", p.name, ty, p.width)
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{}{} : {} ({}) {}",
+            "  ".repeat(depth),
+            local,
+            inst.module,
+            kind,
+            ports.join(" ")
+        );
+        if let Some(kids) = children.get(&Some(id)) {
+            for &kid in kids {
+                walk(netlist, children, kid, depth + 1, out);
+            }
+        }
+    }
+    if let Some(roots) = children.get(&None) {
+        for &root in roots {
+            walk(netlist, &children, root, 0, &mut out);
+        }
+    }
+    out
+}
+
+/// Renders the flattened wire graph in GraphViz dot syntax.
+pub fn dot(netlist: &Netlist) -> String {
+    let mut out = String::from("digraph model {\n  rankdir=LR;\n");
+    for inst in netlist.leaves() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=box,label=\"{}\\n{}\"];",
+            inst.path, inst.path, inst.module
+        );
+    }
+    for wire in netlist.flatten() {
+        let src = netlist.instance(wire.src.inst);
+        let dst = netlist.instance(wire.dst.inst);
+        let src_port = &src.ports[wire.src.port as usize].name;
+        let dst_port = &dst.ports[wire.dst.port as usize].name;
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{}->{}\"];",
+            src.path, dst.path, src_port, dst_port
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::testutil::{ep, inst};
+    use crate::netlist::{Connection, Dir, InstanceKind};
+    use lss_types::VarGen;
+
+    fn sample() -> Netlist {
+        let mut n = Netlist::new();
+        let mut vars = VarGen::new();
+        let a = n.add_instance(inst(
+            "a",
+            "source",
+            InstanceKind::Leaf { tar_file: "t".into() },
+            None,
+            &[("out", Dir::Out)],
+            &mut vars,
+        ));
+        let h = n.add_instance(inst(
+            "h",
+            "wrap",
+            InstanceKind::Hierarchical,
+            None,
+            &[("in", Dir::In)],
+            &mut vars,
+        ));
+        let b = n.add_instance(inst(
+            "h.b",
+            "sink",
+            InstanceKind::Leaf { tar_file: "t".into() },
+            Some(h),
+            &[("in", Dir::In)],
+            &mut vars,
+        ));
+        n.vars = vars;
+        n.connections.push(Connection { src: ep(a, 0, 0), dst: ep(h, 0, 0) });
+        n.connections.push(Connection { src: ep(h, 0, 0), dst: ep(b, 0, 0) });
+        n
+    }
+
+    #[test]
+    fn tree_shows_hierarchy() {
+        let t = tree(&sample());
+        assert!(t.contains("a : source (leaf)"));
+        assert!(t.contains("h : wrap (hier)"));
+        assert!(t.contains("  b : sink (leaf)"), "child should be indented: {t}");
+    }
+
+    #[test]
+    fn dot_contains_flattened_wires() {
+        let d = dot(&sample());
+        assert!(d.contains("digraph model"));
+        assert!(d.contains("\"a\" -> \"h.b\""), "leaf-to-leaf wire missing: {d}");
+    }
+}

@@ -1,0 +1,193 @@
+//! JSON export of the elaborated netlist, for external tooling
+//! (visualizers, diffing, CI artifacts). Hand-rolled writer — the IR is
+//! small and a serializer dependency is not warranted (DESIGN.md §6).
+
+use std::fmt::Write;
+
+use lss_types::{Datum, Ty};
+
+use crate::netlist::{InstanceKind, Netlist};
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn datum_json(d: &Datum) -> String {
+    match d {
+        Datum::Int(v) => v.to_string(),
+        Datum::Bool(b) => b.to_string(),
+        Datum::Float(v) if v.is_finite() => v.to_string(),
+        Datum::Float(_) => "null".to_string(),
+        Datum::Str(s) => format!("\"{}\"", escape(s)),
+        Datum::Array(items) => {
+            let inner: Vec<String> = items.iter().map(datum_json).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Datum::Struct(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", escape(k), datum_json(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+fn ty_json(ty: &Ty) -> String {
+    format!("\"{}\"", escape(&ty.to_string()))
+}
+
+/// Serializes the netlist to a JSON document: instances (with parameters,
+/// ports, userpoints), connections, flattened wires, and collectors.
+pub fn to_json(netlist: &Netlist) -> String {
+    let mut out = String::from("{\n  \"instances\": [\n");
+    for (i, inst) in netlist.instances.iter().enumerate() {
+        let kind = match &inst.kind {
+            InstanceKind::Leaf { tar_file } => {
+                format!("\"leaf\", \"tar_file\": \"{}\"", escape(tar_file))
+            }
+            InstanceKind::Hierarchical => "\"hierarchical\"".to_string(),
+        };
+        let params: Vec<String> = inst
+            .params
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {}", escape(k), datum_json(v)))
+            .collect();
+        let ports: Vec<String> = inst
+            .ports
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"name\": \"{}\", \"dir\": \"{}\", \"width\": {}, \"type\": {}}}",
+                    escape(&p.name),
+                    p.dir,
+                    p.width,
+                    p.ty.as_ref().map(ty_json).unwrap_or_else(|| "null".to_string())
+                )
+            })
+            .collect();
+        let userpoints: Vec<String> = inst
+            .userpoints
+            .iter()
+            .map(|u| format!("{{\"name\": \"{}\", \"code\": \"{}\"}}", escape(&u.name), escape(&u.code)))
+            .collect();
+        let _ = write!(
+            out,
+            "    {{\"path\": \"{}\", \"module\": \"{}\", \"kind\": {kind}, \
+             \"from_library\": {}, \"parent\": {}, \"params\": {{{}}}, \"ports\": [{}], \
+             \"userpoints\": [{}]}}",
+            escape(&inst.path),
+            escape(&inst.module),
+            inst.from_library,
+            inst.parent.map(|p| p.0.to_string()).unwrap_or_else(|| "null".to_string()),
+            params.join(", "),
+            ports.join(", "),
+            userpoints.join(", "),
+        );
+        out.push_str(if i + 1 < netlist.instances.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"wires\": [\n");
+    let wires = netlist.flatten();
+    for (i, w) in wires.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"src\": \"{}\", \"dst\": \"{}\"}}",
+            escape(&netlist.endpoint_name(w.src)),
+            escape(&netlist.endpoint_name(w.dst))
+        );
+        out.push_str(if i + 1 < wires.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"collectors\": [\n");
+    for (i, c) in netlist.collectors.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"instance\": \"{}\", \"event\": \"{}\", \"code\": \"{}\"}}",
+            escape(&netlist.instance(c.inst).path),
+            escape(&c.event),
+            escape(&c.code)
+        );
+        out.push_str(if i + 1 < netlist.collectors.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::testutil::{ep, inst};
+    use crate::netlist::{Connection, Dir, InstanceKind, Userpoint};
+    use lss_types::VarGen;
+
+    #[test]
+    fn exports_valid_looking_json() {
+        let mut n = Netlist::new();
+        let mut vars = VarGen::new();
+        let a = n.add_instance(inst(
+            "a",
+            "source",
+            InstanceKind::Leaf { tar_file: "corelib/source.tar".into() },
+            None,
+            &[("out", Dir::Out)],
+            &mut vars,
+        ));
+        let b = n.add_instance(inst(
+            "b",
+            "sink",
+            InstanceKind::Leaf { tar_file: "corelib/sink.tar".into() },
+            None,
+            &[("in", Dir::In)],
+            &mut vars,
+        ));
+        n.instance_mut(a).params.insert("start".into(), Datum::Int(3));
+        n.instance_mut(a).ports[0].ty = Some(Ty::Int);
+        n.instance_mut(a).ports[0].width = 1;
+        n.instance_mut(a).userpoints.push(Userpoint {
+            name: "p".into(),
+            args: vec![],
+            ret: Ty::Int,
+            code: "return \"x\";".into(),
+        });
+        n.connections.push(Connection { src: ep(a, 0, 0), dst: ep(b, 0, 0) });
+        let json = to_json(&n);
+        assert!(json.contains("\"path\": \"a\""));
+        assert!(json.contains("\"start\": 3"));
+        assert!(json.contains("\"type\": \"int\""));
+        assert!(json.contains("\"src\": \"a.out[0]\""));
+        assert!(json.contains("return \\\"x\\\";"), "code must be escaped: {json}");
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+        assert_eq!(datum_json(&Datum::Float(f64::NAN)), "null");
+        assert_eq!(
+            datum_json(&Datum::Struct(vec![("k".into(), Datum::Bool(true))])),
+            "{\"k\":true}"
+        );
+    }
+
+    #[test]
+    fn empty_netlist_exports() {
+        let json = to_json(&Netlist::new());
+        assert!(json.contains("\"instances\": ["));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -1,0 +1,40 @@
+//! Elaborated netlist IR for LSS models.
+//!
+//! Executing an LSS specification (see `lss-interp`) produces a
+//! [`Netlist`]: instances, ports with use-inferred widths, point-to-point
+//! connections, resolved parameters, userpoints, events, and collectors.
+//! This crate also provides:
+//!
+//! * [`Netlist::flatten`] — resolution of hierarchical pass-through ports
+//!   into direct leaf-to-leaf [`Wire`]s for the simulator;
+//! * [`stats`] — the reuse metrics behind the paper's Table 2;
+//! * [`lint`] — advisory static model checks (unconnected inputs, dangling
+//!   hierarchical ports, suspicious width mismatches);
+//! * [`json`] — JSON export for external tooling;
+//! * [`dump`] — ASCII-tree and GraphViz renderings.
+//!
+//! # Example
+//!
+//! ```
+//! use lss_netlist::Netlist;
+//!
+//! let netlist = Netlist::new();
+//! let stats = lss_netlist::reuse_stats(&netlist);
+//! assert_eq!(stats.instances, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dump;
+pub mod json;
+pub mod lint;
+pub mod netlist;
+pub mod stats;
+
+pub use netlist::{
+    Collector, Connection, Dir, ElabStats, Endpoint, EventDecl, Instance, InstanceId,
+    InstanceKind, ModuleMeta, Netlist, Port, RuntimeVar, Userpoint, Wire,
+};
+pub use json::to_json;
+pub use lint::{lint, Lint, LintKind};
+pub use stats::{format_row, header, reuse_stats, total, ReuseStats};

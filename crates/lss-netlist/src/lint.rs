@@ -1,0 +1,294 @@
+//! Static model lints — the "user convenience" analyses §3 asks of a
+//! modeling system, run over the elaborated netlist before simulation.
+//!
+//! Lints are advisory: unconnected-port semantics (§4.2) make many of
+//! these situations legal, but experience with large models shows they are
+//! usually mistakes, so the checker surfaces them with precise paths.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::netlist::{Dir, Netlist};
+
+/// The category of a lint finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintKind {
+    /// A leaf input port with zero width on an instance that has at least
+    /// one connected port — probably a forgotten connection.
+    UnconnectedInput,
+    /// A leaf output port with zero width — computed values go nowhere.
+    UnconnectedOutput,
+    /// A hierarchical instance with no connected ports at all.
+    IsolatedInstance,
+    /// A hierarchical port whose outside face is connected but whose inside
+    /// never uses it (or vice versa): data falls off the boundary.
+    DanglingHierarchicalPort,
+    /// Two ports of one instance declared with the same type variable
+    /// resolved to different widths — legal, but often a bus-width bug.
+    WidthMismatch,
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LintKind::UnconnectedInput => "unconnected input",
+            LintKind::UnconnectedOutput => "unconnected output",
+            LintKind::IsolatedInstance => "isolated instance",
+            LintKind::DanglingHierarchicalPort => "dangling hierarchical port",
+            LintKind::WidthMismatch => "width mismatch",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// Category.
+    pub kind: LintKind,
+    /// Instance (and possibly port) path the finding refers to.
+    pub subject: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.kind, self.subject, self.message)
+    }
+}
+
+/// Runs all lints over the netlist.
+pub fn lint(netlist: &Netlist) -> Vec<Lint> {
+    let mut findings = Vec::new();
+    lint_unconnected(netlist, &mut findings);
+    lint_isolated(netlist, &mut findings);
+    lint_dangling_hierarchical(netlist, &mut findings);
+    lint_width_mismatch(netlist, &mut findings);
+    findings
+}
+
+fn lint_unconnected(netlist: &Netlist, findings: &mut Vec<Lint>) {
+    for inst in netlist.leaves() {
+        let any_connected = inst.ports.iter().any(|p| p.width > 0);
+        if !any_connected {
+            continue; // handled by the isolated-instance lint
+        }
+        for port in &inst.ports {
+            if port.width > 0 {
+                continue;
+            }
+            match port.dir {
+                Dir::In => findings.push(Lint {
+                    kind: LintKind::UnconnectedInput,
+                    subject: format!("{}.{}", inst.path, port.name),
+                    message: format!(
+                        "input `{}` of `{}` ({}) is never driven; the behavior will see no data \
+                         on it",
+                        port.name, inst.path, inst.module
+                    ),
+                }),
+                Dir::Out => findings.push(Lint {
+                    kind: LintKind::UnconnectedOutput,
+                    subject: format!("{}.{}", inst.path, port.name),
+                    message: format!(
+                        "output `{}` of `{}` ({}) has no consumers; values sent on it are \
+                         discarded",
+                        port.name, inst.path, inst.module
+                    ),
+                }),
+            }
+        }
+    }
+}
+
+fn lint_isolated(netlist: &Netlist, findings: &mut Vec<Lint>) {
+    for inst in &netlist.instances {
+        if inst.ports.is_empty() {
+            continue; // sinks of pure state are fine
+        }
+        if inst.ports.iter().all(|p| p.width == 0) {
+            findings.push(Lint {
+                kind: LintKind::IsolatedInstance,
+                subject: inst.path.clone(),
+                message: format!(
+                    "`{}` ({}) declares {} port(s) but none are connected",
+                    inst.path,
+                    inst.module,
+                    inst.ports.len()
+                ),
+            });
+        }
+    }
+}
+
+fn lint_dangling_hierarchical(netlist: &Netlist, findings: &mut Vec<Lint>) {
+    // A hierarchical port instance should appear on both faces: as a dst
+    // (outside drives an inport / inside drives an outport) and as a src.
+    let mut srcs: BTreeSet<(u32, u32, u32)> = BTreeSet::new();
+    let mut dsts: BTreeSet<(u32, u32, u32)> = BTreeSet::new();
+    for c in &netlist.connections {
+        srcs.insert((c.src.inst.0, c.src.port, c.src.index));
+        dsts.insert((c.dst.inst.0, c.dst.port, c.dst.index));
+    }
+    for inst in &netlist.instances {
+        if inst.is_leaf() {
+            continue;
+        }
+        for (pidx, port) in inst.ports.iter().enumerate() {
+            for lane in 0..port.width {
+                let key = (inst.id.0, pidx as u32, lane);
+                let as_src = srcs.contains(&key);
+                let as_dst = dsts.contains(&key);
+                if as_src != as_dst {
+                    let (have, missing) = if as_dst {
+                        ("driven", "never consumed on the other side")
+                    } else {
+                        ("consumed", "never driven on the other side")
+                    };
+                    findings.push(Lint {
+                        kind: LintKind::DanglingHierarchicalPort,
+                        subject: format!("{}.{}[{}]", inst.path, port.name, lane),
+                        message: format!(
+                            "hierarchical port instance is {have} but {missing}; data crossing \
+                             this boundary is lost"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn lint_width_mismatch(netlist: &Netlist, findings: &mut Vec<Lint>) {
+    for inst in &netlist.instances {
+        // Group ports by shared type variables in their declared schemes.
+        for (i, a) in inst.ports.iter().enumerate() {
+            for b in inst.ports.iter().skip(i + 1) {
+                if a.width == b.width || a.width == 0 || b.width == 0 {
+                    continue;
+                }
+                let a_vars: BTreeSet<_> = a.scheme.vars().into_iter().collect();
+                let shares_var = b.scheme.vars().iter().any(|v| a_vars.contains(v));
+                if shares_var {
+                    findings.push(Lint {
+                        kind: LintKind::WidthMismatch,
+                        subject: format!("{}.{}/{}", inst.path, a.name, b.name),
+                        message: format!(
+                            "ports `{}` (width {}) and `{}` (width {}) share a type variable \
+                             but differ in width — is a lane dropped?",
+                            a.name, a.width, b.name, b.width
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::testutil::{ep, inst};
+    use crate::netlist::{Connection, InstanceKind};
+    use lss_types::VarGen;
+
+    fn leaf(netlist: &mut Netlist, path: &str, ports: &[(&str, Dir)], vars: &mut VarGen) -> crate::netlist::InstanceId {
+        netlist.add_instance(inst(
+            path,
+            "m",
+            InstanceKind::Leaf { tar_file: "t".into() },
+            None,
+            ports,
+            vars,
+        ))
+    }
+
+    #[test]
+    fn reports_unconnected_ports_on_partially_wired_leaves() {
+        let mut n = Netlist::new();
+        let mut vars = VarGen::new();
+        let a = leaf(&mut n, "a", &[("out", Dir::Out)], &mut vars);
+        let b = leaf(&mut n, "b", &[("in", Dir::In), ("aux", Dir::In), ("res", Dir::Out)], &mut vars);
+        n.connections.push(Connection { src: ep(a, 0, 0), dst: ep(b, 0, 0) });
+        n.instance_mut(a).ports[0].width = 1;
+        n.instance_mut(b).ports[0].width = 1;
+        let findings = lint(&n);
+        assert!(findings
+            .iter()
+            .any(|l| l.kind == LintKind::UnconnectedInput && l.subject == "b.aux"));
+        assert!(findings
+            .iter()
+            .any(|l| l.kind == LintKind::UnconnectedOutput && l.subject == "b.res"));
+    }
+
+    #[test]
+    fn reports_isolated_instances_once() {
+        let mut n = Netlist::new();
+        let mut vars = VarGen::new();
+        leaf(&mut n, "lonely", &[("in", Dir::In), ("out", Dir::Out)], &mut vars);
+        let findings = lint(&n);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, LintKind::IsolatedInstance);
+    }
+
+    #[test]
+    fn reports_dangling_hierarchical_ports() {
+        let mut n = Netlist::new();
+        let mut vars = VarGen::new();
+        let g = leaf(&mut n, "g", &[("out", Dir::Out)], &mut vars);
+        let h = n.add_instance(inst(
+            "h",
+            "wrap",
+            InstanceKind::Hierarchical,
+            None,
+            &[("in", Dir::In)],
+            &mut vars,
+        ));
+        // Outside drives h.in but nothing inside consumes it.
+        n.connections.push(Connection { src: ep(g, 0, 0), dst: ep(h, 0, 0) });
+        n.instance_mut(g).ports[0].width = 1;
+        n.instance_mut(h).ports[0].width = 1;
+        let findings = lint(&n);
+        assert!(findings
+            .iter()
+            .any(|l| l.kind == LintKind::DanglingHierarchicalPort && l.subject == "h.in[0]"),
+            "{findings:?}");
+    }
+
+    #[test]
+    fn reports_width_mismatch_on_shared_type_vars() {
+        let mut n = Netlist::new();
+        let mut vars = VarGen::new();
+        let id = leaf(&mut n, "q", &[("in", Dir::In), ("out", Dir::Out)], &mut vars);
+        // Tie both ports to the same variable, then give them different widths.
+        let shared = n.instance(id).ports[0].var;
+        n.instance_mut(id).ports[1].scheme = lss_types::Scheme::Var(shared);
+        n.instance_mut(id).ports[0].width = 3;
+        n.instance_mut(id).ports[1].width = 1;
+        let findings = lint(&n);
+        assert!(findings.iter().any(|l| l.kind == LintKind::WidthMismatch), "{findings:?}");
+    }
+
+    #[test]
+    fn clean_model_is_lint_free() {
+        let mut n = Netlist::new();
+        let mut vars = VarGen::new();
+        let a = leaf(&mut n, "a", &[("out", Dir::Out)], &mut vars);
+        let b = leaf(&mut n, "b", &[("in", Dir::In)], &mut vars);
+        n.connections.push(Connection { src: ep(a, 0, 0), dst: ep(b, 0, 0) });
+        n.instance_mut(a).ports[0].width = 1;
+        n.instance_mut(b).ports[0].width = 1;
+        assert!(lint(&n).is_empty());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let l = Lint {
+            kind: LintKind::UnconnectedInput,
+            subject: "x.in".into(),
+            message: "m".into(),
+        };
+        assert_eq!(l.to_string(), "[unconnected input] x.in: m");
+    }
+}

@@ -1,0 +1,387 @@
+//! Reuse statistics extraction — the machinery behind the paper's Table 2.
+//!
+//! Each metric is computed from the elaborated netlist:
+//!
+//! * **instances** — total module instances elaborated;
+//! * **hierarchical / leaf modules** — distinct module templates used, by
+//!   kind; the parenthesized variant discounts *trivial* hierarchical
+//!   modules (parameterless wrappers);
+//! * **instances per module** — reuse factor;
+//! * **% instances from library** — fraction of instances whose module came
+//!   from the shared component library;
+//! * **explicit type instantiations w/o inference** — how many explicit
+//!   type instantiations a user *would* have needed without the inference
+//!   engine: one per distinct type variable per instance, plus one per
+//!   variable-free disjunctive (overloaded) port;
+//! * **explicit type instantiations w/ inference** — annotations actually
+//!   present in the sources (counted during elaboration);
+//! * **inferred port widths** — ports whose implicit `width` parameter was
+//!   set by counting connections (use-based specialization);
+//! * **connections** — total recorded connections.
+
+use std::collections::BTreeSet;
+
+use crate::netlist::Netlist;
+
+/// Table 2 metrics for one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReuseStats {
+    /// Total module instances.
+    pub instances: usize,
+    /// Distinct hierarchical module templates used.
+    pub hierarchical_modules: usize,
+    /// Hierarchical templates discounting trivial wrappers.
+    pub hierarchical_modules_nontrivial: usize,
+    /// Distinct leaf module templates used.
+    pub leaf_modules: usize,
+    /// Instances per module (reuse factor).
+    pub instances_per_module: f64,
+    /// Reuse factor discounting trivial wrappers.
+    pub instances_per_module_nontrivial: f64,
+    /// Fraction of instances from the shared library, in percent.
+    pub pct_instances_from_library: f64,
+    /// Distinct library modules used.
+    pub modules_from_library: usize,
+    /// Explicit type instantiations a user would need without inference.
+    pub explicit_types_without_inference: usize,
+    /// Explicit type instantiations actually written (with inference).
+    pub explicit_types_with_inference: usize,
+    /// Port widths inferred by use-based specialization.
+    pub inferred_port_widths: usize,
+    /// Total connections.
+    pub connections: usize,
+}
+
+impl ReuseStats {
+    /// Percent reduction in explicit type instantiations thanks to
+    /// inference (the paper reports 66% across all models).
+    pub fn type_instantiation_reduction_pct(&self) -> f64 {
+        if self.explicit_types_without_inference == 0 {
+            return 0.0;
+        }
+        100.0
+            * (1.0
+                - self.explicit_types_with_inference as f64
+                    / self.explicit_types_without_inference as f64)
+    }
+}
+
+/// Computes reuse statistics for a netlist.
+pub fn reuse_stats(netlist: &Netlist) -> ReuseStats {
+    let instances = netlist.instances.len();
+
+    let mut hier = BTreeSet::new();
+    let mut hier_trivial = BTreeSet::new();
+    let mut leaf = BTreeSet::new();
+    let mut library = BTreeSet::new();
+    let mut from_library_count = 0usize;
+    for inst in &netlist.instances {
+        let meta = netlist.modules.get(&inst.module);
+        if inst.is_leaf() {
+            leaf.insert(inst.module.clone());
+        } else {
+            hier.insert(inst.module.clone());
+            if meta.map(|m| m.trivial).unwrap_or(false) {
+                hier_trivial.insert(inst.module.clone());
+            }
+        }
+        if inst.from_library {
+            from_library_count += 1;
+            library.insert(inst.module.clone());
+        }
+    }
+
+    let module_count = hier.len() + leaf.len();
+    let module_count_nontrivial = module_count - hier_trivial.len();
+    let instances_per_module =
+        if module_count == 0 { 0.0 } else { instances as f64 / module_count as f64 };
+    // For the discounted figure the paper also discounts the *instances* of
+    // trivial wrappers.
+    let nontrivial_instances = netlist
+        .instances
+        .iter()
+        .filter(|i| {
+            !netlist.modules.get(&i.module).map(|m| m.trivial && m.hierarchical).unwrap_or(false)
+        })
+        .count();
+    let instances_per_module_nontrivial = if module_count_nontrivial == 0 {
+        0.0
+    } else {
+        nontrivial_instances as f64 / module_count_nontrivial as f64
+    };
+
+    // Explicit instantiations without inference: per instance, one per
+    // distinct port type variable plus one per ground disjunctive port.
+    let mut without_inference = 0usize;
+    for inst in &netlist.instances {
+        let mut vars_seen = BTreeSet::new();
+        for port in &inst.ports {
+            let vars = port.scheme.vars();
+            if vars.is_empty() {
+                if port.scheme.has_disjunction() {
+                    without_inference += 1;
+                }
+            } else {
+                for v in vars {
+                    vars_seen.insert(v);
+                }
+            }
+        }
+        without_inference += vars_seen.len();
+    }
+
+    let inferred_port_widths = netlist
+        .instances
+        .iter()
+        .flat_map(|i| i.ports.iter())
+        .filter(|p| p.width > 0)
+        .count();
+
+    ReuseStats {
+        instances,
+        hierarchical_modules: hier.len(),
+        hierarchical_modules_nontrivial: hier.len() - hier_trivial.len(),
+        leaf_modules: leaf.len(),
+        instances_per_module,
+        instances_per_module_nontrivial,
+        pct_instances_from_library: if instances == 0 {
+            0.0
+        } else {
+            100.0 * from_library_count as f64 / instances as f64
+        },
+        modules_from_library: library.len(),
+        explicit_types_without_inference: without_inference,
+        explicit_types_with_inference: netlist.elab.explicit_type_instantiations as usize,
+        inferred_port_widths,
+        connections: netlist.connections.len(),
+    }
+}
+
+/// Formats stats as one Table 2 row.
+pub fn format_row(model: &str, s: &ReuseStats) -> String {
+    format!(
+        "{model:<6} {inst:>9} {hier:>6} ({hnt:>2}) {leaf:>6} {ipm:>6.2} ({ipmnt:>5.2}) {pct:>5.0}% {libm:>5} {wo:>6} {w:>5} {widths:>7} {conns:>8}",
+        model = model,
+        inst = s.instances,
+        hier = s.hierarchical_modules,
+        hnt = s.hierarchical_modules_nontrivial,
+        leaf = s.leaf_modules,
+        ipm = s.instances_per_module,
+        ipmnt = s.instances_per_module_nontrivial,
+        pct = s.pct_instances_from_library,
+        libm = s.modules_from_library,
+        wo = s.explicit_types_without_inference,
+        w = s.explicit_types_with_inference,
+        widths = s.inferred_port_widths,
+        conns = s.connections,
+    )
+}
+
+/// The Table 2 header matching [`format_row`].
+pub fn header() -> String {
+    format!(
+        "{:<6} {:>9} {:>11} {:>6} {:>14} {:>6} {:>5} {:>6} {:>5} {:>7} {:>8}",
+        "Model",
+        "Instances",
+        "HierMod(nt)",
+        "LeafM",
+        "Inst/Mod(nt)",
+        "Lib%",
+        "LibM",
+        "TyW/O",
+        "TyW/",
+        "Widths",
+        "Conns"
+    )
+}
+
+/// Aggregates several models' stats into a "Total" row (module counts take
+/// the union semantics the paper uses: distinct modules across all models
+/// are already distinct within each netlist, so totals sum instance-derived
+/// quantities and take the max of module-count quantities as an
+/// approximation of the cross-model union when module names are shared).
+pub fn total(stats: &[(&str, ReuseStats)], shared_modules: usize) -> ReuseStats {
+    let instances: usize = stats.iter().map(|(_, s)| s.instances).sum();
+    let connections: usize = stats.iter().map(|(_, s)| s.connections).sum();
+    let widths: usize = stats.iter().map(|(_, s)| s.inferred_port_widths).sum();
+    let wo: usize = stats.iter().map(|(_, s)| s.explicit_types_without_inference).sum();
+    let w: usize = stats.iter().map(|(_, s)| s.explicit_types_with_inference).sum();
+    let from_lib: f64 = stats
+        .iter()
+        .map(|(_, s)| s.pct_instances_from_library / 100.0 * s.instances as f64)
+        .sum();
+    let hier = stats.iter().map(|(_, s)| s.hierarchical_modules).max().unwrap_or(0);
+    let hier_nt =
+        stats.iter().map(|(_, s)| s.hierarchical_modules_nontrivial).max().unwrap_or(0);
+    let leaf = stats.iter().map(|(_, s)| s.leaf_modules).max().unwrap_or(0);
+    let module_count = (hier + leaf).max(1);
+    ReuseStats {
+        instances,
+        hierarchical_modules: hier,
+        hierarchical_modules_nontrivial: hier_nt,
+        leaf_modules: leaf,
+        instances_per_module: instances as f64 / module_count as f64,
+        instances_per_module_nontrivial: instances as f64 / (hier_nt + leaf).max(1) as f64,
+        pct_instances_from_library: if instances == 0 {
+            0.0
+        } else {
+            100.0 * from_lib / instances as f64
+        },
+        modules_from_library: shared_modules,
+        explicit_types_without_inference: wo,
+        explicit_types_with_inference: w,
+        inferred_port_widths: widths,
+        connections,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::testutil::{ep, inst};
+    use crate::netlist::{Connection, Dir, InstanceKind, ModuleMeta};
+    use lss_types::{Scheme, VarGen};
+
+    fn sample() -> Netlist {
+        let mut n = Netlist::new();
+        let mut vars = VarGen::new();
+        let a = n.add_instance(inst(
+            "a",
+            "source",
+            InstanceKind::Leaf { tar_file: "t".into() },
+            None,
+            &[("out", Dir::Out)],
+            &mut vars,
+        ));
+        let b = n.add_instance(inst(
+            "b",
+            "delay",
+            InstanceKind::Leaf { tar_file: "t".into() },
+            None,
+            &[("in", Dir::In), ("out", Dir::Out)],
+            &mut vars,
+        ));
+        let c = n.add_instance(inst(
+            "c",
+            "delay",
+            InstanceKind::Leaf { tar_file: "t".into() },
+            None,
+            &[("in", Dir::In), ("out", Dir::Out)],
+            &mut vars,
+        ));
+        n.vars = vars;
+        n.modules.insert(
+            "source".into(),
+            ModuleMeta { hierarchical: false, from_library: true, trivial: false },
+        );
+        n.modules.insert(
+            "delay".into(),
+            ModuleMeta { hierarchical: false, from_library: true, trivial: false },
+        );
+        n.connections.push(Connection { src: ep(a, 0, 0), dst: ep(b, 0, 0) });
+        n.connections.push(Connection { src: ep(b, 1, 0), dst: ep(c, 0, 0) });
+        n.instance_mut(a).ports[0].width = 1;
+        n.instance_mut(b).ports[0].width = 1;
+        n.instance_mut(b).ports[1].width = 1;
+        n.instance_mut(c).ports[0].width = 1;
+        n
+    }
+
+    #[test]
+    fn counts_basic_quantities() {
+        let n = sample();
+        let s = reuse_stats(&n);
+        assert_eq!(s.instances, 3);
+        assert_eq!(s.leaf_modules, 2);
+        assert_eq!(s.hierarchical_modules, 0);
+        assert_eq!(s.connections, 2);
+        assert_eq!(s.inferred_port_widths, 4);
+        assert!((s.instances_per_module - 1.5).abs() < 1e-9);
+        assert!((s.pct_instances_from_library - 100.0).abs() < 1e-9);
+        assert_eq!(s.modules_from_library, 2);
+    }
+
+    #[test]
+    fn explicit_without_inference_counts_var_classes() {
+        let n = sample();
+        // Each test instance has one fresh var per port: a has 1, b has 2,
+        // c has 2 → 5 would-be explicit instantiations.
+        let s = reuse_stats(&n);
+        assert_eq!(s.explicit_types_without_inference, 5);
+    }
+
+    #[test]
+    fn shared_var_across_ports_counts_once() {
+        let mut n = sample();
+        // Make b's two ports share one variable (like delayn's 'a).
+        let var = n.instance(crate::netlist::InstanceId(1)).ports[0].var;
+        n.instance_mut(crate::netlist::InstanceId(1)).ports[1].scheme = Scheme::Var(var);
+        n.instance_mut(crate::netlist::InstanceId(1)).ports[1].var = var;
+        let s = reuse_stats(&n);
+        assert_eq!(s.explicit_types_without_inference, 4);
+    }
+
+    #[test]
+    fn ground_disjunctive_port_counts_one() {
+        let mut n = sample();
+        n.instance_mut(crate::netlist::InstanceId(0)).ports[0].scheme =
+            Scheme::Or(vec![Scheme::Int, Scheme::Float]);
+        let s = reuse_stats(&n);
+        // a's var is replaced by a ground disjunction: still 1 for a.
+        assert_eq!(s.explicit_types_without_inference, 5);
+    }
+
+    #[test]
+    fn reduction_percentage() {
+        let mut n = sample();
+        n.elab.explicit_type_instantiations = 1;
+        let s = reuse_stats(&n);
+        assert_eq!(s.explicit_types_with_inference, 1);
+        let pct = s.type_instantiation_reduction_pct();
+        assert!((pct - 80.0).abs() < 1e-9, "expected 80% reduction, got {pct}");
+    }
+
+    #[test]
+    fn trivial_wrappers_are_discounted() {
+        let mut n = sample();
+        let mut vars = VarGen::new();
+        n.add_instance(inst(
+            "w",
+            "wrapper",
+            InstanceKind::Hierarchical,
+            None,
+            &[],
+            &mut vars,
+        ));
+        n.modules.insert(
+            "wrapper".into(),
+            ModuleMeta { hierarchical: true, from_library: false, trivial: true },
+        );
+        let s = reuse_stats(&n);
+        assert_eq!(s.hierarchical_modules, 1);
+        assert_eq!(s.hierarchical_modules_nontrivial, 0);
+        // Discounted reuse factor excludes the wrapper instance and module.
+        assert!((s.instances_per_module_nontrivial - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rows_and_header_align() {
+        let n = sample();
+        let s = reuse_stats(&n);
+        let row = format_row("A", &s);
+        assert!(row.starts_with("A"));
+        assert!(!header().is_empty());
+    }
+
+    #[test]
+    fn totals_sum_instancewise_metrics() {
+        let n = sample();
+        let s1 = reuse_stats(&n);
+        let s2 = reuse_stats(&n);
+        let t = total(&[("A", s1.clone()), ("B", s2)], 2);
+        assert_eq!(t.instances, 6);
+        assert_eq!(t.connections, 4);
+        assert_eq!(t.inferred_port_widths, 8);
+        assert_eq!(t.modules_from_library, 2);
+    }
+}

@@ -1,0 +1,333 @@
+//! The leaf-component model and behavior registry.
+//!
+//! In the paper, leaf module behavior lives in BSL `.tar` payloads compiled
+//! by LSE's code generator. Our substitute (documented in DESIGN.md) keys
+//! Rust implementations of [`Component`] by the module's `tar_file` string
+//! in a [`ComponentRegistry`]. The interface preserved from the paper:
+//! resolved parameters are forwarded to the behavior, ports carry inferred
+//! widths and types, userpoint code customizes computation, and runtime
+//! variables hold cross-invocation state.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use lss_netlist::Dir;
+use lss_types::{Datum, Ty};
+
+use crate::bsl::BslProgram;
+
+/// A port as seen by a component factory: name, direction, inferred width
+/// and basic type.
+#[derive(Debug, Clone)]
+pub struct PortSpec {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: Dir,
+    /// Inferred width (number of connected port instances).
+    pub width: u32,
+    /// Inferred basic type.
+    pub ty: Ty,
+}
+
+/// Everything a component factory needs to configure a behavior instance.
+#[derive(Debug, Clone)]
+pub struct CompSpec {
+    /// Hierarchical path of the instance (for error messages).
+    pub path: String,
+    /// Module name the instance came from.
+    pub module: String,
+    /// Resolved parameter values (after use-based specialization).
+    pub params: HashMap<String, Datum>,
+    /// Ports in declaration order.
+    pub ports: Vec<PortSpec>,
+    /// Userpoints compiled to executable BSL.
+    pub userpoints: HashMap<String, BslProgram>,
+    /// Runtime variables with initial values.
+    pub runtime_vars: Vec<(String, Datum)>,
+}
+
+impl CompSpec {
+    /// Index of the named port.
+    pub fn port_index(&self, name: &str) -> Result<usize, BuildError> {
+        self.ports
+            .iter()
+            .position(|p| p.name == name)
+            .ok_or_else(|| BuildError::new(format!("{}: behavior expects a port `{name}`", self.path)))
+    }
+
+    /// The named port's spec.
+    pub fn port(&self, name: &str) -> Result<&PortSpec, BuildError> {
+        Ok(&self.ports[self.port_index(name)?])
+    }
+
+    /// Integer parameter accessor with a build-time error on mismatch.
+    pub fn int_param(&self, name: &str) -> Result<i64, BuildError> {
+        match self.params.get(name) {
+            Some(Datum::Int(v)) => Ok(*v),
+            Some(other) => Err(BuildError::new(format!(
+                "{}: parameter `{name}` should be int, got {other}",
+                self.path
+            ))),
+            None => Err(BuildError::new(format!("{}: missing parameter `{name}`", self.path))),
+        }
+    }
+
+    /// Integer parameter with a fallback.
+    pub fn int_param_or(&self, name: &str, default: i64) -> Result<i64, BuildError> {
+        match self.params.get(name) {
+            None => Ok(default),
+            Some(_) => self.int_param(name),
+        }
+    }
+
+    /// String parameter accessor.
+    pub fn str_param_or(&self, name: &str, default: &str) -> Result<String, BuildError> {
+        match self.params.get(name) {
+            Some(Datum::Str(s)) => Ok(s.clone()),
+            Some(other) => Err(BuildError::new(format!(
+                "{}: parameter `{name}` should be string, got {other}",
+                self.path
+            ))),
+            None => Ok(default.to_string()),
+        }
+    }
+
+    /// Boolean parameter (declared `int` in LSS; nonzero = true).
+    pub fn flag_param(&self, name: &str, default: bool) -> Result<bool, BuildError> {
+        Ok(self.int_param_or(name, default as i64)? != 0)
+    }
+}
+
+/// An error while constructing a simulator from a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl BuildError {
+    /// Creates a build error.
+    pub fn new(message: impl Into<String>) -> Self {
+        BuildError { message: message.into() }
+    }
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A runtime error during simulation (userpoint failures, type violations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SimError {
+    /// Creates a simulation error.
+    pub fn new(message: impl Into<String>) -> Self {
+        SimError { message: message.into() }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The per-cycle interface a component uses to talk to the engine.
+///
+/// Implemented by the engine; a trait keeps `Component` implementations
+/// decoupled and easily unit-testable with a mock.
+pub trait CompCtx {
+    /// Current cycle number (0-based).
+    fn cycle(&self) -> u64;
+    /// Reads input `port` lane `lane`. `None` when nothing was sent.
+    fn input(&self, port: usize, lane: u32) -> Option<Datum>;
+    /// Writes output `port` lane `lane` for this cycle.
+    fn set_output(&mut self, port: usize, lane: u32, value: Datum);
+    /// Reads back an output lane written earlier this cycle.
+    fn output(&self, port: usize, lane: u32) -> Option<Datum>;
+    /// The inferred width of `port`.
+    fn width(&self, port: usize) -> u32;
+    /// Reads a runtime variable.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `name` was never declared.
+    fn rtv(&self, name: &str) -> Datum;
+    /// Writes a runtime variable.
+    fn set_rtv(&mut self, name: &str, value: Datum);
+    /// True if the instance carries the named userpoint.
+    fn has_userpoint(&self, name: &str) -> bool;
+    /// Invokes a userpoint with positional arguments (bound to the declared
+    /// argument names).
+    fn call_userpoint(&mut self, name: &str, args: &[Datum]) -> Result<Datum, SimError>;
+    /// Emits a declared event. Emissions from `eval` are kept only from the
+    /// final evaluation of the cycle (fixpoint re-evaluations discard
+    /// earlier emissions); emissions from `end_of_timestep` always stand.
+    fn emit(&mut self, event: &str, args: Vec<Datum>);
+}
+
+/// A leaf hardware behavior.
+///
+/// The engine drives each cycle in two phases: `eval` computes outputs from
+/// inputs and current state (and may run several times until the
+/// combinational network settles — it must be a pure function of inputs and
+/// state), then `end_of_timestep` commits synchronous state updates once.
+pub trait Component {
+    /// One-time initialization before cycle 0.
+    fn init(&mut self, _ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        Ok(())
+    }
+
+    /// Combinational evaluation.
+    fn eval(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError>;
+
+    /// Synchronous state update at the end of the cycle.
+    fn end_of_timestep(&mut self, _ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        Ok(())
+    }
+
+    /// Whether `eval` reads the given input port.
+    ///
+    /// Ports consumed only in `end_of_timestep` (like a register's data
+    /// input) should return `false`; this is what lets the static scheduler
+    /// break feedback loops at state elements.
+    fn input_is_combinational(&self, _port: usize) -> bool {
+        true
+    }
+}
+
+/// Factory producing a configured behavior from a spec.
+pub type Factory = Box<dyn Fn(&CompSpec) -> Result<Box<dyn Component>, BuildError> + Send + Sync>;
+
+/// Maps `tar_file` keys to behavior factories.
+#[derive(Default)]
+pub struct ComponentRegistry {
+    factories: HashMap<String, Factory>,
+}
+
+impl ComponentRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a factory for `tar_file`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered (two behaviors for one
+    /// `tar_file` is a programming error).
+    pub fn register(
+        &mut self,
+        tar_file: impl Into<String>,
+        factory: impl Fn(&CompSpec) -> Result<Box<dyn Component>, BuildError> + Send + Sync + 'static,
+    ) {
+        let key = tar_file.into();
+        let prev = self.factories.insert(key.clone(), Box::new(factory));
+        assert!(prev.is_none(), "behavior `{key}` registered twice");
+    }
+
+    /// Instantiates the behavior for `tar_file`.
+    pub fn build(&self, tar_file: &str, spec: &CompSpec) -> Result<Box<dyn Component>, BuildError> {
+        match self.factories.get(tar_file) {
+            Some(f) => f(spec),
+            None => {
+                let mut known: Vec<&String> = self.factories.keys().collect();
+                known.sort();
+                Err(BuildError::new(format!(
+                    "{}: no behavior registered for `{tar_file}` (known: {})",
+                    spec.path,
+                    known.iter().take(8).map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+                )))
+            }
+        }
+    }
+
+    /// Number of registered behaviors.
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// True if no behaviors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+}
+
+impl fmt::Debug for ComponentRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ComponentRegistry").field("behaviors", &self.factories.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CompSpec {
+        CompSpec {
+            path: "x".into(),
+            module: "m".into(),
+            params: [("n".to_string(), Datum::Int(4)), ("s".to_string(), Datum::Str("hi".into()))]
+                .into_iter()
+                .collect(),
+            ports: vec![PortSpec { name: "in".into(), dir: Dir::In, width: 2, ty: Ty::Int }],
+            userpoints: HashMap::new(),
+            runtime_vars: vec![],
+        }
+    }
+
+    #[test]
+    fn spec_accessors() {
+        let s = spec();
+        assert_eq!(s.port_index("in").unwrap(), 0);
+        assert!(s.port_index("out").is_err());
+        assert_eq!(s.int_param("n").unwrap(), 4);
+        assert_eq!(s.int_param_or("missing", 7).unwrap(), 7);
+        assert!(s.int_param("s").is_err());
+        assert_eq!(s.str_param_or("s", "d").unwrap(), "hi");
+        assert_eq!(s.str_param_or("t", "d").unwrap(), "d");
+        assert!(s.flag_param("n", false).unwrap());
+        assert!(!s.flag_param("missing", false).unwrap());
+    }
+
+    struct Nop;
+    impl Component for Nop {
+        fn eval(&mut self, _ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn registry_builds_and_reports_unknown() {
+        let mut reg = ComponentRegistry::new();
+        assert!(reg.is_empty());
+        reg.register("corelib/nop.tar", |_spec| Ok(Box::new(Nop) as Box<dyn Component>));
+        assert_eq!(reg.len(), 1);
+        assert!(reg.build("corelib/nop.tar", &spec()).is_ok());
+        let Err(err) = reg.build("corelib/missing.tar", &spec()) else {
+            panic!("expected a build error for an unregistered behavior");
+        };
+        assert!(err.message.contains("no behavior registered"));
+        assert!(err.message.contains("corelib/nop.tar"));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut reg = ComponentRegistry::new();
+        reg.register("a", |_s| Ok(Box::new(Nop) as Box<dyn Component>));
+        reg.register("a", |_s| Ok(Box::new(Nop) as Box<dyn Component>));
+    }
+}

@@ -1,0 +1,787 @@
+//! The simulator: builds an executable model from a typed netlist and runs
+//! it cycle by cycle.
+//!
+//! Each cycle has two phases, matching synchronous hardware (§2):
+//!
+//! 1. **Combinational settle** — every leaf component's `eval` computes its
+//!    outputs from this cycle's inputs and current state. The *static*
+//!    scheduler runs components once each in precomputed topological order
+//!    (iterating genuine combinational cycles to a fixpoint); the *dynamic*
+//!    scheduler is the SystemC-style baseline that re-evaluates components
+//!    from a worklist until no output changes.
+//! 2. **`end_of_timestep`** — synchronous state update, plus the
+//!    system-defined `end_of_timestep` userpoint on every instance (§4.3).
+//!
+//! Instrumentation (§4.5): after the settle phase, every output port
+//! instance that carries a value emits the implicit `<port>_fire` event;
+//! declared events are emitted by behaviors via [`CompCtx::emit`]. Events
+//! are routed to the model's collectors, whose BSL bodies accumulate
+//! statistics in per-collector state tables.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use lss_netlist::{Dir, InstanceId, InstanceKind, Netlist};
+use lss_types::Datum;
+
+use crate::bsl::{compile_bsl, exec, BslEnv, BslProgram};
+use crate::component::{
+    BuildError, CompCtx, CompSpec, Component, ComponentRegistry, PortSpec, SimError,
+};
+use crate::sched::{schedule, Schedule, ScheduleStep};
+
+/// Which combinational scheduler to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Precomputed topological order (LSE's approach \[12\]).
+    #[default]
+    Static,
+    /// Worklist fixpoint (structural-OOP / SystemC-style baseline).
+    Dynamic,
+}
+
+/// Simulation options.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Scheduler choice.
+    pub scheduler: Scheduler,
+    /// Iteration cap for combinational-cycle fixpoints.
+    pub max_fixpoint_iters: usize,
+    /// Step budget per BSL invocation.
+    pub bsl_max_steps: u64,
+    /// Validate every value sent on a port against the port's inferred
+    /// type, failing the cycle on a violation. Catches behaviors that
+    /// disagree with the static types; costs a structural check per send.
+    pub check_types: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            scheduler: Scheduler::Static,
+            max_fixpoint_iters: 64,
+            bsl_max_steps: 1_000_000,
+            check_types: false,
+        }
+    }
+}
+
+/// Aggregate simulation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Cycles executed.
+    pub cycles: u64,
+    /// Total component `eval` invocations (the static-vs-dynamic metric).
+    pub comp_evals: u64,
+    /// Events dispatched to collectors.
+    pub events_dispatched: u64,
+    /// Port firings observed.
+    pub port_firings: u64,
+}
+
+struct CompState {
+    rtvs: HashMap<String, Datum>,
+    userpoints: HashMap<String, (Vec<String>, BslProgram)>,
+    /// Events emitted by the most recent `eval` this cycle.
+    eval_events: Vec<(String, Vec<Datum>)>,
+    /// Events emitted during `end_of_timestep`.
+    eot_events: Vec<(String, Vec<Datum>)>,
+    /// True while `end_of_timestep` is running (routes `emit`).
+    in_eot: bool,
+    bsl_max_steps: u64,
+}
+
+struct Core {
+    cycle: u64,
+    values: Vec<Option<Datum>>,
+    /// Per-slot flag: written during the current component evaluation.
+    written: Vec<bool>,
+    states: Vec<CompState>,
+    /// comp -> port -> lane -> global slot (output ports only).
+    out_slots: Vec<Vec<Vec<usize>>>,
+    /// comp -> port -> lane -> driving slot (input ports only).
+    in_slots: Vec<Vec<Vec<Option<usize>>>>,
+    /// comp -> port -> width.
+    widths: Vec<Vec<u32>>,
+    /// comp -> port -> inferred type (only populated when checking).
+    port_types: Vec<Vec<Option<lss_netlist::netlist::Port>>>,
+    /// First type violation observed during the current eval, if any.
+    type_violation: Option<String>,
+}
+
+struct Ctx<'a> {
+    core: &'a mut Core,
+    comp: usize,
+}
+
+impl CompCtx for Ctx<'_> {
+    fn cycle(&self) -> u64 {
+        self.core.cycle
+    }
+
+    fn input(&self, port: usize, lane: u32) -> Option<Datum> {
+        let slot = self.core.in_slots[self.comp].get(port)?.get(lane as usize)?.as_ref()?;
+        self.core.values[*slot].clone()
+    }
+
+    fn set_output(&mut self, port: usize, lane: u32, value: Datum) {
+        let Some(&slot) =
+            self.core.out_slots[self.comp].get(port).and_then(|p| p.get(lane as usize))
+        else {
+            // Writing an unconnected lane is a no-op (unconnected-port
+            // semantics: nobody is listening).
+            return;
+        };
+        if let Some(Some(port)) =
+            self.core.port_types.get(self.comp).and_then(|ps| ps.get(port))
+        {
+            if let Some(ty) = &port.ty {
+                if !value.conforms_to(ty) && self.core.type_violation.is_none() {
+                    self.core.type_violation = Some(format!(
+                        "port `{}` expects {ty}, behavior sent {value}",
+                        port.name
+                    ));
+                }
+            }
+        }
+        self.core.values[slot] = Some(value);
+        self.core.written[slot] = true;
+    }
+
+    fn output(&self, port: usize, lane: u32) -> Option<Datum> {
+        let slot =
+            *self.core.out_slots[self.comp].get(port)?.get(lane as usize)?;
+        self.core.values[slot].clone()
+    }
+
+    fn width(&self, port: usize) -> u32 {
+        self.core.widths[self.comp].get(port).copied().unwrap_or(0)
+    }
+
+    fn rtv(&self, name: &str) -> Datum {
+        self.core.states[self.comp]
+            .rtvs
+            .get(name)
+            .unwrap_or_else(|| panic!("runtime variable `{name}` was never declared"))
+            .clone()
+    }
+
+    fn set_rtv(&mut self, name: &str, value: Datum) {
+        self.core.states[self.comp].rtvs.insert(name.to_string(), value);
+    }
+
+    fn has_userpoint(&self, name: &str) -> bool {
+        self.core.states[self.comp].userpoints.contains_key(name)
+    }
+
+    fn call_userpoint(&mut self, name: &str, args: &[Datum]) -> Result<Datum, SimError> {
+        let state = &mut self.core.states[self.comp];
+        let Some((arg_names, program)) = state.userpoints.get(name).cloned() else {
+            return Err(SimError::new(format!("no userpoint `{name}` on this instance")));
+        };
+        if arg_names.len() != args.len() {
+            return Err(SimError::new(format!(
+                "userpoint `{name}` expects {} argument(s), got {}",
+                arg_names.len(),
+                args.len()
+            )));
+        }
+        let mut env = BslEnv {
+            args: arg_names.iter().cloned().zip(args.iter().cloned()).collect(),
+            vars: &mut state.rtvs,
+            implicit_zero: false,
+        };
+        let max = state.bsl_max_steps;
+        match exec(&program, &mut env, max)? {
+            Some(v) => Ok(v),
+            None => Ok(Datum::Int(0)),
+        }
+    }
+
+    fn emit(&mut self, event: &str, args: Vec<Datum>) {
+        let state = &mut self.core.states[self.comp];
+        if state.in_eot {
+            state.eot_events.push((event.to_string(), args));
+        } else {
+            state.eval_events.push((event.to_string(), args));
+        }
+    }
+}
+
+struct CollectorRt {
+    comp: usize,
+    event: String,
+    program: BslProgram,
+    state: HashMap<String, Datum>,
+}
+
+/// A runnable simulation built from a typed netlist.
+pub struct Simulator {
+    core: Core,
+    comps: Vec<Box<dyn Component>>,
+    paths: Vec<String>,
+    path_index: HashMap<String, usize>,
+    port_names: Vec<Vec<String>>,
+    static_schedule: Schedule,
+    /// comp -> downstream comps (for the dynamic scheduler).
+    consumers: Vec<Vec<usize>>,
+    collectors: Vec<CollectorRt>,
+    /// (comp, event) -> collector indices.
+    coll_index: HashMap<(usize, String), Vec<usize>>,
+    opts: SimOptions,
+    stats: SimStats,
+    initialized: bool,
+    /// Firing-log filter: record values from instance paths starting with
+    /// any of these prefixes (empty = logging disabled).
+    watch_prefixes: Vec<String>,
+    firing_log: Vec<FiringRecord>,
+    firing_log_cap: usize,
+}
+
+/// One recorded port firing (see [`Simulator::watch`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FiringRecord {
+    /// Cycle the value was carried.
+    pub cycle: u64,
+    /// Instance path.
+    pub path: String,
+    /// Port name.
+    pub port: String,
+    /// Port-instance lane.
+    pub lane: u32,
+    /// The value.
+    pub value: Datum,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("components", &self.comps.len())
+            .field("cycle", &self.core.cycle)
+            .field("scheduler", &self.opts.scheduler)
+            .finish()
+    }
+}
+
+struct Placeholder;
+impl Component for Placeholder {
+    fn eval(&mut self, _ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        Ok(())
+    }
+}
+
+/// Builds a simulator from a typed netlist.
+///
+/// # Errors
+///
+/// * ports without inferred types (run type inference first);
+/// * unknown `tar_file` behaviors;
+/// * collectors targeting non-leaf instances;
+/// * BSL code in userpoints/collectors that does not compile.
+pub fn build(
+    netlist: &Netlist,
+    registry: &ComponentRegistry,
+    opts: SimOptions,
+) -> Result<Simulator, BuildError> {
+    // Enumerate leaves.
+    let mut comp_of_inst: HashMap<InstanceId, usize> = HashMap::new();
+    let mut leaf_ids: Vec<InstanceId> = Vec::new();
+    for inst in netlist.leaves() {
+        comp_of_inst.insert(inst.id, leaf_ids.len());
+        leaf_ids.push(inst.id);
+    }
+    let n = leaf_ids.len();
+
+    // Assign output slots; map inputs through flattened wires.
+    let mut out_slots: Vec<Vec<Vec<usize>>> = vec![Vec::new(); n];
+    let mut in_slots: Vec<Vec<Vec<Option<usize>>>> = vec![Vec::new(); n];
+    let mut widths: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut slot_count = 0usize;
+    for (c, &id) in leaf_ids.iter().enumerate() {
+        let inst = netlist.instance(id);
+        for port in &inst.ports {
+            widths[c].push(port.width);
+            match port.dir {
+                Dir::Out => {
+                    let lanes = (0..port.width)
+                        .map(|_| {
+                            let s = slot_count;
+                            slot_count += 1;
+                            s
+                        })
+                        .collect();
+                    out_slots[c].push(lanes);
+                    in_slots[c].push(Vec::new());
+                }
+                Dir::In => {
+                    out_slots[c].push(Vec::new());
+                    in_slots[c].push(vec![None; port.width as usize]);
+                }
+            }
+        }
+    }
+    let wires = netlist.flatten();
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut comb_edges: Vec<(usize, usize)> = Vec::new();
+    // (dst comp, dst port, lane) resolved after components exist for
+    // comb-dependency queries; first fill slot mapping.
+    for wire in &wires {
+        let src_comp = comp_of_inst[&wire.src.inst];
+        let dst_comp = comp_of_inst[&wire.dst.inst];
+        let slot = out_slots[src_comp][wire.src.port as usize][wire.src.index as usize];
+        in_slots[dst_comp][wire.dst.port as usize][wire.dst.index as usize] = Some(slot);
+        if !consumers[src_comp].contains(&dst_comp) {
+            consumers[src_comp].push(dst_comp);
+        }
+    }
+
+    // Build behaviors.
+    let mut comps: Vec<Box<dyn Component>> = Vec::with_capacity(n);
+    let mut states: Vec<CompState> = Vec::with_capacity(n);
+    let mut paths = Vec::with_capacity(n);
+    let mut port_names = Vec::with_capacity(n);
+    for &id in &leaf_ids {
+        let inst = netlist.instance(id);
+        let InstanceKind::Leaf { tar_file } = &inst.kind else { unreachable!("leaves only") };
+        let mut ports = Vec::with_capacity(inst.ports.len());
+        for p in &inst.ports {
+            let Some(ty) = p.ty.clone() else {
+                return Err(BuildError::new(format!(
+                    "{}.{}: port has no inferred type; run type inference before building",
+                    inst.path, p.name
+                )));
+            };
+            ports.push(PortSpec { name: p.name.clone(), dir: p.dir, width: p.width, ty });
+        }
+        let mut userpoints_src = HashMap::new();
+        let mut userpoints_rt = HashMap::new();
+        for up in &inst.userpoints {
+            let program = compile_bsl(&up.code).map_err(|e| {
+                BuildError::new(format!(
+                    "{}: userpoint `{}` does not compile:\n{e}",
+                    inst.path, up.name
+                ))
+            })?;
+            let arg_names: Vec<String> = up.args.iter().map(|(n, _)| n.clone()).collect();
+            userpoints_src.insert(up.name.clone(), program.clone());
+            userpoints_rt.insert(up.name.clone(), (arg_names, program));
+        }
+        let spec = CompSpec {
+            path: inst.path.clone(),
+            module: inst.module.clone(),
+            params: inst.params.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            ports,
+            userpoints: userpoints_src,
+            runtime_vars: inst.runtime_vars.iter().map(|rv| (rv.name.clone(), rv.init.clone())).collect(),
+        };
+        let comp = registry.build(tar_file, &spec)?;
+        comps.push(comp);
+        states.push(CompState {
+            rtvs: inst
+                .runtime_vars
+                .iter()
+                .map(|rv| (rv.name.clone(), rv.init.clone()))
+                .collect(),
+            userpoints: userpoints_rt,
+            eval_events: Vec::new(),
+            eot_events: Vec::new(),
+            in_eot: false,
+            bsl_max_steps: opts.bsl_max_steps,
+        });
+        paths.push(inst.path.clone());
+        port_names.push(inst.ports.iter().map(|p| p.name.clone()).collect::<Vec<_>>());
+    }
+
+    // Combinational edges for the static schedule (now that behaviors can
+    // tell us which inputs their eval reads).
+    for wire in &wires {
+        let src_comp = comp_of_inst[&wire.src.inst];
+        let dst_comp = comp_of_inst[&wire.dst.inst];
+        if comps[dst_comp].input_is_combinational(wire.dst.port as usize) {
+            comb_edges.push((src_comp, dst_comp));
+        }
+    }
+    let static_schedule = schedule(n, &comb_edges);
+
+    // Collectors.
+    let mut collectors = Vec::new();
+    let mut coll_index: HashMap<(usize, String), Vec<usize>> = HashMap::new();
+    for coll in &netlist.collectors {
+        let Some(&comp) = comp_of_inst.get(&coll.inst) else {
+            let path = netlist.instance(coll.inst).path.clone();
+            return Err(BuildError::new(format!(
+                "collector on `{path}`: collectors must target leaf instances"
+            )));
+        };
+        let program = compile_bsl(&coll.code).map_err(|e| {
+            BuildError::new(format!(
+                "collector on `{}` event `{}` does not compile:\n{e}",
+                paths[comp], coll.event
+            ))
+        })?;
+        let idx = collectors.len();
+        collectors.push(CollectorRt {
+            comp,
+            event: coll.event.clone(),
+            program,
+            state: HashMap::new(),
+        });
+        coll_index.entry((comp, coll.event.clone())).or_default().push(idx);
+    }
+
+    let path_index = paths.iter().cloned().enumerate().map(|(i, p)| (p, i)).collect();
+    let port_types: Vec<Vec<Option<lss_netlist::netlist::Port>>> = if opts.check_types {
+        leaf_ids
+            .iter()
+            .map(|&id| netlist.instance(id).ports.iter().map(|p| Some(p.clone())).collect())
+            .collect()
+    } else {
+        vec![Vec::new(); n]
+    };
+    Ok(Simulator {
+        core: Core {
+            cycle: 0,
+            values: vec![None; slot_count],
+            written: vec![false; slot_count],
+            states,
+            port_types,
+            type_violation: None,
+            out_slots,
+            in_slots,
+            widths,
+        },
+        comps,
+        paths,
+        path_index,
+        port_names,
+        static_schedule,
+        consumers,
+        collectors,
+        coll_index,
+        opts,
+        stats: SimStats::default(),
+        initialized: false,
+        watch_prefixes: Vec::new(),
+        firing_log: Vec::new(),
+        firing_log_cap: 100_000,
+    })
+}
+
+impl Simulator {
+    /// Number of leaf components.
+    pub fn component_count(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// Current cycle (number of completed cycles).
+    pub fn cycle(&self) -> u64 {
+        self.core.cycle
+    }
+
+    /// Simulation counters.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// The static schedule (inspectable for tests/benches).
+    pub fn static_schedule(&self) -> &Schedule {
+        &self.static_schedule
+    }
+
+    fn with_comp<R>(
+        &mut self,
+        comp: usize,
+        f: impl FnOnce(&mut Box<dyn Component>, &mut Ctx<'_>) -> R,
+    ) -> R {
+        let mut boxed = std::mem::replace(&mut self.comps[comp], Box::new(Placeholder));
+        let mut ctx = Ctx { core: &mut self.core, comp };
+        let result = f(&mut boxed, &mut ctx);
+        self.comps[comp] = boxed;
+        result
+    }
+
+    fn eval_comp(&mut self, comp: usize) -> Result<bool, SimError> {
+        self.stats.comp_evals += 1;
+        self.core.states[comp].eval_events.clear();
+        // During eval the component still *sees* the outputs of its previous
+        // evaluation (self-loops observe their own last value), but any
+        // output lane it does not write this time is retracted afterwards —
+        // that keeps fixpoint re-evaluation able to withdraw stale values
+        // (essential for credit networks).
+        let slots: Vec<usize> =
+            self.core.out_slots[comp].iter().flatten().copied().collect();
+        let before: Vec<Option<Datum>> =
+            slots.iter().map(|&s| self.core.values[s].clone()).collect();
+        for &s in &slots {
+            self.core.written[s] = false;
+        }
+        self.with_comp(comp, |c, ctx| c.eval(ctx)).map_err(|e| self.locate(comp, e))?;
+        if let Some(violation) = self.core.type_violation.take() {
+            return Err(self.locate(comp, SimError::new(violation)));
+        }
+        for &s in &slots {
+            if !self.core.written[s] {
+                self.core.values[s] = None;
+            }
+        }
+        let changed =
+            slots.iter().zip(&before).any(|(&s, prev)| self.core.values[s] != *prev);
+        Ok(changed)
+    }
+
+    fn locate(&self, comp: usize, e: SimError) -> SimError {
+        SimError::new(format!("{}: {}", self.paths[comp], e.message))
+    }
+
+    /// One-time initialization: `init` hooks plus `init` userpoints.
+    pub fn init(&mut self) -> Result<(), SimError> {
+        assert!(!self.initialized, "init() called twice");
+        for comp in 0..self.comps.len() {
+            self.with_comp(comp, |c, ctx| c.init(ctx))
+                .map_err(|e| self.locate(comp, e))?;
+            let has_init = self.core.states[comp].userpoints.contains_key("init");
+            if has_init {
+                let mut ctx = Ctx { core: &mut self.core, comp };
+                ctx.call_userpoint("init", &[]).map_err(|e| self.locate(comp, e))?;
+            }
+        }
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// Runs one clock cycle.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        if !self.initialized {
+            self.init()?;
+        }
+        // New cycle: all port values start absent.
+        for v in &mut self.core.values {
+            *v = None;
+        }
+        match self.opts.scheduler {
+            Scheduler::Static => self.settle_static()?,
+            Scheduler::Dynamic => self.settle_dynamic()?,
+        }
+        self.fire_port_events()?;
+        // Synchronous state update.
+        for comp in 0..self.comps.len() {
+            self.core.states[comp].in_eot = true;
+            self.with_comp(comp, |c, ctx| c.end_of_timestep(ctx))
+                .map_err(|e| self.locate(comp, e))?;
+            let has_eot = self.core.states[comp].userpoints.contains_key("end_of_timestep");
+            if has_eot {
+                let mut ctx = Ctx { core: &mut self.core, comp };
+                ctx.call_userpoint("end_of_timestep", &[]).map_err(|e| self.locate(comp, e))?;
+            }
+            self.core.states[comp].in_eot = false;
+        }
+        self.dispatch_declared_events()?;
+        self.core.cycle += 1;
+        self.stats.cycles += 1;
+        Ok(())
+    }
+
+    /// Runs `n` cycles.
+    pub fn run(&mut self, n: u64) -> Result<(), SimError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    fn settle_static(&mut self) -> Result<(), SimError> {
+        let steps = self.static_schedule.steps.clone();
+        for step in &steps {
+            match step {
+                ScheduleStep::Single(comp) => {
+                    self.eval_comp(*comp)?;
+                }
+                ScheduleStep::Fixpoint(block) => {
+                    let mut iters = 0;
+                    loop {
+                        let mut any = false;
+                        for &comp in block {
+                            any |= self.eval_comp(comp)?;
+                        }
+                        if !any {
+                            break;
+                        }
+                        iters += 1;
+                        if iters > self.opts.max_fixpoint_iters {
+                            let names: Vec<&str> =
+                                block.iter().map(|&c| self.paths[c].as_str()).collect();
+                            return Err(SimError::new(format!(
+                                "combinational cycle did not settle after {} iterations: {}",
+                                self.opts.max_fixpoint_iters,
+                                names.join(", ")
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn settle_dynamic(&mut self) -> Result<(), SimError> {
+        let n = self.comps.len();
+        let mut queue: VecDeque<usize> = (0..n).collect();
+        let mut queued = vec![true; n];
+        let mut safety = 0u64;
+        let cap = (n as u64 + 1) * (self.opts.max_fixpoint_iters as u64 + 1) * 4;
+        while let Some(comp) = queue.pop_front() {
+            queued[comp] = false;
+            let changed = self.eval_comp(comp)?;
+            if changed {
+                for &consumer in &self.consumers[comp].clone() {
+                    if !queued[consumer] {
+                        queued[consumer] = true;
+                        queue.push_back(consumer);
+                    }
+                }
+            }
+            safety += 1;
+            if safety > cap {
+                return Err(SimError::new(
+                    "dynamic scheduler did not reach a fixpoint (oscillating model?)",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn fire_port_events(&mut self) -> Result<(), SimError> {
+        for comp in 0..self.comps.len() {
+            for port in 0..self.core.out_slots[comp].len() {
+                if self.core.out_slots[comp][port].is_empty() {
+                    continue;
+                }
+                let port_name = self.port_names[comp][port].clone();
+                let event = format!("{port_name}_fire");
+                let has_listeners = self.coll_index.contains_key(&(comp, event.clone()));
+                let watched = !self.watch_prefixes.is_empty()
+                    && self
+                        .watch_prefixes
+                        .iter()
+                        .any(|p| self.paths[comp].starts_with(p.as_str()));
+                for lane in 0..self.core.out_slots[comp][port].len() {
+                    let slot = self.core.out_slots[comp][port][lane];
+                    let Some(value) = self.core.values[slot].clone() else { continue };
+                    self.stats.port_firings += 1;
+                    if watched && self.firing_log.len() < self.firing_log_cap {
+                        self.firing_log.push(FiringRecord {
+                            cycle: self.core.cycle,
+                            path: self.paths[comp].clone(),
+                            port: port_name.clone(),
+                            lane: lane as u32,
+                            value: value.clone(),
+                        });
+                    }
+                    if has_listeners {
+                        let args = [
+                            ("value".to_string(), value),
+                            ("lane".to_string(), Datum::Int(lane as i64)),
+                            ("cycle".to_string(), Datum::Int(self.core.cycle as i64)),
+                        ];
+                        self.dispatch(comp, &event, args.to_vec())?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn dispatch_declared_events(&mut self) -> Result<(), SimError> {
+        for comp in 0..self.comps.len() {
+            let mut events = std::mem::take(&mut self.core.states[comp].eval_events);
+            events.extend(std::mem::take(&mut self.core.states[comp].eot_events));
+            for (event, args) in events {
+                let mut named: Vec<(String, Datum)> = args
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, v)| (format!("arg{i}"), v))
+                    .collect();
+                named.push(("cycle".to_string(), Datum::Int(self.core.cycle as i64)));
+                self.dispatch(comp, &event, named)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn dispatch(
+        &mut self,
+        comp: usize,
+        event: &str,
+        args: Vec<(String, Datum)>,
+    ) -> Result<(), SimError> {
+        let Some(indices) = self.coll_index.get(&(comp, event.to_string())) else {
+            return Ok(());
+        };
+        for &idx in &indices.clone() {
+            self.stats.events_dispatched += 1;
+            let coll = &mut self.collectors[idx];
+            let mut env = BslEnv {
+                args: args.iter().cloned().collect(),
+                vars: &mut coll.state,
+                implicit_zero: true,
+            };
+            exec(&coll.program, &mut env, self.opts.bsl_max_steps).map_err(|e| {
+                SimError::new(format!(
+                    "collector on {} event {event}: {}",
+                    self.paths[comp], e.message
+                ))
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Reads the value an output port instance carried in the most recently
+    /// completed cycle.
+    pub fn peek(&self, path: &str, port: &str, lane: u32) -> Option<Datum> {
+        let comp = *self.path_index.get(path)?;
+        let pidx = self.port_names[comp].iter().position(|p| p == port)?;
+        let slot = *self.core.out_slots[comp].get(pidx)?.get(lane as usize)?;
+        self.core.values[slot].clone()
+    }
+
+    /// Reads a component's runtime variable.
+    pub fn rtv(&self, path: &str, name: &str) -> Option<Datum> {
+        let comp = *self.path_index.get(path)?;
+        self.core.states[comp].rtvs.get(name).cloned()
+    }
+
+    /// Iterates over collector results: (instance path, event, state table).
+    pub fn collector_reports(&self) -> Vec<(String, String, &HashMap<String, Datum>)> {
+        self.collectors
+            .iter()
+            .map(|c| (self.paths[c.comp].clone(), c.event.clone(), &c.state))
+            .collect()
+    }
+
+    /// Starts recording a firing log for instances whose path starts with
+    /// `prefix` (visualization/debugging support, §4.5). Call before
+    /// stepping; multiple prefixes accumulate. At most `cap` records are
+    /// kept (default 100 000).
+    pub fn watch(&mut self, prefix: impl Into<String>) {
+        self.watch_prefixes.push(prefix.into());
+    }
+
+    /// Caps the firing log length.
+    pub fn set_firing_log_cap(&mut self, cap: usize) {
+        self.firing_log_cap = cap;
+    }
+
+    /// The recorded firing log (empty unless [`Simulator::watch`] was used).
+    pub fn firing_log(&self) -> &[FiringRecord] {
+        &self.firing_log
+    }
+
+    /// Convenience: the value of statistic `name` in the first collector on
+    /// `path`/`event`.
+    pub fn collector_stat(&self, path: &str, event: &str, name: &str) -> Option<Datum> {
+        self.collectors
+            .iter()
+            .find(|c| self.paths[c.comp] == path && c.event == event)
+            .and_then(|c| c.state.get(name).cloned())
+    }
+}

@@ -1,0 +1,33 @@
+//! Simulation substrate for elaborated LSS netlists.
+//!
+//! This crate is the execution half of the Liberty Simulation Environment
+//! reproduction: it turns a typed [`lss_netlist::Netlist`] into a runnable
+//! clock-accurate simulator.
+//!
+//! * [`component`] — the [`Component`] behavior trait, [`CompSpec`]
+//!   configuration, and the [`ComponentRegistry`] keyed by `tar_file`
+//!   strings (our substitute for the paper's BSL `.tar` payloads);
+//! * [`bsl`] — the interpreter for userpoint and collector BSL code;
+//! * [`sched`] — static concurrency scheduling (topological order with
+//!   fixpoint blocks for genuine combinational cycles), the LSE
+//!   optimization of \[12\];
+//! * [`engine`] — the cycle engine with both the static scheduler and a
+//!   SystemC-style dynamic (worklist fixpoint) baseline, plus the
+//!   aspect-oriented event/collector instrumentation of §4.5;
+//! * [`wave`] — VCD and ASCII waveform output from the firing log.
+
+#![warn(missing_docs)]
+
+pub mod bsl;
+pub mod component;
+pub mod engine;
+pub mod sched;
+pub mod wave;
+
+pub use bsl::{compile_bsl, datum_binary, exec, BslEnv, BslProgram};
+pub use component::{
+    BuildError, CompCtx, CompSpec, Component, ComponentRegistry, PortSpec, SimError,
+};
+pub use engine::{build, FiringRecord, SimOptions, SimStats, Simulator, Scheduler};
+pub use sched::{schedule, Schedule, ScheduleStep};
+pub use wave::{to_ascii, to_vcd};

@@ -1,0 +1,244 @@
+//! Static concurrency scheduling (Penry & August, DAC'03 — reference 12 in the
+//! paper).
+//!
+//! The combinational dependency graph has an edge `A → B` for every wire
+//! from an output of `A` to an input of `B` *that `B`'s `eval` actually
+//! reads* (state elements consume their inputs in `end_of_timestep`, which
+//! is what breaks synchronous feedback loops). The static schedule is the
+//! topological order of this graph's strongly connected components; a
+//! multi-node SCC is a true combinational cycle and is iterated to a
+//! fixpoint at simulation time.
+
+/// One step of a static schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleStep {
+    /// Evaluate a single component once.
+    Single(usize),
+    /// A combinational cycle: iterate these components until their outputs
+    /// stop changing.
+    Fixpoint(Vec<usize>),
+}
+
+/// A full static schedule over `n` components.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    /// Steps in execution order.
+    pub steps: Vec<ScheduleStep>,
+}
+
+impl Schedule {
+    /// Number of components covered.
+    pub fn len(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                ScheduleStep::Single(_) => 1,
+                ScheduleStep::Fixpoint(v) => v.len(),
+            })
+            .sum()
+    }
+
+    /// True if the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of multi-component fixpoint blocks.
+    pub fn cycle_blocks(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s, ScheduleStep::Fixpoint(_))).count()
+    }
+}
+
+/// Computes the static schedule for `n` components given the combinational
+/// edges `A → B` (deduplicated internally).
+pub fn schedule(n: usize, edges: &[(usize, usize)]) -> Schedule {
+    // Adjacency with dedup.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        debug_assert!(a < n && b < n, "edge ({a},{b}) out of range");
+        if !adj[a].contains(&b) {
+            adj[a].push(b);
+        }
+    }
+    // Tarjan's SCC, iterative to avoid deep recursion on long pipelines.
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    // SCCs in reverse topological order (Tarjan's property).
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    enum Frame {
+        Enter(usize),
+        Resume(usize, usize),
+    }
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut work = vec![Frame::Enter(start)];
+        while let Some(frame) = work.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    work.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, child_idx) => {
+                    if let Some(&w) = adj[v].get(child_idx) {
+                        work.push(Frame::Resume(v, child_idx + 1));
+                        if index[w] == usize::MAX {
+                            work.push(Frame::Enter(w));
+                        } else if on_stack[w] {
+                            low[v] = low[v].min(index[w]);
+                        }
+                    } else {
+                        // All children visited. Fold lowlinks of successors
+                        // still on the stack (Pearce's variant of Tarjan:
+                        // using low[w] for every on-stack successor — tree
+                        // child or back/cross edge — yields the same SCCs).
+                        for &w in &adj[v] {
+                            if on_stack[w] {
+                                low[v] = low[v].min(low[w]);
+                            }
+                        }
+                        if low[v] == index[v] {
+                            let mut scc = Vec::new();
+                            while let Some(w) = stack.pop() {
+                                on_stack[w] = false;
+                                scc.push(w);
+                                if w == v {
+                                    break;
+                                }
+                            }
+                            scc.sort_unstable();
+                            sccs.push(scc);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Reverse to get topological order (sources first).
+    sccs.reverse();
+    let steps = sccs
+        .into_iter()
+        .map(|scc| {
+            if scc.len() == 1 {
+                let v = scc[0];
+                // A single node with a self-loop is still a cycle.
+                if adj[v].contains(&v) {
+                    ScheduleStep::Fixpoint(vec![v])
+                } else {
+                    ScheduleStep::Single(v)
+                }
+            } else {
+                ScheduleStep::Fixpoint(scc)
+            }
+        })
+        .collect();
+    Schedule { steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order_of(schedule: &Schedule) -> Vec<usize> {
+        schedule
+            .steps
+            .iter()
+            .flat_map(|s| match s {
+                ScheduleStep::Single(v) => vec![*v],
+                ScheduleStep::Fixpoint(vs) => vs.clone(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chain_schedules_in_order() {
+        // 0 -> 1 -> 2 -> 3
+        let s = schedule(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(order_of(&s), vec![0, 1, 2, 3]);
+        assert_eq!(s.cycle_blocks(), 0);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn respects_topological_constraints_in_dags() {
+        // Diamond: 0 -> {1,2} -> 3.
+        let s = schedule(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let order = order_of(&s);
+        let pos = |v: usize| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn cycle_becomes_fixpoint_block() {
+        // 0 -> 1 -> 2 -> 0 with an entry 3 -> 0 and exit 2 -> 4.
+        let s = schedule(5, &[(0, 1), (1, 2), (2, 0), (3, 0), (2, 4)]);
+        assert_eq!(s.cycle_blocks(), 1);
+        let order = order_of(&s);
+        let pos = |v: usize| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(3) < pos(0), "entry must run before the cycle");
+        assert!(pos(2) < pos(4), "exit must run after the cycle");
+        // The cycle nodes form one block.
+        let block = s
+            .steps
+            .iter()
+            .find_map(|st| match st {
+                ScheduleStep::Fixpoint(v) => Some(v.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(block, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn self_loop_is_a_fixpoint() {
+        let s = schedule(2, &[(0, 0), (0, 1)]);
+        assert!(matches!(&s.steps[0], ScheduleStep::Fixpoint(v) if v == &vec![0]));
+        assert!(matches!(&s.steps[1], ScheduleStep::Single(1)));
+    }
+
+    #[test]
+    fn disconnected_components_all_scheduled() {
+        let s = schedule(5, &[(0, 1), (3, 4)]);
+        let mut order = order_of(&s);
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_harmless() {
+        let s = schedule(2, &[(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(order_of(&s), vec![0, 1]);
+    }
+
+    #[test]
+    fn large_pipeline_does_not_overflow_stack() {
+        let n = 50_000;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let s = schedule(n, &edges);
+        assert_eq!(s.len(), n);
+        assert_eq!(order_of(&s)[0], 0);
+        assert_eq!(order_of(&s)[n - 1], n - 1);
+    }
+
+    #[test]
+    fn two_cycles_are_separate_blocks() {
+        // 0 <-> 1, 2 <-> 3, with 1 -> 2.
+        let s = schedule(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        assert_eq!(s.cycle_blocks(), 2);
+        let order = order_of(&s);
+        let pos = |v: usize| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(0) < pos(2));
+    }
+}

@@ -1,0 +1,205 @@
+//! Constraint representation for the LSS type inference problem.
+//!
+//! ```text
+//! Constraints  φ ::= ⊤ | t1* = t2* | φ1 ∧ φ2
+//! ```
+//!
+//! A [`ConstraintSet`] is the conjunction; each [`Constraint`] is one
+//! equality between type schemes together with its origin (used for error
+//! messages and for the netlist's reuse statistics).
+
+use std::fmt;
+
+use crate::ty::Scheme;
+
+/// Where a constraint came from, for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintOrigin {
+    /// Two ports were connected (`a.out -> b.in`).
+    Connection {
+        /// Hierarchical path of the sending port.
+        src: String,
+        /// Hierarchical path of the receiving port.
+        dst: String,
+    },
+    /// A connection or port carried an explicit annotation.
+    Annotation {
+        /// Hierarchical path of the annotated entity.
+        target: String,
+    },
+    /// A port's declared scheme constrains its instance-level variable.
+    PortDecl {
+        /// Hierarchical path of the port.
+        port: String,
+    },
+    /// Synthetic (tests and generators).
+    Synthetic,
+}
+
+impl fmt::Display for ConstraintOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintOrigin::Connection { src, dst } => {
+                write!(f, "connection {src} -> {dst}")
+            }
+            ConstraintOrigin::Annotation { target } => write!(f, "annotation on {target}"),
+            ConstraintOrigin::PortDecl { port } => write!(f, "declaration of port {port}"),
+            ConstraintOrigin::Synthetic => write!(f, "synthetic constraint"),
+        }
+    }
+}
+
+/// One equality `lhs = rhs` between type schemes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Left scheme.
+    pub lhs: Scheme,
+    /// Right scheme.
+    pub rhs: Scheme,
+    /// Provenance for diagnostics.
+    pub origin: ConstraintOrigin,
+}
+
+impl Constraint {
+    /// Creates a constraint with [`ConstraintOrigin::Synthetic`] provenance.
+    pub fn eq(lhs: Scheme, rhs: Scheme) -> Self {
+        Constraint { lhs, rhs, origin: ConstraintOrigin::Synthetic }
+    }
+
+    /// Creates a constraint with explicit provenance.
+    pub fn with_origin(lhs: Scheme, rhs: Scheme, origin: ConstraintOrigin) -> Self {
+        Constraint { lhs, rhs, origin }
+    }
+
+    /// True if either side contains a disjunction.
+    pub fn has_disjunction(&self) -> bool {
+        self.lhs.has_disjunction() || self.rhs.has_disjunction()
+    }
+
+    /// All type variables mentioned on either side.
+    pub fn vars(&self) -> Vec<crate::ty::TyVar> {
+        let mut out = self.lhs.vars();
+        self.rhs.collect_vars(&mut out);
+        out
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.lhs, self.rhs)
+    }
+}
+
+/// A conjunction of constraints.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConstraintSet {
+    /// The constraints, in the order they were gathered.
+    pub constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// An empty (trivially true) constraint set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a constraint.
+    pub fn push(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// Appends an equality with synthetic provenance.
+    pub fn push_eq(&mut self, lhs: Scheme, rhs: Scheme) {
+        self.constraints.push(Constraint::eq(lhs, rhs));
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True if there are no constraints (the `⊤` constraint).
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Number of constraints containing a disjunction.
+    pub fn disjunctive_count(&self) -> usize {
+        self.constraints.iter().filter(|c| c.has_disjunction()).count()
+    }
+
+    /// Iterates constraints in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Constraint> {
+        self.constraints.iter()
+    }
+}
+
+impl FromIterator<Constraint> for ConstraintSet {
+    fn from_iter<I: IntoIterator<Item = Constraint>>(iter: I) -> Self {
+        ConstraintSet { constraints: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Constraint> for ConstraintSet {
+    fn extend<I: IntoIterator<Item = Constraint>>(&mut self, iter: I) {
+        self.constraints.extend(iter);
+    }
+}
+
+impl fmt::Display for ConstraintSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.constraints.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, c) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::TyVar;
+
+    #[test]
+    fn counts_disjunctive_constraints() {
+        let mut set = ConstraintSet::new();
+        set.push_eq(Scheme::Var(TyVar(0)), Scheme::Int);
+        set.push_eq(Scheme::Var(TyVar(1)), Scheme::Or(vec![Scheme::Int, Scheme::Float]));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.disjunctive_count(), 1);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn vars_from_both_sides() {
+        let c = Constraint::eq(
+            Scheme::Var(TyVar(0)),
+            Scheme::Array(Box::new(Scheme::Var(TyVar(1))), 2),
+        );
+        assert_eq!(c.vars(), vec![TyVar(0), TyVar(1)]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ConstraintSet::new().to_string(), "⊤");
+        let mut set = ConstraintSet::new();
+        set.push_eq(Scheme::Var(TyVar(0)), Scheme::Int);
+        set.push_eq(Scheme::Var(TyVar(1)), Scheme::Bool);
+        assert_eq!(set.to_string(), "'t0 = int ∧ 't1 = bool");
+        let origin = ConstraintOrigin::Connection { src: "a.out".into(), dst: "b.in".into() };
+        assert_eq!(origin.to_string(), "connection a.out -> b.in");
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let set: ConstraintSet =
+            [Constraint::eq(Scheme::Int, Scheme::Int)].into_iter().collect();
+        assert_eq!(set.len(), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Generators for constraint families with known structure.
+//!
+//! These model the shapes that arise in real LSS netlists — "long chains of
+//! polymorphic data routing components and polymorphic state elements"
+//! (§4.4) — and drive the §5 scaling benchmarks (seconds with heuristics vs
+//! ">12 hours" without).
+
+use crate::constraint::{Constraint, ConstraintSet};
+use crate::ty::{Scheme, TyVar};
+
+/// The `k` overload alternatives used by the generators.
+fn overload_alts(k: usize) -> Vec<Scheme> {
+    let base = [Scheme::Int, Scheme::Float, Scheme::Bool, Scheme::String];
+    let mut alts = Vec::with_capacity(k);
+    for i in 0..k {
+        if i < base.len() {
+            alts.push(base[i].clone());
+        } else {
+            // Widen the overload family with distinct array types.
+            alts.push(Scheme::Array(Box::new(base[i % base.len()].clone()), 1 + i / base.len()));
+        }
+    }
+    alts
+}
+
+/// A pipeline of `n` components, each overloaded `k` ways, with the far end
+/// pinned to the *last* overload alternative.
+///
+/// Worst case for the naive in-order solver: all disjunctive domain
+/// constraints appear before the equalities and the pin, so it explores
+/// `k^n` assignments in the worst case. The heuristic solver reorders,
+/// grounds the chain from the pin, and commits every disjunction without
+/// branching.
+pub fn overloaded_chain(n: usize, k: usize) -> ConstraintSet {
+    assert!(k >= 1, "need at least one overload alternative");
+    let alts = overload_alts(k);
+    let mut set = ConstraintSet::new();
+    for i in 0..n {
+        set.push(Constraint::eq(Scheme::Var(TyVar(i as u32)), Scheme::Or(alts.clone())));
+    }
+    for i in 1..n {
+        set.push(Constraint::eq(Scheme::Var(TyVar(i as u32 - 1)), Scheme::Var(TyVar(i as u32))));
+    }
+    set.push(Constraint::eq(
+        Scheme::Var(TyVar(n as u32 - 1)),
+        alts.last().expect("k >= 1").clone(),
+    ));
+    set
+}
+
+/// `m` structurally independent overloaded chains of length `n`.
+///
+/// Exercises the divide-and-conquer heuristic: partitioning solves the `m`
+/// chains separately (cost `m * chain`), while an unpartitioned search
+/// multiplies the branch factors.
+pub fn independent_chains(m: usize, n: usize, k: usize) -> ConstraintSet {
+    let mut set = ConstraintSet::new();
+    for chain in 0..m {
+        let base = (chain * n) as u32;
+        let sub = overloaded_chain(n, k);
+        for c in sub.iter() {
+            set.push(Constraint::eq(shift(&c.lhs, base), shift(&c.rhs, base)));
+        }
+    }
+    set
+}
+
+/// A crossbar: `n` producers each overloaded `k` ways, all connected to one
+/// polymorphic consumer bus, pinned at the consumer.
+///
+/// Heavily favors the smart-disjunction heuristic (every producer is forced
+/// once the bus type is known).
+pub fn crossbar(n: usize, k: usize) -> ConstraintSet {
+    let alts = overload_alts(k);
+    let mut set = ConstraintSet::new();
+    let bus = TyVar(n as u32);
+    for i in 0..n {
+        let producer = TyVar(i as u32);
+        set.push(Constraint::eq(Scheme::Var(producer), Scheme::Or(alts.clone())));
+        set.push(Constraint::eq(Scheme::Var(producer), Scheme::Var(bus)));
+    }
+    set.push(Constraint::eq(Scheme::Var(bus), alts.last().expect("k >= 1").clone()));
+    set
+}
+
+/// An *unsatisfiable* variant of [`overloaded_chain`]: the two ends are
+/// pinned to different overload alternatives. Forces full search-space
+/// exhaustion in solvers without pruning.
+pub fn contradictory_chain(n: usize, k: usize) -> ConstraintSet {
+    assert!(k >= 2 && n >= 2);
+    let alts = overload_alts(k);
+    let mut set = overloaded_chain(n, k);
+    set.push(Constraint::eq(Scheme::Var(TyVar(0)), alts[0].clone()));
+    set
+}
+
+/// Renames every variable in `scheme` by adding `offset` to its index.
+fn shift(scheme: &Scheme, offset: u32) -> Scheme {
+    match scheme {
+        Scheme::Var(v) => Scheme::Var(TyVar(v.0 + offset)),
+        Scheme::Array(t, n) => Scheme::Array(Box::new(shift(t, offset)), *n),
+        Scheme::Struct(fields) => Scheme::Struct(
+            fields.iter().map(|(name, t)| (name.clone(), shift(t, offset))).collect(),
+        ),
+        Scheme::Or(alts) => Scheme::Or(alts.iter().map(|t| shift(t, offset)).collect()),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::{solve, SolveError, SolverConfig};
+    use crate::ty::Ty;
+
+    #[test]
+    fn chain_solves_to_the_pinned_type() {
+        let set = overloaded_chain(10, 3);
+        let sol = solve(&set, &SolverConfig::heuristic()).unwrap();
+        for i in 0..10 {
+            assert_eq!(sol.ty_of(TyVar(i)), Some(Ty::Bool)); // 3rd alternative
+        }
+        assert_eq!(sol.stats.branches, 0, "chain should be solved purely by smart commits");
+    }
+
+    #[test]
+    fn independent_chains_partition_cleanly() {
+        let set = independent_chains(5, 4, 2);
+        let sol = solve(&set, &SolverConfig::heuristic()).unwrap();
+        assert_eq!(sol.stats.partitions, 5);
+        for v in 0..20 {
+            assert_eq!(sol.ty_of(TyVar(v)), Some(Ty::Float));
+        }
+    }
+
+    #[test]
+    fn crossbar_resolves_all_producers() {
+        let set = crossbar(8, 4);
+        let sol = solve(&set, &SolverConfig::heuristic()).unwrap();
+        for i in 0..=8 {
+            assert_eq!(sol.ty_of(TyVar(i)), Some(Ty::String)); // 4th alternative
+        }
+    }
+
+    #[test]
+    fn contradictory_chain_is_unsat_in_all_modes() {
+        let set = contradictory_chain(5, 2);
+        for config in [SolverConfig::heuristic(), SolverConfig::naive().with_budget(2_000_000)] {
+            let err = solve(&set, &config).unwrap_err();
+            assert!(
+                matches!(err, SolveError::Unsatisfiable { .. }),
+                "expected unsat, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_work_grows_exponentially_with_chain_length() {
+        // The shape claim behind Figure "§5": heuristics keep the cost flat
+        // while the naive algorithm explodes.
+        let steps = |n: usize, config: &SolverConfig| {
+            solve(&overloaded_chain(n, 2), config).unwrap().stats.unify_steps
+        };
+        let naive = SolverConfig::naive();
+        let heur = SolverConfig::heuristic();
+        let naive_growth = steps(14, &naive) as f64 / steps(10, &naive) as f64;
+        let heur_growth = steps(14, &heur) as f64 / steps(10, &heur) as f64;
+        assert!(
+            naive_growth > 4.0,
+            "naive growth should be exponential, got {naive_growth}"
+        );
+        assert!(
+            heur_growth < 3.0,
+            "heuristic growth should be near-linear, got {heur_growth}"
+        );
+    }
+
+    #[test]
+    fn overload_alternatives_are_distinct() {
+        let alts = overload_alts(10);
+        for i in 0..alts.len() {
+            for j in i + 1..alts.len() {
+                assert_ne!(alts[i], alts[j], "alternatives {i} and {j} collide");
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Reduction from 3-SAT to the LSS type-inference problem.
+//!
+//! The paper states the LSS inference problem is NP-complete (its reference 18). This
+//! module makes the hardness direction concrete and testable: a boolean
+//! variable `x_i` becomes a type variable constrained to `int|float`
+//! (`int` ≙ true, `float` ≙ false), and a clause becomes a disjunctive
+//! constraint over a 3-field struct that enumerates the seven satisfying
+//! ground assignments of the clause.
+
+use crate::constraint::{Constraint, ConstraintSet};
+use crate::ty::{Scheme, Ty, TyVar};
+
+/// A literal in a CNF formula: variable index plus polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lit {
+    /// 0-based boolean variable index.
+    pub var: usize,
+    /// True for a positive literal.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal for variable `var`.
+    pub fn pos(var: usize) -> Lit {
+        Lit { var, positive: true }
+    }
+
+    /// Negative literal for variable `var`.
+    pub fn neg(var: usize) -> Lit {
+        Lit { var, positive: false }
+    }
+}
+
+/// A 3-CNF formula.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Formula {
+    /// Number of boolean variables.
+    pub num_vars: usize,
+    /// Clauses, each with exactly three literals.
+    pub clauses: Vec<[Lit; 3]>,
+}
+
+impl Formula {
+    /// Creates a formula over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Formula { num_vars, clauses: Vec::new() }
+    }
+
+    /// Adds a clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any literal references a variable `>= num_vars`.
+    pub fn clause(&mut self, a: Lit, b: Lit, c: Lit) -> &mut Self {
+        for l in [a, b, c] {
+            assert!(l.var < self.num_vars, "literal references unknown variable {}", l.var);
+        }
+        self.clauses.push([a, b, c]);
+        self
+    }
+
+    /// Evaluates the formula under `assignment` (indexed by variable).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause.iter().any(|l| assignment[l.var] == l.positive)
+        })
+    }
+
+    /// Brute-force satisfiability (for cross-checking small instances).
+    pub fn brute_force_sat(&self) -> Option<Vec<bool>> {
+        assert!(self.num_vars <= 24, "brute force limited to 24 variables");
+        for bits in 0u64..(1u64 << self.num_vars) {
+            let assignment: Vec<bool> =
+                (0..self.num_vars).map(|i| bits & (1 << i) != 0).collect();
+            if self.eval(&assignment) {
+                return Some(assignment);
+            }
+        }
+        None
+    }
+}
+
+const TRUE_TY: Scheme = Scheme::Int;
+const FALSE_TY: Scheme = Scheme::Float;
+
+fn lit_scheme(value: bool) -> Scheme {
+    if value {
+        TRUE_TY
+    } else {
+        FALSE_TY
+    }
+}
+
+/// Encodes `formula` as an LSS constraint set.
+///
+/// Type variable `TyVar(i)` corresponds to boolean variable `i`. The
+/// encoding is satisfiable exactly when the formula is.
+pub fn encode(formula: &Formula) -> ConstraintSet {
+    let mut set = ConstraintSet::new();
+    // Domain constraints: every boolean variable is int|float.
+    for i in 0..formula.num_vars {
+        set.push(Constraint::eq(
+            Scheme::Var(TyVar(i as u32)),
+            Scheme::Or(vec![TRUE_TY, FALSE_TY]),
+        ));
+    }
+    // One disjunctive constraint per clause, enumerating the 7 satisfying
+    // rows of the clause's truth table.
+    for clause in &formula.clauses {
+        let lhs = Scheme::Struct(vec![
+            ("a".into(), Scheme::Var(TyVar(clause[0].var as u32))),
+            ("b".into(), Scheme::Var(TyVar(clause[1].var as u32))),
+            ("c".into(), Scheme::Var(TyVar(clause[2].var as u32))),
+        ]);
+        let mut rows = Vec::new();
+        for bits in 0u8..8 {
+            let vals = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let satisfied = clause.iter().zip(vals).any(|(l, v)| v == l.positive);
+            if satisfied {
+                rows.push(Scheme::Struct(vec![
+                    ("a".into(), lit_scheme(vals[0])),
+                    ("b".into(), lit_scheme(vals[1])),
+                    ("c".into(), lit_scheme(vals[2])),
+                ]));
+            }
+        }
+        set.push(Constraint::eq(lhs, Scheme::Or(rows)));
+    }
+    set
+}
+
+/// Decodes a solver solution back to a boolean assignment.
+///
+/// Returns `None` if any variable did not resolve to `int` or `float`.
+pub fn decode(
+    solution: &crate::solve::Solution,
+    num_vars: usize,
+) -> Option<Vec<bool>> {
+    (0..num_vars)
+        .map(|i| match solution.ty_of(TyVar(i as u32))? {
+            Ty::Int => Some(true),
+            Ty::Float => Some(false),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::{solve, SolveError, SolverConfig};
+
+    #[test]
+    fn satisfiable_formula_solves_and_decodes() {
+        // (x0 ∨ x1 ∨ ¬x2) ∧ (¬x0 ∨ x2 ∨ x1)
+        let mut f = Formula::new(3);
+        f.clause(Lit::pos(0), Lit::pos(1), Lit::neg(2));
+        f.clause(Lit::neg(0), Lit::pos(2), Lit::pos(1));
+        let set = encode(&f);
+        let sol = solve(&set, &SolverConfig::heuristic()).unwrap();
+        let assignment = decode(&sol, 3).unwrap();
+        assert!(f.eval(&assignment), "decoded assignment must satisfy the formula");
+    }
+
+    #[test]
+    fn unsatisfiable_formula_is_rejected() {
+        // (x0)(x0)(x0) vs (¬x0)(¬x0)(¬x0): x0 ∧ ¬x0.
+        let mut f = Formula::new(1);
+        f.clause(Lit::pos(0), Lit::pos(0), Lit::pos(0));
+        f.clause(Lit::neg(0), Lit::neg(0), Lit::neg(0));
+        assert!(f.brute_force_sat().is_none());
+        let set = encode(&f);
+        let err = solve(&set, &SolverConfig::heuristic()).unwrap_err();
+        assert!(matches!(err, SolveError::Unsatisfiable { .. }));
+    }
+
+    #[test]
+    fn solver_agrees_with_brute_force_on_random_instances() {
+        // Deterministic pseudo-random 3-CNF instances.
+        let mut seed = 0xdead_beefu64;
+        let mut rand = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..30 {
+            let num_vars = 4 + (rand() % 3) as usize; // 4..=6
+            let num_clauses = 3 + (rand() % 10) as usize;
+            let mut f = Formula::new(num_vars);
+            for _ in 0..num_clauses {
+                let mk = |r: u64| Lit {
+                    var: (r % num_vars as u64) as usize,
+                    positive: r & (1 << 20) != 0,
+                };
+                f.clause(mk(rand()), mk(rand()), mk(rand()));
+            }
+            let brute = f.brute_force_sat();
+            let solved = solve(&encode(&f), &SolverConfig::heuristic());
+            match (brute, solved) {
+                (Some(_), Ok(sol)) => {
+                    let assignment = decode(&sol, num_vars).unwrap();
+                    assert!(f.eval(&assignment), "solver produced a falsifying assignment");
+                }
+                (None, Err(SolveError::Unsatisfiable { .. })) => {}
+                (brute, solved) => panic!(
+                    "solver disagrees with brute force: brute={:?} solved_ok={}",
+                    brute.is_some(),
+                    solved.is_ok()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn eval_matches_clause_semantics() {
+        let mut f = Formula::new(2);
+        f.clause(Lit::pos(0), Lit::neg(1), Lit::neg(1));
+        assert!(f.eval(&[true, true]));
+        assert!(f.eval(&[true, false]));
+        assert!(f.eval(&[false, false]));
+        assert!(!f.eval(&[false, true]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn clause_validates_variables() {
+        Formula::new(1).clause(Lit::pos(0), Lit::pos(1), Lit::pos(0));
+    }
+}

@@ -1,0 +1,709 @@
+//! The LSS type-inference solver (§5 of the paper).
+//!
+//! The inference problem — assign a basic type to every type variable under
+//! a conjunction of scheme equalities that may contain *disjunctive* schemes
+//! — is NP-complete (see [`crate::sat`] for the reduction used in tests).
+//! The paper extends unification with backtracking over disjuncts and makes
+//! it practical with three heuristics, all implemented here and all
+//! individually switchable for the ablation benchmarks:
+//!
+//! 1. **Reordering** ([`SolverConfig::reorder`]): non-disjunctive equalities
+//!    are unified first so they never have to be re-solved inside the
+//!    recursion that handles disjunctive terms.
+//! 2. **Smart disjunction resolution** ([`SolverConfig::smart`]): a
+//!    disjunctive constraint whose viable disjuncts (under the current
+//!    substitution) collapse to one is committed without search, and
+//!    branching always picks the constraint with the fewest viable
+//!    disjuncts.
+//! 3. **Divide and conquer** ([`SolverConfig::partition`]): the constraint
+//!    conjunction is partitioned into sub-systems that share no type
+//!    variables and each is solved separately, turning a product of branch
+//!    factors into a sum.
+//!
+//! With everything disabled the solver degenerates into the paper's
+//! "straight-forward extension of the unification algorithm": process
+//! constraints in order, and on encountering `(t* = t1*|...|tn*) ∧ φ`
+//! recursively try every `t* = ti* ∧ φ`.
+
+use std::fmt;
+
+use crate::constraint::{Constraint, ConstraintSet};
+use crate::ty::{Scheme, Ty, TyVar};
+use crate::unify::{unify, Subst, UnifyError, UnifyStats};
+
+/// Which heuristics the solver uses; see the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Heuristic 1: simplify non-disjunctive constraint terms first.
+    pub reorder: bool,
+    /// Heuristic 2: resolve forced disjunctions without recursion and
+    /// branch on the smallest remaining disjunction.
+    pub smart: bool,
+    /// Heuristic 3: partition disjoint constraint terms and solve
+    /// separately.
+    pub partition: bool,
+    /// Abort after this many unification steps (`None` = unbounded). Used
+    /// to keep the no-heuristics ablation from running for the paper's
+    /// ">12 hours".
+    pub step_budget: Option<u64>,
+    /// Maximum number of disjunct expansions considered per scheme.
+    pub expansion_cap: usize,
+}
+
+impl SolverConfig {
+    /// All heuristics on — the configuration LSS ships with.
+    pub fn heuristic() -> Self {
+        SolverConfig {
+            reorder: true,
+            smart: true,
+            partition: true,
+            step_budget: None,
+            expansion_cap: 4096,
+        }
+    }
+
+    /// All heuristics off — the paper's ">12 hours" baseline.
+    pub fn naive() -> Self {
+        SolverConfig {
+            reorder: false,
+            smart: false,
+            partition: false,
+            step_budget: None,
+            expansion_cap: 4096,
+        }
+    }
+
+    /// Sets the step budget, returning `self` for chaining.
+    pub fn with_budget(mut self, steps: u64) -> Self {
+        self.step_budget = Some(steps);
+        self
+    }
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig::heuristic()
+    }
+}
+
+/// Work counters for one solver run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Total unification steps (including trial unifications).
+    pub unify_steps: u64,
+    /// Disjunct alternatives explored by branching.
+    pub branches: u64,
+    /// Branches that failed and were undone.
+    pub backtracks: u64,
+    /// Number of independent constraint partitions solved.
+    pub partitions: usize,
+    /// Disjunctions committed without branching (heuristic 2).
+    pub smart_commits: u64,
+    /// Deepest branching recursion reached.
+    pub max_depth: u32,
+}
+
+/// Why solving failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// No assignment of basic types satisfies the constraints.
+    Unsatisfiable {
+        /// The constraint that could not be satisfied.
+        constraint: Constraint,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The configured step budget ran out before an answer was found.
+    BudgetExhausted {
+        /// Steps consumed when the solver gave up.
+        steps: u64,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Unsatisfiable { constraint, reason } => {
+                write!(f, "unsatisfiable constraint `{constraint}` ({}): {reason}", constraint.origin)
+            }
+            SolveError::BudgetExhausted { steps } => {
+                write!(f, "type inference exceeded its step budget after {steps} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A successful inference result.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The substitution assigning schemes to variables.
+    pub subst: Subst,
+    /// Work counters.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// The inferred basic type of `var`, if it was fully resolved.
+    pub fn ty_of(&self, var: TyVar) -> Option<Ty> {
+        self.subst.ground(var)
+    }
+
+    /// Variables from `vars` that did not resolve to a basic type — these
+    /// require explicit type instantiation by the user.
+    pub fn unresolved<'a>(&'a self, vars: impl IntoIterator<Item = TyVar> + 'a) -> Vec<TyVar> {
+        vars.into_iter().filter(|v| self.ty_of(*v).is_none()).collect()
+    }
+}
+
+/// Solves `set` under `config`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Unsatisfiable`] when no assignment exists and
+/// [`SolveError::BudgetExhausted`] when `config.step_budget` runs out.
+pub fn solve(set: &ConstraintSet, config: &SolverConfig) -> Result<Solution, SolveError> {
+    let mut solver = Solver {
+        config,
+        stats: SolveStats::default(),
+        unify_stats: UnifyStats::default(),
+    };
+    let mut subst = Subst::new();
+    let groups = if config.partition {
+        partition(set)
+    } else {
+        vec![(0..set.len()).collect::<Vec<_>>()]
+    };
+    solver.stats.partitions = groups.len();
+    for group in &groups {
+        let constraints: Vec<&Constraint> =
+            group.iter().map(|&i| &set.constraints[i]).collect();
+        solver.solve_group(&constraints, &mut subst)?;
+    }
+    solver.stats.unify_steps = solver.unify_stats.steps;
+    Ok(Solution { subst, stats: solver.stats })
+}
+
+/// Partitions constraint indices into groups sharing no type variables.
+///
+/// Constraints mentioning no variables each form their own singleton group.
+pub fn partition(set: &ConstraintSet) -> Vec<Vec<usize>> {
+    // Union-find over type variables.
+    let mut max_var = 0u32;
+    let mut con_vars: Vec<Vec<TyVar>> = Vec::with_capacity(set.len());
+    for c in set.iter() {
+        let vars = c.vars();
+        for v in &vars {
+            max_var = max_var.max(v.0 + 1);
+        }
+        con_vars.push(vars);
+    }
+    let mut parent: Vec<u32> = (0..max_var).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for vars in &con_vars {
+        if let Some((first, rest)) = vars.split_first() {
+            let r = find(&mut parent, first.0);
+            for v in rest {
+                let rv = find(&mut parent, v.0);
+                parent[rv as usize] = r;
+            }
+        }
+    }
+    // Group constraints by root; keep insertion order of groups stable.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut root_to_group: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for (i, vars) in con_vars.iter().enumerate() {
+        match vars.first() {
+            None => groups.push(vec![i]),
+            Some(v) => {
+                let r = find(&mut parent, v.0);
+                match root_to_group.get(&r) {
+                    Some(&g) => groups[g].push(i),
+                    None => {
+                        root_to_group.insert(r, groups.len());
+                        groups.push(vec![i]);
+                    }
+                }
+            }
+        }
+    }
+    groups
+}
+
+struct Solver<'a> {
+    config: &'a SolverConfig,
+    stats: SolveStats,
+    unify_stats: UnifyStats,
+}
+
+impl Solver<'_> {
+    fn check_budget(&self) -> Result<(), SolveError> {
+        if let Some(budget) = self.config.step_budget {
+            if self.unify_stats.steps > budget {
+                return Err(SolveError::BudgetExhausted { steps: self.unify_stats.steps });
+            }
+        }
+        Ok(())
+    }
+
+    fn unsat(&self, c: &Constraint, reason: impl ToString) -> SolveError {
+        SolveError::Unsatisfiable { constraint: c.clone(), reason: reason.to_string() }
+    }
+
+    fn solve_group(
+        &mut self,
+        constraints: &[&Constraint],
+        subst: &mut Subst,
+    ) -> Result<(), SolveError> {
+        if self.config.reorder {
+            // Heuristic 1: unify the equational (non-disjunctive) terms
+            // first; they never need revisiting during branching.
+            let mut disjunctive = Vec::new();
+            for c in constraints {
+                if c.has_disjunction() {
+                    disjunctive.push(*c);
+                    continue;
+                }
+                self.check_budget()?;
+                unify(&c.lhs, &c.rhs, subst, &mut self.unify_stats)
+                    .map_err(|e| self.unsat(c, e))?;
+            }
+            self.solve_queue(&disjunctive, subst, 0)
+        } else {
+            // Paper's naive extension: process in order, recursing on every
+            // disjunctive term.
+            self.solve_in_order(constraints, 0, subst, 0)
+        }
+    }
+
+    /// The disjunct expansions of a constraint: all `(lhs', rhs')` pairs
+    /// with disjunctions multiplied out.
+    fn expansions(&self, c: &Constraint) -> Result<Vec<(Scheme, Scheme)>, SolveError> {
+        let cap = self.config.expansion_cap;
+        let lhs = c
+            .lhs
+            .expand_disjuncts(cap)
+            .ok_or_else(|| self.unsat(c, format!("more than {cap} disjunct expansions")))?;
+        let rhs = c
+            .rhs
+            .expand_disjuncts(cap)
+            .ok_or_else(|| self.unsat(c, format!("more than {cap} disjunct expansions")))?;
+        if lhs.len().saturating_mul(rhs.len()) > cap {
+            return Err(self.unsat(c, format!("more than {cap} disjunct expansions")));
+        }
+        let mut pairs = Vec::with_capacity(lhs.len() * rhs.len());
+        for l in &lhs {
+            for r in &rhs {
+                pairs.push((l.clone(), r.clone()));
+            }
+        }
+        Ok(pairs)
+    }
+
+    /// The expansions that trial-unify under the current substitution.
+    fn viable(
+        &mut self,
+        c: &Constraint,
+        subst: &Subst,
+    ) -> Result<Vec<(Scheme, Scheme)>, SolveError> {
+        let mut out = Vec::new();
+        for (l, r) in self.expansions(c)? {
+            let mut scratch = subst.clone();
+            if unify(&l, &r, &mut scratch, &mut self.unify_stats).is_ok() {
+                out.push((l, r));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solves the queue of disjunctive constraints (heuristic path).
+    fn solve_queue(
+        &mut self,
+        queue: &[&Constraint],
+        subst: &mut Subst,
+        depth: u32,
+    ) -> Result<(), SolveError> {
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        self.check_budget()?;
+        if queue.is_empty() {
+            return Ok(());
+        }
+
+        let mut pending: Vec<&Constraint> = queue.to_vec();
+        if self.config.smart {
+            // Heuristic 2: repeatedly commit forced disjunctions.
+            loop {
+                self.check_budget()?;
+                let mut progressed = false;
+                let mut next = Vec::with_capacity(pending.len());
+                for c in pending.drain(..) {
+                    let viable = self.viable(c, subst)?;
+                    match viable.len() {
+                        0 => return Err(self.unsat(c, "no disjunct is compatible")),
+                        1 => {
+                            let (l, r) = &viable[0];
+                            unify(l, r, subst, &mut self.unify_stats)
+                                .map_err(|e| self.unsat(c, e))?;
+                            self.stats.smart_commits += 1;
+                            progressed = true;
+                        }
+                        _ => next.push(c),
+                    }
+                }
+                pending = next;
+                if !progressed || pending.is_empty() {
+                    break;
+                }
+            }
+        }
+        if pending.is_empty() {
+            return Ok(());
+        }
+
+        // Pick the branching constraint: fewest viable disjuncts when smart,
+        // otherwise the first in the queue.
+        let (pick_idx, pairs) = if self.config.smart {
+            let mut best: Option<(usize, Vec<(Scheme, Scheme)>)> = None;
+            for (i, c) in pending.iter().enumerate() {
+                let viable = self.viable(c, subst)?;
+                let better = best.as_ref().map(|(_, b)| viable.len() < b.len()).unwrap_or(true);
+                if better {
+                    best = Some((i, viable));
+                }
+            }
+            best.expect("pending is non-empty")
+        } else {
+            (0, self.expansions(pending[0])?)
+        };
+        let constraint = pending.remove(pick_idx);
+        for (l, r) in pairs {
+            self.check_budget()?;
+            self.stats.branches += 1;
+            let mut scratch = subst.clone();
+            if unify(&l, &r, &mut scratch, &mut self.unify_stats).is_err() {
+                self.stats.backtracks += 1;
+                continue;
+            }
+            match self.solve_queue(&pending, &mut scratch, depth + 1) {
+                Ok(()) => {
+                    *subst = scratch;
+                    return Ok(());
+                }
+                Err(e @ SolveError::BudgetExhausted { .. }) => return Err(e),
+                Err(_) => self.stats.backtracks += 1,
+            }
+        }
+        Err(self.unsat(constraint, "every disjunct led to a contradiction"))
+    }
+
+    /// The naive in-order algorithm: `(t* = t1*|..|tn*) ∧ φ` is solved by
+    /// recursively solving every `t* = ti* ∧ φ`.
+    fn solve_in_order(
+        &mut self,
+        constraints: &[&Constraint],
+        index: usize,
+        subst: &mut Subst,
+        depth: u32,
+    ) -> Result<(), SolveError> {
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        self.check_budget()?;
+        let Some(c) = constraints.get(index) else {
+            return Ok(());
+        };
+        match unify(&c.lhs, &c.rhs, subst, &mut self.unify_stats) {
+            Ok(()) => self.solve_in_order(constraints, index + 1, subst, depth),
+            Err(UnifyError::Disjunction(..)) => {
+                let pairs = self.expansions(c)?;
+                let mut last_err = None;
+                for (l, r) in pairs {
+                    self.check_budget()?;
+                    self.stats.branches += 1;
+                    let mut scratch = subst.clone();
+                    if unify(&l, &r, &mut scratch, &mut self.unify_stats).is_err() {
+                        self.stats.backtracks += 1;
+                        continue;
+                    }
+                    match self.solve_in_order(constraints, index + 1, &mut scratch, depth + 1) {
+                        Ok(()) => {
+                            *subst = scratch;
+                            return Ok(());
+                        }
+                        Err(e @ SolveError::BudgetExhausted { .. }) => return Err(e),
+                        Err(e) => {
+                            self.stats.backtracks += 1;
+                            last_err = Some(e);
+                        }
+                    }
+                }
+                Err(last_err.unwrap_or_else(|| self.unsat(c, "every disjunct led to a contradiction")))
+            }
+            Err(e) => Err(self.unsat(c, e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(n: u32) -> Scheme {
+        Scheme::Var(TyVar(n))
+    }
+
+    fn or(alts: &[Scheme]) -> Scheme {
+        Scheme::Or(alts.to_vec())
+    }
+
+    fn all_configs() -> Vec<SolverConfig> {
+        let mut configs = Vec::new();
+        for reorder in [false, true] {
+            for smart in [false, true] {
+                for part in [false, true] {
+                    configs.push(SolverConfig {
+                        reorder,
+                        smart,
+                        partition: part,
+                        step_budget: None,
+                        expansion_cap: 4096,
+                    });
+                }
+            }
+        }
+        configs
+    }
+
+    #[test]
+    fn solves_simple_equalities_in_every_config() {
+        for config in all_configs() {
+            let mut set = ConstraintSet::new();
+            set.push_eq(var(0), var(1));
+            set.push_eq(var(1), Scheme::Int);
+            set.push_eq(var(2), Scheme::Array(Box::new(var(0)), 3));
+            let sol = solve(&set, &config).unwrap();
+            assert_eq!(sol.ty_of(TyVar(0)), Some(Ty::Int));
+            assert_eq!(sol.ty_of(TyVar(2)), Some(Ty::Array(Box::new(Ty::Int), 3)));
+        }
+    }
+
+    #[test]
+    fn resolves_disjunction_from_connection() {
+        // ALU port is int|float; connected register file is float.
+        for config in all_configs() {
+            let mut set = ConstraintSet::new();
+            set.push_eq(var(0), or(&[Scheme::Int, Scheme::Float]));
+            set.push_eq(var(0), Scheme::Float);
+            let sol = solve(&set, &config).unwrap();
+            assert_eq!(sol.ty_of(TyVar(0)), Some(Ty::Float), "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn detects_unsatisfiable_disjunction() {
+        for config in all_configs() {
+            let mut set = ConstraintSet::new();
+            set.push_eq(var(0), or(&[Scheme::Int, Scheme::Float]));
+            set.push_eq(var(0), Scheme::Bool);
+            let err = solve(&set, &config).unwrap_err();
+            assert!(matches!(err, SolveError::Unsatisfiable { .. }), "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn chained_disjunctions_propagate() {
+        // A chain of overloaded components pinned to float at one end.
+        for config in all_configs() {
+            let n = 6;
+            let mut set = ConstraintSet::new();
+            for i in 0..n {
+                set.push_eq(var(i), or(&[Scheme::Int, Scheme::Float]));
+                if i > 0 {
+                    set.push_eq(var(i - 1), var(i));
+                }
+            }
+            set.push_eq(var(n - 1), Scheme::Float);
+            let sol = solve(&set, &config).unwrap();
+            for i in 0..n {
+                assert_eq!(sol.ty_of(TyVar(i)), Some(Ty::Float), "var {i} config {config:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn underconstrained_vars_stay_unresolved() {
+        let mut set = ConstraintSet::new();
+        set.push_eq(var(0), var(1));
+        let sol = solve(&set, &SolverConfig::heuristic()).unwrap();
+        let unresolved = sol.unresolved([TyVar(0), TyVar(1)]);
+        assert_eq!(unresolved.len(), 2);
+    }
+
+    #[test]
+    fn ambiguous_disjunction_picks_some_alternative() {
+        // int|float with no other constraint: the solver commits to one
+        // alternative (branching), so the variable resolves.
+        let mut set = ConstraintSet::new();
+        set.push_eq(var(0), or(&[Scheme::Int, Scheme::Float]));
+        let sol = solve(&set, &SolverConfig::heuristic()).unwrap();
+        let ty = sol.ty_of(TyVar(0)).unwrap();
+        assert!(ty == Ty::Int || ty == Ty::Float);
+    }
+
+    #[test]
+    fn nested_disjunction_in_array() {
+        for config in all_configs() {
+            let mut set = ConstraintSet::new();
+            // 'a[4] = (int|float)[4], 'a = float
+            set.push_eq(
+                Scheme::Array(Box::new(var(0)), 4),
+                Scheme::Array(Box::new(or(&[Scheme::Int, Scheme::Float])), 4),
+            );
+            set.push_eq(var(0), Scheme::Float);
+            let sol = solve(&set, &config).unwrap();
+            assert_eq!(sol.ty_of(TyVar(0)), Some(Ty::Float), "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn disjunction_on_both_sides() {
+        for config in all_configs() {
+            let mut set = ConstraintSet::new();
+            set.push_eq(or(&[Scheme::Int, Scheme::Bool]), or(&[Scheme::Bool, Scheme::Float]));
+            // Only bool is common; tie 'a to witness the choice.
+            set.push_eq(var(0), or(&[Scheme::Int, Scheme::Bool]));
+            set.push_eq(var(0), or(&[Scheme::Bool, Scheme::Float]));
+            let sol = solve(&set, &config).unwrap();
+            assert_eq!(sol.ty_of(TyVar(0)), Some(Ty::Bool), "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn partition_splits_disjoint_systems() {
+        let mut set = ConstraintSet::new();
+        set.push_eq(var(0), Scheme::Int);
+        set.push_eq(var(1), Scheme::Float);
+        set.push_eq(var(0), var(2));
+        set.push_eq(Scheme::Int, Scheme::Int); // ground, its own group
+        let groups = partition(&set);
+        assert_eq!(groups.len(), 3);
+        // Group containing constraint 0 must also contain constraint 2.
+        let g0 = groups.iter().find(|g| g.contains(&0)).unwrap();
+        assert!(g0.contains(&2));
+        assert!(!g0.contains(&1));
+    }
+
+    #[test]
+    fn partition_reduces_work_exponentially() {
+        // m independent 2-way choices; the partitioned solver explores
+        // them additively, the unpartitioned naive solver multiplicatively.
+        let m = 8;
+        let mut set = ConstraintSet::new();
+        for i in 0..m {
+            // Put the pinning *after* the disjunction to force naive
+            // branching before the ground fact is known.
+            set.push_eq(var(i), or(&[Scheme::Int, Scheme::Float]));
+        }
+        for i in 0..m {
+            set.push_eq(var(i), Scheme::Float);
+        }
+        let with = solve(&set, &SolverConfig::heuristic()).unwrap();
+        let without = solve(&set, &SolverConfig::naive()).unwrap();
+        assert!(
+            with.stats.unify_steps * 4 < without.stats.unify_steps,
+            "heuristics {} steps vs naive {} steps",
+            with.stats.unify_steps,
+            without.stats.unify_steps
+        );
+        assert_eq!(with.stats.partitions, m as usize);
+    }
+
+    #[test]
+    fn smart_commit_avoids_branching() {
+        let mut set = ConstraintSet::new();
+        set.push_eq(var(0), Scheme::Float);
+        set.push_eq(var(0), or(&[Scheme::Int, Scheme::Float]));
+        let sol = solve(&set, &SolverConfig::heuristic()).unwrap();
+        assert_eq!(sol.stats.branches, 0);
+        assert_eq!(sol.stats.smart_commits, 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let mut set = ConstraintSet::new();
+        for i in 0..12 {
+            set.push_eq(var(i), or(&[Scheme::Int, Scheme::Float, Scheme::Bool]));
+        }
+        for i in 0..12 {
+            set.push_eq(var(i), Scheme::Bool);
+        }
+        let config = SolverConfig::naive().with_budget(200);
+        let err = solve(&set, &config).unwrap_err();
+        assert!(matches!(err, SolveError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn mismatch_reports_origin() {
+        let mut set = ConstraintSet::new();
+        set.push(Constraint::with_origin(
+            Scheme::Int,
+            Scheme::Float,
+            crate::constraint::ConstraintOrigin::Connection {
+                src: "alu.out".into(),
+                dst: "rf.in".into(),
+            },
+        ));
+        let err = solve(&set, &SolverConfig::heuristic()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("alu.out"), "message should cite the connection: {msg}");
+    }
+
+    #[test]
+    fn struct_disjunction_selects_matching_shape() {
+        for config in all_configs() {
+            let shape_a = Scheme::Struct(vec![("pc".into(), Scheme::Int)]);
+            let shape_b = Scheme::Struct(vec![
+                ("pc".into(), Scheme::Int),
+                ("pred".into(), Scheme::Bool),
+            ]);
+            let mut set = ConstraintSet::new();
+            set.push_eq(var(0), or(&[shape_a.clone(), shape_b.clone()]));
+            set.push_eq(var(0), shape_b.clone());
+            let sol = solve(&set, &config).unwrap();
+            assert_eq!(sol.ty_of(TyVar(0)), shape_b.to_ty(), "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn deep_chain_is_fast_with_heuristics() {
+        // 40 components, each overloaded 3 ways, pinned at the far end.
+        let n = 40u32;
+        let mut set = ConstraintSet::new();
+        for i in 0..n {
+            set.push_eq(var(i), or(&[Scheme::Int, Scheme::Float, Scheme::Bool]));
+        }
+        for i in 1..n {
+            set.push_eq(var(i - 1), var(i));
+        }
+        set.push_eq(var(n - 1), Scheme::Bool);
+        let sol = solve(&set, &SolverConfig::heuristic()).unwrap();
+        for i in 0..n {
+            assert_eq!(sol.ty_of(TyVar(i)), Some(Ty::Bool));
+        }
+        // The whole chain is one partition, but smart commits kill the
+        // search: no branching at all.
+        assert_eq!(sol.stats.branches, 0);
+    }
+}

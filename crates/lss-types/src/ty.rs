@@ -1,0 +1,397 @@
+//! Basic types and type schemes (the §5 grammar).
+//!
+//! ```text
+//! Basic Types    t  ::= int | bool | float | string | t[n] | struct{ i1:t1; ... }
+//! Type Schemes   t* ::= t | 'a | (t1* | ... | tn*) | t*[n] | struct{ i1:t1*; ... }
+//! ```
+//!
+//! A [`Ty`] is always ground. A [`Scheme`] may contain type variables and
+//! disjunctions; inference assigns a ground `Ty` to every variable.
+
+use std::fmt;
+
+/// A type variable, identified by a dense index from a [`VarGen`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TyVar(pub u32);
+
+impl fmt::Display for TyVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "'t{}", self.0)
+    }
+}
+
+/// Allocates fresh type variables and remembers a display name for each
+/// (e.g. `delay3.in:'a`), used in "cannot infer" diagnostics.
+#[derive(Debug, Default, Clone)]
+pub struct VarGen {
+    names: Vec<String>,
+}
+
+impl VarGen {
+    /// Creates an empty generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh variable with a descriptive name.
+    pub fn fresh(&mut self, name: impl Into<String>) -> TyVar {
+        let v = TyVar(self.names.len() as u32);
+        self.names.push(name.into());
+        v
+    }
+
+    /// The descriptive name given at allocation.
+    pub fn name(&self, var: TyVar) -> &str {
+        self.names.get(var.0 as usize).map(String::as_str).unwrap_or("?")
+    }
+
+    /// Number of variables allocated so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no variables were allocated.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A ground (fully resolved) LSS type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// 64-bit float.
+    Float,
+    /// Text string.
+    String,
+    /// Fixed-length array `t[n]`.
+    Array(Box<Ty>, usize),
+    /// Record type `struct { name: t; ... }` with field order significant.
+    Struct(Vec<(String, Ty)>),
+}
+
+impl Ty {
+    /// A `struct` from field pairs; convenience for tests.
+    pub fn record(fields: impl IntoIterator<Item = (impl Into<String>, Ty)>) -> Ty {
+        Ty::Struct(fields.into_iter().map(|(n, t)| (n.into(), t)).collect())
+    }
+
+    /// Size (number of syntax nodes), used to bound generated tests.
+    pub fn size(&self) -> usize {
+        match self {
+            Ty::Int | Ty::Bool | Ty::Float | Ty::String => 1,
+            Ty::Array(t, _) => 1 + t.size(),
+            Ty::Struct(fields) => 1 + fields.iter().map(|(_, t)| t.size()).sum::<usize>(),
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => write!(f, "int"),
+            Ty::Bool => write!(f, "bool"),
+            Ty::Float => write!(f, "float"),
+            Ty::String => write!(f, "string"),
+            Ty::Array(t, n) => write!(f, "{t}[{n}]"),
+            Ty::Struct(fields) => {
+                write!(f, "struct {{ ")?;
+                for (name, t) in fields {
+                    write!(f, "{name}: {t}; ")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// A type scheme: a type that may contain variables and disjunctions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// `float`
+    Float,
+    /// `string`
+    String,
+    /// `t*[n]`
+    Array(Box<Scheme>, usize),
+    /// `struct { name: t*; ... }`
+    Struct(Vec<(String, Scheme)>),
+    /// A type variable.
+    Var(TyVar),
+    /// A disjunctive scheme `(t1* | ... | tn*)`: the entity must statically
+    /// take exactly one alternative (component overloading, §4.4).
+    Or(Vec<Scheme>),
+}
+
+impl Scheme {
+    /// Converts a ground type to the equivalent scheme.
+    pub fn from_ty(ty: &Ty) -> Scheme {
+        match ty {
+            Ty::Int => Scheme::Int,
+            Ty::Bool => Scheme::Bool,
+            Ty::Float => Scheme::Float,
+            Ty::String => Scheme::String,
+            Ty::Array(t, n) => Scheme::Array(Box::new(Scheme::from_ty(t)), *n),
+            Ty::Struct(fields) => Scheme::Struct(
+                fields.iter().map(|(name, t)| (name.clone(), Scheme::from_ty(t))).collect(),
+            ),
+        }
+    }
+
+    /// Converts a scheme to a ground type if it contains no variables or
+    /// disjunctions.
+    pub fn to_ty(&self) -> Option<Ty> {
+        Some(match self {
+            Scheme::Int => Ty::Int,
+            Scheme::Bool => Ty::Bool,
+            Scheme::Float => Ty::Float,
+            Scheme::String => Ty::String,
+            Scheme::Array(t, n) => Ty::Array(Box::new(t.to_ty()?), *n),
+            Scheme::Struct(fields) => Ty::Struct(
+                fields
+                    .iter()
+                    .map(|(name, t)| t.to_ty().map(|t| (name.clone(), t)))
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+            Scheme::Var(_) | Scheme::Or(_) => return None,
+        })
+    }
+
+    /// True if the scheme is ground (no variables, no disjunctions).
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Scheme::Int | Scheme::Bool | Scheme::Float | Scheme::String => true,
+            Scheme::Array(t, _) => t.is_ground(),
+            Scheme::Struct(fields) => fields.iter().all(|(_, t)| t.is_ground()),
+            Scheme::Var(_) | Scheme::Or(_) => false,
+        }
+    }
+
+    /// True if a disjunction occurs anywhere in the scheme.
+    pub fn has_disjunction(&self) -> bool {
+        match self {
+            Scheme::Or(_) => true,
+            Scheme::Array(t, _) => t.has_disjunction(),
+            Scheme::Struct(fields) => fields.iter().any(|(_, t)| t.has_disjunction()),
+            _ => false,
+        }
+    }
+
+    /// Collects every variable occurring in the scheme into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<TyVar>) {
+        match self {
+            Scheme::Var(v) => out.push(*v),
+            Scheme::Array(t, _) => t.collect_vars(out),
+            Scheme::Struct(fields) => fields.iter().for_each(|(_, t)| t.collect_vars(out)),
+            Scheme::Or(alts) => alts.iter().for_each(|t| t.collect_vars(out)),
+            _ => {}
+        }
+    }
+
+    /// Returns every variable occurring in the scheme.
+    pub fn vars(&self) -> Vec<TyVar> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// True if `var` occurs in the scheme (the occurs check).
+    pub fn occurs(&self, var: TyVar) -> bool {
+        match self {
+            Scheme::Var(v) => *v == var,
+            Scheme::Array(t, _) => t.occurs(var),
+            Scheme::Struct(fields) => fields.iter().any(|(_, t)| t.occurs(var)),
+            Scheme::Or(alts) => alts.iter().any(|t| t.occurs(var)),
+            _ => false,
+        }
+    }
+
+    /// Expands every nested disjunction, producing the list of
+    /// disjunction-free schemes this scheme stands for (the cartesian
+    /// product over nested `Or`s). The result length is capped at `cap`;
+    /// `None` is returned when the cap would be exceeded.
+    pub fn expand_disjuncts(&self, cap: usize) -> Option<Vec<Scheme>> {
+        fn go(s: &Scheme, cap: usize) -> Option<Vec<Scheme>> {
+            Some(match s {
+                Scheme::Int | Scheme::Bool | Scheme::Float | Scheme::String | Scheme::Var(_) => {
+                    vec![s.clone()]
+                }
+                Scheme::Array(t, n) => go(t, cap)?
+                    .into_iter()
+                    .map(|t| Scheme::Array(Box::new(t), *n))
+                    .collect(),
+                Scheme::Struct(fields) => {
+                    let mut acc: Vec<Vec<(String, Scheme)>> = vec![Vec::new()];
+                    for (name, t) in fields {
+                        let alts = go(t, cap)?;
+                        let mut next = Vec::new();
+                        for prefix in &acc {
+                            for alt in &alts {
+                                let mut row = prefix.clone();
+                                row.push((name.clone(), alt.clone()));
+                                next.push(row);
+                            }
+                            if next.len() > cap {
+                                return None;
+                            }
+                        }
+                        acc = next;
+                    }
+                    acc.into_iter().map(Scheme::Struct).collect()
+                }
+                Scheme::Or(alts) => {
+                    let mut out = Vec::new();
+                    for alt in alts {
+                        out.extend(go(alt, cap)?);
+                        if out.len() > cap {
+                            return None;
+                        }
+                    }
+                    out
+                }
+            })
+        }
+        let out = go(self, cap)?;
+        (out.len() <= cap).then_some(out)
+    }
+
+    /// Size (number of syntax nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            Scheme::Int | Scheme::Bool | Scheme::Float | Scheme::String | Scheme::Var(_) => 1,
+            Scheme::Array(t, _) => 1 + t.size(),
+            Scheme::Struct(fields) => 1 + fields.iter().map(|(_, t)| t.size()).sum::<usize>(),
+            Scheme::Or(alts) => 1 + alts.iter().map(Scheme::size).sum::<usize>(),
+        }
+    }
+}
+
+impl From<Ty> for Scheme {
+    fn from(ty: Ty) -> Scheme {
+        Scheme::from_ty(&ty)
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scheme::Int => write!(f, "int"),
+            Scheme::Bool => write!(f, "bool"),
+            Scheme::Float => write!(f, "float"),
+            Scheme::String => write!(f, "string"),
+            Scheme::Array(t, n) => {
+                if matches!(**t, Scheme::Or(_)) {
+                    write!(f, "({t})[{n}]")
+                } else {
+                    write!(f, "{t}[{n}]")
+                }
+            }
+            Scheme::Struct(fields) => {
+                write!(f, "struct {{ ")?;
+                for (name, t) in fields {
+                    write!(f, "{name}: {t}; ")?;
+                }
+                write!(f, "}}")
+            }
+            Scheme::Var(v) => write!(f, "{v}"),
+            Scheme::Or(alts) => {
+                for (i, t) in alts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ty_scheme_round_trip() {
+        let ty = Ty::Array(Box::new(Ty::record([("x", Ty::Int), ("y", Ty::Float)])), 3);
+        let scheme = Scheme::from_ty(&ty);
+        assert!(scheme.is_ground());
+        assert_eq!(scheme.to_ty(), Some(ty));
+    }
+
+    #[test]
+    fn non_ground_schemes_do_not_convert() {
+        let s = Scheme::Array(Box::new(Scheme::Var(TyVar(0))), 2);
+        assert!(!s.is_ground());
+        assert_eq!(s.to_ty(), None);
+        let d = Scheme::Or(vec![Scheme::Int, Scheme::Float]);
+        assert!(!d.is_ground());
+        assert!(d.has_disjunction());
+        assert_eq!(d.to_ty(), None);
+    }
+
+    #[test]
+    fn occurs_check_sees_through_structure() {
+        let v = TyVar(7);
+        let s = Scheme::Struct(vec![(
+            "f".into(),
+            Scheme::Or(vec![Scheme::Int, Scheme::Array(Box::new(Scheme::Var(v)), 1)]),
+        )]);
+        assert!(s.occurs(v));
+        assert!(!s.occurs(TyVar(8)));
+        assert_eq!(s.vars(), vec![v]);
+    }
+
+    #[test]
+    fn expand_disjuncts_products() {
+        // (int|float)[2] expands to int[2], float[2].
+        let s = Scheme::Array(Box::new(Scheme::Or(vec![Scheme::Int, Scheme::Float])), 2);
+        let exp = s.expand_disjuncts(16).unwrap();
+        assert_eq!(
+            exp,
+            vec![
+                Scheme::Array(Box::new(Scheme::Int), 2),
+                Scheme::Array(Box::new(Scheme::Float), 2)
+            ]
+        );
+        // struct with two disjunctive fields expands to the 4-way product.
+        let s2 = Scheme::Struct(vec![
+            ("a".into(), Scheme::Or(vec![Scheme::Int, Scheme::Float])),
+            ("b".into(), Scheme::Or(vec![Scheme::Bool, Scheme::String])),
+        ]);
+        assert_eq!(s2.expand_disjuncts(16).unwrap().len(), 4);
+        // cap respected
+        assert!(s2.expand_disjuncts(3).is_none());
+    }
+
+    #[test]
+    fn vargen_names() {
+        let mut g = VarGen::new();
+        assert!(g.is_empty());
+        let a = g.fresh("d1.in");
+        let b = g.fresh("d1.out");
+        assert_eq!(g.name(a), "d1.in");
+        assert_eq!(g.name(b), "d1.out");
+        assert_eq!(g.len(), 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ty::Array(Box::new(Ty::Int), 4).to_string(), "int[4]");
+        let s = Scheme::Array(Box::new(Scheme::Or(vec![Scheme::Int, Scheme::Float])), 4);
+        assert_eq!(s.to_string(), "(int|float)[4]");
+        assert_eq!(Scheme::Var(TyVar(3)).to_string(), "'t3");
+        assert_eq!(
+            Ty::record([("x", Ty::Int)]).to_string(),
+            "struct { x: int; }"
+        );
+    }
+}

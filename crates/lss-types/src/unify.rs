@@ -1,0 +1,312 @@
+//! Substitutions and disjunction-free unification.
+//!
+//! This is the classical Robinson-style core that the paper's modified
+//! algorithm (see [`crate::solve::solve`]) extends: when unification reaches
+//! a disjunction it *stops* with [`UnifyError::Disjunction`] and hands
+//! control back to the solver, which resolves the disjunction by pruning or
+//! branching.
+
+use std::fmt;
+
+use crate::ty::{Scheme, Ty, TyVar};
+
+/// A substitution mapping type variables to schemes.
+///
+/// Bindings may map a variable to a scheme containing other variables;
+/// [`Subst::resolve`] normalizes a scheme by chasing bindings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Subst {
+    bindings: Vec<Option<Scheme>>,
+}
+
+impl Subst {
+    /// Creates an empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The binding of `var`, if any (not normalized).
+    pub fn get(&self, var: TyVar) -> Option<&Scheme> {
+        self.bindings.get(var.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Binds `var` to `scheme`. The caller must have performed the occurs
+    /// check.
+    pub fn bind(&mut self, var: TyVar, scheme: Scheme) {
+        let idx = var.0 as usize;
+        if idx >= self.bindings.len() {
+            self.bindings.resize(idx + 1, None);
+        }
+        self.bindings[idx] = Some(scheme);
+    }
+
+    /// Applies the substitution to `scheme`, chasing bindings until fixed
+    /// point. The result contains only unbound variables.
+    pub fn resolve(&self, scheme: &Scheme) -> Scheme {
+        match scheme {
+            Scheme::Var(v) => match self.get(*v) {
+                Some(bound) => self.resolve(bound),
+                None => scheme.clone(),
+            },
+            Scheme::Array(t, n) => Scheme::Array(Box::new(self.resolve(t)), *n),
+            Scheme::Struct(fields) => Scheme::Struct(
+                fields.iter().map(|(name, t)| (name.clone(), self.resolve(t))).collect(),
+            ),
+            Scheme::Or(alts) => Scheme::Or(alts.iter().map(|t| self.resolve(t)).collect()),
+            other => other.clone(),
+        }
+    }
+
+    /// Resolves `var` fully to a ground type, if possible.
+    pub fn ground(&self, var: TyVar) -> Option<Ty> {
+        self.resolve(&Scheme::Var(var)).to_ty()
+    }
+
+    /// Number of bound variables.
+    pub fn bound_count(&self) -> usize {
+        self.bindings.iter().filter(|b| b.is_some()).count()
+    }
+}
+
+/// Why unification failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnifyError {
+    /// Two incompatible constructors (e.g. `int` vs `float[2]`).
+    Mismatch(Scheme, Scheme),
+    /// A variable would have to contain itself.
+    Occurs(TyVar, Scheme),
+    /// A disjunction was reached — the caller must branch or prune.
+    Disjunction(Scheme, Scheme),
+}
+
+impl fmt::Display for UnifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnifyError::Mismatch(a, b) => write!(f, "type mismatch: `{a}` vs `{b}`"),
+            UnifyError::Occurs(v, s) => write!(f, "infinite type: {v} occurs in `{s}`"),
+            UnifyError::Disjunction(a, b) => {
+                write!(f, "unresolved disjunction while unifying `{a}` with `{b}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnifyError {}
+
+/// Statistics shared by the unifier and the solver built on it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnifyStats {
+    /// Number of recursive `unify` invocations.
+    pub steps: u64,
+}
+
+/// Unifies `a` with `b` under `subst`, extending `subst` with new bindings.
+///
+/// # Errors
+///
+/// * [`UnifyError::Mismatch`] if the schemes cannot be equal.
+/// * [`UnifyError::Occurs`] on infinite types.
+/// * [`UnifyError::Disjunction`] if a disjunction is reached on either side
+///   (after variable resolution); the solver handles these by branching.
+pub fn unify(
+    a: &Scheme,
+    b: &Scheme,
+    subst: &mut Subst,
+    stats: &mut UnifyStats,
+) -> Result<(), UnifyError> {
+    stats.steps += 1;
+    let a = match a {
+        Scheme::Var(v) => match subst.get(*v) {
+            Some(bound) => return unify(&bound.clone(), b, subst, stats),
+            None => a.clone(),
+        },
+        _ => a.clone(),
+    };
+    let b = match b {
+        Scheme::Var(v) => match subst.get(*v) {
+            Some(bound) => return unify(&a, &bound.clone(), subst, stats),
+            None => b.clone(),
+        },
+        _ => b.clone(),
+    };
+    match (&a, &b) {
+        (Scheme::Var(va), Scheme::Var(vb)) if va == vb => Ok(()),
+        (Scheme::Or(_), _) | (_, Scheme::Or(_)) => Err(UnifyError::Disjunction(a, b)),
+        (Scheme::Var(v), other) | (other, Scheme::Var(v)) => {
+            let resolved = subst.resolve(other);
+            // The disjunction check must come first: `'a = ('a|int)[1]` is
+            // satisfiable by choosing the `int` disjunct, so an occurs hit
+            // inside a disjunction is a branching point, not a failure.
+            if resolved.has_disjunction() {
+                // Binding a variable to a disjunction would leak choice
+                // points into the substitution; the solver must decide first.
+                return Err(UnifyError::Disjunction(Scheme::Var(*v), resolved));
+            }
+            if resolved.occurs(*v) {
+                return Err(UnifyError::Occurs(*v, resolved));
+            }
+            subst.bind(*v, resolved);
+            Ok(())
+        }
+        (Scheme::Int, Scheme::Int)
+        | (Scheme::Bool, Scheme::Bool)
+        | (Scheme::Float, Scheme::Float)
+        | (Scheme::String, Scheme::String) => Ok(()),
+        (Scheme::Array(ta, na), Scheme::Array(tb, nb)) => {
+            if na != nb {
+                return Err(UnifyError::Mismatch(a.clone(), b.clone()));
+            }
+            unify(ta, tb, subst, stats)
+        }
+        (Scheme::Struct(fa), Scheme::Struct(fb)) => {
+            if fa.len() != fb.len() || fa.iter().zip(fb).any(|((na, _), (nb, _))| na != nb) {
+                return Err(UnifyError::Mismatch(a.clone(), b.clone()));
+            }
+            for ((_, ta), (_, tb)) in fa.iter().zip(fb) {
+                unify(ta, tb, subst, stats)?;
+            }
+            Ok(())
+        }
+        _ => Err(UnifyError::Mismatch(a, b)),
+    }
+}
+
+/// Trial-unifies on a scratch clone of `subst`, reporting only success.
+///
+/// Used by the solver's smart-disjunction heuristic to count viable
+/// disjuncts without committing.
+pub fn unifiable(a: &Scheme, b: &Scheme, subst: &Subst, stats: &mut UnifyStats) -> bool {
+    let mut scratch = subst.clone();
+    unify(a, b, &mut scratch, stats).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(n: u32) -> Scheme {
+        Scheme::Var(TyVar(n))
+    }
+
+    #[test]
+    fn unifies_identical_ground_types() {
+        let mut s = Subst::new();
+        let mut st = UnifyStats::default();
+        assert!(unify(&Scheme::Int, &Scheme::Int, &mut s, &mut st).is_ok());
+        assert!(unify(&Scheme::Float, &Scheme::Int, &mut s, &mut st).is_err());
+        assert!(st.steps >= 2);
+    }
+
+    #[test]
+    fn binds_variables_transitively() {
+        let mut s = Subst::new();
+        let mut st = UnifyStats::default();
+        // 'a = 'b, 'b = int  =>  'a resolves to int
+        unify(&var(0), &var(1), &mut s, &mut st).unwrap();
+        unify(&var(1), &Scheme::Int, &mut s, &mut st).unwrap();
+        assert_eq!(s.ground(TyVar(0)), Some(Ty::Int));
+        assert_eq!(s.ground(TyVar(1)), Some(Ty::Int));
+        assert_eq!(s.bound_count(), 2);
+    }
+
+    #[test]
+    fn unifies_structures() {
+        let mut s = Subst::new();
+        let mut st = UnifyStats::default();
+        let a = Scheme::Array(Box::new(var(0)), 4);
+        let b = Scheme::Array(Box::new(Scheme::Float), 4);
+        unify(&a, &b, &mut s, &mut st).unwrap();
+        assert_eq!(s.ground(TyVar(0)), Some(Ty::Float));
+        // mismatched lengths fail
+        let c = Scheme::Array(Box::new(Scheme::Float), 5);
+        assert!(matches!(unify(&a, &c, &mut s, &mut st), Err(UnifyError::Mismatch(..))));
+    }
+
+    #[test]
+    fn unifies_struct_fields_in_order() {
+        let mut s = Subst::new();
+        let mut st = UnifyStats::default();
+        let a = Scheme::Struct(vec![("x".into(), var(0)), ("y".into(), Scheme::Bool)]);
+        let b = Scheme::Struct(vec![("x".into(), Scheme::Int), ("y".into(), var(1))]);
+        unify(&a, &b, &mut s, &mut st).unwrap();
+        assert_eq!(s.ground(TyVar(0)), Some(Ty::Int));
+        assert_eq!(s.ground(TyVar(1)), Some(Ty::Bool));
+        // different field names are a mismatch even with equal types
+        let c = Scheme::Struct(vec![("z".into(), Scheme::Int), ("y".into(), Scheme::Bool)]);
+        assert!(unify(&a, &c, &mut s, &mut st).is_err());
+    }
+
+    #[test]
+    fn occurs_check_fires() {
+        let mut s = Subst::new();
+        let mut st = UnifyStats::default();
+        let rec = Scheme::Array(Box::new(var(0)), 1);
+        assert!(matches!(unify(&var(0), &rec, &mut s, &mut st), Err(UnifyError::Occurs(..))));
+    }
+
+    #[test]
+    fn occurs_check_through_bindings() {
+        let mut s = Subst::new();
+        let mut st = UnifyStats::default();
+        // 'a = 'b[1]; then 'b = 'a[1] must fail (would be infinite).
+        unify(&var(0), &Scheme::Array(Box::new(var(1)), 1), &mut s, &mut st).unwrap();
+        let res = unify(&var(1), &Scheme::Array(Box::new(var(0)), 1), &mut s, &mut st);
+        assert!(matches!(res, Err(UnifyError::Occurs(..))));
+    }
+
+    #[test]
+    fn disjunction_is_deferred() {
+        let mut s = Subst::new();
+        let mut st = UnifyStats::default();
+        let d = Scheme::Or(vec![Scheme::Int, Scheme::Float]);
+        assert!(matches!(
+            unify(&d, &Scheme::Int, &mut s, &mut st),
+            Err(UnifyError::Disjunction(..))
+        ));
+        // Also when a variable would be bound to a scheme containing Or.
+        assert!(matches!(
+            unify(&var(0), &Scheme::Array(Box::new(d), 2), &mut s, &mut st),
+            Err(UnifyError::Disjunction(..))
+        ));
+        assert_eq!(s.bound_count(), 0);
+    }
+
+    #[test]
+    fn occurs_inside_a_disjunction_defers_instead_of_failing() {
+        // `'a = ('a|int)[1]` must NOT be an occurs failure: the solver can
+        // pick the `int` disjunct. Regression test for a proptest finding.
+        let mut s = Subst::new();
+        let mut st = UnifyStats::default();
+        let rhs = Scheme::Array(Box::new(Scheme::Or(vec![var(0), Scheme::Int])), 1);
+        assert!(matches!(
+            unify(&var(0), &rhs, &mut s, &mut st),
+            Err(UnifyError::Disjunction(..))
+        ));
+    }
+
+    #[test]
+    fn same_variable_unifies_without_binding() {
+        let mut s = Subst::new();
+        let mut st = UnifyStats::default();
+        unify(&var(3), &var(3), &mut s, &mut st).unwrap();
+        assert_eq!(s.bound_count(), 0);
+    }
+
+    #[test]
+    fn unifiable_does_not_commit() {
+        let s = Subst::new();
+        let mut st = UnifyStats::default();
+        assert!(unifiable(&var(0), &Scheme::Int, &s, &mut st));
+        assert!(!unifiable(&Scheme::Bool, &Scheme::Int, &s, &mut st));
+        assert_eq!(s.bound_count(), 0);
+    }
+
+    #[test]
+    fn resolve_normalizes_nested() {
+        let mut s = Subst::new();
+        s.bind(TyVar(0), Scheme::Int);
+        let nested = Scheme::Struct(vec![("f".into(), Scheme::Array(Box::new(var(0)), 2))]);
+        let resolved = s.resolve(&nested);
+        assert_eq!(resolved.to_ty(), Some(Ty::record([("f", Ty::Array(Box::new(Ty::Int), 2))])));
+    }
+}

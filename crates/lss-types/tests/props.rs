@@ -1,0 +1,121 @@
+//! Property-based tests for the type system: unification laws and solver
+//! determinism.
+
+use proptest::prelude::*;
+
+use lss_types::{
+    solve, unify, Constraint, ConstraintSet, Scheme, SolveError, SolverConfig, Subst, Ty, TyVar,
+    UnifyStats,
+};
+
+fn arb_ground() -> impl Strategy<Value = Ty> {
+    let leaf = prop_oneof![Just(Ty::Int), Just(Ty::Bool), Just(Ty::Float), Just(Ty::String)];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), 1usize..4).prop_map(|(t, n)| Ty::Array(Box::new(t), n)),
+            proptest::collection::vec(inner, 1..3).prop_map(|ts| {
+                Ty::Struct(ts.into_iter().enumerate().map(|(i, t)| (format!("f{i}"), t)).collect())
+            }),
+        ]
+    })
+}
+
+fn arb_scheme(vars: u32) -> impl Strategy<Value = Scheme> {
+    let leaf = prop_oneof![
+        Just(Scheme::Int),
+        Just(Scheme::Bool),
+        Just(Scheme::Float),
+        (0..vars).prop_map(|v| Scheme::Var(TyVar(v))),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), 1usize..3).prop_map(|(t, n)| Scheme::Array(Box::new(t), n)),
+            proptest::collection::vec(inner, 2..4).prop_map(Scheme::Or),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Unification is symmetric in outcome.
+    #[test]
+    fn unify_is_symmetric(a in arb_scheme(4), b in arb_scheme(4)) {
+        let mut s1 = Subst::new();
+        let mut s2 = Subst::new();
+        let mut st = UnifyStats::default();
+        let r1 = unify(&a, &b, &mut s1, &mut st).is_ok();
+        let r2 = unify(&b, &a, &mut s2, &mut st).is_ok();
+        prop_assert_eq!(r1, r2, "unify({}, {}) vs unify({}, {})", a, b, b, a);
+    }
+
+    /// Unifying a ground scheme with itself always succeeds and binds
+    /// nothing.
+    #[test]
+    fn unify_is_reflexive_on_ground(t in arb_ground()) {
+        let scheme = Scheme::from_ty(&t);
+        let mut subst = Subst::new();
+        let mut st = UnifyStats::default();
+        prop_assert!(unify(&scheme, &scheme, &mut subst, &mut st).is_ok());
+        prop_assert_eq!(subst.bound_count(), 0);
+    }
+
+    /// A variable unified with any ground type resolves to exactly it.
+    #[test]
+    fn unify_binds_vars_to_ground(t in arb_ground()) {
+        let mut subst = Subst::new();
+        let mut st = UnifyStats::default();
+        unify(&Scheme::Var(TyVar(0)), &Scheme::from_ty(&t), &mut subst, &mut st).unwrap();
+        prop_assert_eq!(subst.ground(TyVar(0)), Some(t));
+    }
+
+    /// Ground ty <-> scheme conversion round-trips.
+    #[test]
+    fn ty_scheme_round_trip(t in arb_ground()) {
+        let scheme = Scheme::from_ty(&t);
+        prop_assert!(scheme.is_ground());
+        prop_assert_eq!(scheme.to_ty(), Some(t));
+    }
+
+    /// The solver is deterministic: same inputs, same solution.
+    #[test]
+    fn solver_is_deterministic(
+        pairs in proptest::collection::vec((arb_scheme(3), arb_scheme(3)), 1..5)
+    ) {
+        let set: ConstraintSet =
+            pairs.iter().map(|(l, r)| Constraint::eq(l.clone(), r.clone())).collect();
+        let a = solve(&set, &SolverConfig::heuristic());
+        let b = solve(&set, &SolverConfig::heuristic());
+        match (a, b) {
+            (Ok(sa), Ok(sb)) => {
+                for v in 0..3 {
+                    prop_assert_eq!(sa.ty_of(TyVar(v)), sb.ty_of(TyVar(v)));
+                }
+            }
+            (Err(SolveError::Unsatisfiable { .. }), Err(SolveError::Unsatisfiable { .. })) => {}
+            (a, b) => return Err(TestCaseError::fail(format!("nondeterministic: {a:?} vs {b:?}"))),
+        }
+    }
+
+    /// Constraint order never changes satisfiability for the heuristic
+    /// solver (reordering is one of its own heuristics, so this must hold).
+    #[test]
+    fn constraint_order_is_irrelevant(
+        pairs in proptest::collection::vec((arb_scheme(3), arb_scheme(3)), 1..5)
+    ) {
+        let forward: ConstraintSet =
+            pairs.iter().map(|(l, r)| Constraint::eq(l.clone(), r.clone())).collect();
+        let backward: ConstraintSet =
+            pairs.iter().rev().map(|(l, r)| Constraint::eq(l.clone(), r.clone())).collect();
+        let a = solve(&forward, &SolverConfig::heuristic()).is_ok();
+        let b = solve(&backward, &SolverConfig::heuristic()).is_ok();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Expansion always covers the disjunction-free case exactly.
+    #[test]
+    fn expansion_of_disjunction_free_is_identity(t in arb_ground()) {
+        let scheme = Scheme::from_ty(&t);
+        prop_assert_eq!(scheme.expand_disjuncts(4096), Some(vec![scheme.clone()]));
+    }
+}

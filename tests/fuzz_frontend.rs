@@ -1,0 +1,84 @@
+//! Robustness: the front end must never panic, whatever bytes it is fed —
+//! it reports diagnostics and recovers instead.
+
+use proptest::prelude::*;
+
+use lss_ast::{lex, parse, DiagnosticBag, SourceMap, TokenKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer terminates without panicking on arbitrary input and always
+    /// ends the stream with EOF.
+    #[test]
+    fn lexer_never_panics(input in ".{0,200}") {
+        let mut sources = SourceMap::new();
+        let file = sources.add_file("fuzz.lss", input.as_str());
+        let mut diags = DiagnosticBag::new();
+        let tokens = lex(file, &input, &mut diags);
+        prop_assert!(matches!(tokens.last().map(|t| &t.kind), Some(TokenKind::Eof)));
+    }
+
+    /// The parser terminates and recovers on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let mut sources = SourceMap::new();
+        let file = sources.add_file("fuzz.lss", input.as_str());
+        let mut diags = DiagnosticBag::new();
+        let _ = parse(file, &input, &mut diags);
+    }
+
+    /// The parser also survives syntactically plausible garbage made of
+    /// real LSS token fragments.
+    #[test]
+    fn parser_survives_token_soup(
+        pieces in proptest::collection::vec(
+            prop_oneof![
+                Just("module"), Just("instance"), Just("parameter"), Just("inport"),
+                Just("outport"), Just("var"), Just("for"), Just("if"), Just("->"),
+                Just("::"), Just("{"), Just("}"), Just("("), Just(")"), Just("["),
+                Just("]"), Just(";"), Just(":"), Just("="), Just("x"), Just("delay"),
+                Just("'a"), Just("int"), Just("|"), Just("42"), Just("\"s\""),
+                Just(","), Just("=>"), Just("userpoint"), Just("struct"),
+            ],
+            0..60,
+        )
+    ) {
+        let input = pieces.join(" ");
+        let mut sources = SourceMap::new();
+        let file = sources.add_file("soup.lss", input.as_str());
+        let mut diags = DiagnosticBag::new();
+        let program = parse(file, &input, &mut diags);
+        // Whatever came out must pretty-print without panicking too.
+        let _ = lss_ast::pretty::program_to_string(&program);
+        // And diagnostics must render.
+        let _ = diags.render(&sources);
+    }
+
+    /// Whatever parses cleanly must also survive full compilation attempts
+    /// (elaboration may reject it, but must not panic).
+    #[test]
+    fn elaboration_never_panics_on_parsed_soup(
+        pieces in proptest::collection::vec(
+            prop_oneof![
+                Just("instance a:delay;"),
+                Just("instance b:source;"),
+                Just("a.initial_state = 1;"),
+                Just("a.out -> a.in;"),
+                Just("b.out -> a.in;"),
+                Just("b.out :: int;"),
+                Just("var i:int = 0;"),
+                Just("i = i + 1;"),
+                Just("a.nonsense = 3;"),
+                Just("collector a : out_fire = \"n = n + 1;\";"),
+            ],
+            0..12,
+        )
+    ) {
+        let input = pieces.join("\n");
+        let mut lse = liberty::Lse::with_corelib();
+        lse.add_source("soup.lss", &input);
+        // Ok or Err both fine; panics are not.
+        let _ = lse.compile();
+    }
+}

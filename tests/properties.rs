@@ -1,0 +1,245 @@
+//! Property-based tests over the whole stack: parser/printer consistency,
+//! type-inference soundness and completeness against the naive solver,
+//! BSL arithmetic correctness, and simulation conservation laws.
+
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Parser / pretty-printer round trip.
+// ---------------------------------------------------------------------------
+
+/// A generated expression tree paired with its expected integer value.
+#[derive(Debug, Clone)]
+enum IntExpr {
+    Lit(i32),
+    Add(Box<IntExpr>, Box<IntExpr>),
+    Sub(Box<IntExpr>, Box<IntExpr>),
+    Mul(Box<IntExpr>, Box<IntExpr>),
+    Neg(Box<IntExpr>),
+    Ternary(Box<IntExpr>, Box<IntExpr>, Box<IntExpr>),
+}
+
+impl IntExpr {
+    fn render(&self) -> String {
+        match self {
+            IntExpr::Lit(v) => {
+                if *v < 0 {
+                    format!("(0 - {})", -(*v as i64))
+                } else {
+                    v.to_string()
+                }
+            }
+            IntExpr::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            IntExpr::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            IntExpr::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            IntExpr::Neg(a) => format!("(-{})", a.render()),
+            IntExpr::Ternary(c, a, b) => {
+                format!("({} > 0 ? {} : {})", c.render(), a.render(), b.render())
+            }
+        }
+    }
+
+    fn value(&self) -> i64 {
+        match self {
+            IntExpr::Lit(v) => *v as i64,
+            IntExpr::Add(a, b) => a.value().wrapping_add(b.value()),
+            IntExpr::Sub(a, b) => a.value().wrapping_sub(b.value()),
+            IntExpr::Mul(a, b) => a.value().wrapping_mul(b.value()),
+            IntExpr::Neg(a) => -a.value(),
+            IntExpr::Ternary(c, a, b) => {
+                if c.value() > 0 {
+                    a.value()
+                } else {
+                    b.value()
+                }
+            }
+        }
+    }
+}
+
+fn arb_int_expr() -> impl Strategy<Value = IntExpr> {
+    let leaf = (-50i32..50).prop_map(IntExpr::Lit);
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IntExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IntExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IntExpr::Mul(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| IntExpr::Neg(Box::new(a))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| IntExpr::Ternary(Box::new(c), Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The compile-time evaluator computes the same value as the reference
+    /// semantics, through the real parser.
+    #[test]
+    fn lss_expressions_evaluate_correctly(expr in arb_int_expr()) {
+        let src = format!("instance d:delay;\nd.initial_state = {};", expr.render());
+        let mut lse = liberty::Lse::with_corelib();
+        lse.add_source("prop.lss", &src);
+        let compiled = lse.compile().map_err(|e| TestCaseError::fail(e))?;
+        let got = compiled.netlist.find("d").unwrap().params["initial_state"]
+            .as_int()
+            .unwrap();
+        prop_assert_eq!(got, expr.value());
+    }
+
+    /// Pretty-printing then reparsing is a fixed point of the front end.
+    #[test]
+    fn pretty_print_reparse_is_stable(expr in arb_int_expr()) {
+        use lss_ast::{parse, pretty, DiagnosticBag, SourceMap};
+        let src = format!("var x:int = {};", expr.render());
+        let mut sources = SourceMap::new();
+        let f1 = sources.add_file("a.lss", src.as_str());
+        let mut diags = DiagnosticBag::new();
+        let p1 = parse(f1, &src, &mut diags);
+        prop_assert!(!diags.has_errors());
+        let printed = pretty::program_to_string(&p1);
+        let f2 = sources.add_file("b.lss", printed.as_str());
+        let p2 = parse(f2, &printed, &mut diags);
+        prop_assert!(!diags.has_errors());
+        prop_assert_eq!(printed, pretty::program_to_string(&p2));
+    }
+
+    /// BSL (simulation-time) arithmetic agrees with compile-time
+    /// evaluation and with the reference semantics.
+    #[test]
+    fn bsl_matches_reference_semantics(expr in arb_int_expr()) {
+        let code = format!("return {};", expr.render());
+        let program = lss_sim::compile_bsl(&code).map_err(TestCaseError::fail)?;
+        let mut vars = std::collections::HashMap::new();
+        let mut env = lss_sim::BslEnv { args: Default::default(), vars: &mut vars, implicit_zero: false };
+        let result = lss_sim::exec(&program, &mut env, 1_000_000)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(result, Some(lss_types::Datum::Int(expr.value())));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Type-inference soundness against the naive solver.
+// ---------------------------------------------------------------------------
+
+fn arb_scheme(vars: u32) -> impl Strategy<Value = lss_types::Scheme> {
+    use lss_types::{Scheme, TyVar};
+    let leaf = prop_oneof![
+        Just(Scheme::Int),
+        Just(Scheme::Bool),
+        Just(Scheme::Float),
+        (0..vars).prop_map(|v| Scheme::Var(TyVar(v))),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), 1usize..3).prop_map(|(t, n)| Scheme::Array(Box::new(t), n)),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Scheme::Or),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// On random constraint systems the heuristic solver and the naive
+    /// algorithm agree on satisfiability, and satisfying solutions
+    /// actually satisfy every constraint.
+    #[test]
+    fn heuristic_solver_agrees_with_naive(
+        pairs in proptest::collection::vec((arb_scheme(3), arb_scheme(3)), 1..6)
+    ) {
+        use lss_types::{solve, Constraint, ConstraintSet, SolveError, SolverConfig, Subst, UnifyStats};
+
+        let set: ConstraintSet =
+            pairs.iter().map(|(l, r)| Constraint::eq(l.clone(), r.clone())).collect();
+        let heuristic = solve(&set, &SolverConfig::heuristic());
+        let naive = solve(&set, &SolverConfig::naive().with_budget(5_000_000));
+        match (&heuristic, &naive) {
+            (Ok(sol), Ok(_)) => {
+                // Soundness: substitute and check every constraint.
+                for c in set.iter() {
+                    let l = sol.subst.resolve(&c.lhs);
+                    let r = sol.subst.resolve(&c.rhs);
+                    let le = l.expand_disjuncts(512).expect("cap");
+                    let re = r.expand_disjuncts(512).expect("cap");
+                    let mut stats = UnifyStats::default();
+                    let ok = le.iter().any(|a| {
+                        re.iter().any(|b| lss_types::unifiable(a, b, &Subst::new(), &mut stats))
+                    });
+                    prop_assert!(ok, "solution violates {c} (resolved {l} = {r})");
+                }
+            }
+            (Err(SolveError::Unsatisfiable { .. }), Err(SolveError::Unsatisfiable { .. })) => {}
+            (_, Err(SolveError::BudgetExhausted { .. })) => {
+                // Naive ran out of budget; nothing to compare.
+            }
+            (h, n) => {
+                return Err(TestCaseError::fail(format!(
+                    "solvers disagree: heuristic={h:?} naive={n:?} on {set}"
+                )));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulation conservation: nothing is lost or duplicated in transit.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every value a source emits through a randomly sized latch chain
+    /// arrives at the sink exactly once, under both schedulers.
+    #[test]
+    fn delay_chains_conserve_values(
+        stages in 1usize..8,
+        lanes in 1usize..4,
+        cycles in 10u64..30,
+    ) {
+        let src = format!(
+            r#"
+            module wsrc {{ outport out:'a; tar_file = "corelib/source.tar"; }};
+            module wsink {{ inport in:'a; runtime var count:int = 0; tar_file = "corelib/sink.tar"; }};
+            module wlatch {{ inport in:'a; outport out:'a; tar_file = "corelib/latch.tar"; }};
+            module wchain {{
+                parameter n:int;
+                inport in:'a;
+                outport out:'a;
+                var stages:instance ref[];
+                stages = new instance[n](wlatch, "stages");
+                var i:int;
+                LSS_connect_bus(in, stages[0].in, in.width);
+                for (i = 1; i < n; i = i + 1) {{
+                    LSS_connect_bus(stages[i-1].out, stages[i].in, in.width);
+                }}
+                LSS_connect_bus(stages[n-1].out, out, in.width);
+            }};
+            instance gen:wsrc;
+            instance chain:wchain;
+            chain.n = {stages};
+            instance hole:wsink;
+            LSS_connect_bus(gen.out, chain.in, {lanes});
+            LSS_connect_bus(chain.out, hole.in, {lanes});
+            gen.out :: int;
+            "#
+        );
+        let mut lse = liberty::Lse::with_corelib();
+        lse.add_source("chain.lss", &src);
+        let compiled = lse.compile().map_err(TestCaseError::fail)?;
+        for scheduler in [liberty::Scheduler::Static, liberty::Scheduler::Dynamic] {
+            let mut lse2 = liberty::Lse::with_corelib();
+            lse2.sim_options.scheduler = scheduler;
+            lse2.add_source("chain.lss", &src);
+            let mut sim = lse2.simulator(&compiled.netlist).map_err(TestCaseError::fail)?;
+            sim.run(cycles).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let expected = (cycles as i64 - stages as i64).max(0) * lanes as i64;
+            let got = sim.rtv("hole", "count").unwrap().as_int().unwrap();
+            prop_assert_eq!(got, expected, "scheduler {:?}", scheduler);
+        }
+    }
+}
