@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, then the tier-1 build + test commands
+# from ROADMAP.md. Runs entirely from the workspace — no network access.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "CI OK"

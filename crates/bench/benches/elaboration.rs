@@ -1,38 +1,38 @@
-//! Criterion benchmark for compile-time elaboration (Figure 4's first
-//! phase): executing LSS specifications into netlists, including use-based
+//! Benchmark for compile-time elaboration (Figure 4's first phase):
+//! executing LSS specifications into netlists, including use-based
 //! specialization and type inference.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use bench::delay_chain_source;
+use bench::timing::measure;
 use lss_interp::CompileOptions;
 
-fn bench_models(c: &mut Criterion) {
-    let mut group = c.benchmark_group("elaborate_model");
-    group.sample_size(10);
+fn main() {
     for m in lss_models::models() {
-        group.bench_with_input(BenchmarkId::new("model", m.id), m, |b, m| {
-            b.iter(|| lss_models::compile_model(black_box(m)).unwrap().netlist.instances.len())
+        measure(format!("elaborate_model/{}", m.id), 1, 10, || {
+            black_box(
+                lss_models::compile_model(m)
+                    .unwrap()
+                    .netlist
+                    .instances
+                    .len(),
+            );
         });
     }
-    group.finish();
-}
 
-fn bench_parametric_scaling(c: &mut Criterion) {
     // Elaboration cost as the parametric structure grows: the same source
     // size produces 10x the instances.
-    let mut group = c.benchmark_group("elaborate_delay_chain");
-    group.sample_size(10);
     let opts = CompileOptions::default();
     for stages in [10usize, 100, 1000] {
         let src = delay_chain_source(stages, 1);
-        group.bench_with_input(BenchmarkId::from_parameter(stages), &src, |b, src| {
-            b.iter(|| bench::compiled_source(black_box(src), &opts).netlist.instances.len())
+        measure(format!("elaborate_delay_chain/{stages}"), 1, 10, || {
+            black_box(
+                bench::compiled_source(black_box(&src), &opts)
+                    .netlist
+                    .instances
+                    .len(),
+            );
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_models, bench_parametric_scaling);
-criterion_main!(benches);

@@ -1,67 +1,62 @@
-//! Criterion benchmark for the §8 claim: "reusable components in LSE with
-//! LSS are at least as fast as custom components written in SystemC".
+//! Benchmark for the §8 claim: "reusable components in LSE with LSS are at
+//! least as fast as custom components written in SystemC".
 //!
 //! The mechanism behind the claim is static concurrency scheduling [12]:
 //! LSE precomputes a topological evaluation order, while SystemC-style
 //! systems re-evaluate components from a dynamic worklist until signals
 //! settle. We benchmark the same compiled models under both schedulers —
 //! the ratio is the reproduced result.
+//!
+//! Emits `BENCH_sim_speed.json` in the working directory so successive PRs
+//! can track the performance trajectory mechanically.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use bench::timing::{measure, write_json, Sample};
 use bench::{compiled_model, compiled_source, delay_chain_source, simulator};
 use lss_interp::CompileOptions;
 use lss_sim::Scheduler;
 
-fn bench_delay_chain(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_delay_chain_100cycles");
-    group.sample_size(20);
+fn main() {
+    let mut samples: Vec<Sample> = Vec::new();
+
     for stages in [16usize, 64, 256] {
         let src = delay_chain_source(stages, 2);
         let compiled = compiled_source(&src, &CompileOptions::default());
-        for (name, scheduler) in
-            [("static", Scheduler::Static), ("dynamic", Scheduler::Dynamic)]
-        {
-            group.bench_with_input(
-                BenchmarkId::new(name, stages),
-                &compiled.netlist,
-                |b, netlist| {
-                    b.iter(|| {
-                        let mut sim = simulator(netlist, scheduler);
-                        sim.run(100).unwrap();
-                        sim.stats().comp_evals
-                    })
+        for (name, scheduler) in [
+            ("static", Scheduler::Static),
+            ("dynamic", Scheduler::Dynamic),
+        ] {
+            samples.push(measure(
+                format!("sim_delay_chain_100cycles/{name}/{stages}"),
+                2,
+                20,
+                || {
+                    let mut sim = simulator(&compiled.netlist, scheduler);
+                    sim.run(100).unwrap();
+                    std::hint::black_box(sim.stats().comp_evals);
                 },
-            );
+            ));
         }
     }
-    group.finish();
-}
 
-fn bench_models(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_model_500cycles");
-    group.sample_size(10);
     for id in ['A', 'C'] {
         let model = lss_models::model(id).unwrap();
         let compiled = compiled_model(model);
-        for (name, scheduler) in
-            [("static", Scheduler::Static), ("dynamic", Scheduler::Dynamic)]
-        {
-            group.bench_with_input(
-                BenchmarkId::new(name, id),
-                &compiled.netlist,
-                |b, netlist| {
-                    b.iter(|| {
-                        let mut sim = simulator(netlist, scheduler);
-                        sim.run(500).unwrap();
-                        sim.stats().comp_evals
-                    })
+        for (name, scheduler) in [
+            ("static", Scheduler::Static),
+            ("dynamic", Scheduler::Dynamic),
+        ] {
+            samples.push(measure(
+                format!("sim_model_500cycles/{name}/{id}"),
+                1,
+                10,
+                || {
+                    let mut sim = simulator(&compiled.netlist, scheduler);
+                    sim.run(500).unwrap();
+                    std::hint::black_box(sim.stats().comp_evals);
                 },
-            );
+            ));
         }
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_delay_chain, bench_models);
-criterion_main!(benches);
+    write_json("BENCH_sim_speed.json", &samples);
+}

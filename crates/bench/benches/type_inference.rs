@@ -1,88 +1,61 @@
-//! Criterion benchmark for §5: type-inference wall-clock with the paper's
-//! heuristics versus the naive unification extension, on the constraint
-//! families LSS netlists produce.
+//! Benchmark for §5: type-inference wall-clock with the paper's heuristics
+//! versus the naive unification extension, on the constraint families LSS
+//! netlists produce.
 //!
 //! The headline shape: heuristic inference stays flat (milliseconds) as
 //! models grow; the naive algorithm grows exponentially and is only
 //! benchmarked at sizes where it still terminates quickly.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use bench::timing::measure;
 use lss_types::gen::{crossbar, independent_chains, overloaded_chain};
 use lss_types::{solve, SolverConfig};
 
-fn bench_chains(c: &mut Criterion) {
-    let mut group = c.benchmark_group("inference_chain");
-    group.sample_size(20);
+fn main() {
     let heuristic = SolverConfig::heuristic();
+
     for n in [16usize, 64, 256] {
         let set = overloaded_chain(n, 2);
-        group.bench_with_input(BenchmarkId::new("heuristic", n), &set, |b, set| {
-            b.iter(|| solve(black_box(set), &heuristic).unwrap())
+        measure(format!("inference_chain/heuristic/{n}"), 2, 20, || {
+            solve(black_box(&set), &heuristic).unwrap();
         });
     }
     // Naive only at sizes that stay sub-second.
     let naive = SolverConfig::naive();
     for n in [8usize, 12, 16] {
         let set = overloaded_chain(n, 2);
-        group.bench_with_input(BenchmarkId::new("naive", n), &set, |b, set| {
-            b.iter(|| solve(black_box(set), &naive).unwrap())
+        measure(format!("inference_chain/naive/{n}"), 2, 20, || {
+            solve(black_box(&set), &naive).unwrap();
         });
     }
-    group.finish();
-}
 
-fn bench_partitioning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("inference_partitioning");
-    group.sample_size(20);
     let with = SolverConfig::heuristic();
-    let without = SolverConfig { partition: false, ..SolverConfig::heuristic() };
+    let without = SolverConfig {
+        partition: false,
+        ..SolverConfig::heuristic()
+    };
     let set = independent_chains(8, 6, 2);
-    group.bench_function("partition_on", |b| {
-        b.iter(|| solve(black_box(&set), &with).unwrap())
+    measure("inference_partitioning/partition_on", 2, 20, || {
+        solve(black_box(&set), &with).unwrap();
     });
-    group.bench_function("partition_off", |b| {
-        b.iter(|| solve(black_box(&set), &without).unwrap())
+    measure("inference_partitioning/partition_off", 2, 20, || {
+        solve(black_box(&set), &without).unwrap();
     });
-    group.finish();
-}
 
-fn bench_crossbar(c: &mut Criterion) {
-    let mut group = c.benchmark_group("inference_crossbar");
-    group.sample_size(20);
-    let heuristic = SolverConfig::heuristic();
     for n in [16usize, 64] {
         let set = crossbar(n, 4);
-        group.bench_with_input(BenchmarkId::new("heuristic", n), &set, |b, set| {
-            b.iter(|| solve(black_box(set), &heuristic).unwrap())
+        measure(format!("inference_crossbar/heuristic/{n}"), 2, 20, || {
+            solve(black_box(&set), &heuristic).unwrap();
         });
     }
-    group.finish();
-}
 
-fn bench_model_constraints(c: &mut Criterion) {
     // The real constraint systems of the Table 3 models, solved end to end.
-    let mut group = c.benchmark_group("inference_models");
-    group.sample_size(10);
-    let heuristic = SolverConfig::heuristic();
     for m in lss_models::models() {
         let compiled = bench::compiled_model(m);
         let constraints = compiled.netlist.constraints.clone();
-        group.bench_with_input(
-            BenchmarkId::new("model", m.id),
-            &constraints,
-            |b, set| b.iter(|| solve(black_box(set), &heuristic).unwrap()),
-        );
+        measure(format!("inference_models/model/{}", m.id), 1, 10, || {
+            solve(black_box(&constraints), &heuristic).unwrap();
+        });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_chains,
-    bench_partitioning,
-    bench_crossbar,
-    bench_model_constraints
-);
-criterion_main!(benches);

@@ -47,7 +47,8 @@ pub mod static_structural {
 
         /// Sets a value parameter (parameterizable components: supported).
         pub fn param(&mut self, instance: &str, key: &str, value: i64) -> &mut Self {
-            self.params.insert((instance.to_string(), key.to_string()), value);
+            self.params
+                .insert((instance.to_string(), key.to_string()), value);
             self
         }
 
@@ -104,19 +105,23 @@ pub mod structural_oop {
         pub port_type: &'static str,
     }
 
+    /// What executing a model's construction code yields: components plus
+    /// name-to-name connections.
+    pub type BuiltStructure = (Vec<Component>, Vec<(String, String)>);
+
     /// A model whose structure is produced by executing `build`.
     pub struct Model {
-        build: Box<dyn Fn() -> (Vec<Component>, Vec<(String, String)>)>,
+        build: Box<dyn Fn() -> BuiltStructure>,
     }
 
     impl Model {
         /// Wraps construction code. Loops, conditionals, parameters — any
         /// host-language control flow is fine (algorithmic structure:
         /// supported).
-        pub fn new(
-            build: impl Fn() -> (Vec<Component>, Vec<(String, String)>) + 'static,
-        ) -> Self {
-            Model { build: Box::new(build) }
+        pub fn new(build: impl Fn() -> BuiltStructure + 'static) -> Self {
+            Model {
+                build: Box::new(build),
+            }
         }
 
         /// The *only* way to learn the structure: execute the model's
@@ -146,7 +151,11 @@ pub mod structural_oop {
                     port_type: "int",
                 });
             }
-            comps.push(Component { name: "hole".into(), kind: "sink".into(), port_type: "int" });
+            comps.push(Component {
+                name: "hole".into(),
+                kind: "sink".into(),
+                port_type: "int",
+            });
             conns.push(("gen.out".to_string(), "d0.in".to_string()));
             for i in 1..n {
                 conns.push((format!("d{}.out", i - 1), format!("d{i}.in")));

@@ -28,8 +28,14 @@ fn run(set: &ConstraintSet, config: &SolverConfig) -> Outcome {
     let result = solve(set, config);
     let seconds = start.elapsed().as_secs_f64();
     match result {
-        Ok(sol) => Outcome { steps: Some(sol.stats.unify_steps), seconds },
-        Err(lss_types::SolveError::BudgetExhausted { .. }) => Outcome { steps: None, seconds },
+        Ok(sol) => Outcome {
+            steps: Some(sol.stats.unify_steps),
+            seconds,
+        },
+        Err(lss_types::SolveError::BudgetExhausted { .. }) => Outcome {
+            steps: None,
+            seconds,
+        },
         Err(e) => panic!("solver failed unexpectedly: {e}"),
     }
 }
@@ -90,15 +96,27 @@ fn main() {
         ("all heuristics", SolverConfig::heuristic()),
         (
             "no reordering",
-            SolverConfig { reorder: false, ..SolverConfig::heuristic() }.with_budget(BUDGET),
+            SolverConfig {
+                reorder: false,
+                ..SolverConfig::heuristic()
+            }
+            .with_budget(BUDGET),
         ),
         (
             "no smart disjunctions",
-            SolverConfig { smart: false, ..SolverConfig::heuristic() }.with_budget(BUDGET),
+            SolverConfig {
+                smart: false,
+                ..SolverConfig::heuristic()
+            }
+            .with_budget(BUDGET),
         ),
         (
             "no partitioning",
-            SolverConfig { partition: false, ..SolverConfig::heuristic() }.with_budget(BUDGET),
+            SolverConfig {
+                partition: false,
+                ..SolverConfig::heuristic()
+            }
+            .with_budget(BUDGET),
         ),
         ("none (naive)", SolverConfig::naive().with_budget(BUDGET)),
     ];

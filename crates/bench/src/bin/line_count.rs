@@ -37,11 +37,7 @@ fn main() {
         let reduction = 100.0 * (1.0 - (own + shared) as f64 / flat as f64);
         println!(
             "{:<8} {:>12} {:>14} {:>14} {:>11.0}%",
-            m.id,
-            own,
-            shared,
-            flat,
-            reduction
+            m.id, own, shared, flat, reduction
         );
     }
     println!();

@@ -48,7 +48,9 @@ fn main() {
     println!("Probes backing each LSS 'yes' (each cell is executed):");
 
     // Value parameters.
-    let n = lss("instance d:delay;\nd.initial_state = 7;").unwrap().netlist;
+    let n = lss("instance d:delay;\nd.initial_state = 7;")
+        .unwrap()
+        .netlist;
     all_ok &= check(
         "value parameters",
         n.find("d").unwrap().params["initial_state"] == lss_types::Datum::Int(7),

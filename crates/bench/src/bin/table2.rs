@@ -24,7 +24,7 @@ fn main() {
         let compiled = compile_model(m).unwrap_or_else(|e| panic!("model {}: {e}", m.id));
         for inst in &compiled.netlist.instances {
             if inst.from_library {
-                library_modules.insert(inst.module.clone());
+                library_modules.insert(inst.module);
             }
         }
         let stats = reuse_stats(&compiled.netlist);

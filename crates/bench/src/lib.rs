@@ -3,6 +3,7 @@
 //! experiment index).
 
 pub mod baselines;
+pub mod timing;
 
 use lss_interp::CompileOptions;
 use lss_models::Model;
@@ -54,14 +55,14 @@ pub fn delay_chain_source(n: usize, lanes: usize) -> String {
 }
 
 /// Builds a simulator for `netlist` with the corelib registry.
-pub fn simulator(
-    netlist: &Netlist,
-    scheduler: lss_sim::Scheduler,
-) -> lss_sim::Simulator {
+pub fn simulator(netlist: &Netlist, scheduler: lss_sim::Scheduler) -> lss_sim::Simulator {
     lss_sim::build(
         netlist,
         &lss_corelib::registry(),
-        lss_sim::SimOptions { scheduler, ..Default::default() },
+        lss_sim::SimOptions {
+            scheduler,
+            ..Default::default()
+        },
     )
     .unwrap_or_else(|e| panic!("simulator build failed: {e}"))
 }

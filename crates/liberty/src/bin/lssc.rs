@@ -18,7 +18,9 @@
 //!   --vcd FILE         write the watched firings as a VCD waveform
 //!   --wave             print the watched firings as an ASCII waveform
 //!   --lint             run the static model lints and print findings
-//!   --stats            print Table 2 reuse statistics
+//!   --stats            print Table 2 reuse statistics; after --run or
+//!                      --run-model, also engine statistics and the
+//!                      static-schedule summary
 //!   --naive-inference  solve types without the paper's heuristics
 //! ```
 
@@ -26,6 +28,23 @@ use std::process::ExitCode;
 
 use liberty::{Lse, Scheduler};
 use lss_netlist::{dump, reuse_stats};
+
+/// Renders the engine counters and the static-schedule shape after a run.
+fn print_sim_stats(stats: &liberty::sim::SimStats, schedule: Option<&liberty::sim::Schedule>) {
+    println!("sim stats:");
+    println!("  cycles             {}", stats.cycles);
+    println!("  comp_evals         {}", stats.comp_evals);
+    println!("  events_dispatched  {}", stats.events_dispatched);
+    println!("  port_firings       {}", stats.port_firings);
+    if let Some(schedule) = schedule {
+        println!(
+            "schedule: {} components in {} topo levels, {} combinational cycle blocks",
+            schedule.len(),
+            schedule.steps.len(),
+            schedule.cycle_blocks()
+        );
+    }
+}
 
 struct Options {
     files: Vec<String>,
@@ -130,7 +149,11 @@ fn parse_args() -> Options {
 
 fn main() -> ExitCode {
     let opts = parse_args();
-    let mut lse = if opts.corelib { Lse::with_corelib() } else { Lse::new() };
+    let mut lse = if opts.corelib {
+        Lse::with_corelib()
+    } else {
+        Lse::new()
+    };
     if opts.naive {
         lse.options.solver = liberty::SolverConfig::naive().with_budget(50_000_000);
     }
@@ -224,20 +247,18 @@ fn main() -> ExitCode {
     }
 
     if opts.run_model {
-        match lss_models::runner::run_to_completion(
-            &compiled.netlist,
-            opts.scheduler,
-            10_000_000,
-        ) {
+        match lss_models::runner::run_to_completion(&compiled.netlist, opts.scheduler, 10_000_000) {
             Ok(stats) => {
                 println!(
                     "ran {} cycles, committed {} instructions, CPI {:.3}, {} mispredicts",
                     stats.cycles, stats.committed, stats.cpi, stats.mispredicts
                 );
                 for (key, table) in &stats.collectors {
-                    let kv: Vec<String> =
-                        table.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    let kv: Vec<String> = table.iter().map(|(k, v)| format!("{k}={v}")).collect();
                     println!("  collector {key}: {}", kv.join(" "));
+                }
+                if opts.stats {
+                    print_sim_stats(&stats.sim, None);
                 }
             }
             Err(e) => {
@@ -265,6 +286,9 @@ fn main() -> ExitCode {
             "simulated {} cycles ({} component evaluations, {} port firings)",
             stats.cycles, stats.comp_evals, stats.port_firings
         );
+        if opts.stats {
+            print_sim_stats(&stats, Some(sim.static_schedule()));
+        }
         for (path, event, table) in sim.collector_reports() {
             let kv: Vec<String> = table.iter().map(|(k, v)| format!("{k}={v}")).collect();
             println!("  collector {path}/{event}: {}", kv.join(" "));

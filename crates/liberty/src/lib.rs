@@ -63,7 +63,9 @@ pub struct Lse {
 
 impl std::fmt::Debug for Lse {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Lse").field("units", &self.units.len()).finish()
+        f.debug_struct("Lse")
+            .field("units", &self.units.len())
+            .finish()
     }
 }
 
@@ -141,7 +143,10 @@ impl Lse {
         let units: Vec<lss_interp::Unit<'_>> = self
             .units
             .iter()
-            .map(|(program, library)| lss_interp::Unit { program, library: *library })
+            .map(|(program, library)| lss_interp::Unit {
+                program,
+                library: *library,
+            })
             .collect();
         let mut diags = DiagnosticBag::new();
         lss_interp::compile(&units, &self.options, &mut diags)
@@ -156,8 +161,7 @@ impl Lse {
     /// Returns the build error message (unknown behaviors, untyped ports,
     /// bad BSL code).
     pub fn simulator(&self, netlist: &Netlist) -> Result<Simulator, String> {
-        lss_sim::build(netlist, &self.registry, self.sim_options.clone())
-            .map_err(|e| e.to_string())
+        lss_sim::build(netlist, &self.registry, self.sim_options.clone()).map_err(|e| e.to_string())
     }
 }
 

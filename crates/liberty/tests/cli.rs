@@ -1,0 +1,114 @@
+//! Smoke tests driving the `lssc` binary end to end.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A minimal model exercising the corelib: a counting source feeding a sink.
+const MODEL: &str = r#"
+instance gen:source;
+instance hole:sink;
+LSS_connect_bus(gen.out, hole.in, 2);
+gen.out :: int;
+"#;
+
+fn write_model(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("lssc-cli-{}-{name}.lss", std::process::id()));
+    std::fs::write(&path, MODEL).expect("write temp model");
+    path
+}
+
+fn lssc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lssc"))
+}
+
+#[test]
+fn run_with_stats_prints_engine_and_schedule_summary() {
+    let model = write_model("stats");
+    let out = lssc()
+        .arg(&model)
+        .args(["--run", "5", "--stats"])
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "lssc failed\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(
+        stdout.contains("simulated 5 cycles"),
+        "missing run line:\n{stdout}"
+    );
+    // Table 2 reuse statistics still come out.
+    assert!(
+        stdout.contains("model"),
+        "missing reuse stats row:\n{stdout}"
+    );
+    // The new engine-statistics block.
+    assert!(
+        stdout.contains("sim stats:"),
+        "missing sim stats block:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("comp_evals"),
+        "missing comp_evals:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("events_dispatched"),
+        "missing events_dispatched:\n{stdout}"
+    );
+    // The schedule summary: 2 leaf components, no combinational cycles.
+    assert!(
+        stdout.contains("schedule: 2 components"),
+        "missing schedule summary:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("0 combinational cycle blocks"),
+        "unexpected cycles:\n{stdout}"
+    );
+    let _ = std::fs::remove_file(&model);
+}
+
+#[test]
+fn run_without_stats_omits_engine_summary() {
+    let model = write_model("nostats");
+    let out = lssc()
+        .arg(&model)
+        .args(["--run", "3"])
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(
+        stdout.contains("simulated 3 cycles"),
+        "missing run line:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("sim stats:"),
+        "unexpected stats block:\n{stdout}"
+    );
+    let _ = std::fs::remove_file(&model);
+}
+
+#[test]
+fn run_model_with_stats_prints_engine_counters() {
+    let out = lssc()
+        .args(["--model", "A", "--run-model", "--stats"])
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "lssc failed\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(stdout.contains("CPI"), "missing CPI line:\n{stdout}");
+    assert!(
+        stdout.contains("sim stats:"),
+        "missing sim stats block:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("comp_evals"),
+        "missing comp_evals:\n{stdout}"
+    );
+}

@@ -20,7 +20,10 @@ pub struct Ident {
 impl Ident {
     /// Creates an identifier.
     pub fn new(name: impl Into<String>, span: Span) -> Self {
-        Ident { name: name.into(), span }
+        Ident {
+            name: name.into(),
+            span,
+        }
     }
 }
 
@@ -501,7 +504,10 @@ mod tests {
 
     #[test]
     fn type_expr_var_detection() {
-        let plain = TypeExpr::Array(Box::new(TypeExpr::Int), Box::new(Expr::new(ExprKind::Int(4), s())));
+        let plain = TypeExpr::Array(
+            Box::new(TypeExpr::Int),
+            Box::new(Expr::new(ExprKind::Int(4), s())),
+        );
         assert!(!plain.has_vars());
         let var = TypeExpr::Struct(vec![(
             Ident::new("x", s()),

@@ -50,30 +50,52 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates an error diagnostic.
     pub fn error(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Error, message: message.into(), span, notes: Vec::new() }
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
     }
 
     /// Creates a warning diagnostic.
     pub fn warning(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Warning, message: message.into(), span, notes: Vec::new() }
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
     }
 
     /// Attaches a note with a location.
     pub fn with_note_at(mut self, message: impl Into<String>, span: Span) -> Self {
-        self.notes.push(Note { message: message.into(), span: Some(span) });
+        self.notes.push(Note {
+            message: message.into(),
+            span: Some(span),
+        });
         self
     }
 
     /// Attaches a free-floating note.
     pub fn with_note(mut self, message: impl Into<String>) -> Self {
-        self.notes.push(Note { message: message.into(), span: None });
+        self.notes.push(Note {
+            message: message.into(),
+            span: None,
+        });
         self
     }
 
     /// Renders the diagnostic with a source excerpt.
     pub fn render(&self, sources: &SourceMap) -> String {
         let mut out = String::new();
-        render_one(&mut out, self.severity, &self.message, Some(self.span), sources);
+        render_one(
+            &mut out,
+            self.severity,
+            &self.message,
+            Some(self.span),
+            sources,
+        );
         for note in &self.notes {
             render_one(&mut out, Severity::Note, &note.message, note.span, sources);
         }
@@ -99,8 +121,14 @@ fn render_one(
         let (line, col) = file.line_col(span.start);
         let text = file.line_text(line);
         let _ = writeln!(out, "   | {text}");
-        let underline_len = (span.len() as usize).clamp(1, text.len().saturating_sub(col as usize - 1).max(1));
-        let _ = writeln!(out, "   | {}{}", " ".repeat(col as usize - 1), "^".repeat(underline_len));
+        let underline_len =
+            (span.len() as usize).clamp(1, text.len().saturating_sub(col as usize - 1).max(1));
+        let _ = writeln!(
+            out,
+            "   | {}{}",
+            " ".repeat(col as usize - 1),
+            "^".repeat(underline_len)
+        );
     }
 }
 
@@ -158,7 +186,11 @@ impl DiagnosticBag {
 
     /// Renders every diagnostic, separated by blank lines.
     pub fn render(&self, sources: &SourceMap) -> String {
-        self.diags.iter().map(|d| d.render(sources)).collect::<Vec<_>>().join("\n")
+        self.diags
+            .iter()
+            .map(|d| d.render(sources))
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 }
 
@@ -176,8 +208,8 @@ mod tests {
     #[test]
     fn render_includes_location_and_caret() {
         let (map, span) = setup();
-        let d = Diagnostic::error("unknown module `delay`", span)
-            .with_note("22 modules are in scope");
+        let d =
+            Diagnostic::error("unknown module `delay`", span).with_note("22 modules are in scope");
         let rendered = d.render(&map);
         assert!(rendered.contains("error: unknown module `delay`"));
         assert!(rendered.contains("x.lss:1:1"));

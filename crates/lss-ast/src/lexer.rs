@@ -12,7 +12,14 @@ use crate::token::{Token, TokenKind};
 /// Lexical errors are reported into `diags`; the offending characters are
 /// skipped so parsing can continue and report more problems.
 pub fn lex(file: FileId, text: &str, diags: &mut DiagnosticBag) -> Vec<Token> {
-    Lexer { file, text, bytes: text.as_bytes(), pos: 0, diags }.run()
+    Lexer {
+        file,
+        text,
+        bytes: text.as_bytes(),
+        pos: 0,
+        diags,
+    }
+    .run()
 }
 
 struct Lexer<'a> {
@@ -30,7 +37,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia();
             let start = self.pos;
             let Some(b) = self.peek() else {
-                tokens.push(Token { kind: TokenKind::Eof, span: self.span_from(start) });
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span: self.span_from(start),
+                });
                 return tokens;
             };
             let kind = match b {
@@ -41,7 +51,10 @@ impl<'a> Lexer<'a> {
                 _ => self.punct(),
             };
             match kind {
-                Some(kind) => tokens.push(Token { kind, span: self.span_from(start) }),
+                Some(kind) => tokens.push(Token {
+                    kind,
+                    span: self.span_from(start),
+                }),
                 None => {
                     // Error already reported; skip one byte to make progress.
                     self.pos += 1;
@@ -129,7 +142,9 @@ impl<'a> Lexer<'a> {
             ));
             return None;
         }
-        Some(TokenKind::TypeVar(self.text[name_start..self.pos].to_string()))
+        Some(TokenKind::TypeVar(
+            self.text[name_start..self.pos].to_string(),
+        ))
     }
 
     fn number(&mut self) -> Option<TokenKind> {
@@ -138,8 +153,7 @@ impl<'a> Lexer<'a> {
             self.pos += 1;
         }
         // A float has a dot followed by a digit (so `3.x` lexes as `3` `.` `x`).
-        let is_float = self.peek() == Some(b'.')
-            && matches!(self.peek2(), Some(b'0'..=b'9'));
+        let is_float = self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9'));
         if is_float {
             self.pos += 1;
             while let Some(b'0'..=b'9') = self.peek() {
@@ -151,8 +165,10 @@ impl<'a> Lexer<'a> {
             match text.parse::<f64>() {
                 Ok(v) => Some(TokenKind::Float(v)),
                 Err(_) => {
-                    self.diags
-                        .push(Diagnostic::error("invalid float literal", self.span_from(start)));
+                    self.diags.push(Diagnostic::error(
+                        "invalid float literal",
+                        self.span_from(start),
+                    ));
                     None
                 }
             }
@@ -281,7 +297,11 @@ mod tests {
         let id = map.add_file("t.lss", src);
         let mut diags = DiagnosticBag::new();
         let toks = lex(id, src, &mut diags);
-        assert!(!diags.has_errors(), "unexpected lex errors: {}", diags.render(&map));
+        assert!(
+            !diags.has_errors(),
+            "unexpected lex errors: {}",
+            diags.render(&map)
+        );
         toks.into_iter().map(|t| t.kind).collect()
     }
 
@@ -332,7 +352,16 @@ mod tests {
         let toks = lex_ok("inport a: 'a | int;");
         assert_eq!(
             toks,
-            vec![Inport, Ident("a".into()), Colon, TypeVar("a".into()), Pipe, IntTy, Semi, Eof]
+            vec![
+                Inport,
+                Ident("a".into()),
+                Colon,
+                TypeVar("a".into()),
+                Pipe,
+                IntTy,
+                Semi,
+                Eof
+            ]
         );
     }
 
@@ -341,10 +370,7 @@ mod tests {
         use TokenKind::*;
         assert_eq!(lex_ok("42 3.5 0"), vec![Int(42), Float(3.5), Int(0), Eof]);
         // `3.x` must not be a float: it is member access on an int.
-        assert_eq!(
-            lex_ok("3.x"),
-            vec![Int(3), Dot, Ident("x".into()), Eof]
-        );
+        assert_eq!(lex_ok("3.x"), vec![Int(3), Dot, Ident("x".into()), Eof]);
     }
 
     #[test]
@@ -368,8 +394,10 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             lex_ok("== != <= >= && || = < > ! :: => ? %"),
-            vec![EqEq, NotEq, Le, Ge, AndAnd, OrOr, Eq, Lt, Gt, Bang, ColonColon, FatArrow,
-                 Question, Percent, Eof]
+            vec![
+                EqEq, NotEq, Le, Ge, AndAnd, OrOr, Eq, Lt, Gt, Bang, ColonColon, FatArrow,
+                Question, Percent, Eof
+            ]
         );
     }
 
@@ -393,7 +421,11 @@ mod tests {
         let kinds: Vec<_> = toks.into_iter().map(|t| t.kind).collect();
         assert_eq!(
             kinds,
-            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -404,7 +436,13 @@ mod tests {
         let id = map.add_file("t.lss", src);
         let mut diags = DiagnosticBag::new();
         let toks = lex(id, src, &mut diags);
-        assert_eq!(&src[toks[0].span.start as usize..toks[0].span.end as usize], "module");
-        assert_eq!(&src[toks[1].span.start as usize..toks[1].span.end as usize], "delay");
+        assert_eq!(
+            &src[toks[0].span.start as usize..toks[0].span.end as usize],
+            "module"
+        );
+        assert_eq!(
+            &src[toks[1].span.start as usize..toks[1].span.end as usize],
+            "delay"
+        );
     }
 }

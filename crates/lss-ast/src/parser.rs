@@ -37,7 +37,12 @@ use crate::token::{Token, TokenKind};
 /// [`DiagnosticBag::has_errors`] before using it).
 pub fn parse(file: FileId, text: &str, diags: &mut DiagnosticBag) -> Program {
     let tokens = lex(file, text, diags);
-    Parser { tokens, pos: 0, diags }.program()
+    Parser {
+        tokens,
+        pos: 0,
+        diags,
+    }
+    .program()
 }
 
 struct Parser<'a> {
@@ -91,7 +96,11 @@ impl<'a> Parser<'a> {
         if self.eat(kind) {
             true
         } else {
-            self.error_here(format!("expected {}, found {}", kind.describe(), self.peek().describe()));
+            self.error_here(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            ));
             false
         }
     }
@@ -177,7 +186,11 @@ impl<'a> Parser<'a> {
         let body = self.stmt_list_until_rbrace();
         let end = self.prev_span();
         self.eat(&TokenKind::Semi); // trailing `;` after `}` is optional
-        Some(ModuleDecl { name, body, span: start.merge(end) })
+        Some(ModuleDecl {
+            name,
+            body,
+            span: start.merge(end),
+        })
     }
 
     fn stmt_list_until_rbrace(&mut self) -> Vec<Stmt> {
@@ -226,7 +239,11 @@ impl<'a> Parser<'a> {
             TokenKind::Fun => self.fun_stmt(),
             TokenKind::Return => {
                 self.bump();
-                let value = if self.at(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+                let value = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokenKind::Semi);
                 Some(Stmt::Return(value, start.merge(self.prev_span())))
             }
@@ -251,11 +268,20 @@ impl<'a> Parser<'a> {
         let start = self.span();
         self.bump(); // parameter
         let name = self.ident()?;
-        let default = if self.eat(&TokenKind::Eq) { Some(self.expr()?) } else { None };
+        let default = if self.eat(&TokenKind::Eq) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         self.expect(&TokenKind::Colon);
         let ty = self.type_expr()?;
         self.expect(&TokenKind::Semi);
-        Some(Stmt::Parameter(ParamDecl { name, default, ty, span: start.merge(self.prev_span()) }))
+        Some(Stmt::Parameter(ParamDecl {
+            name,
+            default,
+            ty,
+            span: start.merge(self.prev_span()),
+        }))
     }
 
     fn port_stmt(&mut self) -> Option<Stmt> {
@@ -270,7 +296,12 @@ impl<'a> Parser<'a> {
         self.expect(&TokenKind::Colon);
         let ty = self.type_expr()?;
         self.expect(&TokenKind::Semi);
-        Some(Stmt::Port(PortDecl { dir, name, ty, span: start.merge(self.prev_span()) }))
+        Some(Stmt::Port(PortDecl {
+            dir,
+            name,
+            ty,
+            span: start.merge(self.prev_span()),
+        }))
     }
 
     fn instance_stmt(&mut self) -> Option<Stmt> {
@@ -280,15 +311,27 @@ impl<'a> Parser<'a> {
         self.expect(&TokenKind::Colon);
         let module = self.ident()?;
         self.expect(&TokenKind::Semi);
-        Some(Stmt::Instance(InstanceDecl { name, module, span: start.merge(self.prev_span()) }))
+        Some(Stmt::Instance(InstanceDecl {
+            name,
+            module,
+            span: start.merge(self.prev_span()),
+        }))
     }
 
     fn var_stmt(&mut self, runtime: bool) -> Option<Stmt> {
         let start = self.span();
         self.expect(&TokenKind::Var);
         let name = self.ident()?;
-        let ty = if self.eat(&TokenKind::Colon) { Some(self.type_expr()?) } else { None };
-        let init = if self.eat(&TokenKind::Eq) { Some(self.expr()?) } else { None };
+        let ty = if self.eat(&TokenKind::Colon) {
+            Some(self.type_expr()?)
+        } else {
+            None
+        };
+        let init = if self.eat(&TokenKind::Eq) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         self.expect(&TokenKind::Semi);
         let span = start.merge(self.prev_span());
         if runtime {
@@ -299,9 +342,19 @@ impl<'a> Parser<'a> {
                 ));
                 return None;
             };
-            Some(Stmt::RuntimeVar(RuntimeVarDecl { name, ty, init, span }))
+            Some(Stmt::RuntimeVar(RuntimeVarDecl {
+                name,
+                ty,
+                init,
+                span,
+            }))
         } else {
-            Some(Stmt::Var(VarDecl { name, ty, init, span }))
+            Some(Stmt::Var(VarDecl {
+                name,
+                ty,
+                init,
+                span,
+            }))
         }
     }
 
@@ -321,7 +374,11 @@ impl<'a> Parser<'a> {
         }
         self.expect(&TokenKind::RParen);
         self.expect(&TokenKind::Semi);
-        Some(Stmt::Event(EventDecl { name, args, span: start.merge(self.prev_span()) }))
+        Some(Stmt::Event(EventDecl {
+            name,
+            args,
+            span: start.merge(self.prev_span()),
+        }))
     }
 
     fn collector_stmt(&mut self) -> Option<Stmt> {
@@ -360,7 +417,12 @@ impl<'a> Parser<'a> {
         } else {
             Vec::new()
         };
-        Some(Stmt::If(IfStmt { cond, then_body, else_body, span: start.merge(self.prev_span()) }))
+        Some(Stmt::If(IfStmt {
+            cond,
+            then_body,
+            else_body,
+            span: start.merge(self.prev_span()),
+        }))
     }
 
     fn for_stmt(&mut self) -> Option<Stmt> {
@@ -380,13 +442,26 @@ impl<'a> Parser<'a> {
         if init.is_none() {
             self.expect(&TokenKind::Semi);
         }
-        let cond = if self.at(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+        let cond = if self.at(&TokenKind::Semi) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
         self.expect(&TokenKind::Semi);
-        let step =
-            if self.at(&TokenKind::RParen) { None } else { Some(Box::new(self.simple_stmt()?)) };
+        let step = if self.at(&TokenKind::RParen) {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
         self.expect(&TokenKind::RParen);
         let body = self.block();
-        Some(Stmt::For(ForStmt { init, cond, step, body, span: start.merge(self.prev_span()) }))
+        Some(Stmt::For(ForStmt {
+            init,
+            cond,
+            step,
+            body,
+            span: start.merge(self.prev_span()),
+        }))
     }
 
     fn while_stmt(&mut self) -> Option<Stmt> {
@@ -396,7 +471,11 @@ impl<'a> Parser<'a> {
         let cond = self.expr()?;
         self.expect(&TokenKind::RParen);
         let body = self.block();
-        Some(Stmt::While(WhileStmt { cond, body, span: start.merge(self.prev_span()) }))
+        Some(Stmt::While(WhileStmt {
+            cond,
+            body,
+            span: start.merge(self.prev_span()),
+        }))
     }
 
     fn fun_stmt(&mut self) -> Option<Stmt> {
@@ -415,7 +494,12 @@ impl<'a> Parser<'a> {
         }
         self.expect(&TokenKind::RParen);
         let body = self.block();
-        Some(Stmt::Fun(FunDecl { name, params, body, span: start.merge(self.prev_span()) }))
+        Some(Stmt::Fun(FunDecl {
+            name,
+            params,
+            body,
+            span: start.merge(self.prev_span()),
+        }))
     }
 
     /// An expression statement, assignment, connection, or explicit type
@@ -433,7 +517,11 @@ impl<'a> Parser<'a> {
         }
         if self.eat(&TokenKind::Arrow) {
             let dst = self.expr()?;
-            let ty = if self.eat(&TokenKind::Colon) { Some(self.type_expr()?) } else { None };
+            let ty = if self.eat(&TokenKind::Colon) {
+                Some(self.type_expr()?)
+            } else {
+                None
+            };
             return Some(Stmt::Connect(ConnectStmt {
                 src: first,
                 dst,
@@ -493,15 +581,14 @@ impl<'a> Parser<'a> {
             TokenKind::Instance => {
                 self.bump();
                 self.expect(&TokenKind::Ref);
-                let array = if self.at(&TokenKind::LBracket)
-                    && self.peek_at(1) == &TokenKind::RBracket
-                {
-                    self.bump();
-                    self.bump();
-                    true
-                } else {
-                    false
-                };
+                let array =
+                    if self.at(&TokenKind::LBracket) && self.peek_at(1) == &TokenKind::RBracket {
+                        self.bump();
+                        self.bump();
+                        true
+                    } else {
+                        false
+                    };
                 return Some(TypeExpr::InstanceRef { array });
             }
             TokenKind::Userpoint => self.userpoint_type()?,
@@ -565,7 +652,10 @@ impl<'a> Parser<'a> {
         self.expect(&TokenKind::FatArrow);
         let ret = self.type_expr()?;
         self.expect(&TokenKind::RParen);
-        Some(TypeExpr::Userpoint(UserpointSig { args, ret: Box::new(ret) }))
+        Some(TypeExpr::Userpoint(UserpointSig {
+            args,
+            ret: Box::new(ret),
+        }))
     }
 
     // ---- expressions ------------------------------------------------------
@@ -583,7 +673,10 @@ impl<'a> Parser<'a> {
         self.expect(&TokenKind::Colon);
         let els = self.expr()?;
         let span = cond.span.merge(els.span);
-        Some(Expr::new(ExprKind::Ternary(Box::new(cond), Box::new(then), Box::new(els)), span))
+        Some(Expr::new(
+            ExprKind::Ternary(Box::new(cond), Box::new(then), Box::new(els)),
+            span,
+        ))
     }
 
     fn binary_level(
@@ -636,7 +729,10 @@ impl<'a> Parser<'a> {
     fn additive(&mut self) -> Option<Expr> {
         self.binary_level(
             Self::multiplicative,
-            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+            &[
+                (TokenKind::Plus, BinOp::Add),
+                (TokenKind::Minus, BinOp::Sub),
+            ],
         )
     }
 
@@ -745,10 +841,16 @@ impl<'a> Parser<'a> {
                     }
                 }
                 self.expect(&TokenKind::RBracket);
-                return Some(Expr::new(ExprKind::ArrayLit(elems), start.merge(self.prev_span())));
+                return Some(Expr::new(
+                    ExprKind::ArrayLit(elems),
+                    start.merge(self.prev_span()),
+                ));
             }
             other => {
-                self.error_here(format!("expected an expression, found {}", other.describe()));
+                self.error_here(format!(
+                    "expected an expression, found {}",
+                    other.describe()
+                ));
                 return None;
             }
         };
@@ -904,9 +1006,8 @@ mod tests {
 
     #[test]
     fn parses_userpoint_parameter() {
-        let prog = parse_ok(
-            "module arb { parameter policy: userpoint(reqs: int, count: int => int); };",
-        );
+        let prog =
+            parse_ok("module arb { parameter policy: userpoint(reqs: int, count: int => int); };");
         match &prog.modules[0].body[0] {
             Stmt::Parameter(p) => match &p.ty {
                 TypeExpr::Userpoint(sig) => {
@@ -1040,7 +1141,8 @@ mod tests {
 
     #[test]
     fn parses_width_access() {
-        let prog = parse_ok("module m { inport in:'a; outport out:'a; if (out.width < in.width) { } };");
+        let prog =
+            parse_ok("module m { inport in:'a; outport out:'a; if (out.width < in.width) { } };");
         assert!(matches!(&prog.modules[0].body[2], Stmt::If(_)));
     }
 

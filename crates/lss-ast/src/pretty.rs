@@ -394,7 +394,10 @@ mod tests {
     fn assert_stable(src: &str) {
         let printed = roundtrip(src);
         let reprinted = roundtrip(&printed);
-        assert_eq!(printed, reprinted, "pretty-printing is not idempotent for:\n{src}");
+        assert_eq!(
+            printed, reprinted,
+            "pretty-printing is not idempotent for:\n{src}"
+        );
     }
 
     #[test]
@@ -444,7 +447,9 @@ mod tests {
 
     #[test]
     fn prints_events_and_collectors() {
-        let out = roundtrip("module m { event e(int); };\ninstance i:m;\ncollector i : e = \"n = n + 1\";");
+        let out = roundtrip(
+            "module m { event e(int); };\ninstance i:m;\ncollector i : e = \"n = n + 1\";",
+        );
         assert!(out.contains("event e(int);"));
         assert!(out.contains("collector i : e = \"n = n + 1\";"));
     }

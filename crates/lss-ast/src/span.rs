@@ -31,7 +31,11 @@ impl Span {
 
     /// A zero-length span used for synthesized nodes.
     pub fn synthetic() -> Self {
-        Span { file: FileId(u32::MAX), start: 0, end: 0 }
+        Span {
+            file: FileId(u32::MAX),
+            start: 0,
+            end: 0,
+        }
     }
 
     /// Returns true for spans produced by [`Span::synthetic`].
@@ -52,7 +56,11 @@ impl Span {
             return self;
         }
         debug_assert_eq!(self.file, other.file, "merging spans from different files");
-        Span { file: self.file, start: self.start.min(other.start), end: self.end.max(other.end) }
+        Span {
+            file: self.file,
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
     }
 
     /// Length of the span in bytes.
@@ -89,7 +97,10 @@ impl<T> Spanned<T> {
 
     /// Maps the wrapped value, preserving the span.
     pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Spanned<U> {
-        Spanned { node: f(self.node), span: self.span }
+        Spanned {
+            node: f(self.node),
+            span: self.span,
+        }
     }
 }
 
@@ -112,7 +123,11 @@ impl SourceFile {
                 line_starts.push(i as u32 + 1);
             }
         }
-        SourceFile { name, text, line_starts }
+        SourceFile {
+            name,
+            text,
+            line_starts,
+        }
     }
 
     /// Converts a byte offset to a 1-based `(line, column)` pair.
@@ -204,7 +219,10 @@ impl SourceMap {
 
     /// Iterates over all registered files.
     pub fn iter(&self) -> impl Iterator<Item = (FileId, &SourceFile)> {
-        self.files.iter().enumerate().map(|(i, f)| (FileId(i as u32), f))
+        self.files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FileId(i as u32), f))
     }
 }
 

@@ -267,10 +267,33 @@ mod tests {
 
     #[test]
     fn keywords_round_trip() {
-        for kw in ["module", "parameter", "inport", "outport", "instance", "var", "new", "if",
-                   "else", "for", "while", "struct", "userpoint", "runtime", "event",
-                   "collector", "ref", "true", "false", "int", "bool", "float", "string",
-                   "return", "fun"] {
+        for kw in [
+            "module",
+            "parameter",
+            "inport",
+            "outport",
+            "instance",
+            "var",
+            "new",
+            "if",
+            "else",
+            "for",
+            "while",
+            "struct",
+            "userpoint",
+            "runtime",
+            "event",
+            "collector",
+            "ref",
+            "true",
+            "false",
+            "int",
+            "bool",
+            "float",
+            "string",
+            "return",
+            "fun",
+        ] {
             let k = TokenKind::keyword(kw).unwrap_or_else(|| panic!("{kw} should be a keyword"));
             assert_eq!(k.to_string(), kw);
         }
@@ -282,6 +305,9 @@ mod tests {
         assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
         assert_eq!(TokenKind::Arrow.describe(), "`->`");
         assert_eq!(TokenKind::Eof.describe(), "end of input");
-        assert_eq!(TokenKind::TypeVar("a".into()).describe(), "type variable `'a`");
+        assert_eq!(
+            TokenKind::TypeVar("a".into()).describe(),
+            "type variable `'a`"
+        );
     }
 }

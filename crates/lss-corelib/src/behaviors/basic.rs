@@ -1,5 +1,6 @@
 //! Basic data-movement components: sources, sinks, registers, fan-out.
 
+use lss_netlist::{EventId, RtvId};
 use lss_sim::{BuildError, CompCtx, CompSpec, Component, SimError};
 use lss_types::{Datum, Ty};
 
@@ -42,28 +43,38 @@ impl Component for Source {
 /// the runtime variable `count` (declared by the corelib module).
 pub struct Sink {
     inp: usize,
+    count: Option<RtvId>,
 }
 
 impl Sink {
     /// Factory.
     pub fn new(spec: &CompSpec) -> Result<Box<dyn Component>, BuildError> {
-        Ok(Box::new(Sink { inp: spec.port_index("in")? }))
+        Ok(Box::new(Sink {
+            inp: spec.port_index("in")?,
+            count: None,
+        }))
     }
 }
 
 impl Component for Sink {
+    fn init(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        self.count = Some(ctx.ensure_rtv("count", Datum::Int(0)));
+        Ok(())
+    }
+
     fn eval(&mut self, _ctx: &mut dyn CompCtx) -> Result<(), SimError> {
         Ok(())
     }
 
     fn end_of_timestep(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
-        let mut count = ctx.rtv("count").as_int().unwrap_or(0);
+        let id = self.count.expect("resolved in init");
+        let mut count = ctx.rtv_by_id(id).as_int().unwrap_or(0);
         for lane in 0..ctx.width(self.inp) {
             if ctx.input(self.inp, lane).is_some() {
                 count += 1;
             }
         }
-        ctx.set_rtv("count", Datum::Int(count));
+        ctx.set_rtv_by_id(id, Datum::Int(count));
         Ok(())
     }
 
@@ -166,7 +177,10 @@ pub struct Tee {
 impl Tee {
     /// Factory.
     pub fn new(spec: &CompSpec) -> Result<Box<dyn Component>, BuildError> {
-        Ok(Box::new(Tee { inp: spec.port_index("in")?, out: spec.port_index("out")? }))
+        Ok(Box::new(Tee {
+            inp: spec.port_index("in")?,
+            out: spec.port_index("out")?,
+        }))
     }
 }
 
@@ -187,29 +201,44 @@ impl Component for Tee {
 /// (§4.5).
 pub struct Probe {
     inp: usize,
+    seen: Option<RtvId>,
+    observed: Option<EventId>,
 }
 
 impl Probe {
     /// Factory.
     pub fn new(spec: &CompSpec) -> Result<Box<dyn Component>, BuildError> {
-        Ok(Box::new(Probe { inp: spec.port_index("in")? }))
+        Ok(Box::new(Probe {
+            inp: spec.port_index("in")?,
+            seen: None,
+            observed: None,
+        }))
     }
 }
 
 impl Component for Probe {
+    fn init(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        self.seen = Some(ctx.ensure_rtv("seen", Datum::Int(0)));
+        self.observed = ctx.event_id("observed");
+        Ok(())
+    }
+
     fn eval(&mut self, _ctx: &mut dyn CompCtx) -> Result<(), SimError> {
         Ok(())
     }
 
     fn end_of_timestep(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
-        let mut seen = ctx.rtv("seen").as_int().unwrap_or(0);
+        let seen_id = self.seen.expect("resolved in init");
+        let mut seen = ctx.rtv_by_id(seen_id).as_int().unwrap_or(0);
         for lane in 0..ctx.width(self.inp) {
             if let Some(v) = ctx.input(self.inp, lane) {
                 seen += 1;
-                ctx.emit("observed", vec![v]);
+                if let Some(ev) = self.observed {
+                    ctx.emit_by_id(ev, vec![v]);
+                }
             }
         }
-        ctx.set_rtv("seen", Datum::Int(seen));
+        ctx.set_rtv_by_id(seen_id, Datum::Int(seen));
         Ok(())
     }
 

@@ -1,5 +1,6 @@
 //! Computation and storage components: ALU, register file, memories, cache.
 
+use lss_netlist::{EventId, UserpointId};
 use lss_sim::{BuildError, CompCtx, CompSpec, Component, SimError};
 use lss_types::{Datum, Ty};
 
@@ -36,7 +37,10 @@ impl Alu {
             "sub" => AluOp::Sub,
             "mul" => AluOp::Mul,
             other => {
-                return Err(BuildError::new(format!("{}: unknown ALU op `{other}`", spec.path)))
+                return Err(BuildError::new(format!(
+                    "{}: unknown ALU op `{other}`",
+                    spec.path
+                )))
             }
         };
         let a = spec.port_index("a")?;
@@ -111,7 +115,10 @@ impl RegFile {
     pub fn new(spec: &CompSpec) -> Result<Box<dyn Component>, BuildError> {
         let nregs = spec.int_param_or("nregs", 32)?;
         if nregs <= 0 {
-            return Err(BuildError::new(format!("{}: nregs must be positive", spec.path)));
+            return Err(BuildError::new(format!(
+                "{}: nregs must be positive",
+                spec.path
+            )));
         }
         let rd_data = spec.port_index("rd_data")?;
         let default = Datum::default_for(&spec.ports[rd_data].ty);
@@ -128,7 +135,9 @@ impl RegFile {
 impl Component for RegFile {
     fn eval(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
         for lane in 0..ctx.width(self.rd_data) {
-            let Some(Datum::Int(addr)) = ctx.input(self.rd_addr, lane) else { continue };
+            let Some(Datum::Int(addr)) = ctx.input(self.rd_addr, lane) else {
+                continue;
+            };
             if addr >= 0 && (addr as usize) < self.regs.len() {
                 ctx.set_output(self.rd_data, lane, self.regs[addr as usize].clone());
             }
@@ -173,7 +182,10 @@ impl Ram {
     pub fn new(spec: &CompSpec) -> Result<Box<dyn Component>, BuildError> {
         let words = spec.int_param_or("words", 1024)?;
         if words <= 0 {
-            return Err(BuildError::new(format!("{}: words must be positive", spec.path)));
+            return Err(BuildError::new(format!(
+                "{}: words must be positive",
+                spec.path
+            )));
         }
         Ok(Box::new(Ram {
             addr: spec.port_index("addr")?,
@@ -193,7 +205,9 @@ impl Ram {
 impl Component for Ram {
     fn eval(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
         for lane in 0..ctx.width(self.rdata) {
-            let Some(Datum::Int(addr)) = ctx.input(self.addr, lane) else { continue };
+            let Some(Datum::Int(addr)) = ctx.input(self.addr, lane) else {
+                continue;
+            };
             if let Some(idx) = self.index(addr) {
                 ctx.set_output(self.rdata, lane, Datum::Int(self.words[idx]));
             }
@@ -282,7 +296,12 @@ pub struct Cache {
     hit_lat: i64,
     miss_lat: i64,
     miss_penalty: i64,
+    /// True when the model supplied a non-empty replacement userpoint;
+    /// the id itself is resolved in `init`.
     has_policy: bool,
+    policy: Option<UserpointId>,
+    hit_ev: Option<EventId>,
+    miss_ev: Option<EventId>,
     /// tags[set][way] = (tag, lru counter).
     tags: Vec<Vec<(i64, u64)>>,
     tick: u64,
@@ -311,6 +330,9 @@ impl Cache {
                 .get("policy")
                 .map(|p| !p.source().trim().is_empty())
                 .unwrap_or(false),
+            policy: None,
+            hit_ev: None,
+            miss_ev: None,
             tags: vec![Vec::new(); sets],
             tick: 0,
         }))
@@ -318,7 +340,10 @@ impl Cache {
 
     fn set_and_tag(&self, addr: i64) -> (usize, i64) {
         let line = addr.div_euclid(self.block);
-        ((line.rem_euclid(self.sets as i64)) as usize, line.div_euclid(self.sets as i64))
+        (
+            (line.rem_euclid(self.sets as i64)) as usize,
+            line.div_euclid(self.sets as i64),
+        )
     }
 
     fn lookup(&self, addr: i64) -> bool {
@@ -328,9 +353,20 @@ impl Cache {
 }
 
 impl Component for Cache {
+    fn init(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        if self.has_policy {
+            self.policy = ctx.userpoint_id("policy");
+        }
+        self.hit_ev = ctx.event_id("hit");
+        self.miss_ev = ctx.event_id("miss");
+        Ok(())
+    }
+
     fn eval(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
         for lane in 0..ctx.width(self.req) {
-            let Some(Datum::Int(addr)) = ctx.input(self.req, lane) else { continue };
+            let Some(Datum::Int(addr)) = ctx.input(self.req, lane) else {
+                continue;
+            };
             if self.lookup(addr) {
                 ctx.set_output(self.resp, lane, Datum::Int(self.hit_lat));
             } else {
@@ -356,23 +392,29 @@ impl Component for Cache {
 
     fn end_of_timestep(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
         for lane in 0..ctx.width(self.req) {
-            let Some(Datum::Int(addr)) = ctx.input(self.req, lane) else { continue };
+            let Some(Datum::Int(addr)) = ctx.input(self.req, lane) else {
+                continue;
+            };
             let (set, tag) = self.set_and_tag(addr);
             self.tick += 1;
             let tick = self.tick;
             if let Some(entry) = self.tags[set].iter_mut().find(|(t, _)| *t == tag) {
                 entry.1 = tick;
-                ctx.emit("hit", vec![Datum::Int(addr)]);
+                if let Some(ev) = self.hit_ev {
+                    ctx.emit_by_id(ev, vec![Datum::Int(addr)]);
+                }
                 continue;
             }
-            ctx.emit("miss", vec![Datum::Int(addr)]);
+            if let Some(ev) = self.miss_ev {
+                ctx.emit_by_id(ev, vec![Datum::Int(addr)]);
+            }
             if self.tags[set].len() < self.assoc {
                 self.tags[set].push((tag, tick));
             } else {
-                let victim = if self.has_policy {
+                let victim = if let Some(policy) = self.policy {
                     let ways = self.tags[set].len() as i64;
-                    let r = ctx.call_userpoint(
-                        "policy",
+                    let r = ctx.call_userpoint_by_id(
+                        policy,
                         &[Datum::Int(set as i64), Datum::Int(ways)],
                     )?;
                     r.as_int().unwrap_or(0).rem_euclid(ways) as usize

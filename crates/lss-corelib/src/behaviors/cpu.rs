@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
+use lss_netlist::{EventId, RtvId};
 use lss_sim::{BuildError, CompCtx, CompSpec, Component, SimError};
 use lss_types::Datum;
 
@@ -50,11 +51,9 @@ fn classes_param(spec: &CompSpec, port_width: u32) -> Result<Vec<i64>, BuildErro
     if text.trim().is_empty() {
         return Ok(vec![0; port_width as usize]);
     }
-    let classes: Result<Vec<i64>, _> =
-        text.split(',').map(|t| t.trim().parse::<i64>()).collect();
-    let classes = classes.map_err(|e| {
-        BuildError::new(format!("{}: bad classes list `{text}`: {e}", spec.path))
-    })?;
+    let classes: Result<Vec<i64>, _> = text.split(',').map(|t| t.trim().parse::<i64>()).collect();
+    let classes = classes
+        .map_err(|e| BuildError::new(format!("{}: bad classes list `{text}`: {e}", spec.path)))?;
     if classes.len() != port_width as usize {
         return Err(BuildError::new(format!(
             "{}: classes has {} entries but the output port has width {}",
@@ -110,6 +109,8 @@ pub struct Fetch {
     buffer: VecDeque<Instr>,
     stall: i64,
     fetched: u64,
+    fetched_rtv: Option<RtvId>,
+    mispredicts_rtv: Option<RtvId>,
 }
 
 impl Fetch {
@@ -143,6 +144,8 @@ impl Fetch {
             buffer: VecDeque::new(),
             stall: 0,
             fetched: 0,
+            fetched_rtv: None,
+            mispredicts_rtv: None,
         }))
     }
 
@@ -166,13 +169,16 @@ impl Fetch {
 
 impl Component for Fetch {
     fn init(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        let fetched_rtv = ctx.ensure_rtv("fetched", Datum::Int(0));
+        self.fetched_rtv = Some(fetched_rtv);
+        self.mispredicts_rtv = Some(ctx.ensure_rtv("mispredicts", Datum::Int(0)));
         // Prefill the prefetch buffer so the first cycle can issue.
         let lanes = ctx.width(self.out) as usize;
         while self.buffer.len() < lanes.max(1) * 2 && self.fetched < self.n_instrs {
             self.buffer.push_back(self.workload.next_instr());
             self.fetched += 1;
         }
-        ctx.set_rtv("fetched", Datum::Int(self.fetched as i64));
+        ctx.set_rtv_by_id(fetched_rtv, Datum::Int(self.fetched as i64));
         Ok(())
     }
 
@@ -213,8 +219,9 @@ impl Component for Fetch {
             };
             if predicted != instr.taken {
                 self.stall = self.penalty;
-                let m = ctx.rtv("mispredicts").as_int().unwrap_or(0);
-                ctx.set_rtv("mispredicts", Datum::Int(m + 1));
+                let id = self.mispredicts_rtv.expect("resolved in init");
+                let m = ctx.rtv_by_id(id).as_int().unwrap_or(0);
+                ctx.set_rtv_by_id(id, Datum::Int(m + 1));
             }
         }
         self.buffer.drain(..n);
@@ -227,7 +234,8 @@ impl Component for Fetch {
             self.buffer.push_back(self.workload.next_instr());
             self.fetched += 1;
         }
-        ctx.set_rtv("fetched", Datum::Int(self.fetched as i64));
+        let id = self.fetched_rtv.expect("resolved in init");
+        ctx.set_rtv_by_id(id, Datum::Int(self.fetched as i64));
         Ok(())
     }
 
@@ -645,16 +653,15 @@ impl Component for Fu {
         // so a 1-cycle operation completes in the same step it enters.
         if let Some(instr) = self.agen.take() {
             let op = instr.op_class();
-            let lat = if matches!(op, OpClass::Load | OpClass::Store)
-                && ctx.width(self.mem_resp) > 0
-            {
-                match ctx.input(self.mem_resp, 0) {
-                    Some(Datum::Int(l)) => l.max(1),
-                    _ => instr.lat.max(1),
-                }
-            } else {
-                instr.lat.max(1)
-            };
+            let lat =
+                if matches!(op, OpClass::Load | OpClass::Store) && ctx.width(self.mem_resp) > 0 {
+                    match ctx.input(self.mem_resp, 0) {
+                        Some(Datum::Int(l)) => l.max(1),
+                        _ => instr.lat.max(1),
+                    }
+                } else {
+                    instr.lat.max(1)
+                };
             self.in_flight.push((instr, lat));
         }
         let mut finished = Vec::new();
@@ -697,24 +704,49 @@ impl Component for Fu {
 /// `commit(pc)` event per instruction.
 pub struct Commit {
     inp: usize,
+    committed: Option<RtvId>,
+    branches: Option<RtvId>,
+    memops: Option<RtvId>,
+    cycles: Option<RtvId>,
+    commit_ev: Option<EventId>,
 }
 
 impl Commit {
     /// Factory.
     pub fn new(spec: &CompSpec) -> Result<Box<dyn Component>, BuildError> {
-        Ok(Box::new(Commit { inp: spec.port_index("in")? }))
+        Ok(Box::new(Commit {
+            inp: spec.port_index("in")?,
+            committed: None,
+            branches: None,
+            memops: None,
+            cycles: None,
+            commit_ev: None,
+        }))
     }
 }
 
 impl Component for Commit {
+    fn init(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        self.committed = Some(ctx.ensure_rtv("committed", Datum::Int(0)));
+        self.branches = Some(ctx.ensure_rtv("branches", Datum::Int(0)));
+        self.memops = Some(ctx.ensure_rtv("memops", Datum::Int(0)));
+        self.cycles = Some(ctx.ensure_rtv("cycles", Datum::Int(0)));
+        self.commit_ev = ctx.event_id("commit");
+        Ok(())
+    }
+
     fn eval(&mut self, _ctx: &mut dyn CompCtx) -> Result<(), SimError> {
         Ok(())
     }
 
     fn end_of_timestep(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
-        let mut committed = ctx.rtv("committed").as_int().unwrap_or(0);
-        let mut branches = ctx.rtv("branches").as_int().unwrap_or(0);
-        let mut memops = ctx.rtv("memops").as_int().unwrap_or(0);
+        let committed_id = self.committed.expect("resolved in init");
+        let branches_id = self.branches.expect("resolved in init");
+        let memops_id = self.memops.expect("resolved in init");
+        let cycles_id = self.cycles.expect("resolved in init");
+        let mut committed = ctx.rtv_by_id(committed_id).as_int().unwrap_or(0);
+        let mut branches = ctx.rtv_by_id(branches_id).as_int().unwrap_or(0);
+        let mut memops = ctx.rtv_by_id(memops_id).as_int().unwrap_or(0);
         for lane in 0..ctx.width(self.inp) {
             if let Some(instr) = instr_at(ctx, self.inp, lane)? {
                 committed += 1;
@@ -723,14 +755,16 @@ impl Component for Commit {
                     OpClass::Load | OpClass::Store => memops += 1,
                     _ => {}
                 }
-                ctx.emit("commit", vec![Datum::Int(instr.pc)]);
+                if let Some(ev) = self.commit_ev {
+                    ctx.emit_by_id(ev, vec![Datum::Int(instr.pc)]);
+                }
             }
         }
-        ctx.set_rtv("committed", Datum::Int(committed));
-        ctx.set_rtv("branches", Datum::Int(branches));
-        ctx.set_rtv("memops", Datum::Int(memops));
-        let cycles = ctx.rtv("cycles").as_int().unwrap_or(0) + 1;
-        ctx.set_rtv("cycles", Datum::Int(cycles));
+        ctx.set_rtv_by_id(committed_id, Datum::Int(committed));
+        ctx.set_rtv_by_id(branches_id, Datum::Int(branches));
+        ctx.set_rtv_by_id(memops_id, Datum::Int(memops));
+        let cycles = ctx.rtv_by_id(cycles_id).as_int().unwrap_or(0) + 1;
+        ctx.set_rtv_by_id(cycles_id, Datum::Int(cycles));
         Ok(())
     }
 
@@ -762,6 +796,7 @@ pub struct BranchPred {
     branch_target: usize,
     entries: usize,
     has_btb: bool,
+    lookup_miss_ev: Option<EventId>,
     counters: Vec<u8>,
     btb: HashMap<i64, i64>,
 }
@@ -777,6 +812,7 @@ impl BranchPred {
             branch_target: spec.port_index("branch_target")?,
             entries,
             has_btb: spec.flag_param("has_btb", false)?,
+            lookup_miss_ev: None,
             counters: vec![1; entries], // weakly not-taken
             btb: HashMap::new(),
         }))
@@ -788,15 +824,26 @@ impl BranchPred {
 }
 
 impl Component for BranchPred {
+    fn init(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        self.lookup_miss_ev = ctx.event_id("lookup_miss");
+        Ok(())
+    }
+
     fn eval(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
         for lane in 0..ctx.width(self.lookup) {
-            let Some(Datum::Int(pc)) = ctx.input(self.lookup, lane) else { continue };
+            let Some(Datum::Int(pc)) = ctx.input(self.lookup, lane) else {
+                continue;
+            };
             let taken = self.counters[self.index(pc)] >= 2;
             ctx.set_output(self.pred, lane, Datum::Int(taken as i64));
             if self.has_btb {
                 match self.btb.get(&pc) {
                     Some(&tgt) => ctx.set_output(self.branch_target, lane, Datum::Int(tgt)),
-                    None => ctx.emit("lookup_miss", vec![Datum::Int(pc)]),
+                    None => {
+                        if let Some(ev) = self.lookup_miss_ev {
+                            ctx.emit_by_id(ev, vec![Datum::Int(pc)]);
+                        }
+                    }
                 }
             }
         }
@@ -805,7 +852,9 @@ impl Component for BranchPred {
 
     fn end_of_timestep(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
         for lane in 0..ctx.width(self.update) {
-            let Some(Datum::Int(enc)) = ctx.input(self.update, lane) else { continue };
+            let Some(Datum::Int(enc)) = ctx.input(self.update, lane) else {
+                continue;
+            };
             let (pc, taken) = (enc.div_euclid(2), enc.rem_euclid(2) == 1);
             let idx = self.index(pc);
             let c = &mut self.counters[idx];

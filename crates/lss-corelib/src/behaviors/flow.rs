@@ -8,6 +8,7 @@
 
 use std::collections::VecDeque;
 
+use lss_netlist::UserpointId;
 use lss_sim::{BuildError, CompCtx, CompSpec, Component, SimError};
 use lss_types::Datum;
 
@@ -43,7 +44,10 @@ impl Queue {
     pub fn new(spec: &CompSpec) -> Result<Box<dyn Component>, BuildError> {
         let depth = spec.int_param_or("depth", 8)?;
         if depth <= 0 {
-            return Err(BuildError::new(format!("{}: queue depth must be positive", spec.path)));
+            return Err(BuildError::new(format!(
+                "{}: queue depth must be positive",
+                spec.path
+            )));
         }
         Ok(Box::new(Queue {
             inp: spec.port_index("in")?,
@@ -111,7 +115,7 @@ pub struct Arbiter {
     inp: usize,
     out: usize,
     grant: usize,
-    has_policy: bool,
+    policy: Option<UserpointId>,
 }
 
 impl Arbiter {
@@ -121,18 +125,23 @@ impl Arbiter {
             inp: spec.port_index("in")?,
             out: spec.port_index("out")?,
             grant: spec.port_index("grant")?,
-            has_policy: spec.userpoints.contains_key("policy"),
+            policy: None,
         }))
     }
 }
 
 impl Component for Arbiter {
+    fn init(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
+        self.policy = ctx.userpoint_id("policy");
+        Ok(())
+    }
+
     fn eval(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
         let w = ctx.width(self.inp);
         let m = ctx.width(self.out);
-        let start = if self.has_policy {
-            let r = ctx.call_userpoint(
-                "policy",
+        let start = if let Some(policy) = self.policy {
+            let r = ctx.call_userpoint_by_id(
+                policy,
                 &[Datum::Int(w as i64), Datum::Int(ctx.cycle() as i64)],
             )?;
             r.as_int().unwrap_or(0).rem_euclid(w.max(1) as i64) as u32
@@ -208,7 +217,9 @@ impl Demux {
 
 impl Component for Demux {
     fn eval(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
-        let Some(v) = ctx.input(self.inp, 0) else { return Ok(()) };
+        let Some(v) = ctx.input(self.inp, 0) else {
+            return Ok(());
+        };
         let dest = read_int_or(ctx, self.dest, 0);
         if dest >= 0 && (dest as u32) < ctx.width(self.out) {
             ctx.set_output(self.out, dest as u32, v);

@@ -11,9 +11,7 @@
 //! fields of [`INSTR_TYPE_LSS`]; this module provides the builders and
 //! accessors.
 
-use lss_types::{Datum, Ty};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lss_types::{Datum, SplitMix64, Ty};
 
 /// Operation classes (the `op` field).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,7 +100,16 @@ pub struct Instr {
 impl Instr {
     /// A no-op bubble.
     pub fn nop(pc: i64) -> Instr {
-        Instr { pc, op: OpClass::Nop as i64, dst: -1, src1: -1, src2: -1, lat: 1, tgt: 0, taken: 0 }
+        Instr {
+            pc,
+            op: OpClass::Nop as i64,
+            dst: -1,
+            src1: -1,
+            src2: -1,
+            lat: 1,
+            tgt: 0,
+            taken: 0,
+        }
     }
 
     /// Converts to the port datum representation.
@@ -161,7 +168,14 @@ pub struct Mix {
 impl Default for Mix {
     /// A SPECint-flavored default mix.
     fn default() -> Self {
-        Mix { ialu: 40, imul: 4, fp: 8, load: 24, store: 12, branch: 12 }
+        Mix {
+            ialu: 40,
+            imul: 4,
+            fp: 8,
+            load: 24,
+            store: 12,
+            branch: 12,
+        }
     }
 }
 
@@ -172,7 +186,7 @@ impl Default for Mix {
 /// what makes history-based predictors learnable, like real code.
 #[derive(Debug)]
 pub struct Workload {
-    rng: StdRng,
+    rng: SplitMix64,
     mix: Mix,
     num_regs: i64,
     pc: i64,
@@ -189,7 +203,7 @@ impl Workload {
     /// Creates a generator.
     pub fn new(seed: u64, mix: Mix, num_regs: i64) -> Workload {
         let mut w = Workload {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             mix,
             num_regs: num_regs.max(2),
             pc: 0x1000,
@@ -210,8 +224,11 @@ impl Workload {
         self.branch_sites = (0..SITES)
             .map(|i| {
                 let pc = 0x9000 + (i as i64) * 4;
-                let bias =
-                    if self.rng.gen_range(0u32..100) < self.taken_pct { 90 } else { 10 };
+                let bias = if self.rng.percent(self.taken_pct) {
+                    90
+                } else {
+                    10
+                };
                 (pc, bias)
             })
             .collect();
@@ -241,7 +258,7 @@ impl Workload {
         if total == 0 {
             return OpClass::IAlu;
         }
-        let mut roll = self.rng.gen_range(0..total);
+        let mut roll = self.rng.range_u32(0, total);
         for (weight, class) in [
             (m.ialu, OpClass::IAlu),
             (m.imul, OpClass::IMul),
@@ -261,14 +278,14 @@ impl Workload {
     /// Generates the next instruction.
     pub fn next_instr(&mut self) -> Instr {
         let class = self.pick_class();
-        let reg = |rng: &mut StdRng, n: i64| rng.gen_range(0..n);
+        let reg = |rng: &mut SplitMix64, n: i64| rng.range_i64(0, n);
         // Register locality: bias sources toward recently written registers
         // (low numbers) to create realistic RAW-hazard density.
-        let src_reg = |rng: &mut StdRng, n: i64| {
-            if rng.gen_range(0u32..100) < 60 {
-                rng.gen_range(0..(n / 4).max(1))
+        let src_reg = |rng: &mut SplitMix64, n: i64| {
+            if rng.percent(60) {
+                rng.range_i64(0, (n / 4).max(1))
             } else {
-                rng.gen_range(0..n)
+                rng.range_i64(0, n)
             }
         };
         let n = self.num_regs;
@@ -276,9 +293,9 @@ impl Workload {
         let mut instr = match class {
             OpClass::Nop => Instr::nop(pc),
             OpClass::Branch => {
-                let site = self.rng.gen_range(0..self.branch_sites.len());
+                let site = self.rng.index(self.branch_sites.len());
                 let (site_pc, bias) = self.branch_sites[site];
-                let taken = (self.rng.gen_range(0u32..100) < bias) as i64;
+                let taken = self.rng.percent(bias) as i64;
                 Instr {
                     pc: site_pc,
                     op: class as i64,
@@ -332,11 +349,11 @@ impl Workload {
 
     /// A memory address with 75% spatial locality.
     fn mem_addr(&mut self) -> i64 {
-        if self.rng.gen_range(0u32..100) < 75 {
+        if self.rng.percent(75) {
             // Near the last address region.
             (self.pc / 4 % self.mem_footprint) * 4
         } else {
-            self.rng.gen_range(0..self.mem_footprint) * 4
+            self.rng.range_i64(0, self.mem_footprint) * 4
         }
     }
 }
@@ -351,15 +368,19 @@ mod tests {
         for _ in 0..100 {
             let i = w.next_instr();
             let d = i.to_datum();
-            assert!(d.conforms_to(&instr_ty()), "{d} should conform to the instr type");
+            assert!(
+                d.conforms_to(&instr_ty()),
+                "{d} should conform to the instr type"
+            );
             assert_eq!(Instr::from_datum(&d), Some(i));
         }
     }
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let a: Vec<Instr> =
-            (0..50).map(|_| Workload::new(42, Mix::default(), 32).next_instr()).collect();
+        let a: Vec<Instr> = (0..50)
+            .map(|_| Workload::new(42, Mix::default(), 32).next_instr())
+            .collect();
         let mut w1 = Workload::new(42, Mix::default(), 32);
         let mut w2 = Workload::new(42, Mix::default(), 32);
         for _ in 0..50 {
@@ -373,7 +394,14 @@ mod tests {
 
     #[test]
     fn mix_weights_are_respected() {
-        let mix = Mix { ialu: 0, imul: 0, fp: 0, load: 100, store: 0, branch: 0 };
+        let mix = Mix {
+            ialu: 0,
+            imul: 0,
+            fp: 0,
+            load: 100,
+            store: 0,
+            branch: 0,
+        };
         let mut w = Workload::new(1, mix, 32);
         for _ in 0..200 {
             assert_eq!(w.next_instr().op_class(), OpClass::Load);
@@ -383,10 +411,20 @@ mod tests {
 
     #[test]
     fn branch_taken_rate_tracks_parameter() {
-        let mix = Mix { ialu: 0, imul: 0, fp: 0, load: 0, store: 0, branch: 100 };
+        let mix = Mix {
+            ialu: 0,
+            imul: 0,
+            fp: 0,
+            load: 0,
+            store: 0,
+            branch: 100,
+        };
         let mut w = Workload::new(9, mix, 32).with_taken_pct(80);
         let taken: i64 = (0..1000).map(|_| w.next_instr().taken).sum();
-        assert!((700..900).contains(&taken), "taken rate {taken}/1000 should be near 80%");
+        assert!(
+            (700..900).contains(&taken),
+            "taken rate {taken}/1000 should be near 80%"
+        );
     }
 
     #[test]

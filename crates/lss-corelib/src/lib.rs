@@ -17,6 +17,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// Behavior factories are `Foo::new(spec) -> Result<Box<dyn Component>, _>`
+// by design: the registry stores them as uniform `Factory` fns.
+#![allow(clippy::new_ret_no_self)]
 
 pub mod behaviors {
     //! Rust implementations of the corelib leaf behaviors.

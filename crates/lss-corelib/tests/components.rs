@@ -17,7 +17,16 @@ fn sim_of(src: &str) -> Simulator {
     let model = parse(model_file, src, &mut diags);
     assert!(!diags.has_errors(), "{}", diags.render(&sources));
     let compiled = compile(
-        &[Unit { program: &lib, library: true }, Unit { program: &model, library: false }],
+        &[
+            Unit {
+                program: &lib,
+                library: true,
+            },
+            Unit {
+                program: &model,
+                library: false,
+            },
+        ],
         &CompileOptions::default(),
         &mut diags,
     )
@@ -132,7 +141,11 @@ fn ram_stores_and_reads_back() {
     // cycle k sees the value written at end of cycle k-1? No — same-address
     // reads see the *old* contents (write happens at end of cycle).
     sim.run(1).unwrap();
-    assert_eq!(sim.peek("m", "rdata", 0), Some(Datum::Int(0)), "before any write");
+    assert_eq!(
+        sim.peek("m", "rdata", 0),
+        Some(Datum::Int(0)),
+        "before any write"
+    );
     sim.run(3).unwrap();
     // At cycle 3 the read address is 3; the write to 3 happens at the end
     // of cycle 3, so rdata still shows 0...
@@ -141,8 +154,8 @@ fn ram_stores_and_reads_back() {
     // Wrap around to address 2 at cycle 18 (addr counts mod nothing, but
     // ram indexes addr % words = 16): cycle 18 reads addr 18 -> slot 2.
     sim.run(15).unwrap(); // now at completed cycle 19... check cycle 18's value
-    // Simpler assertion: run long enough that every slot was written, then
-    // the value at slot s is 100 + (last cycle that wrote s).
+                          // Simpler assertion: run long enough that every slot was written, then
+                          // the value at slot s is 100 + (last cycle that wrote s).
     let v = sim.peek("m", "rdata", 0).unwrap().as_int().unwrap();
     assert!(v >= 100, "slot should have been overwritten, got {v}");
 }
@@ -260,7 +273,10 @@ fn latch_is_polymorphic_over_structs() {
     );
     sim.run(3).unwrap();
     let datum = sim.peek("l", "out", 0).expect("latched instruction");
-    assert!(datum.field("pc").is_some(), "latched value should be an instr struct: {datum}");
+    assert!(
+        datum.field("pc").is_some(),
+        "latched value should be an instr struct: {datum}"
+    );
 }
 
 #[test]
@@ -299,10 +315,21 @@ fn cache_replacement_policy_userpoint_overrides_lru() {
         "#,
     );
     sim.run(20).unwrap();
-    let h = sim.collector_stat("l1", "hit", "h").unwrap().as_int().unwrap();
-    let m = sim.collector_stat("l1", "miss", "m").unwrap().as_int().unwrap();
+    let h = sim
+        .collector_stat("l1", "hit", "h")
+        .unwrap()
+        .as_int()
+        .unwrap();
+    let m = sim
+        .collector_stat("l1", "miss", "m")
+        .unwrap()
+        .as_int()
+        .unwrap();
     assert_eq!(h + m, 20);
-    assert!(m >= 5, "sequential bytes over 4-byte blocks must miss每 new block");
+    assert!(
+        m >= 5,
+        "sequential bytes over 4-byte blocks must miss每 new block"
+    );
 }
 
 #[test]
@@ -320,8 +347,14 @@ fn probe_events_fire_per_value() {
     );
     sim.run(5).unwrap();
     assert_eq!(sim.rtv("p", "seen").unwrap().as_int(), Some(5));
-    assert_eq!(sim.collector_stat("p", "observed", "n"), Some(Datum::Int(5)));
-    assert_eq!(sim.collector_stat("p", "observed", "last"), Some(Datum::Int(4)));
+    assert_eq!(
+        sim.collector_stat("p", "observed", "n"),
+        Some(Datum::Int(5))
+    );
+    assert_eq!(
+        sim.collector_stat("p", "observed", "last"),
+        Some(Datum::Int(4))
+    );
 }
 
 #[test]
@@ -340,7 +373,9 @@ fn latchn_is_a_polymorphic_delay_chain() {
     );
     sim.run(5).unwrap();
     // 3-cycle latency: values appear at the end from cycle 3 on.
-    let out = sim.peek("pipe.stages[2]", "out", 0).expect("instr after fill");
+    let out = sim
+        .peek("pipe.stages[2]", "out", 0)
+        .expect("instr after fill");
     assert!(out.field("pc").is_some());
     assert_eq!(sim.rtv("k", "count").unwrap().as_int(), Some(2));
 }
@@ -401,7 +436,10 @@ fn queue_overflow_from_credit_violation_is_a_hard_error() {
         err.message.contains("ignored the credit protocol"),
         "expected a credit-violation error, got: {err}"
     );
-    assert!(err.message.contains("q:"), "error should name the instance: {err}");
+    assert!(
+        err.message.contains("q:"),
+        "error should name the instance: {err}"
+    );
 }
 
 #[test]

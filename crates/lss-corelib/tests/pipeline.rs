@@ -18,7 +18,16 @@ fn compile_model(src: &str) -> Netlist {
     let model = parse(model_file, src, &mut diags);
     assert!(!diags.has_errors(), "parse:\n{}", diags.render(&sources));
     compile(
-        &[Unit { program: &lib, library: true }, Unit { program: &model, library: false }],
+        &[
+            Unit {
+                program: &lib,
+                library: true,
+            },
+            Unit {
+                program: &model,
+                library: false,
+            },
+        ],
         &CompileOptions::default(),
         &mut diags,
     )
@@ -28,15 +37,23 @@ fn compile_model(src: &str) -> Netlist {
 
 fn simulator(src: &str, scheduler: Scheduler) -> Simulator {
     let netlist = compile_model(src);
-    build(&netlist, &registry(), SimOptions { scheduler, ..Default::default() })
-        .unwrap_or_else(|e| panic!("build: {e}"))
+    build(
+        &netlist,
+        &registry(),
+        SimOptions {
+            scheduler,
+            ..Default::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("build: {e}"))
 }
 
 /// Runs until the commit counter at `commit_path` reaches `n`, returning
 /// the cycle count.
 fn run_until_committed(sim: &mut Simulator, commit_path: &str, n: i64, max_cycles: u64) -> u64 {
     while sim.cycle() < max_cycles {
-        sim.step().unwrap_or_else(|e| panic!("cycle {}: {e}", sim.cycle()));
+        sim.step()
+            .unwrap_or_else(|e| panic!("cycle {}: {e}", sim.cycle()));
         if let Some(Datum::Int(c)) = sim.rtv(commit_path, "committed") {
             if c >= n {
                 return sim.cycle();
@@ -309,7 +326,10 @@ fn schedulers_agree_on_the_mini_cpu() {
     let st_cycles = run_until_committed(&mut st, "c", 200, 50_000);
     let mut dy = simulator(&src, Scheduler::Dynamic);
     let dy_cycles = run_until_committed(&mut dy, "c", 200, 50_000);
-    assert_eq!(st_cycles, dy_cycles, "both schedulers must be cycle-equivalent");
+    assert_eq!(
+        st_cycles, dy_cycles,
+        "both schedulers must be cycle-equivalent"
+    );
     assert_eq!(st.rtv("c", "branches"), dy.rtv("c", "branches"));
     assert!(
         dy.stats().comp_evals > st.stats().comp_evals,
@@ -378,10 +398,17 @@ fn probe_and_collectors_observe_the_pipeline() {
     );
     let mut sim = simulator(&src, Scheduler::Static);
     let _ = run_until_committed(&mut sim, "c", 100, 50_000);
-    assert_eq!(sim.collector_stat("c", "commit", "n"), Some(Datum::Int(100)));
+    assert_eq!(
+        sim.collector_stat("c", "commit", "n"),
+        Some(Datum::Int(100))
+    );
     // fetch emitted 100 instrs on lane fan-out (101 port instances fired:
     // 100 to q1 plus the probe lane sees the lane-0 values only).
-    let sent = sim.collector_stat("f", "out_fire", "sent").unwrap().as_int().unwrap();
+    let sent = sim
+        .collector_stat("f", "out_fire", "sent")
+        .unwrap()
+        .as_int()
+        .unwrap();
     assert!(sent >= 100, "fetch fired {sent} times");
     let seen = sim.rtv("p", "seen").unwrap().as_int().unwrap();
     assert!(seen > 0);
@@ -434,7 +461,10 @@ fn float_alu_overload_selected_by_float_source() {
         x.res -> hole.in;
     "#;
     let n = compile_model(src);
-    assert_eq!(n.find("x").unwrap().port("res").unwrap().ty, Some(lss_types::Ty::Float));
+    assert_eq!(
+        n.find("x").unwrap().port("res").unwrap().ty,
+        Some(lss_types::Ty::Float)
+    );
     let mut sim = simulator(src, Scheduler::Static);
     sim.run(1).unwrap();
     assert_eq!(sim.peek("x", "res", 0), Some(Datum::Float(0.0)));
@@ -454,7 +484,10 @@ fn bp_btb_presence_is_use_inferred() {
         pred.branch_target -> ts.in;
         "#,
     );
-    assert_eq!(with_btb.find("pred").unwrap().params["has_btb"], Datum::Int(1));
+    assert_eq!(
+        with_btb.find("pred").unwrap().params["has_btb"],
+        Datum::Int(1)
+    );
     let without_btb = compile_model(
         r#"
         instance f:fetch;
@@ -464,7 +497,10 @@ fn bp_btb_presence_is_use_inferred() {
         LSS_connect_bus(f.bp_update, pred.update, 1);
         "#,
     );
-    assert_eq!(without_btb.find("pred").unwrap().params["has_btb"], Datum::Int(0));
+    assert_eq!(
+        without_btb.find("pred").unwrap().params["has_btb"],
+        Datum::Int(0)
+    );
 }
 
 #[test]
@@ -486,8 +522,16 @@ fn cache_hit_miss_events_are_observable() {
     // bytes!). Block 4 with addresses 0..n: block id = addr/4.
     let mut sim = simulator(src, Scheduler::Static);
     sim.run(16).unwrap();
-    let hits = sim.collector_stat("l1", "hit", "hits").unwrap().as_int().unwrap();
-    let misses = sim.collector_stat("l1", "miss", "misses").unwrap().as_int().unwrap();
+    let hits = sim
+        .collector_stat("l1", "hit", "hits")
+        .unwrap()
+        .as_int()
+        .unwrap();
+    let misses = sim
+        .collector_stat("l1", "miss", "misses")
+        .unwrap()
+        .as_int()
+        .unwrap();
     assert_eq!(hits + misses, 16);
     // Sequential byte addresses within 4-byte blocks: 3 hits per miss.
     assert_eq!(misses, 4);

@@ -16,7 +16,9 @@ pub struct Env {
 impl Env {
     /// Creates an environment with a single (outermost) scope.
     pub fn new() -> Self {
-        Env { scopes: vec![HashMap::new()] }
+        Env {
+            scopes: vec![HashMap::new()],
+        }
     }
 
     /// Pushes a nested scope.
@@ -36,7 +38,10 @@ impl Env {
 
     /// Declares `name` in the innermost scope (shadowing outer bindings).
     pub fn declare(&mut self, name: impl Into<String>, value: Value) {
-        self.scopes.last_mut().expect("at least one scope").insert(name.into(), value);
+        self.scopes
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.into(), value);
     }
 
     /// Looks up `name`, innermost scope first.
@@ -64,7 +69,10 @@ impl Env {
 
     /// True if `name` is declared in the innermost scope.
     pub fn declared_here(&self, name: &str) -> bool {
-        self.scopes.last().map(|s| s.contains_key(name)).unwrap_or(false)
+        self.scopes
+            .last()
+            .map(|s| s.contains_key(name))
+            .unwrap_or(false)
     }
 }
 

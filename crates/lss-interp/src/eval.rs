@@ -30,12 +30,11 @@ use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use lss_ast::{
-    BinOp, DiagnosticBag, Expr, ExprKind, ModuleDecl, PortDir, Program, Span, Stmt, TypeExpr,
-    UnOp,
+    BinOp, DiagnosticBag, Expr, ExprKind, ModuleDecl, PortDir, Program, Span, Stmt, TypeExpr, UnOp,
 };
 use lss_netlist::{
     Collector, Connection, Dir, Endpoint, EventDecl, Instance, InstanceId, InstanceKind,
-    ModuleMeta, Netlist, Port, RuntimeVar, Userpoint,
+    ModuleMeta, Netlist, Port, PortId, RuntimeVar, Userpoint,
 };
 use lss_types::{Constraint, ConstraintOrigin, Datum, Scheme, Ty, TyVar};
 
@@ -56,7 +55,11 @@ pub struct ElabOptions {
 
 impl Default for ElabOptions {
     fn default() -> Self {
-        ElabOptions { max_instances: 100_000, max_steps: 50_000_000, trace: false }
+        ElabOptions {
+            max_instances: 100_000,
+            max_steps: 50_000_000,
+            trace: false,
+        }
     }
 }
 
@@ -263,7 +266,10 @@ impl Elaborator<'_> {
         self.steps += 1;
         if self.steps > self.opts.max_steps {
             return self.err(
-                format!("elaboration exceeded {} steps (infinite loop?)", self.opts.max_steps),
+                format!(
+                    "elaboration exceeded {} steps (infinite loop?)",
+                    self.opts.max_steps
+                ),
                 span,
             );
         }
@@ -318,10 +324,15 @@ impl Elaborator<'_> {
         self.check_consumed(&ctx)?;
         // Determine the instance kind.
         let kind = match (&ctx.tar_file, ctx.made_children) {
-            (Some(tar), false) => InstanceKind::Leaf { tar_file: tar.clone() },
+            (Some(tar), false) => InstanceKind::Leaf {
+                tar_file: tar.clone(),
+            },
             (Some(_), true) => {
                 return self.err(
-                    format!("module `{}` sets tar_file but also instantiates sub-modules", module.name.name),
+                    format!(
+                        "module `{}` sets tar_file but also instantiates sub-modules",
+                        module.name.name
+                    ),
                     module.name.span,
                 );
             }
@@ -329,11 +340,15 @@ impl Elaborator<'_> {
         };
         let hierarchical = matches!(kind, InstanceKind::Hierarchical);
         self.netlist.instance_mut(id).kind = kind;
-        self.netlist.modules.entry(module.name.name.clone()).or_insert(ModuleMeta {
-            hierarchical,
-            from_library: parent_known,
-            trivial: hierarchical && !ctx.declared_params,
-        });
+        let module_sym = self.netlist.intern(&module.name.name);
+        self.netlist
+            .modules
+            .entry(module_sym)
+            .or_insert(ModuleMeta {
+                hierarchical,
+                from_library: parent_known,
+                trivial: hierarchical && !ctx.declared_params,
+            });
         Ok(())
     }
 
@@ -395,7 +410,8 @@ impl Elaborator<'_> {
             }
             Stmt::Instance(decl) => {
                 self.require_structural("an instance declaration", decl.span, ctx)?;
-                if ctx.env.get(&decl.name.name).is_some() || ctx.self_ports.contains_key(&decl.name.name)
+                if ctx.env.get(&decl.name.name).is_some()
+                    || ctx.self_ports.contains_key(&decl.name.name)
                 {
                     return self.err(
                         format!("name `{}` is already declared", decl.name.name),
@@ -414,7 +430,10 @@ impl Elaborator<'_> {
             Stmt::Var(decl) => {
                 if ctx.env.declared_here(&decl.name.name) {
                     return self.err(
-                        format!("variable `{}` is already declared in this scope", decl.name.name),
+                        format!(
+                            "variable `{}` is already declared in this scope",
+                            decl.name.name
+                        ),
                         decl.name.span,
                     );
                 }
@@ -422,10 +441,7 @@ impl Elaborator<'_> {
                     (Some(init), _) => self.eval(init, ctx)?,
                     (None, Some(ty)) => self.default_value_for(ty, decl.span)?,
                     (None, None) => {
-                        return self.err(
-                            "variable needs a type or an initializer",
-                            decl.span,
-                        )
+                        return self.err("variable needs a type or an initializer", decl.span)
                     }
                 };
                 if let Some(ty) = &decl.ty {
@@ -447,10 +463,10 @@ impl Elaborator<'_> {
                             None => {
                                 return self.err(
                                     format!(
-                                        "runtime variable `{}` initializer has type {}, expected {ty}",
-                                        decl.name.name,
-                                        v.kind()
-                                    ),
+                                    "runtime variable `{}` initializer has type {}, expected {ty}",
+                                    decl.name.name,
+                                    v.kind()
+                                ),
                                     decl.span,
                                 )
                             }
@@ -458,11 +474,11 @@ impl Elaborator<'_> {
                     }
                     None => Datum::default_for(&ty),
                 };
-                self.netlist.instance_mut(inst).runtime_vars.push(RuntimeVar {
-                    name: decl.name.name.clone(),
-                    ty,
-                    init,
-                });
+                let name = self.netlist.intern(&decl.name.name);
+                self.netlist
+                    .instance_mut(inst)
+                    .runtime_vars
+                    .push(RuntimeVar { name, ty, init });
             }
             Stmt::Event(decl) => {
                 self.require_structural("an event declaration", decl.span, ctx)?;
@@ -473,10 +489,11 @@ impl Elaborator<'_> {
                 for a in &decl.args {
                     args.push(self.convert_ground(a, ctx, decl.span)?);
                 }
+                let name = self.netlist.intern(&decl.name.name);
                 self.netlist
                     .instance_mut(inst)
                     .events
-                    .push(EventDecl { name: decl.name.name.clone(), args });
+                    .push(EventDecl { name, args });
             }
             Stmt::Collector(decl) => {
                 self.require_structural("a collector", decl.span, ctx)?;
@@ -490,7 +507,8 @@ impl Elaborator<'_> {
                         )
                     }
                 };
-                self.collector_recs.push((path, decl.event.name.clone(), code, decl.span));
+                self.collector_recs
+                    .push((path, decl.event.name.clone(), code, decl.span));
             }
             Stmt::Assign(assign) => {
                 let value = self.eval(&assign.value, ctx)?;
@@ -591,7 +609,8 @@ impl Elaborator<'_> {
                 if ctx.inst.is_none() && ctx.fun_depth == 0 {
                     // Top-level helpers are visible inside every module
                     // body (they are pure compute, safe to share).
-                    self.global_funs.insert(decl.name.name.clone(), Rc::clone(&fun));
+                    self.global_funs
+                        .insert(decl.name.name.clone(), Rc::clone(&fun));
                 }
                 ctx.env.declare(decl.name.name.clone(), Value::Fun(fun));
             }
@@ -617,7 +636,8 @@ impl Elaborator<'_> {
             let mut args = Vec::with_capacity(sig.args.len());
             for (arg_name, arg_ty) in &sig.args {
                 let ty = self.convert_ground(arg_ty, ctx, decl.span)?;
-                args.push((arg_name.name.clone(), ty));
+                let arg_sym = self.netlist.intern(&arg_name.name);
+                args.push((arg_sym, ty));
             }
             let ret = self.convert_ground(&sig.ret, ctx, decl.span)?;
             let code = match recorded {
@@ -663,8 +683,9 @@ impl Elaborator<'_> {
             };
             self.trace(|| format!("userpoint {}.{name}", ctx.path));
             ctx.env.declare(name.clone(), Value::Str(code.clone()));
+            let name_sym = self.netlist.intern(name);
             self.netlist.instance_mut(inst).userpoints.push(Userpoint {
-                name: name.clone(),
+                name: name_sym,
                 args,
                 ret,
                 code,
@@ -708,7 +729,10 @@ impl Elaborator<'_> {
                 }
                 None => {
                     return self.err(
-                        format!("parameter `{}.{name}` has no value and no default", ctx.path),
+                        format!(
+                            "parameter `{}.{name}` has no value and no default",
+                            ctx.path
+                        ),
                         decl.span,
                     )
                 }
@@ -716,7 +740,10 @@ impl Elaborator<'_> {
         };
         self.trace(|| format!("param {}.{name} = {datum} ({source})", ctx.path));
         ctx.env.declare(name.clone(), Value::from_datum(&datum));
-        self.netlist.instance_mut(inst).params.insert(name.clone(), datum);
+        self.netlist
+            .instance_mut(inst)
+            .params
+            .insert(name.clone(), datum);
         Ok(())
     }
 
@@ -732,7 +759,10 @@ impl Elaborator<'_> {
         // (`d.in = 3;` makes no sense).
         if let Some(assign) = ctx.a.take_assign(name) {
             return self.err(
-                format!("`{}.{name}` is a port and cannot be assigned a value", ctx.path),
+                format!(
+                    "`{}.{name}` is a port and cannot be assigned a value",
+                    ctx.path
+                ),
                 assign.span,
             );
         }
@@ -757,13 +787,16 @@ impl Elaborator<'_> {
             self.netlist.constraints.push(Constraint::with_origin(
                 Scheme::Var(var),
                 scheme.clone(),
-                ConstraintOrigin::PortDecl { port: format!("{}.{name}", ctx.path) },
+                ConstraintOrigin::PortDecl {
+                    port: format!("{}.{name}", ctx.path),
+                },
             ));
         }
         self.trace(|| format!("port {}.{name} width={width}", ctx.path));
         ctx.self_ports.insert(name.clone(), dir);
+        let name_sym = self.netlist.intern(name);
         self.netlist.instance_mut(inst).ports.push(Port {
-            name: name.clone(),
+            name: name_sym,
             dir,
             scheme,
             var,
@@ -784,8 +817,7 @@ impl Elaborator<'_> {
         let Some((module, library)) = self.modules.get(module_name).cloned() else {
             let mut known: Vec<&String> = self.modules.keys().collect();
             known.sort();
-            let preview: Vec<String> =
-                known.iter().take(8).map(|s| s.to_string()).collect();
+            let preview: Vec<String> = known.iter().take(8).map(|s| s.to_string()).collect();
             return self.err(
                 format!(
                     "unknown module `{module_name}` (known modules include: {})",
@@ -803,10 +835,11 @@ impl Elaborator<'_> {
                 span,
             );
         }
+        let module_sym = self.netlist.intern(module_name);
         let id = self.netlist.add_instance(Instance {
             id: InstanceId(0),
             path: path.to_string(),
-            module: module_name.to_string(),
+            module: module_sym,
             kind: InstanceKind::Hierarchical,
             parent,
             from_library: library,
@@ -842,7 +875,11 @@ impl Elaborator<'_> {
         internal: bool,
         explicit: Option<u32>,
     ) -> u32 {
-        let map = if internal { &mut self.int_counters } else { &mut self.ext_counters };
+        let map = if internal {
+            &mut self.int_counters
+        } else {
+            &mut self.ext_counters
+        };
         let counter = map.entry((inst, port.to_string())).or_insert(0);
         match explicit {
             Some(i) => {
@@ -897,12 +934,19 @@ impl Elaborator<'_> {
                 match value {
                     Value::Instance(cid) => Ok(((cid, field.name.clone()), index)),
                     other => self.err(
-                        format!("expected an instance before `.{}`, got {}", field.name, other.kind()),
+                        format!(
+                            "expected an instance before `.{}`, got {}",
+                            field.name,
+                            other.kind()
+                        ),
                         base.span,
                     ),
                 }
             }
-            _ => self.err("expected a port reference (`inst.port` or a module port)", inner.span),
+            _ => self.err(
+                "expected a port reference (`inst.port` or a module port)",
+                inner.span,
+            ),
         }
     }
 
@@ -918,7 +962,12 @@ impl Elaborator<'_> {
             );
         }
         let index = self.next_index(inst, &port, internal, explicit);
-        Ok(EndRec { inst, port, index, internal })
+        Ok(EndRec {
+            inst,
+            port,
+            index,
+            internal,
+        })
     }
 
     fn record_connection(
@@ -936,7 +985,10 @@ impl Elaborator<'_> {
         self.netlist.constraints.push(Constraint::with_origin(
             Scheme::Var(src_var),
             Scheme::Var(dst_var),
-            ConstraintOrigin::Connection { src: src_name.clone(), dst: dst_name.clone() },
+            ConstraintOrigin::Connection {
+                src: src_name.clone(),
+                dst: dst_name.clone(),
+            },
         ));
         if let Some(scheme) = annot {
             // "a pair of constraint terms that equate the connected ports'
@@ -944,12 +996,16 @@ impl Elaborator<'_> {
             self.netlist.constraints.push(Constraint::with_origin(
                 Scheme::Var(src_var),
                 scheme.clone(),
-                ConstraintOrigin::Annotation { target: src_name.clone() },
+                ConstraintOrigin::Annotation {
+                    target: src_name.clone(),
+                },
             ));
             self.netlist.constraints.push(Constraint::with_origin(
                 Scheme::Var(dst_var),
                 scheme,
-                ConstraintOrigin::Annotation { target: dst_name.clone() },
+                ConstraintOrigin::Annotation {
+                    target: dst_name.clone(),
+                },
             ));
             if !in_library {
                 self.netlist.elab.explicit_type_instantiations += 1;
@@ -958,9 +1014,17 @@ impl Elaborator<'_> {
             self.explicit_ports.insert((dst.inst, dst.port.clone()));
         }
         self.trace(|| {
-            format!("record-connect {src_name}[{}] -> {dst_name}[{}]", src.index, dst.index)
+            format!(
+                "record-connect {src_name}[{}] -> {dst_name}[{}]",
+                src.index, dst.index
+            )
         });
-        self.recorded_conns.push(ConnRec { src, dst, ty: None, span });
+        self.recorded_conns.push(ConnRec {
+            src,
+            dst,
+            ty: None,
+            span,
+        });
         Ok(())
     }
 
@@ -968,18 +1032,16 @@ impl Elaborator<'_> {
 
     fn assign_place(&mut self, target: &Expr, value: Value, ctx: &mut BodyCtx) -> EResult<()> {
         match &target.kind {
-            ExprKind::Ident(id) if id.name == "tar_file" && ctx.inst.is_some() => {
-                match value {
-                    Value::Str(s) => {
-                        ctx.tar_file = Some(s);
-                        Ok(())
-                    }
-                    other => self.err(
-                        format!("tar_file must be a string, got {}", other.kind()),
-                        target.span,
-                    ),
+            ExprKind::Ident(id) if id.name == "tar_file" && ctx.inst.is_some() => match value {
+                Value::Str(s) => {
+                    ctx.tar_file = Some(s);
+                    Ok(())
                 }
-            }
+                other => self.err(
+                    format!("tar_file must be a string, got {}", other.kind()),
+                    target.span,
+                ),
+            },
             ExprKind::Ident(id) => {
                 if ctx.env.assign(&id.name, value) {
                     Ok(())
@@ -989,7 +1051,10 @@ impl Elaborator<'_> {
                         id.span,
                     )
                 } else {
-                    self.err(format!("assignment to undeclared variable `{}`", id.name), id.span)
+                    self.err(
+                        format!("assignment to undeclared variable `{}`", id.name),
+                        id.span,
+                    )
                 }
             }
             ExprKind::Field(base, field) => {
@@ -1061,10 +1126,8 @@ impl Elaborator<'_> {
                         Value::Array(items) => {
                             if i >= items.len() {
                                 let len = items.len();
-                                self.diags.error(
-                                    format!("index {i} out of bounds (length {len})"),
-                                    span,
-                                );
+                                self.diags
+                                    .error(format!("index {i} out of bounds (length {len})"), span);
                                 return Err(Abort);
                             }
                             if last {
@@ -1074,10 +1137,8 @@ impl Elaborator<'_> {
                             slot = &mut items[i];
                         }
                         Value::InstanceArray(_) => {
-                            self.diags.error(
-                                "instance arrays are immutable once created",
-                                span,
-                            );
+                            self.diags
+                                .error("instance arrays are immutable once created", span);
                             return Err(Abort);
                         }
                         other => {
@@ -1099,10 +1160,7 @@ impl Elaborator<'_> {
         match &expr.kind {
             ExprKind::Ident(id) => match ctx.env.get(&id.name) {
                 Some(Value::Instance(cid)) => Ok(self.netlist.instance(*cid).path.clone()),
-                _ => self.err(
-                    format!("`{}` is not an instance", id.name),
-                    id.span,
-                ),
+                _ => self.err(format!("`{}` is not an instance", id.name), id.span),
             },
             ExprKind::Field(base, field) => {
                 let prefix = self.collector_path(base, ctx)?;
@@ -1130,7 +1188,10 @@ impl Elaborator<'_> {
         match self.eval(expr, ctx)? {
             Value::Int(v) if v >= 0 => Ok(v as usize),
             Value::Int(v) => self.err(format!("negative index {v}"), expr.span),
-            other => self.err(format!("index must be int, got {}", other.kind()), expr.span),
+            other => self.err(
+                format!("index must be int, got {}", other.kind()),
+                expr.span,
+            ),
         }
     }
 
@@ -1164,8 +1225,8 @@ impl Elaborator<'_> {
                             let inst = ctx.inst.expect("self ports imply module body");
                             let width = self
                                 .netlist
-                                .instance(inst)
-                                .port(&p.name)
+                                .sym(&p.name)
+                                .and_then(|s| self.netlist.instance(inst).port_sym(s))
                                 .map(|port| port.width)
                                 .unwrap_or(0);
                             self.netlist.elab.width_reads += 1;
@@ -1208,9 +1269,7 @@ impl Elaborator<'_> {
                                 expr.span,
                             )
                         }),
-                    other => {
-                        self.err(format!("cannot index into {}", other.kind()), expr.span)
-                    }
+                    other => self.err(format!("cannot index into {}", other.kind()), expr.span),
                 }
             }
             ExprKind::Call(callee, args) => self.eval_call(expr, callee, args, ctx),
@@ -1229,8 +1288,7 @@ impl Elaborator<'_> {
                 let mut ids = Vec::with_capacity(n);
                 for i in 0..n {
                     let path = ctx.child_path(&format!("{base}[{i}]"));
-                    let id =
-                        self.create_instance(&module.name, &path, ctx.inst, expr.span)?;
+                    let id = self.create_instance(&module.name, &path, ctx.inst, expr.span)?;
                     ids.push(id);
                 }
                 ctx.made_children |= n > 0;
@@ -1242,10 +1300,9 @@ impl Elaborator<'_> {
                     (UnOp::Neg, Value::Int(v)) => Ok(Value::Int(-v)),
                     (UnOp::Neg, Value::Float(v)) => Ok(Value::Float(-v)),
                     (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
-                    (op, v) => self.err(
-                        format!("cannot apply `{op:?}` to {}", v.kind()),
-                        expr.span,
-                    ),
+                    (op, v) => {
+                        self.err(format!("cannot apply `{op:?}` to {}", v.kind()), expr.span)
+                    }
                 }
             }
             ExprKind::Binary(op, lhs, rhs) => self.eval_binary(*op, lhs, rhs, expr.span, ctx),
@@ -1276,10 +1333,14 @@ impl Elaborator<'_> {
     ) -> EResult<Value> {
         // Short-circuit logical operators.
         if op == BinOp::And {
-            return Ok(Value::Bool(self.eval_bool(lhs, ctx)? && self.eval_bool(rhs, ctx)?));
+            return Ok(Value::Bool(
+                self.eval_bool(lhs, ctx)? && self.eval_bool(rhs, ctx)?,
+            ));
         }
         if op == BinOp::Or {
-            return Ok(Value::Bool(self.eval_bool(lhs, ctx)? || self.eval_bool(rhs, ctx)?));
+            return Ok(Value::Bool(
+                self.eval_bool(lhs, ctx)? || self.eval_bool(rhs, ctx)?,
+            ));
         }
         let l = self.eval(lhs, ctx)?;
         let r = self.eval(rhs, ctx)?;
@@ -1453,9 +1514,7 @@ impl Elaborator<'_> {
                     Value::Array(items) => Ok(Value::Int(items.len() as i64)),
                     Value::InstanceArray(ids) => Ok(Value::Int(ids.len() as i64)),
                     Value::Str(s) => Ok(Value::Int(s.len() as i64)),
-                    other => {
-                        self.err(format!("len() of {}", other.kind()), whole.span)
-                    }
+                    other => self.err(format!("len() of {}", other.kind()), whole.span),
                 }
             }
             "str" => {
@@ -1487,11 +1546,9 @@ impl Elaborator<'_> {
                 let a = self.eval(&args[0], ctx)?;
                 let b = self.eval(&args[1], ctx)?;
                 match (a, b) {
-                    (Value::Int(a), Value::Int(b)) => Ok(Value::Int(if name == "min" {
-                        a.min(b)
-                    } else {
-                        a.max(b)
-                    })),
+                    (Value::Int(a), Value::Int(b)) => {
+                        Ok(Value::Int(if name == "min" { a.min(b) } else { a.max(b) }))
+                    }
                     (a, b) => self.err(
                         format!("{name}() expects ints, got {} and {}", a.kind(), b.kind()),
                         whole.span,
@@ -1536,12 +1593,7 @@ impl Elaborator<'_> {
 
     // ---- types -----------------------------------------------------------------
 
-    fn convert_scheme(
-        &mut self,
-        ty: &TypeExpr,
-        ctx: &mut BodyCtx,
-        span: Span,
-    ) -> EResult<Scheme> {
+    fn convert_scheme(&mut self, ty: &TypeExpr, ctx: &mut BodyCtx, span: Span) -> EResult<Scheme> {
         Ok(match ty {
             TypeExpr::Int => Scheme::Int,
             TypeExpr::Bool => Scheme::Bool,
@@ -1562,7 +1614,11 @@ impl Elaborator<'_> {
                 if let Some(&v) = ctx.tyvars.get(&name.name) {
                     Scheme::Var(v)
                 } else {
-                    let path = if ctx.path.is_empty() { "<top>" } else { &ctx.path };
+                    let path = if ctx.path.is_empty() {
+                        "<top>"
+                    } else {
+                        &ctx.path
+                    };
                     let v = self.netlist.vars.fresh(format!("{path}:'{}", name.name));
                     ctx.tyvars.insert(name.name.clone(), v);
                     Scheme::Var(v)
@@ -1611,16 +1667,19 @@ impl Elaborator<'_> {
     }
 
     fn check_var_type(&mut self, value: &Value, ty: &TypeExpr, span: Span) -> EResult<()> {
-        let ok = match (ty, value) {
+        let ok = matches!(
+            (ty, value),
             (TypeExpr::Int, Value::Int(_))
-            | (TypeExpr::Bool, Value::Bool(_))
-            | (TypeExpr::Float, Value::Float(_) | Value::Int(_))
-            | (TypeExpr::String, Value::Str(_))
-            | (TypeExpr::Array(..), Value::Array(_))
-            | (TypeExpr::InstanceRef { array: true }, Value::InstanceArray(_))
-            | (TypeExpr::InstanceRef { array: false }, Value::Instance(_)) => true,
-            _ => false,
-        };
+                | (TypeExpr::Bool, Value::Bool(_))
+                | (TypeExpr::Float, Value::Float(_) | Value::Int(_))
+                | (TypeExpr::String, Value::Str(_))
+                | (TypeExpr::Array(..), Value::Array(_))
+                | (
+                    TypeExpr::InstanceRef { array: true },
+                    Value::InstanceArray(_)
+                )
+                | (TypeExpr::InstanceRef { array: false }, Value::Instance(_))
+        );
         if ok {
             Ok(())
         } else {
@@ -1636,18 +1695,24 @@ impl Elaborator<'_> {
             let Some(inst) = self.netlist.find(&path).map(|i| i.id) else {
                 return self.err(format!("collector targets unknown instance `{path}`"), span);
             };
+            let event_sym = self.netlist.intern(&event);
             let instance = self.netlist.instance(inst);
-            let declared = instance.events.iter().any(|e| e.name == event);
+            let declared = instance.events.iter().any(|e| e.name == event_sym);
             let port_fire = instance
                 .ports
                 .iter()
-                .any(|p| format!("{}_fire", p.name) == event);
+                .any(|p| format!("{}_fire", self.netlist.name(p.name)) == event);
             if !declared && !port_fire {
                 let events: Vec<String> = instance
                     .events
                     .iter()
-                    .map(|e| e.name.clone())
-                    .chain(instance.ports.iter().map(|p| format!("{}_fire", p.name)))
+                    .map(|e| self.netlist.name(e.name).to_string())
+                    .chain(
+                        instance
+                            .ports
+                            .iter()
+                            .map(|p| format!("{}_fire", self.netlist.name(p.name))),
+                    )
                     .collect();
                 return self.err(
                     format!(
@@ -1657,13 +1722,18 @@ impl Elaborator<'_> {
                     span,
                 );
             }
-            self.netlist.collectors.push(Collector { inst, event, code });
+            self.netlist.collectors.push(Collector {
+                inst,
+                event: event_sym,
+                code,
+            });
         }
 
         // Mark explicitly typed ports.
         for (inst, port) in std::mem::take(&mut self.explicit_ports) {
             let path = self.netlist.instance(inst).path.clone();
-            match self.netlist.instance_mut(inst).port_mut(&port) {
+            let port_sym = self.netlist.sym(&port);
+            match port_sym.and_then(|s| self.netlist.instance_mut(inst).port_sym_mut(s)) {
                 Some(p) => p.explicit = true,
                 None => {
                     return self.err(
@@ -1676,8 +1746,8 @@ impl Elaborator<'_> {
 
         // Validate recorded connections and lower them to netlist
         // connections with resolved port positions.
-        let mut seen_src: HashSet<(InstanceId, u32, u32)> = HashSet::new();
-        let mut seen_dst: HashSet<(InstanceId, u32, u32)> = HashSet::new();
+        let mut seen_src: HashSet<(InstanceId, PortId, u32)> = HashSet::new();
+        let mut seen_dst: HashSet<(InstanceId, PortId, u32)> = HashSet::new();
         for rec in std::mem::take(&mut self.recorded_conns) {
             let src = self.lower_endpoint(&rec.src, true, rec.span)?;
             let dst = self.lower_endpoint(&rec.dst, false, rec.span)?;
@@ -1701,9 +1771,10 @@ impl Elaborator<'_> {
     }
 
     fn lower_endpoint(&mut self, end: &EndRec, is_src: bool, span: Span) -> EResult<Endpoint> {
+        let port_sym = self.netlist.sym(&end.port);
         let inst = self.netlist.instance(end.inst);
         let path = inst.path.clone();
-        let Some(pos) = inst.ports.iter().position(|p| p.name == end.port) else {
+        let Some(pos) = port_sym.and_then(|s| inst.ports.iter().position(|p| p.name == s)) else {
             return self.err(
                 format!("connection references unknown port `{path}.{}`", end.port),
                 span,
@@ -1721,7 +1792,11 @@ impl Elaborator<'_> {
         };
         if dir != expected {
             let role = if is_src { "source" } else { "destination" };
-            let face = if end.internal { "from inside its module" } else { "from outside" };
+            let face = if end.internal {
+                "from inside its module"
+            } else {
+                "from outside"
+            };
             return self.err(
                 format!(
                     "port `{path}.{}` is an {}put and cannot be a connection {role} {face}",
@@ -1731,6 +1806,10 @@ impl Elaborator<'_> {
                 span,
             );
         }
-        Ok(Endpoint { inst: end.inst, port: pos as u32, index: end.index })
+        Ok(Endpoint {
+            inst: end.inst,
+            port: PortId(pos as u32),
+            index: end.index,
+        })
     }
 }

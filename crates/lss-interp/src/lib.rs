@@ -95,5 +95,10 @@ pub fn compile(
     let out = elaborate(units, &opts.elab, diags)?;
     let mut netlist = out.netlist;
     let solve_stats = typeck::infer(&mut netlist, &opts.solver, diags)?;
-    Some(Compiled { netlist, solve_stats, trace: out.trace, prints: out.prints })
+    Some(Compiled {
+        netlist,
+        solve_stats,
+        trace: out.trace,
+        prints: out.prints,
+    })
 }

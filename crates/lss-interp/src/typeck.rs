@@ -45,12 +45,17 @@ pub fn infer(
     };
 
     let mut unresolved_connected: Vec<String> = Vec::new();
+    let interner = &netlist.interner;
     for inst in &mut netlist.instances {
         for port in &mut inst.ports {
             match solution.ty_of(port.var) {
                 Some(ty) => port.ty = Some(ty),
                 None if port.width == 0 => port.ty = Some(Ty::Int),
-                None => unresolved_connected.push(format!("{}.{}", inst.path, port.name)),
+                None => unresolved_connected.push(format!(
+                    "{}.{}",
+                    inst.path,
+                    interner.resolve(port.name)
+                )),
             }
         }
     }
@@ -76,17 +81,36 @@ mod tests {
     use lss_netlist::{Dir, InstanceKind, Netlist};
     use lss_types::{Constraint, Scheme, VarGen};
 
-    fn port(name: &str, dir: Dir, scheme: Scheme, width: u32, vars: &mut VarGen) -> lss_netlist::Port {
+    fn port(
+        n: &mut Netlist,
+        name: &str,
+        dir: Dir,
+        scheme: Scheme,
+        width: u32,
+        vars: &mut VarGen,
+    ) -> lss_netlist::Port {
         let var = vars.fresh(name);
-        lss_netlist::Port { name: name.into(), dir, scheme, var, width, ty: None, explicit: false }
+        let name = n.intern(name);
+        lss_netlist::Port {
+            name,
+            dir,
+            scheme,
+            var,
+            width,
+            ty: None,
+            explicit: false,
+        }
     }
 
-    fn leaf(path: &str, ports: Vec<lss_netlist::Port>) -> lss_netlist::Instance {
+    fn leaf(n: &mut Netlist, path: &str, ports: Vec<lss_netlist::Port>) -> lss_netlist::Instance {
+        let module = n.intern("m");
         lss_netlist::Instance {
             id: lss_netlist::InstanceId(0),
             path: path.into(),
-            module: "m".into(),
-            kind: InstanceKind::Leaf { tar_file: "t".into() },
+            module,
+            kind: InstanceKind::Leaf {
+                tar_file: "t".into(),
+            },
             parent: None,
             from_library: false,
             params: Default::default(),
@@ -100,11 +124,13 @@ mod tests {
     #[test]
     fn writes_resolved_types_to_ports() {
         let mut vars = VarGen::new();
-        let p = port("a.x", Dir::In, Scheme::Int, 1, &mut vars);
-        let var = p.var;
         let mut n = Netlist::new();
-        n.add_instance(leaf("a", vec![p]));
-        n.constraints.push(Constraint::eq(Scheme::Var(var), Scheme::Int));
+        let p = port(&mut n, "a.x", Dir::In, Scheme::Int, 1, &mut vars);
+        let var = p.var;
+        let i = leaf(&mut n, "a", vec![p]);
+        n.add_instance(i);
+        n.constraints
+            .push(Constraint::eq(Scheme::Var(var), Scheme::Int));
         n.vars = vars;
         let mut diags = DiagnosticBag::new();
         let stats = infer(&mut n, &SolverConfig::heuristic(), &mut diags);
@@ -115,9 +141,17 @@ mod tests {
     #[test]
     fn unconnected_polymorphic_port_defaults_to_int() {
         let mut vars = VarGen::new();
-        let p = port("a.x", Dir::In, Scheme::Var(lss_types::TyVar(0)), 0, &mut vars);
         let mut n = Netlist::new();
-        n.add_instance(leaf("a", vec![p]));
+        let p = port(
+            &mut n,
+            "a.x",
+            Dir::In,
+            Scheme::Var(lss_types::TyVar(0)),
+            0,
+            &mut vars,
+        );
+        let i = leaf(&mut n, "a", vec![p]);
+        n.add_instance(i);
         n.vars = vars;
         let mut diags = DiagnosticBag::new();
         assert!(infer(&mut n, &SolverConfig::heuristic(), &mut diags).is_some());
@@ -127,9 +161,17 @@ mod tests {
     #[test]
     fn connected_unresolved_port_is_an_error() {
         let mut vars = VarGen::new();
-        let p = port("a.x", Dir::In, Scheme::Var(lss_types::TyVar(0)), 1, &mut vars);
         let mut n = Netlist::new();
-        n.add_instance(leaf("a", vec![p]));
+        let p = port(
+            &mut n,
+            "a.x",
+            Dir::In,
+            Scheme::Var(lss_types::TyVar(0)),
+            1,
+            &mut vars,
+        );
+        let i = leaf(&mut n, "a", vec![p]);
+        n.add_instance(i);
         n.vars = vars;
         let mut diags = DiagnosticBag::new();
         assert!(infer(&mut n, &SolverConfig::heuristic(), &mut diags).is_none());
@@ -141,15 +183,20 @@ mod tests {
     #[test]
     fn contradiction_reports_origin() {
         let mut vars = VarGen::new();
-        let p = port("a.x", Dir::In, Scheme::Int, 1, &mut vars);
-        let var = p.var;
         let mut n = Netlist::new();
-        n.add_instance(leaf("a", vec![p]));
-        n.constraints.push(Constraint::eq(Scheme::Var(var), Scheme::Int));
+        let p = port(&mut n, "a.x", Dir::In, Scheme::Int, 1, &mut vars);
+        let var = p.var;
+        let i = leaf(&mut n, "a", vec![p]);
+        n.add_instance(i);
+        n.constraints
+            .push(Constraint::eq(Scheme::Var(var), Scheme::Int));
         n.constraints.push(Constraint::with_origin(
             Scheme::Var(var),
             Scheme::Float,
-            lss_types::ConstraintOrigin::Connection { src: "a.x".into(), dst: "b.y".into() },
+            lss_types::ConstraintOrigin::Connection {
+                src: "a.x".into(),
+                dst: "b.y".into(),
+            },
         ));
         n.vars = vars;
         let mut diags = DiagnosticBag::new();

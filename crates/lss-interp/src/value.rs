@@ -76,9 +76,12 @@ impl Value {
             Value::Bool(v) => Datum::Bool(*v),
             Value::Float(v) => Datum::Float(*v),
             Value::Str(s) => Datum::Str(s.clone()),
-            Value::Array(items) => {
-                Datum::Array(items.iter().map(Value::to_datum).collect::<Option<Vec<_>>>()?)
-            }
+            Value::Array(items) => Datum::Array(
+                items
+                    .iter()
+                    .map(Value::to_datum)
+                    .collect::<Option<Vec<_>>>()?,
+            ),
             Value::Instance(_) | Value::InstanceArray(_) | Value::Fun(_) | Value::Unit => {
                 return None
             }
@@ -113,7 +116,10 @@ impl Value {
                     return None;
                 }
                 Some(Datum::Array(
-                    items.iter().map(|v| v.conform(elem)).collect::<Option<Vec<_>>>()?,
+                    items
+                        .iter()
+                        .map(|v| v.conform(elem))
+                        .collect::<Option<Vec<_>>>()?,
                 ))
             }
             _ => {
@@ -130,9 +136,7 @@ impl Value {
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b,
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::Instance(a), Value::Instance(b)) => a == b,
             (Value::Array(a), Value::Array(b)) => {
@@ -184,7 +188,10 @@ mod tests {
         let d = v.to_datum().unwrap();
         assert_eq!(d, Datum::Array(vec![Datum::Int(1), Datum::Int(2)]));
         assert!(Value::Instance(InstanceId(0)).to_datum().is_none());
-        assert!(matches!(Value::from_datum(&Datum::Bool(true)), Value::Bool(true)));
+        assert!(matches!(
+            Value::from_datum(&Datum::Bool(true)),
+            Value::Bool(true)
+        ));
     }
 
     #[test]
@@ -203,7 +210,10 @@ mod tests {
     #[test]
     fn equality_semantics() {
         assert_eq!(Value::Int(1).eq_value(&Value::Float(1.0)), Some(true));
-        assert_eq!(Value::Str("a".into()).eq_value(&Value::Str("b".into())), Some(false));
+        assert_eq!(
+            Value::Str("a".into()).eq_value(&Value::Str("b".into())),
+            Some(false)
+        );
         assert_eq!(Value::Int(1).eq_value(&Value::Str("1".into())), None);
         assert_eq!(
             Value::Instance(InstanceId(1)).eq_value(&Value::Instance(InstanceId(1))),

@@ -24,7 +24,16 @@ fn diag_of(src: &str) -> String {
     let model = parse(model_file, src, &mut diags);
     if !diags.has_errors() {
         let result = compile(
-            &[Unit { program: &lib, library: true }, Unit { program: &model, library: false }],
+            &[
+                Unit {
+                    program: &lib,
+                    library: true,
+                },
+                Unit {
+                    program: &model,
+                    library: false,
+                },
+            ],
             &CompileOptions::default(),
             &mut diags,
         );
@@ -52,7 +61,10 @@ fn unknown_module_points_at_the_instantiation() {
     let r = diag_of("instance d:delya;\n");
     assert_located(&r, "model.lss:1:1", "instance d:delya;");
     assert!(r.contains("unknown module `delya`"));
-    assert!(r.contains("known modules include"), "should list alternatives:\n{r}");
+    assert!(
+        r.contains("known modules include"),
+        "should list alternatives:\n{r}"
+    );
 }
 
 #[test]
@@ -87,7 +99,9 @@ fn inference_conflict_cites_the_connection() {
     // The blamed constraint cites its origin — either the connection or
     // one of the conflicting port declarations, depending on solve order.
     assert!(
-        r.contains("connection g.out -> d.in") || r.contains("port g.out") || r.contains("port d.in"),
+        r.contains("connection g.out -> d.in")
+            || r.contains("port g.out")
+            || r.contains("port d.in"),
         "must cite an origin:\n{r}"
     );
     assert!(r.contains("float") && r.contains("int"), "{r}");
@@ -134,7 +148,16 @@ fn notes_attach_secondary_locations() {
     let lib = parse(lib_file, LIB, &mut diags);
     let model = parse(model_file, src, &mut diags);
     let result = lss_interp::elaborate(
-        &[Unit { program: &lib, library: true }, Unit { program: &model, library: false }],
+        &[
+            Unit {
+                program: &lib,
+                library: true,
+            },
+            Unit {
+                program: &model,
+                library: false,
+            },
+        ],
         &lss_interp::ElabOptions::default(),
         &mut diags,
     );
@@ -142,5 +165,8 @@ fn notes_attach_secondary_locations() {
     let r = diags.render(&sources);
     assert!(r.contains("declared twice"), "{r}");
     assert!(r.contains("note: previous declaration here"), "{r}");
-    assert!(r.contains("lib.lss:2:8"), "note must locate the original:\n{r}");
+    assert!(
+        r.contains("lib.lss:2:8"),
+        "note must locate the original:\n{r}"
+    );
 }

@@ -38,7 +38,16 @@ fn try_compile(src: &str) -> Result<Netlist, String> {
         return Err(diags.render(&sources));
     }
     let compiled = compile(
-        &[Unit { program: &lib, library: true }, Unit { program: &user, library: false }],
+        &[
+            Unit {
+                program: &lib,
+                library: true,
+            },
+            Unit {
+                program: &user,
+                library: false,
+            },
+        ],
         &CompileOptions::default(),
         &mut diags,
     );
@@ -50,7 +59,10 @@ fn try_compile(src: &str) -> Result<Netlist, String> {
 
 fn expect_error(src: &str, needle: &str) {
     let err = try_compile(src).expect_err("expected a compile error");
-    assert!(err.contains(needle), "expected error containing `{needle}`, got:\n{err}");
+    assert!(
+        err.contains(needle),
+        "expected error containing `{needle}`, got:\n{err}"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -94,7 +106,10 @@ fn parameter_assignment_after_instantiation_is_deferred() {
         d1.initial_state = 42; // last write wins
         "#,
     );
-    assert_eq!(n.find("d1").unwrap().params["initial_state"], lss_types::Datum::Int(42));
+    assert_eq!(
+        n.find("d1").unwrap().params["initial_state"],
+        lss_types::Datum::Int(42)
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -143,8 +158,14 @@ fn figure9_three_stage_delay_pipeline() {
     // Structural type inference: 'a on delayn and on source/sink all
     // resolve to int because the inner delays require int (§4.4).
     assert_eq!(delay3.port("in").unwrap().ty, Some(Ty::Int));
-    assert_eq!(n.find("gen").unwrap().port("out").unwrap().ty, Some(Ty::Int));
-    assert_eq!(n.find("hole").unwrap().port("in").unwrap().ty, Some(Ty::Int));
+    assert_eq!(
+        n.find("gen").unwrap().port("out").unwrap().ty,
+        Some(Ty::Int)
+    );
+    assert_eq!(
+        n.find("hole").unwrap().port("in").unwrap().ty,
+        Some(Ty::Int)
+    );
     // Flattening produces the 4-wire leaf chain of Figure 2.
     let wires = n.flatten();
     assert_eq!(wires.len(), 4);
@@ -225,7 +246,10 @@ fn figure11_widths_inferred_without_explicit_parameter() {
     // Width 5 inferred purely from the five external connections.
     assert_eq!(d3.port("in").unwrap().width, 5);
     assert_eq!(d3.port("out").unwrap().width, 5);
-    assert!(n.elab.width_reads > 0, "module body must have read in.width");
+    assert!(
+        n.elab.width_reads > 0,
+        "module body must have read in.width"
+    );
     // All five lanes flattened end-to-end: (3+1) stages * 5 lanes = 20 wires.
     assert_eq!(n.flatten().len(), 20);
 }
@@ -295,7 +319,10 @@ fn figure12_no_arbiter_when_widths_match() {
         f.out -> z.in;
         "#
     ));
-    assert!(n.find("f.arb").is_none(), "no arbiter should be instantiated");
+    assert!(
+        n.find("f.arb").is_none(),
+        "no arbiter should be instantiated"
+    );
     assert_eq!(n.flatten().len(), 1, "funnel passes straight through");
 }
 
@@ -350,7 +377,10 @@ fn btb_structure_inferred_from_port_connectivity() {
         b.branch_target -> f.tgt;
         "#
     ));
-    assert_eq!(with.find("b").unwrap().params["has_btb"], lss_types::Datum::Int(1));
+    assert_eq!(
+        with.find("b").unwrap().params["has_btb"],
+        lss_types::Datum::Int(1)
+    );
 
     let without = compile_ok(&format!(
         r#"
@@ -362,7 +392,10 @@ fn btb_structure_inferred_from_port_connectivity() {
         b.prediction -> f.pc_in;
         "#
     ));
-    assert_eq!(without.find("b").unwrap().params["has_btb"], lss_types::Datum::Int(0));
+    assert_eq!(
+        without.find("b").unwrap().params["has_btb"],
+        lss_types::Datum::Int(0)
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -428,9 +461,18 @@ fn explicit_instantiations_are_counted() {
         "#,
     );
     assert_eq!(n.elab.explicit_type_instantiations, 2);
-    assert_eq!(n.find("gen").unwrap().port("out").unwrap().ty, Some(Ty::Int));
-    assert_eq!(n.find("gen2").unwrap().port("out").unwrap().ty, Some(Ty::Float));
-    assert_eq!(n.find("hole2").unwrap().port("in").unwrap().ty, Some(Ty::Float));
+    assert_eq!(
+        n.find("gen").unwrap().port("out").unwrap().ty,
+        Some(Ty::Int)
+    );
+    assert_eq!(
+        n.find("gen2").unwrap().port("out").unwrap().ty,
+        Some(Ty::Float)
+    );
+    assert_eq!(
+        n.find("hole2").unwrap().port("in").unwrap().ty,
+        Some(Ty::Float)
+    );
     assert!(n.find("gen2").unwrap().port("out").unwrap().explicit);
 }
 
@@ -479,7 +521,7 @@ fn events_runtime_vars_and_collectors_are_recorded() {
     assert_eq!(c.runtime_vars[0].init, lss_types::Datum::Int(0));
     assert_eq!(c.events.len(), 1);
     assert_eq!(n.collectors.len(), 2);
-    assert_eq!(n.collectors[1].event, "in_fire");
+    assert_eq!(n.name(n.collectors[1].event), "in_fire");
 }
 
 #[test]
@@ -570,8 +612,18 @@ fn recursive_instantiation_is_caught() {
     let mut diags = DiagnosticBag::new();
     let program = parse(file, src, &mut diags);
     assert!(!diags.has_errors());
-    let opts = ElabOptions { max_instances: 100, ..Default::default() };
-    let out = elaborate(&[Unit { program: &program, library: false }], &opts, &mut diags);
+    let opts = ElabOptions {
+        max_instances: 100,
+        ..Default::default()
+    };
+    let out = elaborate(
+        &[Unit {
+            program: &program,
+            library: false,
+        }],
+        &opts,
+        &mut diags,
+    );
     assert!(out.is_none());
     assert!(diags.render(&sources).contains("exceeds 100 instances"));
 }
@@ -583,8 +635,18 @@ fn infinite_loop_is_caught() {
     let file = sources.add_file("spin.lss", src);
     let mut diags = DiagnosticBag::new();
     let program = parse(file, src, &mut diags);
-    let opts = ElabOptions { max_steps: 10_000, ..Default::default() };
-    let out = elaborate(&[Unit { program: &program, library: false }], &opts, &mut diags);
+    let opts = ElabOptions {
+        max_steps: 10_000,
+        ..Default::default()
+    };
+    let out = elaborate(
+        &[Unit {
+            program: &program,
+            library: false,
+        }],
+        &opts,
+        &mut diags,
+    );
     assert!(out.is_none());
     assert!(diags.render(&sources).contains("exceeded 10000 steps"));
 }
@@ -613,9 +675,19 @@ fn figure13_machine_step_order() {
     let mut diags = DiagnosticBag::new();
     let program = parse(file, &src, &mut diags);
     assert!(!diags.has_errors(), "{}", diags.render(&sources));
-    let opts = ElabOptions { trace: true, ..Default::default() };
-    let out = elaborate(&[Unit { program: &program, library: false }], &opts, &mut diags)
-        .unwrap_or_else(|| panic!("{}", diags.render(&sources)));
+    let opts = ElabOptions {
+        trace: true,
+        ..Default::default()
+    };
+    let out = elaborate(
+        &[Unit {
+            program: &program,
+            library: false,
+        }],
+        &opts,
+        &mut diags,
+    )
+    .unwrap_or_else(|| panic!("{}", diags.render(&sources)));
     let trace = out.trace;
     let pos = |needle: &str| {
         trace
@@ -639,7 +711,9 @@ fn figure13_machine_step_order() {
     assert!(pos("push delay3.delays[0]:delay") > pos("pop delay3"));
     assert!(pos("pop delay3.delays[2]") < pos("pop hole"));
     // Sub-delay parameters fall back to their defaults.
-    assert!(trace.iter().any(|t| t.contains("param delay3.delays[0].initial_state = 0 (default)")));
+    assert!(trace
+        .iter()
+        .any(|t| t.contains("param delay3.delays[0].initial_state = 0 (default)")));
 }
 
 // ---------------------------------------------------------------------------
@@ -658,7 +732,10 @@ fn fun_helpers_compute_at_compile_time() {
         d.initial_state = fib(10);
         "#,
     );
-    assert_eq!(n.find("d").unwrap().params["initial_state"], lss_types::Datum::Int(55));
+    assert_eq!(
+        n.find("d").unwrap().params["initial_state"],
+        lss_types::Datum::Int(55)
+    );
 }
 
 #[test]
@@ -692,10 +769,10 @@ fn module_meta_marks_trivial_wrappers() {
         w.out -> hole.in;
         "#,
     );
-    let meta = &n.modules["wrap2"];
+    let meta = &n.modules[&n.sym("wrap2").unwrap()];
     assert!(meta.hierarchical);
     assert!(meta.trivial, "parameterless wrapper should be trivial");
-    let delay_meta = &n.modules["delay"];
+    let delay_meta = &n.modules[&n.sym("delay").unwrap()];
     assert!(!delay_meta.hierarchical);
     assert!(delay_meta.from_library);
 }
@@ -718,7 +795,10 @@ fn print_and_assert_builtins() {
     let program = parse(file, src, &mut diags);
     assert!(!diags.has_errors(), "{}", diags.render(&sources));
     let out = elaborate(
-        &[Unit { program: &program, library: false }],
+        &[Unit {
+            program: &program,
+            library: false,
+        }],
         &ElabOptions::default(),
         &mut diags,
     )

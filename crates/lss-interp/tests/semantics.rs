@@ -38,7 +38,16 @@ fn try_compile(src: &str) -> Result<Netlist, String> {
         return Err(diags.render(&sources));
     }
     compile(
-        &[Unit { program: &lib, library: true }, Unit { program: &user, library: false }],
+        &[
+            Unit {
+                program: &lib,
+                library: true,
+            },
+            Unit {
+                program: &user,
+                library: false,
+            },
+        ],
         &CompileOptions::default(),
         &mut diags,
     )
@@ -95,7 +104,10 @@ fn three_level_hierarchy_elaborates_and_flattens() {
     // Flattened: g -> 8 wires -> e = 9 leaf-to-leaf hops.
     assert_eq!(n.flatten().len(), 9);
     // Types propagated through three levels of pass-through ports.
-    assert_eq!(n.find("o.q.y.b").unwrap().port("out").unwrap().ty, Some(Ty::Int));
+    assert_eq!(
+        n.find("o.q.y.b").unwrap().port("out").unwrap().ty,
+        Some(Ty::Int)
+    );
 }
 
 #[test]
@@ -214,10 +226,7 @@ fn nested_instance_arrays_get_distinct_paths() {
 
 #[test]
 fn error_assigning_to_fun_or_module_names() {
-    expect_error(
-        "fun f() { return 1; }\nvar f:int = 0;",
-        "already declared",
-    );
+    expect_error("fun f() { return 1; }\nvar f:int = 0;", "already declared");
 }
 
 #[test]
@@ -249,10 +258,7 @@ fn error_on_index_out_of_bounds() {
 
 #[test]
 fn error_on_reading_subinstance_parameters() {
-    expect_error(
-        "instance g:gen1;\nvar x:int = g.v;",
-        "write-only",
-    );
+    expect_error("instance g:gen1;\nvar x:int = g.v;", "write-only");
 }
 
 #[test]
@@ -293,7 +299,10 @@ fn trace_disabled_by_default() {
     let mut diags = DiagnosticBag::new();
     let program = parse(file, src, &mut diags);
     let out = elaborate(
-        &[Unit { program: &program, library: false }],
+        &[Unit {
+            program: &program,
+            library: false,
+        }],
         &ElabOptions::default(),
         &mut diags,
     )
@@ -355,7 +364,7 @@ fn collector_declared_inside_hierarchical_module() {
     );
     assert_eq!(n.collectors.len(), 1);
     assert_eq!(n.instance(n.collectors[0].inst).path, "w.e");
-    assert_eq!(n.collectors[0].event, "in_fire");
+    assert_eq!(n.name(n.collectors[0].event), "in_fire");
 }
 
 #[test]

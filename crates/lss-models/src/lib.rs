@@ -117,9 +117,18 @@ pub fn compile_source(model_src: &str, opts: &CompileOptions) -> Result<Compiled
     }
     lss_interp::compile(
         &[
-            Unit { program: &corelib_prog, library: true },
-            Unit { program: &cpulib_prog, library: false },
-            Unit { program: &model_prog, library: false },
+            Unit {
+                program: &corelib_prog,
+                library: true,
+            },
+            Unit {
+                program: &cpulib_prog,
+                library: false,
+            },
+            Unit {
+                program: &model_prog,
+                library: false,
+            },
         ],
         opts,
         &mut diags,

@@ -34,7 +34,10 @@ pub fn build_sim(netlist: &Netlist, scheduler: Scheduler) -> Result<Simulator, S
     build(
         netlist,
         &lss_corelib::registry(),
-        SimOptions { scheduler, ..Default::default() },
+        SimOptions {
+            scheduler,
+            ..Default::default()
+        },
     )
     .map_err(|e| e.to_string())
 }
@@ -50,14 +53,16 @@ pub fn run_to_completion(
     scheduler: Scheduler,
     max_cycles: u64,
 ) -> Result<RunStats, String> {
+    let commit_sym = netlist.sym("commit");
+    let fetch_sym = netlist.sym("fetch");
     let commit_paths: Vec<String> = netlist
         .leaves()
-        .filter(|i| i.module == "commit")
+        .filter(|i| Some(i.module) == commit_sym)
         .map(|i| i.path.clone())
         .collect();
     let fetch_paths: Vec<String> = netlist
         .leaves()
-        .filter(|i| i.module == "fetch")
+        .filter(|i| Some(i.module) == fetch_sym)
         .map(|i| i.path.clone())
         .collect();
     if commit_paths.is_empty() || fetch_paths.is_empty() {
@@ -65,19 +70,29 @@ pub fn run_to_completion(
     }
     let target: i64 = netlist
         .leaves()
-        .filter(|i| i.module == "fetch")
-        .map(|i| i.params.get("n_instrs").and_then(Datum::as_int).unwrap_or(0))
+        .filter(|i| Some(i.module) == fetch_sym)
+        .map(|i| {
+            i.params
+                .get("n_instrs")
+                .and_then(Datum::as_int)
+                .unwrap_or(0)
+        })
         .sum();
 
     let mut sim = build_sim(netlist, scheduler)?;
     let committed_total = |sim: &Simulator| -> i64 {
         commit_paths
             .iter()
-            .map(|p| sim.rtv(p, "committed").and_then(|d| d.as_int()).unwrap_or(0))
+            .map(|p| {
+                sim.rtv(p, "committed")
+                    .and_then(|d| d.as_int())
+                    .unwrap_or(0)
+            })
             .sum()
     };
     loop {
-        sim.step().map_err(|e| format!("cycle {}: {e}", sim.cycle()))?;
+        sim.step()
+            .map_err(|e| format!("cycle {}: {e}", sim.cycle()))?;
         if committed_total(&sim) >= target {
             break;
         }
@@ -91,12 +106,18 @@ pub fn run_to_completion(
     let committed = committed_total(&sim);
     let mispredicts = fetch_paths
         .iter()
-        .map(|p| sim.rtv(p, "mispredicts").and_then(|d| d.as_int()).unwrap_or(0))
+        .map(|p| {
+            sim.rtv(p, "mispredicts")
+                .and_then(|d| d.as_int())
+                .unwrap_or(0)
+        })
         .sum();
     let mut collectors = BTreeMap::new();
     for (path, event, state) in sim.collector_reports() {
-        let table: BTreeMap<String, Datum> =
-            state.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let table: BTreeMap<String, Datum> = state
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
         collectors.insert(format!("{path}/{event}"), table);
     }
     Ok(RunStats {

@@ -33,7 +33,10 @@ fn mangle(path: &str) -> String {
 
 /// Escapes a string for an LSS string literal.
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n").replace('\t', "\\t")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+        .replace('\t', "\\t")
 }
 
 /// Renders a parameter value as an LSS literal.
@@ -87,12 +90,17 @@ pub fn static_source(netlist: &Netlist) -> String {
     // Leaf instances with every parameter and userpoint spelled out.
     for inst in netlist.leaves() {
         let name = mangle(&inst.path);
-        let _ = writeln!(out, "instance {name}:{};", inst.module);
+        let _ = writeln!(out, "instance {name}:{};", netlist.name(inst.module));
         for (param, value) in &inst.params {
             let _ = writeln!(out, "{name}.{param} = {};", datum_literal(value));
         }
         for up in &inst.userpoints {
-            let _ = writeln!(out, "{name}.{} = \"{}\";", up.name, escape(&up.code));
+            let _ = writeln!(
+                out,
+                "{name}.{} = \"{}\";",
+                netlist.name(up.name),
+                escape(&up.code)
+            );
         }
     }
     // Every flattened wire, with explicit port-instance indices.
@@ -103,10 +111,10 @@ pub fn static_source(netlist: &Netlist) -> String {
             out,
             "{}.{}[{}] -> {}.{}[{}];",
             mangle(&src.path),
-            src.ports[wire.src.port as usize].name,
+            netlist.name(src.ports[wire.src.port.index()].name),
             wire.src.index,
             mangle(&dst.path),
-            dst.ports[wire.dst.port as usize].name,
+            netlist.name(dst.ports[wire.dst.port.index()].name),
             wire.dst.index,
         );
     }
@@ -120,7 +128,12 @@ pub fn static_source(netlist: &Netlist) -> String {
                 continue;
             }
             let Some(ty) = &port.ty else { continue };
-            let _ = writeln!(out, "{name}.{} :: {};", port.name, ty_literal(ty));
+            let _ = writeln!(
+                out,
+                "{name}.{} :: {};",
+                netlist.name(port.name),
+                ty_literal(ty)
+            );
         }
     }
     // Instrumentation carried over.
@@ -130,7 +143,7 @@ pub fn static_source(netlist: &Netlist) -> String {
             out,
             "collector {} : {} = \"{}\";",
             mangle(&inst.path),
-            coll.event,
+            netlist.name(coll.event),
             escape(&coll.code)
         );
     }

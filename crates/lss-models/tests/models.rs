@@ -11,8 +11,8 @@ use lss_types::Datum;
 #[test]
 fn all_six_models_compile() {
     for m in models() {
-        let compiled = compile_model(m)
-            .unwrap_or_else(|e| panic!("model {} failed to compile:\n{e}", m.id));
+        let compiled =
+            compile_model(m).unwrap_or_else(|e| panic!("model {} failed to compile:\n{e}", m.id));
         assert!(
             compiled.netlist.instances.len() >= 15,
             "model {} has only {} instances",
@@ -46,7 +46,12 @@ fn reuse_statistics_have_the_papers_shape() {
         // Widths were inferred for every connected port, and the model is
         // richly connected.
         assert!(stats.inferred_port_widths > 20, "model {}", m.id);
-        assert!(stats.connections > 40, "model {}: {} connections", m.id, stats.connections);
+        assert!(
+            stats.connections > 40,
+            "model {}: {} connections",
+            m.id,
+            stats.connections
+        );
     }
 }
 
@@ -89,7 +94,10 @@ fn model_a_has_reservation_stations_and_a_cdb() {
     let a = compile_model(model('A').unwrap()).unwrap().netlist;
     for i in 0..5 {
         assert!(a.find(&format!("cpu.rs[{i}]")).is_some(), "missing rs[{i}]");
-        assert!(a.find(&format!("cpu.ex.fus[{i}]")).is_some(), "missing fu {i}");
+        assert!(
+            a.find(&format!("cpu.ex.fus[{i}]")).is_some(),
+            "missing fu {i}"
+        );
     }
     let cdb = a.find("cpu.ex.cdb").unwrap();
     assert_eq!(cdb.port("in").unwrap().width, 5);
@@ -142,7 +150,10 @@ fn models_d_e_f_run_to_completion() {
     );
     // F is in-order: it should not beat the otherwise-similar D.
     let f_cpi = cpis[2].1;
-    assert!(f_cpi >= d_cpi * 0.9, "in-order F ({f_cpi}) should not beat OOO D ({d_cpi})");
+    assert!(
+        f_cpi >= d_cpi * 0.9,
+        "in-order F ({f_cpi}) should not beat OOO D ({d_cpi})"
+    );
 }
 
 #[test]
@@ -183,21 +194,29 @@ fn static_structural_model_c_is_equivalent_but_bigger() {
         .unwrap_or_else(|e| panic!("static model C failed to compile:\n{e}"));
 
     // Structural equivalence: same leaves, same wires.
-    assert_eq!(flat.netlist.leaves().count(), compiled.netlist.leaves().count());
-    assert_eq!(flat.netlist.flatten().len(), compiled.netlist.flatten().len());
+    assert_eq!(
+        flat.netlist.leaves().count(),
+        compiled.netlist.leaves().count()
+    );
+    assert_eq!(
+        flat.netlist.flatten().len(),
+        compiled.netlist.flatten().len()
+    );
 
     // Behavioral equivalence: identical cycle counts and commits.
     let orig = run_to_completion(&compiled.netlist, Scheduler::Static, 400_000).unwrap();
     let gen = run_to_completion(&flat.netlist, Scheduler::Static, 400_000).unwrap();
-    assert_eq!(orig.cycles, gen.cycles, "static and LSS models must be cycle-identical");
+    assert_eq!(
+        orig.cycles, gen.cycles,
+        "static and LSS models must be cycle-identical"
+    );
     assert_eq!(orig.committed, gen.committed);
 
     // And the static version needs far more explicit type instantiations.
     let flat_stats = reuse_stats(&flat.netlist);
     let lss_stats = reuse_stats(&compiled.netlist);
     assert!(
-        flat_stats.explicit_types_with_inference
-            > lss_stats.explicit_types_with_inference * 5,
+        flat_stats.explicit_types_with_inference > lss_stats.explicit_types_with_inference * 5,
         "static: {} explicit types, LSS: {}",
         flat_stats.explicit_types_with_inference,
         lss_stats.explicit_types_with_inference
@@ -210,8 +229,8 @@ fn lss_family_is_at_least_35pct_smaller_than_static_equivalents() {
     // SimpleScalar model to LSS) manifests for us across the exploration:
     // one shared LSS source family covers all six models, while a static
     // structural system needs a separate flat specification per model.
-    let lss_total = loc(lss_models::cpu_lib())
-        + models().iter().map(|m| loc(m.source)).sum::<usize>();
+    let lss_total =
+        loc(lss_models::cpu_lib()) + models().iter().map(|m| loc(m.source)).sum::<usize>();
     let static_total: usize = models()
         .iter()
         .map(|m| {
@@ -269,9 +288,18 @@ fn canonical_pretty_printing_preserves_model_c() {
     assert!(!diags.has_errors(), "{}", diags.render(&sources));
     let canonical = lss_interp::compile(
         &[
-            Unit { program: &p1, library: true },
-            Unit { program: &p2, library: false },
-            Unit { program: &p3, library: false },
+            Unit {
+                program: &p1,
+                library: true,
+            },
+            Unit {
+                program: &p2,
+                library: false,
+            },
+            Unit {
+                program: &p3,
+                library: false,
+            },
         ],
         &lss_interp::CompileOptions::default(),
         &mut diags,
@@ -287,7 +315,12 @@ fn canonical_pretty_printing_preserves_model_c() {
         canonical.netlist.connections.len(),
         original.netlist.connections.len()
     );
-    for (a, b) in canonical.netlist.instances.iter().zip(&original.netlist.instances) {
+    for (a, b) in canonical
+        .netlist
+        .instances
+        .iter()
+        .zip(&original.netlist.instances)
+    {
         assert_eq!(a.path, b.path);
         assert_eq!(a.params, b.params);
     }
@@ -323,8 +356,14 @@ fn static_structural_model_e_equivalence_two_cores_shared_l2() {
     let flat_src = static_source(&compiled.netlist);
     let flat = compile_source(&flat_src, &lss_interp::CompileOptions::default())
         .unwrap_or_else(|e| panic!("static model E failed to compile:\n{e}"));
-    assert_eq!(flat.netlist.leaves().count(), compiled.netlist.leaves().count());
-    assert_eq!(flat.netlist.flatten().len(), compiled.netlist.flatten().len());
+    assert_eq!(
+        flat.netlist.leaves().count(),
+        compiled.netlist.leaves().count()
+    );
+    assert_eq!(
+        flat.netlist.flatten().len(),
+        compiled.netlist.flatten().len()
+    );
     let orig = run_to_completion(&compiled.netlist, Scheduler::Static, 600_000).unwrap();
     let gen = run_to_completion(&flat.netlist, Scheduler::Static, 600_000).unwrap();
     assert_eq!(orig.cycles, gen.cycles, "static E must be cycle-identical");

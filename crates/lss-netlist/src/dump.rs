@@ -26,8 +26,11 @@ pub fn tree(netlist: &Netlist) -> String {
             .ports
             .iter()
             .map(|p| {
-                let ty = p.ty.as_ref().map(|t| t.to_string()).unwrap_or_else(|| "?".into());
-                format!("{}:{}[w={}]", p.name, ty, p.width)
+                let ty =
+                    p.ty.as_ref()
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "?".into());
+                format!("{}:{}[w={}]", netlist.name(p.name), ty, p.width)
             })
             .collect();
         let _ = writeln!(
@@ -35,7 +38,7 @@ pub fn tree(netlist: &Netlist) -> String {
             "{}{} : {} ({}) {}",
             "  ".repeat(depth),
             local,
-            inst.module,
+            netlist.name(inst.module),
             kind,
             ports.join(" ")
         );
@@ -60,14 +63,16 @@ pub fn dot(netlist: &Netlist) -> String {
         let _ = writeln!(
             out,
             "  \"{}\" [shape=box,label=\"{}\\n{}\"];",
-            inst.path, inst.path, inst.module
+            inst.path,
+            inst.path,
+            netlist.name(inst.module)
         );
     }
     for wire in netlist.flatten() {
         let src = netlist.instance(wire.src.inst);
         let dst = netlist.instance(wire.dst.inst);
-        let src_port = &src.ports[wire.src.port as usize].name;
-        let dst_port = &dst.ports[wire.dst.port as usize].name;
+        let src_port = netlist.name(src.ports[wire.src.port.index()].name);
+        let dst_port = netlist.name(dst.ports[wire.dst.port.index()].name);
         let _ = writeln!(
             out,
             "  \"{}\" -> \"{}\" [label=\"{}->{}\"];",
@@ -81,40 +86,47 @@ pub fn dot(netlist: &Netlist) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::netlist::testutil::{ep, inst};
+    use crate::netlist::testutil::{add, ep};
     use crate::netlist::{Connection, Dir, InstanceKind};
-    use lss_types::VarGen;
 
     fn sample() -> Netlist {
         let mut n = Netlist::new();
-        let mut vars = VarGen::new();
-        let a = n.add_instance(inst(
+        let a = add(
+            &mut n,
             "a",
             "source",
-            InstanceKind::Leaf { tar_file: "t".into() },
+            InstanceKind::Leaf {
+                tar_file: "t".into(),
+            },
             None,
             &[("out", Dir::Out)],
-            &mut vars,
-        ));
-        let h = n.add_instance(inst(
+        );
+        let h = add(
+            &mut n,
             "h",
             "wrap",
             InstanceKind::Hierarchical,
             None,
             &[("in", Dir::In)],
-            &mut vars,
-        ));
-        let b = n.add_instance(inst(
+        );
+        let b = add(
+            &mut n,
             "h.b",
             "sink",
-            InstanceKind::Leaf { tar_file: "t".into() },
+            InstanceKind::Leaf {
+                tar_file: "t".into(),
+            },
             Some(h),
             &[("in", Dir::In)],
-            &mut vars,
-        ));
-        n.vars = vars;
-        n.connections.push(Connection { src: ep(a, 0, 0), dst: ep(h, 0, 0) });
-        n.connections.push(Connection { src: ep(h, 0, 0), dst: ep(b, 0, 0) });
+        );
+        n.connections.push(Connection {
+            src: ep(a, 0, 0),
+            dst: ep(h, 0, 0),
+        });
+        n.connections.push(Connection {
+            src: ep(h, 0, 0),
+            dst: ep(b, 0, 0),
+        });
         n
     }
 
@@ -123,13 +135,19 @@ mod tests {
         let t = tree(&sample());
         assert!(t.contains("a : source (leaf)"));
         assert!(t.contains("h : wrap (hier)"));
-        assert!(t.contains("  b : sink (leaf)"), "child should be indented: {t}");
+        assert!(
+            t.contains("  b : sink (leaf)"),
+            "child should be indented: {t}"
+        );
     }
 
     #[test]
     fn dot_contains_flattened_wires() {
         let d = dot(&sample());
         assert!(d.contains("digraph model"));
-        assert!(d.contains("\"a\" -> \"h.b\""), "leaf-to-leaf wire missing: {d}");
+        assert!(
+            d.contains("\"a\" -> \"h.b\""),
+            "leaf-to-leaf wire missing: {d}"
+        );
     }
 }

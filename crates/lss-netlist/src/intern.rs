@@ -1,0 +1,205 @@
+//! String interning and dense index types for the elaborated IR.
+//!
+//! Every recurring name in a netlist — module names, port names, runtime
+//! variables, userpoints, events — is interned once at elaboration time
+//! into a [`Symbol`] (a `u32` newtype). All IR comparisons and simulator
+//! lookups then work on integers; strings are resolved back only at output
+//! boundaries (dumps, JSON, diagnostics).
+//!
+//! The [`Interner`] is owned by the `Netlist` (no global state), so two
+//! netlists can intern independently and a netlist clone carries its own
+//! symbol table.
+//!
+//! Alongside `Symbol` this module defines the dense index newtypes used to
+//! address IR and engine tables without hashing: [`PortId`], [`SlotId`],
+//! [`EventId`], [`UserpointId`], [`CollectorId`], and [`RtvId`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string: an index into the owning netlist's [`Interner`].
+///
+/// Symbols from different interners must not be mixed; all symbols inside
+/// one `Netlist` come from its own interner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The symbol as a table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// A bidirectional string ↔ [`Symbol`] table.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its stable symbol. Idempotent.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&id) = self.map.get(name) {
+            return Symbol(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.map.insert(name.to_string(), id);
+        Symbol(id)
+    }
+
+    /// Looks up an already-interned name without adding it.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied().map(Symbol)
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Symbol, name)` pairs in intern order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol(i as u32), n.as_str()))
+    }
+}
+
+macro_rules! dense_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The id as a table index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a table index.
+            pub fn from_index(i: usize) -> Self {
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+dense_id!(
+    /// Index of a port within its instance's `ports` vector.
+    PortId,
+    "port#"
+);
+dense_id!(
+    /// Index of a value slot in the simulator's flat signal store.
+    SlotId,
+    "slot#"
+);
+dense_id!(
+    /// Index of an event in a component's event table (declared events
+    /// followed by implicit `<port>_fire` events).
+    EventId,
+    "event#"
+);
+dense_id!(
+    /// Index of a userpoint within its instance's `userpoints` vector.
+    UserpointId,
+    "userpoint#"
+);
+dense_id!(
+    /// Index of a collector in the netlist's `collectors` vector.
+    CollectorId,
+    "collector#"
+);
+dense_id!(
+    /// Index of a runtime variable within its instance's `runtime_vars`.
+    RtvId,
+    "rtv#"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_resolves() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.resolve(a), "alpha");
+        assert_eq!(i.resolve(b), "beta");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        let x = i.intern("x");
+        assert_eq!(i.get("x"), Some(x));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut i = Interner::new();
+        i.intern("shared");
+        let mut j = i.clone();
+        let only_j = j.intern("later");
+        assert_eq!(i.get("later"), None);
+        assert_eq!(j.resolve(only_j), "later");
+    }
+
+    #[test]
+    fn iter_is_in_intern_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let pairs: Vec<_> = i.iter().map(|(s, n)| (s.0, n.to_string())).collect();
+        assert_eq!(pairs, vec![(0, "a".to_string()), (1, "b".to_string())]);
+    }
+
+    #[test]
+    fn dense_ids_roundtrip_indices() {
+        assert_eq!(PortId::from_index(3).index(), 3);
+        assert_eq!(EventId(7).to_string(), "event#7");
+        assert_eq!(RtvId::from_index(0), RtvId(0));
+    }
+}

@@ -73,17 +73,25 @@ pub fn to_json(netlist: &Netlist) -> String {
             .map(|p| {
                 format!(
                     "{{\"name\": \"{}\", \"dir\": \"{}\", \"width\": {}, \"type\": {}}}",
-                    escape(&p.name),
+                    escape(netlist.name(p.name)),
                     p.dir,
                     p.width,
-                    p.ty.as_ref().map(ty_json).unwrap_or_else(|| "null".to_string())
+                    p.ty.as_ref()
+                        .map(ty_json)
+                        .unwrap_or_else(|| "null".to_string())
                 )
             })
             .collect();
         let userpoints: Vec<String> = inst
             .userpoints
             .iter()
-            .map(|u| format!("{{\"name\": \"{}\", \"code\": \"{}\"}}", escape(&u.name), escape(&u.code)))
+            .map(|u| {
+                format!(
+                    "{{\"name\": \"{}\", \"code\": \"{}\"}}",
+                    escape(netlist.name(u.name)),
+                    escape(&u.code)
+                )
+            })
             .collect();
         let _ = write!(
             out,
@@ -91,14 +99,20 @@ pub fn to_json(netlist: &Netlist) -> String {
              \"from_library\": {}, \"parent\": {}, \"params\": {{{}}}, \"ports\": [{}], \
              \"userpoints\": [{}]}}",
             escape(&inst.path),
-            escape(&inst.module),
+            escape(netlist.name(inst.module)),
             inst.from_library,
-            inst.parent.map(|p| p.0.to_string()).unwrap_or_else(|| "null".to_string()),
+            inst.parent
+                .map(|p| p.0.to_string())
+                .unwrap_or_else(|| "null".to_string()),
             params.join(", "),
             ports.join(", "),
             userpoints.join(", "),
         );
-        out.push_str(if i + 1 < netlist.instances.len() { ",\n" } else { "\n" });
+        out.push_str(if i + 1 < netlist.instances.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("  ],\n  \"wires\": [\n");
     let wires = netlist.flatten();
@@ -117,10 +131,14 @@ pub fn to_json(netlist: &Netlist) -> String {
             out,
             "    {{\"instance\": \"{}\", \"event\": \"{}\", \"code\": \"{}\"}}",
             escape(&netlist.instance(c.inst).path),
-            escape(&c.event),
+            escape(netlist.name(c.event)),
             escape(&c.code)
         );
-        out.push_str(if i + 1 < netlist.collectors.len() { ",\n" } else { "\n" });
+        out.push_str(if i + 1 < netlist.collectors.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("  ]\n}\n");
     out
@@ -129,46 +147,57 @@ pub fn to_json(netlist: &Netlist) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::netlist::testutil::{ep, inst};
+    use crate::netlist::testutil::{add, ep};
     use crate::netlist::{Connection, Dir, InstanceKind, Userpoint};
-    use lss_types::VarGen;
 
     #[test]
     fn exports_valid_looking_json() {
         let mut n = Netlist::new();
-        let mut vars = VarGen::new();
-        let a = n.add_instance(inst(
+        let a = add(
+            &mut n,
             "a",
             "source",
-            InstanceKind::Leaf { tar_file: "corelib/source.tar".into() },
+            InstanceKind::Leaf {
+                tar_file: "corelib/source.tar".into(),
+            },
             None,
             &[("out", Dir::Out)],
-            &mut vars,
-        ));
-        let b = n.add_instance(inst(
+        );
+        let b = add(
+            &mut n,
             "b",
             "sink",
-            InstanceKind::Leaf { tar_file: "corelib/sink.tar".into() },
+            InstanceKind::Leaf {
+                tar_file: "corelib/sink.tar".into(),
+            },
             None,
             &[("in", Dir::In)],
-            &mut vars,
-        ));
-        n.instance_mut(a).params.insert("start".into(), Datum::Int(3));
+        );
+        let up_name = n.intern("p");
+        n.instance_mut(a)
+            .params
+            .insert("start".into(), Datum::Int(3));
         n.instance_mut(a).ports[0].ty = Some(Ty::Int);
         n.instance_mut(a).ports[0].width = 1;
         n.instance_mut(a).userpoints.push(Userpoint {
-            name: "p".into(),
+            name: up_name,
             args: vec![],
             ret: Ty::Int,
             code: "return \"x\";".into(),
         });
-        n.connections.push(Connection { src: ep(a, 0, 0), dst: ep(b, 0, 0) });
+        n.connections.push(Connection {
+            src: ep(a, 0, 0),
+            dst: ep(b, 0, 0),
+        });
         let json = to_json(&n);
         assert!(json.contains("\"path\": \"a\""));
         assert!(json.contains("\"start\": 3"));
         assert!(json.contains("\"type\": \"int\""));
         assert!(json.contains("\"src\": \"a.out[0]\""));
-        assert!(json.contains("return \\\"x\\\";"), "code must be escaped: {json}");
+        assert!(
+            json.contains("return \\\"x\\\";"),
+            "code must be escaped: {json}"
+        );
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

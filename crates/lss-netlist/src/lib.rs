@@ -26,15 +26,17 @@
 #![warn(missing_docs)]
 
 pub mod dump;
+pub mod intern;
 pub mod json;
 pub mod lint;
 pub mod netlist;
 pub mod stats;
 
-pub use netlist::{
-    Collector, Connection, Dir, ElabStats, Endpoint, EventDecl, Instance, InstanceId,
-    InstanceKind, ModuleMeta, Netlist, Port, RuntimeVar, Userpoint, Wire,
-};
+pub use intern::{CollectorId, EventId, Interner, PortId, RtvId, SlotId, Symbol, UserpointId};
 pub use json::to_json;
 pub use lint::{lint, Lint, LintKind};
+pub use netlist::{
+    Collector, Connection, Dir, ElabStats, Endpoint, EventDecl, InstRef, Instance, InstanceId,
+    InstanceKind, ModuleMeta, Netlist, Port, RuntimeVar, Userpoint, Wire,
+};
 pub use stats::{format_row, header, reuse_stats, total, ReuseStats};

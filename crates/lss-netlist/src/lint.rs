@@ -26,6 +26,10 @@ pub enum LintKind {
     /// Two ports of one instance declared with the same type variable
     /// resolved to different widths — legal, but often a bus-width bug.
     WidthMismatch,
+    /// A collector bound to an event its target instance never declares
+    /// (and that is not an implicit `<port>_fire` event) — the collector
+    /// can never fire.
+    UnboundCollector,
 }
 
 impl fmt::Display for LintKind {
@@ -36,6 +40,7 @@ impl fmt::Display for LintKind {
             LintKind::IsolatedInstance => "isolated instance",
             LintKind::DanglingHierarchicalPort => "dangling hierarchical port",
             LintKind::WidthMismatch => "width mismatch",
+            LintKind::UnboundCollector => "unbound collector",
         };
         write!(f, "{s}")
     }
@@ -65,6 +70,7 @@ pub fn lint(netlist: &Netlist) -> Vec<Lint> {
     lint_isolated(netlist, &mut findings);
     lint_dangling_hierarchical(netlist, &mut findings);
     lint_width_mismatch(netlist, &mut findings);
+    lint_unbound_collectors(netlist, &mut findings);
     findings
 }
 
@@ -74,27 +80,29 @@ fn lint_unconnected(netlist: &Netlist, findings: &mut Vec<Lint>) {
         if !any_connected {
             continue; // handled by the isolated-instance lint
         }
+        let module = netlist.name(inst.module);
         for port in &inst.ports {
             if port.width > 0 {
                 continue;
             }
+            let pname = netlist.name(port.name);
             match port.dir {
                 Dir::In => findings.push(Lint {
                     kind: LintKind::UnconnectedInput,
-                    subject: format!("{}.{}", inst.path, port.name),
+                    subject: format!("{}.{}", inst.path, pname),
                     message: format!(
                         "input `{}` of `{}` ({}) is never driven; the behavior will see no data \
                          on it",
-                        port.name, inst.path, inst.module
+                        pname, inst.path, module
                     ),
                 }),
                 Dir::Out => findings.push(Lint {
                     kind: LintKind::UnconnectedOutput,
-                    subject: format!("{}.{}", inst.path, port.name),
+                    subject: format!("{}.{}", inst.path, pname),
                     message: format!(
                         "output `{}` of `{}` ({}) has no consumers; values sent on it are \
                          discarded",
-                        port.name, inst.path, inst.module
+                        pname, inst.path, module
                     ),
                 }),
             }
@@ -114,7 +122,7 @@ fn lint_isolated(netlist: &Netlist, findings: &mut Vec<Lint>) {
                 message: format!(
                     "`{}` ({}) declares {} port(s) but none are connected",
                     inst.path,
-                    inst.module,
+                    netlist.name(inst.module),
                     inst.ports.len()
                 ),
             });
@@ -128,8 +136,8 @@ fn lint_dangling_hierarchical(netlist: &Netlist, findings: &mut Vec<Lint>) {
     let mut srcs: BTreeSet<(u32, u32, u32)> = BTreeSet::new();
     let mut dsts: BTreeSet<(u32, u32, u32)> = BTreeSet::new();
     for c in &netlist.connections {
-        srcs.insert((c.src.inst.0, c.src.port, c.src.index));
-        dsts.insert((c.dst.inst.0, c.dst.port, c.dst.index));
+        srcs.insert((c.src.inst.0, c.src.port.0, c.src.index));
+        dsts.insert((c.dst.inst.0, c.dst.port.0, c.dst.index));
     }
     for inst in &netlist.instances {
         if inst.is_leaf() {
@@ -148,7 +156,7 @@ fn lint_dangling_hierarchical(netlist: &Netlist, findings: &mut Vec<Lint>) {
                     };
                     findings.push(Lint {
                         kind: LintKind::DanglingHierarchicalPort,
-                        subject: format!("{}.{}[{}]", inst.path, port.name, lane),
+                        subject: format!("{}.{}[{}]", inst.path, netlist.name(port.name), lane),
                         message: format!(
                             "hierarchical port instance is {have} but {missing}; data crossing \
                              this boundary is lost"
@@ -171,13 +179,14 @@ fn lint_width_mismatch(netlist: &Netlist, findings: &mut Vec<Lint>) {
                 let a_vars: BTreeSet<_> = a.scheme.vars().into_iter().collect();
                 let shares_var = b.scheme.vars().iter().any(|v| a_vars.contains(v));
                 if shares_var {
+                    let (an, bn) = (netlist.name(a.name), netlist.name(b.name));
                     findings.push(Lint {
                         kind: LintKind::WidthMismatch,
-                        subject: format!("{}.{}/{}", inst.path, a.name, b.name),
+                        subject: format!("{}.{}/{}", inst.path, an, bn),
                         message: format!(
                             "ports `{}` (width {}) and `{}` (width {}) share a type variable \
                              but differ in width — is a lane dropped?",
-                            a.name, a.width, b.name, b.width
+                            an, a.width, bn, b.width
                         ),
                     });
                 }
@@ -186,31 +195,69 @@ fn lint_width_mismatch(netlist: &Netlist, findings: &mut Vec<Lint>) {
     }
 }
 
+fn lint_unbound_collectors(netlist: &Netlist, findings: &mut Vec<Lint>) {
+    for coll in &netlist.collectors {
+        let inst = netlist.instance(coll.inst);
+        if inst.events.iter().any(|e| e.name == coll.event) {
+            continue;
+        }
+        let ev = netlist.name(coll.event);
+        // Implicit per-port firing event: `<port>_fire`.
+        if let Some(port) = ev.strip_suffix("_fire") {
+            if inst.ports.iter().any(|p| netlist.name(p.name) == port) {
+                continue;
+            }
+        }
+        findings.push(Lint {
+            kind: LintKind::UnboundCollector,
+            subject: format!("{}:{}", inst.path, ev),
+            message: format!(
+                "collector on `{}` listens for `{}`, but `{}` declares no such event and has no \
+                 port of that name; the collector will never fire",
+                inst.path,
+                ev,
+                netlist.name(inst.module)
+            ),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::netlist::testutil::{ep, inst};
+    use crate::netlist::testutil::{add, ep};
     use crate::netlist::{Connection, InstanceKind};
-    use lss_types::VarGen;
 
-    fn leaf(netlist: &mut Netlist, path: &str, ports: &[(&str, Dir)], vars: &mut VarGen) -> crate::netlist::InstanceId {
-        netlist.add_instance(inst(
+    fn leaf(
+        netlist: &mut Netlist,
+        path: &str,
+        ports: &[(&str, Dir)],
+    ) -> crate::netlist::InstanceId {
+        add(
+            netlist,
             path,
             "m",
-            InstanceKind::Leaf { tar_file: "t".into() },
+            InstanceKind::Leaf {
+                tar_file: "t".into(),
+            },
             None,
             ports,
-            vars,
-        ))
+        )
     }
 
     #[test]
     fn reports_unconnected_ports_on_partially_wired_leaves() {
         let mut n = Netlist::new();
-        let mut vars = VarGen::new();
-        let a = leaf(&mut n, "a", &[("out", Dir::Out)], &mut vars);
-        let b = leaf(&mut n, "b", &[("in", Dir::In), ("aux", Dir::In), ("res", Dir::Out)], &mut vars);
-        n.connections.push(Connection { src: ep(a, 0, 0), dst: ep(b, 0, 0) });
+        let a = leaf(&mut n, "a", &[("out", Dir::Out)]);
+        let b = leaf(
+            &mut n,
+            "b",
+            &[("in", Dir::In), ("aux", Dir::In), ("res", Dir::Out)],
+        );
+        n.connections.push(Connection {
+            src: ep(a, 0, 0),
+            dst: ep(b, 0, 0),
+        });
         n.instance_mut(a).ports[0].width = 1;
         n.instance_mut(b).ports[0].width = 1;
         let findings = lint(&n);
@@ -225,8 +272,7 @@ mod tests {
     #[test]
     fn reports_isolated_instances_once() {
         let mut n = Netlist::new();
-        let mut vars = VarGen::new();
-        leaf(&mut n, "lonely", &[("in", Dir::In), ("out", Dir::Out)], &mut vars);
+        leaf(&mut n, "lonely", &[("in", Dir::In), ("out", Dir::Out)]);
         let findings = lint(&n);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].kind, LintKind::IsolatedInstance);
@@ -235,48 +281,92 @@ mod tests {
     #[test]
     fn reports_dangling_hierarchical_ports() {
         let mut n = Netlist::new();
-        let mut vars = VarGen::new();
-        let g = leaf(&mut n, "g", &[("out", Dir::Out)], &mut vars);
-        let h = n.add_instance(inst(
+        let g = leaf(&mut n, "g", &[("out", Dir::Out)]);
+        let h = add(
+            &mut n,
             "h",
             "wrap",
             InstanceKind::Hierarchical,
             None,
             &[("in", Dir::In)],
-            &mut vars,
-        ));
+        );
         // Outside drives h.in but nothing inside consumes it.
-        n.connections.push(Connection { src: ep(g, 0, 0), dst: ep(h, 0, 0) });
+        n.connections.push(Connection {
+            src: ep(g, 0, 0),
+            dst: ep(h, 0, 0),
+        });
         n.instance_mut(g).ports[0].width = 1;
         n.instance_mut(h).ports[0].width = 1;
         let findings = lint(&n);
-        assert!(findings
-            .iter()
-            .any(|l| l.kind == LintKind::DanglingHierarchicalPort && l.subject == "h.in[0]"),
-            "{findings:?}");
+        assert!(
+            findings
+                .iter()
+                .any(|l| l.kind == LintKind::DanglingHierarchicalPort && l.subject == "h.in[0]"),
+            "{findings:?}"
+        );
     }
 
     #[test]
     fn reports_width_mismatch_on_shared_type_vars() {
         let mut n = Netlist::new();
-        let mut vars = VarGen::new();
-        let id = leaf(&mut n, "q", &[("in", Dir::In), ("out", Dir::Out)], &mut vars);
+        let id = leaf(&mut n, "q", &[("in", Dir::In), ("out", Dir::Out)]);
         // Tie both ports to the same variable, then give them different widths.
         let shared = n.instance(id).ports[0].var;
         n.instance_mut(id).ports[1].scheme = lss_types::Scheme::Var(shared);
         n.instance_mut(id).ports[0].width = 3;
         n.instance_mut(id).ports[1].width = 1;
         let findings = lint(&n);
-        assert!(findings.iter().any(|l| l.kind == LintKind::WidthMismatch), "{findings:?}");
+        assert!(
+            findings.iter().any(|l| l.kind == LintKind::WidthMismatch),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn reports_collectors_bound_to_nonexistent_events() {
+        let mut n = Netlist::new();
+        let a = leaf(&mut n, "a", &[("out", Dir::Out)]);
+        let b = leaf(&mut n, "b", &[("in", Dir::In)]);
+        n.connections.push(Connection {
+            src: ep(a, 0, 0),
+            dst: ep(b, 0, 0),
+        });
+        n.instance_mut(a).ports[0].width = 1;
+        n.instance_mut(b).ports[0].width = 1;
+        let declared = n.intern("tick");
+        n.instance_mut(a).events.push(crate::netlist::EventDecl {
+            name: declared,
+            args: Vec::new(),
+        });
+        // Fine: declared event, implicit port-firing event.
+        let tick = n.intern("tick");
+        let out_fire = n.intern("out_fire");
+        let typo = n.intern("tock");
+        for event in [tick, out_fire, typo] {
+            n.collectors.push(crate::netlist::Collector {
+                inst: a,
+                event,
+                code: "n = n + 1;".into(),
+            });
+        }
+        let findings = lint(&n);
+        let unbound: Vec<_> = findings
+            .iter()
+            .filter(|l| l.kind == LintKind::UnboundCollector)
+            .collect();
+        assert_eq!(unbound.len(), 1, "{findings:?}");
+        assert_eq!(unbound[0].subject, "a:tock");
     }
 
     #[test]
     fn clean_model_is_lint_free() {
         let mut n = Netlist::new();
-        let mut vars = VarGen::new();
-        let a = leaf(&mut n, "a", &[("out", Dir::Out)], &mut vars);
-        let b = leaf(&mut n, "b", &[("in", Dir::In)], &mut vars);
-        n.connections.push(Connection { src: ep(a, 0, 0), dst: ep(b, 0, 0) });
+        let a = leaf(&mut n, "a", &[("out", Dir::Out)]);
+        let b = leaf(&mut n, "b", &[("in", Dir::In)]);
+        n.connections.push(Connection {
+            src: ep(a, 0, 0),
+            dst: ep(b, 0, 0),
+        });
         n.instance_mut(a).ports[0].width = 1;
         n.instance_mut(b).ports[0].width = 1;
         assert!(lint(&n).is_empty());

@@ -6,15 +6,31 @@
 //! constraints gathered along the way. All static analyses — type
 //! inference, scheduling, reuse statistics — run over this IR, and the
 //! simulator is built from it.
+//!
+//! All recurring names (modules, ports, runtime variables, userpoints,
+//! events) are interned into [`Symbol`]s in the netlist's own [`Interner`];
+//! instance *paths* stay plain strings because each is unique and only
+//! read at boundaries (diagnostics, dumps), so interning would buy no
+//! sharing. Strings are resolved from symbols only at output boundaries.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::ops::Deref;
 
 use lss_types::{ConstraintSet, Datum, Scheme, Ty, TyVar, VarGen};
+
+use crate::intern::{Interner, PortId, Symbol};
 
 /// Index of an instance in [`Netlist::instances`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InstanceId(pub u32);
+
+impl InstanceId {
+    /// The id as a table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 impl fmt::Display for InstanceId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -42,7 +58,7 @@ impl fmt::Display for Dir {
 
 /// Whether an instance is a leaf (externally specified behavior) or a
 /// hierarchical composition.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InstanceKind {
     /// Leaf module; `tar_file` keys the behavior in the component registry
     /// (our substitute for the paper's BSL `.tar` payloads).
@@ -60,8 +76,8 @@ pub enum InstanceKind {
 /// were connected (inferred by use-based specialization, §6.1).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Port {
-    /// Port name.
-    pub name: String,
+    /// Interned port name.
+    pub name: Symbol,
     /// Direction.
     pub dir: Dir,
     /// The declared scheme, instantiated with this instance's fresh type
@@ -82,10 +98,10 @@ pub struct Port {
 /// A userpoint attached to an instance: signature plus BSL code (§4.3).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Userpoint {
-    /// Userpoint (parameter) name.
-    pub name: String,
-    /// Argument names and types visible to the BSL body.
-    pub args: Vec<(String, Ty)>,
+    /// Interned userpoint (parameter) name.
+    pub name: Symbol,
+    /// Argument names (interned) and types visible to the BSL body.
+    pub args: Vec<(Symbol, Ty)>,
     /// Type the body must return.
     pub ret: Ty,
     /// The BSL source code.
@@ -95,8 +111,8 @@ pub struct Userpoint {
 /// A runtime variable declared by the instance's module (§4.3).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeVar {
-    /// Variable name (visible to userpoints on the same instance).
-    pub name: String,
+    /// Interned variable name (visible to userpoints on the same instance).
+    pub name: Symbol,
     /// Value type.
     pub ty: Ty,
     /// Initial value.
@@ -107,8 +123,8 @@ pub struct RuntimeVar {
 /// port `p` is named `p_fire` and is not listed here.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EventDecl {
-    /// Event name.
-    pub name: String,
+    /// Interned event name.
+    pub name: Symbol,
     /// Types of the values carried by each emission.
     pub args: Vec<Ty>,
 }
@@ -118,10 +134,11 @@ pub struct EventDecl {
 pub struct Instance {
     /// This instance's id.
     pub id: InstanceId,
-    /// Full hierarchical path, e.g. `cpu.fetch.delays[0]`.
+    /// Full hierarchical path, e.g. `cpu.fetch.delays[0]`. Unique per
+    /// instance, so it is kept as a plain string (boundary-only data).
     pub path: String,
-    /// Name of the module this instance was created from.
-    pub module: String,
+    /// Interned name of the module this instance was created from.
+    pub module: Symbol,
     /// Leaf or hierarchical.
     pub kind: InstanceKind,
     /// Enclosing instance (None for top-level instances).
@@ -130,30 +147,87 @@ pub struct Instance {
     pub from_library: bool,
     /// Resolved parameter values (after use-based specialization).
     pub params: BTreeMap<String, Datum>,
-    /// Ports in declaration order.
+    /// Ports in declaration order, addressed by [`PortId`].
     pub ports: Vec<Port>,
-    /// Userpoints (algorithmic parameters) with their final code.
+    /// Userpoints (algorithmic parameters) with their final code,
+    /// addressed by `UserpointId`.
     pub userpoints: Vec<Userpoint>,
-    /// Runtime variables.
+    /// Runtime variables, addressed by `RtvId`.
     pub runtime_vars: Vec<RuntimeVar>,
-    /// Declared events.
+    /// Declared events, addressed by `EventId`.
     pub events: Vec<EventDecl>,
 }
 
 impl Instance {
-    /// Looks up a port by name.
-    pub fn port(&self, name: &str) -> Option<&Port> {
+    /// Looks up a port by interned name.
+    pub fn port_sym(&self, name: Symbol) -> Option<&Port> {
         self.ports.iter().find(|p| p.name == name)
     }
 
-    /// Mutable port lookup by name.
-    pub fn port_mut(&mut self, name: &str) -> Option<&mut Port> {
+    /// Mutable port lookup by interned name.
+    pub fn port_sym_mut(&mut self, name: Symbol) -> Option<&mut Port> {
         self.ports.iter_mut().find(|p| p.name == name)
+    }
+
+    /// The index of the port with the given interned name.
+    pub fn port_id(&self, name: Symbol) -> Option<PortId> {
+        self.ports
+            .iter()
+            .position(|p| p.name == name)
+            .map(PortId::from_index)
+    }
+
+    /// Port access by dense id.
+    pub fn port_by_id(&self, id: PortId) -> Option<&Port> {
+        self.ports.get(id.index())
     }
 
     /// True for leaf instances.
     pub fn is_leaf(&self) -> bool {
         matches!(self.kind, InstanceKind::Leaf { .. })
+    }
+}
+
+/// A borrowed instance plus the netlist that owns it, so name-based lookups
+/// can resolve through the interner. Dereferences to [`Instance`], which
+/// keeps `netlist.find("x").unwrap().params[...]`-style call sites working.
+#[derive(Clone, Copy)]
+pub struct InstRef<'a> {
+    /// The owning netlist (for symbol resolution).
+    pub netlist: &'a Netlist,
+    /// The instance itself.
+    pub inst: &'a Instance,
+}
+
+impl<'a> Deref for InstRef<'a> {
+    type Target = Instance;
+
+    fn deref(&self) -> &Instance {
+        self.inst
+    }
+}
+
+impl<'a> InstRef<'a> {
+    /// Looks up a port by name through the interner.
+    pub fn port(&self, name: &str) -> Option<&'a Port> {
+        let sym = self.netlist.interner.get(name)?;
+        self.inst.ports.iter().find(|p| p.name == sym)
+    }
+
+    /// The instance's module name as a string.
+    pub fn module_name(&self) -> &'a str {
+        self.netlist.interner.resolve(self.inst.module)
+    }
+
+    /// Resolves any symbol through the owning netlist's interner.
+    pub fn name_of(&self, sym: Symbol) -> &'a str {
+        self.netlist.interner.resolve(sym)
+    }
+}
+
+impl fmt::Debug for InstRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inst.fmt(f)
     }
 }
 
@@ -163,7 +237,7 @@ pub struct Endpoint {
     /// The instance.
     pub inst: InstanceId,
     /// Index of the port within [`Instance::ports`].
-    pub port: u32,
+    pub port: PortId,
     /// Port-instance index within the port's width.
     pub index: u32,
 }
@@ -183,8 +257,9 @@ pub struct Connection {
 pub struct Collector {
     /// Instance whose events are observed.
     pub inst: InstanceId,
-    /// Event name (`<port>_fire` for the implicit port-firing events).
-    pub event: String,
+    /// Interned event name (`<port>_fire` for the implicit port-firing
+    /// events).
+    pub event: Symbol,
     /// BSL code executed per emission; it may read/update global collector
     /// state variables.
     pub code: String,
@@ -233,16 +308,33 @@ pub struct Netlist {
     pub constraints: ConstraintSet,
     /// Generator for the instance-level type variables.
     pub vars: VarGen,
-    /// Per-module metadata (keyed by module name).
-    pub modules: BTreeMap<String, ModuleMeta>,
+    /// Per-module metadata (keyed by interned module name).
+    pub modules: BTreeMap<Symbol, ModuleMeta>,
     /// Elaboration counters.
     pub elab: ElabStats,
+    /// The symbol table all of this netlist's [`Symbol`]s resolve through.
+    pub interner: Interner,
 }
 
 impl Netlist {
     /// Creates an empty netlist.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Interns a name in this netlist's symbol table.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        self.interner.intern(name)
+    }
+
+    /// Resolves a symbol back to its string.
+    pub fn name(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Looks up an already-interned name.
+    pub fn sym(&self, name: &str) -> Option<Symbol> {
+        self.interner.get(name)
     }
 
     /// Adds an instance, assigning its id.
@@ -259,17 +351,36 @@ impl Netlist {
     ///
     /// Panics if `id` is not from this netlist.
     pub fn instance(&self, id: InstanceId) -> &Instance {
-        &self.instances[id.0 as usize]
+        &self.instances[id.index()]
     }
 
     /// Mutable instance access.
     pub fn instance_mut(&mut self, id: InstanceId) -> &mut Instance {
-        &mut self.instances[id.0 as usize]
+        &mut self.instances[id.index()]
+    }
+
+    /// Instance access with the netlist attached for name resolution.
+    pub fn inst_ref(&self, id: InstanceId) -> InstRef<'_> {
+        InstRef {
+            netlist: self,
+            inst: self.instance(id),
+        }
     }
 
     /// Finds an instance by full hierarchical path.
-    pub fn find(&self, path: &str) -> Option<&Instance> {
-        self.instances.iter().find(|i| i.path == path)
+    pub fn find(&self, path: &str) -> Option<InstRef<'_>> {
+        self.instances
+            .iter()
+            .find(|i| i.path == path)
+            .map(|inst| InstRef {
+                netlist: self,
+                inst,
+            })
+    }
+
+    /// Module metadata looked up by name.
+    pub fn module_meta(&self, name: &str) -> Option<&ModuleMeta> {
+        self.modules.get(&self.interner.get(name)?)
     }
 
     /// Iterates over leaf instances.
@@ -280,7 +391,11 @@ impl Netlist {
     /// Human-readable name of an endpoint.
     pub fn endpoint_name(&self, e: Endpoint) -> String {
         let inst = self.instance(e.inst);
-        let port = inst.ports.get(e.port as usize).map(|p| p.name.as_str()).unwrap_or("?");
+        let port = inst
+            .ports
+            .get(e.port.index())
+            .map(|p| self.interner.resolve(p.name))
+            .unwrap_or("?");
         format!("{}.{}[{}]", inst.path, port, e.index)
     }
 
@@ -310,7 +425,9 @@ impl Netlist {
             // Only leaf *inputs* terminate a chain; a connection into a
             // leaf port that is an outport is the "inside" of a leaf, which
             // cannot happen (leaves have no inside).
-            let Some(port) = dst_inst.ports.get(c.dst.port as usize) else { continue };
+            let Some(port) = dst_inst.ports.get(c.dst.port.index()) else {
+                continue;
+            };
             if port.dir != Dir::In {
                 continue;
             }
@@ -364,47 +481,55 @@ pub struct Wire {
 pub(crate) mod testutil {
     use super::*;
 
-    /// Builds an instance with the given ports for tests.
-    pub fn inst(
+    /// Adds an instance with the given ports, interning names through the
+    /// netlist and drawing type variables from its generator.
+    pub fn add(
+        n: &mut Netlist,
         path: &str,
         module: &str,
         kind: InstanceKind,
         parent: Option<InstanceId>,
         ports: &[(&str, Dir)],
-        vars: &mut VarGen,
-    ) -> Instance {
-        Instance {
+    ) -> InstanceId {
+        let module = n.intern(module);
+        let ports = ports
+            .iter()
+            .map(|(name, dir)| {
+                let name_sym = n.intern(name);
+                let var = n.vars.fresh(format!("{path}.{name}"));
+                Port {
+                    name: name_sym,
+                    dir: *dir,
+                    scheme: Scheme::Var(var),
+                    var,
+                    width: 0,
+                    ty: None,
+                    explicit: false,
+                }
+            })
+            .collect();
+        n.add_instance(Instance {
             id: InstanceId(0),
             path: path.to_string(),
-            module: module.to_string(),
+            module,
             kind,
             parent,
             from_library: true,
             params: BTreeMap::new(),
-            ports: ports
-                .iter()
-                .map(|(name, dir)| {
-                    let var = vars.fresh(format!("{path}.{name}"));
-                    Port {
-                        name: name.to_string(),
-                        dir: *dir,
-                        scheme: Scheme::Var(var),
-                        var,
-                        width: 0,
-                        ty: None,
-                        explicit: false,
-                    }
-                })
-                .collect(),
+            ports,
             userpoints: Vec::new(),
             runtime_vars: Vec::new(),
             events: Vec::new(),
-        }
+        })
     }
 
     /// Endpoint shorthand.
     pub fn ep(inst: InstanceId, port: u32, index: u32) -> Endpoint {
-        Endpoint { inst, port, index }
+        Endpoint {
+            inst,
+            port: PortId(port),
+            index,
+        }
     }
 }
 
@@ -416,52 +541,74 @@ mod tests {
     /// Builds the paper's Figure 2 structure: gen -> delay3(in->d0->d1->d2->out) -> hole.
     fn delay_chain() -> (Netlist, Vec<InstanceId>) {
         let mut n = Netlist::new();
-        let mut vars = VarGen::new();
-        let gen = n.add_instance(inst(
+        let gen = add(
+            &mut n,
             "gen",
             "source",
-            InstanceKind::Leaf { tar_file: "corelib/source.tar".into() },
+            InstanceKind::Leaf {
+                tar_file: "corelib/source.tar".into(),
+            },
             None,
             &[("out", Dir::Out)],
-            &mut vars,
-        ));
-        let hole = n.add_instance(inst(
+        );
+        let hole = add(
+            &mut n,
             "hole",
             "sink",
-            InstanceKind::Leaf { tar_file: "corelib/sink.tar".into() },
+            InstanceKind::Leaf {
+                tar_file: "corelib/sink.tar".into(),
+            },
             None,
             &[("in", Dir::In)],
-            &mut vars,
-        ));
-        let chain = n.add_instance(inst(
+        );
+        let chain = add(
+            &mut n,
             "delay3",
             "delayn",
             InstanceKind::Hierarchical,
             None,
             &[("in", Dir::In), ("out", Dir::Out)],
-            &mut vars,
-        ));
+        );
         let mut delays = Vec::new();
         for i in 0..3 {
-            let d = n.add_instance(inst(
+            let d = add(
+                &mut n,
                 &format!("delay3.delays[{i}]"),
                 "delay",
-                InstanceKind::Leaf { tar_file: "corelib/delay.tar".into() },
+                InstanceKind::Leaf {
+                    tar_file: "corelib/delay.tar".into(),
+                },
                 Some(chain),
                 &[("in", Dir::In), ("out", Dir::Out)],
-                &mut vars,
-            ));
+            );
             delays.push(d);
         }
-        n.vars = vars;
         // External connections.
-        n.connections.push(Connection { src: ep(gen, 0, 0), dst: ep(chain, 0, 0) });
-        n.connections.push(Connection { src: ep(chain, 1, 0), dst: ep(hole, 0, 0) });
+        n.connections.push(Connection {
+            src: ep(gen, 0, 0),
+            dst: ep(chain, 0, 0),
+        });
+        n.connections.push(Connection {
+            src: ep(chain, 1, 0),
+            dst: ep(hole, 0, 0),
+        });
         // Internal connections of delay3.
-        n.connections.push(Connection { src: ep(chain, 0, 0), dst: ep(delays[0], 0, 0) });
-        n.connections.push(Connection { src: ep(delays[0], 1, 0), dst: ep(delays[1], 0, 0) });
-        n.connections.push(Connection { src: ep(delays[1], 1, 0), dst: ep(delays[2], 0, 0) });
-        n.connections.push(Connection { src: ep(delays[2], 1, 0), dst: ep(chain, 1, 0) });
+        n.connections.push(Connection {
+            src: ep(chain, 0, 0),
+            dst: ep(delays[0], 0, 0),
+        });
+        n.connections.push(Connection {
+            src: ep(delays[0], 1, 0),
+            dst: ep(delays[1], 0, 0),
+        });
+        n.connections.push(Connection {
+            src: ep(delays[1], 1, 0),
+            dst: ep(delays[2], 0, 0),
+        });
+        n.connections.push(Connection {
+            src: ep(delays[2], 1, 0),
+            dst: ep(chain, 1, 0),
+        });
         let ids = vec![gen, hole, chain, delays[0], delays[1], delays[2]];
         (n, ids)
     }
@@ -476,10 +623,14 @@ mod tests {
         let hole = ids[1];
         let d0 = ids[3];
         let d2 = ids[5];
-        assert!(wires.iter().any(|w| w.src.inst == gen && w.dst.inst == d0),
-            "gen must drive the first delay through the hierarchical inport");
-        assert!(wires.iter().any(|w| w.src.inst == d2 && w.dst.inst == hole),
-            "the last delay must drive the sink through the hierarchical outport");
+        assert!(
+            wires.iter().any(|w| w.src.inst == gen && w.dst.inst == d0),
+            "gen must drive the first delay through the hierarchical inport"
+        );
+        assert!(
+            wires.iter().any(|w| w.src.inst == d2 && w.dst.inst == hole),
+            "the last delay must drive the sink through the hierarchical outport"
+        );
     }
 
     #[test]
@@ -487,7 +638,7 @@ mod tests {
         let (mut n, ids) = delay_chain();
         // Remove the external driver of delay3.in: the internal chain then
         // dangles and produces no wire into delays[0].
-        n.connections.retain(|c| !(c.src.inst == ids[0]));
+        n.connections.retain(|c| c.src.inst != ids[0]);
         let wires = n.flatten();
         assert_eq!(wires.len(), 3);
         assert!(!wires.iter().any(|w| w.dst.inst == ids[3]));
@@ -496,7 +647,11 @@ mod tests {
     #[test]
     fn endpoint_names_are_readable() {
         let (n, ids) = delay_chain();
-        let name = n.endpoint_name(Endpoint { inst: ids[2], port: 0, index: 0 });
+        let name = n.endpoint_name(Endpoint {
+            inst: ids[2],
+            port: PortId(0),
+            index: 0,
+        });
         assert_eq!(name, "delay3.in[0]");
     }
 
@@ -510,30 +665,51 @@ mod tests {
     }
 
     #[test]
+    fn inst_ref_resolves_ports_by_name() {
+        let (n, _) = delay_chain();
+        let gen = n.find("gen").unwrap();
+        assert!(gen.port("out").is_some());
+        assert!(gen.port("nonexistent").is_none());
+        assert_eq!(gen.module_name(), "source");
+        // Deref keeps plain field access working.
+        assert_eq!(gen.path, "gen");
+    }
+
+    #[test]
     #[should_panic(expected = "connection cycle")]
     fn flatten_detects_cycles_through_hierarchy() {
         let mut n = Netlist::new();
-        let mut vars = VarGen::new();
-        let h = n.add_instance(inst(
+        let h = add(
+            &mut n,
             "h",
             "wrap",
             InstanceKind::Hierarchical,
             None,
             &[("in", Dir::In), ("out", Dir::Out)],
-            &mut vars,
-        ));
-        let leaf = n.add_instance(inst(
+        );
+        let leaf = add(
+            &mut n,
             "h.l",
             "delay",
-            InstanceKind::Leaf { tar_file: "x".into() },
+            InstanceKind::Leaf {
+                tar_file: "x".into(),
+            },
             Some(h),
             &[("in", Dir::In), ("out", Dir::Out)],
-            &mut vars,
-        ));
+        );
         // Hierarchical ports driving each other in a loop, feeding the leaf.
-        n.connections.push(Connection { src: ep(h, 1, 0), dst: ep(h, 0, 0) });
-        n.connections.push(Connection { src: ep(h, 0, 0), dst: ep(h, 1, 0) });
-        n.connections.push(Connection { src: ep(h, 0, 0), dst: ep(leaf, 0, 0) });
+        n.connections.push(Connection {
+            src: ep(h, 1, 0),
+            dst: ep(h, 0, 0),
+        });
+        n.connections.push(Connection {
+            src: ep(h, 0, 0),
+            dst: ep(h, 1, 0),
+        });
+        n.connections.push(Connection {
+            src: ep(h, 0, 0),
+            dst: ep(leaf, 0, 0),
+        });
         let _ = n.flatten();
     }
 

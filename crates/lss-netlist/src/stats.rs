@@ -78,30 +78,37 @@ pub fn reuse_stats(netlist: &Netlist) -> ReuseStats {
     for inst in &netlist.instances {
         let meta = netlist.modules.get(&inst.module);
         if inst.is_leaf() {
-            leaf.insert(inst.module.clone());
+            leaf.insert(inst.module);
         } else {
-            hier.insert(inst.module.clone());
+            hier.insert(inst.module);
             if meta.map(|m| m.trivial).unwrap_or(false) {
-                hier_trivial.insert(inst.module.clone());
+                hier_trivial.insert(inst.module);
             }
         }
         if inst.from_library {
             from_library_count += 1;
-            library.insert(inst.module.clone());
+            library.insert(inst.module);
         }
     }
 
     let module_count = hier.len() + leaf.len();
     let module_count_nontrivial = module_count - hier_trivial.len();
-    let instances_per_module =
-        if module_count == 0 { 0.0 } else { instances as f64 / module_count as f64 };
+    let instances_per_module = if module_count == 0 {
+        0.0
+    } else {
+        instances as f64 / module_count as f64
+    };
     // For the discounted figure the paper also discounts the *instances* of
     // trivial wrappers.
     let nontrivial_instances = netlist
         .instances
         .iter()
         .filter(|i| {
-            !netlist.modules.get(&i.module).map(|m| m.trivial && m.hierarchical).unwrap_or(false)
+            !netlist
+                .modules
+                .get(&i.module)
+                .map(|m| m.trivial && m.hierarchical)
+                .unwrap_or(false)
         })
         .count();
     let instances_per_module_nontrivial = if module_count_nontrivial == 0 {
@@ -204,15 +211,28 @@ pub fn total(stats: &[(&str, ReuseStats)], shared_modules: usize) -> ReuseStats 
     let instances: usize = stats.iter().map(|(_, s)| s.instances).sum();
     let connections: usize = stats.iter().map(|(_, s)| s.connections).sum();
     let widths: usize = stats.iter().map(|(_, s)| s.inferred_port_widths).sum();
-    let wo: usize = stats.iter().map(|(_, s)| s.explicit_types_without_inference).sum();
-    let w: usize = stats.iter().map(|(_, s)| s.explicit_types_with_inference).sum();
+    let wo: usize = stats
+        .iter()
+        .map(|(_, s)| s.explicit_types_without_inference)
+        .sum();
+    let w: usize = stats
+        .iter()
+        .map(|(_, s)| s.explicit_types_with_inference)
+        .sum();
     let from_lib: f64 = stats
         .iter()
         .map(|(_, s)| s.pct_instances_from_library / 100.0 * s.instances as f64)
         .sum();
-    let hier = stats.iter().map(|(_, s)| s.hierarchical_modules).max().unwrap_or(0);
-    let hier_nt =
-        stats.iter().map(|(_, s)| s.hierarchical_modules_nontrivial).max().unwrap_or(0);
+    let hier = stats
+        .iter()
+        .map(|(_, s)| s.hierarchical_modules)
+        .max()
+        .unwrap_or(0);
+    let hier_nt = stats
+        .iter()
+        .map(|(_, s)| s.hierarchical_modules_nontrivial)
+        .max()
+        .unwrap_or(0);
     let leaf = stats.iter().map(|(_, s)| s.leaf_modules).max().unwrap_or(0);
     let module_count = (hier + leaf).max(1);
     ReuseStats {
@@ -238,48 +258,68 @@ pub fn total(stats: &[(&str, ReuseStats)], shared_modules: usize) -> ReuseStats 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::netlist::testutil::{ep, inst};
+    use crate::netlist::testutil::{add, ep};
     use crate::netlist::{Connection, Dir, InstanceKind, ModuleMeta};
-    use lss_types::{Scheme, VarGen};
+    use lss_types::Scheme;
 
     fn sample() -> Netlist {
         let mut n = Netlist::new();
-        let mut vars = VarGen::new();
-        let a = n.add_instance(inst(
+        let a = add(
+            &mut n,
             "a",
             "source",
-            InstanceKind::Leaf { tar_file: "t".into() },
+            InstanceKind::Leaf {
+                tar_file: "t".into(),
+            },
             None,
             &[("out", Dir::Out)],
-            &mut vars,
-        ));
-        let b = n.add_instance(inst(
+        );
+        let b = add(
+            &mut n,
             "b",
             "delay",
-            InstanceKind::Leaf { tar_file: "t".into() },
+            InstanceKind::Leaf {
+                tar_file: "t".into(),
+            },
             None,
             &[("in", Dir::In), ("out", Dir::Out)],
-            &mut vars,
-        ));
-        let c = n.add_instance(inst(
+        );
+        let c = add(
+            &mut n,
             "c",
             "delay",
-            InstanceKind::Leaf { tar_file: "t".into() },
+            InstanceKind::Leaf {
+                tar_file: "t".into(),
+            },
             None,
             &[("in", Dir::In), ("out", Dir::Out)],
-            &mut vars,
-        ));
-        n.vars = vars;
+        );
+        let source = n.intern("source");
+        let delay = n.intern("delay");
         n.modules.insert(
-            "source".into(),
-            ModuleMeta { hierarchical: false, from_library: true, trivial: false },
+            source,
+            ModuleMeta {
+                hierarchical: false,
+                from_library: true,
+                trivial: false,
+            },
         );
         n.modules.insert(
-            "delay".into(),
-            ModuleMeta { hierarchical: false, from_library: true, trivial: false },
+            delay,
+            ModuleMeta {
+                hierarchical: false,
+                from_library: true,
+                trivial: false,
+            },
         );
-        n.connections.push(Connection { src: ep(a, 0, 0), dst: ep(b, 0, 0) });
-        n.connections.push(Connection { src: ep(b, 1, 0), dst: ep(c, 0, 0) });
+        n.connections.push(Connection {
+            src: ep(a, 0, 0),
+            dst: ep(b, 0, 0),
+        });
+        n.connections.push(Connection {
+            src: ep(b, 1, 0),
+            dst: ep(c, 0, 0),
+        });
         n.instance_mut(a).ports[0].width = 1;
         n.instance_mut(b).ports[0].width = 1;
         n.instance_mut(b).ports[1].width = 1;
@@ -338,24 +378,31 @@ mod tests {
         let s = reuse_stats(&n);
         assert_eq!(s.explicit_types_with_inference, 1);
         let pct = s.type_instantiation_reduction_pct();
-        assert!((pct - 80.0).abs() < 1e-9, "expected 80% reduction, got {pct}");
+        assert!(
+            (pct - 80.0).abs() < 1e-9,
+            "expected 80% reduction, got {pct}"
+        );
     }
 
     #[test]
     fn trivial_wrappers_are_discounted() {
         let mut n = sample();
-        let mut vars = VarGen::new();
-        n.add_instance(inst(
+        add(
+            &mut n,
             "w",
             "wrapper",
             InstanceKind::Hierarchical,
             None,
             &[],
-            &mut vars,
-        ));
+        );
+        let wrapper = n.intern("wrapper");
         n.modules.insert(
-            "wrapper".into(),
-            ModuleMeta { hierarchical: true, from_library: false, trivial: true },
+            wrapper,
+            ModuleMeta {
+                hierarchical: true,
+                from_library: false,
+                trivial: true,
+            },
         );
         let s = reuse_stats(&n);
         assert_eq!(s.hierarchical_modules, 1);

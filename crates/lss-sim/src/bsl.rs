@@ -18,6 +18,7 @@ use lss_ast::{parse, BinOp, DiagnosticBag, Expr, ExprKind, SourceMap, Stmt, Type
 use lss_types::Datum;
 
 use crate::component::SimError;
+use crate::slots::SlotTable;
 
 /// A compiled BSL program.
 #[derive(Debug, Clone)]
@@ -53,7 +54,10 @@ pub fn compile_bsl(code: &str) -> Result<BslProgram, String> {
     for stmt in &program.top {
         check_behavioral(stmt)?;
     }
-    Ok(BslProgram { body: Rc::new(program.top), source: code.to_string() })
+    Ok(BslProgram {
+        body: Rc::new(program.top),
+        source: code.to_string(),
+    })
 }
 
 fn check_behavioral(stmt: &Stmt) -> Result<(), String> {
@@ -89,16 +93,35 @@ fn check_behavioral(stmt: &Stmt) -> Result<(), String> {
 }
 
 /// Execution environment for one BSL invocation.
+///
+/// Argument binding is positional: `args[i]` is the value of the name
+/// `arg_names[i]`. The engine precomputes argument-name tables once, so a
+/// per-cycle invocation allocates no strings and hashes nothing.
 #[derive(Debug)]
 pub struct BslEnv<'a> {
-    /// Invocation arguments (mutable as scratch locals).
-    pub args: HashMap<String, Datum>,
+    /// Declared argument names, in order.
+    pub arg_names: &'a [String],
+    /// Argument values, parallel to `arg_names` (mutable as scratch locals).
+    pub args: Vec<Datum>,
     /// Persistent state: the instance's runtime variables, or a collector's
     /// accumulator table.
-    pub vars: &'a mut HashMap<String, Datum>,
+    pub vars: &'a mut SlotTable,
     /// Collector mode: reading an unknown name yields `0` and assigning an
     /// unknown name creates it — collectors cannot pre-declare state.
     pub implicit_zero: bool,
+}
+
+impl<'a> BslEnv<'a> {
+    /// Binds `args` to `arg_names` positionally over the state table `vars`.
+    pub fn bound(arg_names: &'a [String], args: Vec<Datum>, vars: &'a mut SlotTable) -> Self {
+        debug_assert_eq!(arg_names.len(), args.len());
+        BslEnv {
+            arg_names,
+            args,
+            vars,
+            implicit_zero: false,
+        }
+    }
 }
 
 /// Executes `program`, returning the value of the first `return` (if any).
@@ -112,7 +135,12 @@ pub fn exec(
     env: &mut BslEnv<'_>,
     max_steps: u64,
 ) -> Result<Option<Datum>, SimError> {
-    let mut interp = Interp { env, locals: vec![HashMap::new()], steps: 0, max_steps };
+    let mut interp = Interp {
+        env,
+        locals: vec![HashMap::new()],
+        steps: 0,
+        max_steps,
+    };
     match interp.block_raw(&program.body)? {
         Ctl::Return(v) => Ok(Some(v)),
         Ctl::Normal => Ok(None),
@@ -149,7 +177,13 @@ impl Interp<'_, '_> {
             .iter()
             .rev()
             .find_map(|s| s.get(name))
-            .or_else(|| self.env.args.get(name))
+            .or_else(|| {
+                self.env
+                    .arg_names
+                    .iter()
+                    .position(|n| n == name)
+                    .map(|i| &self.env.args[i])
+            })
             .or_else(|| self.env.vars.get(name))
     }
 
@@ -170,8 +204,8 @@ impl Interp<'_, '_> {
                 return Ok(());
             }
         }
-        if let Some(slot) = self.env.args.get_mut(name) {
-            *slot = value;
+        if let Some(i) = self.env.arg_names.iter().position(|n| n == name) {
+            self.env.args[i] = value;
             return Ok(());
         }
         if let Some(slot) = self.env.vars.get_mut(name) {
@@ -179,7 +213,7 @@ impl Interp<'_, '_> {
             return Ok(());
         }
         if self.env.implicit_zero {
-            self.env.vars.insert(name.to_string(), value);
+            self.env.vars.push(name, value);
             return Ok(());
         }
         self.err(format!("BSL assigns unknown name `{name}`"))
@@ -293,9 +327,7 @@ impl Interp<'_, '_> {
                 let mut current = self.read(&root_name)?;
                 match current.field_mut(&field.name) {
                     Some(slot) => *slot = value,
-                    None => {
-                        return self.err(format!("no field `{}` on `{root_name}`", field.name))
-                    }
+                    None => return self.err(format!("no field `{}` on `{root_name}`", field.name)),
                 }
                 self.write(&root_name, current)
             }
@@ -309,10 +341,8 @@ impl Interp<'_, '_> {
                 match &mut current {
                     Datum::Array(items) if i < items.len() => items[i] = value,
                     Datum::Array(items) => {
-                        return self.err(format!(
-                            "index {i} out of bounds (length {})",
-                            items.len()
-                        ))
+                        return self
+                            .err(format!("index {i} out of bounds (length {})", items.len()))
                     }
                     other => return self.err(format!("cannot index into {other}")),
                 }
@@ -391,9 +421,7 @@ impl Interp<'_, '_> {
                 }
                 Ok(Datum::Array(out))
             }
-            ExprKind::NewInstanceArray { .. } => {
-                self.err("BSL cannot create instances")
-            }
+            ExprKind::NewInstanceArray { .. } => self.err("BSL cannot create instances"),
         }
     }
 
@@ -557,19 +585,17 @@ fn default_for_type_expr(ty: &TypeExpr) -> Option<Datum> {
 mod tests {
     use super::*;
 
-    fn run(code: &str, args: &[(&str, Datum)], vars: &mut HashMap<String, Datum>) -> Option<Datum> {
+    fn run(code: &str, args: &[(&str, Datum)], vars: &mut SlotTable) -> Option<Datum> {
         let prog = compile_bsl(code).unwrap_or_else(|e| panic!("BSL parse error: {e}"));
-        let mut env = BslEnv {
-            args: args.iter().map(|(n, v)| (n.to_string(), v.clone())).collect(),
-            vars,
-            implicit_zero: false,
-        };
+        let arg_names: Vec<String> = args.iter().map(|(n, _)| n.to_string()).collect();
+        let values: Vec<Datum> = args.iter().map(|(_, v)| v.clone()).collect();
+        let mut env = BslEnv::bound(&arg_names, values, vars);
         exec(&prog, &mut env, 100_000).unwrap_or_else(|e| panic!("BSL error: {e}"))
     }
 
     #[test]
     fn returns_expression_values() {
-        let mut vars = HashMap::new();
+        let mut vars = SlotTable::new();
         assert_eq!(
             run("return reqs + 1;", &[("reqs", Datum::Int(4))], &mut vars),
             Some(Datum::Int(5))
@@ -578,14 +604,18 @@ mod tests {
 
     #[test]
     fn updates_runtime_variables() {
-        let mut vars = HashMap::from([("total".to_string(), Datum::Int(10))]);
-        run("total = total + incoming;", &[("incoming", Datum::Int(5))], &mut vars);
-        assert_eq!(vars["total"], Datum::Int(15));
+        let mut vars = SlotTable::from_pairs([("total", Datum::Int(10))]);
+        run(
+            "total = total + incoming;",
+            &[("incoming", Datum::Int(5))],
+            &mut vars,
+        );
+        assert_eq!(vars.get("total"), Some(&Datum::Int(15)));
     }
 
     #[test]
     fn control_flow_and_locals() {
-        let mut vars = HashMap::new();
+        let mut vars = SlotTable::new();
         let result = run(
             r#"
             var acc:int = 0;
@@ -602,7 +632,7 @@ mod tests {
 
     #[test]
     fn while_and_early_return() {
-        let mut vars = HashMap::new();
+        let mut vars = SlotTable::new();
         let result = run(
             "var i:int = 0; while (true) { i = i + 1; if (i == 7) { return i; } }",
             &[],
@@ -613,7 +643,7 @@ mod tests {
 
     #[test]
     fn arrays_and_builtins() {
-        let mut vars = HashMap::new();
+        let mut vars = SlotTable::new();
         let result = run(
             r#"
             var xs:int[] = [3, 1, 2];
@@ -628,64 +658,84 @@ mod tests {
 
     #[test]
     fn struct_field_access_and_update() {
-        let mut vars = HashMap::from([(
-            "pkt".to_string(),
-            Datum::Struct(vec![("dest".into(), Datum::Int(3)), ("data".into(), Datum::Int(9))]),
+        let mut vars = SlotTable::from_pairs([(
+            "pkt",
+            Datum::Struct(vec![
+                ("dest".into(), Datum::Int(3)),
+                ("data".into(), Datum::Int(9)),
+            ]),
         )]);
         let result = run("pkt.dest = pkt.dest + 1; return pkt.dest;", &[], &mut vars);
         assert_eq!(result, Some(Datum::Int(4)));
-        assert_eq!(vars["pkt"].field("dest"), Some(&Datum::Int(4)));
+        assert_eq!(vars.get("pkt").unwrap().field("dest"), Some(&Datum::Int(4)));
     }
 
     #[test]
     fn collector_mode_creates_implicit_state() {
         let prog = compile_bsl("fires = fires + 1;").unwrap();
-        let mut vars = HashMap::new();
-        let mut env = BslEnv { args: HashMap::new(), vars: &mut vars, implicit_zero: true };
+        let mut vars = SlotTable::new();
+        let mut env = BslEnv {
+            arg_names: &[],
+            args: vec![],
+            vars: &mut vars,
+            implicit_zero: true,
+        };
         exec(&prog, &mut env, 1000).unwrap();
         exec(&prog, &mut env, 1000).unwrap();
-        assert_eq!(vars["fires"], Datum::Int(2));
+        assert_eq!(vars.get("fires"), Some(&Datum::Int(2)));
     }
 
     #[test]
     fn unknown_name_is_an_error_outside_collector_mode() {
         let prog = compile_bsl("return nope;").unwrap();
-        let mut vars = HashMap::new();
-        let mut env = BslEnv { args: HashMap::new(), vars: &mut vars, implicit_zero: false };
+        let mut vars = SlotTable::new();
+        let mut env = BslEnv::bound(&[], vec![], &mut vars);
         let err = exec(&prog, &mut env, 1000).unwrap_err();
         assert!(err.message.contains("unknown name `nope`"));
     }
 
     #[test]
     fn structural_statements_are_rejected_at_compile_time() {
-        assert!(compile_bsl("instance d:delay;").unwrap_err().contains("structural"));
-        assert!(compile_bsl("a.out -> b.in;").unwrap_err().contains("structural"));
+        assert!(compile_bsl("instance d:delay;")
+            .unwrap_err()
+            .contains("structural"));
+        assert!(compile_bsl("a.out -> b.in;")
+            .unwrap_err()
+            .contains("structural"));
         assert!(compile_bsl("if (true) { inport x:int; }").is_err());
-        assert!(compile_bsl("module m { };").unwrap_err().contains("modules"));
+        assert!(compile_bsl("module m { };")
+            .unwrap_err()
+            .contains("modules"));
     }
 
     #[test]
     fn runaway_loops_hit_the_step_budget() {
         let prog = compile_bsl("while (true) { }").unwrap();
-        let mut vars = HashMap::new();
-        let mut env = BslEnv { args: HashMap::new(), vars: &mut vars, implicit_zero: false };
+        let mut vars = SlotTable::new();
+        let mut env = BslEnv::bound(&[], vec![], &mut vars);
         let err = exec(&prog, &mut env, 500).unwrap_err();
         assert!(err.message.contains("exceeded 500 steps"));
     }
 
     #[test]
     fn float_promotion_and_division_guard() {
-        let mut vars = HashMap::new();
+        let mut vars = SlotTable::new();
         assert_eq!(run("return 3 / 2;", &[], &mut vars), Some(Datum::Int(1)));
-        assert_eq!(run("return 3.0 / 2;", &[], &mut vars), Some(Datum::Float(1.5)));
+        assert_eq!(
+            run("return 3.0 / 2;", &[], &mut vars),
+            Some(Datum::Float(1.5))
+        );
         let prog = compile_bsl("return 1 / 0;").unwrap();
-        let mut env = BslEnv { args: HashMap::new(), vars: &mut vars, implicit_zero: false };
-        assert!(exec(&prog, &mut env, 100).unwrap_err().message.contains("division by zero"));
+        let mut env = BslEnv::bound(&[], vec![], &mut vars);
+        assert!(exec(&prog, &mut env, 100)
+            .unwrap_err()
+            .message
+            .contains("division by zero"));
     }
 
     #[test]
     fn string_concat_via_plus() {
-        let mut vars = HashMap::new();
+        let mut vars = SlotTable::new();
         assert_eq!(
             run(r#"return "n=" + 4;"#, &[], &mut vars),
             Some(Datum::Str("n=4".into()))

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use lss_netlist::Dir;
+use lss_netlist::{Dir, EventId, RtvId, UserpointId};
 use lss_types::{Datum, Ty};
 
 use crate::bsl::BslProgram;
@@ -53,7 +53,9 @@ impl CompSpec {
         self.ports
             .iter()
             .position(|p| p.name == name)
-            .ok_or_else(|| BuildError::new(format!("{}: behavior expects a port `{name}`", self.path)))
+            .ok_or_else(|| {
+                BuildError::new(format!("{}: behavior expects a port `{name}`", self.path))
+            })
     }
 
     /// The named port's spec.
@@ -69,7 +71,10 @@ impl CompSpec {
                 "{}: parameter `{name}` should be int, got {other}",
                 self.path
             ))),
-            None => Err(BuildError::new(format!("{}: missing parameter `{name}`", self.path))),
+            None => Err(BuildError::new(format!(
+                "{}: missing parameter `{name}`",
+                self.path
+            ))),
         }
     }
 
@@ -109,7 +114,9 @@ pub struct BuildError {
 impl BuildError {
     /// Creates a build error.
     pub fn new(message: impl Into<String>) -> Self {
-        BuildError { message: message.into() }
+        BuildError {
+            message: message.into(),
+        }
     }
 }
 
@@ -131,7 +138,9 @@ pub struct SimError {
 impl SimError {
     /// Creates a simulation error.
     pub fn new(message: impl Into<String>) -> Self {
-        SimError { message: message.into() }
+        SimError {
+            message: message.into(),
+        }
     }
 }
 
@@ -147,6 +156,15 @@ impl std::error::Error for SimError {}
 ///
 /// Implemented by the engine; a trait keeps `Component` implementations
 /// decoupled and easily unit-testable with a mock.
+///
+/// Named state is addressed two ways. The **dense-ID methods**
+/// ([`CompCtx::rtv_by_id`], [`CompCtx::emit_by_id`], ...) index
+/// precomputed per-instance tables and do no string work — behaviors
+/// resolve names once in [`Component::init`] (via [`CompCtx::rtv_id`],
+/// [`CompCtx::event_id`], [`CompCtx::userpoint_id`]) and use the IDs every
+/// cycle. The **name-based methods** ([`CompCtx::rtv`], [`CompCtx::emit`],
+/// ...) are thin default shims over the ID methods, kept for one-shot
+/// access and existing code.
 pub trait CompCtx {
     /// Current cycle number (0-based).
     fn cycle(&self) -> u64;
@@ -158,23 +176,69 @@ pub trait CompCtx {
     fn output(&self, port: usize, lane: u32) -> Option<Datum>;
     /// The inferred width of `port`.
     fn width(&self, port: usize) -> u32;
-    /// Reads a runtime variable.
+
+    /// Resolves a runtime-variable name to its dense slot, if declared.
+    fn rtv_id(&self, name: &str) -> Option<RtvId>;
+    /// Resolves a runtime-variable name, creating the slot with `default`
+    /// if the model did not declare it (an existing slot keeps its value).
+    fn ensure_rtv(&mut self, name: &str, default: Datum) -> RtvId;
+    /// Reads a runtime variable by slot.
+    fn rtv_by_id(&self, id: RtvId) -> Datum;
+    /// Writes a runtime variable by slot.
+    fn set_rtv_by_id(&mut self, id: RtvId, value: Datum);
+
+    /// Resolves a userpoint name to its dense index, if the instance
+    /// carries it.
+    fn userpoint_id(&self, name: &str) -> Option<UserpointId>;
+    /// Invokes a userpoint by index with positional arguments (bound to the
+    /// declared argument names).
+    fn call_userpoint_by_id(&mut self, id: UserpointId, args: &[Datum]) -> Result<Datum, SimError>;
+
+    /// Resolves an event name against the instance's event table (declared
+    /// events). `None` means nothing can listen — emission is a no-op.
+    fn event_id(&self, name: &str) -> Option<EventId>;
+    /// Emits a declared event by table index. Emissions from `eval` are
+    /// kept only from the final evaluation of the cycle (fixpoint
+    /// re-evaluations discard earlier emissions); emissions from
+    /// `end_of_timestep` always stand.
+    fn emit_by_id(&mut self, event: EventId, args: Vec<Datum>);
+
+    /// Reads a runtime variable by name.
     ///
     /// # Panics
     ///
-    /// Implementations may panic if `name` was never declared.
-    fn rtv(&self, name: &str) -> Datum;
-    /// Writes a runtime variable.
-    fn set_rtv(&mut self, name: &str, value: Datum);
+    /// Panics if `name` was never declared.
+    fn rtv(&self, name: &str) -> Datum {
+        match self.rtv_id(name) {
+            Some(id) => self.rtv_by_id(id),
+            None => panic!("runtime variable `{name}` was never declared"),
+        }
+    }
+    /// Writes a runtime variable by name, creating it if undeclared.
+    fn set_rtv(&mut self, name: &str, value: Datum) {
+        let id = self.ensure_rtv(name, Datum::Int(0));
+        self.set_rtv_by_id(id, value);
+    }
     /// True if the instance carries the named userpoint.
-    fn has_userpoint(&self, name: &str) -> bool;
-    /// Invokes a userpoint with positional arguments (bound to the declared
-    /// argument names).
-    fn call_userpoint(&mut self, name: &str, args: &[Datum]) -> Result<Datum, SimError>;
-    /// Emits a declared event. Emissions from `eval` are kept only from the
-    /// final evaluation of the cycle (fixpoint re-evaluations discard
-    /// earlier emissions); emissions from `end_of_timestep` always stand.
-    fn emit(&mut self, event: &str, args: Vec<Datum>);
+    fn has_userpoint(&self, name: &str) -> bool {
+        self.userpoint_id(name).is_some()
+    }
+    /// Invokes a userpoint by name.
+    fn call_userpoint(&mut self, name: &str, args: &[Datum]) -> Result<Datum, SimError> {
+        match self.userpoint_id(name) {
+            Some(id) => self.call_userpoint_by_id(id, args),
+            None => Err(SimError::new(format!(
+                "no userpoint `{name}` on this instance"
+            ))),
+        }
+    }
+    /// Emits a declared event by name. Unknown events are dropped (nothing
+    /// could be listening — collectors may only name declared events).
+    fn emit(&mut self, event: &str, args: Vec<Datum>) {
+        if let Some(id) = self.event_id(event) {
+            self.emit_by_id(id, args);
+        }
+    }
 }
 
 /// A leaf hardware behavior.
@@ -248,7 +312,12 @@ impl ComponentRegistry {
                 Err(BuildError::new(format!(
                     "{}: no behavior registered for `{tar_file}` (known: {})",
                     spec.path,
-                    known.iter().take(8).map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+                    known
+                        .iter()
+                        .take(8)
+                        .map(|s| s.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )))
             }
         }
@@ -267,7 +336,9 @@ impl ComponentRegistry {
 
 impl fmt::Debug for ComponentRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ComponentRegistry").field("behaviors", &self.factories.len()).finish()
+        f.debug_struct("ComponentRegistry")
+            .field("behaviors", &self.factories.len())
+            .finish()
     }
 }
 
@@ -279,10 +350,18 @@ mod tests {
         CompSpec {
             path: "x".into(),
             module: "m".into(),
-            params: [("n".to_string(), Datum::Int(4)), ("s".to_string(), Datum::Str("hi".into()))]
-                .into_iter()
-                .collect(),
-            ports: vec![PortSpec { name: "in".into(), dir: Dir::In, width: 2, ty: Ty::Int }],
+            params: [
+                ("n".to_string(), Datum::Int(4)),
+                ("s".to_string(), Datum::Str("hi".into())),
+            ]
+            .into_iter()
+            .collect(),
+            ports: vec![PortSpec {
+                name: "in".into(),
+                dir: Dir::In,
+                width: 2,
+                ty: Ty::Int,
+            }],
             userpoints: HashMap::new(),
             runtime_vars: vec![],
         }
@@ -313,7 +392,9 @@ mod tests {
     fn registry_builds_and_reports_unknown() {
         let mut reg = ComponentRegistry::new();
         assert!(reg.is_empty());
-        reg.register("corelib/nop.tar", |_spec| Ok(Box::new(Nop) as Box<dyn Component>));
+        reg.register("corelib/nop.tar", |_spec| {
+            Ok(Box::new(Nop) as Box<dyn Component>)
+        });
         assert_eq!(reg.len(), 1);
         assert!(reg.build("corelib/nop.tar", &spec()).is_ok());
         let Err(err) = reg.build("corelib/missing.tar", &spec()) else {

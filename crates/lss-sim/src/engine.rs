@@ -14,21 +14,34 @@
 //!
 //! Instrumentation (§4.5): after the settle phase, every output port
 //! instance that carries a value emits the implicit `<port>_fire` event;
-//! declared events are emitted by behaviors via [`CompCtx::emit`]. Events
-//! are routed to the model's collectors, whose BSL bodies accumulate
+//! declared events are emitted by behaviors via [`CompCtx::emit_by_id`].
+//! Events are routed to the model's collectors, whose BSL bodies accumulate
 //! statistics in per-collector state tables.
+//!
+//! # Data layout
+//!
+//! Everything touched per cycle is a dense vector indexed by integers:
+//! signal values live in one flat slot array; runtime variables and
+//! collector accumulators are [`SlotTable`]s addressed by [`RtvId`]-style
+//! indices; event routing is precomputed at build time into
+//! per-component listener tables (`fire_listeners` by output port,
+//! `event_listeners` by declared [`EventId`]). Strings appear only at the
+//! build boundary (resolving netlist [`lss_netlist::Symbol`]s) and in
+//! error/report paths — the per-cycle path performs no string hashing,
+//! comparison, or allocation for name lookup.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
-use lss_netlist::{Dir, InstanceId, InstanceKind, Netlist};
-use lss_types::Datum;
+use lss_netlist::{Dir, EventId, InstanceId, InstanceKind, Netlist, RtvId, UserpointId};
+use lss_types::{Datum, Ty};
 
 use crate::bsl::{compile_bsl, exec, BslEnv, BslProgram};
 use crate::component::{
     BuildError, CompCtx, CompSpec, Component, ComponentRegistry, PortSpec, SimError,
 };
 use crate::sched::{schedule, Schedule, ScheduleStep};
+use crate::slots::SlotTable;
 
 /// Which combinational scheduler to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -69,26 +82,48 @@ impl Default for SimOptions {
 /// Aggregate simulation counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
-    /// Cycles executed.
+    /// Cycles executed (incremented once per completed [`Simulator::step`]).
     pub cycles: u64,
-    /// Total component `eval` invocations (the static-vs-dynamic metric).
+    /// Total component `eval` invocations. This is the static-vs-dynamic
+    /// scheduler comparison metric: the static schedule evaluates each
+    /// component once per cycle (plus fixpoint iterations inside genuine
+    /// combinational cycles), while the dynamic baseline re-evaluates from
+    /// a worklist until quiescence.
     pub comp_evals: u64,
-    /// Events dispatched to collectors.
+    /// Collector invocations: one per (event, listening collector) pair.
     pub events_dispatched: u64,
-    /// Port firings observed.
+    /// Output port instances observed carrying a value after settle, summed
+    /// over cycles.
     pub port_firings: u64,
 }
 
+/// A compiled userpoint as the engine runs it: resolved argument names and
+/// the BSL program, addressed by [`UserpointId`].
+struct UserpointRt {
+    name: String,
+    arg_names: Vec<String>,
+    program: BslProgram,
+}
+
 struct CompState {
-    rtvs: HashMap<String, Datum>,
-    userpoints: HashMap<String, (Vec<String>, BslProgram)>,
+    /// Runtime variables, indexed by [`RtvId`]; model-declared slots first,
+    /// behavior-created slots appended.
+    rtvs: SlotTable,
+    /// Userpoints in declaration order, indexed by [`UserpointId`].
+    userpoints: Vec<UserpointRt>,
+    /// Declared event names, indexed by [`EventId`] (resolved from netlist
+    /// symbols at build time; used for name resolution and errors only).
+    event_names: Vec<String>,
     /// Events emitted by the most recent `eval` this cycle.
-    eval_events: Vec<(String, Vec<Datum>)>,
+    eval_events: Vec<(EventId, Vec<Datum>)>,
     /// Events emitted during `end_of_timestep`.
-    eot_events: Vec<(String, Vec<Datum>)>,
+    eot_events: Vec<(EventId, Vec<Datum>)>,
     /// True while `end_of_timestep` is running (routes `emit`).
     in_eot: bool,
     bsl_max_steps: u64,
+    /// Cached ids of the system userpoints, resolved once at build.
+    init_up: Option<UserpointId>,
+    eot_up: Option<UserpointId>,
 }
 
 struct Core {
@@ -103,8 +138,8 @@ struct Core {
     in_slots: Vec<Vec<Vec<Option<usize>>>>,
     /// comp -> port -> width.
     widths: Vec<Vec<u32>>,
-    /// comp -> port -> inferred type (only populated when checking).
-    port_types: Vec<Vec<Option<lss_netlist::netlist::Port>>>,
+    /// comp -> port -> (name, inferred type); populated only when checking.
+    port_types: Vec<Vec<Option<(String, Ty)>>>,
     /// First type violation observed during the current eval, if any.
     type_violation: Option<String>,
 }
@@ -120,28 +155,31 @@ impl CompCtx for Ctx<'_> {
     }
 
     fn input(&self, port: usize, lane: u32) -> Option<Datum> {
-        let slot = self.core.in_slots[self.comp].get(port)?.get(lane as usize)?.as_ref()?;
+        let slot = self.core.in_slots[self.comp]
+            .get(port)?
+            .get(lane as usize)?
+            .as_ref()?;
         self.core.values[*slot].clone()
     }
 
     fn set_output(&mut self, port: usize, lane: u32, value: Datum) {
-        let Some(&slot) =
-            self.core.out_slots[self.comp].get(port).and_then(|p| p.get(lane as usize))
+        let Some(&slot) = self.core.out_slots[self.comp]
+            .get(port)
+            .and_then(|p| p.get(lane as usize))
         else {
             // Writing an unconnected lane is a no-op (unconnected-port
             // semantics: nobody is listening).
             return;
         };
-        if let Some(Some(port)) =
-            self.core.port_types.get(self.comp).and_then(|ps| ps.get(port))
+        if let Some(Some((name, ty))) = self
+            .core
+            .port_types
+            .get(self.comp)
+            .and_then(|ps| ps.get(port))
         {
-            if let Some(ty) = &port.ty {
-                if !value.conforms_to(ty) && self.core.type_violation.is_none() {
-                    self.core.type_violation = Some(format!(
-                        "port `{}` expects {ty}, behavior sent {value}",
-                        port.name
-                    ));
-                }
+            if !value.conforms_to(ty) && self.core.type_violation.is_none() {
+                self.core.type_violation =
+                    Some(format!("port `{name}` expects {ty}, behavior sent {value}"));
             }
         }
         self.core.values[slot] = Some(value);
@@ -149,8 +187,9 @@ impl CompCtx for Ctx<'_> {
     }
 
     fn output(&self, port: usize, lane: u32) -> Option<Datum> {
-        let slot =
-            *self.core.out_slots[self.comp].get(port)?.get(lane as usize)?;
+        let slot = *self.core.out_slots[self.comp]
+            .get(port)?
+            .get(lane as usize)?;
         self.core.values[slot].clone()
     }
 
@@ -158,61 +197,88 @@ impl CompCtx for Ctx<'_> {
         self.core.widths[self.comp].get(port).copied().unwrap_or(0)
     }
 
-    fn rtv(&self, name: &str) -> Datum {
+    fn rtv_id(&self, name: &str) -> Option<RtvId> {
         self.core.states[self.comp]
             .rtvs
-            .get(name)
-            .unwrap_or_else(|| panic!("runtime variable `{name}` was never declared"))
-            .clone()
+            .index_of(name)
+            .map(RtvId::from_index)
     }
 
-    fn set_rtv(&mut self, name: &str, value: Datum) {
-        self.core.states[self.comp].rtvs.insert(name.to_string(), value);
+    fn ensure_rtv(&mut self, name: &str, default: Datum) -> RtvId {
+        RtvId::from_index(self.core.states[self.comp].rtvs.ensure(name, default))
     }
 
-    fn has_userpoint(&self, name: &str) -> bool {
-        self.core.states[self.comp].userpoints.contains_key(name)
+    fn rtv_by_id(&self, id: RtvId) -> Datum {
+        self.core.states[self.comp].rtvs.value(id.index()).clone()
     }
 
-    fn call_userpoint(&mut self, name: &str, args: &[Datum]) -> Result<Datum, SimError> {
+    fn set_rtv_by_id(&mut self, id: RtvId, value: Datum) {
+        self.core.states[self.comp].rtvs.set(id.index(), value);
+    }
+
+    fn userpoint_id(&self, name: &str) -> Option<UserpointId> {
+        self.core.states[self.comp]
+            .userpoints
+            .iter()
+            .position(|up| up.name == name)
+            .map(UserpointId::from_index)
+    }
+
+    fn call_userpoint_by_id(&mut self, id: UserpointId, args: &[Datum]) -> Result<Datum, SimError> {
         let state = &mut self.core.states[self.comp];
-        let Some((arg_names, program)) = state.userpoints.get(name).cloned() else {
-            return Err(SimError::new(format!("no userpoint `{name}` on this instance")));
-        };
-        if arg_names.len() != args.len() {
+        let Some(up) = state.userpoints.get(id.index()) else {
             return Err(SimError::new(format!(
-                "userpoint `{name}` expects {} argument(s), got {}",
-                arg_names.len(),
+                "userpoint {id} does not exist on this instance"
+            )));
+        };
+        if up.arg_names.len() != args.len() {
+            return Err(SimError::new(format!(
+                "userpoint `{}` expects {} argument(s), got {}",
+                up.name,
+                up.arg_names.len(),
                 args.len()
             )));
         }
-        let mut env = BslEnv {
-            args: arg_names.iter().cloned().zip(args.iter().cloned()).collect(),
-            vars: &mut state.rtvs,
-            implicit_zero: false,
-        };
-        let max = state.bsl_max_steps;
-        match exec(&program, &mut env, max)? {
+        let mut env = BslEnv::bound(&up.arg_names, args.to_vec(), &mut state.rtvs);
+        match exec(&up.program, &mut env, state.bsl_max_steps)? {
             Some(v) => Ok(v),
             None => Ok(Datum::Int(0)),
         }
     }
 
-    fn emit(&mut self, event: &str, args: Vec<Datum>) {
+    fn event_id(&self, name: &str) -> Option<EventId> {
+        self.core.states[self.comp]
+            .event_names
+            .iter()
+            .position(|e| e == name)
+            .map(EventId::from_index)
+    }
+
+    fn emit_by_id(&mut self, event: EventId, args: Vec<Datum>) {
         let state = &mut self.core.states[self.comp];
         if state.in_eot {
-            state.eot_events.push((event.to_string(), args));
+            state.eot_events.push((event, args));
         } else {
-            state.eval_events.push((event.to_string(), args));
+            state.eval_events.push((event, args));
         }
     }
 }
 
 struct CollectorRt {
     comp: usize,
+    /// Resolved event name (reports and errors only).
     event: String,
     program: BslProgram,
-    state: HashMap<String, Datum>,
+    state: SlotTable,
+}
+
+/// Selects a precomputed listener table for [`Simulator::dispatch`].
+#[derive(Clone, Copy)]
+enum Listeners {
+    /// `<port>_fire` listeners of the given output port.
+    Fire(usize),
+    /// Listeners of a declared event.
+    Declared(EventId),
 }
 
 /// A runnable simulation built from a typed netlist.
@@ -220,14 +286,30 @@ pub struct Simulator {
     core: Core,
     comps: Vec<Box<dyn Component>>,
     paths: Vec<String>,
-    path_index: HashMap<String, usize>,
+    /// Sorted `(path, comp)` pairs; binary-searched at the API boundary.
+    path_index: Vec<(String, usize)>,
     port_names: Vec<Vec<String>>,
     static_schedule: Schedule,
+    /// Flattened schedule: `(start, len, is_fixpoint)` windows into
+    /// `sched_order`, so settling iterates without cloning step vectors.
+    sched_steps: Vec<(usize, usize, bool)>,
+    sched_order: Vec<usize>,
+    /// comp -> all output slots, flattened (eval bookkeeping).
+    out_flat: Vec<Vec<usize>>,
+    /// Scratch buffer for eval change detection, reused across evals.
+    prev_scratch: Vec<Option<Datum>>,
     /// comp -> downstream comps (for the dynamic scheduler).
     consumers: Vec<Vec<usize>>,
     collectors: Vec<CollectorRt>,
-    /// (comp, event) -> collector indices.
-    coll_index: HashMap<(usize, String), Vec<usize>>,
+    /// comp -> output port -> collector indices listening on `<port>_fire`.
+    fire_listeners: Vec<Vec<Vec<usize>>>,
+    /// comp -> declared event -> collector indices.
+    event_listeners: Vec<Vec<Vec<usize>>>,
+    /// Argument names bound for `<port>_fire` dispatch.
+    fire_arg_names: Vec<String>,
+    /// Argument-name tables for declared events, indexed by argument count:
+    /// `event_arg_names[n]` = `["arg0", ..., "arg{n-2}", "cycle"]`.
+    event_arg_names: Vec<Vec<String>>,
     opts: SimOptions,
     stats: SimStats,
     initialized: bool,
@@ -286,9 +368,11 @@ pub fn build(
     // Enumerate leaves.
     let mut comp_of_inst: HashMap<InstanceId, usize> = HashMap::new();
     let mut leaf_ids: Vec<InstanceId> = Vec::new();
-    for inst in netlist.leaves() {
-        comp_of_inst.insert(inst.id, leaf_ids.len());
-        leaf_ids.push(inst.id);
+    for inst in &netlist.instances {
+        if inst.is_leaf() {
+            comp_of_inst.insert(inst.id, leaf_ids.len());
+            leaf_ids.push(inst.id);
+        }
     }
     let n = leaf_ids.len();
 
@@ -328,68 +412,115 @@ pub fn build(
     for wire in &wires {
         let src_comp = comp_of_inst[&wire.src.inst];
         let dst_comp = comp_of_inst[&wire.dst.inst];
-        let slot = out_slots[src_comp][wire.src.port as usize][wire.src.index as usize];
-        in_slots[dst_comp][wire.dst.port as usize][wire.dst.index as usize] = Some(slot);
+        let slot = out_slots[src_comp][wire.src.port.index()][wire.src.index as usize];
+        in_slots[dst_comp][wire.dst.port.index()][wire.dst.index as usize] = Some(slot);
         if !consumers[src_comp].contains(&dst_comp) {
             consumers[src_comp].push(dst_comp);
         }
     }
 
-    // Build behaviors.
+    // Build behaviors. Names cross the string->ID boundary here: everything
+    // the per-cycle path needs is resolved from netlist symbols into dense
+    // per-component tables.
     let mut comps: Vec<Box<dyn Component>> = Vec::with_capacity(n);
     let mut states: Vec<CompState> = Vec::with_capacity(n);
     let mut paths = Vec::with_capacity(n);
     let mut port_names = Vec::with_capacity(n);
     for &id in &leaf_ids {
         let inst = netlist.instance(id);
-        let InstanceKind::Leaf { tar_file } = &inst.kind else { unreachable!("leaves only") };
+        let InstanceKind::Leaf { tar_file } = &inst.kind else {
+            unreachable!("leaves only")
+        };
         let mut ports = Vec::with_capacity(inst.ports.len());
         for p in &inst.ports {
             let Some(ty) = p.ty.clone() else {
                 return Err(BuildError::new(format!(
                     "{}.{}: port has no inferred type; run type inference before building",
-                    inst.path, p.name
+                    inst.path,
+                    netlist.name(p.name)
                 )));
             };
-            ports.push(PortSpec { name: p.name.clone(), dir: p.dir, width: p.width, ty });
+            ports.push(PortSpec {
+                name: netlist.name(p.name).to_string(),
+                dir: p.dir,
+                width: p.width,
+                ty,
+            });
         }
         let mut userpoints_src = HashMap::new();
-        let mut userpoints_rt = HashMap::new();
+        let mut userpoints_rt = Vec::with_capacity(inst.userpoints.len());
         for up in &inst.userpoints {
+            let up_name = netlist.name(up.name);
             let program = compile_bsl(&up.code).map_err(|e| {
                 BuildError::new(format!(
-                    "{}: userpoint `{}` does not compile:\n{e}",
-                    inst.path, up.name
+                    "{}: userpoint `{up_name}` does not compile:\n{e}",
+                    inst.path
                 ))
             })?;
-            let arg_names: Vec<String> = up.args.iter().map(|(n, _)| n.clone()).collect();
-            userpoints_src.insert(up.name.clone(), program.clone());
-            userpoints_rt.insert(up.name.clone(), (arg_names, program));
+            let arg_names: Vec<String> = up
+                .args
+                .iter()
+                .map(|(s, _)| netlist.name(*s).to_string())
+                .collect();
+            userpoints_src.insert(up_name.to_string(), program.clone());
+            userpoints_rt.push(UserpointRt {
+                name: up_name.to_string(),
+                arg_names,
+                program,
+            });
         }
+        let init_up = userpoints_rt
+            .iter()
+            .position(|up| up.name == "init")
+            .map(UserpointId::from_index);
+        let eot_up = userpoints_rt
+            .iter()
+            .position(|up| up.name == "end_of_timestep")
+            .map(UserpointId::from_index);
+        let rtvs = SlotTable::from_pairs(
+            inst.runtime_vars
+                .iter()
+                .map(|rv| (netlist.name(rv.name), rv.init.clone())),
+        );
         let spec = CompSpec {
             path: inst.path.clone(),
-            module: inst.module.clone(),
-            params: inst.params.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            module: netlist.name(inst.module).to_string(),
+            params: inst
+                .params
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
             ports,
             userpoints: userpoints_src,
-            runtime_vars: inst.runtime_vars.iter().map(|rv| (rv.name.clone(), rv.init.clone())).collect(),
+            runtime_vars: rtvs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
         };
         let comp = registry.build(tar_file, &spec)?;
         comps.push(comp);
         states.push(CompState {
-            rtvs: inst
-                .runtime_vars
-                .iter()
-                .map(|rv| (rv.name.clone(), rv.init.clone()))
-                .collect(),
+            rtvs,
             userpoints: userpoints_rt,
+            event_names: inst
+                .events
+                .iter()
+                .map(|e| netlist.name(e.name).to_string())
+                .collect(),
             eval_events: Vec::new(),
             eot_events: Vec::new(),
             in_eot: false,
             bsl_max_steps: opts.bsl_max_steps,
+            init_up,
+            eot_up,
         });
         paths.push(inst.path.clone());
-        port_names.push(inst.ports.iter().map(|p| p.name.clone()).collect::<Vec<_>>());
+        port_names.push(
+            inst.ports
+                .iter()
+                .map(|p| netlist.name(p.name).to_string())
+                .collect::<Vec<_>>(),
+        );
     }
 
     // Combinational edges for the static schedule (now that behaviors can
@@ -397,15 +528,36 @@ pub fn build(
     for wire in &wires {
         let src_comp = comp_of_inst[&wire.src.inst];
         let dst_comp = comp_of_inst[&wire.dst.inst];
-        if comps[dst_comp].input_is_combinational(wire.dst.port as usize) {
+        if comps[dst_comp].input_is_combinational(wire.dst.port.index()) {
             comb_edges.push((src_comp, dst_comp));
         }
     }
     let static_schedule = schedule(n, &comb_edges);
+    let mut sched_steps = Vec::with_capacity(static_schedule.steps.len());
+    let mut sched_order = Vec::with_capacity(n);
+    for step in &static_schedule.steps {
+        match step {
+            ScheduleStep::Single(comp) => {
+                sched_steps.push((sched_order.len(), 1, false));
+                sched_order.push(*comp);
+            }
+            ScheduleStep::Fixpoint(block) => {
+                sched_steps.push((sched_order.len(), block.len(), true));
+                sched_order.extend_from_slice(block);
+            }
+        }
+    }
 
-    // Collectors.
+    // Collectors: resolve each onto its precomputed listener table —
+    // declared events index `event_listeners`, implicit `<port>_fire`
+    // events index `fire_listeners` by output port.
     let mut collectors = Vec::new();
-    let mut coll_index: HashMap<(usize, String), Vec<usize>> = HashMap::new();
+    let mut fire_listeners: Vec<Vec<Vec<usize>>> = (0..n)
+        .map(|c| vec![Vec::new(); out_slots[c].len()])
+        .collect();
+    let mut event_listeners: Vec<Vec<Vec<usize>>> = (0..n)
+        .map(|c| vec![Vec::new(); states[c].event_names.len()])
+        .collect();
     for coll in &netlist.collectors {
         let Some(&comp) = comp_of_inst.get(&coll.inst) else {
             let path = netlist.instance(coll.inst).path.clone();
@@ -413,31 +565,63 @@ pub fn build(
                 "collector on `{path}`: collectors must target leaf instances"
             )));
         };
+        let event_name = netlist.name(coll.event);
         let program = compile_bsl(&coll.code).map_err(|e| {
             BuildError::new(format!(
-                "collector on `{}` event `{}` does not compile:\n{e}",
-                paths[comp], coll.event
+                "collector on `{}` event `{event_name}` does not compile:\n{e}",
+                paths[comp]
             ))
         })?;
         let idx = collectors.len();
         collectors.push(CollectorRt {
             comp,
-            event: coll.event.clone(),
+            event: event_name.to_string(),
             program,
-            state: HashMap::new(),
+            state: SlotTable::new(),
         });
-        coll_index.entry((comp, coll.event.clone())).or_default().push(idx);
+        let inst = netlist.instance(coll.inst);
+        if let Some(eid) = inst.events.iter().position(|e| e.name == coll.event) {
+            event_listeners[comp][eid].push(idx);
+        } else if let Some(pidx) = inst
+            .ports
+            .iter()
+            .position(|p| event_name == format!("{}_fire", netlist.name(p.name)))
+        {
+            fire_listeners[comp][pidx].push(idx);
+        }
+        // Anything else can never fire; elaboration rejects such
+        // collectors, and hand-built netlists get the old no-op semantics.
     }
 
-    let path_index = paths.iter().cloned().enumerate().map(|(i, p)| (p, i)).collect();
-    let port_types: Vec<Vec<Option<lss_netlist::netlist::Port>>> = if opts.check_types {
+    let mut path_index: Vec<(String, usize)> = paths
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, p)| (p, i))
+        .collect();
+    path_index.sort();
+    let port_types: Vec<Vec<Option<(String, Ty)>>> = if opts.check_types {
         leaf_ids
             .iter()
-            .map(|&id| netlist.instance(id).ports.iter().map(|p| Some(p.clone())).collect())
+            .map(|&id| {
+                netlist
+                    .instance(id)
+                    .ports
+                    .iter()
+                    .map(|p| {
+                        p.ty.clone()
+                            .map(|ty| (netlist.name(p.name).to_string(), ty))
+                    })
+                    .collect()
+            })
             .collect()
     } else {
         vec![Vec::new(); n]
     };
+    let out_flat: Vec<Vec<usize>> = out_slots
+        .iter()
+        .map(|ports| ports.iter().flatten().copied().collect())
+        .collect();
     Ok(Simulator {
         core: Core {
             cycle: 0,
@@ -455,9 +639,16 @@ pub fn build(
         path_index,
         port_names,
         static_schedule,
+        sched_steps,
+        sched_order,
+        out_flat,
+        prev_scratch: Vec::new(),
         consumers,
         collectors,
-        coll_index,
+        fire_listeners,
+        event_listeners,
+        fire_arg_names: vec!["value".to_string(), "lane".to_string(), "cycle".to_string()],
+        event_arg_names: Vec::new(),
         opts,
         stats: SimStats::default(),
         initialized: false,
@@ -494,7 +685,10 @@ impl Simulator {
         f: impl FnOnce(&mut Box<dyn Component>, &mut Ctx<'_>) -> R,
     ) -> R {
         let mut boxed = std::mem::replace(&mut self.comps[comp], Box::new(Placeholder));
-        let mut ctx = Ctx { core: &mut self.core, comp };
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            comp,
+        };
         let result = f(&mut boxed, &mut ctx);
         self.comps[comp] = boxed;
         result
@@ -508,24 +702,31 @@ impl Simulator {
         // output lane it does not write this time is retracted afterwards —
         // that keeps fixpoint re-evaluation able to withdraw stale values
         // (essential for credit networks).
-        let slots: Vec<usize> =
-            self.core.out_slots[comp].iter().flatten().copied().collect();
-        let before: Vec<Option<Datum>> =
-            slots.iter().map(|&s| self.core.values[s].clone()).collect();
-        for &s in &slots {
+        let mut before = std::mem::take(&mut self.prev_scratch);
+        before.clear();
+        before.extend(
+            self.out_flat[comp]
+                .iter()
+                .map(|&s| self.core.values[s].clone()),
+        );
+        for &s in &self.out_flat[comp] {
             self.core.written[s] = false;
         }
-        self.with_comp(comp, |c, ctx| c.eval(ctx)).map_err(|e| self.locate(comp, e))?;
+        self.with_comp(comp, |c, ctx| c.eval(ctx))
+            .map_err(|e| self.locate(comp, e))?;
         if let Some(violation) = self.core.type_violation.take() {
             return Err(self.locate(comp, SimError::new(violation)));
         }
-        for &s in &slots {
+        for &s in &self.out_flat[comp] {
             if !self.core.written[s] {
                 self.core.values[s] = None;
             }
         }
-        let changed =
-            slots.iter().zip(&before).any(|(&s, prev)| self.core.values[s] != *prev);
+        let changed = self.out_flat[comp]
+            .iter()
+            .zip(&before)
+            .any(|(&s, prev)| self.core.values[s] != *prev);
+        self.prev_scratch = before;
         Ok(changed)
     }
 
@@ -539,10 +740,13 @@ impl Simulator {
         for comp in 0..self.comps.len() {
             self.with_comp(comp, |c, ctx| c.init(ctx))
                 .map_err(|e| self.locate(comp, e))?;
-            let has_init = self.core.states[comp].userpoints.contains_key("init");
-            if has_init {
-                let mut ctx = Ctx { core: &mut self.core, comp };
-                ctx.call_userpoint("init", &[]).map_err(|e| self.locate(comp, e))?;
+            if let Some(up) = self.core.states[comp].init_up {
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    comp,
+                };
+                ctx.call_userpoint_by_id(up, &[])
+                    .map_err(|e| self.locate(comp, e))?;
             }
         }
         self.initialized = true;
@@ -568,10 +772,13 @@ impl Simulator {
             self.core.states[comp].in_eot = true;
             self.with_comp(comp, |c, ctx| c.end_of_timestep(ctx))
                 .map_err(|e| self.locate(comp, e))?;
-            let has_eot = self.core.states[comp].userpoints.contains_key("end_of_timestep");
-            if has_eot {
-                let mut ctx = Ctx { core: &mut self.core, comp };
-                ctx.call_userpoint("end_of_timestep", &[]).map_err(|e| self.locate(comp, e))?;
+            if let Some(up) = self.core.states[comp].eot_up {
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    comp,
+                };
+                ctx.call_userpoint_by_id(up, &[])
+                    .map_err(|e| self.locate(comp, e))?;
             }
             self.core.states[comp].in_eot = false;
         }
@@ -590,33 +797,34 @@ impl Simulator {
     }
 
     fn settle_static(&mut self) -> Result<(), SimError> {
-        let steps = self.static_schedule.steps.clone();
-        for step in &steps {
-            match step {
-                ScheduleStep::Single(comp) => {
-                    self.eval_comp(*comp)?;
+        for si in 0..self.sched_steps.len() {
+            let (start, len, fixpoint) = self.sched_steps[si];
+            if !fixpoint {
+                let comp = self.sched_order[start];
+                self.eval_comp(comp)?;
+                continue;
+            }
+            let mut iters = 0;
+            loop {
+                let mut any = false;
+                for j in start..start + len {
+                    let comp = self.sched_order[j];
+                    any |= self.eval_comp(comp)?;
                 }
-                ScheduleStep::Fixpoint(block) => {
-                    let mut iters = 0;
-                    loop {
-                        let mut any = false;
-                        for &comp in block {
-                            any |= self.eval_comp(comp)?;
-                        }
-                        if !any {
-                            break;
-                        }
-                        iters += 1;
-                        if iters > self.opts.max_fixpoint_iters {
-                            let names: Vec<&str> =
-                                block.iter().map(|&c| self.paths[c].as_str()).collect();
-                            return Err(SimError::new(format!(
-                                "combinational cycle did not settle after {} iterations: {}",
-                                self.opts.max_fixpoint_iters,
-                                names.join(", ")
-                            )));
-                        }
-                    }
+                if !any {
+                    break;
+                }
+                iters += 1;
+                if iters > self.opts.max_fixpoint_iters {
+                    let names: Vec<&str> = self.sched_order[start..start + len]
+                        .iter()
+                        .map(|&c| self.paths[c].as_str())
+                        .collect();
+                    return Err(SimError::new(format!(
+                        "combinational cycle did not settle after {} iterations: {}",
+                        self.opts.max_fixpoint_iters,
+                        names.join(", ")
+                    )));
                 }
             }
         }
@@ -633,7 +841,7 @@ impl Simulator {
             queued[comp] = false;
             let changed = self.eval_comp(comp)?;
             if changed {
-                for &consumer in &self.consumers[comp].clone() {
+                for &consumer in &self.consumers[comp] {
                     if !queued[consumer] {
                         queued[consumer] = true;
                         queue.push_back(consumer);
@@ -652,38 +860,39 @@ impl Simulator {
 
     fn fire_port_events(&mut self) -> Result<(), SimError> {
         for comp in 0..self.comps.len() {
+            let watched = !self.watch_prefixes.is_empty()
+                && self
+                    .watch_prefixes
+                    .iter()
+                    .any(|p| self.paths[comp].starts_with(p.as_str()));
             for port in 0..self.core.out_slots[comp].len() {
-                if self.core.out_slots[comp][port].is_empty() {
+                let lanes = self.core.out_slots[comp][port].len();
+                if lanes == 0 {
                     continue;
                 }
-                let port_name = self.port_names[comp][port].clone();
-                let event = format!("{port_name}_fire");
-                let has_listeners = self.coll_index.contains_key(&(comp, event.clone()));
-                let watched = !self.watch_prefixes.is_empty()
-                    && self
-                        .watch_prefixes
-                        .iter()
-                        .any(|p| self.paths[comp].starts_with(p.as_str()));
-                for lane in 0..self.core.out_slots[comp][port].len() {
+                let has_listeners = !self.fire_listeners[comp][port].is_empty();
+                for lane in 0..lanes {
                     let slot = self.core.out_slots[comp][port][lane];
-                    let Some(value) = self.core.values[slot].clone() else { continue };
+                    let Some(value) = self.core.values[slot].clone() else {
+                        continue;
+                    };
                     self.stats.port_firings += 1;
                     if watched && self.firing_log.len() < self.firing_log_cap {
                         self.firing_log.push(FiringRecord {
                             cycle: self.core.cycle,
                             path: self.paths[comp].clone(),
-                            port: port_name.clone(),
+                            port: self.port_names[comp][port].clone(),
                             lane: lane as u32,
                             value: value.clone(),
                         });
                     }
                     if has_listeners {
-                        let args = [
-                            ("value".to_string(), value),
-                            ("lane".to_string(), Datum::Int(lane as i64)),
-                            ("cycle".to_string(), Datum::Int(self.core.cycle as i64)),
+                        let args = vec![
+                            value,
+                            Datum::Int(lane as i64),
+                            Datum::Int(self.core.cycle as i64),
                         ];
-                        self.dispatch(comp, &event, args.to_vec())?;
+                        self.dispatch(comp, Listeners::Fire(port), args)?;
                     }
                 }
             }
@@ -693,42 +902,66 @@ impl Simulator {
 
     fn dispatch_declared_events(&mut self) -> Result<(), SimError> {
         for comp in 0..self.comps.len() {
+            if self.core.states[comp].eval_events.is_empty()
+                && self.core.states[comp].eot_events.is_empty()
+            {
+                continue;
+            }
             let mut events = std::mem::take(&mut self.core.states[comp].eval_events);
             events.extend(std::mem::take(&mut self.core.states[comp].eot_events));
-            for (event, args) in events {
-                let mut named: Vec<(String, Datum)> = args
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, v)| (format!("arg{i}"), v))
-                    .collect();
-                named.push(("cycle".to_string(), Datum::Int(self.core.cycle as i64)));
-                self.dispatch(comp, &event, named)?;
+            for (eid, mut args) in events {
+                if self.event_listeners[comp][eid.index()].is_empty() {
+                    continue;
+                }
+                self.ensure_event_arg_names(args.len() + 1);
+                args.push(Datum::Int(self.core.cycle as i64));
+                self.dispatch(comp, Listeners::Declared(eid), args)?;
             }
         }
         Ok(())
     }
 
+    /// Grows the cached `["arg0", ..., "cycle"]` name tables to cover
+    /// dispatches with `total` bound arguments.
+    fn ensure_event_arg_names(&mut self, total: usize) {
+        while self.event_arg_names.len() <= total {
+            let n = self.event_arg_names.len();
+            let mut names: Vec<String> = (0..n.saturating_sub(1))
+                .map(|i| format!("arg{i}"))
+                .collect();
+            if n > 0 {
+                names.push("cycle".to_string());
+            }
+            self.event_arg_names.push(names);
+        }
+    }
+
     fn dispatch(
         &mut self,
         comp: usize,
-        event: &str,
-        args: Vec<(String, Datum)>,
+        which: Listeners,
+        args: Vec<Datum>,
     ) -> Result<(), SimError> {
-        let Some(indices) = self.coll_index.get(&(comp, event.to_string())) else {
-            return Ok(());
+        let (listeners, arg_names): (&[usize], &[String]) = match which {
+            Listeners::Fire(port) => (&self.fire_listeners[comp][port], &self.fire_arg_names),
+            Listeners::Declared(eid) => (
+                &self.event_listeners[comp][eid.index()],
+                &self.event_arg_names[args.len()],
+            ),
         };
-        for &idx in &indices.clone() {
+        for &idx in listeners {
             self.stats.events_dispatched += 1;
             let coll = &mut self.collectors[idx];
             let mut env = BslEnv {
-                args: args.iter().cloned().collect(),
+                arg_names,
+                args: args.clone(),
                 vars: &mut coll.state,
                 implicit_zero: true,
             };
             exec(&coll.program, &mut env, self.opts.bsl_max_steps).map_err(|e| {
                 SimError::new(format!(
-                    "collector on {} event {event}: {}",
-                    self.paths[comp], e.message
+                    "collector on {} event {}: {}",
+                    self.paths[comp], coll.event, e.message
                 ))
             })?;
         }
@@ -738,7 +971,7 @@ impl Simulator {
     /// Reads the value an output port instance carried in the most recently
     /// completed cycle.
     pub fn peek(&self, path: &str, port: &str, lane: u32) -> Option<Datum> {
-        let comp = *self.path_index.get(path)?;
+        let comp = self.comp_of_path(path)?;
         let pidx = self.port_names[comp].iter().position(|p| p == port)?;
         let slot = *self.core.out_slots[comp].get(pidx)?.get(lane as usize)?;
         self.core.values[slot].clone()
@@ -746,12 +979,19 @@ impl Simulator {
 
     /// Reads a component's runtime variable.
     pub fn rtv(&self, path: &str, name: &str) -> Option<Datum> {
-        let comp = *self.path_index.get(path)?;
+        let comp = self.comp_of_path(path)?;
         self.core.states[comp].rtvs.get(name).cloned()
     }
 
+    fn comp_of_path(&self, path: &str) -> Option<usize> {
+        self.path_index
+            .binary_search_by(|(p, _)| p.as_str().cmp(path))
+            .ok()
+            .map(|i| self.path_index[i].1)
+    }
+
     /// Iterates over collector results: (instance path, event, state table).
-    pub fn collector_reports(&self) -> Vec<(String, String, &HashMap<String, Datum>)> {
+    pub fn collector_reports(&self) -> Vec<(String, String, &SlotTable)> {
         self.collectors
             .iter()
             .map(|c| (self.paths[c.comp].clone(), c.event.clone(), &c.state))

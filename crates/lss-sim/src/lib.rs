@@ -8,6 +8,8 @@
 //!   configuration, and the [`ComponentRegistry`] keyed by `tar_file`
 //!   strings (our substitute for the paper's BSL `.tar` payloads);
 //! * [`bsl`] — the interpreter for userpoint and collector BSL code;
+//! * [`slots`] — flat name/value tables ([`SlotTable`]) that back runtime
+//!   variables and collector state without per-cycle hashing;
 //! * [`sched`] — static concurrency scheduling (topological order with
 //!   fixpoint blocks for genuine combinational cycles), the LSE
 //!   optimization of \[12\];
@@ -22,12 +24,14 @@ pub mod bsl;
 pub mod component;
 pub mod engine;
 pub mod sched;
+pub mod slots;
 pub mod wave;
 
 pub use bsl::{compile_bsl, datum_binary, exec, BslEnv, BslProgram};
 pub use component::{
     BuildError, CompCtx, CompSpec, Component, ComponentRegistry, PortSpec, SimError,
 };
-pub use engine::{build, FiringRecord, SimOptions, SimStats, Simulator, Scheduler};
+pub use engine::{build, FiringRecord, Scheduler, SimOptions, SimStats, Simulator};
 pub use sched::{schedule, Schedule, ScheduleStep};
+pub use slots::SlotTable;
 pub use wave::{to_ascii, to_vcd};

@@ -45,7 +45,10 @@ impl Schedule {
 
     /// Number of multi-component fixpoint blocks.
     pub fn cycle_blocks(&self) -> usize {
-        self.steps.iter().filter(|s| matches!(s, ScheduleStep::Fixpoint(_))).count()
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, ScheduleStep::Fixpoint(_)))
+            .count()
     }
 }
 

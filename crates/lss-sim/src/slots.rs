@@ -1,0 +1,146 @@
+//! Flat name/value tables for the simulation hot path.
+//!
+//! Runtime variables, collector accumulators, and BSL environments all hold
+//! a handful of named [`Datum`] slots. A [`SlotTable`] stores them as two
+//! parallel vectors: per-cycle access goes through a dense index (no
+//! hashing, no allocation), and name lookup — needed only when a behavior
+//! resolves its slots once, or at output boundaries — is a linear scan,
+//! which beats a hash map at these sizes.
+
+use lss_types::Datum;
+
+/// A small ordered table of named values, addressed by dense index.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SlotTable {
+    names: Vec<String>,
+    values: Vec<Datum>,
+}
+
+impl SlotTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a table from `(name, value)` pairs, keeping order.
+    pub fn from_pairs<N: Into<String>>(pairs: impl IntoIterator<Item = (N, Datum)>) -> Self {
+        let mut t = Self::new();
+        for (n, v) in pairs {
+            t.push(n.into(), v);
+        }
+        t
+    }
+
+    /// Index of `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Appends a new slot, returning its index. Does not check for
+    /// duplicates — callers that need get-or-create use [`SlotTable::ensure`].
+    pub fn push(&mut self, name: impl Into<String>, value: Datum) -> usize {
+        self.names.push(name.into());
+        self.values.push(value);
+        self.values.len() - 1
+    }
+
+    /// Index of `name`, creating the slot with `default` if absent.
+    pub fn ensure(&mut self, name: &str, default: Datum) -> usize {
+        match self.index_of(name) {
+            Some(i) => i,
+            None => self.push(name, default),
+        }
+    }
+
+    /// Reads the slot at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn value(&self, index: usize) -> &Datum {
+        &self.values[index]
+    }
+
+    /// Writes the slot at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set(&mut self, index: usize, value: Datum) {
+        self.values[index] = value;
+    }
+
+    /// Reads by name (linear scan).
+    pub fn get(&self, name: &str) -> Option<&Datum> {
+        self.index_of(name).map(|i| &self.values[i])
+    }
+
+    /// Mutable access by name (linear scan).
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Datum> {
+        match self.index_of(name) {
+            Some(i) => Some(&mut self.values[i]),
+            None => None,
+        }
+    }
+
+    /// Slot name at `index`.
+    pub fn name(&self, index: usize) -> &str {
+        &self.names[index]
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the table has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates `(name, value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Datum)> {
+        self.names
+            .iter()
+            .map(|n| n.as_str())
+            .zip(self.values.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_index_access() {
+        let mut t = SlotTable::new();
+        let a = t.push("alpha", Datum::Int(1));
+        let b = t.push("beta", Datum::Int(2));
+        assert_ne!(a, b);
+        assert_eq!(t.value(a), &Datum::Int(1));
+        t.set(a, Datum::Int(10));
+        assert_eq!(t.value(a), &Datum::Int(10));
+        assert_eq!(t.index_of("beta"), Some(b));
+        assert_eq!(t.index_of("gamma"), None);
+    }
+
+    #[test]
+    fn ensure_is_get_or_create() {
+        let mut t = SlotTable::from_pairs([("x", Datum::Int(5))]);
+        let x = t.ensure("x", Datum::Int(99));
+        assert_eq!(t.value(x), &Datum::Int(5), "ensure must not overwrite");
+        let y = t.ensure("y", Datum::Int(7));
+        assert_eq!(t.value(y), &Datum::Int(7));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn name_lookup_and_iteration() {
+        let t = SlotTable::from_pairs([("a", Datum::Int(1)), ("b", Datum::Bool(true))]);
+        assert_eq!(t.get("b"), Some(&Datum::Bool(true)));
+        let pairs: Vec<(String, Datum)> =
+            t.iter().map(|(n, v)| (n.to_string(), v.clone())).collect();
+        assert_eq!(pairs[0], ("a".to_string(), Datum::Int(1)));
+        assert_eq!(pairs.len(), 2);
+    }
+}

@@ -110,7 +110,12 @@ pub fn to_ascii(log: &[FiringRecord], max_cycles: usize) -> String {
         let _ = write!(out, " {c:>w$}");
     }
     out.push('\n');
-    let _ = writeln!(out, "{}-+-{}", "-".repeat(name_width), "-".repeat(out.len().saturating_sub(name_width + 4)));
+    let _ = writeln!(
+        out,
+        "{}-+-{}",
+        "-".repeat(name_width),
+        "-".repeat(out.len().saturating_sub(name_width + 4))
+    );
     for (name, values) in &signals {
         let _ = write!(out, "{name:<name_width$} |");
         for (c, w) in col_width.iter().enumerate() {
@@ -134,7 +139,9 @@ fn compact(datum: &Datum) -> String {
         Datum::Bool(b) => if *b { "1" } else { "0" }.to_string(),
         Datum::Float(v) => format!("{v:.1}"),
         Datum::Str(s) => format!("\"{}\"", &s[..s.len().min(4)]),
-        other => first_int(other).map(|v| format!("#{v}")).unwrap_or_else(|| "∗".to_string()),
+        other => first_int(other)
+            .map(|v| format!("#{v}"))
+            .unwrap_or_else(|| "∗".to_string()),
     }
 }
 
@@ -143,7 +150,13 @@ mod tests {
     use super::*;
 
     fn record(cycle: u64, path: &str, port: &str, lane: u32, value: Datum) -> FiringRecord {
-        FiringRecord { cycle, path: path.into(), port: port.into(), lane, value }
+        FiringRecord {
+            cycle,
+            path: path.into(),
+            port: port.into(),
+            lane,
+            value,
+        }
     }
 
     #[test]
@@ -160,7 +173,10 @@ mod tests {
         assert!(vcd.contains("b101 !"));
         assert!(vcd.contains("#1"));
         assert!(vcd.contains("b110 !"));
-        assert!(vcd.contains("1\""), "bool change should use scalar form: {vcd}");
+        assert!(
+            vcd.contains("1\""),
+            "bool change should use scalar form: {vcd}"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use lss_ast::{parse, DiagnosticBag, SourceMap};
 use lss_interp::{compile, CompileOptions, Unit};
 use lss_netlist::Netlist;
 use lss_sim::{
-    build, BuildError, CompCtx, Component, ComponentRegistry, SimError, SimOptions, Scheduler,
+    build, BuildError, CompCtx, Component, ComponentRegistry, Scheduler, SimError, SimOptions,
     Simulator,
 };
 use lss_types::Datum;
@@ -155,7 +155,9 @@ fn registry() -> ComponentRegistry {
         }) as Box<dyn Component>)
     });
     reg.register("test/acc.tar", |spec| {
-        Ok(Box::new(Accumulate { inp: spec.port_index("in")? }) as Box<dyn Component>)
+        Ok(Box::new(Accumulate {
+            inp: spec.port_index("in")?,
+        }) as Box<dyn Component>)
     });
     reg.register("test/reg.tar", |spec| {
         Ok(Box::new(Register {
@@ -172,8 +174,10 @@ fn registry() -> ComponentRegistry {
         }) as Box<dyn Component>)
     });
     reg.register("test/apply.tar", |spec| {
-        Ok(Box::new(Apply { inp: spec.port_index("in")?, out: spec.port_index("out")? })
-            as Box<dyn Component>)
+        Ok(Box::new(Apply {
+            inp: spec.port_index("in")?,
+            out: spec.port_index("out")?,
+        }) as Box<dyn Component>)
     });
     reg.register("test/clamp.tar", |spec| {
         Ok(Box::new(Clamp {
@@ -183,8 +187,10 @@ fn registry() -> ComponentRegistry {
         }) as Box<dyn Component>)
     });
     reg.register("test/inv.tar", |spec| {
-        Ok(Box::new(Inverter { inp: spec.port_index("in")?, out: spec.port_index("out")? })
-            as Box<dyn Component>)
+        Ok(Box::new(Inverter {
+            inp: spec.port_index("in")?,
+            out: spec.port_index("out")?,
+        }) as Box<dyn Component>)
     });
     reg
 }
@@ -240,7 +246,16 @@ fn netlist_of(src: &str) -> Netlist {
     let model = parse(model_file, src, &mut diags);
     assert!(!diags.has_errors(), "{}", diags.render(&sources));
     compile(
-        &[Unit { program: &lib, library: true }, Unit { program: &model, library: false }],
+        &[
+            Unit {
+                program: &lib,
+                library: true,
+            },
+            Unit {
+                program: &model,
+                library: false,
+            },
+        ],
         &CompileOptions::default(),
         &mut diags,
     )
@@ -250,8 +265,15 @@ fn netlist_of(src: &str) -> Netlist {
 
 fn sim_of(src: &str, scheduler: Scheduler) -> Simulator {
     let netlist = netlist_of(src);
-    build(&netlist, &registry(), SimOptions { scheduler, ..Default::default() })
-        .unwrap_or_else(|e| panic!("build failed: {e}"))
+    build(
+        &netlist,
+        &registry(),
+        SimOptions {
+            scheduler,
+            ..Default::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("build failed: {e}"))
 }
 
 // ---- tests -----------------------------------------------------------------
@@ -305,9 +327,17 @@ fn three_stage_register_pipeline_has_three_cycle_latency() {
         sim.run(3).unwrap();
         assert_eq!(sim.peek("r2", "out", 0), None, "{scheduler:?}");
         sim.run(1).unwrap();
-        assert_eq!(sim.peek("r2", "out", 0), Some(Datum::Int(0)), "{scheduler:?}");
+        assert_eq!(
+            sim.peek("r2", "out", 0),
+            Some(Datum::Int(0)),
+            "{scheduler:?}"
+        );
         sim.run(1).unwrap();
-        assert_eq!(sim.peek("r2", "out", 0), Some(Datum::Int(1)), "{scheduler:?}");
+        assert_eq!(
+            sim.peek("r2", "out", 0),
+            Some(Datum::Int(1)),
+            "{scheduler:?}"
+        );
     }
 }
 
@@ -326,9 +356,17 @@ fn adder_combines_two_counters_same_cycle() {
     for scheduler in [Scheduler::Static, Scheduler::Dynamic] {
         let mut sim = sim_of(src, scheduler);
         sim.run(1).unwrap();
-        assert_eq!(sim.peek("x", "out", 0), Some(Datum::Int(100)), "{scheduler:?}");
+        assert_eq!(
+            sim.peek("x", "out", 0),
+            Some(Datum::Int(100)),
+            "{scheduler:?}"
+        );
         sim.run(1).unwrap();
-        assert_eq!(sim.peek("x", "out", 0), Some(Datum::Int(102)), "{scheduler:?}");
+        assert_eq!(
+            sim.peek("x", "out", 0),
+            Some(Datum::Int(102)),
+            "{scheduler:?}"
+        );
     }
 }
 
@@ -393,10 +431,22 @@ fn collectors_count_port_firings_and_declared_events() {
     "#;
     let mut sim = sim_of(src, Scheduler::Static);
     sim.run(5).unwrap();
-    assert_eq!(sim.collector_stat("ap", "applied", "seen"), Some(Datum::Int(5)));
-    assert_eq!(sim.collector_stat("ap", "applied", "last"), Some(Datum::Int(4)));
-    assert_eq!(sim.collector_stat("c", "out_fire", "fires"), Some(Datum::Int(5)));
-    assert_eq!(sim.collector_stat("c", "out_fire", "sum"), Some(Datum::Int(10)));
+    assert_eq!(
+        sim.collector_stat("ap", "applied", "seen"),
+        Some(Datum::Int(5))
+    );
+    assert_eq!(
+        sim.collector_stat("ap", "applied", "last"),
+        Some(Datum::Int(4))
+    );
+    assert_eq!(
+        sim.collector_stat("c", "out_fire", "fires"),
+        Some(Datum::Int(5))
+    );
+    assert_eq!(
+        sim.collector_stat("c", "out_fire", "sum"),
+        Some(Datum::Int(10))
+    );
     assert!(sim.stats().events_dispatched >= 10);
 }
 
@@ -437,8 +487,16 @@ fn convergent_combinational_loop_settles() {
     for scheduler in [Scheduler::Static, Scheduler::Dynamic] {
         let mut sim = sim_of(src, scheduler);
         sim.run(1).unwrap();
-        assert_eq!(sim.peek("k1", "out", 0), Some(Datum::Int(8)), "{scheduler:?}");
-        assert_eq!(sim.peek("k2", "out", 0), Some(Datum::Int(8)), "{scheduler:?}");
+        assert_eq!(
+            sim.peek("k1", "out", 0),
+            Some(Datum::Int(8)),
+            "{scheduler:?}"
+        );
+        assert_eq!(
+            sim.peek("k2", "out", 0),
+            Some(Datum::Int(8)),
+            "{scheduler:?}"
+        );
     }
     // The static schedule contains exactly one fixpoint block.
     let sim = sim_of(src, Scheduler::Static);
@@ -582,7 +640,9 @@ fn type_checking_mode_catches_behavior_type_violations() {
     }
     let mut reg = registry();
     reg.register("test/liar.tar", |spec| {
-        Ok(Box::new(Liar { out: spec.port_index("out")? }) as Box<dyn Component>)
+        Ok(Box::new(Liar {
+            out: spec.port_index("out")?,
+        }) as Box<dyn Component>)
     });
     let netlist = netlist_of(
         "module liar { outport out:int; tar_file = \"test/liar.tar\"; };\n\
@@ -596,12 +656,18 @@ fn type_checking_mode_catches_behavior_type_violations() {
     let mut checked = build(
         &netlist,
         &reg,
-        SimOptions { check_types: true, ..Default::default() },
+        SimOptions {
+            check_types: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     let err = checked.run(1).unwrap_err();
     assert!(err.message.contains("expects int"), "{err}");
-    assert!(err.message.contains("l:"), "message should name the instance: {err}");
+    assert!(
+        err.message.contains("l:"),
+        "message should name the instance: {err}"
+    );
 }
 
 #[test]
@@ -610,7 +676,10 @@ fn type_checking_mode_passes_clean_models() {
     let mut sim = build(
         &netlist,
         &registry(),
-        SimOptions { check_types: true, ..Default::default() },
+        SimOptions {
+            check_types: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     sim.run(5).unwrap();

@@ -1,0 +1,34 @@
+//! Source-level guard for the interned hot path: the cycle engine must not
+//! reintroduce string-keyed map lookups. Runtime variables, userpoints,
+//! events, collector routing, and collector state are all addressed through
+//! dense IDs resolved at build time; names exist only at output boundaries
+//! (`FiringRecord`, `collector_reports`, error messages).
+
+#[test]
+fn engine_has_no_string_keyed_maps() {
+    let src = include_str!("../src/engine.rs");
+    for forbidden in [
+        "HashMap<String",
+        "HashMap<&str",
+        "BTreeMap<String",
+        "BTreeMap<&str",
+        "HashMap<(usize, String)",
+        "HashMap<(InstanceId, String)",
+    ] {
+        assert!(
+            !src.contains(forbidden),
+            "engine.rs contains `{forbidden}` — the per-cycle path must stay ID-indexed \
+             (resolve names at build time, store dense IDs, look up by index)"
+        );
+    }
+}
+
+#[test]
+fn slot_tables_are_flat_vectors() {
+    let src = include_str!("../src/slots.rs");
+    assert!(
+        !src.contains("HashMap") && !src.contains("BTreeMap"),
+        "slots.rs must keep SlotTable as parallel vectors: hashing on slot access \
+         is exactly what the interning refactor removed"
+    );
+}

@@ -63,7 +63,11 @@ pub struct Constraint {
 impl Constraint {
     /// Creates a constraint with [`ConstraintOrigin::Synthetic`] provenance.
     pub fn eq(lhs: Scheme, rhs: Scheme) -> Self {
-        Constraint { lhs, rhs, origin: ConstraintOrigin::Synthetic }
+        Constraint {
+            lhs,
+            rhs,
+            origin: ConstraintOrigin::Synthetic,
+        }
     }
 
     /// Creates a constraint with explicit provenance.
@@ -125,7 +129,10 @@ impl ConstraintSet {
 
     /// Number of constraints containing a disjunction.
     pub fn disjunctive_count(&self) -> usize {
-        self.constraints.iter().filter(|c| c.has_disjunction()).count()
+        self.constraints
+            .iter()
+            .filter(|c| c.has_disjunction())
+            .count()
     }
 
     /// Iterates constraints in order.
@@ -136,7 +143,9 @@ impl ConstraintSet {
 
 impl FromIterator<Constraint> for ConstraintSet {
     fn from_iter<I: IntoIterator<Item = Constraint>>(iter: I) -> Self {
-        ConstraintSet { constraints: iter.into_iter().collect() }
+        ConstraintSet {
+            constraints: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -170,7 +179,10 @@ mod tests {
     fn counts_disjunctive_constraints() {
         let mut set = ConstraintSet::new();
         set.push_eq(Scheme::Var(TyVar(0)), Scheme::Int);
-        set.push_eq(Scheme::Var(TyVar(1)), Scheme::Or(vec![Scheme::Int, Scheme::Float]));
+        set.push_eq(
+            Scheme::Var(TyVar(1)),
+            Scheme::Or(vec![Scheme::Int, Scheme::Float]),
+        );
         assert_eq!(set.len(), 2);
         assert_eq!(set.disjunctive_count(), 1);
         assert!(!set.is_empty());
@@ -192,14 +204,18 @@ mod tests {
         set.push_eq(Scheme::Var(TyVar(0)), Scheme::Int);
         set.push_eq(Scheme::Var(TyVar(1)), Scheme::Bool);
         assert_eq!(set.to_string(), "'t0 = int ∧ 't1 = bool");
-        let origin = ConstraintOrigin::Connection { src: "a.out".into(), dst: "b.in".into() };
+        let origin = ConstraintOrigin::Connection {
+            src: "a.out".into(),
+            dst: "b.in".into(),
+        };
         assert_eq!(origin.to_string(), "connection a.out -> b.in");
     }
 
     #[test]
     fn collects_from_iterator() {
-        let set: ConstraintSet =
-            [Constraint::eq(Scheme::Int, Scheme::Int)].into_iter().collect();
+        let set: ConstraintSet = [Constraint::eq(Scheme::Int, Scheme::Int)]
+            .into_iter()
+            .collect();
         assert_eq!(set.len(), 1);
     }
 }

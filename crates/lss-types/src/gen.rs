@@ -17,7 +17,10 @@ fn overload_alts(k: usize) -> Vec<Scheme> {
             alts.push(base[i].clone());
         } else {
             // Widen the overload family with distinct array types.
-            alts.push(Scheme::Array(Box::new(base[i % base.len()].clone()), 1 + i / base.len()));
+            alts.push(Scheme::Array(
+                Box::new(base[i % base.len()].clone()),
+                1 + i / base.len(),
+            ));
         }
     }
     alts
@@ -36,10 +39,16 @@ pub fn overloaded_chain(n: usize, k: usize) -> ConstraintSet {
     let alts = overload_alts(k);
     let mut set = ConstraintSet::new();
     for i in 0..n {
-        set.push(Constraint::eq(Scheme::Var(TyVar(i as u32)), Scheme::Or(alts.clone())));
+        set.push(Constraint::eq(
+            Scheme::Var(TyVar(i as u32)),
+            Scheme::Or(alts.clone()),
+        ));
     }
     for i in 1..n {
-        set.push(Constraint::eq(Scheme::Var(TyVar(i as u32 - 1)), Scheme::Var(TyVar(i as u32))));
+        set.push(Constraint::eq(
+            Scheme::Var(TyVar(i as u32 - 1)),
+            Scheme::Var(TyVar(i as u32)),
+        ));
     }
     set.push(Constraint::eq(
         Scheme::Var(TyVar(n as u32 - 1)),
@@ -76,10 +85,16 @@ pub fn crossbar(n: usize, k: usize) -> ConstraintSet {
     let bus = TyVar(n as u32);
     for i in 0..n {
         let producer = TyVar(i as u32);
-        set.push(Constraint::eq(Scheme::Var(producer), Scheme::Or(alts.clone())));
+        set.push(Constraint::eq(
+            Scheme::Var(producer),
+            Scheme::Or(alts.clone()),
+        ));
         set.push(Constraint::eq(Scheme::Var(producer), Scheme::Var(bus)));
     }
-    set.push(Constraint::eq(Scheme::Var(bus), alts.last().expect("k >= 1").clone()));
+    set.push(Constraint::eq(
+        Scheme::Var(bus),
+        alts.last().expect("k >= 1").clone(),
+    ));
     set
 }
 
@@ -100,7 +115,10 @@ fn shift(scheme: &Scheme, offset: u32) -> Scheme {
         Scheme::Var(v) => Scheme::Var(TyVar(v.0 + offset)),
         Scheme::Array(t, n) => Scheme::Array(Box::new(shift(t, offset)), *n),
         Scheme::Struct(fields) => Scheme::Struct(
-            fields.iter().map(|(name, t)| (name.clone(), shift(t, offset))).collect(),
+            fields
+                .iter()
+                .map(|(name, t)| (name.clone(), shift(t, offset)))
+                .collect(),
         ),
         Scheme::Or(alts) => Scheme::Or(alts.iter().map(|t| shift(t, offset)).collect()),
         other => other.clone(),
@@ -120,7 +138,10 @@ mod tests {
         for i in 0..10 {
             assert_eq!(sol.ty_of(TyVar(i)), Some(Ty::Bool)); // 3rd alternative
         }
-        assert_eq!(sol.stats.branches, 0, "chain should be solved purely by smart commits");
+        assert_eq!(
+            sol.stats.branches, 0,
+            "chain should be solved purely by smart commits"
+        );
     }
 
     #[test]
@@ -145,7 +166,10 @@ mod tests {
     #[test]
     fn contradictory_chain_is_unsat_in_all_modes() {
         let set = contradictory_chain(5, 2);
-        for config in [SolverConfig::heuristic(), SolverConfig::naive().with_budget(2_000_000)] {
+        for config in [
+            SolverConfig::heuristic(),
+            SolverConfig::naive().with_budget(2_000_000),
+        ] {
             let err = solve(&set, &config).unwrap_err();
             assert!(
                 matches!(err, SolveError::Unsatisfiable { .. }),
@@ -159,7 +183,10 @@ mod tests {
         // The shape claim behind Figure "§5": heuristics keep the cost flat
         // while the naive algorithm explodes.
         let steps = |n: usize, config: &SolverConfig| {
-            solve(&overloaded_chain(n, 2), config).unwrap().stats.unify_steps
+            solve(&overloaded_chain(n, 2), config)
+                .unwrap()
+                .stats
+                .unify_steps
         };
         let naive = SolverConfig::naive();
         let heur = SolverConfig::heuristic();

@@ -33,6 +33,7 @@
 
 pub mod constraint;
 pub mod gen;
+pub mod rng;
 pub mod sat;
 pub mod solve;
 pub mod ty;
@@ -40,7 +41,8 @@ pub mod unify;
 pub mod value;
 
 pub use constraint::{Constraint, ConstraintOrigin, ConstraintSet};
-pub use solve::{partition, solve, SolveError, SolveStats, Solution, SolverConfig};
+pub use rng::SplitMix64;
+pub use solve::{partition, solve, Solution, SolveError, SolveStats, SolverConfig};
 pub use ty::{Scheme, Ty, TyVar, VarGen};
 pub use unify::{unifiable, unify, Subst, UnifyError, UnifyStats};
 pub use value::Datum;

@@ -1,0 +1,137 @@
+//! A small deterministic PRNG (SplitMix64) so the workspace needs no
+//! external `rand` dependency and builds fully offline.
+//!
+//! SplitMix64 (Steele, Lea & Flood, OOPSLA'14) passes BigCrush, needs only
+//! a 64-bit counter of state, and is trivially seedable — more than enough
+//! for synthetic workload generation and randomized tests. Not for
+//! cryptography.
+
+/// A seeded SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `[0, bound)`. `bound` must be positive.
+    ///
+    /// Uses Lemire's multiply-shift reduction with a rejection step, so the
+    /// distribution is exactly uniform.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        loop {
+            let x = self.next_u64();
+            let hi = ((x as u128 * bound as u128) >> 64) as u64;
+            let lo = x.wrapping_mul(bound);
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return hi;
+            }
+        }
+    }
+
+    /// A uniform `i64` in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo.wrapping_add(self.below(hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// A uniform `u32` in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as u32
+    }
+
+    /// A uniform `usize` in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// True with probability `pct`/100.
+    pub fn percent(&mut self, pct: u32) -> bool {
+        self.below(100) < pct as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(12345);
+        let mut b = SplitMix64::new(12345);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(12346);
+        assert_ne!(SplitMix64::new(12345).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_bounds_and_covers() {
+        let mut rng = SplitMix64::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear in 1000 draws"
+        );
+    }
+
+    #[test]
+    fn range_endpoints() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..100 {
+            let v = rng.range_i64(-5, 5);
+            assert!((-5..5).contains(&v));
+        }
+        assert_eq!(rng.range_i64(3, 4), 3);
+    }
+
+    #[test]
+    fn percent_is_roughly_calibrated() {
+        let mut rng = SplitMix64::new(99);
+        let hits = (0..10_000).filter(|_| rng.percent(30)).count();
+        assert!(
+            (2_500..3_500).contains(&hits),
+            "30% of 10k draws, got {hits}"
+        );
+    }
+
+    #[test]
+    fn unit_f64_in_half_open_interval() {
+        let mut rng = SplitMix64::new(4);
+        for _ in 0..1000 {
+            let v = rng.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -22,12 +22,18 @@ pub struct Lit {
 impl Lit {
     /// Positive literal for variable `var`.
     pub fn pos(var: usize) -> Lit {
-        Lit { var, positive: true }
+        Lit {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal for variable `var`.
     pub fn neg(var: usize) -> Lit {
-        Lit { var, positive: false }
+        Lit {
+            var,
+            positive: false,
+        }
     }
 }
 
@@ -43,7 +49,10 @@ pub struct Formula {
 impl Formula {
     /// Creates a formula over `num_vars` variables.
     pub fn new(num_vars: usize) -> Self {
-        Formula { num_vars, clauses: Vec::new() }
+        Formula {
+            num_vars,
+            clauses: Vec::new(),
+        }
     }
 
     /// Adds a clause.
@@ -53,7 +62,11 @@ impl Formula {
     /// Panics if any literal references a variable `>= num_vars`.
     pub fn clause(&mut self, a: Lit, b: Lit, c: Lit) -> &mut Self {
         for l in [a, b, c] {
-            assert!(l.var < self.num_vars, "literal references unknown variable {}", l.var);
+            assert!(
+                l.var < self.num_vars,
+                "literal references unknown variable {}",
+                l.var
+            );
         }
         self.clauses.push([a, b, c]);
         self
@@ -61,17 +74,16 @@ impl Formula {
 
     /// Evaluates the formula under `assignment` (indexed by variable).
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        self.clauses.iter().all(|clause| {
-            clause.iter().any(|l| assignment[l.var] == l.positive)
-        })
+        self.clauses
+            .iter()
+            .all(|clause| clause.iter().any(|l| assignment[l.var] == l.positive))
     }
 
     /// Brute-force satisfiability (for cross-checking small instances).
     pub fn brute_force_sat(&self) -> Option<Vec<bool>> {
         assert!(self.num_vars <= 24, "brute force limited to 24 variables");
         for bits in 0u64..(1u64 << self.num_vars) {
-            let assignment: Vec<bool> =
-                (0..self.num_vars).map(|i| bits & (1 << i) != 0).collect();
+            let assignment: Vec<bool> = (0..self.num_vars).map(|i| bits & (1 << i) != 0).collect();
             if self.eval(&assignment) {
                 return Some(assignment);
             }
@@ -132,10 +144,7 @@ pub fn encode(formula: &Formula) -> ConstraintSet {
 /// Decodes a solver solution back to a boolean assignment.
 ///
 /// Returns `None` if any variable did not resolve to `int` or `float`.
-pub fn decode(
-    solution: &crate::solve::Solution,
-    num_vars: usize,
-) -> Option<Vec<bool>> {
+pub fn decode(solution: &crate::solve::Solution, num_vars: usize) -> Option<Vec<bool>> {
     (0..num_vars)
         .map(|i| match solution.ty_of(TyVar(i as u32))? {
             Ty::Int => Some(true),
@@ -159,7 +168,10 @@ mod tests {
         let set = encode(&f);
         let sol = solve(&set, &SolverConfig::heuristic()).unwrap();
         let assignment = decode(&sol, 3).unwrap();
-        assert!(f.eval(&assignment), "decoded assignment must satisfy the formula");
+        assert!(
+            f.eval(&assignment),
+            "decoded assignment must satisfy the formula"
+        );
     }
 
     #[test]
@@ -200,7 +212,10 @@ mod tests {
             match (brute, solved) {
                 (Some(_), Ok(sol)) => {
                     let assignment = decode(&sol, num_vars).unwrap();
-                    assert!(f.eval(&assignment), "solver produced a falsifying assignment");
+                    assert!(
+                        f.eval(&assignment),
+                        "solver produced a falsifying assignment"
+                    );
                 }
                 (None, Err(SolveError::Unsatisfiable { .. })) => {}
                 (brute, solved) => panic!(

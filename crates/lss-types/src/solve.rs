@@ -25,6 +25,10 @@
 //! constraints in order, and on encountering `(t* = t1*|...|tn*) ∧ φ`
 //! recursively try every `t* = ti* ∧ φ`.
 
+// `SolveError::Unsatisfiable` carries the offending constraint by value so
+// diagnostics can print it; solve errors are rare and never on a hot path.
+#![allow(clippy::result_large_err)]
+
 use std::fmt;
 
 use crate::constraint::{Constraint, ConstraintSet};
@@ -124,10 +128,17 @@ impl fmt::Display for SolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SolveError::Unsatisfiable { constraint, reason } => {
-                write!(f, "unsatisfiable constraint `{constraint}` ({}): {reason}", constraint.origin)
+                write!(
+                    f,
+                    "unsatisfiable constraint `{constraint}` ({}): {reason}",
+                    constraint.origin
+                )
             }
             SolveError::BudgetExhausted { steps } => {
-                write!(f, "type inference exceeded its step budget after {steps} steps")
+                write!(
+                    f,
+                    "type inference exceeded its step budget after {steps} steps"
+                )
             }
         }
     }
@@ -153,7 +164,9 @@ impl Solution {
     /// Variables from `vars` that did not resolve to a basic type — these
     /// require explicit type instantiation by the user.
     pub fn unresolved<'a>(&'a self, vars: impl IntoIterator<Item = TyVar> + 'a) -> Vec<TyVar> {
-        vars.into_iter().filter(|v| self.ty_of(*v).is_none()).collect()
+        vars.into_iter()
+            .filter(|v| self.ty_of(*v).is_none())
+            .collect()
     }
 }
 
@@ -177,12 +190,14 @@ pub fn solve(set: &ConstraintSet, config: &SolverConfig) -> Result<Solution, Sol
     };
     solver.stats.partitions = groups.len();
     for group in &groups {
-        let constraints: Vec<&Constraint> =
-            group.iter().map(|&i| &set.constraints[i]).collect();
+        let constraints: Vec<&Constraint> = group.iter().map(|&i| &set.constraints[i]).collect();
         solver.solve_group(&constraints, &mut subst)?;
     }
     solver.stats.unify_steps = solver.unify_stats.steps;
-    Ok(Solution { subst, stats: solver.stats })
+    Ok(Solution {
+        subst,
+        stats: solver.stats,
+    })
 }
 
 /// Partitions constraint indices into groups sharing no type variables.
@@ -254,14 +269,19 @@ impl Solver<'_> {
     fn check_budget(&self) -> Result<(), SolveError> {
         if let Some(budget) = self.config.step_budget {
             if self.unify_stats.steps > budget {
-                return Err(SolveError::BudgetExhausted { steps: self.unify_stats.steps });
+                return Err(SolveError::BudgetExhausted {
+                    steps: self.unify_stats.steps,
+                });
             }
         }
         Ok(())
     }
 
     fn unsat(&self, c: &Constraint, reason: impl ToString) -> SolveError {
-        SolveError::Unsatisfiable { constraint: c.clone(), reason: reason.to_string() }
+        SolveError::Unsatisfiable {
+            constraint: c.clone(),
+            reason: reason.to_string(),
+        }
     }
 
     fn solve_group(
@@ -380,7 +400,10 @@ impl Solver<'_> {
             let mut best: Option<(usize, Vec<(Scheme, Scheme)>)> = None;
             for (i, c) in pending.iter().enumerate() {
                 let viable = self.viable(c, subst)?;
-                let better = best.as_ref().map(|(_, b)| viable.len() < b.len()).unwrap_or(true);
+                let better = best
+                    .as_ref()
+                    .map(|(_, b)| viable.len() < b.len())
+                    .unwrap_or(true);
                 if better {
                     best = Some((i, viable));
                 }
@@ -449,7 +472,8 @@ impl Solver<'_> {
                         }
                     }
                 }
-                Err(last_err.unwrap_or_else(|| self.unsat(c, "every disjunct led to a contradiction")))
+                Err(last_err
+                    .unwrap_or_else(|| self.unsat(c, "every disjunct led to a contradiction")))
             }
             Err(e) => Err(self.unsat(c, e)),
         }
@@ -518,7 +542,10 @@ mod tests {
             set.push_eq(var(0), or(&[Scheme::Int, Scheme::Float]));
             set.push_eq(var(0), Scheme::Bool);
             let err = solve(&set, &config).unwrap_err();
-            assert!(matches!(err, SolveError::Unsatisfiable { .. }), "config {config:?}");
+            assert!(
+                matches!(err, SolveError::Unsatisfiable { .. }),
+                "config {config:?}"
+            );
         }
     }
 
@@ -537,7 +564,11 @@ mod tests {
             set.push_eq(var(n - 1), Scheme::Float);
             let sol = solve(&set, &config).unwrap();
             for i in 0..n {
-                assert_eq!(sol.ty_of(TyVar(i)), Some(Ty::Float), "var {i} config {config:?}");
+                assert_eq!(
+                    sol.ty_of(TyVar(i)),
+                    Some(Ty::Float),
+                    "var {i} config {config:?}"
+                );
             }
         }
     }
@@ -581,7 +612,10 @@ mod tests {
     fn disjunction_on_both_sides() {
         for config in all_configs() {
             let mut set = ConstraintSet::new();
-            set.push_eq(or(&[Scheme::Int, Scheme::Bool]), or(&[Scheme::Bool, Scheme::Float]));
+            set.push_eq(
+                or(&[Scheme::Int, Scheme::Bool]),
+                or(&[Scheme::Bool, Scheme::Float]),
+            );
             // Only bool is common; tie 'a to witness the choice.
             set.push_eq(var(0), or(&[Scheme::Int, Scheme::Bool]));
             set.push_eq(var(0), or(&[Scheme::Bool, Scheme::Float]));
@@ -667,7 +701,10 @@ mod tests {
         ));
         let err = solve(&set, &SolverConfig::heuristic()).unwrap_err();
         let msg = err.to_string();
-        assert!(msg.contains("alu.out"), "message should cite the connection: {msg}");
+        assert!(
+            msg.contains("alu.out"),
+            "message should cite the connection: {msg}"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl VarGen {
 
     /// The descriptive name given at allocation.
     pub fn name(&self, var: TyVar) -> &str {
-        self.names.get(var.0 as usize).map(String::as_str).unwrap_or("?")
+        self.names
+            .get(var.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
     }
 
     /// Number of variables allocated so far.
@@ -140,7 +143,10 @@ impl Scheme {
             Ty::String => Scheme::String,
             Ty::Array(t, n) => Scheme::Array(Box::new(Scheme::from_ty(t)), *n),
             Ty::Struct(fields) => Scheme::Struct(
-                fields.iter().map(|(name, t)| (name.clone(), Scheme::from_ty(t))).collect(),
+                fields
+                    .iter()
+                    .map(|(name, t)| (name.clone(), Scheme::from_ty(t)))
+                    .collect(),
             ),
         }
     }
@@ -342,7 +348,10 @@ mod tests {
         let v = TyVar(7);
         let s = Scheme::Struct(vec![(
             "f".into(),
-            Scheme::Or(vec![Scheme::Int, Scheme::Array(Box::new(Scheme::Var(v)), 1)]),
+            Scheme::Or(vec![
+                Scheme::Int,
+                Scheme::Array(Box::new(Scheme::Var(v)), 1),
+            ]),
         )]);
         assert!(s.occurs(v));
         assert!(!s.occurs(TyVar(8)));

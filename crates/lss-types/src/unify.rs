@@ -50,7 +50,10 @@ impl Subst {
             },
             Scheme::Array(t, n) => Scheme::Array(Box::new(self.resolve(t)), *n),
             Scheme::Struct(fields) => Scheme::Struct(
-                fields.iter().map(|(name, t)| (name.clone(), self.resolve(t))).collect(),
+                fields
+                    .iter()
+                    .map(|(name, t)| (name.clone(), self.resolve(t)))
+                    .collect(),
             ),
             Scheme::Or(alts) => Scheme::Or(alts.iter().map(|t| self.resolve(t)).collect()),
             other => other.clone(),
@@ -219,7 +222,10 @@ mod tests {
         assert_eq!(s.ground(TyVar(0)), Some(Ty::Float));
         // mismatched lengths fail
         let c = Scheme::Array(Box::new(Scheme::Float), 5);
-        assert!(matches!(unify(&a, &c, &mut s, &mut st), Err(UnifyError::Mismatch(..))));
+        assert!(matches!(
+            unify(&a, &c, &mut s, &mut st),
+            Err(UnifyError::Mismatch(..))
+        ));
     }
 
     #[test]
@@ -241,7 +247,10 @@ mod tests {
         let mut s = Subst::new();
         let mut st = UnifyStats::default();
         let rec = Scheme::Array(Box::new(var(0)), 1);
-        assert!(matches!(unify(&var(0), &rec, &mut s, &mut st), Err(UnifyError::Occurs(..))));
+        assert!(matches!(
+            unify(&var(0), &rec, &mut s, &mut st),
+            Err(UnifyError::Occurs(..))
+        ));
     }
 
     #[test]
@@ -249,8 +258,19 @@ mod tests {
         let mut s = Subst::new();
         let mut st = UnifyStats::default();
         // 'a = 'b[1]; then 'b = 'a[1] must fail (would be infinite).
-        unify(&var(0), &Scheme::Array(Box::new(var(1)), 1), &mut s, &mut st).unwrap();
-        let res = unify(&var(1), &Scheme::Array(Box::new(var(0)), 1), &mut s, &mut st);
+        unify(
+            &var(0),
+            &Scheme::Array(Box::new(var(1)), 1),
+            &mut s,
+            &mut st,
+        )
+        .unwrap();
+        let res = unify(
+            &var(1),
+            &Scheme::Array(Box::new(var(0)), 1),
+            &mut s,
+            &mut st,
+        );
         assert!(matches!(res, Err(UnifyError::Occurs(..))));
     }
 
@@ -307,6 +327,9 @@ mod tests {
         s.bind(TyVar(0), Scheme::Int);
         let nested = Scheme::Struct(vec![("f".into(), Scheme::Array(Box::new(var(0)), 2))]);
         let resolved = s.resolve(&nested);
-        assert_eq!(resolved.to_ty(), Some(Ty::record([("f", Ty::Array(Box::new(Ty::Int), 2))])));
+        assert_eq!(
+            resolved.to_ty(),
+            Some(Ty::record([("f", Ty::Array(Box::new(Ty::Int), 2))]))
+        );
     }
 }

@@ -55,7 +55,10 @@ impl Datum {
             Ty::String => Datum::Str(String::new()),
             Ty::Array(t, n) => Datum::Array(vec![Datum::default_for(t); *n]),
             Ty::Struct(fields) => Datum::Struct(
-                fields.iter().map(|(n, t)| (n.clone(), Datum::default_for(t))).collect(),
+                fields
+                    .iter()
+                    .map(|(n, t)| (n.clone(), Datum::default_for(t)))
+                    .collect(),
             ),
         }
     }
@@ -124,9 +127,7 @@ impl Datum {
     /// Mutable struct-field lookup by name.
     pub fn field_mut(&mut self, name: &str) -> Option<&mut Datum> {
         match self {
-            Datum::Struct(fields) => {
-                fields.iter_mut().find(|(n, _)| n == name).map(|(_, v)| v)
-            }
+            Datum::Struct(fields) => fields.iter_mut().find(|(n, _)| n == name).map(|(_, v)| v),
             _ => None,
         }
     }

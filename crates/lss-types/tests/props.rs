@@ -1,121 +1,180 @@
-//! Property-based tests for the type system: unification laws and solver
-//! determinism.
-
-use proptest::prelude::*;
+//! Randomized property tests for the type system: unification laws and
+//! solver determinism. Driven by the in-repo seeded PRNG so the suite
+//! needs no external dependencies and every failure is reproducible from
+//! the printed seed.
 
 use lss_types::{
-    solve, unify, Constraint, ConstraintSet, Scheme, SolveError, SolverConfig, Subst, Ty, TyVar,
-    UnifyStats,
+    solve, unify, Constraint, ConstraintSet, Scheme, SolveError, SolverConfig, SplitMix64, Subst,
+    Ty, TyVar, UnifyStats,
 };
 
-fn arb_ground() -> impl Strategy<Value = Ty> {
-    let leaf = prop_oneof![Just(Ty::Int), Just(Ty::Bool), Just(Ty::Float), Just(Ty::String)];
-    leaf.prop_recursive(3, 12, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), 1usize..4).prop_map(|(t, n)| Ty::Array(Box::new(t), n)),
-            proptest::collection::vec(inner, 1..3).prop_map(|ts| {
-                Ty::Struct(ts.into_iter().enumerate().map(|(i, t)| (format!("f{i}"), t)).collect())
-            }),
-        ]
-    })
+fn gen_ground(rng: &mut SplitMix64, depth: u32) -> Ty {
+    let leaf = depth == 0 || rng.percent(40);
+    if leaf {
+        match rng.index(4) {
+            0 => Ty::Int,
+            1 => Ty::Bool,
+            2 => Ty::Float,
+            _ => Ty::String,
+        }
+    } else {
+        match rng.index(2) {
+            0 => Ty::Array(Box::new(gen_ground(rng, depth - 1)), 1 + rng.index(3)),
+            _ => {
+                let n = 1 + rng.index(2);
+                Ty::Struct(
+                    (0..n)
+                        .map(|i| (format!("f{i}"), gen_ground(rng, depth - 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
 }
 
-fn arb_scheme(vars: u32) -> impl Strategy<Value = Scheme> {
-    let leaf = prop_oneof![
-        Just(Scheme::Int),
-        Just(Scheme::Bool),
-        Just(Scheme::Float),
-        (0..vars).prop_map(|v| Scheme::Var(TyVar(v))),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), 1usize..3).prop_map(|(t, n)| Scheme::Array(Box::new(t), n)),
-            proptest::collection::vec(inner, 2..4).prop_map(Scheme::Or),
-        ]
-    })
+fn gen_scheme(rng: &mut SplitMix64, vars: u32, depth: u32) -> Scheme {
+    let leaf = depth == 0 || rng.percent(45);
+    if leaf {
+        match rng.index(4) {
+            0 => Scheme::Int,
+            1 => Scheme::Bool,
+            2 => Scheme::Float,
+            _ => Scheme::Var(TyVar(rng.range_u32(0, vars))),
+        }
+    } else {
+        match rng.index(2) {
+            0 => Scheme::Array(Box::new(gen_scheme(rng, vars, depth - 1)), 1 + rng.index(2)),
+            _ => {
+                let n = 2 + rng.index(2);
+                Scheme::Or((0..n).map(|_| gen_scheme(rng, vars, depth - 1)).collect())
+            }
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Unification is symmetric in outcome.
-    #[test]
-    fn unify_is_symmetric(a in arb_scheme(4), b in arb_scheme(4)) {
+/// Unification is symmetric in outcome.
+#[test]
+fn unify_is_symmetric() {
+    let mut rng = SplitMix64::new(0xA11CE);
+    for case in 0..256 {
+        let a = gen_scheme(&mut rng, 4, 3);
+        let b = gen_scheme(&mut rng, 4, 3);
         let mut s1 = Subst::new();
         let mut s2 = Subst::new();
         let mut st = UnifyStats::default();
         let r1 = unify(&a, &b, &mut s1, &mut st).is_ok();
         let r2 = unify(&b, &a, &mut s2, &mut st).is_ok();
-        prop_assert_eq!(r1, r2, "unify({}, {}) vs unify({}, {})", a, b, b, a);
+        assert_eq!(r1, r2, "case {case}: unify({a}, {b}) vs unify({b}, {a})");
     }
+}
 
-    /// Unifying a ground scheme with itself always succeeds and binds
-    /// nothing.
-    #[test]
-    fn unify_is_reflexive_on_ground(t in arb_ground()) {
+/// Unifying a ground scheme with itself always succeeds and binds nothing.
+#[test]
+fn unify_is_reflexive_on_ground() {
+    let mut rng = SplitMix64::new(0xB0B);
+    for case in 0..256 {
+        let t = gen_ground(&mut rng, 3);
         let scheme = Scheme::from_ty(&t);
         let mut subst = Subst::new();
         let mut st = UnifyStats::default();
-        prop_assert!(unify(&scheme, &scheme, &mut subst, &mut st).is_ok());
-        prop_assert_eq!(subst.bound_count(), 0);
+        assert!(
+            unify(&scheme, &scheme, &mut subst, &mut st).is_ok(),
+            "case {case}: {t}"
+        );
+        assert_eq!(subst.bound_count(), 0, "case {case}: {t}");
     }
+}
 
-    /// A variable unified with any ground type resolves to exactly it.
-    #[test]
-    fn unify_binds_vars_to_ground(t in arb_ground()) {
+/// A variable unified with any ground type resolves to exactly it.
+#[test]
+fn unify_binds_vars_to_ground() {
+    let mut rng = SplitMix64::new(0xCAFE);
+    for case in 0..256 {
+        let t = gen_ground(&mut rng, 3);
         let mut subst = Subst::new();
         let mut st = UnifyStats::default();
-        unify(&Scheme::Var(TyVar(0)), &Scheme::from_ty(&t), &mut subst, &mut st).unwrap();
-        prop_assert_eq!(subst.ground(TyVar(0)), Some(t));
+        unify(
+            &Scheme::Var(TyVar(0)),
+            &Scheme::from_ty(&t),
+            &mut subst,
+            &mut st,
+        )
+        .unwrap();
+        assert_eq!(subst.ground(TyVar(0)), Some(t), "case {case}");
     }
+}
 
-    /// Ground ty <-> scheme conversion round-trips.
-    #[test]
-    fn ty_scheme_round_trip(t in arb_ground()) {
+/// Ground ty <-> scheme conversion round-trips.
+#[test]
+fn ty_scheme_round_trip() {
+    let mut rng = SplitMix64::new(0xD00D);
+    for case in 0..256 {
+        let t = gen_ground(&mut rng, 3);
         let scheme = Scheme::from_ty(&t);
-        prop_assert!(scheme.is_ground());
-        prop_assert_eq!(scheme.to_ty(), Some(t));
+        assert!(scheme.is_ground(), "case {case}: {scheme}");
+        assert_eq!(scheme.to_ty(), Some(t), "case {case}");
     }
+}
 
-    /// The solver is deterministic: same inputs, same solution.
-    #[test]
-    fn solver_is_deterministic(
-        pairs in proptest::collection::vec((arb_scheme(3), arb_scheme(3)), 1..5)
-    ) {
-        let set: ConstraintSet =
-            pairs.iter().map(|(l, r)| Constraint::eq(l.clone(), r.clone())).collect();
+/// The solver is deterministic: same inputs, same solution.
+#[test]
+fn solver_is_deterministic() {
+    let mut rng = SplitMix64::new(0x5EED);
+    for case in 0..128 {
+        let n = 1 + rng.index(4);
+        let set: ConstraintSet = (0..n)
+            .map(|_| Constraint::eq(gen_scheme(&mut rng, 3, 3), gen_scheme(&mut rng, 3, 3)))
+            .collect();
         let a = solve(&set, &SolverConfig::heuristic());
         let b = solve(&set, &SolverConfig::heuristic());
         match (a, b) {
             (Ok(sa), Ok(sb)) => {
                 for v in 0..3 {
-                    prop_assert_eq!(sa.ty_of(TyVar(v)), sb.ty_of(TyVar(v)));
+                    assert_eq!(sa.ty_of(TyVar(v)), sb.ty_of(TyVar(v)), "case {case}");
                 }
             }
             (Err(SolveError::Unsatisfiable { .. }), Err(SolveError::Unsatisfiable { .. })) => {}
-            (a, b) => return Err(TestCaseError::fail(format!("nondeterministic: {a:?} vs {b:?}"))),
+            (a, b) => panic!("case {case}: nondeterministic: {a:?} vs {b:?}"),
         }
     }
+}
 
-    /// Constraint order never changes satisfiability for the heuristic
-    /// solver (reordering is one of its own heuristics, so this must hold).
-    #[test]
-    fn constraint_order_is_irrelevant(
-        pairs in proptest::collection::vec((arb_scheme(3), arb_scheme(3)), 1..5)
-    ) {
-        let forward: ConstraintSet =
-            pairs.iter().map(|(l, r)| Constraint::eq(l.clone(), r.clone())).collect();
-        let backward: ConstraintSet =
-            pairs.iter().rev().map(|(l, r)| Constraint::eq(l.clone(), r.clone())).collect();
+/// Constraint order never changes satisfiability for the heuristic solver
+/// (reordering is one of its own heuristics, so this must hold).
+#[test]
+fn constraint_order_is_irrelevant() {
+    let mut rng = SplitMix64::new(0xF00D);
+    for case in 0..128 {
+        let n = 1 + rng.index(4);
+        let pairs: Vec<(Scheme, Scheme)> = (0..n)
+            .map(|_| (gen_scheme(&mut rng, 3, 3), gen_scheme(&mut rng, 3, 3)))
+            .collect();
+        let forward: ConstraintSet = pairs
+            .iter()
+            .map(|(l, r)| Constraint::eq(l.clone(), r.clone()))
+            .collect();
+        let backward: ConstraintSet = pairs
+            .iter()
+            .rev()
+            .map(|(l, r)| Constraint::eq(l.clone(), r.clone()))
+            .collect();
         let a = solve(&forward, &SolverConfig::heuristic()).is_ok();
         let b = solve(&backward, &SolverConfig::heuristic()).is_ok();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}: {forward}");
     }
+}
 
-    /// Expansion always covers the disjunction-free case exactly.
-    #[test]
-    fn expansion_of_disjunction_free_is_identity(t in arb_ground()) {
+/// Expansion always covers the disjunction-free case exactly.
+#[test]
+fn expansion_of_disjunction_free_is_identity() {
+    let mut rng = SplitMix64::new(0xFACE);
+    for case in 0..256 {
+        let t = gen_ground(&mut rng, 3);
         let scheme = Scheme::from_ty(&t);
-        prop_assert_eq!(scheme.expand_disjuncts(4096), Some(vec![scheme.clone()]));
+        assert_eq!(
+            scheme.expand_disjuncts(4096),
+            Some(vec![scheme.clone()]),
+            "case {case}"
+        );
     }
 }

@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("rotating arbitration picks a different source each cycle:");
     for _ in 0..4 {
         sim.step()?;
-        println!("  cycle {}: winner value {}", sim.cycle() - 1, sim.peek("fn1.arb", "out", 0).unwrap());
+        println!(
+            "  cycle {}: winner value {}",
+            sim.cycle() - 1,
+            sim.peek("fn1.arb", "out", 0).unwrap()
+        );
     }
 
     // Case 2: a one-to-one funnel. No arbitration is needed, no arbiter is

@@ -9,8 +9,8 @@
 //!
 //! Run with `cargo run --release --example cpu_explore`.
 
-use liberty::models::runner::run_to_completion;
 use liberty::models::compile_source;
+use liberty::models::runner::run_to_completion;
 use liberty::{CompileOptions, Scheduler};
 
 fn core(window: usize, in_order: bool, classes: &str, n_fus: usize) -> String {

@@ -26,6 +26,8 @@ struct BurstEngine {
 }
 
 impl BurstEngine {
+    // Factory in the corelib convention: boxed, ready for the registry.
+    #[allow(clippy::new_ret_no_self)]
     fn new(spec: &liberty::sim::CompSpec) -> Result<Box<dyn Component>, BuildError> {
         Ok(Box::new(BurstEngine {
             desc: spec.port_index("desc")?,
@@ -48,7 +50,11 @@ impl Component for BurstEngine {
     fn end_of_timestep(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
         // Advance the burst.
         if let Some((addr, left)) = self.state {
-            self.state = if left > 1 { Some((addr + 4, left - 1)) } else { None };
+            self.state = if left > 1 {
+                Some((addr + 4, left - 1))
+            } else {
+                None
+            };
             let done = ctx.rtv("words").as_int().unwrap_or(0) + 1;
             ctx.set_rtv("words", Datum::Int(done));
         }
@@ -132,7 +138,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut registry = liberty::corelib::registry();
     registry.register("nic/burst.tar", BurstEngine::new);
     registry.register("nic/feeder.tar", |spec| {
-        Ok(Box::new(Feeder { out: spec.port_index("out")?, sent: false }) as Box<dyn Component>)
+        Ok(Box::new(Feeder {
+            out: spec.port_index("out")?,
+            sent: false,
+        }) as Box<dyn Component>)
     });
     lse.set_registry(registry);
     lse.add_library("nic_lib.lss", nic_lib);
@@ -161,7 +170,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nwords transferred: {}, bursts: {}",
         sim.rtv("dma", "words").unwrap(),
-        sim.collector_stat("dma", "burst_started", "bursts").unwrap()
+        sim.collector_stat("dma", "burst_started", "bursts")
+            .unwrap()
     );
     assert_eq!(sim.rtv("dma", "words").unwrap().as_int(), Some(4));
     Ok(())

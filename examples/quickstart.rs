@@ -53,6 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // Sources count up from start: 0+100, 1+101, ...
     assert_eq!(sim.peek("addblock", "res", 0).unwrap().as_int(), Some(108));
-    println!("\nthe sink swallowed {} values", sim.rtv("block3", "count").unwrap());
+    println!(
+        "\nthe sink swallowed {} values",
+        sim.rtv("block3", "count").unwrap()
+    );
     Ok(())
 }

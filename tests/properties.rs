@@ -1,8 +1,9 @@
-//! Property-based tests over the whole stack: parser/printer consistency,
+//! Randomized tests over the whole stack: parser/printer consistency,
 //! type-inference soundness and completeness against the naive solver,
-//! BSL arithmetic correctness, and simulation conservation laws.
+//! BSL arithmetic correctness, and simulation conservation laws. Driven
+//! by the in-repo seeded PRNG so every failure reproduces from its seed.
 
-use proptest::prelude::*;
+use lss_types::SplitMix64;
 
 // ---------------------------------------------------------------------------
 // Parser / pretty-printer round trip.
@@ -20,6 +21,32 @@ enum IntExpr {
 }
 
 impl IntExpr {
+    fn gen(rng: &mut SplitMix64, depth: u32) -> IntExpr {
+        if depth == 0 || rng.percent(35) {
+            return IntExpr::Lit(rng.range_i64(-50, 50) as i32);
+        }
+        match rng.index(5) {
+            0 => IntExpr::Add(
+                Box::new(IntExpr::gen(rng, depth - 1)),
+                Box::new(IntExpr::gen(rng, depth - 1)),
+            ),
+            1 => IntExpr::Sub(
+                Box::new(IntExpr::gen(rng, depth - 1)),
+                Box::new(IntExpr::gen(rng, depth - 1)),
+            ),
+            2 => IntExpr::Mul(
+                Box::new(IntExpr::gen(rng, depth - 1)),
+                Box::new(IntExpr::gen(rng, depth - 1)),
+            ),
+            3 => IntExpr::Neg(Box::new(IntExpr::gen(rng, depth - 1))),
+            _ => IntExpr::Ternary(
+                Box::new(IntExpr::gen(rng, depth - 1)),
+                Box::new(IntExpr::gen(rng, depth - 1)),
+                Box::new(IntExpr::gen(rng, depth - 1)),
+            ),
+        }
+    }
+
     fn render(&self) -> String {
         match self {
             IntExpr::Lit(v) => {
@@ -57,68 +84,63 @@ impl IntExpr {
     }
 }
 
-fn arb_int_expr() -> impl Strategy<Value = IntExpr> {
-    let leaf = (-50i32..50).prop_map(IntExpr::Lit);
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IntExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IntExpr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IntExpr::Mul(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| IntExpr::Neg(Box::new(a))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| IntExpr::Ternary(Box::new(c), Box::new(a), Box::new(b))),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The compile-time evaluator computes the same value as the reference
-    /// semantics, through the real parser.
-    #[test]
-    fn lss_expressions_evaluate_correctly(expr in arb_int_expr()) {
+/// The compile-time evaluator computes the same value as the reference
+/// semantics, through the real parser.
+#[test]
+fn lss_expressions_evaluate_correctly() {
+    let mut rng = SplitMix64::new(0x1001);
+    for case in 0..64 {
+        let expr = IntExpr::gen(&mut rng, 4);
         let src = format!("instance d:delay;\nd.initial_state = {};", expr.render());
         let mut lse = liberty::Lse::with_corelib();
         lse.add_source("prop.lss", &src);
-        let compiled = lse.compile().map_err(|e| TestCaseError::fail(e))?;
+        let compiled = lse.compile().unwrap_or_else(|e| panic!("case {case}: {e}"));
         let got = compiled.netlist.find("d").unwrap().params["initial_state"]
             .as_int()
             .unwrap();
-        prop_assert_eq!(got, expr.value());
+        assert_eq!(got, expr.value(), "case {case}: {}", expr.render());
     }
+}
 
-    /// Pretty-printing then reparsing is a fixed point of the front end.
-    #[test]
-    fn pretty_print_reparse_is_stable(expr in arb_int_expr()) {
-        use lss_ast::{parse, pretty, DiagnosticBag, SourceMap};
+/// Pretty-printing then reparsing is a fixed point of the front end.
+#[test]
+fn pretty_print_reparse_is_stable() {
+    use lss_ast::{parse, pretty, DiagnosticBag, SourceMap};
+    let mut rng = SplitMix64::new(0x1002);
+    for case in 0..128 {
+        let expr = IntExpr::gen(&mut rng, 4);
         let src = format!("var x:int = {};", expr.render());
         let mut sources = SourceMap::new();
         let f1 = sources.add_file("a.lss", src.as_str());
         let mut diags = DiagnosticBag::new();
         let p1 = parse(f1, &src, &mut diags);
-        prop_assert!(!diags.has_errors());
+        assert!(!diags.has_errors(), "case {case}: {src}");
         let printed = pretty::program_to_string(&p1);
         let f2 = sources.add_file("b.lss", printed.as_str());
         let p2 = parse(f2, &printed, &mut diags);
-        prop_assert!(!diags.has_errors());
-        prop_assert_eq!(printed, pretty::program_to_string(&p2));
+        assert!(!diags.has_errors(), "case {case}: {printed}");
+        assert_eq!(printed, pretty::program_to_string(&p2), "case {case}");
     }
+}
 
-    /// BSL (simulation-time) arithmetic agrees with compile-time
-    /// evaluation and with the reference semantics.
-    #[test]
-    fn bsl_matches_reference_semantics(expr in arb_int_expr()) {
+/// BSL (simulation-time) arithmetic agrees with compile-time evaluation
+/// and with the reference semantics.
+#[test]
+fn bsl_matches_reference_semantics() {
+    let mut rng = SplitMix64::new(0x1003);
+    for case in 0..128 {
+        let expr = IntExpr::gen(&mut rng, 4);
         let code = format!("return {};", expr.render());
-        let program = lss_sim::compile_bsl(&code).map_err(TestCaseError::fail)?;
-        let mut vars = std::collections::HashMap::new();
-        let mut env = lss_sim::BslEnv { args: Default::default(), vars: &mut vars, implicit_zero: false };
+        let program = lss_sim::compile_bsl(&code).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        let mut vars = lss_sim::SlotTable::new();
+        let mut env = lss_sim::BslEnv::bound(&[], vec![], &mut vars);
         let result = lss_sim::exec(&program, &mut env, 1_000_000)
-            .map_err(|e| TestCaseError::fail(e.to_string()))?;
-        prop_assert_eq!(result, Some(lss_types::Datum::Int(expr.value())));
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(
+            result,
+            Some(lss_types::Datum::Int(expr.value())),
+            "case {case}"
+        );
     }
 }
 
@@ -126,36 +148,39 @@ proptest! {
 // Type-inference soundness against the naive solver.
 // ---------------------------------------------------------------------------
 
-fn arb_scheme(vars: u32) -> impl Strategy<Value = lss_types::Scheme> {
+fn gen_scheme(rng: &mut SplitMix64, vars: u32, depth: u32) -> lss_types::Scheme {
     use lss_types::{Scheme, TyVar};
-    let leaf = prop_oneof![
-        Just(Scheme::Int),
-        Just(Scheme::Bool),
-        Just(Scheme::Float),
-        (0..vars).prop_map(|v| Scheme::Var(TyVar(v))),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), 1usize..3).prop_map(|(t, n)| Scheme::Array(Box::new(t), n)),
-            proptest::collection::vec(inner.clone(), 2..4).prop_map(Scheme::Or),
-        ]
-    })
+    if depth == 0 || rng.percent(45) {
+        return match rng.index(4) {
+            0 => Scheme::Int,
+            1 => Scheme::Bool,
+            2 => Scheme::Float,
+            _ => Scheme::Var(TyVar(rng.range_u32(0, vars))),
+        };
+    }
+    match rng.index(2) {
+        0 => Scheme::Array(Box::new(gen_scheme(rng, vars, depth - 1)), 1 + rng.index(2)),
+        _ => {
+            let n = 2 + rng.index(2);
+            Scheme::Or((0..n).map(|_| gen_scheme(rng, vars, depth - 1)).collect())
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// On random constraint systems the heuristic solver and the naive
-    /// algorithm agree on satisfiability, and satisfying solutions
-    /// actually satisfy every constraint.
-    #[test]
-    fn heuristic_solver_agrees_with_naive(
-        pairs in proptest::collection::vec((arb_scheme(3), arb_scheme(3)), 1..6)
-    ) {
-        use lss_types::{solve, Constraint, ConstraintSet, SolveError, SolverConfig, Subst, UnifyStats};
-
-        let set: ConstraintSet =
-            pairs.iter().map(|(l, r)| Constraint::eq(l.clone(), r.clone())).collect();
+/// On random constraint systems the heuristic solver and the naive
+/// algorithm agree on satisfiability, and satisfying solutions actually
+/// satisfy every constraint.
+#[test]
+fn heuristic_solver_agrees_with_naive() {
+    use lss_types::{
+        solve, Constraint, ConstraintSet, SolveError, SolverConfig, Subst, UnifyStats,
+    };
+    let mut rng = SplitMix64::new(0x1004);
+    for case in 0..96 {
+        let n = 1 + rng.index(5);
+        let set: ConstraintSet = (0..n)
+            .map(|_| Constraint::eq(gen_scheme(&mut rng, 3, 3), gen_scheme(&mut rng, 3, 3)))
+            .collect();
         let heuristic = solve(&set, &SolverConfig::heuristic());
         let naive = solve(&set, &SolverConfig::naive().with_budget(5_000_000));
         match (&heuristic, &naive) {
@@ -168,9 +193,13 @@ proptest! {
                     let re = r.expand_disjuncts(512).expect("cap");
                     let mut stats = UnifyStats::default();
                     let ok = le.iter().any(|a| {
-                        re.iter().any(|b| lss_types::unifiable(a, b, &Subst::new(), &mut stats))
+                        re.iter()
+                            .any(|b| lss_types::unifiable(a, b, &Subst::new(), &mut stats))
                     });
-                    prop_assert!(ok, "solution violates {c} (resolved {l} = {r})");
+                    assert!(
+                        ok,
+                        "case {case}: solution violates {c} (resolved {l} = {r})"
+                    );
                 }
             }
             (Err(SolveError::Unsatisfiable { .. }), Err(SolveError::Unsatisfiable { .. })) => {}
@@ -178,9 +207,7 @@ proptest! {
                 // Naive ran out of budget; nothing to compare.
             }
             (h, n) => {
-                return Err(TestCaseError::fail(format!(
-                    "solvers disagree: heuristic={h:?} naive={n:?} on {set}"
-                )));
+                panic!("case {case}: solvers disagree: heuristic={h:?} naive={n:?} on {set}")
             }
         }
     }
@@ -190,17 +217,15 @@ proptest! {
 // Simulation conservation: nothing is lost or duplicated in transit.
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every value a source emits through a randomly sized latch chain
-    /// arrives at the sink exactly once, under both schedulers.
-    #[test]
-    fn delay_chains_conserve_values(
-        stages in 1usize..8,
-        lanes in 1usize..4,
-        cycles in 10u64..30,
-    ) {
+/// Every value a source emits through a randomly sized latch chain arrives
+/// at the sink exactly once, under both schedulers.
+#[test]
+fn delay_chains_conserve_values() {
+    let mut rng = SplitMix64::new(0x1005);
+    for case in 0..12 {
+        let stages = 1 + rng.index(7);
+        let lanes = 1 + rng.index(3);
+        let cycles = rng.range_i64(10, 30) as u64;
         let src = format!(
             r#"
             module wsrc {{ outport out:'a; tar_file = "corelib/source.tar"; }};
@@ -230,16 +255,19 @@ proptest! {
         );
         let mut lse = liberty::Lse::with_corelib();
         lse.add_source("chain.lss", &src);
-        let compiled = lse.compile().map_err(TestCaseError::fail)?;
+        let compiled = lse.compile().unwrap_or_else(|e| panic!("case {case}: {e}"));
         for scheduler in [liberty::Scheduler::Static, liberty::Scheduler::Dynamic] {
             let mut lse2 = liberty::Lse::with_corelib();
             lse2.sim_options.scheduler = scheduler;
             lse2.add_source("chain.lss", &src);
-            let mut sim = lse2.simulator(&compiled.netlist).map_err(TestCaseError::fail)?;
-            sim.run(cycles).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let mut sim = lse2
+                .simulator(&compiled.netlist)
+                .unwrap_or_else(|e| panic!("case {case}: {e}"));
+            sim.run(cycles)
+                .unwrap_or_else(|e| panic!("case {case}: {e}"));
             let expected = (cycles as i64 - stages as i64).max(0) * lanes as i64;
             let got = sim.rtv("hole", "count").unwrap().as_int().unwrap();
-            prop_assert_eq!(got, expected, "scheduler {:?}", scheduler);
+            assert_eq!(got, expected, "case {case}: scheduler {scheduler:?}");
         }
     }
 }

@@ -9,7 +9,8 @@ use liberty::Lse;
 fn compile(src: &str) -> liberty::Compiled {
     let mut lse = Lse::with_corelib();
     lse.add_source("probe.lss", src);
-    lse.compile().unwrap_or_else(|e| panic!("compile failed:\n{e}"))
+    lse.compile()
+        .unwrap_or_else(|e| panic!("compile failed:\n{e}"))
 }
 
 #[test]
@@ -94,7 +95,10 @@ fn capability_parametric_polymorphism_with_inference() {
     let n = compile(src).netlist;
     let instr_ty = liberty::corelib::instr_ty();
     assert_eq!(n.find("iq").unwrap().port("in").unwrap().ty, Some(instr_ty));
-    assert_eq!(n.find("numq").unwrap().port("in").unwrap().ty, Some(Ty::Float));
+    assert_eq!(
+        n.find("numq").unwrap().port("in").unwrap().ty,
+        Some(Ty::Float)
+    );
 }
 
 #[test]
@@ -104,13 +108,19 @@ fn capability_component_overloading() {
          s.out -> x.a;\ns.out -> x.b;\nx.res -> k.in;\ns.out :: int;",
     )
     .netlist;
-    assert_eq!(int_side.find("x").unwrap().port("res").unwrap().ty, Some(Ty::Int));
+    assert_eq!(
+        int_side.find("x").unwrap().port("res").unwrap().ty,
+        Some(Ty::Int)
+    );
     let float_side = compile(
         "instance s:source;\ninstance x:alu;\ninstance k:sink;\n\
          s.out -> x.a;\ns.out -> x.b;\nx.res -> k.in;\ns.out :: float;",
     )
     .netlist;
-    assert_eq!(float_side.find("x").unwrap().port("res").unwrap().ty, Some(Ty::Float));
+    assert_eq!(
+        float_side.find("x").unwrap().port("res").unwrap().ty,
+        Some(Ty::Float)
+    );
 }
 
 #[test]
@@ -130,8 +140,14 @@ fn capability_instrumentation_is_orthogonal() {
     let instrumented = format!("{base}\ncollector g : out_fire = \"n = n + 1;\";");
     let plain = compile(base);
     let probed = compile(&instrumented);
-    assert_eq!(plain.netlist.instances.len(), probed.netlist.instances.len());
-    assert_eq!(plain.netlist.connections.len(), probed.netlist.connections.len());
+    assert_eq!(
+        plain.netlist.instances.len(),
+        probed.netlist.instances.len()
+    );
+    assert_eq!(
+        plain.netlist.connections.len(),
+        probed.netlist.connections.len()
+    );
     assert_eq!(probed.netlist.collectors.len(), 1);
 }
 

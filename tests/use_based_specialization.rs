@@ -1,13 +1,14 @@
 //! Cross-crate integration tests for use-based specialization (§6),
 //! exercised through the public `liberty::Lse` API.
 
-use liberty::Lse;
 use liberty::types::Datum;
+use liberty::Lse;
 
 fn compile(src: &str) -> liberty::Compiled {
     let mut lse = Lse::with_corelib();
     lse.add_source("test.lss", src);
-    lse.compile().unwrap_or_else(|e| panic!("compile failed:\n{e}"))
+    lse.compile()
+        .unwrap_or_else(|e| panic!("compile failed:\n{e}"))
 }
 
 fn compile_err(src: &str) -> String {
@@ -33,7 +34,11 @@ fn widths_are_counted_from_connections() {
     let q = compiled.netlist.find("q").unwrap();
     assert_eq!(q.port("in").unwrap().width, 5);
     assert_eq!(q.port("out").unwrap().width, 5);
-    assert_eq!(q.port("credit").unwrap().width, 0, "credit was left unconnected");
+    assert_eq!(
+        q.port("credit").unwrap().width,
+        0,
+        "credit was left unconnected"
+    );
 }
 
 #[test]
@@ -163,7 +168,13 @@ fn deferred_evaluation_lets_parameters_follow_instantiation() {
     assert!(compiled.netlist.find("c2.delays[2]").is_none());
     // Fan-out on g.out got two lanes.
     assert_eq!(
-        compiled.netlist.find("g").unwrap().port("out").unwrap().width,
+        compiled
+            .netlist
+            .find("g")
+            .unwrap()
+            .port("out")
+            .unwrap()
+            .width,
         2
     );
 }
