@@ -16,4 +16,16 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> analyzer: lssc check over examples and Table 3 models (deny LSS1xx)"
+mkdir -p target/analysis
+for m in A B C D E F; do
+  ./target/release/lssc check --model "$m" --deny LSS1xx \
+    --format sarif --output "target/analysis/model_${m}.sarif"
+done
+for f in examples/lss/*.lss; do
+  name="$(basename "$f" .lss)"
+  ./target/release/lssc check "$f" --deny LSS1xx \
+    --format sarif --output "target/analysis/example_${name}.sarif"
+done
+
 echo "CI OK"

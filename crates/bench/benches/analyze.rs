@@ -1,0 +1,48 @@
+//! Benchmark for the static-analysis layer: how much does a full
+//! `lssc check` pass cost on the largest Table 3 model?
+//!
+//! The paper's analyzability pitch (§1, §3) only holds if whole-model
+//! static analysis is cheap enough to run on every compile, so this
+//! harness times the three stages separately — combinational-dependency
+//! extraction, the port-graph condensation, and the full pass-manager
+//! sweep — on the biggest netlist we have.
+//!
+//! Emits `BENCH_analyze.json` in the working directory so analyzer cost
+//! shows up in the perf trajectory alongside simulation speed.
+
+use bench::compiled_model;
+use bench::timing::{measure, write_json, Sample};
+use lss_analyze::{leaf_dep_graph, AnalysisConfig, PassManager};
+
+fn main() {
+    let mut samples: Vec<Sample> = Vec::new();
+
+    // The largest model by instance count.
+    let (id, compiled) = lss_models::models()
+        .iter()
+        .map(|m| (m.id, compiled_model(m)))
+        .max_by_key(|(_, c)| c.netlist.instances.len())
+        .expect("models");
+    let registry = lss_corelib::registry();
+    let wires = compiled.netlist.flatten();
+
+    samples.push(measure(format!("analyze_comb_info/{id}"), 2, 20, || {
+        let comb = lss_sim::comb_info(&compiled.netlist, &registry);
+        std::hint::black_box(comb.independent_pairs());
+    }));
+
+    let comb = lss_sim::comb_info(&compiled.netlist, &registry);
+    samples.push(measure(format!("analyze_dep_graph/{id}"), 2, 20, || {
+        let deps = leaf_dep_graph(&compiled.netlist, &wires, &comb);
+        std::hint::black_box(deps.ports.condense().sccs.len());
+    }));
+
+    let manager = PassManager::with_default_passes();
+    let config = AnalysisConfig::default();
+    samples.push(measure(format!("analyze_full_check/{id}"), 2, 20, || {
+        let analysis = manager.run(&compiled.netlist, &comb, &config);
+        std::hint::black_box(analysis.findings.len());
+    }));
+
+    write_json("BENCH_analyze.json", &samples);
+}

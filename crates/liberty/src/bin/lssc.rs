@@ -2,6 +2,22 @@
 //!
 //! ```text
 //! lssc [OPTIONS] FILE.lss...
+//! lssc check [OPTIONS] FILE.lss...
+//!
+//! check options:
+//!   --model A..F       analyze a built-in Table 3 model instead of files
+//!   --lib FILE         add FILE as a library source
+//!   --no-corelib       do not preload the corelib
+//!   --format FMT       text (default), json (one object per line), or sarif
+//!   --deny SEL         also fail on SEL (a code like LSS203 or a family
+//!                      like LSS2xx); repeatable
+//!   --allow SEL        suppress SEL entirely; repeatable, beats --deny
+//!   --output FILE      write the report to FILE instead of stdout
+//!   --list-codes       print the diagnostic catalog and exit
+//!   --naive-inference  solve types without the paper's heuristics
+//!
+//! `check` exits 1 when any finding is denied (on the deny list or
+//! `Error`-severity and not allowed), 0 otherwise.
 //!
 //! Options:
 //!   --lib FILE         add FILE as a library source (counts as "from library")
@@ -17,7 +33,9 @@
 //!   --watch PREFIX     log every value fired by instances under PREFIX
 //!   --vcd FILE         write the watched firings as a VCD waveform
 //!   --wave             print the watched firings as an ASCII waveform
-//!   --lint             run the static model lints and print findings
+//!   --lint             run the static analysis passes and print findings;
+//!                      exits 1 if any finding is denied (same gate as
+//!                      `lssc check`)
 //!   --stats            print Table 2 reuse statistics; after --run or
 //!                      --run-model, also engine statistics and the
 //!                      static-schedule summary
@@ -26,7 +44,8 @@
 
 use std::process::ExitCode;
 
-use liberty::{Lse, Scheduler};
+use liberty::{AnalysisConfig, Lse, Scheduler};
+use lss_analyze::{to_jsonl, to_sarif, to_text, Code};
 use lss_netlist::{dump, reuse_stats};
 
 /// Renders the engine counters and the static-schedule shape after a run.
@@ -70,12 +89,195 @@ fn usage() -> ! {
     eprintln!(
         "usage: lssc [--lib FILE]... [--no-corelib] [--model A-F] [--run N] [--run-model]\n\
          \x20           [--scheduler static|dynamic] [--dump-tree] [--dump-dot] [--stats]\n\
-         \x20           [--naive-inference] FILE.lss..."
+         \x20           [--naive-inference] FILE.lss...\n\
+         \x20      lssc check [--lib FILE]... [--no-corelib] [--model A-F]\n\
+         \x20           [--format text|json|sarif] [--deny SEL]... [--allow SEL]...\n\
+         \x20           [--output FILE] [--list-codes] [--naive-inference] FILE.lss..."
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> Options {
+/// Output format for `lssc check`.
+enum CheckFormat {
+    Text,
+    Json,
+    Sarif,
+}
+
+struct CheckOptions {
+    files: Vec<String>,
+    libs: Vec<String>,
+    corelib: bool,
+    model: Option<char>,
+    naive: bool,
+    format: CheckFormat,
+    config: AnalysisConfig,
+    output: Option<String>,
+}
+
+/// Expands a `--deny` / `--allow` selector, exiting with usage on nonsense.
+fn parse_selector(flag: &str, arg: Option<String>) -> Vec<Code> {
+    let Some(sel) = arg else {
+        eprintln!("{flag} needs a code (LSS102) or family (LSS1xx)");
+        usage();
+    };
+    match Code::parse_selector(&sel) {
+        Some(codes) => codes,
+        None => {
+            eprintln!("unknown code selector `{sel}` (try --list-codes)");
+            usage();
+        }
+    }
+}
+
+fn list_codes() {
+    println!("{:<8} {:<9} {:<26} description", "code", "severity", "name");
+    for code in Code::ALL {
+        println!(
+            "{:<8} {:<9} {:<26} {}",
+            code.id(),
+            code.default_severity(),
+            code.name(),
+            code.title()
+        );
+    }
+}
+
+fn parse_check_args(args: impl Iterator<Item = String>) -> CheckOptions {
+    let mut opts = CheckOptions {
+        files: Vec::new(),
+        libs: Vec::new(),
+        corelib: true,
+        model: None,
+        naive: false,
+        format: CheckFormat::Text,
+        config: AnalysisConfig::default(),
+        output: None,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--lib" => match args.next() {
+                Some(f) => opts.libs.push(f),
+                None => usage(),
+            },
+            "--no-corelib" => opts.corelib = false,
+            "--model" => match args.next().and_then(|m| m.chars().next()) {
+                Some(c) => opts.model = Some(c),
+                None => usage(),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => opts.format = CheckFormat::Text,
+                Some("json") => opts.format = CheckFormat::Json,
+                Some("sarif") => opts.format = CheckFormat::Sarif,
+                _ => usage(),
+            },
+            "--deny" => {
+                let codes = parse_selector("--deny", args.next());
+                opts.config = std::mem::take(&mut opts.config).deny(codes);
+            }
+            "--allow" => {
+                let codes = parse_selector("--allow", args.next());
+                opts.config = std::mem::take(&mut opts.config).allow(codes);
+            }
+            "--output" => match args.next() {
+                Some(f) => opts.output = Some(f),
+                None => usage(),
+            },
+            "--list-codes" => {
+                list_codes();
+                std::process::exit(0);
+            }
+            "--naive-inference" => opts.naive = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other}");
+                usage();
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.files.is_empty() && opts.model.is_none() {
+        usage();
+    }
+    opts
+}
+
+/// The `lssc check` subcommand: compile, run the pass suite, render, gate.
+fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
+    let opts = parse_check_args(args);
+    let mut lse = if opts.corelib {
+        Lse::with_corelib()
+    } else {
+        Lse::new()
+    };
+    if opts.naive {
+        lse.options.solver = liberty::SolverConfig::naive().with_budget(50_000_000);
+    }
+    if let Some(id) = opts.model {
+        let Some(model) = lss_models::model(id) else {
+            eprintln!("no such model `{id}` (expected A-F)");
+            return ExitCode::from(2);
+        };
+        lse.add_source("cpu_lib.lss", lss_models::cpu_lib());
+        lse.add_source(&format!("model_{id}.lss"), model.source);
+    }
+    for lib in &opts.libs {
+        match std::fs::read_to_string(lib) {
+            Ok(text) => lse.add_library(lib, &text),
+            Err(e) => {
+                eprintln!("cannot read {lib}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    for file in &opts.files {
+        match std::fs::read_to_string(file) {
+            Ok(text) => lse.add_source(file, &text),
+            Err(e) => {
+                eprintln!("cannot read {file}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let compiled = match lse.compile() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let analysis = lse.analyze(&compiled.netlist, &opts.config);
+    let report = match opts.format {
+        CheckFormat::Text => to_text(&analysis.findings),
+        CheckFormat::Json => to_jsonl(&analysis.findings),
+        CheckFormat::Sarif => to_sarif(&analysis.findings),
+    };
+    match &opts.output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &report) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+        None => print!("{report}"),
+    }
+    let (errors, warnings, infos) = analysis.counts();
+    eprintln!(
+        "check: {} finding(s) ({errors} error(s), {warnings} warning(s), {infos} info(s)), \
+         {} denied",
+        analysis.findings.len(),
+        analysis.denied
+    );
+    if analysis.denied > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Options {
     let mut opts = Options {
         files: Vec::new(),
         libs: Vec::new(),
@@ -95,7 +297,7 @@ fn parse_args() -> Options {
         vcd: None,
         wave: false,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = args;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--lib" => match args.next() {
@@ -148,7 +350,12 @@ fn parse_args() -> Options {
 }
 
 fn main() -> ExitCode {
-    let opts = parse_args();
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("check") {
+        argv.next();
+        return run_check(argv);
+    }
+    let opts = parse_args(argv);
     let mut lse = if opts.corelib {
         Lse::with_corelib()
     } else {
@@ -231,14 +438,17 @@ fn main() -> ExitCode {
     if opts.dump_json {
         print!("{}", lss_netlist::to_json(&compiled.netlist));
     }
+    let mut lint_denied = 0;
     if opts.lint {
-        let findings = lss_netlist::lint(&compiled.netlist);
-        if findings.is_empty() {
+        // Same semantics as `lssc check --format text` with the default
+        // configuration: denied findings make the exit code nonzero.
+        let analysis = lse.analyze(&compiled.netlist, &AnalysisConfig::default());
+        if analysis.is_clean() {
             println!("lint: clean");
+        } else {
+            print!("{}", to_text(&analysis.findings));
         }
-        for finding in findings {
-            println!("lint: {finding}");
-        }
+        lint_denied = analysis.denied;
     }
     if opts.stats {
         let stats = reuse_stats(&compiled.netlist);
@@ -311,6 +521,10 @@ fn main() -> ExitCode {
             }
             eprintln!("wrote {path}");
         }
+    }
+    if lint_denied > 0 {
+        eprintln!("lint: {lint_denied} finding(s) denied");
+        return ExitCode::from(1);
     }
     ExitCode::SUCCESS
 }

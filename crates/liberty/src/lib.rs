@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub use lss_analyze as analyze;
 pub use lss_ast as ast;
 pub use lss_corelib as corelib;
 pub use lss_interp as interp;
@@ -41,6 +42,7 @@ pub use lss_netlist as netlist;
 pub use lss_sim as sim;
 pub use lss_types as types;
 
+pub use lss_analyze::{Analysis, AnalysisConfig};
 pub use lss_interp::{CompileOptions, Compiled};
 pub use lss_netlist::{reuse_stats, Netlist, ReuseStats};
 pub use lss_sim::{Scheduler, SimOptions, SimStats, Simulator};
@@ -162,6 +164,17 @@ impl Lse {
     /// bad BSL code).
     pub fn simulator(&self, netlist: &Netlist) -> Result<Simulator, String> {
         lss_sim::build(netlist, &self.registry, self.sim_options.clone()).map_err(|e| e.to_string())
+    }
+
+    /// Runs the full static-analysis pass suite over a compiled netlist.
+    ///
+    /// Combinational/registered input classification comes from this
+    /// session's behavior registry (the same answer the simulator's static
+    /// scheduler uses), so `check` diagnostics and runtime scheduling can
+    /// never disagree.
+    pub fn analyze(&self, netlist: &Netlist, config: &AnalysisConfig) -> Analysis {
+        let comb = lss_sim::comb_info(netlist, &self.registry);
+        lss_analyze::PassManager::with_default_passes().run(netlist, &comb, config)
     }
 }
 

@@ -90,6 +90,194 @@ fn run_without_stats_omits_engine_summary() {
     let _ = std::fs::remove_file(&model);
 }
 
+/// Two combinational pass-throughs wired head-to-tail: an unbreakable
+/// zero-delay cycle the analyzer must reject.
+const CYCLIC_MODEL: &str = r#"
+instance a:tee;
+instance b:tee;
+a.out -> b.in;
+b.out -> a.in;
+a.out :: int;
+"#;
+
+fn write_cyclic(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("lssc-cli-{}-{name}.lss", std::process::id()));
+    std::fs::write(&path, CYCLIC_MODEL).expect("write temp model");
+    path
+}
+
+#[test]
+fn check_reports_comb_cycle_and_exits_nonzero() {
+    let model = write_cyclic("check-cycle");
+    let out = lssc()
+        .arg("check")
+        .arg(&model)
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "expected exit 1\n{stdout}{stderr}"
+    );
+    assert!(
+        stdout.contains("error[LSS101]"),
+        "missing LSS101 finding:\n{stdout}"
+    );
+    // The full port-level cycle path is spelled out.
+    assert!(
+        stdout.contains("a.in -> a.out -> b.in -> b.out -> a.in"),
+        "missing cycle path:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("registering"),
+        "missing fix suggestion:\n{stdout}"
+    );
+    assert!(stderr.contains("denied"), "missing summary:\n{stderr}");
+    let _ = std::fs::remove_file(&model);
+}
+
+#[test]
+fn check_allow_suppresses_the_denial() {
+    let model = write_cyclic("check-allow");
+    let out = lssc()
+        .arg("check")
+        .arg(&model)
+        .args(["--allow", "LSS1xx", "--allow", "LSS203"])
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "expected clean exit:\n{stdout}");
+    assert!(
+        !stdout.contains("LSS101"),
+        "allowed finding still reported:\n{stdout}"
+    );
+    let _ = std::fs::remove_file(&model);
+}
+
+#[test]
+fn check_clean_model_exits_zero_and_deny_flips_it() {
+    let model = write_model("check-clean");
+    let out = lssc()
+        .arg("check")
+        .arg(&model)
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean model rejected\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    // The same model emits LSS301 width-mismatch infos by default; denying
+    // the family must flip the exit code.
+    let out = lssc()
+        .arg("check")
+        .arg(&model)
+        .args(["--deny", "LSS3xx"])
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    if stdout.contains("LSS3") {
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "deny did not flip exit:\n{stdout}"
+        );
+    } else {
+        // No LSS3xx findings on this model — deny of an absent family is a no-op.
+        assert_eq!(out.status.code(), Some(0));
+    }
+    let _ = std::fs::remove_file(&model);
+}
+
+#[test]
+fn check_table3_models_are_clean() {
+    for model in ["A", "B", "C", "D", "E", "F"] {
+        let out = lssc()
+            .args(["check", "--model", model])
+            .output()
+            .expect("spawn lssc");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "model {model} not clean\nstdout: {stdout}\nstderr: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn check_json_and_sarif_formats_are_well_formed() {
+    let model = write_cyclic("check-fmt");
+    let out = lssc()
+        .args(["check", "--format", "json"])
+        .arg(&model)
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.lines().any(|l| l.contains("\"code\": \"LSS101\"")),
+        "missing LSS101 json line:\n{stdout}"
+    );
+    let out = lssc()
+        .args(["check", "--format", "sarif"])
+        .arg(&model)
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"version\":\"2.1.0\"") || stdout.contains("\"version\": \"2.1.0\""),
+        "missing sarif version:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("LSS101"),
+        "missing LSS101 sarif result:\n{stdout}"
+    );
+    let _ = std::fs::remove_file(&model);
+}
+
+#[test]
+fn check_list_codes_prints_catalog() {
+    let out = lssc()
+        .args(["check", "--list-codes"])
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    for code in ["LSS101", "LSS102", "LSS203", "LSS301", "LSS303"] {
+        assert!(
+            stdout.contains(code),
+            "missing {code} in catalog:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn lint_exits_nonzero_on_denied_findings() {
+    let model = write_cyclic("lint-cycle");
+    let out = lssc()
+        .arg(&model)
+        .arg("--lint")
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "--lint must fail on a comb cycle\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(
+        stdout.contains("LSS101"),
+        "missing LSS101 in lint output:\n{stdout}"
+    );
+    let _ = std::fs::remove_file(&model);
+}
+
 #[test]
 fn run_model_with_stats_prints_engine_counters() {
     let out = lssc()

@@ -1,0 +1,376 @@
+//! Typed diagnostics: stable codes, severities, findings, and the
+//! deny/allow configuration consumed by CI gates.
+//!
+//! Codes are grouped by family — `LSS1xx` structural, `LSS2xx` dataflow,
+//! `LSS3xx` types-and-events — and never renumbered: external tooling
+//! (SARIF consumers, editor integrations, `--deny` lists in CI scripts)
+//! keys on them.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use lss_ast::Span;
+
+/// Stable diagnostic codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// `LSS101` — unbroken zero-delay combinational cycle.
+    CombCycle,
+    /// `LSS102` — one input port instance driven by several sources.
+    MultiDriver,
+    /// `LSS103` — instance declaring ports with none connected.
+    IsolatedInstance,
+    /// `LSS104` — hierarchical port connected on only one face.
+    DanglingHierPort,
+    /// `LSS201` — leaf input never driven (on a partially wired instance).
+    UnconnectedInput,
+    /// `LSS202` — leaf output with no consumers.
+    UnconnectedOutput,
+    /// `LSS203` — instance whose outputs never reach an observation point.
+    DeadLogic,
+    /// `LSS301` — ports sharing a type variable but differing in width.
+    WidthMismatch,
+    /// `LSS302` — collector bound to an event that can never fire.
+    UnboundCollector,
+    /// `LSS303` — overloaded port type left ambiguous by inference.
+    DisjunctResidue,
+}
+
+/// How serious a finding is by default. `Error`-severity findings are
+/// denied (fail the build) unless explicitly `--allow`ed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; never fails a build by default.
+    Info,
+    /// Probable mistake, but the model still has defined semantics.
+    Warning,
+    /// The model is broken (unschedulable, value-dropping); denied by
+    /// default.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label (`error`, `warning`, `info`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// The SARIF 2.1.0 `level` for this severity.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Info => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Code {
+    /// Every code, in id order.
+    pub const ALL: [Code; 10] = [
+        Code::CombCycle,
+        Code::MultiDriver,
+        Code::IsolatedInstance,
+        Code::DanglingHierPort,
+        Code::UnconnectedInput,
+        Code::UnconnectedOutput,
+        Code::DeadLogic,
+        Code::WidthMismatch,
+        Code::UnboundCollector,
+        Code::DisjunctResidue,
+    ];
+
+    /// The stable id, e.g. `LSS101`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Code::CombCycle => "LSS101",
+            Code::MultiDriver => "LSS102",
+            Code::IsolatedInstance => "LSS103",
+            Code::DanglingHierPort => "LSS104",
+            Code::UnconnectedInput => "LSS201",
+            Code::UnconnectedOutput => "LSS202",
+            Code::DeadLogic => "LSS203",
+            Code::WidthMismatch => "LSS301",
+            Code::UnboundCollector => "LSS302",
+            Code::DisjunctResidue => "LSS303",
+        }
+    }
+
+    /// Short CamelCase rule name (SARIF `rules[].name`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Code::CombCycle => "CombinationalCycle",
+            Code::MultiDriver => "MultiDriverConflict",
+            Code::IsolatedInstance => "IsolatedInstance",
+            Code::DanglingHierPort => "DanglingHierarchicalPort",
+            Code::UnconnectedInput => "UnconnectedInput",
+            Code::UnconnectedOutput => "UnconnectedOutput",
+            Code::DeadLogic => "DeadLogic",
+            Code::WidthMismatch => "WidthMismatch",
+            Code::UnboundCollector => "UnboundCollector",
+            Code::DisjunctResidue => "DisjunctResidue",
+        }
+    }
+
+    /// One-line description (SARIF `shortDescription`, `--list-codes`).
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::CombCycle => "zero-delay combinational cycle with no state element to break it",
+            Code::MultiDriver => "input port instance driven by more than one source",
+            Code::IsolatedInstance => "instance declares ports but none are connected",
+            Code::DanglingHierPort => "hierarchical port connected on only one face",
+            Code::UnconnectedInput => "leaf input port is never driven",
+            Code::UnconnectedOutput => "leaf output port has no consumers",
+            Code::DeadLogic => {
+                "outputs can never reach a collector, observable state, or top-level port"
+            }
+            Code::WidthMismatch => "ports sharing a type variable differ in width",
+            Code::UnboundCollector => "collector listens for an event that can never fire",
+            Code::DisjunctResidue => "overloaded port type not resolved to a single alternative",
+        }
+    }
+
+    /// A one-line fix suggestion (SARIF `help`, docs).
+    pub fn help(self) -> &'static str {
+        match self {
+            Code::CombCycle => {
+                "insert a state element (corelib `delay`, `latch`, or `queue`) on one of the \
+                 cycle's inputs so the loop is registered"
+            }
+            Code::MultiDriver => {
+                "fan in through distinct port instances (lanes) or an explicit arbiter; only one \
+                 value per port instance survives a cycle"
+            }
+            Code::IsolatedInstance => "connect the instance or delete it",
+            Code::DanglingHierPort => "connect the missing face or remove the boundary port",
+            Code::UnconnectedInput => {
+                "drive the input, or silence with `--allow LSS201` if intended"
+            }
+            Code::UnconnectedOutput => {
+                "consume the output, or silence with `--allow LSS202` if intended"
+            }
+            Code::DeadLogic => {
+                "attach a collector or route the result toward an observed instance; otherwise \
+                 delete the logic"
+            }
+            Code::WidthMismatch => {
+                "match the widths or use `--allow LSS301` when the lane drop is intentional"
+            }
+            Code::UnboundCollector => "declare the event or fix the collector's event name",
+            Code::DisjunctResidue => "pin the port's type with an explicit `::` instantiation",
+        }
+    }
+
+    /// Default severity (the per-code severity defaults the CLI exposes).
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Code::CombCycle | Code::MultiDriver => Severity::Error,
+            Code::WidthMismatch => Severity::Info,
+            _ => Severity::Warning,
+        }
+    }
+
+    /// Parses one exact id (`LSS101`, case-insensitive).
+    pub fn parse(s: &str) -> Option<Code> {
+        Code::ALL
+            .iter()
+            .copied()
+            .find(|c| c.id().eq_ignore_ascii_case(s))
+    }
+
+    /// Expands a selector into codes: an exact id (`LSS102`) or a family
+    /// wildcard (`LSS1xx`). Returns `None` for unknown selectors.
+    pub fn parse_selector(s: &str) -> Option<Vec<Code>> {
+        if let Some(code) = Code::parse(s) {
+            return Some(vec![code]);
+        }
+        let lower = s.to_ascii_lowercase();
+        let family = lower.strip_prefix("lss")?.strip_suffix("xx")?;
+        if family.len() != 1 || !family.chars().all(|c| c.is_ascii_digit()) {
+            return None;
+        }
+        let matches: Vec<Code> = Code::ALL
+            .iter()
+            .copied()
+            .filter(|c| c.id()[3..4].eq_ignore_ascii_case(family))
+            .collect();
+        if matches.is_empty() {
+            None
+        } else {
+            Some(matches)
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One diagnostic produced by a pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (the code's default; passes may escalate).
+    pub severity: Severity,
+    /// Instance / port path the finding refers to.
+    pub subject: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Supporting notes (e.g. which components would break a cycle).
+    pub related: Vec<String>,
+    /// Source span, when the netlist retains one for the subject.
+    pub span: Option<Span>,
+}
+
+impl Finding {
+    /// A finding with the code's default severity and no notes.
+    pub fn new(code: Code, subject: impl Into<String>, message: impl Into<String>) -> Self {
+        Finding {
+            code,
+            severity: code.default_severity(),
+            subject: subject.into(),
+            message: message.into(),
+            related: Vec::new(),
+            span: None,
+        }
+    }
+
+    /// Appends a supporting note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.related.push(note.into());
+        self
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity,
+            self.code.id(),
+            self.subject,
+            self.message
+        )
+    }
+}
+
+/// Which findings fail the build: a code is *denied* when it is on the
+/// deny list or carries `Error` severity, unless it is allowed.
+/// `allow` also removes the findings from the report entirely.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Codes that fail the build regardless of severity.
+    pub deny: BTreeSet<Code>,
+    /// Codes suppressed entirely (the `--allow <code>` escape hatch).
+    pub allow: BTreeSet<Code>,
+}
+
+impl AnalysisConfig {
+    /// The default configuration: deny nothing beyond `Error`-severity
+    /// codes, allow nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds codes to the deny list.
+    pub fn deny(mut self, codes: impl IntoIterator<Item = Code>) -> Self {
+        self.deny.extend(codes);
+        self
+    }
+
+    /// Adds codes to the allow list.
+    pub fn allow(mut self, codes: impl IntoIterator<Item = Code>) -> Self {
+        self.allow.extend(codes);
+        self
+    }
+
+    /// True if findings with this code are suppressed.
+    pub fn is_allowed(&self, code: Code) -> bool {
+        self.allow.contains(&code)
+    }
+
+    /// True if a finding with this code and severity fails the build.
+    pub fn is_denied(&self, code: Code, severity: Severity) -> bool {
+        !self.is_allowed(code) && (self.deny.contains(&code) || severity == Severity::Error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_parse_back() {
+        for code in Code::ALL {
+            assert_eq!(Code::parse(code.id()), Some(code));
+            assert_eq!(Code::parse(&code.id().to_lowercase()), Some(code));
+        }
+        assert_eq!(Code::parse("LSS999"), None);
+    }
+
+    #[test]
+    fn selectors_expand_families() {
+        let structural = Code::parse_selector("LSS1xx").unwrap();
+        assert_eq!(
+            structural,
+            vec![
+                Code::CombCycle,
+                Code::MultiDriver,
+                Code::IsolatedInstance,
+                Code::DanglingHierPort
+            ]
+        );
+        assert_eq!(Code::parse_selector("lss3XX").unwrap().len(), 3);
+        assert_eq!(
+            Code::parse_selector("LSS102").unwrap(),
+            vec![Code::MultiDriver]
+        );
+        assert_eq!(Code::parse_selector("LSS9xx"), None);
+        assert_eq!(Code::parse_selector("bogus"), None);
+    }
+
+    #[test]
+    fn default_deny_set_is_errors_only() {
+        let config = AnalysisConfig::default();
+        assert!(config.is_denied(Code::CombCycle, Code::CombCycle.default_severity()));
+        assert!(config.is_denied(Code::MultiDriver, Code::MultiDriver.default_severity()));
+        for code in Code::ALL {
+            if code != Code::CombCycle && code != Code::MultiDriver {
+                assert!(
+                    !config.is_denied(code, code.default_severity()),
+                    "{code} should not be denied by default"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allow_beats_deny() {
+        let config = AnalysisConfig::default()
+            .deny([Code::WidthMismatch])
+            .allow([Code::WidthMismatch, Code::CombCycle]);
+        assert!(!config.is_denied(Code::WidthMismatch, Severity::Info));
+        assert!(!config.is_denied(Code::CombCycle, Severity::Error));
+        assert!(config.is_allowed(Code::WidthMismatch));
+    }
+
+    #[test]
+    fn finding_display_is_informative() {
+        let f = Finding::new(Code::CombCycle, "a", "m");
+        assert_eq!(f.to_string(), "error[LSS101] a: m");
+    }
+}

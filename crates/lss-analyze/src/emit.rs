@@ -1,0 +1,161 @@
+//! Finding emitters: human text, JSON lines, and SARIF 2.1.0.
+//!
+//! JSON is hand-rolled (same convention as `lss-netlist::json` and the
+//! bench harness) so machine-readable output needs no external crates.
+
+use std::fmt::Write as _;
+
+use crate::diag::{Code, Finding};
+
+/// Renders findings as human-readable lines, one per finding, with
+/// supporting notes indented underneath.
+pub fn to_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{f}");
+        for note in &f.related {
+            let _ = writeln!(out, "    note: {note}");
+        }
+    }
+    out
+}
+
+/// Renders findings as JSON lines: one object per finding per line.
+pub fn to_jsonl(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let related: Vec<String> = f.related.iter().map(|n| quote(n)).collect();
+        let _ = writeln!(
+            out,
+            "{{\"code\": {}, \"severity\": {}, \"subject\": {}, \"message\": {}, \"related\": [{}]}}",
+            quote(f.code.id()),
+            quote(f.severity.as_str()),
+            quote(&f.subject),
+            quote(&f.message),
+            related.join(", ")
+        );
+    }
+    out
+}
+
+/// Renders findings as a SARIF 2.1.0 log with one run.
+///
+/// Every diagnostic code appears in the rule table (so viewers can show
+/// titles and help for clean runs too); each result carries the instance
+/// path as a logical location's `fullyQualifiedName`.
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"lssc\",\n");
+    out.push_str("          \"informationUri\": \"https://example.org/liberty-lss\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, code) in Code::ALL.iter().enumerate() {
+        let comma = if i + 1 == Code::ALL.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "            {{\"id\": {}, \"name\": {}, \"shortDescription\": {{\"text\": {}}}, \
+             \"help\": {{\"text\": {}}}, \"defaultConfiguration\": {{\"level\": {}}}}}{comma}",
+            quote(code.id()),
+            quote(code.name()),
+            quote(code.title()),
+            quote(code.help()),
+            quote(code.default_severity().sarif_level()),
+        );
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 == findings.len() { "" } else { "," };
+        let rule_index = Code::ALL.iter().position(|&c| c == f.code).unwrap();
+        let mut text = f.message.clone();
+        for note in &f.related {
+            text.push_str("; ");
+            text.push_str(note);
+        }
+        let _ = writeln!(
+            out,
+            "        {{\"ruleId\": {}, \"ruleIndex\": {rule_index}, \"level\": {}, \
+             \"message\": {{\"text\": {}}}, \"locations\": [{{\"logicalLocations\": \
+             [{{\"fullyQualifiedName\": {}}}]}}]}}{comma}",
+            quote(f.code.id()),
+            quote(f.severity.sarif_level()),
+            quote(&text),
+            quote(&f.subject),
+        );
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// JSON string literal with escaping.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Code;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding::new(Code::CombCycle, "a", "cycle a -> b -> a").with_note("break at b.in"),
+            Finding::new(Code::UnconnectedInput, "x.in", "never \"driven\""),
+        ]
+    }
+
+    #[test]
+    fn text_includes_notes() {
+        let text = to_text(&sample());
+        assert!(text.contains("error[LSS101] a: cycle a -> b -> a"));
+        assert!(text.contains("    note: break at b.in"));
+        assert!(text.contains("warning[LSS201]"));
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line_with_escaping() {
+        let jsonl = to_jsonl(&sample());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"code\": \"LSS101\""));
+        assert!(lines[1].contains("never \\\"driven\\\""));
+    }
+
+    #[test]
+    fn sarif_has_rules_and_results() {
+        let sarif = to_sarif(&sample());
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        for code in Code::ALL {
+            assert!(sarif.contains(code.id()), "rule table misses {code}");
+        }
+        assert!(sarif.contains("\"fullyQualifiedName\": \"x.in\""));
+        assert!(sarif.contains("\"level\": \"error\""));
+    }
+
+    #[test]
+    fn sarif_for_clean_run_still_lists_rules() {
+        let sarif = to_sarif(&[]);
+        assert!(sarif.contains("\"results\": [\n      ]"));
+        assert!(sarif.contains("LSS303"));
+    }
+}

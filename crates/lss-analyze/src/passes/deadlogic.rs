@@ -1,0 +1,96 @@
+//! `LSS203` — cone-of-influence reachability (dead logic).
+//!
+//! An instance only matters if some value it produces can reach an
+//! *observation point*: a collector, observable per-instance state
+//! (declared runtime variables or events, which `--watch`/reports read), a
+//! leaf that absorbs data (no outputs, like corelib `sink`), or the
+//! model's top-level boundary ports. Everything else computes values
+//! nobody can ever see — dead logic, usually a forgotten connection.
+//!
+//! The check is a reverse reachability sweep over the instance-level
+//! connection digraph, so logic feeding *only* dead logic is dead too.
+
+use std::collections::VecDeque;
+
+use crate::diag::{Code, Finding};
+use crate::{AnalysisCtx, Pass};
+
+/// Flags instances whose outputs never reach an observation point
+/// (`LSS203`).
+pub struct DeadLogicPass;
+
+impl Pass for DeadLogicPass {
+    fn name(&self) -> &'static str {
+        "dead-logic"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::DeadLogic]
+    }
+
+    fn run(&self, ctx: &AnalysisCtx<'_>, findings: &mut Vec<Finding>) {
+        let netlist = ctx.netlist;
+        let n = netlist.instances.len();
+        // Reverse instance-level connection graph (dst -> srcs), deduped.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for c in &netlist.connections {
+            let (s, d) = (c.src.inst.index(), c.dst.inst.index());
+            if s != d && !rev[d].contains(&s) {
+                rev[d].push(s);
+            }
+        }
+
+        let mut observed = vec![false; n];
+        for coll in &netlist.collectors {
+            observed[coll.inst.index()] = true;
+        }
+        for inst in &netlist.instances {
+            let sink = if inst.is_leaf() {
+                // Absorbing leaves, observable state, instrumentation.
+                !inst.ports.iter().any(|p| p.dir == lss_netlist::Dir::Out)
+                    || !inst.runtime_vars.is_empty()
+                    || !inst.events.is_empty()
+            } else {
+                // Top-level hierarchical instances: their boundary ports
+                // are the model's externally visible surface.
+                inst.parent.is_none()
+            };
+            if sink {
+                observed[inst.id.index()] = true;
+            }
+        }
+
+        // Reverse BFS: everything that can feed an observation point lives.
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| observed[i]).collect();
+        let mut live = observed.clone();
+        while let Some(v) = queue.pop_front() {
+            for &w in &rev[v] {
+                if !live[w] {
+                    live[w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+
+        for inst in netlist.leaves() {
+            if live[inst.id.index()] {
+                continue;
+            }
+            // Fully unconnected instances are LSS103's finding; dead logic
+            // is about *wired* instances whose cone of influence is empty.
+            if !inst.ports.iter().any(|p| p.width > 0) {
+                continue;
+            }
+            findings.push(Finding::new(
+                Code::DeadLogic,
+                inst.path.clone(),
+                format!(
+                    "`{}` ({}) is wired, but nothing it produces can reach a collector, \
+                     observable state, or a top-level port — dead logic",
+                    inst.path,
+                    netlist.name(inst.module)
+                ),
+            ));
+        }
+    }
+}

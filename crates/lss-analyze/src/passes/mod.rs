@@ -1,0 +1,26 @@
+//! The analysis passes, one module each, registered with the
+//! [`PassManager`](crate::PassManager).
+
+pub mod cycles;
+pub mod deadlogic;
+pub mod multidriver;
+pub mod netlist_lints;
+pub mod residue;
+
+use crate::Pass;
+
+/// Every built-in pass, in report order: structural first, then dataflow,
+/// then types-and-events.
+pub fn default_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(cycles::CombCyclePass),
+        Box::new(multidriver::MultiDriverPass),
+        Box::new(netlist_lints::IsolatedInstancePass),
+        Box::new(netlist_lints::DanglingHierPortPass),
+        Box::new(netlist_lints::UnconnectedPortsPass),
+        Box::new(deadlogic::DeadLogicPass),
+        Box::new(netlist_lints::WidthMismatchPass),
+        Box::new(netlist_lints::UnboundCollectorPass),
+        Box::new(residue::DisjunctResiduePass),
+    ]
+}

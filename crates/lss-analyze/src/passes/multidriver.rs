@@ -1,0 +1,54 @@
+//! `LSS102` — multi-driver conflict detection.
+//!
+//! Every LSS connection is point-to-point between port *instances*; fan-in
+//! is expressed by widening a port (one lane per producer). Two connections
+//! landing on the same port instance therefore mean one value silently
+//! shadows the other — `Netlist::flatten` keeps a single driver per input
+//! and the engine stores one value per slot. The check runs over the raw
+//! connection list, so conflicts at hierarchical boundaries (which
+//! flattening would silently collapse) are caught too.
+
+use std::collections::BTreeMap;
+
+use lss_netlist::Endpoint;
+
+use crate::diag::{Code, Finding};
+use crate::{AnalysisCtx, Pass};
+
+/// Detects port instances with more than one driver (`LSS102`).
+pub struct MultiDriverPass;
+
+impl Pass for MultiDriverPass {
+    fn name(&self) -> &'static str {
+        "multi-driver"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::MultiDriver]
+    }
+
+    fn run(&self, ctx: &AnalysisCtx<'_>, findings: &mut Vec<Finding>) {
+        let mut drivers: BTreeMap<Endpoint, Vec<Endpoint>> = BTreeMap::new();
+        for c in &ctx.netlist.connections {
+            drivers.entry(c.dst).or_default().push(c.src);
+        }
+        for (dst, srcs) in drivers {
+            if srcs.len() < 2 {
+                continue;
+            }
+            let mut names: Vec<String> =
+                srcs.iter().map(|&s| ctx.netlist.endpoint_name(s)).collect();
+            names.sort();
+            findings.push(Finding::new(
+                Code::MultiDriver,
+                ctx.netlist.endpoint_name(dst),
+                format!(
+                    "driven by {} sources ({}); only one value survives per cycle — widen the \
+                     port so each producer gets its own lane",
+                    names.len(),
+                    names.join(", ")
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! `LSS303` — disjunct-residue check.
+//!
+//! Overloaded components (§5: disjunctive type schemes) should have every
+//! alternative discharged by inference. When a port's scheme still
+//! contains a disjunction after solving, the overload was never pinned
+//! down by any connection or `::` instantiation — downstream tooling then
+//! defaults the type arbitrarily, which is exactly the silent ambiguity
+//! the paper's type system exists to surface.
+
+use lss_types::{solve, SolverConfig};
+
+use crate::diag::{Code, Finding};
+use crate::{AnalysisCtx, Pass};
+
+/// Flags ports whose inferred type still contains an unresolved disjunct
+/// after `lss-types::solve` (`LSS303`).
+pub struct DisjunctResiduePass;
+
+impl Pass for DisjunctResiduePass {
+    fn name(&self) -> &'static str {
+        "disjunct-residue"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[Code::DisjunctResidue]
+    }
+
+    fn run(&self, ctx: &AnalysisCtx<'_>, findings: &mut Vec<Finding>) {
+        let has_overloads = ctx
+            .netlist
+            .instances
+            .iter()
+            .flat_map(|i| i.ports.iter())
+            .any(|p| p.scheme.has_disjunction());
+        if !has_overloads {
+            return;
+        }
+        // The netlist does not retain the solver's substitution, so re-run
+        // inference over its constraint set. An unsolvable set is a compile
+        // error, not this pass's business.
+        let Ok(solution) = solve(&ctx.netlist.constraints, &SolverConfig::default()) else {
+            return;
+        };
+        for inst in &ctx.netlist.instances {
+            for port in &inst.ports {
+                if !port.scheme.has_disjunction() {
+                    continue;
+                }
+                let resolved = solution.subst.resolve(&port.scheme);
+                if resolved.has_disjunction() {
+                    findings.push(Finding::new(
+                        Code::DisjunctResidue,
+                        format!("{}.{}", inst.path, ctx.netlist.name(port.name)),
+                        format!(
+                            "overloaded type `{resolved}` is not resolved to a single \
+                             alternative by inference; the simulator will default it — pin it \
+                             with an explicit `::` instantiation"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

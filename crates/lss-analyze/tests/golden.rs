@@ -1,0 +1,202 @@
+//! Golden-file diagnostic tests: handcrafted netlists with known defects
+//! must render to byte-identical reports, and every Table 3 model must
+//! come out clean under the default deny set.
+//!
+//! Regenerate the expected files with `UPDATE_GOLDEN=1 cargo test -p
+//! lss-analyze --test golden` after an intentional output change, and
+//! review the diff like any other code change.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use lss_analyze::{to_text, AnalysisConfig, CombInfo, PassManager};
+use lss_netlist::{
+    Connection, Dir, Endpoint, Instance, InstanceId, InstanceKind, Netlist, Port, PortId,
+};
+use lss_types::Scheme;
+
+/// Adds a leaf instance with the given `(name, dir, width)` ports.
+/// Mirrors `lss_netlist::netlist::testutil::add`, which is `cfg(test)`.
+fn add_leaf(n: &mut Netlist, path: &str, module: &str, ports: &[(&str, Dir, u32)]) -> InstanceId {
+    let module_sym = n.intern(module);
+    let tar_file = format!("corelib/{module}.tar");
+    let ports = ports
+        .iter()
+        .map(|(name, dir, width)| {
+            let name_sym = n.intern(name);
+            let var = n.vars.fresh(format!("{path}.{name}"));
+            Port {
+                name: name_sym,
+                dir: *dir,
+                scheme: Scheme::Var(var),
+                var,
+                width: *width,
+                ty: None,
+                explicit: false,
+            }
+        })
+        .collect();
+    n.add_instance(Instance {
+        id: InstanceId(0),
+        path: path.to_string(),
+        module: module_sym,
+        kind: InstanceKind::Leaf { tar_file },
+        parent: None,
+        from_library: true,
+        params: BTreeMap::new(),
+        ports,
+        userpoints: Vec::new(),
+        runtime_vars: Vec::new(),
+        events: Vec::new(),
+    })
+}
+
+/// Endpoint shorthand.
+fn ep(inst: InstanceId, port: u32, index: u32) -> Endpoint {
+    Endpoint {
+        inst,
+        port: PortId(port),
+        index,
+    }
+}
+
+fn connect(n: &mut Netlist, src: Endpoint, dst: Endpoint) {
+    n.connections.push(Connection { src, dst });
+}
+
+/// Runs the default pass suite and renders the human report.
+fn report(netlist: &Netlist, comb: &CombInfo) -> String {
+    let analysis =
+        PassManager::with_default_passes().run(netlist, comb, &AnalysisConfig::default());
+    to_text(&analysis.findings)
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "report differs from {}; run with UPDATE_GOLDEN=1 to regenerate",
+        path.display()
+    );
+}
+
+/// Two combinational pass-throughs wired head-to-tail: a true zero-delay
+/// cycle, plus the dead-logic warnings (nothing observes the loop).
+fn cyclic_netlist() -> Netlist {
+    let mut n = Netlist::new();
+    let a = add_leaf(
+        &mut n,
+        "a",
+        "tee",
+        &[("in", Dir::In, 1), ("out", Dir::Out, 1)],
+    );
+    let b = add_leaf(
+        &mut n,
+        "b",
+        "tee",
+        &[("in", Dir::In, 1), ("out", Dir::Out, 1)],
+    );
+    connect(&mut n, ep(a, 1, 0), ep(b, 0, 0));
+    connect(&mut n, ep(b, 1, 0), ep(a, 0, 0));
+    n
+}
+
+#[test]
+fn cyclic_netlist_reports_lss101() {
+    let n = cyclic_netlist();
+    assert_golden("cyclic.txt", &report(&n, &CombInfo::all_combinational()));
+}
+
+#[test]
+fn registering_an_input_breaks_the_cycle() {
+    let n = cyclic_netlist();
+    let b = n.instances[1].id;
+    let mut comb = CombInfo::all_combinational();
+    comb.set_non_combinational(b, PortId(0));
+    let analysis = PassManager::with_default_passes().run(&n, &comb, &AnalysisConfig::default());
+    assert_eq!(analysis.with_code(lss_analyze::Code::CombCycle).count(), 0);
+    assert_eq!(analysis.denied, 0);
+}
+
+#[test]
+fn independent_port_paths_break_the_cycle() {
+    // Same wiring, but b's behavior declares `out` independent of `in`
+    // (a credit-style component): the loop dissolves at port granularity.
+    let n = cyclic_netlist();
+    let b = n.instances[1].id;
+    let mut comb = CombInfo::all_combinational();
+    comb.set_independent(b, PortId(1), PortId(0));
+    let analysis = PassManager::with_default_passes().run(&n, &comb, &AnalysisConfig::default());
+    assert_eq!(analysis.with_code(lss_analyze::Code::CombCycle).count(), 0);
+}
+
+#[test]
+fn multi_driver_netlist_reports_lss102() {
+    let mut n = Netlist::new();
+    let s1 = add_leaf(&mut n, "s1", "source", &[("out", Dir::Out, 1)]);
+    let s2 = add_leaf(&mut n, "s2", "source", &[("out", Dir::Out, 1)]);
+    let k = add_leaf(&mut n, "k", "sink", &[("in", Dir::In, 1)]);
+    connect(&mut n, ep(s1, 0, 0), ep(k, 0, 0));
+    connect(&mut n, ep(s2, 0, 0), ep(k, 0, 0));
+    assert_golden(
+        "multidriver.txt",
+        &report(&n, &CombInfo::all_combinational()),
+    );
+}
+
+#[test]
+fn dead_logic_netlist_reports_lss203() {
+    let mut n = Netlist::new();
+    // Observed chain: gen -> hole (hole has no outputs, so it counts as an
+    // observation point).
+    let gen = add_leaf(&mut n, "gen", "source", &[("out", Dir::Out, 1)]);
+    let hole = add_leaf(&mut n, "hole", "sink", &[("in", Dir::In, 1)]);
+    connect(&mut n, ep(gen, 0, 0), ep(hole, 0, 0));
+    // Dead chain: gen2 -> stage, whose output goes nowhere.
+    let gen2 = add_leaf(&mut n, "gen2", "source", &[("out", Dir::Out, 1)]);
+    let stage = add_leaf(
+        &mut n,
+        "stage",
+        "tee",
+        &[("in", Dir::In, 1), ("out", Dir::Out, 0)],
+    );
+    connect(&mut n, ep(gen2, 0, 0), ep(stage, 0, 0));
+    assert_golden("deadlogic.txt", &report(&n, &CombInfo::all_combinational()));
+}
+
+#[test]
+fn table3_models_are_clean_under_default_deny() {
+    let registry = lss_corelib::registry();
+    for model in lss_models::models() {
+        let compiled = lss_models::compile_model(model)
+            .unwrap_or_else(|e| panic!("model {} failed to compile: {e}", model.id));
+        let comb = lss_sim::comb_info(&compiled.netlist, &registry);
+        let analysis = PassManager::with_default_passes().run(
+            &compiled.netlist,
+            &comb,
+            &AnalysisConfig::default(),
+        );
+        assert_eq!(
+            analysis.denied,
+            0,
+            "model {} is not clean under the default deny set:\n{}",
+            model.id,
+            to_text(&analysis.findings)
+        );
+        assert_eq!(
+            analysis.with_code(lss_analyze::Code::CombCycle).count(),
+            0,
+            "model {} has a port-level combinational cycle",
+            model.id
+        );
+    }
+}

@@ -438,4 +438,13 @@ impl Component for Cache {
         // `resp` as well.
         port == self.req || port == self.lower_resp
     }
+
+    fn output_depends_on(&self, output: usize, input: usize) -> bool {
+        // `lower_req` is a pure function of `req` — it never reads
+        // `lower_resp`, which is what makes the request/response pair with
+        // the next level a convergent fixpoint rather than a true
+        // zero-delay cycle.
+        (output == self.resp && (input == self.req || input == self.lower_resp))
+            || (output == self.lower_req && input == self.req)
+    }
 }

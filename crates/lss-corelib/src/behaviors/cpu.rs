@@ -287,6 +287,13 @@ impl Component for Decode {
         }
         Ok(())
     }
+
+    fn output_depends_on(&self, output: usize, input: usize) -> bool {
+        // Data and credit run on independent paths: `out` forwards `in`,
+        // `credit` forwards `credit_in`.
+        (output == self.out && input == self.inp)
+            || (output == self.credit && input == self.credit_in)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -393,6 +400,11 @@ impl Component for Dispatch {
 
     fn input_is_combinational(&self, port: usize) -> bool {
         port == self.rs_credit
+    }
+
+    fn output_depends_on(&self, output: usize, input: usize) -> bool {
+        // `credit` is free buffer space — pure state, no eval input.
+        output == self.out && input == self.rs_credit
     }
 }
 
@@ -549,6 +561,11 @@ impl Component for Issue {
 
     fn input_is_combinational(&self, port: usize) -> bool {
         port == self.fu_credit
+    }
+
+    fn output_depends_on(&self, output: usize, input: usize) -> bool {
+        // `credit` is free window space — pure state, no eval input.
+        output == self.out && input == self.fu_credit
     }
 }
 

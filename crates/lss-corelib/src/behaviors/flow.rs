@@ -102,6 +102,11 @@ impl Component for Queue {
         // Only `credit_in` feeds eval; `in` is consumed at end_of_timestep.
         port == self.credit_in
     }
+
+    fn output_depends_on(&self, output: usize, input: usize) -> bool {
+        // `credit` is free space at the start of the cycle — pure state.
+        output == self.out && input == self.credit_in
+    }
 }
 
 /// `corelib/arbiter.tar` — picks up to `out.width` of the valid `in` lanes

@@ -52,6 +52,32 @@ fn run(
     (fires, collectors)
 }
 
+/// The engine must execute exactly the schedule the static analyzer derives:
+/// `lss-analyze`'s component-level dependency graph, condensed and ordered,
+/// is the single source of truth for evaluation order.
+#[test]
+fn engine_schedule_matches_analyzer_condensation() {
+    use lss_analyze::leaf_dep_graph;
+    use lss_sim::Schedule;
+
+    let registry = lss_corelib::registry();
+    for model in models() {
+        let compiled = compile_model(model)
+            .unwrap_or_else(|e| panic!("model {} failed to compile: {e}", model.id));
+        let sim = build_sim(&compiled.netlist, Scheduler::Static).expect("build");
+        let wires = compiled.netlist.flatten();
+        let comb = lss_sim::comb_info(&compiled.netlist, &registry);
+        let deps = leaf_dep_graph(&compiled.netlist, &wires, &comb);
+        let expected = Schedule::from_condensation(&deps.graph.condense());
+        assert_eq!(
+            sim.static_schedule(),
+            &expected,
+            "model {}: engine schedule diverges from analyzer condensation",
+            model.id
+        );
+    }
+}
+
 #[test]
 fn static_and_dynamic_schedulers_agree_on_all_models() {
     for model in models() {

@@ -34,7 +34,10 @@ pub mod stats;
 
 pub use intern::{CollectorId, EventId, Interner, PortId, RtvId, SlotId, Symbol, UserpointId};
 pub use json::to_json;
-pub use lint::{lint, Lint, LintKind};
+pub use lint::{
+    check_dangling_hierarchical, check_isolated, check_unbound_collectors, check_unconnected,
+    check_width_mismatch, lint, Lint, LintKind,
+};
 pub use netlist::{
     Collector, Connection, Dir, ElabStats, Endpoint, EventDecl, InstRef, Instance, InstanceId,
     InstanceKind, ModuleMeta, Netlist, Port, RuntimeVar, Userpoint, Wire,

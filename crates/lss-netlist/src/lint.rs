@@ -64,17 +64,23 @@ impl fmt::Display for Lint {
 }
 
 /// Runs all lints over the netlist.
+///
+/// This is a thin aggregation shim over the individual `check_*`
+/// functions; the pass-manager framework in `lss-analyze` registers each
+/// check as its own pass with a stable diagnostic code.
 pub fn lint(netlist: &Netlist) -> Vec<Lint> {
     let mut findings = Vec::new();
-    lint_unconnected(netlist, &mut findings);
-    lint_isolated(netlist, &mut findings);
-    lint_dangling_hierarchical(netlist, &mut findings);
-    lint_width_mismatch(netlist, &mut findings);
-    lint_unbound_collectors(netlist, &mut findings);
+    check_unconnected(netlist, &mut findings);
+    check_isolated(netlist, &mut findings);
+    check_dangling_hierarchical(netlist, &mut findings);
+    check_width_mismatch(netlist, &mut findings);
+    check_unbound_collectors(netlist, &mut findings);
     findings
 }
 
-fn lint_unconnected(netlist: &Netlist, findings: &mut Vec<Lint>) {
+/// Unconnected inputs/outputs on leaves that have at least one connected
+/// port ([`LintKind::UnconnectedInput`], [`LintKind::UnconnectedOutput`]).
+pub fn check_unconnected(netlist: &Netlist, findings: &mut Vec<Lint>) {
     for inst in netlist.leaves() {
         let any_connected = inst.ports.iter().any(|p| p.width > 0);
         if !any_connected {
@@ -110,10 +116,29 @@ fn lint_unconnected(netlist: &Netlist, findings: &mut Vec<Lint>) {
     }
 }
 
-fn lint_isolated(netlist: &Netlist, findings: &mut Vec<Lint>) {
+/// Instances declaring ports with none connected
+/// ([`LintKind::IsolatedInstance`]).
+pub fn check_isolated(netlist: &Netlist, findings: &mut Vec<Lint>) {
+    // A hierarchical wrapper with unused boundary ports is not isolated if
+    // anything inside it is wired: mark every ancestor of a connected port.
+    let mut live_subtree = vec![false; netlist.instances.len()];
+    for inst in &netlist.instances {
+        if inst.ports.iter().any(|p| p.width > 0) {
+            let mut cur = inst.parent;
+            while let Some(id) = cur {
+                if std::mem::replace(&mut live_subtree[id.0 as usize], true) {
+                    break;
+                }
+                cur = netlist.instance(id).parent;
+            }
+        }
+    }
     for inst in &netlist.instances {
         if inst.ports.is_empty() {
             continue; // sinks of pure state are fine
+        }
+        if live_subtree[inst.id.0 as usize] {
+            continue;
         }
         if inst.ports.iter().all(|p| p.width == 0) {
             findings.push(Lint {
@@ -130,7 +155,9 @@ fn lint_isolated(netlist: &Netlist, findings: &mut Vec<Lint>) {
     }
 }
 
-fn lint_dangling_hierarchical(netlist: &Netlist, findings: &mut Vec<Lint>) {
+/// Hierarchical ports connected on only one face
+/// ([`LintKind::DanglingHierarchicalPort`]).
+pub fn check_dangling_hierarchical(netlist: &Netlist, findings: &mut Vec<Lint>) {
     // A hierarchical port instance should appear on both faces: as a dst
     // (outside drives an inport / inside drives an outport) and as a src.
     let mut srcs: BTreeSet<(u32, u32, u32)> = BTreeSet::new();
@@ -168,7 +195,9 @@ fn lint_dangling_hierarchical(netlist: &Netlist, findings: &mut Vec<Lint>) {
     }
 }
 
-fn lint_width_mismatch(netlist: &Netlist, findings: &mut Vec<Lint>) {
+/// Ports sharing a type variable but differing in width
+/// ([`LintKind::WidthMismatch`]).
+pub fn check_width_mismatch(netlist: &Netlist, findings: &mut Vec<Lint>) {
     for inst in &netlist.instances {
         // Group ports by shared type variables in their declared schemes.
         for (i, a) in inst.ports.iter().enumerate() {
@@ -195,7 +224,9 @@ fn lint_width_mismatch(netlist: &Netlist, findings: &mut Vec<Lint>) {
     }
 }
 
-fn lint_unbound_collectors(netlist: &Netlist, findings: &mut Vec<Lint>) {
+/// Collectors bound to events their target can never emit
+/// ([`LintKind::UnboundCollector`]).
+pub fn check_unbound_collectors(netlist: &Netlist, findings: &mut Vec<Lint>) {
     for coll in &netlist.collectors {
         let inst = netlist.instance(coll.inst);
         if inst.events.iter().any(|e| e.name == coll.event) {

@@ -269,6 +269,20 @@ pub trait Component {
     fn input_is_combinational(&self, _port: usize) -> bool {
         true
     }
+
+    /// Whether `eval`'s value on `output` reads the given (combinational)
+    /// input port.
+    ///
+    /// Defaults to "every output reads every combinational input" — the
+    /// safe over-approximation. Behaviors whose port paths are independent
+    /// (a credit output computed from buffer occupancy alone, a cache
+    /// `lower_req` that never reads `lower_resp`) should override this:
+    /// the static analyzer's port-granularity cycle detector uses it to
+    /// tell a convergent credit handshake from a genuinely unbroken
+    /// zero-delay loop.
+    fn output_depends_on(&self, _output: usize, input: usize) -> bool {
+        self.input_is_combinational(input)
+    }
 }
 
 /// Factory producing a configured behavior from a spec.

@@ -36,11 +36,14 @@ use std::collections::VecDeque;
 use lss_netlist::{Dir, EventId, InstanceId, InstanceKind, Netlist, RtvId, UserpointId};
 use lss_types::{Datum, Ty};
 
+use lss_analyze::{leaf_dep_graph, CombInfo};
+use lss_netlist::PortId;
+
 use crate::bsl::{compile_bsl, exec, BslEnv, BslProgram};
 use crate::component::{
     BuildError, CompCtx, CompSpec, Component, ComponentRegistry, PortSpec, SimError,
 };
-use crate::sched::{schedule, Schedule, ScheduleStep};
+use crate::sched::{Schedule, ScheduleStep};
 use crate::slots::SlotTable;
 
 /// Which combinational scheduler to use.
@@ -352,6 +355,96 @@ impl Component for Placeholder {
     }
 }
 
+/// Records a leaf behavior's dependency contract into a [`CombInfo`]:
+/// which inputs are registered (`input_is_combinational`) and which
+/// output/input pairs run on independent paths (`output_depends_on`).
+fn fill_comb_info(comb: &mut CombInfo, inst: &lss_netlist::Instance, comp: &dyn Component) {
+    for (i_idx, input) in inst.ports.iter().enumerate() {
+        if input.dir != Dir::In {
+            continue;
+        }
+        if !comp.input_is_combinational(i_idx) {
+            comb.set_non_combinational(inst.id, PortId::from_index(i_idx));
+            continue;
+        }
+        for (o_idx, output) in inst.ports.iter().enumerate() {
+            if output.dir == Dir::Out && !comp.output_depends_on(o_idx, i_idx) {
+                comb.set_independent(
+                    inst.id,
+                    PortId::from_index(o_idx),
+                    PortId::from_index(i_idx),
+                );
+            }
+        }
+    }
+}
+
+/// Computes which leaf inputs are *not* combinational by instantiating each
+/// leaf's behavior and asking it (`Component::input_is_combinational`).
+///
+/// This is the behavioral half of the static analyzer's zero-delay
+/// dependency graph: `lss-analyze` owns the graph and its condensation, but
+/// only the component registry knows whether a given input is consumed in
+/// `eval` (combinational) or in `end_of_timestep` (registered, cycle
+/// breaking). Leaves whose behavior cannot be instantiated — unknown
+/// `tar_file`, missing port types, userpoints that do not compile — are left
+/// at the combinational default, which errs toward *reporting* cycles rather
+/// than hiding them.
+pub fn comb_info(netlist: &Netlist, registry: &ComponentRegistry) -> lss_analyze::CombInfo {
+    let mut comb = CombInfo::all_combinational();
+    for inst in &netlist.instances {
+        let InstanceKind::Leaf { tar_file } = &inst.kind else {
+            continue;
+        };
+        let mut ports = Vec::with_capacity(inst.ports.len());
+        for p in &inst.ports {
+            ports.push(PortSpec {
+                name: netlist.name(p.name).to_string(),
+                dir: p.dir,
+                width: p.width,
+                ty: p.ty.clone().unwrap_or(lss_types::Ty::Int),
+            });
+        }
+        let mut userpoints = HashMap::new();
+        let mut compiled_all = true;
+        for up in &inst.userpoints {
+            match compile_bsl(&up.code) {
+                Ok(program) => {
+                    userpoints.insert(netlist.name(up.name).to_string(), program);
+                }
+                Err(_) => {
+                    compiled_all = false;
+                    break;
+                }
+            }
+        }
+        if !compiled_all {
+            continue;
+        }
+        let spec = CompSpec {
+            path: inst.path.clone(),
+            module: netlist.name(inst.module).to_string(),
+            params: inst
+                .params
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            ports,
+            userpoints,
+            runtime_vars: inst
+                .runtime_vars
+                .iter()
+                .map(|rv| (netlist.name(rv.name).to_string(), rv.init.clone()))
+                .collect(),
+        };
+        let Ok(comp) = registry.build(tar_file, &spec) else {
+            continue;
+        };
+        fill_comb_info(&mut comb, inst, comp.as_ref());
+    }
+    comb
+}
+
 /// Builds a simulator from a typed netlist.
 ///
 /// # Errors
@@ -406,7 +499,6 @@ pub fn build(
     }
     let wires = netlist.flatten();
     let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut comb_edges: Vec<(usize, usize)> = Vec::new();
     // (dst comp, dst port, lane) resolved after components exist for
     // comb-dependency queries; first fill slot mapping.
     for wire in &wires {
@@ -523,16 +615,16 @@ pub fn build(
         );
     }
 
-    // Combinational edges for the static schedule (now that behaviors can
-    // tell us which inputs their eval reads).
-    for wire in &wires {
-        let src_comp = comp_of_inst[&wire.src.inst];
-        let dst_comp = comp_of_inst[&wire.dst.inst];
-        if comps[dst_comp].input_is_combinational(wire.dst.port.index()) {
-            comb_edges.push((src_comp, dst_comp));
-        }
+    // Static schedule: ask the behaviors which inputs their eval reads,
+    // then execute the analyzer's dependency-graph condensation — the same
+    // graph `lssc check`'s cycle detector reports on, built once here.
+    let mut comb = CombInfo::all_combinational();
+    for (c, &id) in leaf_ids.iter().enumerate() {
+        fill_comb_info(&mut comb, netlist.instance(id), comps[c].as_ref());
     }
-    let static_schedule = schedule(n, &comb_edges);
+    let deps = leaf_dep_graph(netlist, &wires, &comb);
+    debug_assert_eq!(deps.leaves, leaf_ids, "analyzer and engine leaf order");
+    let static_schedule = Schedule::from_condensation(&deps.graph.condense());
     let mut sched_steps = Vec::with_capacity(static_schedule.steps.len());
     let mut sched_order = Vec::with_capacity(n);
     for step in &static_schedule.steps {

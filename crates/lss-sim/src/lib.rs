@@ -31,7 +31,7 @@ pub use bsl::{compile_bsl, datum_binary, exec, BslEnv, BslProgram};
 pub use component::{
     BuildError, CompCtx, CompSpec, Component, ComponentRegistry, PortSpec, SimError,
 };
-pub use engine::{build, FiringRecord, Scheduler, SimOptions, SimStats, Simulator};
+pub use engine::{build, comb_info, FiringRecord, Scheduler, SimOptions, SimStats, Simulator};
 pub use sched::{schedule, Schedule, ScheduleStep};
 pub use slots::SlotTable;
 pub use wave::{to_ascii, to_vcd};

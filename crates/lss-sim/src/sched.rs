@@ -8,6 +8,13 @@
 //! topological order of this graph's strongly connected components; a
 //! multi-node SCC is a true combinational cycle and is iterated to a
 //! fixpoint at simulation time.
+//!
+//! The graph itself lives in `lss-analyze` ([`DepGraph`] and its Tarjan
+//! [`Condensation`]): the engine executes exactly the condensation the
+//! static analyzer's cycle detector reports on, so `lssc check` and the
+//! scheduler can never disagree about what is a cycle.
+
+use lss_analyze::{Condensation, DepGraph};
 
 /// One step of a static schedule.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,101 +57,31 @@ impl Schedule {
             .filter(|s| matches!(s, ScheduleStep::Fixpoint(_)))
             .count()
     }
+
+    /// Builds the schedule executing a dependency-graph condensation:
+    /// acyclic components become [`ScheduleStep::Single`] evaluations in
+    /// topological order, genuine cycles become fixpoint blocks.
+    pub fn from_condensation(cond: &Condensation) -> Schedule {
+        let steps = cond
+            .sccs
+            .iter()
+            .zip(&cond.cyclic)
+            .map(|(scc, &cyclic)| {
+                if cyclic {
+                    ScheduleStep::Fixpoint(scc.clone())
+                } else {
+                    ScheduleStep::Single(scc[0])
+                }
+            })
+            .collect();
+        Schedule { steps }
+    }
 }
 
 /// Computes the static schedule for `n` components given the combinational
 /// edges `A → B` (deduplicated internally).
 pub fn schedule(n: usize, edges: &[(usize, usize)]) -> Schedule {
-    // Adjacency with dedup.
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for &(a, b) in edges {
-        debug_assert!(a < n && b < n, "edge ({a},{b}) out of range");
-        if !adj[a].contains(&b) {
-            adj[a].push(b);
-        }
-    }
-    // Tarjan's SCC, iterative to avoid deep recursion on long pipelines.
-    let mut index = vec![usize::MAX; n];
-    let mut low = vec![0usize; n];
-    let mut on_stack = vec![false; n];
-    let mut stack: Vec<usize> = Vec::new();
-    let mut next_index = 0usize;
-    // SCCs in reverse topological order (Tarjan's property).
-    let mut sccs: Vec<Vec<usize>> = Vec::new();
-
-    enum Frame {
-        Enter(usize),
-        Resume(usize, usize),
-    }
-    for start in 0..n {
-        if index[start] != usize::MAX {
-            continue;
-        }
-        let mut work = vec![Frame::Enter(start)];
-        while let Some(frame) = work.pop() {
-            match frame {
-                Frame::Enter(v) => {
-                    index[v] = next_index;
-                    low[v] = next_index;
-                    next_index += 1;
-                    stack.push(v);
-                    on_stack[v] = true;
-                    work.push(Frame::Resume(v, 0));
-                }
-                Frame::Resume(v, child_idx) => {
-                    if let Some(&w) = adj[v].get(child_idx) {
-                        work.push(Frame::Resume(v, child_idx + 1));
-                        if index[w] == usize::MAX {
-                            work.push(Frame::Enter(w));
-                        } else if on_stack[w] {
-                            low[v] = low[v].min(index[w]);
-                        }
-                    } else {
-                        // All children visited. Fold lowlinks of successors
-                        // still on the stack (Pearce's variant of Tarjan:
-                        // using low[w] for every on-stack successor — tree
-                        // child or back/cross edge — yields the same SCCs).
-                        for &w in &adj[v] {
-                            if on_stack[w] {
-                                low[v] = low[v].min(low[w]);
-                            }
-                        }
-                        if low[v] == index[v] {
-                            let mut scc = Vec::new();
-                            while let Some(w) = stack.pop() {
-                                on_stack[w] = false;
-                                scc.push(w);
-                                if w == v {
-                                    break;
-                                }
-                            }
-                            scc.sort_unstable();
-                            sccs.push(scc);
-                        }
-                    }
-                }
-            }
-        }
-    }
-    // Reverse to get topological order (sources first).
-    sccs.reverse();
-    let steps = sccs
-        .into_iter()
-        .map(|scc| {
-            if scc.len() == 1 {
-                let v = scc[0];
-                // A single node with a self-loop is still a cycle.
-                if adj[v].contains(&v) {
-                    ScheduleStep::Fixpoint(vec![v])
-                } else {
-                    ScheduleStep::Single(v)
-                }
-            } else {
-                ScheduleStep::Fixpoint(scc)
-            }
-        })
-        .collect();
-    Schedule { steps }
+    Schedule::from_condensation(&DepGraph::from_edges(n, edges).condense())
 }
 
 #[cfg(test)]
