@@ -28,4 +28,21 @@ for f in examples/lss/*.lss; do
     --format sarif --output "target/analysis/example_${name}.sarif"
 done
 
+echo "==> pipeline: cold-then-warm batch builds of the Table 3 models"
+rm -rf target/lss-cache-ci
+MODELS=(crates/lss-models/models/model_{a,b,c,d,e,f}.lss)
+./target/release/lssc build --jobs 4 --cache-dir target/lss-cache-ci \
+  --lib crates/lss-models/models/cpu_lib.lss "${MODELS[@]}"
+warm_out="$(./target/release/lssc build --jobs 4 --cache-dir target/lss-cache-ci \
+  --lib crates/lss-models/models/cpu_lib.lss "${MODELS[@]}")"
+echo "${warm_out}"
+hits="$(grep -c 'cache hit' <<<"${warm_out}")"
+if [ "${hits}" -ne "${#MODELS[@]}" ]; then
+  echo "pipeline: expected ${#MODELS[@]} warm cache hits, saw ${hits}" >&2
+  exit 1
+fi
+
+echo "==> pipeline: BENCH_pipeline.json (cold vs warm, largest model)"
+cargo run --release -q -p bench --bin pipeline
+
 echo "CI OK"

@@ -1,0 +1,143 @@
+//! Staged-pipeline benchmark: cold versus warm (cache-served) builds of
+//! the largest Table 3 model, written to `crates/bench/BENCH_pipeline.json`.
+//!
+//! A warm build answers from the content-addressed netlist cache and skips
+//! elaboration and type inference outright, so the headline metric is the
+//! per-stage elaborate + infer time (the cache cannot skip parsing — the
+//! cache key is derived from the source texts — nor the probe itself). The
+//! end-to-end wall time for both paths is recorded alongside so the probe
+//! overhead stays visible.
+//!
+//! Run with `cargo run --release -p bench --bin pipeline`.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use bench::timing::{write_json, Sample};
+use lss_driver::{CacheOutcome, Driver};
+use lss_interp::CompileOptions;
+use lss_models::{driver_for_source, models, Model};
+
+struct Build {
+    total: Duration,
+    elaborate_infer: Duration,
+    cache: CacheOutcome,
+    instances: usize,
+}
+
+fn build(model: &Model, cache: Option<&PathBuf>) -> Build {
+    let mut driver: Driver = driver_for_source(model.source, &CompileOptions::default());
+    driver.set_cache_dir(cache.cloned());
+    let t0 = std::time::Instant::now();
+    let elaborated = driver
+        .elaborate()
+        .unwrap_or_else(|e| panic!("model {} failed to compile:\n{e}", model.id));
+    let total = t0.elapsed();
+    let stages = driver.timings().stages();
+    let elaborate_infer = stages
+        .iter()
+        .filter(|(name, _)| *name == "elaborate" || *name == "infer")
+        .map(|(_, d)| *d)
+        .sum();
+    Build {
+        total,
+        elaborate_infer,
+        cache: elaborated.cache,
+        instances: elaborated.netlist.instances.len(),
+    }
+}
+
+/// Summarizes a series of durations under the shared sample format.
+fn sample(name: &str, times: &mut [Duration]) -> Sample {
+    times.sort_unstable();
+    let ns = |d: &Duration| d.as_nanos() as u64;
+    Sample {
+        name: name.to_string(),
+        iters: times.len() as u32,
+        median_ns: ns(&times[times.len() / 2]),
+        mean_ns: times.iter().map(ns).sum::<u64>() / times.len() as u64,
+        min_ns: ns(&times[0]),
+    }
+}
+
+fn main() {
+    const ITERS: usize = 30;
+
+    // The largest model by elaborated instance count (E: two D cores plus a
+    // shared memory hierarchy).
+    let largest = models()
+        .iter()
+        .max_by_key(|m| build(m, None).instances)
+        .unwrap();
+    println!(
+        "largest Table 3 model: {} ({} — {} instances)",
+        largest.id,
+        largest.name,
+        build(largest, None).instances
+    );
+
+    let cache_dir = std::env::temp_dir().join(format!("lss-bench-pipeline-{}", std::process::id()));
+
+    // Cold: every iteration starts from an empty cache, so the build runs
+    // parse → elaborate → infer and then populates the cache.
+    let (mut cold_total, mut cold_stage) = (Vec::new(), Vec::new());
+    for _ in 0..ITERS {
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let b = build(largest, Some(&cache_dir));
+        assert_eq!(b.cache, CacheOutcome::Miss, "cold build must miss");
+        cold_total.push(b.total);
+        cold_stage.push(b.elaborate_infer);
+    }
+
+    // Warm: the entry written by the last cold run answers every build.
+    let (mut warm_total, mut warm_stage) = (Vec::new(), Vec::new());
+    for _ in 0..ITERS {
+        let b = build(largest, Some(&cache_dir));
+        assert_eq!(b.cache, CacheOutcome::Hit, "warm build must hit");
+        assert_eq!(
+            b.elaborate_infer,
+            Duration::ZERO,
+            "a cache hit must skip elaboration and inference"
+        );
+        warm_total.push(b.total);
+        warm_stage.push(b.elaborate_infer);
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let model = format!("model_{}", largest.id);
+    let samples = vec![
+        sample(
+            &format!("pipeline/{model}/cold_elaborate_infer"),
+            &mut cold_stage,
+        ),
+        sample(
+            &format!("pipeline/{model}/warm_elaborate_infer"),
+            &mut warm_stage,
+        ),
+        sample(&format!("pipeline/{model}/cold_total"), &mut cold_total),
+        sample(&format!("pipeline/{model}/warm_total"), &mut warm_total),
+    ];
+
+    let cold_ns = samples[0].median_ns;
+    let warm_ns = samples[1].median_ns;
+    println!(
+        "cold elaborate+infer median: {:.3}ms, warm: {:.3}ms",
+        cold_ns as f64 / 1e6,
+        warm_ns as f64 / 1e6
+    );
+    println!(
+        "cold total median: {:.3}ms, warm total median: {:.3}ms",
+        samples[2].median_ns as f64 / 1e6,
+        samples[3].median_ns as f64 / 1e6
+    );
+    assert!(
+        cold_ns >= 5 * warm_ns && cold_ns > 0,
+        "warm elaborate+infer ({warm_ns}ns) must be at least 5x faster than cold ({cold_ns}ns)"
+    );
+    println!("warm elaborate+infer is >= 5x faster than cold: ok");
+
+    write_json(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_pipeline.json"),
+        &samples,
+    );
+}

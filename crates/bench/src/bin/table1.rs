@@ -16,7 +16,7 @@ use lss_types::Ty;
 fn lss(src: &str) -> Result<liberty::Compiled, String> {
     let mut lse = Lse::with_corelib();
     lse.add_source("probe.lss", src);
-    lse.compile()
+    lse.compile().map_err(|e| e.to_string())
 }
 
 fn check(name: &str, ok: bool, detail: &str) -> bool {

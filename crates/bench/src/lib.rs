@@ -5,19 +5,20 @@
 pub mod baselines;
 pub mod timing;
 
+use lss_driver::Elaborated;
 use lss_interp::CompileOptions;
 use lss_models::Model;
 use lss_netlist::Netlist;
 
 /// Compiles a Table 3 model, panicking with diagnostics on failure (the
 /// experiment binaries treat model breakage as fatal).
-pub fn compiled_model(model: &Model) -> lss_interp::Compiled {
+pub fn compiled_model(model: &Model) -> Elaborated {
     lss_models::compile_model(model)
         .unwrap_or_else(|e| panic!("model {} failed to compile:\n{e}", model.id))
 }
 
 /// Compiles model source with explicit options.
-pub fn compiled_source(src: &str, opts: &CompileOptions) -> lss_interp::Compiled {
+pub fn compiled_source(src: &str, opts: &CompileOptions) -> Elaborated {
     lss_models::compile_source(src, opts)
         .unwrap_or_else(|e| panic!("source failed to compile:\n{e}"))
 }

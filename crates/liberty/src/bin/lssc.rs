@@ -2,7 +2,24 @@
 //!
 //! ```text
 //! lssc [OPTIONS] FILE.lss...
+//! lssc build [OPTIONS] FILE.lss...
 //! lssc check [OPTIONS] FILE.lss...
+//!
+//! build options:
+//!   --jobs N           compile up to N files in parallel (default: the
+//!                      number of available cores)
+//!   --lib FILE         add FILE as a library source to every file's build
+//!   --no-corelib       do not preload the corelib
+//!   --timings          print one JSON line of per-stage timings per file
+//!   --no-cache         bypass the netlist cache
+//!   --cache-dir DIR    cache location (default: $LSS_CACHE_DIR, else
+//!                      target/lss-cache)
+//!   --naive-inference  solve types without the paper's heuristics
+//!
+//! `build` compiles each FILE as an independent session (libraries are
+//! shared), prints one summary line per file in input order, and exits 1
+//! if any file fails. Warm builds replay the elaborated netlist from the
+//! content-addressed cache without re-running elaboration or inference.
 //!
 //! check options:
 //!   --model A..F       analyze a built-in Table 3 model instead of files
@@ -14,6 +31,7 @@
 //!   --allow SEL        suppress SEL entirely; repeatable, beats --deny
 //!   --output FILE      write the report to FILE instead of stdout
 //!   --list-codes       print the diagnostic catalog and exit
+//!   --no-cache / --cache-dir DIR   as for build
 //!   --naive-inference  solve types without the paper's heuristics
 //!
 //! `check` exits 1 when any finding is denied (on the deny list or
@@ -39,12 +57,17 @@
 //!   --stats            print Table 2 reuse statistics; after --run or
 //!                      --run-model, also engine statistics and the
 //!                      static-schedule summary
+//!   --timings          print one JSON line of per-stage timings
+//!   --no-cache / --cache-dir DIR   as for build
 //!   --naive-inference  solve types without the paper's heuristics
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use liberty::{AnalysisConfig, Lse, Scheduler};
+use liberty::{AnalysisConfig, Driver, Lse, Scheduler, StageTimings};
 use lss_analyze::{to_jsonl, to_sarif, to_text, Code};
 use lss_netlist::{dump, reuse_stats};
 
@@ -65,6 +88,56 @@ fn print_sim_stats(stats: &liberty::sim::SimStats, schedule: Option<&liberty::si
     }
 }
 
+/// Where the netlist cache lives for this invocation, `None` = disabled.
+#[derive(Clone, Default)]
+struct CacheOpts {
+    disabled: bool,
+    dir: Option<String>,
+}
+
+impl CacheOpts {
+    /// Resolves the flags to a directory: `--no-cache` wins, then
+    /// `--cache-dir`, then `$LSS_CACHE_DIR`, then `target/lss-cache`.
+    fn resolve(&self) -> Option<PathBuf> {
+        if self.disabled {
+            return None;
+        }
+        if let Some(dir) = &self.dir {
+            return Some(PathBuf::from(dir));
+        }
+        match std::env::var_os("LSS_CACHE_DIR") {
+            Some(dir) => Some(PathBuf::from(dir)),
+            None => Some(PathBuf::from("target/lss-cache")),
+        }
+    }
+}
+
+/// One `--timings` JSON line: cache outcome plus per-stage milliseconds.
+fn timings_json(file: &str, cache: &str, timings: &StageTimings) -> String {
+    let mut line = format!(
+        "{{\"file\": \"{}\", \"cache\": \"{cache}\"",
+        lss_netlist::json::escape(file)
+    );
+    for (stage, duration) in timings.stages() {
+        line.push_str(&format!(
+            ", \"{stage}_ms\": {:.3}",
+            duration.as_secs_f64() * 1e3
+        ));
+    }
+    line.push_str(&format!(
+        ", \"total_ms\": {:.3}}}",
+        timings.total().as_secs_f64() * 1e3
+    ));
+    line
+}
+
+/// Prints non-fatal driver notices (cache fallbacks) to stderr.
+fn print_warnings(driver: &Driver) {
+    for warning in driver.warnings() {
+        eprintln!("warning: {warning}");
+    }
+}
+
 struct Options {
     files: Vec<String>,
     libs: Vec<String>,
@@ -80,6 +153,8 @@ struct Options {
     stats: bool,
     naive: bool,
     lint: bool,
+    timings: bool,
+    cache: CacheOpts,
     watch: Vec<String>,
     vcd: Option<String>,
     wave: bool,
@@ -89,9 +164,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: lssc [--lib FILE]... [--no-corelib] [--model A-F] [--run N] [--run-model]\n\
          \x20           [--scheduler static|dynamic] [--dump-tree] [--dump-dot] [--stats]\n\
+         \x20           [--timings] [--no-cache] [--cache-dir DIR]\n\
          \x20           [--naive-inference] FILE.lss...\n\
+         \x20      lssc build [--jobs N] [--lib FILE]... [--no-corelib] [--timings]\n\
+         \x20           [--no-cache] [--cache-dir DIR] [--naive-inference] FILE.lss...\n\
          \x20      lssc check [--lib FILE]... [--no-corelib] [--model A-F]\n\
          \x20           [--format text|json|sarif] [--deny SEL]... [--allow SEL]...\n\
+         \x20           [--no-cache] [--cache-dir DIR]\n\
          \x20           [--output FILE] [--list-codes] [--naive-inference] FILE.lss..."
     );
     std::process::exit(2);
@@ -113,6 +192,7 @@ struct CheckOptions {
     format: CheckFormat,
     config: AnalysisConfig,
     output: Option<String>,
+    cache: CacheOpts,
 }
 
 /// Expands a `--deny` / `--allow` selector, exiting with usage on nonsense.
@@ -153,6 +233,7 @@ fn parse_check_args(args: impl Iterator<Item = String>) -> CheckOptions {
         format: CheckFormat::Text,
         config: AnalysisConfig::default(),
         output: None,
+        cache: CacheOpts::default(),
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -188,6 +269,11 @@ fn parse_check_args(args: impl Iterator<Item = String>) -> CheckOptions {
                 list_codes();
                 std::process::exit(0);
             }
+            "--no-cache" => opts.cache.disabled = true,
+            "--cache-dir" => match args.next() {
+                Some(d) => opts.cache.dir = Some(d),
+                None => usage(),
+            },
             "--naive-inference" => opts.naive = true,
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
@@ -211,6 +297,7 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
     } else {
         Lse::new()
     };
+    lse.set_cache_dir(opts.cache.resolve());
     if opts.naive {
         lse.options.solver = liberty::SolverConfig::naive().with_budget(50_000_000);
     }
@@ -240,15 +327,16 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
             }
         }
     }
-    let compiled = match lse.compile() {
-        Ok(c) => c,
+    let analyzed = match lse.analyze(&opts.config) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::from(1);
         }
     };
+    print_warnings(&lse);
 
-    let analysis = lse.analyze(&compiled.netlist, &opts.config);
+    let analysis = &analyzed.analysis;
     let report = match opts.format {
         CheckFormat::Text => to_text(&analysis.findings),
         CheckFormat::Json => to_jsonl(&analysis.findings),
@@ -277,6 +365,176 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+struct BuildOptions {
+    files: Vec<String>,
+    libs: Vec<String>,
+    corelib: bool,
+    jobs: usize,
+    naive: bool,
+    timings: bool,
+    cache: CacheOpts,
+}
+
+fn parse_build_args(args: impl Iterator<Item = String>) -> BuildOptions {
+    let mut opts = BuildOptions {
+        files: Vec::new(),
+        libs: Vec::new(),
+        corelib: true,
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        naive: false,
+        timings: false,
+        cache: CacheOpts::default(),
+    };
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--lib" => match args.next() {
+                Some(f) => opts.libs.push(f),
+                None => usage(),
+            },
+            "--no-corelib" => opts.corelib = false,
+            "--jobs" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => opts.jobs = n,
+                _ => usage(),
+            },
+            "--timings" => opts.timings = true,
+            "--no-cache" => opts.cache.disabled = true,
+            "--cache-dir" => match args.next() {
+                Some(d) => opts.cache.dir = Some(d),
+                None => usage(),
+            },
+            "--naive-inference" => opts.naive = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other}");
+                usage();
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.files.is_empty() {
+        usage();
+    }
+    opts
+}
+
+/// Per-file result of a batch build, reassembled in input order.
+struct BuildReport {
+    summary: Result<String, String>,
+    timings: Option<String>,
+    warnings: Vec<String>,
+}
+
+/// Compiles one file in its own driver session.
+fn build_one(file: &str, libs: &[(String, String)], opts: &BuildOptions) -> BuildReport {
+    let text = match std::fs::read_to_string(file) {
+        Ok(text) => text,
+        Err(e) => {
+            return BuildReport {
+                summary: Err(format!("cannot read {file}: {e}")),
+                timings: None,
+                warnings: Vec::new(),
+            }
+        }
+    };
+    let mut driver = if opts.corelib {
+        Driver::with_corelib()
+    } else {
+        Driver::new()
+    };
+    driver.set_cache_dir(opts.cache.resolve());
+    if opts.naive {
+        driver.options.solver = liberty::SolverConfig::naive().with_budget(50_000_000);
+    }
+    for (name, text) in libs {
+        driver.add_library(name, text);
+    }
+    driver.add_source(file, &text);
+    let (summary, cache_name) = match driver.elaborate() {
+        Ok(elaborated) => (
+            Ok(format!(
+                "{file}: ok ({} instances, {} connections, cache {})",
+                elaborated.netlist.instances.len(),
+                elaborated.netlist.connections.len(),
+                elaborated.cache.name()
+            )),
+            elaborated.cache.name(),
+        ),
+        Err(e) => (
+            Err(format!("{file}: error in stage `{}`\n{e}", e.stage)),
+            "none",
+        ),
+    };
+    BuildReport {
+        summary,
+        timings: opts
+            .timings
+            .then(|| timings_json(file, cache_name, driver.timings())),
+        warnings: driver.warnings().to_vec(),
+    }
+}
+
+/// The `lssc build` subcommand: batch-compile files over a thread pool.
+fn run_build(args: impl Iterator<Item = String>) -> ExitCode {
+    let opts = parse_build_args(args);
+    let mut libs = Vec::new();
+    for lib in &opts.libs {
+        match std::fs::read_to_string(lib) {
+            Ok(text) => libs.push((lib.clone(), text)),
+            Err(e) => {
+                eprintln!("cannot read {lib}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    let reports: Vec<Mutex<Option<BuildReport>>> =
+        opts.files.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = opts.jobs.min(opts.files.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(file) = opts.files.get(i) else {
+                    break;
+                };
+                let report = build_one(file, &libs, &opts);
+                *reports[i].lock().unwrap() = Some(report);
+            });
+        }
+    });
+
+    let mut failed = 0usize;
+    for slot in &reports {
+        let report = slot.lock().unwrap().take().expect("worker filled slot");
+        for warning in &report.warnings {
+            eprintln!("warning: {warning}");
+        }
+        match report.summary {
+            Ok(line) => println!("{line}"),
+            Err(line) => {
+                eprintln!("{line}");
+                failed += 1;
+            }
+        }
+        if let Some(line) = report.timings {
+            println!("{line}");
+        }
+    }
+    eprintln!(
+        "build: {} file(s), {} failed, {} job(s)",
+        opts.files.len(),
+        failed,
+        workers
+    );
+    if failed > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn parse_args(args: impl Iterator<Item = String>) -> Options {
     let mut opts = Options {
         files: Vec::new(),
@@ -293,6 +551,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
         stats: false,
         naive: false,
         lint: false,
+        timings: false,
+        cache: CacheOpts::default(),
         watch: Vec::new(),
         vcd: None,
         wave: false,
@@ -325,6 +585,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
             "--dump-json" => opts.dump_json = true,
             "--stats" => opts.stats = true,
             "--lint" => opts.lint = true,
+            "--timings" => opts.timings = true,
+            "--no-cache" => opts.cache.disabled = true,
+            "--cache-dir" => match args.next() {
+                Some(d) => opts.cache.dir = Some(d),
+                None => usage(),
+            },
             "--watch" => match args.next() {
                 Some(p) => opts.watch.push(p),
                 None => usage(),
@@ -351,9 +617,16 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1).peekable();
-    if argv.peek().map(String::as_str) == Some("check") {
-        argv.next();
-        return run_check(argv);
+    match argv.peek().map(String::as_str) {
+        Some("check") => {
+            argv.next();
+            return run_check(argv);
+        }
+        Some("build") => {
+            argv.next();
+            return run_build(argv);
+        }
+        _ => {}
     }
     let opts = parse_args(argv);
     let mut lse = if opts.corelib {
@@ -361,19 +634,23 @@ fn main() -> ExitCode {
     } else {
         Lse::new()
     };
+    lse.set_cache_dir(opts.cache.resolve());
     if opts.naive {
         lse.options.solver = liberty::SolverConfig::naive().with_budget(50_000_000);
     }
     lse.sim_options.scheduler = opts.scheduler;
 
-    if let Some(id) = opts.model {
+    let timings_name = if let Some(id) = opts.model {
         let Some(model) = lss_models::model(id) else {
             eprintln!("no such model `{id}` (expected A-F)");
             return ExitCode::from(2);
         };
         lse.add_source("cpu_lib.lss", lss_models::cpu_lib());
         lse.add_source(&format!("model_{id}.lss"), model.source);
-    }
+        format!("model_{id}")
+    } else {
+        opts.files[0].clone()
+    };
     for lib in &opts.libs {
         match std::fs::read_to_string(lib) {
             Ok(text) => lse.add_library(lib, &text),
@@ -416,6 +693,7 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    print_warnings(&lse);
     eprintln!(
         "compiled: {} instances, {} connections, {} type constraints \
          ({} unification steps, {} branches)",
@@ -442,13 +720,19 @@ fn main() -> ExitCode {
     if opts.lint {
         // Same semantics as `lssc check --format text` with the default
         // configuration: denied findings make the exit code nonzero.
-        let analysis = lse.analyze(&compiled.netlist, &AnalysisConfig::default());
-        if analysis.is_clean() {
+        let analyzed = match lse.analyze(&AnalysisConfig::default()) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(1);
+            }
+        };
+        if analyzed.analysis.is_clean() {
             println!("lint: clean");
         } else {
-            print!("{}", to_text(&analysis.findings));
+            print!("{}", to_text(&analyzed.analysis.findings));
         }
-        lint_denied = analysis.denied;
+        lint_denied = analyzed.analysis.denied;
     }
     if opts.stats {
         let stats = reuse_stats(&compiled.netlist);
@@ -521,6 +805,12 @@ fn main() -> ExitCode {
             }
             eprintln!("wrote {path}");
         }
+    }
+    if opts.timings {
+        println!(
+            "{}",
+            timings_json(&timings_name, compiled.cache.name(), lse.timings())
+        );
     }
     if lint_denied > 0 {
         eprintln!("lint: {lint_denied} finding(s) denied");

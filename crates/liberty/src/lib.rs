@@ -6,6 +6,16 @@
 //! type-inference engine), and combined with leaf behaviors from the
 //! component registry into an executable simulator.
 //!
+//! Since the staged-driver refactor, [`Lse`] is a thin veneer over
+//! [`lss_driver::Driver`] — the session dereferences to the driver, so
+//! every stage method ([`Driver::parse`](lss_driver::Driver::parse),
+//! [`Driver::elaborate`](lss_driver::Driver::elaborate),
+//! [`Driver::analyze`](lss_driver::Driver::analyze),
+//! [`Driver::build_simulator`](lss_driver::Driver::build_simulator)),
+//! the per-stage [`StageTimings`], and the content-addressed netlist
+//! cache ([`Driver::set_cache_dir`](lss_driver::Driver::set_cache_dir))
+//! are available here too. See `docs/PIPELINE.md` for the stage graph.
+//!
 //! # Example
 //!
 //! ```
@@ -36,6 +46,7 @@
 pub use lss_analyze as analyze;
 pub use lss_ast as ast;
 pub use lss_corelib as corelib;
+pub use lss_driver as driver;
 pub use lss_interp as interp;
 pub use lss_models as models;
 pub use lss_netlist as netlist;
@@ -43,144 +54,74 @@ pub use lss_sim as sim;
 pub use lss_types as types;
 
 pub use lss_analyze::{Analysis, AnalysisConfig};
-pub use lss_interp::{CompileOptions, Compiled};
+pub use lss_driver::{
+    Analyzed, CacheOutcome, Driver, DriverError, Elaborated, Parsed, SimReady, Stage, StageTimings,
+};
+pub use lss_interp::CompileOptions;
 pub use lss_netlist::{reuse_stats, Netlist, ReuseStats};
 pub use lss_sim::{Scheduler, SimOptions, SimStats, Simulator};
 pub use lss_types::SolverConfig;
 
-use lss_ast::{parse, DiagnosticBag, Program, SourceMap};
-use lss_sim::ComponentRegistry;
+/// The elaborated artifact, under the name the pre-driver facade used.
+pub type Compiled = Elaborated;
 
 /// A compilation session: sources, options, and the behavior registry.
+///
+/// Dereferences to the underlying [`Driver`], so all stage methods,
+/// cache configuration, and timings are usable directly on the session.
+#[derive(Debug, Default)]
 pub struct Lse {
-    sources: SourceMap,
-    units: Vec<(Program, bool)>,
-    parse_errors: Option<String>,
-    /// Compilation options (elaboration limits, solver heuristics).
-    pub options: CompileOptions,
-    /// Simulation options (scheduler choice, fixpoint caps).
-    pub sim_options: SimOptions,
-    registry: ComponentRegistry,
-}
-
-impl std::fmt::Debug for Lse {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Lse")
-            .field("units", &self.units.len())
-            .finish()
-    }
-}
-
-impl Default for Lse {
-    fn default() -> Self {
-        Lse::new()
-    }
+    driver: Driver,
 }
 
 impl Lse {
     /// An empty session with an empty registry.
     pub fn new() -> Self {
         Lse {
-            sources: SourceMap::new(),
-            units: Vec::new(),
-            parse_errors: None,
-            options: CompileOptions::default(),
-            sim_options: SimOptions::default(),
-            registry: ComponentRegistry::new(),
+            driver: Driver::new(),
         }
     }
 
-    /// A session preloaded with the corelib modules and behaviors.
+    /// A session preloaded with the corelib modules and behaviors. The
+    /// corelib AST is parsed once per process and shared across sessions.
     pub fn with_corelib() -> Self {
-        let mut lse = Lse::new();
-        lse.registry = lss_corelib::registry();
-        lse.add_unit("corelib.lss", &lss_corelib::corelib_source(), true);
-        lse
-    }
-
-    fn add_unit(&mut self, name: &str, text: &str, library: bool) {
-        let file = self.sources.add_file(name, text);
-        let mut diags = DiagnosticBag::new();
-        let program = parse(file, text, &mut diags);
-        if diags.has_errors() {
-            let rendered = diags.render(&self.sources);
-            self.parse_errors = Some(match self.parse_errors.take() {
-                Some(prev) => format!("{prev}\n{rendered}"),
-                None => rendered,
-            });
+        Lse {
+            driver: Driver::with_corelib(),
         }
-        self.units.push((program, library));
     }
 
-    /// Adds a library source (its instances count as "from library" in the
-    /// reuse statistics).
-    pub fn add_library(&mut self, name: &str, text: &str) {
-        self.add_unit(name, text, true);
-    }
-
-    /// Adds a model source.
-    pub fn add_source(&mut self, name: &str, text: &str) {
-        self.add_unit(name, text, false);
-    }
-
-    /// Replaces the behavior registry (for custom component sets).
-    pub fn set_registry(&mut self, registry: ComponentRegistry) {
-        self.registry = registry;
-    }
-
-    /// The source map (for rendering custom diagnostics).
-    pub fn sources(&self) -> &SourceMap {
-        &self.sources
-    }
-
-    /// Elaborates and type-checks everything added so far.
+    /// Elaborates and type-checks everything added so far, returning the
+    /// artifact by value (sessions that keep compiling share it through
+    /// the driver's internal [`std::sync::Arc`], so this clone is the
+    /// only deep copy).
     ///
     /// # Errors
     ///
-    /// Returns rendered diagnostics (parse, elaboration, or inference).
-    pub fn compile(&self) -> Result<Compiled, String> {
-        if let Some(errors) = &self.parse_errors {
-            return Err(errors.clone());
-        }
-        let units: Vec<lss_interp::Unit<'_>> = self
-            .units
-            .iter()
-            .map(|(program, library)| lss_interp::Unit {
-                program,
-                library: *library,
-            })
-            .collect();
-        let mut diags = DiagnosticBag::new();
-        lss_interp::compile(&units, &self.options, &mut diags)
-            .ok_or_else(|| diags.render(&self.sources))
+    /// Returns the first failing stage's [`DriverError`]; its `Display`
+    /// is the rendered diagnostics.
+    pub fn compile(&mut self) -> Result<Compiled, DriverError> {
+        self.driver.elaborate().map(|arc| (*arc).clone())
     }
+}
 
-    /// Builds a simulator for a compiled netlist using this session's
-    /// registry and simulation options.
-    ///
-    /// # Errors
-    ///
-    /// Returns the build error message (unknown behaviors, untyped ports,
-    /// bad BSL code).
-    pub fn simulator(&self, netlist: &Netlist) -> Result<Simulator, String> {
-        lss_sim::build(netlist, &self.registry, self.sim_options.clone()).map_err(|e| e.to_string())
+impl std::ops::Deref for Lse {
+    type Target = Driver;
+
+    fn deref(&self) -> &Driver {
+        &self.driver
     }
+}
 
-    /// Runs the full static-analysis pass suite over a compiled netlist.
-    ///
-    /// Combinational/registered input classification comes from this
-    /// session's behavior registry (the same answer the simulator's static
-    /// scheduler uses), so `check` diagnostics and runtime scheduling can
-    /// never disagree.
-    pub fn analyze(&self, netlist: &Netlist, config: &AnalysisConfig) -> Analysis {
-        let comb = lss_sim::comb_info(netlist, &self.registry);
-        lss_analyze::PassManager::with_default_passes().run(netlist, &comb, config)
+impl std::ops::DerefMut for Lse {
+    fn deref_mut(&mut self) -> &mut Driver {
+        &mut self.driver
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lss_sim::ComponentRegistry;
 
     #[test]
     fn corelib_session_compiles_and_simulates() {
@@ -201,7 +142,8 @@ mod tests {
         let mut lse = Lse::with_corelib();
         lse.add_source("bad.lss", "instance x:");
         let err = lse.compile().unwrap_err();
-        assert!(err.contains("expected identifier"), "{err}");
+        assert_eq!(err.stage, Stage::Parse);
+        assert!(err.to_string().contains("expected identifier"), "{err}");
     }
 
     #[test]
@@ -209,7 +151,8 @@ mod tests {
         let mut lse = Lse::with_corelib();
         lse.add_source("m.lss", "instance x:nonexistent_module;");
         let err = lse.compile().unwrap_err();
-        assert!(err.contains("unknown module"), "{err}");
+        assert_eq!(err.stage, Stage::Elaborate);
+        assert!(err.to_string().contains("unknown module"), "{err}");
     }
 
     #[test]
@@ -219,6 +162,7 @@ mod tests {
         lse.add_source("m.lss", "instance gen:source;\ngen.out :: int;");
         let compiled = lse.compile().unwrap();
         let err = lse.simulator(&compiled.netlist).unwrap_err();
-        assert!(err.contains("no behavior registered"), "{err}");
+        assert_eq!(err.stage, Stage::SimBuild);
+        assert!(err.to_string().contains("no behavior registered"), "{err}");
     }
 }

@@ -18,7 +18,23 @@ fn write_model(name: &str) -> PathBuf {
 }
 
 fn lssc() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_lssc"))
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_lssc"));
+    // Caching defaults to on; route the default directory into cargo's
+    // temp area so tests never write inside the repo tree. Individual
+    // tests override with --cache-dir / --no-cache.
+    cmd.env(
+        "LSS_CACHE_DIR",
+        PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("lssc-default-cache"),
+    );
+    cmd
+}
+
+/// A fresh, empty cache directory under cargo's temp area.
+fn temp_cache(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("lssc-cache-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 #[test]
@@ -276,6 +292,230 @@ fn lint_exits_nonzero_on_denied_findings() {
         "missing LSS101 in lint output:\n{stdout}"
     );
     let _ = std::fs::remove_file(&model);
+}
+
+#[test]
+fn cache_cold_misses_warm_hits_and_no_cache_bypasses() {
+    let model = write_model("cache-warm");
+    let cache = temp_cache("warm");
+
+    // Cold build populates the cache.
+    let out = lssc()
+        .arg(&model)
+        .args(["--timings", "--cache-dir"])
+        .arg(&cache)
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "cold build failed:\n{stdout}");
+    assert!(
+        stdout.contains("\"cache\": \"miss\""),
+        "cold build must miss:\n{stdout}"
+    );
+
+    // Warm build hits and skips elaboration + inference entirely.
+    let out = lssc()
+        .arg(&model)
+        .args(["--timings", "--cache-dir"])
+        .arg(&cache)
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "warm build failed:\n{stdout}");
+    assert!(
+        stdout.contains("\"cache\": \"hit\""),
+        "warm build must hit:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("\"elaborate_ms\": 0.000") && stdout.contains("\"infer_ms\": 0.000"),
+        "a hit must not spend time elaborating or inferring:\n{stdout}"
+    );
+
+    // --no-cache bypasses even a populated cache.
+    let out = lssc()
+        .arg(&model)
+        .args(["--timings", "--no-cache", "--cache-dir"])
+        .arg(&cache)
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "--no-cache build failed:\n{stdout}");
+    assert!(
+        stdout.contains("\"cache\": \"off\""),
+        "--no-cache must disable the cache:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&cache);
+    let _ = std::fs::remove_file(&model);
+}
+
+#[test]
+fn truncated_cache_entry_triggers_rebuild_with_warning() {
+    let model = write_model("cache-corrupt");
+    let cache = temp_cache("corrupt");
+
+    let out = lssc()
+        .arg(&model)
+        .args(["--cache-dir"])
+        .arg(&cache)
+        .output()
+        .expect("spawn lssc");
+    assert!(out.status.success());
+
+    // Truncate the (single) entry the cold build wrote.
+    let entry = std::fs::read_dir(&cache)
+        .expect("cache dir exists")
+        .filter_map(Result::ok)
+        .find(|e| e.path().extension().is_some_and(|x| x == "json"))
+        .expect("cache entry written")
+        .path();
+    let text = std::fs::read_to_string(&entry).unwrap();
+    std::fs::write(&entry, &text[..text.len() / 2]).unwrap();
+
+    // The corrupted entry warns, rebuilds from sources, and re-populates.
+    let out = lssc()
+        .arg(&model)
+        .args(["--timings", "--cache-dir"])
+        .arg(&cache)
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "rebuild failed:\n{stdout}{stderr}");
+    assert!(
+        stderr.contains("warning:") && stderr.contains("cache"),
+        "missing corruption warning:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("\"cache\": \"miss\""),
+        "corrupt entry must rebuild, not hit:\n{stdout}"
+    );
+
+    // The rebuild overwrote the entry: the next run hits cleanly.
+    let out = lssc()
+        .arg(&model)
+        .args(["--timings", "--cache-dir"])
+        .arg(&cache)
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"cache\": \"hit\""),
+        "entry not repaired:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&cache);
+    let _ = std::fs::remove_file(&model);
+}
+
+#[test]
+fn check_findings_are_identical_on_a_cache_served_netlist() {
+    let model = write_cyclic("check-cached");
+    let cache = temp_cache("check");
+
+    let cold = lssc()
+        .arg("check")
+        .arg(&model)
+        .arg("--cache-dir")
+        .arg(&cache)
+        .output()
+        .expect("spawn lssc");
+    let warm = lssc()
+        .arg("check")
+        .arg(&model)
+        .arg("--cache-dir")
+        .arg(&cache)
+        .output()
+        .expect("spawn lssc");
+    let cold_out = String::from_utf8_lossy(&cold.stdout);
+    let warm_out = String::from_utf8_lossy(&warm.stdout);
+    assert!(
+        cold_out.contains("LSS101"),
+        "cold check lost its findings:\n{cold_out}"
+    );
+    assert_eq!(
+        cold_out, warm_out,
+        "cache-served netlist changed the findings"
+    );
+    assert_eq!(cold.status.code(), warm.status.code());
+    let _ = std::fs::remove_dir_all(&cache);
+    let _ = std::fs::remove_file(&model);
+}
+
+#[test]
+fn build_compiles_batches_in_parallel_and_reports_per_file() {
+    let files: Vec<PathBuf> = (0..3).map(|i| write_model(&format!("batch-{i}"))).collect();
+    let cache = temp_cache("batch");
+
+    let out = lssc()
+        .arg("build")
+        .args(["--jobs", "2", "--timings", "--cache-dir"])
+        .arg(&cache)
+        .args(&files)
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "build failed\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    // One summary line per file, in input order.
+    let summaries: Vec<&str> = stdout.lines().filter(|l| l.contains(": ok (")).collect();
+    assert_eq!(summaries.len(), 3, "one summary per file:\n{stdout}");
+    for (file, line) in files.iter().zip(&summaries) {
+        assert!(
+            line.starts_with(file.to_str().unwrap()),
+            "out-of-order summary {line}:\n{stdout}"
+        );
+    }
+    assert!(stderr.contains("3 file(s), 0 failed"), "{stderr}");
+
+    // A second batch is fully warm: every file hits.
+    let out = lssc()
+        .arg("build")
+        .args(["--jobs", "2", "--cache-dir"])
+        .arg(&cache)
+        .args(&files)
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout.matches("cache hit").count(),
+        3,
+        "warm batch must hit for every file:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&cache);
+    for file in &files {
+        let _ = std::fs::remove_file(file);
+    }
+}
+
+#[test]
+fn build_exits_nonzero_when_any_file_fails() {
+    let good = write_model("batch-good");
+    let bad = std::env::temp_dir().join(format!("lssc-cli-{}-batch-bad.lss", std::process::id()));
+    std::fs::write(&bad, "instance x:").unwrap();
+
+    let out = lssc()
+        .arg("build")
+        .arg("--no-cache")
+        .arg(&good)
+        .arg(&bad)
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "{stdout}{stderr}");
+    assert!(
+        stdout.contains(": ok ("),
+        "good file must still compile:\n{stdout}"
+    );
+    assert!(
+        stderr.contains("error in stage `parse`"),
+        "missing staged error:\n{stderr}"
+    );
+    assert!(stderr.contains("1 failed"), "{stderr}");
+    let _ = std::fs::remove_file(&good);
+    let _ = std::fs::remove_file(&bad);
 }
 
 #[test]

@@ -34,7 +34,16 @@ pub mod registry;
 pub use instr::{instr_ty, Instr, Mix, OpClass, Workload, INSTR_TYPE_LSS};
 pub use registry::registry;
 
+/// Corelib revision, recorded in driver cache envelopes. The cache key
+/// itself covers the full corelib *text* (it is hashed as a source unit),
+/// so this only needs to change when behavior changes without the LSS
+/// source changing (e.g. a leaf behavior fix in Rust).
+pub const VERSION: &str = "2";
+
 /// The corelib LSS source with the instruction struct type spliced in.
-pub fn corelib_source() -> String {
-    include_str!("../lss/corelib.lss").replace("INSTR_T", INSTR_TYPE_LSS)
+///
+/// Built once per process; every session shares the same static text.
+pub fn corelib_source() -> &'static str {
+    static SRC: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    SRC.get_or_init(|| include_str!("../lss/corelib.lss").replace("INSTR_T", INSTR_TYPE_LSS))
 }

@@ -10,10 +10,10 @@ use lss_types::Datum;
 fn sim_of(src: &str) -> Simulator {
     let corelib = corelib_source();
     let mut sources = SourceMap::new();
-    let lib_file = sources.add_file("corelib.lss", corelib.as_str());
+    let lib_file = sources.add_file("corelib.lss", corelib);
     let model_file = sources.add_file("model.lss", src);
     let mut diags = DiagnosticBag::new();
-    let lib = parse(lib_file, &corelib, &mut diags);
+    let lib = parse(lib_file, corelib, &mut diags);
     let model = parse(model_file, src, &mut diags);
     assert!(!diags.has_errors(), "{}", diags.render(&sources));
     let compiled = compile(

@@ -11,10 +11,10 @@ use lss_types::Datum;
 fn compile_model(src: &str) -> Netlist {
     let corelib = corelib_source();
     let mut sources = SourceMap::new();
-    let lib_file = sources.add_file("corelib.lss", corelib.as_str());
+    let lib_file = sources.add_file("corelib.lss", corelib);
     let model_file = sources.add_file("model.lss", src);
     let mut diags = DiagnosticBag::new();
-    let lib = parse(lib_file, &corelib, &mut diags);
+    let lib = parse(lib_file, corelib, &mut diags);
     let model = parse(model_file, src, &mut diags);
     assert!(!diags.has_errors(), "parse:\n{}", diags.render(&sources));
     compile(

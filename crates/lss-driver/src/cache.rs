@@ -1,0 +1,326 @@
+//! Content-addressed on-disk cache for elaborated netlists.
+//!
+//! The cache key is an FNV-1a 64-bit hash over everything that determines
+//! the build output: a format tag, the netlist JSON format version, the
+//! corelib revision, the `Debug` rendering of the session's
+//! [`CompileOptions`](lss_interp::CompileOptions), and every source unit
+//! (name, library flag, full text). A warm entry replays the stored
+//! netlist, solver statistics, and `print(...)` output without running
+//! elaboration or inference.
+//!
+//! Integrity: the envelope stores a hash of the canonical netlist JSON;
+//! on load the raw stored netlist text is re-hashed and compared before
+//! the netlist is reconstructed (the envelope writer controls the layout,
+//! so the text is recoverable exactly without a re-emission pass).
+//! Any mismatch — truncation, bit rot, a format change, a stale entry
+//! whose key happens to collide — is reported as an error and the caller
+//! falls back to a clean rebuild. A corrupt cache can cost time, never
+//! correctness.
+//!
+//! Writes go through a per-process temp file renamed into place, so
+//! parallel `lssc build --jobs` workers racing on the same entry end with
+//! one winner and no torn files.
+
+use std::path::{Path, PathBuf};
+
+use lss_netlist::{JsonValue, Netlist};
+use lss_types::SolveStats;
+
+/// Envelope format version; bump on any envelope layout change.
+pub const CACHE_VERSION: u32 = 1;
+
+/// Incremental FNV-1a 64-bit hasher (same family PR 1 uses for seeding;
+/// not cryptographic, which is fine — the cache only ever trades wrong
+/// keys for rebuilds, and integrity is checked separately on load).
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64 {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Feeds a length-prefixed string (prefixing prevents concatenation
+    /// collisions between adjacent fields).
+    pub fn write_str(&mut self, s: &str) {
+        self.write(&(s.len() as u64).to_le_bytes());
+        self.write(s.as_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64 over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// The payload a warm cache entry restores.
+#[derive(Debug)]
+pub struct CachedBuild {
+    /// The typed netlist, reconstructed from its canonical JSON.
+    pub netlist: Netlist,
+    /// Solver work counters from the original cold build.
+    pub solve_stats: SolveStats,
+    /// `print(...)` output from the original elaboration.
+    pub prints: Vec<String>,
+}
+
+/// The on-disk location of the entry for `key`.
+pub fn entry_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.json"))
+}
+
+fn want<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    v.get(key).ok_or_else(|| format!("missing key `{key}`"))
+}
+
+fn want_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    want(v, key)?
+        .as_i64()
+        .and_then(|n| u64::try_from(n).ok())
+        .ok_or_else(|| format!("key `{key}` is not a u64"))
+}
+
+/// Loads and verifies the entry for `key`.
+///
+/// Returns `Ok(None)` for a clean miss (no file). Every other failure —
+/// unreadable file, JSON syntax error, version or key mismatch, netlist
+/// hash mismatch — is an `Err` describing the corruption; the caller must
+/// rebuild from sources and should overwrite the entry.
+pub fn load(dir: &Path, key: u64) -> Result<Option<CachedBuild>, String> {
+    let path = entry_path(dir, key);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let doc = lss_netlist::parse_json(&text)
+        .map_err(|e| format!("corrupt cache entry {}: {e}", path.display()))?;
+    let version = want_u64(&doc, "lss_cache")?;
+    if version != u64::from(CACHE_VERSION) {
+        return Err(format!(
+            "cache entry {} has version {version}, expected {CACHE_VERSION}",
+            path.display()
+        ));
+    }
+    let stored_key = want(&doc, "key")?
+        .as_str()
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or("bad `key` field")?;
+    if stored_key != key {
+        return Err(format!(
+            "cache entry {} is keyed {stored_key:016x}, expected {key:016x}",
+            path.display()
+        ));
+    }
+    // Integrity gate: the raw stored netlist text must hash to the
+    // recorded value. `store` writes the netlist as the envelope's last
+    // field, and every raw newline inside string literals is escaped, so
+    // the first `\n"netlist": ` at a line start and the final `}` bracket
+    // the stored text exactly.
+    let stored_hash = want(&doc, "netlist_hash")?
+        .as_str()
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or("bad `netlist_hash` field")?;
+    let marker = "\n\"netlist\": ";
+    let start = text
+        .find(marker)
+        .ok_or_else(|| format!("cache entry {} has no netlist field", path.display()))?
+        + marker.len();
+    let end = text.rfind('}').filter(|&end| end > start).ok_or_else(|| {
+        format!(
+            "cache entry {} has a malformed netlist field",
+            path.display()
+        )
+    })?;
+    let actual = fnv1a64(&text.as_bytes()[start..end]);
+    if actual != stored_hash {
+        return Err(format!(
+            "cache entry {} failed integrity check \
+             (netlist hash {actual:016x} != recorded {stored_hash:016x})",
+            path.display()
+        ));
+    }
+    let netlist = lss_netlist::from_value(want(&doc, "netlist")?)
+        .map_err(|e| format!("corrupt netlist in {}: {e}", path.display()))?;
+    let stats = want(&doc, "solve_stats")?;
+    let solve_stats = SolveStats {
+        unify_steps: want_u64(stats, "unify_steps")?,
+        branches: want_u64(stats, "branches")?,
+        backtracks: want_u64(stats, "backtracks")?,
+        partitions: want_u64(stats, "partitions")? as usize,
+        smart_commits: want_u64(stats, "smart_commits")?,
+        max_depth: want_u64(stats, "max_depth")? as u32,
+    };
+    let prints = want(&doc, "prints")?
+        .as_array()
+        .ok_or("`prints` is not an array")?
+        .iter()
+        .map(|p| p.as_str().map(str::to_string).ok_or("non-string print"))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Some(CachedBuild {
+        netlist,
+        solve_stats,
+        prints,
+    }))
+}
+
+/// Writes the entry for `key` atomically (temp file + rename).
+pub fn store(
+    dir: &Path,
+    key: u64,
+    netlist: &Netlist,
+    solve_stats: &SolveStats,
+    prints: &[String],
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let netlist_json = lss_netlist::to_json(netlist);
+    let netlist_hash = fnv1a64(netlist_json.as_bytes());
+    let mut out = String::with_capacity(netlist_json.len() + 512);
+    out.push_str(&format!(
+        "{{\n\"lss_cache\": {CACHE_VERSION},\n\"key\": \"{key:016x}\",\n\"corelib\": \"{}\",\n",
+        lss_netlist::json::escape(lss_corelib::VERSION)
+    ));
+    let s = solve_stats;
+    out.push_str(&format!(
+        "\"solve_stats\": {{\"unify_steps\": {}, \"branches\": {}, \"backtracks\": {}, \
+         \"partitions\": {}, \"smart_commits\": {}, \"max_depth\": {}}},\n",
+        s.unify_steps, s.branches, s.backtracks, s.partitions, s.smart_commits, s.max_depth
+    ));
+    let prints_json: Vec<String> = prints
+        .iter()
+        .map(|p| format!("\"{}\"", lss_netlist::json::escape(p)))
+        .collect();
+    out.push_str(&format!("\"prints\": [{}],\n", prints_json.join(", ")));
+    out.push_str(&format!("\"netlist_hash\": \"{netlist_hash:016x}\",\n"));
+    out.push_str("\"netlist\": ");
+    out.push_str(&netlist_json);
+    out.push_str("}\n");
+
+    let path = entry_path(dir, key);
+    let tmp = dir.join(format!(".{key:016x}.{}.tmp", std::process::id()));
+    std::fs::write(&tmp, &out).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, &path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("cannot publish {}: {e}", path.display())
+    })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lss-driver-cache-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fnv_is_stable_and_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+        let mut h1 = Fnv64::new();
+        h1.write_str("ab");
+        h1.write_str("c");
+        let mut h2 = Fnv64::new();
+        h2.write_str("a");
+        h2.write_str("bc");
+        assert_ne!(
+            h1.finish(),
+            h2.finish(),
+            "length prefixing must prevent concatenation collisions"
+        );
+    }
+
+    #[test]
+    fn store_load_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let mut n = Netlist::new();
+        n.intern("m");
+        let stats = SolveStats {
+            unify_steps: 7,
+            branches: 2,
+            backtracks: 1,
+            partitions: 3,
+            smart_commits: 4,
+            max_depth: 5,
+        };
+        let prints = vec!["hello \"world\"".to_string()];
+        store(&dir, 42, &n, &stats, &prints).expect("store");
+        let back = load(&dir, 42).expect("load").expect("hit");
+        assert_eq!(back.solve_stats, stats);
+        assert_eq!(back.prints, prints);
+        assert_eq!(back.netlist.interner.len(), 1);
+        // Another key is a clean miss.
+        assert!(load(&dir, 43).expect("miss is ok").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entries_are_errors_not_hits() {
+        let dir = temp_dir("truncate");
+        let n = Netlist::new();
+        store(&dir, 1, &n, &SolveStats::default(), &[]).expect("store");
+        let path = entry_path(&dir, 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(load(&dir, 1).is_err(), "truncated entry must error");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_netlists_fail_the_integrity_check() {
+        let dir = temp_dir("tamper");
+        let mut n = Netlist::new();
+        n.intern("module_a");
+        store(&dir, 9, &n, &SolveStats::default(), &[]).expect("store");
+        let path = entry_path(&dir, 9);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Flip netlist content without touching the recorded hash.
+        let tampered = text.replace("module_a", "module_b");
+        assert_ne!(tampered, text);
+        std::fs::write(&path, tampered).unwrap();
+        let err = load(&dir, 9).unwrap_err();
+        assert!(err.contains("integrity"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_mismatch_is_rejected() {
+        let dir = temp_dir("keymismatch");
+        let n = Netlist::new();
+        store(&dir, 5, &n, &SolveStats::default(), &[]).expect("store");
+        // Copy the entry for key 5 into the slot for key 6.
+        std::fs::copy(entry_path(&dir, 5), entry_path(&dir, 6)).unwrap();
+        assert!(load(&dir, 6).is_err(), "foreign key must be rejected");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

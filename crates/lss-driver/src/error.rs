@@ -1,0 +1,124 @@
+//! Structured driver errors: a stage tag plus the diagnostics that stopped
+//! the pipeline, pre-rendered against the session's sources.
+
+use std::fmt;
+
+use lss_ast::{Diagnostic, SourceMap, Span};
+
+/// The pipeline stage a [`DriverError`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Lexing/parsing of a source unit.
+    Parse,
+    /// Compile-time execution into a netlist (§6).
+    Elaborate,
+    /// Structural type inference (§5).
+    Infer,
+    /// Static analysis passes.
+    Analyze,
+    /// Simulator construction from the typed netlist.
+    SimBuild,
+}
+
+impl Stage {
+    /// Stable lowercase name, used in `--timings` JSON and messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Elaborate => "elaborate",
+            Stage::Infer => "infer",
+            Stage::Analyze => "analyze",
+            Stage::SimBuild => "sim-build",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A failed pipeline stage: which stage, the structured diagnostics, and
+/// their rendered form (with source excerpts) for display.
+///
+/// `Display` prints the rendered diagnostics, so call sites that matched
+/// on substrings of the old `Result<_, String>` errors keep working via
+/// `err.to_string()`.
+#[derive(Debug, Clone)]
+pub struct DriverError {
+    /// The stage that failed.
+    pub stage: Stage,
+    /// The diagnostics that stopped the pipeline (errors plus any
+    /// accompanying warnings/notes), in emission order.
+    pub diagnostics: Vec<Diagnostic>,
+    rendered: String,
+}
+
+impl DriverError {
+    /// Builds an error from diagnostics, rendering them against `sources`
+    /// eagerly so the error stays self-contained after the session drops.
+    pub fn new(stage: Stage, diagnostics: Vec<Diagnostic>, sources: &SourceMap) -> Self {
+        let rendered = diagnostics
+            .iter()
+            .map(|d| d.render(sources))
+            .collect::<Vec<_>>()
+            .join("\n");
+        DriverError {
+            stage,
+            diagnostics,
+            rendered,
+        }
+    }
+
+    /// Builds an error from a plain message with no source location
+    /// (simulator build failures, cache internals).
+    pub fn message(stage: Stage, message: impl Into<String>) -> Self {
+        let message = message.into();
+        DriverError {
+            stage,
+            diagnostics: vec![Diagnostic::error(&message, Span::synthetic())],
+            rendered: message,
+        }
+    }
+
+    /// The pre-rendered diagnostics text.
+    pub fn rendered(&self) -> &str {
+        &self.rendered
+    }
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.rendered)
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lss_ast::Span;
+
+    #[test]
+    fn display_prints_rendered_diagnostics() {
+        let mut sources = SourceMap::new();
+        let file = sources.add_file("m.lss", "instance x:nope;\n");
+        let diag = Diagnostic::error("unknown module `nope`", Span::new(file, 11, 15));
+        let err = DriverError::new(Stage::Elaborate, vec![diag], &sources);
+        let text = err.to_string();
+        assert!(text.contains("unknown module `nope`"), "{text}");
+        assert!(text.contains("m.lss:1:12"), "{text}");
+        assert_eq!(err.stage, Stage::Elaborate);
+        assert_eq!(err.diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn message_errors_have_a_synthetic_diagnostic() {
+        let err = DriverError::message(Stage::SimBuild, "no behavior registered for `x`");
+        assert_eq!(err.to_string(), "no behavior registered for `x`");
+        assert_eq!(err.diagnostics.len(), 1);
+        assert_eq!(Stage::SimBuild.name(), "sim-build");
+    }
+}

@@ -1,0 +1,739 @@
+//! The staged compilation driver.
+//!
+//! Decomposes the paper's Figure 4 pipeline into named stages with typed
+//! artifacts — [`Parsed`] → [`Elaborated`] (netlist + solver stats) →
+//! [`Analyzed`] → [`SimReady`] — so stages can be cached, skipped, timed,
+//! and run in parallel across models. Every consumer in the workspace
+//! (the `lssc` CLI, the Table 3 model runners, benches, tests, examples)
+//! wires the pipeline through this crate and nowhere else.
+//!
+//! * Failures carry a [`DriverError`]: the failing [`Stage`] plus the
+//!   structured diagnostics, pre-rendered with source excerpts.
+//! * Per-stage wall-clock timings accumulate in [`StageTimings`]
+//!   (`lssc --timings` exposes them as JSON).
+//! * With a cache directory configured, elaboration + inference results
+//!   are stored content-addressed on disk ([`cache`]); a warm build
+//!   replays the netlist without re-running either stage, and corrupt or
+//!   stale entries fall back to a clean rebuild with a warning.
+//! * The corelib is parsed once per process and shared by every session.
+//!
+//! # Example
+//!
+//! ```
+//! use lss_driver::Driver;
+//!
+//! let mut driver = Driver::with_corelib();
+//! driver.add_source(
+//!     "model.lss",
+//!     "instance gen:source;\ninstance hole:sink;\ngen.out -> hole.in;\ngen.out :: int;",
+//! );
+//! let elaborated = driver.elaborate()?;
+//! assert_eq!(elaborated.netlist.instances.len(), 2);
+//! let mut sim = driver.simulator(&elaborated.netlist)?;
+//! sim.run(5)?;
+//! assert_eq!(sim.rtv("hole", "count").unwrap().as_int(), Some(5));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod error;
+pub mod timing;
+
+pub use cache::{CachedBuild, Fnv64};
+pub use error::{DriverError, Stage};
+pub use timing::StageTimings;
+
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use lss_analyze::{Analysis, AnalysisConfig, PassManager};
+use lss_ast::{parse, Diagnostic, DiagnosticBag, FileId, Program, Severity, SourceMap};
+use lss_interp::{CompileOptions, Unit};
+use lss_netlist::Netlist;
+use lss_sim::{ComponentRegistry, SimOptions, Simulator};
+use lss_types::SolveStats;
+
+/// The corelib program, parsed once per process.
+///
+/// Spans inside it are bound to [`FileId`] 0, which is where
+/// [`Driver::with_corelib`] always registers the corelib source — the
+/// shared AST is only used for corelib units sitting at file 0.
+fn corelib_program() -> &'static Program {
+    static PROGRAM: OnceLock<Program> = OnceLock::new();
+    PROGRAM.get_or_init(|| {
+        let mut diags = DiagnosticBag::new();
+        let program = parse(FileId(0), lss_corelib::corelib_source(), &mut diags);
+        assert!(!diags.has_errors(), "bundled corelib must parse");
+        program
+    })
+}
+
+/// A parsed program, either shared (the memoized corelib) or owned.
+#[derive(Debug)]
+enum ProgramRef {
+    Shared(&'static Program),
+    Owned(Program),
+}
+
+/// One parsed source unit inside a [`Parsed`] artifact.
+#[derive(Debug)]
+pub struct ParsedUnit {
+    /// Display name of the source (path or pseudo-name).
+    pub name: String,
+    /// The unit's file in the session's [`SourceMap`].
+    pub file: FileId,
+    /// True for library sources (their instances count as "from library"
+    /// in the reuse statistics).
+    pub library: bool,
+    program: ProgramRef,
+}
+
+impl ParsedUnit {
+    /// The unit's AST.
+    pub fn program(&self) -> &Program {
+        match &self.program {
+            ProgramRef::Shared(p) => p,
+            ProgramRef::Owned(p) => p,
+        }
+    }
+}
+
+/// Artifact of the parse stage: every unit's AST plus all parse
+/// diagnostics as a structured list (not a concatenated string).
+#[derive(Debug)]
+pub struct Parsed {
+    /// The units in the order they were added.
+    pub units: Vec<ParsedUnit>,
+    /// All parse diagnostics across units, in emission order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Parsed {
+    /// True if any unit failed to parse.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+}
+
+/// How the elaborate stage was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Replayed from a verified on-disk entry; elaboration and inference
+    /// did not run.
+    Hit,
+    /// Built from sources; the entry was (re)written.
+    Miss,
+    /// No cache directory configured.
+    Disabled,
+}
+
+impl CacheOutcome {
+    /// Stable lowercase name, used in `--timings` JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Disabled => "off",
+        }
+    }
+}
+
+/// Artifact of the elaborate + infer stages: the typed netlist.
+#[derive(Debug, Clone)]
+pub struct Elaborated {
+    /// The elaborated netlist with every port type resolved.
+    pub netlist: Netlist,
+    /// Inference work counters (replayed from the cache on a hit).
+    pub solve_stats: SolveStats,
+    /// Machine-step trace (empty unless tracing was requested; tracing
+    /// disables the cache).
+    pub trace: Vec<String>,
+    /// `print(...)` output from elaboration (replayed on a hit).
+    pub prints: Vec<String>,
+    /// Whether this artifact came from the cache.
+    pub cache: CacheOutcome,
+}
+
+/// Artifact of the analyze stage.
+#[derive(Debug)]
+pub struct Analyzed {
+    /// The elaborated netlist the analysis ran over.
+    pub elaborated: Arc<Elaborated>,
+    /// Findings from the full pass suite.
+    pub analysis: Analysis,
+}
+
+/// Artifact of the simulator-build stage: a ready-to-run simulator that
+/// keeps its netlist alive. Dereferences to [`Simulator`].
+#[derive(Debug)]
+pub struct SimReady {
+    /// The netlist the simulator was built from.
+    pub elaborated: Arc<Elaborated>,
+    /// The executable simulator.
+    pub sim: Simulator,
+}
+
+impl std::ops::Deref for SimReady {
+    type Target = Simulator;
+
+    fn deref(&self) -> &Simulator {
+        &self.sim
+    }
+}
+
+impl std::ops::DerefMut for SimReady {
+    fn deref_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+}
+
+struct UnitEntry {
+    name: String,
+    file: FileId,
+    library: bool,
+    corelib: bool,
+}
+
+/// A compilation session: sources, options, registry, cache
+/// configuration, and the memoized stage artifacts.
+///
+/// Stages run lazily and at most once per session; artifacts are shared
+/// via [`Arc`] so downstream stages and callers never re-run or deep-copy
+/// earlier work.
+pub struct Driver {
+    sources: SourceMap,
+    units: Vec<UnitEntry>,
+    /// Compilation options (elaboration limits, solver heuristics). Part
+    /// of the cache key — mutate before the first `elaborate` call.
+    pub options: CompileOptions,
+    /// Simulation options (scheduler choice, fixpoint caps).
+    pub sim_options: SimOptions,
+    registry: ComponentRegistry,
+    cache_dir: Option<PathBuf>,
+    parsed: Option<Arc<Parsed>>,
+    elaborated: Option<Arc<Elaborated>>,
+    timings: StageTimings,
+    warnings: Vec<String>,
+}
+
+impl std::fmt::Debug for Driver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Driver")
+            .field("units", &self.units.len())
+            .field("cache_dir", &self.cache_dir)
+            .finish()
+    }
+}
+
+impl Default for Driver {
+    fn default() -> Self {
+        Driver::new()
+    }
+}
+
+impl Driver {
+    /// An empty session with an empty registry and the cache disabled.
+    pub fn new() -> Self {
+        Driver {
+            sources: SourceMap::new(),
+            units: Vec::new(),
+            options: CompileOptions::default(),
+            sim_options: SimOptions::default(),
+            registry: ComponentRegistry::new(),
+            cache_dir: None,
+            parsed: None,
+            elaborated: None,
+            timings: StageTimings::default(),
+            warnings: Vec::new(),
+        }
+    }
+
+    /// A session preloaded with the corelib modules and behaviors. The
+    /// corelib AST is parsed once per process and shared.
+    pub fn with_corelib() -> Self {
+        let mut driver = Driver::new();
+        driver.registry = lss_corelib::registry();
+        driver.add_unit("corelib.lss", lss_corelib::corelib_source(), true, true);
+        driver
+    }
+
+    fn add_unit(&mut self, name: &str, text: &str, library: bool, corelib: bool) {
+        assert!(
+            self.parsed.is_none() && self.elaborated.is_none(),
+            "cannot add sources after compilation has started"
+        );
+        let file = self.sources.add_file(name, text);
+        self.units.push(UnitEntry {
+            name: name.to_string(),
+            file,
+            library,
+            corelib,
+        });
+    }
+
+    /// Adds a library source (its instances count as "from library" in
+    /// the reuse statistics).
+    pub fn add_library(&mut self, name: &str, text: &str) {
+        self.add_unit(name, text, true, false);
+    }
+
+    /// Adds a model source.
+    pub fn add_source(&mut self, name: &str, text: &str) {
+        self.add_unit(name, text, false, false);
+    }
+
+    /// Replaces the behavior registry (for custom component sets).
+    pub fn set_registry(&mut self, registry: ComponentRegistry) {
+        self.registry = registry;
+    }
+
+    /// The behavior registry in use.
+    pub fn registry(&self) -> &ComponentRegistry {
+        &self.registry
+    }
+
+    /// The source map (for rendering custom diagnostics).
+    pub fn sources(&self) -> &SourceMap {
+        &self.sources
+    }
+
+    /// Enables (`Some(dir)`) or disables (`None`) the on-disk netlist
+    /// cache for this session. Disabled by default.
+    pub fn set_cache_dir(&mut self, dir: Option<PathBuf>) {
+        self.cache_dir = dir;
+    }
+
+    /// Wall-clock time spent in each stage so far.
+    pub fn timings(&self) -> &StageTimings {
+        &self.timings
+    }
+
+    /// Non-fatal notices (cache corruption fallbacks, store failures).
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// The content-address of this session's inputs: hashes the source
+    /// texts, the compile options, and the format/corelib versions.
+    pub fn cache_key(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str("lss-driver-cache");
+        h.write(&cache::CACHE_VERSION.to_le_bytes());
+        h.write(&lss_netlist::JSON_FORMAT.to_le_bytes());
+        h.write_str(lss_corelib::VERSION);
+        h.write_str(&format!("{:?}", self.options));
+        for entry in &self.units {
+            h.write_str(&entry.name);
+            h.write(&[entry.library as u8]);
+            let text = &self.sources.get(entry.file).expect("unit registered").text;
+            h.write_str(text);
+        }
+        h.finish()
+    }
+
+    /// Runs (or replays) the parse stage.
+    ///
+    /// Infallible by design: parse problems surface as diagnostics on the
+    /// artifact, and [`Driver::elaborate`] turns them into a
+    /// [`Stage::Parse`] error. Corelib units reuse the shared AST.
+    pub fn parse(&mut self) -> Arc<Parsed> {
+        if let Some(parsed) = &self.parsed {
+            return Arc::clone(parsed);
+        }
+        let start = Instant::now();
+        let mut diagnostics = Vec::new();
+        let mut units = Vec::new();
+        for entry in &self.units {
+            let program = if entry.corelib && entry.file == FileId(0) {
+                ProgramRef::Shared(corelib_program())
+            } else {
+                let text = Arc::clone(&self.sources.get(entry.file).expect("registered").text);
+                let mut bag = DiagnosticBag::new();
+                let program = parse(entry.file, &text, &mut bag);
+                diagnostics.extend(bag.into_vec());
+                ProgramRef::Owned(program)
+            };
+            units.push(ParsedUnit {
+                name: entry.name.clone(),
+                file: entry.file,
+                library: entry.library,
+                program,
+            });
+        }
+        self.timings.parse += start.elapsed();
+        let parsed = Arc::new(Parsed { units, diagnostics });
+        self.parsed = Some(Arc::clone(&parsed));
+        parsed
+    }
+
+    /// Runs (or replays) elaboration + type inference.
+    ///
+    /// With a cache directory configured, probes the cache first — a
+    /// verified hit skips parse, elaborate, and infer entirely. Corrupt
+    /// or stale entries are reported in [`Driver::warnings`] and trigger
+    /// a clean rebuild that overwrites the entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing stage's diagnostics.
+    pub fn elaborate(&mut self) -> Result<Arc<Elaborated>, DriverError> {
+        if let Some(elaborated) = &self.elaborated {
+            return Ok(Arc::clone(elaborated));
+        }
+        // Tracing output cannot be replayed from the cache, so a tracing
+        // session always builds from sources.
+        let cache_dir = if self.options.elab.trace {
+            None
+        } else {
+            self.cache_dir.clone()
+        };
+        let key = self.cache_key();
+        if let Some(dir) = &cache_dir {
+            let start = Instant::now();
+            let loaded = cache::load(dir, key);
+            self.timings.cache_probe += start.elapsed();
+            match loaded {
+                Ok(Some(build)) => {
+                    let elaborated = Arc::new(Elaborated {
+                        netlist: build.netlist,
+                        solve_stats: build.solve_stats,
+                        trace: Vec::new(),
+                        prints: build.prints,
+                        cache: CacheOutcome::Hit,
+                    });
+                    self.elaborated = Some(Arc::clone(&elaborated));
+                    return Ok(elaborated);
+                }
+                Ok(None) => {}
+                Err(msg) => {
+                    self.warnings
+                        .push(format!("cache: {msg}; rebuilding from sources"));
+                }
+            }
+        }
+
+        let parsed = self.parse();
+        if parsed.has_errors() {
+            return Err(DriverError::new(
+                Stage::Parse,
+                parsed.diagnostics.clone(),
+                &self.sources,
+            ));
+        }
+        let units: Vec<Unit<'_>> = parsed
+            .units
+            .iter()
+            .map(|u| Unit {
+                program: u.program(),
+                library: u.library,
+            })
+            .collect();
+        let mut bag = DiagnosticBag::new();
+        let start = Instant::now();
+        let out = lss_interp::elaborate(&units, &self.options.elab, &mut bag);
+        self.timings.elaborate += start.elapsed();
+        let Some(out) = out else {
+            return Err(DriverError::new(
+                Stage::Elaborate,
+                bag.into_vec(),
+                &self.sources,
+            ));
+        };
+        let lss_interp::ElabOutput {
+            mut netlist,
+            trace,
+            prints,
+        } = out;
+        let start = Instant::now();
+        let solve = lss_interp::infer(&mut netlist, &self.options.solver, &mut bag);
+        self.timings.infer += start.elapsed();
+        let Some(solve_stats) = solve else {
+            return Err(DriverError::new(
+                Stage::Infer,
+                bag.into_vec(),
+                &self.sources,
+            ));
+        };
+        let mut outcome = CacheOutcome::Disabled;
+        if let Some(dir) = &cache_dir {
+            outcome = CacheOutcome::Miss;
+            if let Err(msg) = cache::store(dir, key, &netlist, &solve_stats, &prints) {
+                self.warnings.push(format!("cache: {msg}"));
+            }
+        }
+        let elaborated = Arc::new(Elaborated {
+            netlist,
+            solve_stats,
+            trace,
+            prints,
+            cache: outcome,
+        });
+        self.elaborated = Some(Arc::clone(&elaborated));
+        Ok(elaborated)
+    }
+
+    /// Alias for [`Driver::elaborate`] mirroring the old facade verb.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Driver::elaborate`].
+    pub fn compile(&mut self) -> Result<Arc<Elaborated>, DriverError> {
+        self.elaborate()
+    }
+
+    /// Consumes the session and returns the elaborated artifact by value
+    /// (for callers that need to move the netlist out).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Driver::elaborate`].
+    pub fn finish(mut self) -> Result<Elaborated, DriverError> {
+        self.elaborate()?;
+        let arc = self.elaborated.take().expect("just elaborated");
+        drop(self.parsed.take());
+        Ok(Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
+    }
+
+    /// Runs the full static-analysis pass suite over the elaborated
+    /// netlist.
+    ///
+    /// Combinational/registered input classification comes from this
+    /// session's behavior registry (the same answer the simulator's
+    /// static scheduler uses), so `check` diagnostics and runtime
+    /// scheduling can never disagree. Not memoized — the config varies
+    /// per call.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if elaboration fails.
+    pub fn analyze(&mut self, config: &AnalysisConfig) -> Result<Analyzed, DriverError> {
+        let elaborated = self.elaborate()?;
+        let start = Instant::now();
+        let comb = lss_sim::comb_info(&elaborated.netlist, &self.registry);
+        let analysis = PassManager::with_default_passes().run(&elaborated.netlist, &comb, config);
+        self.timings.analyze += start.elapsed();
+        Ok(Analyzed {
+            elaborated,
+            analysis,
+        })
+    }
+
+    /// Builds a simulator for a compiled netlist using this session's
+    /// registry and simulation options.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Stage::SimBuild`] error (unknown behaviors, untyped
+    /// ports, bad BSL code).
+    pub fn simulator(&mut self, netlist: &Netlist) -> Result<Simulator, DriverError> {
+        let start = Instant::now();
+        let sim = lss_sim::build(netlist, &self.registry, self.sim_options.clone());
+        self.timings.sim_build += start.elapsed();
+        sim.map_err(|e| DriverError::message(Stage::SimBuild, e.to_string()))
+    }
+
+    /// Runs every stage through simulator construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing stage's error.
+    pub fn build_simulator(&mut self) -> Result<SimReady, DriverError> {
+        let elaborated = self.elaborate()?;
+        let sim = self.simulator(&elaborated.netlist)?;
+        Ok(SimReady { elaborated, sim })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODEL: &str =
+        "instance gen:source;\ninstance hole:sink;\ngen.out -> hole.in;\ngen.out :: int;";
+
+    fn temp_cache(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lss-driver-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn stages_produce_artifacts_and_timings() {
+        let mut driver = Driver::with_corelib();
+        driver.add_source("m.lss", MODEL);
+        let parsed = driver.parse();
+        assert!(!parsed.has_errors());
+        assert_eq!(parsed.units.len(), 2);
+        let elaborated = driver.elaborate().expect("elaborates");
+        assert_eq!(elaborated.netlist.instances.len(), 2);
+        assert_eq!(elaborated.cache, CacheOutcome::Disabled);
+        let mut ready = driver.build_simulator().expect("builds");
+        ready.run(5).unwrap();
+        assert_eq!(ready.rtv("hole", "count").unwrap().as_int(), Some(5));
+        assert!(driver.timings().elaborate > std::time::Duration::ZERO);
+        assert!(driver.timings().total() >= driver.timings().elaborate);
+    }
+
+    #[test]
+    fn parse_errors_become_structured_parse_stage_errors() {
+        let mut driver = Driver::with_corelib();
+        driver.add_source("bad.lss", "instance x:");
+        driver.add_source("bad2.lss", "module {");
+        let parsed = driver.parse();
+        assert!(parsed.has_errors());
+        // Diagnostics from *both* bad units accumulate as a list.
+        assert!(parsed.diagnostics.len() >= 2, "{:?}", parsed.diagnostics);
+        let err = driver.elaborate().unwrap_err();
+        assert_eq!(err.stage, Stage::Parse);
+        assert!(err.to_string().contains("expected identifier"), "{err}");
+    }
+
+    #[test]
+    fn elaboration_and_simbuild_errors_carry_their_stage() {
+        let mut driver = Driver::with_corelib();
+        driver.add_source("m.lss", "instance x:nonexistent_module;");
+        let err = driver.elaborate().unwrap_err();
+        assert_eq!(err.stage, Stage::Elaborate);
+        assert!(err.to_string().contains("unknown module"), "{err}");
+
+        let mut driver = Driver::with_corelib();
+        driver.set_registry(ComponentRegistry::new());
+        driver.add_source("m.lss", "instance gen:source;\ngen.out :: int;");
+        let err = driver.build_simulator().unwrap_err();
+        assert_eq!(err.stage, Stage::SimBuild);
+        assert!(err.to_string().contains("no behavior registered"), "{err}");
+    }
+
+    #[test]
+    fn corelib_parse_is_shared_across_sessions() {
+        let mut a = Driver::with_corelib();
+        let mut b = Driver::with_corelib();
+        let pa = a.parse();
+        let pb = b.parse();
+        let prog_a: *const Program = pa.units[0].program();
+        let prog_b: *const Program = pb.units[0].program();
+        assert!(
+            std::ptr::eq(prog_a, prog_b),
+            "corelib AST must be the shared memoized parse"
+        );
+    }
+
+    #[test]
+    fn warm_cache_replays_the_same_netlist_without_elaborating() {
+        let dir = temp_cache("warm");
+
+        let mut cold = Driver::with_corelib();
+        cold.set_cache_dir(Some(dir.clone()));
+        cold.add_source("m.lss", MODEL);
+        let first = cold.elaborate().expect("cold build");
+        assert_eq!(first.cache, CacheOutcome::Miss);
+        let cold_json = lss_netlist::to_json(&first.netlist);
+
+        let mut warm = Driver::with_corelib();
+        warm.set_cache_dir(Some(dir.clone()));
+        warm.add_source("m.lss", MODEL);
+        let second = warm.elaborate().expect("warm build");
+        assert_eq!(second.cache, CacheOutcome::Hit);
+        assert_eq!(second.solve_stats, first.solve_stats);
+        assert_eq!(lss_netlist::to_json(&second.netlist), cold_json);
+        assert_eq!(
+            warm.timings().elaborate,
+            std::time::Duration::ZERO,
+            "a hit must not run elaboration"
+        );
+        assert_eq!(warm.timings().infer, std::time::Duration::ZERO);
+
+        // A simulator builds fine from the cache-served netlist.
+        let mut sim = warm.build_simulator().expect("sim from cached netlist");
+        sim.run(3).unwrap();
+        assert_eq!(sim.rtv("hole", "count").unwrap().as_int(), Some(3));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn source_or_option_changes_miss_the_cache() {
+        let dir = temp_cache("invalidate");
+
+        let mut a = Driver::with_corelib();
+        a.set_cache_dir(Some(dir.clone()));
+        a.add_source("m.lss", MODEL);
+        let key_a = a.cache_key();
+        assert_eq!(a.elaborate().unwrap().cache, CacheOutcome::Miss);
+
+        // Different source text → different key → miss.
+        let mut b = Driver::with_corelib();
+        b.set_cache_dir(Some(dir.clone()));
+        b.add_source("m.lss", &format!("{MODEL}\n// comment\n"));
+        assert_ne!(b.cache_key(), key_a);
+        assert_eq!(b.elaborate().unwrap().cache, CacheOutcome::Miss);
+
+        // Different options → different key.
+        let mut c = Driver::with_corelib();
+        c.set_cache_dir(Some(dir.clone()));
+        c.add_source("m.lss", MODEL);
+        c.options.solver.smart = !c.options.solver.smart;
+        assert_ne!(c.cache_key(), key_a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_entries_warn_and_rebuild() {
+        let dir = temp_cache("corrupt");
+
+        let mut cold = Driver::with_corelib();
+        cold.set_cache_dir(Some(dir.clone()));
+        cold.add_source("m.lss", MODEL);
+        cold.elaborate().expect("cold build");
+        let key = cold.cache_key();
+
+        // Truncate the entry on disk.
+        let path = cache::entry_path(&dir, key);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 3]).unwrap();
+
+        let mut warm = Driver::with_corelib();
+        warm.set_cache_dir(Some(dir.clone()));
+        warm.add_source("m.lss", MODEL);
+        let rebuilt = warm.elaborate().expect("rebuild after corruption");
+        assert_eq!(rebuilt.cache, CacheOutcome::Miss, "corruption must rebuild");
+        assert!(
+            warm.warnings().iter().any(|w| w.contains("cache")),
+            "missing corruption warning: {:?}",
+            warm.warnings()
+        );
+        assert_eq!(rebuilt.netlist.instances.len(), 2);
+
+        // The rebuild overwrote the entry: a third session hits cleanly.
+        let mut again = Driver::with_corelib();
+        again.set_cache_dir(Some(dir.clone()));
+        again.add_source("m.lss", MODEL);
+        assert_eq!(again.elaborate().unwrap().cache, CacheOutcome::Hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn finish_returns_an_owned_artifact() {
+        let mut driver = Driver::with_corelib();
+        driver.add_source("m.lss", MODEL);
+        let owned: Elaborated = driver.finish().expect("finishes");
+        assert_eq!(owned.netlist.instances.len(), 2);
+    }
+
+    #[test]
+    fn analyze_runs_the_default_pass_suite() {
+        let mut driver = Driver::with_corelib();
+        driver.add_source("m.lss", MODEL);
+        let analyzed = driver
+            .analyze(&AnalysisConfig::default())
+            .expect("analyzes");
+        assert!(analyzed.elaborated.netlist.instances.len() == 2);
+        // The toy model is clean of denied findings by default.
+        assert_eq!(analyzed.analysis.denied, 0);
+    }
+}

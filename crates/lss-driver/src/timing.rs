@@ -1,0 +1,64 @@
+//! Per-stage wall-clock timings, filled in as the driver runs.
+
+use std::time::Duration;
+
+/// Wall-clock time spent in each pipeline stage of one driver session.
+///
+/// Stages that did not run (cache hit, never requested) stay at zero.
+/// Exposed by `lssc --timings` as a JSON line per file.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Lexing + parsing of every unit (including the shared corelib parse
+    /// when this session was first to trigger it).
+    pub parse: Duration,
+    /// Cache probe (key computation, read, integrity check) — zero when
+    /// the cache is disabled.
+    pub cache_probe: Duration,
+    /// Compile-time execution into a netlist.
+    pub elaborate: Duration,
+    /// Structural type inference.
+    pub infer: Duration,
+    /// Static analysis passes.
+    pub analyze: Duration,
+    /// Simulator construction.
+    pub sim_build: Duration,
+}
+
+impl StageTimings {
+    /// Sum over all stages.
+    pub fn total(&self) -> Duration {
+        self.parse + self.cache_probe + self.elaborate + self.infer + self.analyze + self.sim_build
+    }
+
+    /// The timings as `(stage-name, duration)` pairs in pipeline order.
+    pub fn stages(&self) -> [(&'static str, Duration); 6] {
+        [
+            ("parse", self.parse),
+            ("cache_probe", self.cache_probe),
+            ("elaborate", self.elaborate),
+            ("infer", self.infer),
+            ("analyze", self.analyze),
+            ("sim_build", self.sim_build),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_stages() {
+        let t = StageTimings {
+            parse: Duration::from_millis(2),
+            cache_probe: Duration::from_millis(1),
+            elaborate: Duration::from_millis(5),
+            infer: Duration::from_millis(3),
+            analyze: Duration::ZERO,
+            sim_build: Duration::ZERO,
+        };
+        assert_eq!(t.total(), Duration::from_millis(11));
+        assert_eq!(t.stages()[0].0, "parse");
+        assert_eq!(t.stages().len(), 6);
+    }
+}

@@ -25,9 +25,8 @@
 pub mod runner;
 pub mod staticgen;
 
-use lss_ast::{parse, DiagnosticBag, SourceMap};
-use lss_corelib::corelib_source;
-use lss_interp::{CompileOptions, Compiled, Unit};
+use lss_driver::{Driver, Elaborated};
+use lss_interp::CompileOptions;
 
 /// One of the Table 3 models.
 #[derive(Debug, Clone, Copy)]
@@ -101,39 +100,21 @@ pub fn model(id: char) -> Option<&'static Model> {
 ///
 /// Returns the rendered diagnostics on any parse, elaboration, or type
 /// inference failure.
-pub fn compile_source(model_src: &str, opts: &CompileOptions) -> Result<Compiled, String> {
-    let corelib = corelib_source();
-    let cpulib = cpu_lib();
-    let mut sources = SourceMap::new();
-    let corelib_file = sources.add_file("corelib.lss", corelib.as_str());
-    let cpulib_file = sources.add_file("cpu_lib.lss", cpulib);
-    let model_file = sources.add_file("model.lss", model_src);
-    let mut diags = DiagnosticBag::new();
-    let corelib_prog = parse(corelib_file, &corelib, &mut diags);
-    let cpulib_prog = parse(cpulib_file, cpulib, &mut diags);
-    let model_prog = parse(model_file, model_src, &mut diags);
-    if diags.has_errors() {
-        return Err(diags.render(&sources));
-    }
-    lss_interp::compile(
-        &[
-            Unit {
-                program: &corelib_prog,
-                library: true,
-            },
-            Unit {
-                program: &cpulib_prog,
-                library: false,
-            },
-            Unit {
-                program: &model_prog,
-                library: false,
-            },
-        ],
-        opts,
-        &mut diags,
-    )
-    .ok_or_else(|| diags.render(&sources))
+pub fn compile_source(model_src: &str, opts: &CompileOptions) -> Result<Elaborated, String> {
+    driver_for_source(model_src, opts)
+        .finish()
+        .map_err(|e| e.to_string())
+}
+
+/// A driver session preloaded with corelib + cpu_lib + the model source,
+/// ready for staged compilation (callers can configure a cache directory
+/// before elaborating).
+pub fn driver_for_source(model_src: &str, opts: &CompileOptions) -> Driver {
+    let mut driver = Driver::with_corelib();
+    driver.options = opts.clone();
+    driver.add_source("cpu_lib.lss", cpu_lib());
+    driver.add_source("model.lss", model_src);
+    driver
 }
 
 /// Compiles one of the six models with default options.
@@ -141,7 +122,7 @@ pub fn compile_source(model_src: &str, opts: &CompileOptions) -> Result<Compiled
 /// # Errors
 ///
 /// See [`compile_source`].
-pub fn compile_model(model: &Model) -> Result<Compiled, String> {
+pub fn compile_model(model: &Model) -> Result<Elaborated, String> {
     compile_source(model.source, &CompileOptions::default())
 }
 

@@ -1,0 +1,83 @@
+//! JSON round-trip fidelity for every netlist the repo ships: the six
+//! Table 3 models and the standalone `examples/lss/*.lss` sources.
+//!
+//! The cache stores netlists as JSON, so `from_json(to_json(n))` must
+//! reproduce a netlist that is indistinguishable from the original — same
+//! reuse statistics, same shape counts, and a byte-identical second
+//! serialization (the integrity hash in the cache envelope depends on it).
+
+use lss_driver::Driver;
+use lss_interp::CompileOptions;
+use lss_models::{compile_source, models};
+use lss_netlist::json::{from_json, to_json};
+use lss_netlist::netlist::Netlist;
+use lss_netlist::stats::reuse_stats;
+
+fn assert_round_trip(name: &str, netlist: &Netlist) {
+    let first = to_json(netlist);
+    let restored = from_json(&first).unwrap_or_else(|e| panic!("{name}: from_json failed: {e}"));
+
+    // Reuse statistics (Table 2) survive the trip. f64 fields compare via
+    // Debug so an accidental NaN shows up as a readable mismatch.
+    assert_eq!(
+        format!("{:?}", reuse_stats(netlist)),
+        format!("{:?}", reuse_stats(&restored)),
+        "{name}: reuse stats changed across the round trip"
+    );
+
+    // Shape counts survive.
+    assert_eq!(
+        netlist.instances.len(),
+        restored.instances.len(),
+        "{name}: instance count changed"
+    );
+    assert_eq!(
+        netlist.connections.len(),
+        restored.connections.len(),
+        "{name}: connection count changed"
+    );
+    assert_eq!(
+        netlist.constraints.constraints.len(),
+        restored.constraints.constraints.len(),
+        "{name}: constraint count changed"
+    );
+
+    // The second serialization is byte-identical to the first, so the
+    // cache's content hash is stable across store/load cycles.
+    let second = to_json(&restored);
+    assert_eq!(
+        first, second,
+        "{name}: second serialization is not byte-identical"
+    );
+}
+
+#[test]
+fn table3_models_round_trip_through_json() {
+    for model in models() {
+        let compiled = compile_source(model.source, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("model {} failed to compile:\n{e}", model.id));
+        assert_round_trip(&format!("model {}", model.id), &compiled.netlist);
+    }
+}
+
+#[test]
+fn example_sources_round_trip_through_json() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/lss");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/lss exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|e| e != "lss") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut driver = Driver::with_corelib();
+        driver.add_source(&name, &text);
+        let compiled = driver
+            .finish()
+            .unwrap_or_else(|e| panic!("{name} failed to compile:\n{e}"));
+        assert_round_trip(&name, &compiled.netlist);
+        seen += 1;
+    }
+    assert!(seen >= 3, "expected the bundled example models, saw {seen}");
+}

@@ -10,7 +10,8 @@
 //! * [`stats`] — the reuse metrics behind the paper's Table 2;
 //! * [`lint`] — advisory static model checks (unconnected inputs, dangling
 //!   hierarchical ports, suspicious width mismatches);
-//! * [`json`] — JSON export for external tooling;
+//! * [`json`] — complete JSON serialization ([`to_json`] / [`from_json`]
+//!   round-trip) for the driver's netlist cache and external tooling;
 //! * [`dump`] — ASCII-tree and GraphViz renderings.
 //!
 //! # Example
@@ -28,12 +29,14 @@
 pub mod dump;
 pub mod intern;
 pub mod json;
+pub mod jsonval;
 pub mod lint;
 pub mod netlist;
 pub mod stats;
 
 pub use intern::{CollectorId, EventId, Interner, PortId, RtvId, SlotId, Symbol, UserpointId};
-pub use json::to_json;
+pub use json::{from_json, from_value, to_json, JSON_FORMAT};
+pub use jsonval::{parse_json, JsonValue};
 pub use lint::{
     check_dangling_hierarchical, check_isolated, check_unbound_collectors, check_unconnected,
     check_width_mismatch, lint, Lint, LintKind,

@@ -75,7 +75,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     match lse3.compile() {
         Ok(_) => panic!("expected the missing policy to be required"),
         Err(e) => {
-            let first = e.lines().next().unwrap_or_default();
+            let rendered = e.to_string();
+            let first = rendered.lines().next().unwrap_or_default();
             println!("\nwithout a policy the compiler demands one:\n  {first}");
         }
     }

@@ -19,8 +19,10 @@ const MODEL: &str = r#"
 fn run_with(probes: &str) -> Result<liberty::Simulator, String> {
     let mut lse = Lse::with_corelib();
     lse.add_source("model.lss", &format!("{MODEL}\n{probes}"));
-    let compiled = lse.compile()?;
-    let mut sim = lse.simulator(&compiled.netlist)?;
+    let compiled = lse.compile().map_err(|e| e.to_string())?;
+    let mut sim = lse
+        .simulator(&compiled.netlist)
+        .map_err(|e| e.to_string())?;
     sim.run(10).map_err(|e| e.to_string())?;
     Ok(sim)
 }

@@ -14,7 +14,9 @@ fn compile(src: &str) -> liberty::Compiled {
 fn compile_err(src: &str) -> String {
     let mut lse = Lse::with_corelib();
     lse.add_source("test.lss", src);
-    lse.compile().expect_err("expected a compile error")
+    lse.compile()
+        .expect_err("expected a compile error")
+        .to_string()
 }
 
 #[test]
