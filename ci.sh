@@ -12,6 +12,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> tier-1: cargo build --release"
 cargo build --release
+# The root package's build does not compile dependency binaries; the
+# stages below drive ./target/release/lssc, so build the workspace too.
+cargo build --release --workspace
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
@@ -44,5 +47,22 @@ fi
 
 echo "==> pipeline: BENCH_pipeline.json (cold vs warm, largest model)"
 cargo run --release -q -p bench --bin pipeline
+
+echo "==> verify: bounded differential fuzz smoke (fixed seeds)"
+rm -rf target/verify
+./target/release/lssc fuzz --seed 1 --iters 200
+./target/release/lssc fuzz --seed 2 --iters 200 --types-only
+./target/release/lssc fuzz --seed 3 --iters 200 --sim-only
+if [ -d target/verify ] && [ -n "$(ls -A target/verify)" ]; then
+  echo "verify: fuzz left repro artifacts in target/verify:" >&2
+  ls target/verify >&2
+  exit 1
+fi
+
+echo "==> verify: corpus replay through both oracles"
+./target/release/lssc difftest tests/corpus/*.lss
+
+echo "==> verify: BENCH_verify.json (generator + difftest throughput)"
+cargo run --release -q -p bench --bin verify
 
 echo "CI OK"

@@ -1,0 +1,53 @@
+//! Differential-testing throughput benchmark: how fast the `lss-verify`
+//! subsystem generates, compiles, and cross-checks programs, written to
+//! `crates/bench/BENCH_verify.json`.
+//!
+//! Three cases: generation + render alone (the fuzzer's inner loop
+//! floor), a full two-oracle `difftest` of a fixed mid-size generated
+//! program, and an end-to-end fuzz batch. Throughput here bounds how
+//! much coverage a CI time budget buys.
+//!
+//! Run with `cargo run --release -p bench --bin verify`.
+
+use bench::timing::{measure, write_json};
+use lss_verify::{difftest_source, generate, run_fuzz, DiffOptions, FuzzConfig, GenConfig};
+
+fn main() {
+    let cfg = GenConfig::default();
+    let mut samples = Vec::new();
+
+    samples.push(measure("verify/generate_render_100", 2, 10, || {
+        for seed in 0..100u64 {
+            let spec = generate(seed, &cfg);
+            std::hint::black_box(spec.render());
+        }
+    }));
+
+    // A representative generated program, cross-checked by both oracles
+    // plus the JSON round trip.
+    let spec = generate(42, &cfg);
+    let text = spec.render();
+    let opts = DiffOptions::default();
+    samples.push(measure("verify/difftest_one_program", 2, 20, || {
+        let result = difftest_source("bench.lss", &text, &opts).expect("harness ok");
+        assert!(result.is_none(), "seed 42 must diff clean");
+    }));
+
+    samples.push(measure("verify/fuzz_batch_20", 1, 5, || {
+        let report = run_fuzz(
+            &FuzzConfig {
+                seed: 1,
+                iters: 20,
+                out_dir: std::env::temp_dir().join("lss-bench-verify"),
+                ..FuzzConfig::default()
+            },
+            |_| {},
+        );
+        assert!(report.clean(), "baseline fuzz batch must be clean");
+    }));
+
+    write_json(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_verify.json"),
+        &samples,
+    );
+}

@@ -4,6 +4,8 @@
 //! lssc [OPTIONS] FILE.lss...
 //! lssc build [OPTIONS] FILE.lss...
 //! lssc check [OPTIONS] FILE.lss...
+//! lssc fuzz [OPTIONS]
+//! lssc difftest [OPTIONS] FILE.lss...
 //!
 //! build options:
 //!   --jobs N           compile up to N files in parallel (default: the
@@ -36,6 +38,31 @@
 //!
 //! `check` exits 1 when any finding is denied (on the deny list or
 //! `Error`-severity and not allowed), 0 otherwise.
+//!
+//! fuzz options:
+//!   --seed N           master seed for the run (default 1)
+//!   --iters N          number of generated programs (default 100)
+//!   --max-insts N      instance budget per generated program (default 12)
+//!   --cycles N         max stimulus length per program (default 8)
+//!   --out DIR          where minimized repros go (default target/verify)
+//!   --types-only       run only the exhaustive type-solver oracle
+//!   --sim-only         run only the reference-simulator oracle
+//!   --mutate M         inject a known scheduler bug into the reference
+//!                      (reversed | single-pass); for exercising the
+//!                      harness, not for real verification
+//!
+//! `fuzz` generates random well-formed programs, checks the heuristic type
+//! solver against exhaustive disjunct enumeration and the static-schedule
+//! engine against a naive fixpoint reference, minimizes any discrepancy
+//! with delta debugging, writes the repro under --out, and exits 1.
+//!
+//! difftest options:
+//!   --cycles N         cycles to run both simulators (default 16)
+//!   --mutate M         as for fuzz
+//!
+//! `difftest` replays .lss files (e.g. the checked-in corpus under
+//! tests/corpus/) through the same compile + dual-simulate + compare
+//! pipeline and exits 1 on the first discrepancy.
 //!
 //! Options:
 //!   --lib FILE         add FILE as a library source (counts as "from library")
@@ -110,6 +137,25 @@ impl CacheOpts {
             None => Some(PathBuf::from("target/lss-cache")),
         }
     }
+
+    /// Like [`CacheOpts::resolve`], but rejects an explicitly requested
+    /// cache directory that exists and is not a directory (a corrupt or
+    /// mistyped `--cache-dir` should fail loudly, not silently disable
+    /// caching file by file).
+    fn resolve_checked(&self) -> Result<Option<PathBuf>, String> {
+        let resolved = self.resolve();
+        if self.dir.is_some() {
+            if let Some(dir) = &resolved {
+                if dir.exists() && !dir.is_dir() {
+                    return Err(format!(
+                        "cache directory {} exists but is not a directory",
+                        dir.display()
+                    ));
+                }
+            }
+        }
+        Ok(resolved)
+    }
 }
 
 /// One `--timings` JSON line: cache outcome plus per-stage milliseconds.
@@ -171,7 +217,12 @@ fn usage() -> ! {
          \x20      lssc check [--lib FILE]... [--no-corelib] [--model A-F]\n\
          \x20           [--format text|json|sarif] [--deny SEL]... [--allow SEL]...\n\
          \x20           [--no-cache] [--cache-dir DIR]\n\
-         \x20           [--output FILE] [--list-codes] [--naive-inference] FILE.lss..."
+         \x20           [--output FILE] [--list-codes] [--naive-inference] FILE.lss...\n\
+         \x20      lssc fuzz [--seed N] [--iters N] [--max-insts N] [--cycles N]\n\
+         \x20           [--out DIR] [--types-only | --sim-only]\n\
+         \x20           [--mutate reversed|single-pass]\n\
+         \x20      lssc difftest [--cycles N] [--mutate reversed|single-pass]\n\
+         \x20           FILE.lss..."
     );
     std::process::exit(2);
 }
@@ -292,12 +343,19 @@ fn parse_check_args(args: impl Iterator<Item = String>) -> CheckOptions {
 /// The `lssc check` subcommand: compile, run the pass suite, render, gate.
 fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
     let opts = parse_check_args(args);
+    let cache_dir = match opts.cache.resolve_checked() {
+        Ok(dir) => dir,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
     let mut lse = if opts.corelib {
         Lse::with_corelib()
     } else {
         Lse::new()
     };
-    lse.set_cache_dir(opts.cache.resolve());
+    lse.set_cache_dir(cache_dir);
     if opts.naive {
         lse.options.solver = liberty::SolverConfig::naive().with_budget(50_000_000);
     }
@@ -477,6 +535,10 @@ fn build_one(file: &str, libs: &[(String, String)], opts: &BuildOptions) -> Buil
 /// The `lssc build` subcommand: batch-compile files over a thread pool.
 fn run_build(args: impl Iterator<Item = String>) -> ExitCode {
     let opts = parse_build_args(args);
+    if let Err(e) = opts.cache.resolve_checked() {
+        eprintln!("{e}");
+        return ExitCode::from(2);
+    }
     let mut libs = Vec::new();
     for lib in &opts.libs {
         match std::fs::read_to_string(lib) {
@@ -528,6 +590,204 @@ fn run_build(args: impl Iterator<Item = String>) -> ExitCode {
         failed,
         workers
     );
+    if failed > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Parses a `--mutate` value, exiting with usage on nonsense.
+fn parse_mutation(arg: Option<String>) -> lss_verify::Mutation {
+    match arg.as_deref() {
+        Some("reversed") => lss_verify::Mutation::ReversedSinglePass,
+        Some("single-pass") => lss_verify::Mutation::ForwardSinglePass,
+        _ => {
+            eprintln!("--mutate needs `reversed` or `single-pass`");
+            usage();
+        }
+    }
+}
+
+struct FuzzCliOptions {
+    seed: u64,
+    iters: u64,
+    max_insts: usize,
+    cycles: Option<u64>,
+    out: PathBuf,
+    types_only: bool,
+    sim_only: bool,
+    mutation: lss_verify::Mutation,
+}
+
+fn parse_fuzz_args(args: impl Iterator<Item = String>) -> FuzzCliOptions {
+    let mut opts = FuzzCliOptions {
+        seed: 1,
+        iters: 100,
+        max_insts: lss_verify::GenConfig::default().max_insts,
+        cycles: None,
+        out: PathBuf::from("target/verify"),
+        types_only: false,
+        sim_only: false,
+        mutation: lss_verify::Mutation::None,
+    };
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => opts.seed = n,
+                None => usage(),
+            },
+            "--iters" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => opts.iters = n,
+                _ => usage(),
+            },
+            "--max-insts" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 2 => opts.max_insts = n,
+                _ => usage(),
+            },
+            "--cycles" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => opts.cycles = Some(n),
+                _ => usage(),
+            },
+            "--out" => match args.next() {
+                Some(d) => opts.out = PathBuf::from(d),
+                None => usage(),
+            },
+            "--types-only" => opts.types_only = true,
+            "--sim-only" => opts.sim_only = true,
+            "--mutate" => opts.mutation = parse_mutation(args.next()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown option {other}");
+                usage();
+            }
+        }
+    }
+    if opts.types_only && opts.sim_only {
+        eprintln!("--types-only and --sim-only are mutually exclusive");
+        usage();
+    }
+    opts
+}
+
+/// The `lssc fuzz` subcommand: generate, check both oracles, minimize.
+fn run_fuzz_cmd(args: impl Iterator<Item = String>) -> ExitCode {
+    let opts = parse_fuzz_args(args);
+    let mut gen = lss_verify::GenConfig {
+        max_insts: opts.max_insts,
+        ..lss_verify::GenConfig::default()
+    };
+    if let Some(cycles) = opts.cycles {
+        gen.max_cycles = cycles;
+    }
+    let cfg = lss_verify::FuzzConfig {
+        seed: opts.seed,
+        iters: opts.iters,
+        gen,
+        check_types: !opts.sim_only,
+        check_sim: !opts.types_only,
+        mutation: opts.mutation,
+        out_dir: opts.out,
+    };
+    let report = lss_verify::run_fuzz(&cfg, |line| eprintln!("{line}"));
+    eprintln!(
+        "fuzz: seed {} — {} program(s), {} compiled, {} type check(s), \
+         {} differential sim cycle(s), {} finding(s)",
+        cfg.seed,
+        report.iters,
+        report.compiled,
+        report.type_checks,
+        report.sim_cycles,
+        report.findings.len()
+    );
+    for finding in &report.findings {
+        eprintln!(
+            "finding at iter {} (item seed {}): {}",
+            finding.iter, finding.item_seed, finding.discrepancy
+        );
+        if let Some(path) = &finding.repro {
+            eprintln!(
+                "  minimized {} -> {} instance(s); repro: {}",
+                finding.original_insts,
+                finding.minimized_insts,
+                path.display()
+            );
+        }
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+struct DifftestOptions {
+    files: Vec<String>,
+    cycles: u64,
+    mutation: lss_verify::Mutation,
+}
+
+fn parse_difftest_args(args: impl Iterator<Item = String>) -> DifftestOptions {
+    let mut opts = DifftestOptions {
+        files: Vec::new(),
+        cycles: 16,
+        mutation: lss_verify::Mutation::None,
+    };
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cycles" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => opts.cycles = n,
+                _ => usage(),
+            },
+            "--mutate" => opts.mutation = parse_mutation(args.next()),
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other}");
+                usage();
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.files.is_empty() {
+        usage();
+    }
+    opts
+}
+
+/// The `lssc difftest` subcommand: replay .lss files through the
+/// differential pipeline.
+fn run_difftest(args: impl Iterator<Item = String>) -> ExitCode {
+    let opts = parse_difftest_args(args);
+    let diff = lss_verify::DiffOptions {
+        cycles: opts.cycles,
+        mutation: opts.mutation,
+        ..lss_verify::DiffOptions::default()
+    };
+    let mut failed = 0usize;
+    for file in &opts.files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {file}: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        match lss_verify::difftest_source(file, &text, &diff) {
+            Ok(None) => println!("{file}: ok ({} cycles, traces agree)", opts.cycles),
+            Ok(Some(d)) => {
+                eprintln!("{file}: {d}");
+                failed += 1;
+            }
+            Err(e) => {
+                eprintln!("{file}: harness error: {e}");
+                failed += 1;
+            }
+        }
+    }
+    eprintln!("difftest: {} file(s), {} failed", opts.files.len(), failed);
     if failed > 0 {
         ExitCode::from(1)
     } else {
@@ -626,15 +886,30 @@ fn main() -> ExitCode {
             argv.next();
             return run_build(argv);
         }
+        Some("fuzz") => {
+            argv.next();
+            return run_fuzz_cmd(argv);
+        }
+        Some("difftest") => {
+            argv.next();
+            return run_difftest(argv);
+        }
         _ => {}
     }
     let opts = parse_args(argv);
+    let cache_dir = match opts.cache.resolve_checked() {
+        Ok(dir) => dir,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
     let mut lse = if opts.corelib {
         Lse::with_corelib()
     } else {
         Lse::new()
     };
-    lse.set_cache_dir(opts.cache.resolve());
+    lse.set_cache_dir(cache_dir);
     if opts.naive {
         lse.options.solver = liberty::SolverConfig::naive().with_budget(50_000_000);
     }

@@ -519,6 +519,206 @@ fn build_exits_nonzero_when_any_file_fails() {
 }
 
 #[test]
+fn fuzz_smoke_run_is_clean() {
+    let out_dir = temp_cache("fuzz-clean");
+    let out = lssc()
+        .args(["fuzz", "--seed", "1", "--iters", "10", "--out"])
+        .arg(&out_dir)
+        .output()
+        .expect("spawn lssc");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "fuzz found bugs?\n{stderr}");
+    assert!(
+        stderr.contains("0 finding(s)"),
+        "missing clean summary:\n{stderr}"
+    );
+    // A clean run leaves no repro artifacts behind.
+    let artifacts = std::fs::read_dir(&out_dir).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(artifacts, 0, "clean fuzz run wrote artifacts");
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn fuzz_with_injected_mutation_finds_minimizes_and_exits_nonzero() {
+    let out_dir = temp_cache("fuzz-mutate");
+    let out = lssc()
+        .args([
+            "fuzz",
+            "--seed",
+            "7",
+            "--iters",
+            "15",
+            "--sim-only",
+            "--mutate",
+            "reversed",
+            "--out",
+        ])
+        .arg(&out_dir)
+        .output()
+        .expect("spawn lssc");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "mutated oracle must produce findings\n{stderr}"
+    );
+    assert!(stderr.contains("finding at iter"), "{stderr}");
+    assert!(stderr.contains("repro:"), "missing repro path:\n{stderr}");
+    // The repro file itself exists and is a replayable .lss program.
+    let repro = std::fs::read_dir(&out_dir)
+        .expect("out dir created")
+        .filter_map(Result::ok)
+        .find(|e| e.path().extension().is_some_and(|x| x == "lss"))
+        .expect("repro artifact written")
+        .path();
+    let text = std::fs::read_to_string(&repro).unwrap();
+    assert!(text.contains("instance"), "repro is not an LSS program");
+    assert!(
+        text.contains("lssc difftest"),
+        "repro missing replay instructions"
+    );
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn fuzz_rejects_bad_flags_with_usage() {
+    for bad in [
+        &["fuzz", "--bogus"][..],
+        &["fuzz", "--seed"][..],
+        &["fuzz", "--iters", "zero"][..],
+        &["fuzz", "--types-only", "--sim-only"][..],
+        &["fuzz", "--mutate", "nonsense"][..],
+        &["fuzz", "some-file.lss"][..],
+    ] {
+        let out = lssc().args(bad).output().expect("spawn lssc");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(2), "{bad:?} must exit 2:\n{stderr}");
+        assert!(
+            stderr.contains("usage") || stderr.contains("Usage") || !stderr.is_empty(),
+            "{bad:?} produced no diagnostics"
+        );
+    }
+}
+
+#[test]
+fn difftest_clean_file_exits_zero() {
+    let model = write_model("difftest-ok");
+    let out = lssc()
+        .arg("difftest")
+        .arg(&model)
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stdout}{stderr}");
+    assert!(stdout.contains("traces agree"), "{stdout}");
+    assert!(stderr.contains("0 failed"), "{stderr}");
+    let _ = std::fs::remove_file(&model);
+}
+
+#[test]
+fn difftest_missing_file_exits_nonzero() {
+    let out = lssc()
+        .args(["difftest", "/nonexistent/nowhere.lss"])
+        .output()
+        .expect("spawn lssc");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "{stderr}");
+    assert!(stderr.contains("cannot read"), "{stderr}");
+    assert!(stderr.contains("1 failed"), "{stderr}");
+}
+
+#[test]
+fn difftest_without_files_exits_with_usage() {
+    let out = lssc().arg("difftest").output().expect("spawn lssc");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn difftest_reports_compile_failure_per_file() {
+    let good = write_model("difftest-good");
+    let bad =
+        std::env::temp_dir().join(format!("lssc-cli-{}-difftest-bad.lss", std::process::id()));
+    std::fs::write(&bad, "instance broken:").unwrap();
+    let out = lssc()
+        .arg("difftest")
+        .arg(&good)
+        .arg(&bad)
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "{stdout}{stderr}");
+    assert!(
+        stdout.contains("traces agree"),
+        "good file must still pass:\n{stdout}"
+    );
+    assert!(
+        stderr.contains("compile") || stderr.contains("error"),
+        "missing compile diagnostic:\n{stderr}"
+    );
+    assert!(stderr.contains("2 file(s), 1 failed"), "{stderr}");
+    let _ = std::fs::remove_file(&good);
+    let _ = std::fs::remove_file(&bad);
+}
+
+#[test]
+fn difftest_with_mutation_flags_divergence_on_feedback_model() {
+    // The cache -> memory feedback model needs fixpoint iteration; a
+    // single forward pass diverges, and difftest must say so.
+    let path = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/corpus/cache_feedback.lss"
+    ));
+    let out = lssc()
+        .args(["difftest", "--mutate", "single-pass"])
+        .arg(&path)
+        .output()
+        .expect("spawn lssc");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "mutated replay must diverge:\n{stderr}"
+    );
+    assert!(stderr.contains("1 failed"), "{stderr}");
+}
+
+#[test]
+fn explicit_cache_dir_at_a_file_is_rejected() {
+    let model = write_model("cache-at-file");
+    let blocker =
+        std::env::temp_dir().join(format!("lssc-cli-{}-cache-blocker", std::process::id()));
+    std::fs::write(&blocker, "not a directory").unwrap();
+
+    // All three entry points that accept --cache-dir must refuse it.
+    for sub in [None, Some("check"), Some("build")] {
+        let mut cmd = lssc();
+        if let Some(sub) = sub {
+            cmd.arg(sub);
+        }
+        let out = cmd
+            .arg(&model)
+            .arg("--cache-dir")
+            .arg(&blocker)
+            .output()
+            .expect("spawn lssc");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{sub:?} accepted a file as cache dir:\n{stderr}"
+        );
+        assert!(
+            stderr.contains("not a directory"),
+            "{sub:?} missing diagnostic:\n{stderr}"
+        );
+    }
+    let _ = std::fs::remove_file(&blocker);
+    let _ = std::fs::remove_file(&model);
+}
+
+#[test]
 fn run_model_with_stats_prints_engine_counters() {
     let out = lssc()
         .args(["--model", "A", "--run-model", "--stats"])

@@ -61,6 +61,24 @@ fn table3_models_round_trip_through_json() {
 }
 
 #[test]
+fn generated_programs_round_trip_through_json() {
+    // Property test over the structure-aware fuzzer: every netlist the
+    // generator produces — hierarchical wrappers, disjunctive alus,
+    // cache/bp clusters — must survive the cache's JSON format.
+    let cfg = lss_verify::GenConfig::default();
+    let mut compiled_count = 0;
+    for seed in 0..24u64 {
+        let spec = lss_verify::generate(seed, &cfg);
+        let name = format!("gen seed {seed}");
+        let (_, elab) = lss_verify::compile_source(&name, &spec.render())
+            .unwrap_or_else(|e| panic!("{name} failed to compile:\n{e}"));
+        assert_round_trip(&name, &elab.netlist);
+        compiled_count += 1;
+    }
+    assert_eq!(compiled_count, 24);
+}
+
+#[test]
 fn example_sources_round_trip_through_json() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/lss");
     let mut seen = 0;

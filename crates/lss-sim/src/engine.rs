@@ -1108,6 +1108,48 @@ impl Simulator {
         &self.firing_log
     }
 
+    /// A canonical, sorted dump of everything observable after the most
+    /// recently completed [`Simulator::step`]: every output port instance
+    /// carrying a value, every runtime variable, and every collector
+    /// accumulator, one line each.
+    ///
+    /// The format is the differential-testing contract shared with the
+    /// reference simulator in `lss-verify`, which diffs the two line sets
+    /// cycle by cycle:
+    ///
+    /// ```text
+    /// port <path>.<port>[<lane>] = <value>
+    /// rtv <path>::<name> = <value>
+    /// collector <path>/<event>::<name> = <value>
+    /// ```
+    pub fn state_lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for comp in 0..self.comps.len() {
+            let path = &self.paths[comp];
+            for (port, lanes) in self.core.out_slots[comp].iter().enumerate() {
+                for (lane, &slot) in lanes.iter().enumerate() {
+                    if let Some(value) = &self.core.values[slot] {
+                        out.push(format!(
+                            "port {path}.{}[{lane}] = {value}",
+                            self.port_names[comp][port]
+                        ));
+                    }
+                }
+            }
+            for (name, value) in self.core.states[comp].rtvs.iter() {
+                out.push(format!("rtv {path}::{name} = {value}"));
+            }
+        }
+        for coll in &self.collectors {
+            let path = &self.paths[coll.comp];
+            for (name, value) in coll.state.iter() {
+                out.push(format!("collector {path}/{}::{name} = {value}", coll.event));
+            }
+        }
+        out.sort();
+        out
+    }
+
     /// Convenience: the value of statistic `name` in the first collector on
     /// `path`/`event`.
     pub fn collector_stat(&self, path: &str, event: &str, name: &str) -> Option<Datum> {

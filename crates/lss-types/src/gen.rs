@@ -6,6 +6,7 @@
 //! ">12 hours" without).
 
 use crate::constraint::{Constraint, ConstraintSet};
+use crate::rng::SplitMix64;
 use crate::ty::{Scheme, TyVar};
 
 /// The `k` overload alternatives used by the generators.
@@ -106,6 +107,56 @@ pub fn contradictory_chain(n: usize, k: usize) -> ConstraintSet {
     let alts = overload_alts(k);
     let mut set = overloaded_chain(n, k);
     set.push(Constraint::eq(Scheme::Var(TyVar(0)), alts[0].clone()));
+    set
+}
+
+/// A seeded random constraint set over `n_vars` variables with up to
+/// `n_constraints` constraints, mixing equalities between variables, ground
+/// pins, array/struct wrappers, and `k`-way disjunctive domains.
+///
+/// Unlike the structured families above, the output is *not* guaranteed
+/// satisfiable — roughly half the seeds produce contradictions — which makes
+/// it the verdict-agreement workload for differential testing the heuristic
+/// solver against an exhaustive oracle (`lss-verify`). Equal seeds yield
+/// equal sets.
+pub fn random_set(seed: u64, n_vars: usize, n_constraints: usize, k: usize) -> ConstraintSet {
+    assert!(n_vars >= 1 && k >= 1);
+    let mut rng = SplitMix64::new(seed);
+    let alts = overload_alts(k);
+    let mut set = ConstraintSet::new();
+    let var = |rng: &mut SplitMix64| TyVar(rng.index(n_vars) as u32);
+    for _ in 0..n_constraints {
+        let lhs = Scheme::Var(var(&mut rng));
+        let rhs = match rng.below(10) {
+            // Chain link: two variables must agree.
+            0..=3 => Scheme::Var(var(&mut rng)),
+            // Ground pin to one of the overload alternatives.
+            4..=5 => alts[rng.index(alts.len())].clone(),
+            // Disjunctive domain (a random subset of >= 2 alternatives).
+            6..=7 => {
+                let n = 2 + rng.index(alts.len() - 1).min(alts.len() - 2);
+                let mut pick = Vec::with_capacity(n);
+                while pick.len() < n {
+                    let alt = alts[rng.index(alts.len())].clone();
+                    if !pick.contains(&alt) {
+                        pick.push(alt);
+                    }
+                }
+                Scheme::Or(pick)
+            }
+            // Array wrapper around another variable (structural nesting).
+            8 => Scheme::Array(Box::new(Scheme::Var(var(&mut rng))), 1 + rng.index(3)),
+            // Struct wrapper with one or two variable fields.
+            _ => {
+                let mut fields = vec![("a".to_string(), Scheme::Var(var(&mut rng)))];
+                if rng.percent(50) {
+                    fields.push(("b".to_string(), Scheme::Var(var(&mut rng))));
+                }
+                Scheme::Struct(fields)
+            }
+        };
+        set.push(Constraint::eq(lhs, rhs));
+    }
     set
 }
 

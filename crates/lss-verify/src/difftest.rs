@@ -1,0 +1,260 @@
+//! The differential harness: engine vs reference, cycle by cycle.
+//!
+//! An LSS program is compiled once through the full driver pipeline, then
+//! run twice — on the production engine (`lss_sim::Simulator` with its
+//! static schedule) and on the naive [`RefSim`](crate::RefSim) fixpoint
+//! oracle — comparing the canonical `state_lines` dump after every cycle.
+//! Any divergence (a differing line, or a runtime error on one side only)
+//! is a [`Discrepancy`], the currency the fuzzer and the minimizer trade
+//! in.
+
+use std::sync::Arc;
+
+use lss_driver::{Driver, Elaborated};
+use lss_netlist::{from_json, to_json, Netlist};
+use lss_sim::Scheduler;
+
+use crate::exhaustive::TypeDiscrepancy;
+use crate::refsim::{Mutation, RefSim};
+
+/// How to run a differential comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Number of cycles to step both simulators.
+    pub cycles: u64,
+    /// Scheduler used by the production engine under test.
+    pub scheduler: Scheduler,
+    /// Injected reference bug (mutation testing only; [`Mutation::None`]
+    /// for real verification runs).
+    pub mutation: Mutation,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            cycles: 16,
+            scheduler: Scheduler::Static,
+            mutation: Mutation::None,
+        }
+    }
+}
+
+/// A verdict difference between the system under test and an oracle.
+#[derive(Debug, Clone)]
+pub enum Discrepancy {
+    /// A generated program failed to compile (generator bug or frontend
+    /// bug — either way worth a repro).
+    Compile {
+        /// The driver's rendered error.
+        error: String,
+    },
+    /// The heuristic type solver disagrees with the exhaustive oracle.
+    Type(TypeDiscrepancy),
+    /// The two simulators' canonical state dumps differ after a cycle.
+    Trace {
+        /// First cycle whose post-step states differ (0-based).
+        cycle: u64,
+        /// Lines present in exactly one dump (prefixed `engine:` /
+        /// `reference:`), capped for readability.
+        diff: Vec<String>,
+    },
+    /// The production engine raised a runtime error the reference did not.
+    EngineError {
+        /// Cycle on which the engine failed.
+        cycle: u64,
+        /// The engine's error.
+        error: String,
+    },
+    /// The reference raised a runtime error the engine did not.
+    RefError {
+        /// Cycle on which the reference failed.
+        cycle: u64,
+        /// The reference's error.
+        error: String,
+    },
+    /// The netlist did not survive a JSON round-trip byte-identically.
+    Roundtrip {
+        /// What went wrong (parse error or first differing line).
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for Discrepancy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Discrepancy::Compile { error } => write!(f, "compile failure: {error}"),
+            Discrepancy::Type(t) => write!(f, "type oracle: {t}"),
+            Discrepancy::Trace { cycle, diff } => {
+                writeln!(f, "state divergence at cycle {cycle}:")?;
+                for line in diff {
+                    writeln!(f, "  {line}")?;
+                }
+                Ok(())
+            }
+            Discrepancy::EngineError { cycle, error } => {
+                write!(
+                    f,
+                    "engine error at cycle {cycle} (reference ran clean): {error}"
+                )
+            }
+            Discrepancy::RefError { cycle, error } => {
+                write!(
+                    f,
+                    "reference error at cycle {cycle} (engine ran clean): {error}"
+                )
+            }
+            Discrepancy::Roundtrip { detail } => write!(f, "JSON round-trip: {detail}"),
+        }
+    }
+}
+
+impl Discrepancy {
+    /// Short machine-readable tag for reports and filenames.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Discrepancy::Compile { .. } => "compile",
+            Discrepancy::Type(_) => "type",
+            Discrepancy::Trace { .. } => "trace",
+            Discrepancy::EngineError { .. } => "engine-error",
+            Discrepancy::RefError { .. } => "ref-error",
+            Discrepancy::Roundtrip { .. } => "roundtrip",
+        }
+    }
+}
+
+/// Compiles `text` (with the core library) through the driver pipeline.
+///
+/// Returns the session alongside the artifact so callers can build
+/// simulators against the same registry.
+///
+/// # Errors
+///
+/// The driver's rendered diagnostics on any parse/elaborate/type failure.
+pub fn compile_source(name: &str, text: &str) -> Result<(Driver, Arc<Elaborated>), String> {
+    let mut driver = Driver::with_corelib();
+    driver.add_source(name, text);
+    let elab = driver.elaborate().map_err(|e| e.to_string())?;
+    Ok((driver, elab))
+}
+
+fn trace_diff(engine: &[String], reference: &[String]) -> Vec<String> {
+    const CAP: usize = 12;
+    let mut out = Vec::new();
+    for line in engine {
+        if !reference.contains(line) {
+            out.push(format!("engine:    {line}"));
+        }
+    }
+    for line in reference {
+        if !engine.contains(line) {
+            out.push(format!("reference: {line}"));
+        }
+    }
+    if out.len() > CAP {
+        let extra = out.len() - CAP;
+        out.truncate(CAP);
+        out.push(format!("... and {extra} more differing line(s)"));
+    }
+    out
+}
+
+/// Runs the compiled netlist on both simulators and compares state
+/// cycle-by-cycle.
+///
+/// Returns `Ok(None)` when the traces agree for all requested cycles.
+///
+/// # Errors
+///
+/// Only on harness-level failures (either simulator fails to *build*);
+/// runtime divergence is a `Discrepancy`, not an error.
+pub fn diff_netlist(
+    driver: &mut Driver,
+    netlist: &Netlist,
+    opts: &DiffOptions,
+) -> Result<Option<Discrepancy>, String> {
+    driver.sim_options.scheduler = opts.scheduler;
+    let mut engine = driver.simulator(netlist).map_err(|e| e.to_string())?;
+    let mut reference = RefSim::build(netlist, driver.registry(), opts.mutation)
+        .map_err(|e| format!("reference build: {}", e.message))?;
+    for cycle in 0..opts.cycles {
+        let engine_step = engine.step();
+        let ref_step = reference.step();
+        match (engine_step, ref_step) {
+            (Ok(()), Ok(())) => {}
+            (Err(e), Err(_)) => {
+                // Both sides reject the cycle (e.g. a userpoint error):
+                // agreement, but nothing further to compare.
+                let _ = e;
+                return Ok(None);
+            }
+            (Err(e), Ok(())) => {
+                return Ok(Some(Discrepancy::EngineError {
+                    cycle,
+                    error: e.message,
+                }))
+            }
+            (Ok(()), Err(e)) => {
+                return Ok(Some(Discrepancy::RefError {
+                    cycle,
+                    error: e.message,
+                }))
+            }
+        }
+        let engine_lines = engine.state_lines();
+        let ref_lines = reference.state_lines();
+        if engine_lines != ref_lines {
+            return Ok(Some(Discrepancy::Trace {
+                cycle,
+                diff: trace_diff(&engine_lines, &ref_lines),
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// Checks that `netlist` survives `to_json` → `from_json` → `to_json`
+/// byte-identically.
+pub fn check_roundtrip(netlist: &Netlist) -> Option<Discrepancy> {
+    let first = to_json(netlist);
+    let reparsed = match from_json(&first) {
+        Ok(n) => n,
+        Err(e) => {
+            return Some(Discrepancy::Roundtrip {
+                detail: format!("serialized netlist fails to parse: {e}"),
+            })
+        }
+    };
+    let second = to_json(&reparsed);
+    if first != second {
+        let line = first
+            .lines()
+            .zip(second.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| format!("first difference at line {}", i + 1))
+            .unwrap_or_else(|| "dumps differ in length".to_string());
+        return Some(Discrepancy::Roundtrip { detail: line });
+    }
+    None
+}
+
+/// Full differential run over one source text: compile, trace-compare,
+/// and round-trip-check.
+///
+/// # Errors
+///
+/// Harness-level failures only (simulator build); a compile failure of
+/// `text` itself is reported as [`Discrepancy::Compile`].
+pub fn difftest_source(
+    name: &str,
+    text: &str,
+    opts: &DiffOptions,
+) -> Result<Option<Discrepancy>, String> {
+    let (mut driver, elab) = match compile_source(name, text) {
+        Ok(pair) => pair,
+        Err(error) => return Ok(Some(Discrepancy::Compile { error })),
+    };
+    if let Some(d) = diff_netlist(&mut driver, &elab.netlist, opts)? {
+        return Ok(Some(d));
+    }
+    Ok(check_roundtrip(&elab.netlist))
+}

@@ -1,0 +1,233 @@
+//! Brute-force oracle for the disjunctive type solver.
+//!
+//! The production solver (`lss_types::solve`) leans on the §5 heuristics —
+//! reordering, smart disjunction commits, partitioning — and its
+//! correctness is exactly what differential testing should not assume. The
+//! oracle here does the dumbest possible thing: expand every disjunction on
+//! both sides of every constraint, enumerate the full cartesian product of
+//! alternatives, and run plain first-order unification on each combination.
+//! A set is satisfiable iff *some* combination unifies.
+//!
+//! That is exponential, of course, so [`ExhaustiveConfig`] caps both the
+//! per-side expansion count and the total number of combinations; over
+//! budget the verdict is [`Verdict::TooBig`] and the differential harness
+//! skips the case rather than risking a false alarm.
+
+use lss_types::{
+    solve, Constraint, ConstraintSet, Scheme, SolveError, SolverConfig, Subst, TyVar, UnifyStats,
+};
+
+/// Resource bounds for the exhaustive enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExhaustiveConfig {
+    /// Cap on the number of expanded alternatives per constraint side
+    /// (passed to `Scheme::expand_disjuncts`).
+    pub per_side_cap: usize,
+    /// Cap on the total number of alternative combinations tried.
+    pub max_combos: u64,
+}
+
+impl Default for ExhaustiveConfig {
+    fn default() -> Self {
+        ExhaustiveConfig {
+            per_side_cap: 64,
+            max_combos: 200_000,
+        }
+    }
+}
+
+/// Outcome of the exhaustive enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Some combination of disjunct choices unifies.
+    Sat,
+    /// Every combination fails to unify.
+    Unsat,
+    /// The search space exceeds the configured bounds; no verdict.
+    TooBig,
+}
+
+/// Decides satisfiability of `set` by exhaustive disjunct enumeration.
+pub fn solve_exhaustive(set: &ConstraintSet, cfg: &ExhaustiveConfig) -> Verdict {
+    // Expand each constraint into its list of Or-free (lhs, rhs) pairs.
+    let mut pairs: Vec<Vec<(Scheme, Scheme)>> = Vec::with_capacity(set.len());
+    let mut combos: u64 = 1;
+    for c in set.iter() {
+        let Some(lhs) = c.lhs.expand_disjuncts(cfg.per_side_cap) else {
+            return Verdict::TooBig;
+        };
+        let Some(rhs) = c.rhs.expand_disjuncts(cfg.per_side_cap) else {
+            return Verdict::TooBig;
+        };
+        let mut alts = Vec::with_capacity(lhs.len() * rhs.len());
+        for l in &lhs {
+            for r in &rhs {
+                alts.push((l.clone(), r.clone()));
+            }
+        }
+        combos = combos.saturating_mul(alts.len() as u64);
+        if combos > cfg.max_combos {
+            return Verdict::TooBig;
+        }
+        pairs.push(alts);
+    }
+
+    // Odometer over one alternative choice per constraint.
+    let mut choice = vec![0usize; pairs.len()];
+    loop {
+        let mut subst = Subst::new();
+        let mut stats = UnifyStats::default();
+        let ok = pairs.iter().zip(&choice).all(|(alts, &i)| {
+            lss_types::unify(&alts[i].0, &alts[i].1, &mut subst, &mut stats).is_ok()
+        });
+        if ok {
+            return Verdict::Sat;
+        }
+        // Advance the odometer; done when it wraps.
+        let mut pos = 0;
+        loop {
+            if pos == pairs.len() {
+                return Verdict::Unsat;
+            }
+            choice[pos] += 1;
+            if choice[pos] < pairs[pos].len() {
+                break;
+            }
+            choice[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// A disagreement between the heuristic solver and the exhaustive oracle.
+#[derive(Debug, Clone)]
+pub enum TypeDiscrepancy {
+    /// The heuristic solver found a solution but no disjunct combination
+    /// unifies.
+    HeuristicSatOracleUnsat,
+    /// The heuristic solver reported unsatisfiable but some combination
+    /// unifies.
+    HeuristicUnsatOracleSat {
+        /// The constraint the solver blamed.
+        constraint: String,
+        /// The solver's reason.
+        reason: String,
+    },
+    /// Both sides agree the set is satisfiable, but pinning every variable
+    /// to the heuristic solver's resolved type makes the set unsatisfiable —
+    /// the "solution" is not actually a solution.
+    SolutionIncompatible {
+        /// The variables whose pinned assignments broke the set.
+        assignments: Vec<(TyVar, String)>,
+    },
+}
+
+impl std::fmt::Display for TypeDiscrepancy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeDiscrepancy::HeuristicSatOracleUnsat => {
+                write!(f, "heuristic solver says SAT, exhaustive oracle says UNSAT")
+            }
+            TypeDiscrepancy::HeuristicUnsatOracleSat { constraint, reason } => write!(
+                f,
+                "heuristic solver says UNSAT ({constraint}: {reason}), exhaustive oracle says SAT"
+            ),
+            TypeDiscrepancy::SolutionIncompatible { assignments } => {
+                write!(f, "heuristic solution is not a model: pinning ")?;
+                for (i, (v, ty)) in assignments.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v} = {ty}")?;
+                }
+                write!(f, " makes the set unsatisfiable")
+            }
+        }
+    }
+}
+
+/// Differential check: heuristic solve vs exhaustive enumeration.
+///
+/// Returns `None` when the two agree (or when either side exhausts its
+/// budget, which is a skip, not a verdict), `Some` describing the
+/// disagreement otherwise. On mutual SAT the heuristic's solution is
+/// additionally *validated*: every resolved variable is pinned to its
+/// inferred type and the oracle re-runs — a solver that claims SAT with a
+/// bogus assignment is caught here.
+pub fn check_types(set: &ConstraintSet, config: &SolverConfig) -> Option<TypeDiscrepancy> {
+    let oracle = solve_exhaustive(set, &ExhaustiveConfig::default());
+    if oracle == Verdict::TooBig {
+        return None;
+    }
+    match solve(set, config) {
+        Err(SolveError::BudgetExhausted { .. }) => None,
+        Err(SolveError::Unsatisfiable { constraint, reason }) => match oracle {
+            Verdict::Sat => Some(TypeDiscrepancy::HeuristicUnsatOracleSat {
+                constraint: constraint.to_string(),
+                reason,
+            }),
+            _ => None,
+        },
+        Ok(sol) => {
+            if oracle == Verdict::Unsat {
+                return Some(TypeDiscrepancy::HeuristicSatOracleUnsat);
+            }
+            // Validate the solution: pin every resolved variable and make
+            // sure the oracle still finds the set satisfiable.
+            let mut vars: Vec<TyVar> = set.iter().flat_map(|c| c.vars()).collect();
+            vars.sort();
+            vars.dedup();
+            let mut pinned = set.clone();
+            let mut assignments = Vec::new();
+            for v in vars {
+                if let Some(ty) = sol.ty_of(v) {
+                    pinned.push(Constraint::eq(Scheme::Var(v), Scheme::from_ty(&ty)));
+                    assignments.push((v, ty.to_string()));
+                }
+            }
+            match solve_exhaustive(&pinned, &ExhaustiveConfig::default()) {
+                Verdict::Unsat => Some(TypeDiscrepancy::SolutionIncompatible { assignments }),
+                _ => None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lss_types::gen;
+
+    #[test]
+    fn agrees_on_structured_families() {
+        for (set, expect) in [
+            (gen::overloaded_chain(6, 3), Verdict::Sat),
+            (gen::crossbar(5, 4), Verdict::Sat),
+            (gen::contradictory_chain(5, 2), Verdict::Unsat),
+        ] {
+            assert_eq!(solve_exhaustive(&set, &ExhaustiveConfig::default()), expect);
+        }
+    }
+
+    #[test]
+    fn too_big_on_wide_products() {
+        // 16 constraints with 4 alternatives each: 4^16 combinations.
+        let set = gen::overloaded_chain(16, 4);
+        let tight = ExhaustiveConfig {
+            per_side_cap: 64,
+            max_combos: 10_000,
+        };
+        assert_eq!(solve_exhaustive(&set, &tight), Verdict::TooBig);
+    }
+
+    #[test]
+    fn heuristic_matches_oracle_on_random_sets() {
+        for seed in 0..60 {
+            let set = gen::random_set(seed, 6, 10, 3);
+            assert!(
+                check_types(&set, &SolverConfig::heuristic()).is_none(),
+                "type discrepancy at seed {seed}"
+            );
+        }
+    }
+}

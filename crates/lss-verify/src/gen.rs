@@ -1,0 +1,612 @@
+//! Structure-aware random LSS program generation.
+//!
+//! The generator builds a [`Spec`] — a small structural IR of instances,
+//! connections, type pins, and collectors — and renders it to concrete
+//! `.lss` source. Working at the IR level (rather than mutating text) keeps
+//! every output *well-formed by construction* and gives the delta-debugging
+//! minimizer something meaningful to shrink: dropping an instance drops its
+//! connections, pins, and collectors with it.
+//!
+//! The shapes mirror what the paper says real models look like (§4.4):
+//! chains of polymorphic routing and state elements (`tee`, `latch`,
+//! `queue`, `latchn`-style wrappers) fed by a `source` and drained by a
+//! `sink`/`probe`, with one explicit type instantiation grounding each
+//! chain. Knobs on [`GenConfig`] control the instance budget, hierarchy
+//! depth (nested generated wrapper modules), disjunctive-type density
+//! (`alu`, whose `a :: int|float` pin is the paper's component-overloading
+//! example), and use-based specialization clusters (`cache` with/without a
+//! lower level, `bp` with/without a BTB).
+
+use lss_types::SplitMix64;
+
+/// Size and feature knobs for [`generate`].
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Upper bound on elaborated leaf instances.
+    pub max_insts: usize,
+    /// Maximum nesting depth of generated hierarchical wrapper modules
+    /// (0 disables hierarchy).
+    pub hierarchy_depth: usize,
+    /// Percent chance a chain element introduces a disjunctive type
+    /// constraint (an `alu` with its `int|float` overload pin).
+    pub disjunct_pct: u32,
+    /// Percent chance of appending a use-based-specialization cluster
+    /// (`cache` / `bp`).
+    pub specialize_pct: u32,
+    /// Percent chance a probe/cache gets an instrumentation collector.
+    pub collector_pct: u32,
+    /// Upper bound on the random stimulus length (cycles).
+    pub max_cycles: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_insts: 12,
+            hierarchy_depth: 2,
+            disjunct_pct: 30,
+            specialize_pct: 40,
+            collector_pct: 50,
+            max_cycles: 8,
+        }
+    }
+}
+
+/// One top-level instance declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// Instance name (unique; becomes the path prefix in traces).
+    pub name: String,
+    /// Module name (a corelib module or a generated `wrapN`).
+    pub module: String,
+    /// Parameter assignments, rendered verbatim as `name.key = value;`.
+    pub params: Vec<(String, String)>,
+}
+
+/// One `src.port -> dst.port;` connection between top-level instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conn {
+    /// Index of the source instance in [`Spec::insts`].
+    pub src: usize,
+    /// Source port name (static: the corelib port vocabulary).
+    pub src_port: &'static str,
+    /// Index of the destination instance.
+    pub dst: usize,
+    /// Destination port name.
+    pub dst_port: &'static str,
+}
+
+/// One explicit type instantiation `inst.port :: ty;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pin {
+    /// Index of the pinned instance.
+    pub inst: usize,
+    /// Port name.
+    pub port: &'static str,
+    /// Rendered type text (`int`, `float`, `string`, `bool`).
+    pub ty: &'static str,
+}
+
+/// One `collector inst : event = "code";` statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectorSpec {
+    /// Index of the observed instance (always a leaf module).
+    pub inst: usize,
+    /// Event name.
+    pub event: &'static str,
+    /// BSL body.
+    pub code: &'static str,
+}
+
+/// A generated program in structural form. [`Spec::render`] produces the
+/// concrete `.lss` source; [`Spec::without_insts`] is the shrink step the
+/// minimizer uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spec {
+    /// Seed this spec was generated from (0 for hand-built specs).
+    pub seed: u64,
+    /// Stimulus length in cycles.
+    pub cycles: u64,
+    /// Top-level instances.
+    pub insts: Vec<Inst>,
+    /// Connections between them.
+    pub conns: Vec<Conn>,
+    /// Explicit type instantiations.
+    pub pins: Vec<Pin>,
+    /// Instrumentation collectors.
+    pub collectors: Vec<CollectorSpec>,
+}
+
+/// The ground type a chain carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChainTy {
+    Int,
+    Float,
+    Str,
+    Bool,
+}
+
+impl ChainTy {
+    fn text(self) -> &'static str {
+        match self {
+            ChainTy::Int => "int",
+            ChainTy::Float => "float",
+            ChainTy::Str => "string",
+            ChainTy::Bool => "bool",
+        }
+    }
+}
+
+impl Spec {
+    /// An empty spec (building block for hand-made regression cases).
+    pub fn empty() -> Spec {
+        Spec {
+            seed: 0,
+            cycles: 4,
+            insts: Vec::new(),
+            conns: Vec::new(),
+            pins: Vec::new(),
+            collectors: Vec::new(),
+        }
+    }
+
+    /// Adds an instance, returning its index.
+    pub fn inst(&mut self, name: impl Into<String>, module: impl Into<String>) -> usize {
+        self.insts.push(Inst {
+            name: name.into(),
+            module: module.into(),
+            params: Vec::new(),
+        });
+        self.insts.len() - 1
+    }
+
+    /// Adds a connection.
+    pub fn connect(
+        &mut self,
+        src: usize,
+        src_port: &'static str,
+        dst: usize,
+        dst_port: &'static str,
+    ) {
+        self.conns.push(Conn {
+            src,
+            src_port,
+            dst,
+            dst_port,
+        });
+    }
+
+    /// The maximum generated-wrapper depth referenced by the instances
+    /// (0 when no instance uses a `wrapN` module).
+    fn max_wrapper_depth(&self) -> usize {
+        self.insts
+            .iter()
+            .filter_map(|i| i.module.strip_prefix("wrap"))
+            .filter_map(|d| d.parse::<usize>().ok())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the spec as concrete LSS source.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "// generated by lss-verify: seed={} cycles={}\n",
+            self.seed, self.cycles
+        ));
+        // Wrapper modules are nested: wrapK routes through wrap(K-1) plus
+        // one latch stage of its own, so a depth-K use elaborates into a
+        // K-deep hierarchy with K latch leaves.
+        for depth in 1..=self.max_wrapper_depth() {
+            out.push_str(&format!("module wrap{depth} {{\n"));
+            out.push_str("    inport in:'a;\n    outport out:'a;\n");
+            if depth == 1 {
+                out.push_str("    instance inner:latch;\n");
+                out.push_str("    in -> inner.in;\n    inner.out -> out;\n");
+            } else {
+                out.push_str(&format!("    instance inner:wrap{};\n", depth - 1));
+                out.push_str("    instance stage:latch;\n");
+                out.push_str("    in -> inner.in;\n");
+                out.push_str("    inner.out -> stage.in;\n");
+                out.push_str("    stage.out -> out;\n");
+            }
+            out.push_str("};\n");
+        }
+        for inst in &self.insts {
+            out.push_str(&format!("instance {}:{};\n", inst.name, inst.module));
+        }
+        for inst in &self.insts {
+            for (key, value) in &inst.params {
+                out.push_str(&format!("{}.{key} = {value};\n", inst.name));
+            }
+        }
+        for conn in &self.conns {
+            out.push_str(&format!(
+                "{}.{} -> {}.{};\n",
+                self.insts[conn.src].name, conn.src_port, self.insts[conn.dst].name, conn.dst_port
+            ));
+        }
+        for pin in &self.pins {
+            out.push_str(&format!(
+                "{}.{} :: {};\n",
+                self.insts[pin.inst].name, pin.port, pin.ty
+            ));
+        }
+        for coll in &self.collectors {
+            out.push_str(&format!(
+                "collector {} : {} = \"{}\";\n",
+                self.insts[coll.inst].name, coll.event, coll.code
+            ));
+        }
+        out
+    }
+
+    /// The spec with the instances at `remove` (indices into
+    /// [`Spec::insts`]) dropped, along with every connection, pin, and
+    /// collector touching them. This is the minimizer's shrink step.
+    pub fn without_insts(&self, remove: &[usize]) -> Spec {
+        let mut keep_map = vec![None; self.insts.len()];
+        let mut insts = Vec::new();
+        for (i, inst) in self.insts.iter().enumerate() {
+            if !remove.contains(&i) {
+                keep_map[i] = Some(insts.len());
+                insts.push(inst.clone());
+            }
+        }
+        let remap = |i: usize| keep_map[i];
+        Spec {
+            seed: self.seed,
+            cycles: self.cycles,
+            insts,
+            conns: self
+                .conns
+                .iter()
+                .filter_map(|c| {
+                    Some(Conn {
+                        src: remap(c.src)?,
+                        dst: remap(c.dst)?,
+                        ..*c
+                    })
+                })
+                .collect(),
+            pins: self
+                .pins
+                .iter()
+                .filter_map(|p| {
+                    Some(Pin {
+                        inst: remap(p.inst)?,
+                        ..p.clone()
+                    })
+                })
+                .collect(),
+            collectors: self
+                .collectors
+                .iter()
+                .filter_map(|c| {
+                    Some(CollectorSpec {
+                        inst: remap(c.inst)?,
+                        ..c.clone()
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// The spec with connection `idx` dropped.
+    pub fn without_conn(&self, idx: usize) -> Spec {
+        let mut spec = self.clone();
+        spec.conns.remove(idx);
+        spec
+    }
+
+    /// The spec with collector `idx` dropped.
+    pub fn without_collector(&self, idx: usize) -> Spec {
+        let mut spec = self.clone();
+        spec.collectors.remove(idx);
+        spec
+    }
+
+    /// Estimated elaborated leaf count (wrapper modules expand to their
+    /// depth in latches; everything else is one leaf).
+    pub fn leaf_estimate(&self) -> usize {
+        self.insts
+            .iter()
+            .map(|i| {
+                i.module
+                    .strip_prefix("wrap")
+                    .and_then(|d| d.parse::<usize>().ok())
+                    .unwrap_or(1)
+            })
+            .sum()
+    }
+}
+
+/// Internal builder state threaded through chain construction.
+struct Builder {
+    spec: Spec,
+    budget: usize,
+    next_id: usize,
+}
+
+impl Builder {
+    fn name(&mut self, role: &str) -> String {
+        let id = self.next_id;
+        self.next_id += 1;
+        format!("{role}{id}")
+    }
+
+    fn add(&mut self, role: &str, module: &str, leaves: usize) -> usize {
+        let name = self.name(role);
+        self.budget = self.budget.saturating_sub(leaves);
+        self.spec.inst(name, module)
+    }
+}
+
+/// Generates a random well-formed LSS program plus stimulus from `seed`.
+/// Equal seeds and configs yield byte-identical specs.
+pub fn generate(seed: u64, cfg: &GenConfig) -> Spec {
+    let mut rng = SplitMix64::new(seed);
+    let mut b = Builder {
+        spec: Spec::empty(),
+        budget: cfg.max_insts.max(3),
+        next_id: 0,
+    };
+    b.spec.seed = seed;
+    b.spec.cycles = 3 + rng.below(cfg.max_cycles.max(4) - 2);
+
+    // Data chains: source -> routing/state elements -> sink/probe.
+    while b.budget >= 3 {
+        gen_chain(&mut rng, cfg, &mut b);
+        if !rng.percent(70) {
+            break;
+        }
+    }
+    // Use-based specialization clusters ride along when budget remains.
+    if b.budget >= 3 && rng.percent(cfg.specialize_pct) {
+        gen_cache_cluster(&mut rng, cfg, &mut b);
+    }
+    if b.budget >= 3 && rng.percent(cfg.specialize_pct) {
+        gen_bp_cluster(&mut rng, &mut b);
+    }
+    b.spec
+}
+
+fn pick_chain_ty(rng: &mut SplitMix64) -> ChainTy {
+    match rng.below(100) {
+        0..=44 => ChainTy::Int,
+        45..=69 => ChainTy::Float,
+        70..=84 => ChainTy::Str,
+        _ => ChainTy::Bool,
+    }
+}
+
+fn gen_chain(rng: &mut SplitMix64, cfg: &GenConfig, b: &mut Builder) {
+    let ty = pick_chain_ty(rng);
+    let head = b.add("src", "source", 1);
+    if ty == ChainTy::Int {
+        let start = rng.range_i64(0, 50);
+        b.spec.insts[head]
+            .params
+            .push(("start".into(), start.to_string()));
+    }
+    let mut prev = head;
+    let mut prev_port: &'static str = "out";
+    while b.budget > 1 && rng.percent(65) {
+        let (inst, in_port, out_port) = gen_element(rng, cfg, b, ty);
+        b.spec.connect(prev, prev_port, inst, in_port);
+        prev = inst;
+        prev_port = out_port;
+    }
+    // Terminal: a sink (counts arrivals) or a probe (counts + emits the
+    // declared `observed` event, optionally collected).
+    let tail = if rng.percent(50) {
+        b.add("snk", "sink", 1)
+    } else {
+        let probe = b.add("prb", "probe", 1);
+        if rng.percent(cfg.collector_pct) {
+            b.spec.collectors.push(CollectorSpec {
+                inst: probe,
+                event: "observed",
+                code: "n = n + 1; last = arg0;",
+            });
+        }
+        probe
+    };
+    b.spec.connect(prev, prev_port, tail, "in");
+    // One explicit type instantiation grounds the chain (Table 2's
+    // "explicit type instantiations per model" is deliberately small).
+    let pin_head = rng.percent(70);
+    b.spec.pins.push(Pin {
+        inst: if pin_head { head } else { tail },
+        port: if pin_head { "out" } else { "in" },
+        ty: ty.text(),
+    });
+}
+
+/// Adds one mid-chain element; returns `(inst, in_port, out_port)`.
+fn gen_element(
+    rng: &mut SplitMix64,
+    cfg: &GenConfig,
+    b: &mut Builder,
+    ty: ChainTy,
+) -> (usize, &'static str, &'static str) {
+    // The alu introduces the paper's disjunctive overload constraint; it
+    // needs a second driven input and only admits int/float chains.
+    let want_alu = matches!(ty, ChainTy::Int | ChainTy::Float)
+        && b.budget >= 3
+        && rng.percent(cfg.disjunct_pct);
+    if want_alu {
+        let alu = b.add("alu", "alu", 1);
+        if rng.percent(50) {
+            b.spec.insts[alu]
+                .params
+                .push(("op".into(), "\"add\"".into()));
+        }
+        let aux = b.add("aux", "source", 1);
+        if ty == ChainTy::Int {
+            let start = rng.range_i64(0, 9);
+            b.spec.insts[aux]
+                .params
+                .push(("start".into(), start.to_string()));
+        }
+        b.spec.connect(aux, "out", alu, "b");
+        return (alu, "a", "res");
+    }
+    // Hierarchy: a generated wrapN module expands into an N-deep nest of
+    // wrappers around latches.
+    let max_depth = cfg.hierarchy_depth.min(b.budget.saturating_sub(1));
+    if max_depth >= 1 && rng.percent(25) {
+        let depth = 1 + rng.index(max_depth);
+        let module = format!("wrap{depth}");
+        let name = b.name("hw");
+        b.budget = b.budget.saturating_sub(depth);
+        let inst = b.spec.inst(name, module);
+        return (inst, "in", "out");
+    }
+    let int_only = ty == ChainTy::Int;
+    let choice = rng.below(if int_only { 5 } else { 3 });
+    match choice {
+        0 => (b.add("tee", "tee", 1), "in", "out"),
+        1 => (b.add("lat", "latch", 1), "in", "out"),
+        2 => {
+            let q = b.add("q", "queue", 1);
+            if rng.percent(50) {
+                let depth = 1 + rng.below(4);
+                b.spec.insts[q]
+                    .params
+                    .push(("depth".into(), depth.to_string()));
+            }
+            (q, "in", "out")
+        }
+        3 => {
+            let d = b.add("dly", "delay", 1);
+            if rng.percent(40) {
+                let init = rng.range_i64(0, 5);
+                b.spec.insts[d]
+                    .params
+                    .push(("initial_state".into(), init.to_string()));
+            }
+            (d, "in", "out")
+        }
+        _ => {
+            let n = 2 + rng.below(2); // delayn with 2-3 stages
+            let d = b.add("dn", "delayn", n as usize);
+            b.spec.insts[d].params.push(("n".into(), n.to_string()));
+            (d, "in", "out")
+        }
+    }
+}
+
+/// A cache cluster: request source, cache, response sink, and (sometimes) a
+/// backing memory — connecting the memory flips the cache's inferred
+/// `has_lower` parameter (§6.1 use-based specialization).
+fn gen_cache_cluster(rng: &mut SplitMix64, cfg: &GenConfig, b: &mut Builder) {
+    let src = b.add("creq", "source", 1);
+    let start = rng.range_i64(0, 64);
+    b.spec.insts[src]
+        .params
+        .push(("start".into(), start.to_string()));
+    let cache = b.add("c", "cache", 1);
+    if rng.percent(50) {
+        b.spec.insts[cache]
+            .params
+            .push(("lines".into(), (4 + rng.below(12)).to_string()));
+    }
+    let sink = b.add("crsp", "sink", 1);
+    b.spec.connect(src, "out", cache, "req");
+    b.spec.connect(cache, "resp", sink, "in");
+    if b.budget >= 1 && rng.percent(60) {
+        let mem = b.add("mem", "memory", 1);
+        b.spec.insts[mem]
+            .params
+            .push(("lat".into(), (1 + rng.below(3)).to_string()));
+        b.spec.connect(cache, "lower_req", mem, "req");
+        b.spec.connect(mem, "resp", cache, "lower_resp");
+    }
+    if rng.percent(cfg.collector_pct) {
+        b.spec.collectors.push(CollectorSpec {
+            inst: cache,
+            event: "miss",
+            code: "misses = misses + 1;",
+        });
+    }
+}
+
+/// A branch-predictor cluster: lookups and updates in, predictions out, and
+/// (sometimes) a connected `branch_target` port that flips `has_btb`.
+fn gen_bp_cluster(rng: &mut SplitMix64, b: &mut Builder) {
+    let lookup = b.add("blu", "source", 1);
+    b.spec.insts[lookup]
+        .params
+        .push(("start".into(), rng.range_i64(0, 32).to_string()));
+    let bp = b.add("bp", "bp", 1);
+    let sink = b.add("bpd", "sink", 1);
+    b.spec.connect(lookup, "out", bp, "lookup");
+    b.spec.connect(bp, "pred", sink, "in");
+    if b.budget >= 2 && rng.percent(50) {
+        let upd = b.add("bup", "source", 1);
+        b.spec.insts[upd]
+            .params
+            .push(("start".into(), rng.range_i64(0, 32).to_string()));
+        b.spec.connect(upd, "out", bp, "update");
+    }
+    if b.budget >= 1 && rng.percent(50) {
+        let tgt = b.add("btg", "sink", 1);
+        b.spec.connect(bp, "branch_target", tgt, "in");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        for seed in 0..50 {
+            let a = generate(seed, &cfg);
+            let b = generate(seed, &cfg);
+            assert_eq!(a, b);
+            assert_eq!(a.render(), b.render());
+        }
+    }
+
+    #[test]
+    fn respects_instance_budget() {
+        let cfg = GenConfig {
+            max_insts: 10,
+            ..GenConfig::default()
+        };
+        for seed in 0..100 {
+            let spec = generate(seed, &cfg);
+            // The budget is a soft cap: the last element of a chain plus its
+            // terminal may overshoot by the largest single element (delayn).
+            assert!(
+                spec.leaf_estimate() <= cfg.max_insts + 4,
+                "seed {seed}: {} leaves",
+                spec.leaf_estimate()
+            );
+            assert!(spec.insts.len() >= 2, "seed {seed} produced a trivial spec");
+        }
+    }
+
+    #[test]
+    fn without_insts_drops_dangling_references() {
+        let mut spec = Spec::empty();
+        let a = spec.inst("a", "source");
+        let b = spec.inst("b", "tee");
+        let c = spec.inst("c", "sink");
+        spec.connect(a, "out", b, "in");
+        spec.connect(b, "out", c, "in");
+        spec.pins.push(Pin {
+            inst: a,
+            port: "out",
+            ty: "int",
+        });
+        let shrunk = spec.without_insts(&[b]);
+        assert_eq!(shrunk.insts.len(), 2);
+        assert!(shrunk.conns.is_empty(), "both conns touched b");
+        assert_eq!(shrunk.pins.len(), 1);
+        assert_eq!(shrunk.pins[0].inst, 0);
+    }
+}

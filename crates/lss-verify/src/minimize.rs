@@ -1,0 +1,163 @@
+//! Delta-debugging minimizer for fuzz findings.
+//!
+//! Given a generated [`Spec`] whose rendered program exhibits a
+//! discrepancy, shrink it while preserving the *same class* of
+//! discrepancy (matched by [`Discrepancy::tag`]): first classic `ddmin`
+//! over the instance set (removing an instance also drops its dangling
+//! connections, pins, and collectors), then a greedy pass over the
+//! surviving connections and collectors. The result is written as a
+//! self-describing `.lss` repro under `target/verify/` so a failure found
+//! at seed N survives the fuzzing process that found it.
+
+use std::path::{Path, PathBuf};
+
+use crate::difftest::{difftest_source, DiffOptions, Discrepancy};
+use crate::gen::Spec;
+
+/// Outcome of a minimization run.
+#[derive(Debug)]
+pub struct Minimized {
+    /// The smallest spec still exhibiting the discrepancy.
+    pub spec: Spec,
+    /// The discrepancy as exhibited by the minimized spec.
+    pub discrepancy: Discrepancy,
+    /// Number of candidate programs compiled and diffed while shrinking.
+    pub tests_run: usize,
+}
+
+struct Shrinker<'a> {
+    opts: &'a DiffOptions,
+    tag: &'static str,
+    tests_run: usize,
+}
+
+impl Shrinker<'_> {
+    /// Does `spec` still exhibit a discrepancy of the original class?
+    fn check(&mut self, spec: &Spec) -> Option<Discrepancy> {
+        self.tests_run += 1;
+        match difftest_source("minimize.lss", &spec.render(), self.opts) {
+            Ok(Some(d)) if d.tag() == self.tag => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// Classic ddmin over instance indices: try removing complements at
+/// doubling granularity until removing any single instance breaks the
+/// repro.
+fn ddmin_instances(shrinker: &mut Shrinker<'_>, spec: &Spec) -> (Spec, Option<Discrepancy>) {
+    let mut current = spec.clone();
+    let mut last = None;
+    let mut n = 2usize;
+    while current.insts.len() >= 2 {
+        let len = current.insts.len();
+        let chunk = len.div_ceil(n);
+        let mut shrunk = false;
+        for start in (0..len).step_by(chunk.max(1)) {
+            // Remove the chunk [start, start+chunk): keep the complement.
+            let remove: Vec<usize> = (start..(start + chunk).min(len)).collect();
+            if remove.len() == len {
+                continue;
+            }
+            let candidate = current.without_insts(&remove);
+            if let Some(d) = shrinker.check(&candidate) {
+                current = candidate;
+                last = Some(d);
+                n = 2.max(n - 1);
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            if chunk <= 1 {
+                break;
+            }
+            n = (n * 2).min(current.insts.len());
+        }
+    }
+    (current, last)
+}
+
+/// Greedy removal over a list of shrink candidates produced by `variants`.
+fn greedy<F>(
+    shrinker: &mut Shrinker<'_>,
+    mut current: Spec,
+    mut last: Option<Discrepancy>,
+    count: fn(&Spec) -> usize,
+    variants: F,
+) -> (Spec, Option<Discrepancy>)
+where
+    F: Fn(&Spec, usize) -> Spec,
+{
+    let mut idx = 0;
+    while idx < count(&current) {
+        let candidate = variants(&current, idx);
+        if let Some(d) = shrinker.check(&candidate) {
+            current = candidate;
+            last = Some(d);
+            // Same index now names the next element; do not advance.
+        } else {
+            idx += 1;
+        }
+    }
+    (current, last)
+}
+
+/// Shrinks `spec` to a (1-minimal over instances) repro of `original`'s
+/// discrepancy class.
+///
+/// The returned spec always still exhibits the discrepancy; if no shrink
+/// step succeeds the original spec and discrepancy are returned unchanged.
+pub fn minimize(spec: &Spec, original: &Discrepancy, opts: &DiffOptions) -> Minimized {
+    let mut shrinker = Shrinker {
+        opts,
+        tag: original.tag(),
+        tests_run: 0,
+    };
+    let (current, last) = ddmin_instances(&mut shrinker, spec);
+    let (current, last) = greedy(
+        &mut shrinker,
+        current,
+        last,
+        |s| s.conns.len(),
+        |s, i| s.without_conn(i),
+    );
+    let (current, last) = greedy(
+        &mut shrinker,
+        current,
+        last,
+        |s| s.collectors.len(),
+        |s, i| s.without_collector(i),
+    );
+    Minimized {
+        spec: current,
+        discrepancy: last.unwrap_or_else(|| original.clone()),
+        tests_run: shrinker.tests_run,
+    }
+}
+
+/// Writes a self-describing repro file for a minimized finding.
+///
+/// The file is a valid `.lss` program; the discrepancy report rides along
+/// as a comment header, so replaying is just `lssc difftest <file>`.
+///
+/// # Errors
+///
+/// Propagates I/O errors creating `dir` or writing the file.
+pub fn write_repro(dir: &Path, minimized: &Minimized, item_seed: u64) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!(
+        "repro_seed{item_seed}_{}.lss",
+        minimized.discrepancy.tag()
+    ));
+    let mut text = String::new();
+    text.push_str("// Minimized fuzz repro. Replay with: lssc difftest <this file>\n");
+    for line in minimized.discrepancy.to_string().lines() {
+        text.push_str("// ");
+        text.push_str(line);
+        text.push('\n');
+    }
+    text.push_str(&minimized.spec.render());
+    std::fs::write(&path, text)?;
+    Ok(path)
+}

@@ -1,0 +1,112 @@
+//! Golden trace regression tests for the six Table 3 models.
+//!
+//! Each model is compiled, simulated for a fixed number of cycles under
+//! the static scheduler, and its full observable state (ports, runtime
+//! variables, collector tables) is rendered after every cycle. The
+//! rendered trace must match the checked-in snapshot under
+//! `tests/golden/` byte-for-byte, pinning the engine's end-to-end
+//! semantics across refactors.
+//!
+//! To regenerate after an intentional semantic change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_traces
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use lss_models::runner::build_sim;
+use lss_models::{compile_model, models};
+use lss_sim::Scheduler;
+
+const TRACE_CYCLES: u64 = 8;
+
+fn golden_path(id: char) -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden"))
+        .join(format!("model_{}.trace", id.to_ascii_lowercase()))
+}
+
+fn render_trace(id: char) -> String {
+    let model = lss_models::model(id).expect("known model id");
+    let elab = compile_model(model).expect("model compiles");
+    let mut sim = build_sim(&elab.netlist, Scheduler::Static).expect("simulator builds");
+    let mut out = String::new();
+    for cycle in 0..TRACE_CYCLES {
+        sim.step().expect("cycle steps cleanly");
+        out.push_str(&format!("cycle {cycle}\n"));
+        for line in sim.state_lines() {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn check_model(id: char) {
+    let trace = render_trace(id);
+    let path = golden_path(id);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &trace).unwrap();
+        return;
+    }
+    let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden trace {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    if trace != golden {
+        let diff: Vec<String> = golden
+            .lines()
+            .zip(trace.lines())
+            .enumerate()
+            .filter(|(_, (g, t))| g != t)
+            .take(10)
+            .map(|(i, (g, t))| format!("line {}: golden `{g}` vs actual `{t}`", i + 1))
+            .collect();
+        panic!(
+            "model {id} trace diverged from {} ({} vs {} lines):\n{}",
+            path.display(),
+            golden.lines().count(),
+            trace.lines().count(),
+            diff.join("\n")
+        );
+    }
+}
+
+#[test]
+fn golden_covers_all_models() {
+    assert_eq!(models().len(), 6);
+}
+
+#[test]
+fn model_a_trace_matches_golden() {
+    check_model('A');
+}
+
+#[test]
+fn model_b_trace_matches_golden() {
+    check_model('B');
+}
+
+#[test]
+fn model_c_trace_matches_golden() {
+    check_model('C');
+}
+
+#[test]
+fn model_d_trace_matches_golden() {
+    check_model('D');
+}
+
+#[test]
+fn model_e_trace_matches_golden() {
+    check_model('E');
+}
+
+#[test]
+fn model_f_trace_matches_golden() {
+    check_model('F');
+}
