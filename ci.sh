@@ -53,9 +53,37 @@ rm -rf target/verify
 ./target/release/lssc fuzz --seed 1 --iters 200
 ./target/release/lssc fuzz --seed 2 --iters 200 --types-only
 ./target/release/lssc fuzz --seed 3 --iters 200 --sim-only
+
+echo "==> robustness: adversarial crash-fuzz smoke (fixed seed, docs/ROBUSTNESS.md)"
+./target/release/lssc fuzz --adversarial --seed 1 --iters 200
+
 if [ -d target/verify ] && [ -n "$(ls -A target/verify)" ]; then
   echo "verify: fuzz left repro artifacts in target/verify:" >&2
   ls target/verify >&2
+  exit 1
+fi
+
+echo "==> robustness: cache fault injection + exit-code contract + invalid corpus"
+cargo test -q -p lss-driver --test cache_faults
+cargo test -q -p liberty --test cli
+cargo test -q --test corpus_invalid_replay
+
+echo "==> robustness: budget-exhaustion smoke (self-instantiation must exit 3 within 5s)"
+selfinst="$(mktemp /tmp/lss-ci-selfinst.XXXXXX.lss)"
+printf 'module m { instance child:m; };\ninstance root:m;\n' > "${selfinst}"
+set +e
+smoke_err="$(timeout 5 ./target/release/lssc --no-cache "${selfinst}" 2>&1)"
+smoke_code=$?
+set -e
+rm -f "${selfinst}"
+if [ "${smoke_code}" -ne 3 ]; then
+  echo "robustness: expected exit 3 from the self-instantiating spec, got ${smoke_code}" >&2
+  echo "${smoke_err}" >&2
+  exit 1
+fi
+if ! grep -q 'LSS4' <<<"${smoke_err}"; then
+  echo "robustness: budget exhaustion missing its LSS4xx code:" >&2
+  echo "${smoke_err}" >&2
   exit 1
 fi
 
@@ -64,5 +92,8 @@ echo "==> verify: corpus replay through both oracles"
 
 echo "==> verify: BENCH_verify.json (generator + difftest throughput)"
 cargo run --release -q -p bench --bin verify
+
+echo "==> robustness: BENCH_robustness.json (budget overhead < 3%, fuzz throughput)"
+cargo run --release -q -p bench --bin robustness
 
 echo "CI OK"

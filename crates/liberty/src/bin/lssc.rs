@@ -47,6 +47,11 @@
 //!   --out DIR          where minimized repros go (default target/verify)
 //!   --types-only       run only the exhaustive type-solver oracle
 //!   --sim-only         run only the reference-simulator oracle
+//!   --adversarial      crash-fuzz with hostile inputs (mutated bytes,
+//!                      shuffled tokens, malformed programs) instead of
+//!                      the semantic oracles; checks that the compiler
+//!                      never panics, terminates within --deadline-ms
+//!                      (default 2000), and locates every parse error
 //!   --mutate M         inject a known scheduler bug into the reference
 //!                      (reversed | single-pass); for exercising the
 //!                      harness, not for real verification
@@ -87,6 +92,20 @@
 //!   --timings          print one JSON line of per-stage timings
 //!   --no-cache / --cache-dir DIR   as for build
 //!   --naive-inference  solve types without the paper's heuristics
+//!
+//! Resource-budget options (accepted by the default command, `build`, and
+//! `check`; each maps to one `LSS4xx` diagnostic, see docs/ROBUSTNESS.md):
+//!   --deadline-ms N    wall-clock budget for the whole compile (LSS401)
+//!   --max-steps N      elaboration statement fuel (LSS402)
+//!   --max-instances N  instance cap (LSS403)
+//!   --max-depth N      module-instantiation depth cap (LSS404)
+//!   --solver-steps N   type-inference unification-step cap (LSS405)
+//!   --expansion-cap N  disjunct-combination cap per scheme (LSS406)
+//!   --max-netlist N    elaborated netlist size cap (LSS407)
+//!
+//! Exit codes: 0 success, 1 findings or compile error, 2 usage error,
+//! 3 resource budget exhausted (an `LSS4xx` diagnostic was emitted),
+//! 4 internal compiler error (a crash report lands under `target/ice/`).
 //! ```
 
 use std::path::PathBuf;
@@ -94,7 +113,8 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use liberty::{AnalysisConfig, Driver, Lse, Scheduler, StageTimings};
+use liberty::types::BudgetCaps;
+use liberty::{AnalysisConfig, Driver, DriverError, Lse, Scheduler, StageTimings};
 use lss_analyze::{to_jsonl, to_sarif, to_text, Code};
 use lss_netlist::{dump, reuse_stats};
 
@@ -158,6 +178,83 @@ impl CacheOpts {
     }
 }
 
+/// Resource-budget flags, shared by every compiling subcommand. Each
+/// flag maps to one `LSS4xx` diagnostic code (see docs/ROBUSTNESS.md);
+/// exhaustion exits with code 3 instead of 1.
+#[derive(Clone, Default)]
+struct BudgetFlags {
+    deadline_ms: Option<u64>,     // LSS401
+    max_steps: Option<u64>,       // LSS402
+    max_instances: Option<usize>, // LSS403
+    max_depth: Option<u32>,       // LSS404
+    solver_steps: Option<u64>,    // LSS405
+    expansion_cap: Option<usize>, // LSS406
+    max_netlist: Option<u64>,     // LSS407
+}
+
+impl BudgetFlags {
+    /// Consumes `arg` (and its value from `args`) if it is a budget flag;
+    /// returns `false` for anything else, leaving `args` untouched.
+    fn try_parse(&mut self, arg: &str, args: &mut impl Iterator<Item = String>) -> bool {
+        fn num<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>) -> T {
+            match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => n,
+                None => usage(),
+            }
+        }
+        match arg {
+            "--deadline-ms" => self.deadline_ms = Some(num(args)),
+            "--max-steps" => self.max_steps = Some(num(args)),
+            "--max-instances" => self.max_instances = Some(num(args)),
+            "--max-depth" => self.max_depth = Some(num(args)),
+            "--solver-steps" => self.solver_steps = Some(num(args)),
+            "--expansion-cap" => self.expansion_cap = Some(num(args)),
+            "--max-netlist" => self.max_netlist = Some(num(args)),
+            _ => return false,
+        }
+        true
+    }
+
+    /// Applies the flags to a session: fuel caps go into the stage
+    /// options, wall-clock/depth/size caps arm the shared budget handle.
+    /// Call after any `--naive-inference` solver replacement.
+    fn apply(&self, driver: &mut Driver) {
+        if let Some(n) = self.max_steps {
+            driver.options.elab.max_steps = n;
+        }
+        if let Some(n) = self.max_instances {
+            driver.options.elab.max_instances = n;
+        }
+        if let Some(n) = self.max_depth {
+            driver.options.elab.max_depth = n as usize;
+        }
+        if let Some(n) = self.solver_steps {
+            driver.options.solver.step_budget = Some(n);
+        }
+        if let Some(n) = self.expansion_cap {
+            driver.options.solver.expansion_cap = n;
+        }
+        let caps = BudgetCaps {
+            deadline: self.deadline_ms.map(std::time::Duration::from_millis),
+            max_depth: self.max_depth,
+            max_netlist_items: self.max_netlist,
+        };
+        if caps != BudgetCaps::default() {
+            driver.set_budget(caps);
+        }
+    }
+}
+
+/// Maps a pipeline failure to the documented exit code: 3 when a resource
+/// budget ran out (the diagnostics carry an `LSS4xx` code), 1 otherwise.
+fn failure_exit(e: &DriverError) -> ExitCode {
+    if e.is_budget_exhausted() {
+        ExitCode::from(3)
+    } else {
+        ExitCode::from(1)
+    }
+}
+
 /// One `--timings` JSON line: cache outcome plus per-stage milliseconds.
 fn timings_json(file: &str, cache: &str, timings: &StageTimings) -> String {
     let mut line = format!(
@@ -201,6 +298,7 @@ struct Options {
     lint: bool,
     timings: bool,
     cache: CacheOpts,
+    budget: BudgetFlags,
     watch: Vec<String>,
     vcd: Option<String>,
     wave: bool,
@@ -211,18 +309,24 @@ fn usage() -> ! {
         "usage: lssc [--lib FILE]... [--no-corelib] [--model A-F] [--run N] [--run-model]\n\
          \x20           [--scheduler static|dynamic] [--dump-tree] [--dump-dot] [--stats]\n\
          \x20           [--timings] [--no-cache] [--cache-dir DIR]\n\
-         \x20           [--naive-inference] FILE.lss...\n\
+         \x20           [--naive-inference] [BUDGET-FLAGS] FILE.lss...\n\
          \x20      lssc build [--jobs N] [--lib FILE]... [--no-corelib] [--timings]\n\
-         \x20           [--no-cache] [--cache-dir DIR] [--naive-inference] FILE.lss...\n\
+         \x20           [--no-cache] [--cache-dir DIR] [--naive-inference]\n\
+         \x20           [BUDGET-FLAGS] FILE.lss...\n\
          \x20      lssc check [--lib FILE]... [--no-corelib] [--model A-F]\n\
          \x20           [--format text|json|sarif] [--deny SEL]... [--allow SEL]...\n\
-         \x20           [--no-cache] [--cache-dir DIR]\n\
-         \x20           [--output FILE] [--list-codes] [--naive-inference] FILE.lss...\n\
+         \x20           [--no-cache] [--cache-dir DIR] [--output FILE] [--list-codes]\n\
+         \x20           [--naive-inference] [BUDGET-FLAGS] FILE.lss...\n\
          \x20      lssc fuzz [--seed N] [--iters N] [--max-insts N] [--cycles N]\n\
-         \x20           [--out DIR] [--types-only | --sim-only]\n\
-         \x20           [--mutate reversed|single-pass]\n\
+         \x20           [--out DIR] [--types-only | --sim-only] [--adversarial]\n\
+         \x20           [--deadline-ms N] [--mutate reversed|single-pass]\n\
          \x20      lssc difftest [--cycles N] [--mutate reversed|single-pass]\n\
-         \x20           FILE.lss..."
+         \x20           FILE.lss...\n\
+         BUDGET-FLAGS: [--deadline-ms N] [--max-steps N] [--max-instances N]\n\
+         \x20           [--max-depth N] [--solver-steps N] [--expansion-cap N]\n\
+         \x20           [--max-netlist N]\n\
+         exit codes: 0 ok, 1 findings/compile error, 2 usage,\n\
+         \x20           3 resource budget exhausted, 4 internal compiler error"
     );
     std::process::exit(2);
 }
@@ -244,6 +348,7 @@ struct CheckOptions {
     config: AnalysisConfig,
     output: Option<String>,
     cache: CacheOpts,
+    budget: BudgetFlags,
 }
 
 /// Expands a `--deny` / `--allow` selector, exiting with usage on nonsense.
@@ -285,6 +390,7 @@ fn parse_check_args(args: impl Iterator<Item = String>) -> CheckOptions {
         config: AnalysisConfig::default(),
         output: None,
         cache: CacheOpts::default(),
+        budget: BudgetFlags::default(),
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -327,6 +433,7 @@ fn parse_check_args(args: impl Iterator<Item = String>) -> CheckOptions {
             },
             "--naive-inference" => opts.naive = true,
             "--help" | "-h" => usage(),
+            other if opts.budget.try_parse(other, &mut args) => {}
             other if other.starts_with('-') => {
                 eprintln!("unknown option {other}");
                 usage();
@@ -359,6 +466,7 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
     if opts.naive {
         lse.options.solver = liberty::SolverConfig::naive().with_budget(50_000_000);
     }
+    opts.budget.apply(&mut lse);
     if let Some(id) = opts.model {
         let Some(model) = lss_models::model(id) else {
             eprintln!("no such model `{id}` (expected A-F)");
@@ -389,7 +497,7 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::from(1);
+            return failure_exit(&e);
         }
     };
     print_warnings(&lse);
@@ -431,6 +539,7 @@ struct BuildOptions {
     naive: bool,
     timings: bool,
     cache: CacheOpts,
+    budget: BudgetFlags,
 }
 
 fn parse_build_args(args: impl Iterator<Item = String>) -> BuildOptions {
@@ -442,6 +551,7 @@ fn parse_build_args(args: impl Iterator<Item = String>) -> BuildOptions {
         naive: false,
         timings: false,
         cache: CacheOpts::default(),
+        budget: BudgetFlags::default(),
     };
     let mut args = args;
     while let Some(arg) = args.next() {
@@ -463,6 +573,7 @@ fn parse_build_args(args: impl Iterator<Item = String>) -> BuildOptions {
             },
             "--naive-inference" => opts.naive = true,
             "--help" | "-h" => usage(),
+            other if opts.budget.try_parse(other, &mut args) => {}
             other if other.starts_with('-') => {
                 eprintln!("unknown option {other}");
                 usage();
@@ -481,6 +592,8 @@ struct BuildReport {
     summary: Result<String, String>,
     timings: Option<String>,
     warnings: Vec<String>,
+    /// True when the failure was budget exhaustion (drives exit code 3).
+    budget_exhausted: bool,
 }
 
 /// Compiles one file in its own driver session.
@@ -492,6 +605,7 @@ fn build_one(file: &str, libs: &[(String, String)], opts: &BuildOptions) -> Buil
                 summary: Err(format!("cannot read {file}: {e}")),
                 timings: None,
                 warnings: Vec::new(),
+                budget_exhausted: false,
             }
         }
     };
@@ -504,10 +618,12 @@ fn build_one(file: &str, libs: &[(String, String)], opts: &BuildOptions) -> Buil
     if opts.naive {
         driver.options.solver = liberty::SolverConfig::naive().with_budget(50_000_000);
     }
+    opts.budget.apply(&mut driver);
     for (name, text) in libs {
         driver.add_library(name, text);
     }
     driver.add_source(file, &text);
+    let mut budget_exhausted = false;
     let (summary, cache_name) = match driver.elaborate() {
         Ok(elaborated) => (
             Ok(format!(
@@ -518,10 +634,13 @@ fn build_one(file: &str, libs: &[(String, String)], opts: &BuildOptions) -> Buil
             )),
             elaborated.cache.name(),
         ),
-        Err(e) => (
-            Err(format!("{file}: error in stage `{}`\n{e}", e.stage)),
-            "none",
-        ),
+        Err(e) => {
+            budget_exhausted = e.is_budget_exhausted();
+            (
+                Err(format!("{file}: error in stage `{}`\n{e}", e.stage)),
+                "none",
+            )
+        }
     };
     BuildReport {
         summary,
@@ -529,6 +648,7 @@ fn build_one(file: &str, libs: &[(String, String)], opts: &BuildOptions) -> Buil
             .timings
             .then(|| timings_json(file, cache_name, driver.timings())),
         warnings: driver.warnings().to_vec(),
+        budget_exhausted,
     }
 }
 
@@ -568,6 +688,7 @@ fn run_build(args: impl Iterator<Item = String>) -> ExitCode {
     });
 
     let mut failed = 0usize;
+    let mut any_budget = false;
     for slot in &reports {
         let report = slot.lock().unwrap().take().expect("worker filled slot");
         for warning in &report.warnings {
@@ -578,6 +699,7 @@ fn run_build(args: impl Iterator<Item = String>) -> ExitCode {
             Err(line) => {
                 eprintln!("{line}");
                 failed += 1;
+                any_budget |= report.budget_exhausted;
             }
         }
         if let Some(line) = report.timings {
@@ -590,7 +712,11 @@ fn run_build(args: impl Iterator<Item = String>) -> ExitCode {
         failed,
         workers
     );
-    if failed > 0 {
+    // Budget exhaustion is the more specific failure: if any file hit a
+    // cap, the batch exits 3 so callers know a bigger budget may fix it.
+    if any_budget {
+        ExitCode::from(3)
+    } else if failed > 0 {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
@@ -617,6 +743,8 @@ struct FuzzCliOptions {
     out: PathBuf,
     types_only: bool,
     sim_only: bool,
+    adversarial: bool,
+    deadline_ms: u64,
     mutation: lss_verify::Mutation,
 }
 
@@ -629,6 +757,8 @@ fn parse_fuzz_args(args: impl Iterator<Item = String>) -> FuzzCliOptions {
         out: PathBuf::from("target/verify"),
         types_only: false,
         sim_only: false,
+        adversarial: false,
+        deadline_ms: 2000,
         mutation: lss_verify::Mutation::None,
     };
     let mut args = args;
@@ -656,6 +786,11 @@ fn parse_fuzz_args(args: impl Iterator<Item = String>) -> FuzzCliOptions {
             },
             "--types-only" => opts.types_only = true,
             "--sim-only" => opts.sim_only = true,
+            "--adversarial" => opts.adversarial = true,
+            "--deadline-ms" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => opts.deadline_ms = n,
+                _ => usage(),
+            },
             "--mutate" => opts.mutation = parse_mutation(args.next()),
             "--help" | "-h" => usage(),
             other => {
@@ -671,9 +806,55 @@ fn parse_fuzz_args(args: impl Iterator<Item = String>) -> FuzzCliOptions {
     opts
 }
 
+/// The `lssc fuzz --adversarial` mode: hostile inputs against the
+/// robustness contract (no panics, bounded wall-clock, located errors).
+fn run_adversarial_cmd(opts: &FuzzCliOptions) -> ExitCode {
+    let cfg = lss_verify::AdversarialConfig {
+        seed: opts.seed,
+        iters: opts.iters,
+        deadline: std::time::Duration::from_millis(opts.deadline_ms),
+        out_dir: opts.out.clone(),
+    };
+    let report = lss_verify::run_adversarial(&cfg, |line| eprintln!("{line}"));
+    eprintln!(
+        "fuzz --adversarial: seed {} — {} hostile input(s), {} compiled, {} rejected, \
+         {} budget stop(s), {} contract violation(s)",
+        cfg.seed,
+        report.iters,
+        report.compiled,
+        report.rejected,
+        report.budget_stops,
+        report.findings.len()
+    );
+    for finding in &report.findings {
+        eprintln!(
+            "violation at iter {}: {} — {}",
+            finding.iter, finding.kind, finding.detail
+        );
+        eprintln!(
+            "  minimized {} -> {} byte(s){}",
+            finding.original_len,
+            finding.minimized_len,
+            finding
+                .repro
+                .as_ref()
+                .map(|p| format!("; repro: {}", p.display()))
+                .unwrap_or_default()
+        );
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
 /// The `lssc fuzz` subcommand: generate, check both oracles, minimize.
 fn run_fuzz_cmd(args: impl Iterator<Item = String>) -> ExitCode {
     let opts = parse_fuzz_args(args);
+    if opts.adversarial {
+        return run_adversarial_cmd(&opts);
+    }
     let mut gen = lss_verify::GenConfig {
         max_insts: opts.max_insts,
         ..lss_verify::GenConfig::default()
@@ -813,6 +994,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
         lint: false,
         timings: false,
         cache: CacheOpts::default(),
+        budget: BudgetFlags::default(),
         watch: Vec::new(),
         vcd: None,
         wave: false,
@@ -862,6 +1044,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
             "--wave" => opts.wave = true,
             "--naive-inference" => opts.naive = true,
             "--help" | "-h" => usage(),
+            other if opts.budget.try_parse(other, &mut args) => {}
             other if other.starts_with('-') => {
                 eprintln!("unknown option {other}");
                 usage();
@@ -875,7 +1058,126 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
     opts
 }
 
+/// Where ICE crash reports land: `$LSS_ICE_DIR` (set by tests) or
+/// `target/ice/` relative to the working directory.
+fn ice_dir() -> PathBuf {
+    std::env::var_os("LSS_ICE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/ice"))
+}
+
+/// A printable message from a panic payload.
+fn payload_str(payload: &dyn std::any::Any) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Builds the replayable crash report: version, full command line, panic
+/// message and backtrace, plus inline copies of every `.lss` source named
+/// on the command line so the report reproduces without the working tree.
+fn ice_report(message: &str, location: &str) -> String {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut report = format!(
+        "lssc internal compiler error (ICE)\nversion: {}\ncommand: {}\npanic: {message}\n",
+        env!("CARGO_PKG_VERSION"),
+        argv.join(" ")
+    );
+    if !location.is_empty() {
+        report.push_str(&format!("at: {location}\n"));
+    }
+    report.push_str(&format!(
+        "backtrace:\n{}\n",
+        std::backtrace::Backtrace::force_capture()
+    ));
+    for arg in argv.iter().skip(1).filter(|a| a.ends_with(".lss")) {
+        match std::fs::read_to_string(arg) {
+            Ok(text) => report.push_str(&format!("--- source: {arg} ---\n{text}\n")),
+            Err(e) => report.push_str(&format!("--- source: {arg} (unreadable: {e}) ---\n")),
+        }
+    }
+    report
+}
+
+/// Installs the panic hook that writes an ICE report. The hook fires
+/// before the `catch_unwind` boundary in `main` maps the panic to exit
+/// code 4. (The adversarial fuzzer temporarily silences this hook while
+/// it feeds the compiler inputs that are *supposed* to be survivable.)
+fn install_ice_hook() {
+    std::panic::set_hook(Box::new(|info| {
+        use std::io::Write as _;
+
+        let message = payload_str(info.payload());
+        // A panic raised while *printing* (stdout/stderr closed under us,
+        // e.g. `lssc ... | head`) is not a compiler bug: no report, no
+        // banner. Attempting to print here would panic again and abort
+        // the process before `catch_unwind` can map it to exit code 4.
+        if is_broken_pipe(&message) {
+            return;
+        }
+        let location = info.location().map(|l| l.to_string()).unwrap_or_default();
+        let dir = ice_dir();
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let path = dir.join(format!("ice-{}-{nanos}.txt", std::process::id()));
+        let wrote = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(&path, ice_report(&message, &location)));
+        // `write!` + ignored results, not `eprintln!`: the hook must never
+        // panic, whatever state stderr is in.
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "error: internal compiler error: {message}");
+        if !location.is_empty() {
+            let _ = writeln!(err, "  at {location}");
+        }
+        let _ = match wrote {
+            Ok(()) => writeln!(
+                err,
+                "note: this is a bug in lssc, not in your specification; \
+                 a replayable crash report was written to {}",
+                path.display()
+            ),
+            Err(e) => writeln!(
+                err,
+                "note: could not write the crash report to {}: {e}",
+                path.display()
+            ),
+        };
+    }));
+}
+
 fn main() -> ExitCode {
+    install_ice_hook();
+    let outcome = std::panic::catch_unwind(|| {
+        // Deliberate, test-only crash proving the ICE boundary end to end
+        // (report written, exit code 4) without a real compiler bug.
+        if std::env::var_os("LSS_TEST_ICE").is_some_and(|v| v == "1") {
+            panic!("deliberate internal error (LSS_TEST_ICE=1)");
+        }
+        real_main()
+    });
+    match outcome {
+        Ok(code) => code,
+        // A print panic from a closed stdout/stderr is the reader going
+        // away, not an ICE: exit like a SIGPIPE death (128 + 13), the code
+        // shell pipelines already expect from `lssc ... | head`.
+        Err(payload) if is_broken_pipe(&payload_str(&*payload)) => ExitCode::from(141),
+        Err(_) => ExitCode::from(4),
+    }
+}
+
+/// Recognizes the runtime's EPIPE print panics (`println!`/`eprintln!`
+/// against a closed pipe), which must never be reported as compiler bugs.
+fn is_broken_pipe(message: &str) -> bool {
+    message.contains("Broken pipe") || message.contains("failed printing to")
+}
+
+fn real_main() -> ExitCode {
     let mut argv = std::env::args().skip(1).peekable();
     match argv.peek().map(String::as_str) {
         Some("check") => {
@@ -913,6 +1215,7 @@ fn main() -> ExitCode {
     if opts.naive {
         lse.options.solver = liberty::SolverConfig::naive().with_budget(50_000_000);
     }
+    opts.budget.apply(&mut lse);
     lse.sim_options.scheduler = opts.scheduler;
 
     let timings_name = if let Some(id) = opts.model {
@@ -965,7 +1268,7 @@ fn main() -> ExitCode {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::from(1);
+            return failure_exit(&e);
         }
     };
     print_warnings(&lse);
@@ -999,7 +1302,7 @@ fn main() -> ExitCode {
             Ok(a) => a,
             Err(e) => {
                 eprintln!("{e}");
-                return ExitCode::from(1);
+                return failure_exit(&e);
             }
         };
         if analyzed.analysis.is_clean() {

@@ -718,6 +718,253 @@ fn explicit_cache_dir_at_a_file_is_rejected() {
     let _ = std::fs::remove_file(&model);
 }
 
+// ---------------------------------------------------------------------------
+// Exit-code contract (docs/ROBUSTNESS.md): 0 ok, 1 findings/compile error,
+// 2 usage, 3 budget exhausted, 4 internal compiler error.
+// ---------------------------------------------------------------------------
+
+/// A module that instantiates itself: elaboration recurses until the
+/// depth cap (LSS404) trips. The default cap must stop it promptly.
+const SELF_INSTANTIATING: &str = "module m { instance child:m; };\ninstance root:m;\n";
+
+/// An unbounded elaboration loop: only the wall-clock deadline (LSS401)
+/// can stop it.
+const SPIN: &str = "var i = 0;\nwhile (true) { i = i + 1; }\n";
+
+fn write_source(name: &str, text: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("lssc-cli-{}-{name}.lss", std::process::id()));
+    std::fs::write(&path, text).expect("write temp source");
+    path
+}
+
+#[test]
+fn exit_contract_clean_build_is_exit_0_and_compile_error_is_exit_1() {
+    let good = write_model("exit-ok");
+    let out = lssc().arg("--no-cache").arg(&good).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(0));
+
+    let bad = write_source("exit-parse", "instance x:");
+    let out = lssc().arg("--no-cache").arg(&bad).output().expect("spawn");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "{stderr}");
+    assert!(stderr.contains("error"), "{stderr}");
+    let _ = std::fs::remove_file(&good);
+    let _ = std::fs::remove_file(&bad);
+}
+
+#[test]
+fn exit_contract_usage_errors_are_exit_2() {
+    for bad in [
+        &["--definitely-not-a-flag"][..],
+        &["--deadline-ms"][..],
+        &["--deadline-ms", "soon"][..],
+        &["--max-depth", "-3"][..],
+        &["build", "--max-steps", "many"][..],
+        &["check", "--max-instances"][..],
+    ] {
+        let out = lssc().args(bad).output().expect("spawn lssc");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(2), "{bad:?}:\n{stderr}");
+        assert!(
+            stderr.contains("usage:"),
+            "{bad:?} missing usage:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn exit_contract_depth_exhaustion_is_exit_3_with_lss404() {
+    let model = write_source("exit-depth", SELF_INSTANTIATING);
+    let start = std::time::Instant::now();
+    let out = lssc()
+        .args(["--no-cache"])
+        .arg(&model)
+        .output()
+        .expect("spawn lssc");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "self-instantiation must be stopped promptly"
+    );
+    assert_eq!(out.status.code(), Some(3), "{stderr}");
+    assert!(stderr.contains("LSS404"), "{stderr}");
+    assert!(
+        stderr.contains("--max-depth"),
+        "missing raise-the-limit hint:\n{stderr}"
+    );
+    // The diagnostic points at real source, not a synthetic span.
+    assert!(stderr.contains("exit-depth"), "missing span:\n{stderr}");
+    let _ = std::fs::remove_file(&model);
+}
+
+#[test]
+fn exit_contract_deadline_exhaustion_is_exit_3_with_lss401() {
+    let model = write_source("exit-deadline", SPIN);
+    let out = lssc()
+        .args(["--no-cache", "--deadline-ms", "100"])
+        .arg(&model)
+        .output()
+        .expect("spawn lssc");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(3), "{stderr}");
+    assert!(stderr.contains("LSS401"), "{stderr}");
+    let _ = std::fs::remove_file(&model);
+}
+
+#[test]
+fn exit_contract_step_budget_applies_to_check_and_build() {
+    let model = write_source("exit-steps", SPIN);
+    let out = lssc()
+        .args(["check", "--max-steps", "10000"])
+        .arg(&model)
+        .output()
+        .expect("spawn lssc");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(3), "check:\n{stderr}");
+    assert!(stderr.contains("LSS402"), "check:\n{stderr}");
+
+    // In a batch, budget exhaustion (3) outranks a plain failure (1).
+    let bad = write_source("exit-steps-bad", "instance x:");
+    let out = lssc()
+        .args(["build", "--no-cache", "--max-steps", "10000"])
+        .arg(&model)
+        .arg(&bad)
+        .output()
+        .expect("spawn lssc");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(3), "build:\n{stderr}");
+    assert!(stderr.contains("LSS402"), "build:\n{stderr}");
+    let _ = std::fs::remove_file(&model);
+    let _ = std::fs::remove_file(&bad);
+}
+
+#[test]
+fn exit_contract_ice_is_exit_4_with_replayable_report() {
+    let model = write_model("exit-ice");
+    let ice_dir = temp_cache("ice");
+    let out = lssc()
+        .arg(&model)
+        .env("LSS_TEST_ICE", "1")
+        .env("LSS_ICE_DIR", &ice_dir)
+        .output()
+        .expect("spawn lssc");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(4), "{stderr}");
+    assert!(
+        stderr.contains("internal compiler error"),
+        "missing ICE banner:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("crash report"),
+        "missing report pointer:\n{stderr}"
+    );
+    // The report replays: command line, panic message, and inline sources.
+    let report = std::fs::read_dir(&ice_dir)
+        .expect("ice dir created")
+        .filter_map(Result::ok)
+        .find(|e| e.file_name().to_string_lossy().starts_with("ice-"))
+        .expect("crash report written")
+        .path();
+    let text = std::fs::read_to_string(&report).unwrap();
+    assert!(text.contains("command:"), "missing argv:\n{text}");
+    assert!(
+        text.contains("deliberate internal error"),
+        "missing panic message:\n{text}"
+    );
+    assert!(
+        text.contains("instance gen:source"),
+        "missing inline source snapshot:\n{text}"
+    );
+    let _ = std::fs::remove_dir_all(&ice_dir);
+    let _ = std::fs::remove_file(&model);
+}
+
+#[test]
+fn adversarial_fuzz_smoke_is_clean_and_counts_iters() {
+    let out_dir = temp_cache("fuzz-adversarial");
+    let out = lssc()
+        .args([
+            "fuzz",
+            "--adversarial",
+            "--seed",
+            "1",
+            "--iters",
+            "40",
+            "--deadline-ms",
+            "1500",
+            "--out",
+        ])
+        .arg(&out_dir)
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "adversarial run found violations\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("40 hostile input(s)"),
+        "missing summary:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("0 contract violation(s)"),
+        "missing clean verdict:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn injected_cache_faults_degrade_warm_builds_without_changing_output() {
+    let model = write_model("cache-fault");
+    let cache = temp_cache("fault");
+
+    // Populate the cache, then replay under an injected read fault: the
+    // build must still succeed as a cold rebuild (miss), not fail.
+    let out = lssc()
+        .arg(&model)
+        .args(["--timings", "--cache-dir"])
+        .arg(&cache)
+        .output()
+        .expect("spawn lssc");
+    assert!(out.status.success());
+
+    let out = lssc()
+        .arg(&model)
+        .args(["--timings", "--cache-dir"])
+        .arg(&cache)
+        .env("LSS_CACHE_FAULT", "read-error")
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "faulted build failed:\n{stderr}");
+    assert!(
+        stdout.contains("\"cache\": \"miss\""),
+        "read fault must degrade to a cold rebuild:\n{stdout}"
+    );
+    assert!(
+        stderr.contains("warning:"),
+        "fault must be surfaced as a warning:\n{stderr}"
+    );
+
+    // With the fault gone the repaired entry hits again.
+    let out = lssc()
+        .arg(&model)
+        .args(["--timings", "--cache-dir"])
+        .arg(&cache)
+        .output()
+        .expect("spawn lssc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"cache\": \"hit\""),
+        "entry not hit after fault cleared:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&cache);
+    let _ = std::fs::remove_file(&model);
+}
+
 #[test]
 fn run_model_with_stats_prints_engine_counters() {
     let out = lssc()

@@ -104,6 +104,34 @@ impl PassManager {
     /// dropped, the rest are sorted by (code, subject) and counted against
     /// the deny rules.
     pub fn run(&self, netlist: &Netlist, comb: &CombInfo, config: &AnalysisConfig) -> Analysis {
+        match self.run_budgeted(netlist, comb, config, &lss_types::Budget::unlimited()) {
+            Ok(analysis) => analysis,
+            // Unreachable: an unlimited budget never errors.
+            Err(_) => Analysis {
+                findings: Vec::new(),
+                denied: 0,
+            },
+        }
+    }
+
+    /// Like [`PassManager::run`], but polls `budget`'s wall-clock deadline
+    /// between passes so a pathological netlist cannot pin the analyzer.
+    ///
+    /// # Errors
+    ///
+    /// [`lss_types::BudgetError`] (kind `Deadline`, stage `analyze`) when
+    /// the deadline passes mid-analysis; partial progress names the passes
+    /// already completed.
+    pub fn run_budgeted(
+        &self,
+        netlist: &Netlist,
+        comb: &CombInfo,
+        config: &AnalysisConfig,
+        budget: &lss_types::Budget,
+    ) -> Result<Analysis, lss_types::BudgetError> {
+        budget
+            .check_deadline_now("analyze")
+            .map_err(|e| e.with_progress("before dependency-graph construction"))?;
         let wires = netlist.flatten();
         let deps = leaf_dep_graph(netlist, &wires, comb);
         let ctx = AnalysisCtx {
@@ -113,7 +141,14 @@ impl PassManager {
             comb,
         };
         let mut findings = Vec::new();
-        for pass in &self.passes {
+        for (i, pass) in self.passes.iter().enumerate() {
+            budget.check_deadline_now("analyze").map_err(|e| {
+                e.with_progress(format!(
+                    "{i} of {} passes completed, {} finding(s) so far",
+                    self.passes.len(),
+                    findings.len()
+                ))
+            })?;
             pass.run(&ctx, &mut findings);
         }
         findings.retain(|f| !config.is_allowed(f.code));
@@ -124,7 +159,7 @@ impl PassManager {
             .iter()
             .filter(|f| config.is_denied(f.code, f.severity))
             .count();
-        Analysis { findings, denied }
+        Ok(Analysis { findings, denied })
     }
 }
 

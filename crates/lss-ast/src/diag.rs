@@ -45,6 +45,9 @@ pub struct Diagnostic {
     pub span: Span,
     /// Attached notes.
     pub notes: Vec<Note>,
+    /// Stable diagnostic code (e.g. `LSS401` for budget exhaustion);
+    /// rendered as `error[LSS401]: ...` when present.
+    pub code: Option<&'static str>,
 }
 
 impl Diagnostic {
@@ -55,6 +58,7 @@ impl Diagnostic {
             message: message.into(),
             span,
             notes: Vec::new(),
+            code: None,
         }
     }
 
@@ -65,7 +69,15 @@ impl Diagnostic {
             message: message.into(),
             span,
             notes: Vec::new(),
+            code: None,
         }
+    }
+
+    /// Attaches a stable diagnostic code.
+    #[must_use]
+    pub fn with_code(mut self, code: &'static str) -> Self {
+        self.code = Some(code);
+        self
     }
 
     /// Attaches a note with a location.
@@ -92,12 +104,20 @@ impl Diagnostic {
         render_one(
             &mut out,
             self.severity,
+            self.code,
             &self.message,
             Some(self.span),
             sources,
         );
         for note in &self.notes {
-            render_one(&mut out, Severity::Note, &note.message, note.span, sources);
+            render_one(
+                &mut out,
+                Severity::Note,
+                None,
+                &note.message,
+                note.span,
+                sources,
+            );
         }
         out
     }
@@ -106,12 +126,20 @@ impl Diagnostic {
 fn render_one(
     out: &mut String,
     severity: Severity,
+    code: Option<&'static str>,
     message: &str,
     span: Option<Span>,
     sources: &SourceMap,
 ) {
     use fmt::Write;
-    let _ = writeln!(out, "{severity}: {message}");
+    match code {
+        Some(code) => {
+            let _ = writeln!(out, "{severity}[{code}]: {message}");
+        }
+        None => {
+            let _ = writeln!(out, "{severity}: {message}");
+        }
+    }
     let Some(span) = span else { return };
     if span.is_synthetic() {
         return;
@@ -230,6 +258,14 @@ mod tests {
         let rendered = bag.render(&map);
         assert!(rendered.contains("warning: unused instance"));
         assert!(rendered.contains("error: bad connection"));
+    }
+
+    #[test]
+    fn code_renders_in_brackets() {
+        let (map, span) = setup();
+        let d = Diagnostic::error("instance budget exhausted", span).with_code("LSS403");
+        let rendered = d.render(&map);
+        assert!(rendered.contains("error[LSS403]: instance budget exhausted"));
     }
 
     #[test]

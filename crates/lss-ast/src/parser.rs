@@ -40,14 +40,23 @@ pub fn parse(file: FileId, text: &str, diags: &mut DiagnosticBag) -> Program {
     Parser {
         tokens,
         pos: 0,
+        depth: 0,
         diags,
     }
     .program()
 }
 
+/// Maximum statement/expression/type nesting depth. Recursive descent
+/// recurses roughly ten stack frames per level, so without a cap an
+/// adversarial input like `((((...))))` overflows the Rust stack instead
+/// of reporting an error. 64 levels fits comfortably inside a 2 MiB
+/// thread stack (debug builds included) while real specs stay below 20.
+const MAX_NESTING: u32 = 64;
+
 struct Parser<'a> {
     tokens: Vec<Token>,
     pos: usize,
+    depth: u32,
     diags: &'a mut DiagnosticBag,
 }
 
@@ -220,7 +229,29 @@ impl<'a> Parser<'a> {
         stmts
     }
 
+    /// Enters one nesting level; reports an error and refuses once the
+    /// input is deeper than [`MAX_NESTING`].
+    fn enter_nested(&mut self) -> bool {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            self.error_here(format!("nesting exceeds {MAX_NESTING} levels"));
+            false
+        } else {
+            true
+        }
+    }
+
     fn stmt(&mut self) -> Option<Stmt> {
+        if !self.enter_nested() {
+            self.depth -= 1;
+            return None;
+        }
+        let stmt = self.stmt_inner();
+        self.depth -= 1;
+        stmt
+    }
+
+    fn stmt_inner(&mut self) -> Option<Stmt> {
         let start = self.span();
         match self.peek() {
             TokenKind::Parameter => self.parameter_stmt(),
@@ -555,6 +586,16 @@ impl<'a> Parser<'a> {
     }
 
     fn type_primary(&mut self) -> Option<TypeExpr> {
+        if !self.enter_nested() {
+            self.depth -= 1;
+            return None;
+        }
+        let ty = self.type_primary_inner();
+        self.depth -= 1;
+        ty
+    }
+
+    fn type_primary_inner(&mut self) -> Option<TypeExpr> {
         let mut ty = match self.peek().clone() {
             TokenKind::IntTy => {
                 self.bump();
@@ -661,7 +702,13 @@ impl<'a> Parser<'a> {
     // ---- expressions ------------------------------------------------------
 
     fn expr(&mut self) -> Option<Expr> {
-        self.ternary()
+        if !self.enter_nested() {
+            self.depth -= 1;
+            return None;
+        }
+        let expr = self.ternary();
+        self.depth -= 1;
+        expr
     }
 
     fn ternary(&mut self) -> Option<Expr> {
@@ -1150,5 +1197,47 @@ mod tests {
     fn empty_statement_is_tolerated() {
         let prog = parse_ok(";;");
         assert_eq!(prog.top.len(), 2);
+    }
+
+    #[test]
+    fn deep_expression_nesting_errors_instead_of_overflowing() {
+        let depth = 5_000;
+        let src = format!("var x:int = {}1{};", "(".repeat(depth), ")".repeat(depth));
+        let diags = parse_err(&src);
+        assert!(
+            diags.iter().any(|d| d.message.contains("nesting exceeds")),
+            "expected a nesting diagnostic"
+        );
+    }
+
+    #[test]
+    fn deep_statement_nesting_errors_instead_of_overflowing() {
+        let depth = 5_000;
+        let src = format!(
+            "{}var x:int = 1;{}",
+            "if (true) { ".repeat(depth),
+            "}".repeat(depth)
+        );
+        let diags = parse_err(&src);
+        assert!(diags.iter().any(|d| d.message.contains("nesting exceeds")));
+    }
+
+    #[test]
+    fn deep_type_nesting_errors_instead_of_overflowing() {
+        let depth = 5_000;
+        let src = format!(
+            "var x:{}int{} = 1;",
+            "struct { f: ".repeat(depth),
+            "; }".repeat(depth)
+        );
+        let diags = parse_err(&src);
+        assert!(diags.iter().any(|d| d.message.contains("nesting exceeds")));
+    }
+
+    #[test]
+    fn nesting_under_the_cap_still_parses() {
+        let depth = 50;
+        let src = format!("var x:int = {}1{};", "(".repeat(depth), ")".repeat(depth));
+        parse_ok(&src);
     }
 }

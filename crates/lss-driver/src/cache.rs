@@ -79,6 +79,23 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+/// Deterministic fault injection for cache I/O, keyed on the
+/// `LSS_CACHE_FAULT` environment variable (unset in normal operation;
+/// set only by fault-injection tests and the CI robustness stage):
+///
+/// * `read-error` — every [`load`] fails as if the entry were unreadable;
+/// * `short-write` — [`store`] publishes a torn entry (half the bytes),
+///   as a crash mid-write on a non-atomic filesystem would;
+/// * `unwritable` — [`store`] fails as if the directory were read-only.
+///
+/// The env-var channel deliberately crosses process boundaries so the
+/// `lssc` CLI tests can inject faults into a child process. What the
+/// faults prove: a broken cache may cost a rebuild, but the driver must
+/// still produce a byte-identical netlist and never serve a wrong entry.
+fn injected_fault(point: &str) -> bool {
+    std::env::var("LSS_CACHE_FAULT").is_ok_and(|v| v == point)
+}
+
 /// The payload a warm cache entry restores.
 #[derive(Debug)]
 pub struct CachedBuild {
@@ -114,6 +131,9 @@ fn want_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
 /// rebuild from sources and should overwrite the entry.
 pub fn load(dir: &Path, key: u64) -> Result<Option<CachedBuild>, String> {
     let path = entry_path(dir, key);
+    if injected_fault("read-error") {
+        return Err(format!("injected read fault reading {}", path.display()));
+    }
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -198,6 +218,12 @@ pub fn store(
     solve_stats: &SolveStats,
     prints: &[String],
 ) -> Result<(), String> {
+    if injected_fault("unwritable") {
+        return Err(format!(
+            "injected fault: cache dir {} is unwritable",
+            dir.display()
+        ));
+    }
     std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
     let netlist_json = lss_netlist::to_json(netlist);
     let netlist_hash = fnv1a64(netlist_json.as_bytes());
@@ -224,7 +250,15 @@ pub fn store(
 
     let path = entry_path(dir, key);
     let tmp = dir.join(format!(".{key:016x}.{}.tmp", std::process::id()));
-    std::fs::write(&tmp, &out).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    // A short-write fault tears the entry but reports success, exactly
+    // like a crash after rename on a filesystem that reordered the data
+    // blocks; the integrity gate in `load` must catch it later.
+    let bytes: &[u8] = if injected_fault("short-write") {
+        &out.as_bytes()[..out.len() / 2]
+    } else {
+        out.as_bytes()
+    };
+    std::fs::write(&tmp, bytes).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
     std::fs::rename(&tmp, &path).map_err(|e| {
         let _ = std::fs::remove_file(&tmp);
         format!("cannot publish {}: {e}", path.display())

@@ -86,6 +86,23 @@ impl DriverError {
     pub fn rendered(&self) -> &str {
         &self.rendered
     }
+
+    /// The first resource-budget code (`LSS4xx`) among the diagnostics.
+    ///
+    /// `Some` means the pipeline stopped on resource exhaustion (deadline,
+    /// fuel, or size cap) rather than a user error — the `lssc` CLI maps
+    /// this to its distinct exit code (3) so scripts can tell "your spec
+    /// is wrong" from "give me a bigger budget".
+    pub fn budget_code(&self) -> Option<&'static str> {
+        self.diagnostics
+            .iter()
+            .find_map(|d| d.code.filter(|c| c.starts_with("LSS4")))
+    }
+
+    /// True when the pipeline stopped on resource exhaustion.
+    pub fn is_budget_exhausted(&self) -> bool {
+        self.budget_code().is_some()
+    }
 }
 
 impl fmt::Display for DriverError {
@@ -112,6 +129,26 @@ mod tests {
         assert!(text.contains("m.lss:1:12"), "{text}");
         assert_eq!(err.stage, Stage::Elaborate);
         assert_eq!(err.diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn budget_codes_are_detected() {
+        let sources = SourceMap::new();
+        let plain = Diagnostic::error("unknown module", Span::synthetic());
+        let err = DriverError::new(Stage::Elaborate, vec![plain.clone()], &sources);
+        assert_eq!(err.budget_code(), None);
+        assert!(!err.is_budget_exhausted());
+
+        let coded = Diagnostic::error("wall-clock deadline exhausted", Span::synthetic())
+            .with_code("LSS401");
+        let err = DriverError::new(Stage::Elaborate, vec![plain, coded], &sources);
+        assert_eq!(err.budget_code(), Some("LSS401"));
+        assert!(err.is_budget_exhausted());
+
+        // Analyzer finding codes (LSS1xx..LSS3xx) are not budget codes.
+        let finding = Diagnostic::error("cycle", Span::synthetic()).with_code("LSS101");
+        let err = DriverError::new(Stage::Analyze, vec![finding], &sources);
+        assert_eq!(err.budget_code(), None);
     }
 
     #[test]

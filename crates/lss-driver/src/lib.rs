@@ -54,7 +54,7 @@ use lss_ast::{parse, Diagnostic, DiagnosticBag, FileId, Program, Severity, Sourc
 use lss_interp::{CompileOptions, Unit};
 use lss_netlist::Netlist;
 use lss_sim::{ComponentRegistry, SimOptions, Simulator};
-use lss_types::SolveStats;
+use lss_types::{Budget, BudgetCaps, SolveStats};
 
 /// The corelib program, parsed once per process.
 ///
@@ -215,6 +215,7 @@ pub struct Driver {
     pub sim_options: SimOptions,
     registry: ComponentRegistry,
     cache_dir: Option<PathBuf>,
+    budget: Budget,
     parsed: Option<Arc<Parsed>>,
     elaborated: Option<Arc<Elaborated>>,
     timings: StageTimings,
@@ -246,6 +247,7 @@ impl Driver {
             sim_options: SimOptions::default(),
             registry: ComponentRegistry::new(),
             cache_dir: None,
+            budget: Budget::unlimited(),
             parsed: None,
             elaborated: None,
             timings: StageTimings::default(),
@@ -306,6 +308,26 @@ impl Driver {
     /// cache for this session. Disabled by default.
     pub fn set_cache_dir(&mut self, dir: Option<PathBuf>) {
         self.cache_dir = dir;
+    }
+
+    /// Arms a resource budget for this session: starts the caps' clock
+    /// and threads one shared [`Budget`] handle through elaboration,
+    /// inference, and analysis, so every stage draws down the same
+    /// wall-clock allowance. Call before the first [`Driver::elaborate`].
+    ///
+    /// On exhaustion the failing stage returns a [`DriverError`] whose
+    /// diagnostics carry an `LSS4xx` code
+    /// ([`DriverError::budget_code`]) instead of hanging or aborting.
+    pub fn set_budget(&mut self, caps: BudgetCaps) {
+        let budget = caps.start();
+        self.options.set_budget(budget.clone());
+        self.budget = budget;
+    }
+
+    /// The session's shared budget handle (unlimited unless
+    /// [`Driver::set_budget`] was called).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// Wall-clock time spent in each stage so far.
@@ -510,13 +532,29 @@ impl Driver {
     ///
     /// # Errors
     ///
-    /// Fails only if elaboration fails.
+    /// Fails if elaboration fails, or with a [`Stage::Analyze`] budget
+    /// error (`LSS401`) when the session's wall-clock deadline expires
+    /// mid-analysis.
     pub fn analyze(&mut self, config: &AnalysisConfig) -> Result<Analyzed, DriverError> {
         let elaborated = self.elaborate()?;
         let start = Instant::now();
         let comb = lss_sim::comb_info(&elaborated.netlist, &self.registry);
-        let analysis = PassManager::with_default_passes().run(&elaborated.netlist, &comb, config);
+        let analysis = PassManager::with_default_passes().run_budgeted(
+            &elaborated.netlist,
+            &comb,
+            config,
+            &self.budget,
+        );
         self.timings.analyze += start.elapsed();
+        let analysis = analysis.map_err(|e| {
+            DriverError::new(
+                Stage::Analyze,
+                vec![Diagnostic::error(e.to_string(), lss_ast::Span::synthetic())
+                    .with_code(e.code())
+                    .with_note(e.hint())],
+                &self.sources,
+            )
+        })?;
         Ok(Analyzed {
             elaborated,
             analysis,
@@ -723,6 +761,59 @@ mod tests {
         driver.add_source("m.lss", MODEL);
         let owned: Elaborated = driver.finish().expect("finishes");
         assert_eq!(owned.netlist.instances.len(), 2);
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_as_a_coded_budget_error() {
+        let mut driver = Driver::with_corelib();
+        driver.add_source("spin.lss", "var i = 0;\nwhile (true) { i = i + 1; }");
+        driver.set_budget(BudgetCaps {
+            deadline: Some(std::time::Duration::from_millis(20)),
+            ..BudgetCaps::default()
+        });
+        let start = Instant::now();
+        let err = driver.elaborate().unwrap_err();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "budget must terminate the spin promptly"
+        );
+        assert_eq!(err.stage, Stage::Elaborate);
+        assert_eq!(err.budget_code(), Some("LSS401"), "{err}");
+        assert!(err.to_string().contains("LSS401"), "{err}");
+    }
+
+    #[test]
+    fn analyze_deadline_is_a_stage_analyze_budget_error() {
+        let mut driver = Driver::with_corelib();
+        driver.add_source("m.lss", MODEL);
+        // Elaborate under no budget, then arm an already-expired deadline
+        // so the analyze stage (and only it) trips.
+        driver.elaborate().expect("elaborates");
+        driver.set_budget(BudgetCaps {
+            deadline: Some(std::time::Duration::ZERO),
+            ..BudgetCaps::default()
+        });
+        let err = driver.analyze(&AnalysisConfig::default()).unwrap_err();
+        assert_eq!(err.stage, Stage::Analyze);
+        assert_eq!(err.budget_code(), Some("LSS401"), "{err}");
+    }
+
+    #[test]
+    fn budget_caps_keep_the_cache_key_stable_across_sessions() {
+        let caps = BudgetCaps {
+            deadline: Some(std::time::Duration::from_secs(30)),
+            max_netlist_items: Some(100_000),
+            ..BudgetCaps::default()
+        };
+        let mut a = Driver::with_corelib();
+        a.add_source("m.lss", MODEL);
+        a.set_budget(caps);
+        let mut b = Driver::with_corelib();
+        b.add_source("m.lss", MODEL);
+        b.set_budget(caps);
+        // The live clock differs between the two sessions; the key must
+        // hash only the caps or warm builds could never hit.
+        assert_eq!(a.cache_key(), b.cache_key());
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Cache fault-injection: every injected failure mode must degrade to a
+//! clean cold rebuild producing a byte-identical netlist — never a wrong
+//! netlist, never a crash.
+//!
+//! Faults are injected through the `LSS_CACHE_FAULT` environment variable
+//! (see `lss_driver::cache`). The variable is process-global, so these
+//! tests live in their own integration binary and serialize on a mutex.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use lss_driver::{CacheOutcome, Driver};
+
+const MODEL: &str =
+    "instance gen:source;\ninstance hole:sink;\ngen.out -> hole.in;\ngen.out :: int;";
+
+/// Serializes the tests and clears the fault on drop, so a panicking test
+/// cannot leak an armed fault into the next one.
+struct FaultGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl FaultGuard {
+    fn arm(fault: &str) -> Self {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let guard = LOCK
+            .get_or_init(Mutex::default)
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        std::env::set_var("LSS_CACHE_FAULT", fault);
+        FaultGuard(guard)
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        std::env::remove_var("LSS_CACHE_FAULT");
+    }
+}
+
+fn temp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lss-cache-fault-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn session(dir: &Path) -> Driver {
+    let mut driver = Driver::with_corelib();
+    driver.set_cache_dir(Some(dir.to_path_buf()));
+    driver.add_source("m.lss", MODEL);
+    driver
+}
+
+/// The ground truth a faulted build must match: a no-cache build.
+fn reference_netlist_json() -> String {
+    let mut driver = Driver::with_corelib();
+    driver.add_source("m.lss", MODEL);
+    lss_netlist::to_json(&driver.elaborate().expect("reference build").netlist)
+}
+
+#[test]
+fn unwritable_dir_degrades_to_cold_builds() {
+    let dir = temp_cache("unwritable");
+    let reference = reference_netlist_json();
+    {
+        let _fault = FaultGuard::arm("unwritable");
+        let mut cold = session(&dir);
+        let built = cold.elaborate().expect("build succeeds despite fault");
+        assert_eq!(built.cache, CacheOutcome::Miss);
+        assert_eq!(lss_netlist::to_json(&built.netlist), reference);
+        assert!(
+            cold.warnings().iter().any(|w| w.contains("injected")),
+            "store failure must be surfaced: {:?}",
+            cold.warnings()
+        );
+    }
+    // Nothing was stored, so a fault-free session still builds cold.
+    let mut after = session(&dir);
+    let rebuilt = after.elaborate().expect("rebuild");
+    assert_eq!(rebuilt.cache, CacheOutcome::Miss);
+    assert_eq!(lss_netlist::to_json(&rebuilt.netlist), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn short_write_is_caught_by_the_integrity_gate() {
+    let dir = temp_cache("short-write");
+    let reference = reference_netlist_json();
+    {
+        let _fault = FaultGuard::arm("short-write");
+        // The torn store reports success — the build itself is fine.
+        let built = session(&dir).elaborate().expect("cold build");
+        assert_eq!(built.cache, CacheOutcome::Miss);
+        assert_eq!(lss_netlist::to_json(&built.netlist), reference);
+    }
+    // The warm session must detect the torn entry, warn, and rebuild —
+    // never deserialize half a netlist.
+    let mut warm = session(&dir);
+    let rebuilt = warm.elaborate().expect("rebuild after torn entry");
+    assert_eq!(rebuilt.cache, CacheOutcome::Miss, "torn entry must not hit");
+    assert_eq!(lss_netlist::to_json(&rebuilt.netlist), reference);
+    assert!(
+        warm.warnings().iter().any(|w| w.contains("cache")),
+        "missing corruption warning: {:?}",
+        warm.warnings()
+    );
+    // The rebuild overwrote the entry: a third session hits cleanly.
+    let mut again = session(&dir);
+    let hit = again.elaborate().expect("clean hit");
+    assert_eq!(hit.cache, CacheOutcome::Hit);
+    assert_eq!(lss_netlist::to_json(&hit.netlist), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn read_errors_degrade_warm_builds_to_cold_rebuilds() {
+    let dir = temp_cache("read-error");
+    let reference = reference_netlist_json();
+    // A healthy entry exists on disk...
+    let built = session(&dir).elaborate().expect("cold build");
+    assert_eq!(built.cache, CacheOutcome::Miss);
+    {
+        // ...but every read of it fails.
+        let _fault = FaultGuard::arm("read-error");
+        let mut warm = session(&dir);
+        let rebuilt = warm.elaborate().expect("rebuild despite read fault");
+        assert_eq!(rebuilt.cache, CacheOutcome::Miss);
+        assert_eq!(lss_netlist::to_json(&rebuilt.netlist), reference);
+        assert!(
+            warm.warnings().iter().any(|w| w.contains("injected")),
+            "read fault must be surfaced: {:?}",
+            warm.warnings()
+        );
+    }
+    // Fault cleared: the (rewritten) entry serves a verified hit.
+    let mut again = session(&dir);
+    let hit = again.elaborate().expect("clean hit");
+    assert_eq!(hit.cache, CacheOutcome::Hit);
+    assert_eq!(lss_netlist::to_json(&hit.netlist), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}

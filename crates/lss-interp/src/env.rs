@@ -26,22 +26,24 @@ impl Env {
         self.scopes.push(HashMap::new());
     }
 
-    /// Pops the innermost scope.
-    ///
-    /// # Panics
-    ///
-    /// Panics if only the outermost scope remains.
+    /// Pops the innermost scope. The outermost scope is never popped: an
+    /// unbalanced pop is a bug in the interpreter's push/pop pairing
+    /// (caught by `debug_assert` in tests), never a user-visible panic.
     pub fn pop(&mut self) {
-        assert!(self.scopes.len() > 1, "cannot pop the outermost scope");
-        self.scopes.pop();
+        debug_assert!(self.scopes.len() > 1, "cannot pop the outermost scope");
+        if self.scopes.len() > 1 {
+            self.scopes.pop();
+        }
     }
 
     /// Declares `name` in the innermost scope (shadowing outer bindings).
     pub fn declare(&mut self, name: impl Into<String>, value: Value) {
-        self.scopes
-            .last_mut()
-            .expect("at least one scope")
-            .insert(name.into(), value);
+        if self.scopes.is_empty() {
+            self.scopes.push(HashMap::new());
+        }
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.insert(name.into(), value);
+        }
     }
 
     /// Looks up `name`, innermost scope first.
@@ -78,6 +80,8 @@ impl Env {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

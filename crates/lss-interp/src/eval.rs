@@ -36,7 +36,9 @@ use lss_netlist::{
     Collector, Connection, Dir, Endpoint, EventDecl, Instance, InstanceId, InstanceKind,
     ModuleMeta, Netlist, Port, PortId, RuntimeVar, Userpoint,
 };
-use lss_types::{Constraint, ConstraintOrigin, Datum, Scheme, Ty, TyVar};
+use lss_types::{
+    Budget, BudgetError, BudgetKind, Constraint, ConstraintOrigin, Datum, Scheme, Ty, TyVar,
+};
 
 use crate::env::Env;
 use crate::records::{ConnRec, EndRec, ParamAssign, UseCtx};
@@ -49,6 +51,13 @@ pub struct ElabOptions {
     pub max_instances: usize,
     /// Maximum number of statements executed (guards infinite loops).
     pub max_steps: u64,
+    /// Maximum module-instantiation depth (guards self-instantiating
+    /// modules, which would otherwise burn the whole instance budget one
+    /// nesting level at a time).
+    pub max_depth: usize,
+    /// Shared pipeline budget (wall-clock deadline, netlist size cap),
+    /// polled at the interpreter's loop headers.
+    pub budget: Budget,
     /// Record a machine-step trace (used by the §6.2 semantics tests).
     pub trace: bool,
 }
@@ -58,6 +67,8 @@ impl Default for ElabOptions {
         ElabOptions {
             max_instances: 100_000,
             max_steps: 50_000_000,
+            max_depth: 256,
+            budget: Budget::unlimited(),
             trace: false,
         }
     }
@@ -128,6 +139,7 @@ pub fn elaborate(
         diags,
         opts: opts.clone(),
         steps: 0,
+        items: 0,
         trace: Vec::new(),
         prints: Vec::new(),
     };
@@ -231,6 +243,9 @@ struct Elaborator<'a> {
     diags: &'a mut DiagnosticBag,
     opts: ElabOptions,
     steps: u64,
+    /// Netlist items (instances + port instances) created, for the
+    /// budget's netlist size cap.
+    items: u64,
     trace: Vec<String>,
     prints: Vec<String>,
 }
@@ -262,16 +277,52 @@ impl Elaborator<'_> {
         Err(Abort)
     }
 
+    /// Reports a resource-budget violation as a coded `LSS4xx` diagnostic
+    /// with the raise-the-limit hint attached.
+    fn budget_err<T>(&mut self, e: BudgetError, span: Span) -> EResult<T> {
+        self.diags.push(
+            lss_ast::Diagnostic::error(e.to_string(), span)
+                .with_code(e.code())
+                .with_note(e.hint()),
+        );
+        Err(Abort)
+    }
+
     fn tick(&mut self, span: Span) -> EResult<()> {
         self.steps += 1;
         if self.steps > self.opts.max_steps {
-            return self.err(
-                format!(
-                    "elaboration exceeded {} steps (infinite loop?)",
-                    self.opts.max_steps
-                ),
-                span,
-            );
+            let e = BudgetError::new(BudgetKind::ElabSteps, "elaborate", self.opts.max_steps)
+                .with_progress(format!(
+                    "{} instance(s) elaborated so far; infinite loop?",
+                    self.netlist.instances.len()
+                ));
+            return self.budget_err(e, span);
+        }
+        if let Err(e) = self.opts.budget.check_deadline("elaborate") {
+            let e = e.with_progress(format!(
+                "{} step(s), {} instance(s) elaborated",
+                self.steps,
+                self.netlist.instances.len()
+            ));
+            return self.budget_err(e, span);
+        }
+        Ok(())
+    }
+
+    /// Counts one netlist item (instance or port instance) against the
+    /// budget's netlist size cap.
+    fn count_netlist_item(&mut self, span: Span) -> EResult<()> {
+        self.items += 1;
+        if let Err(e) = self
+            .opts
+            .budget
+            .check_netlist_items(self.items, "elaborate")
+        {
+            let e = e.with_progress(format!(
+                "netlist already holds {} instance(s)",
+                self.netlist.instances.len()
+            ));
+            return self.budget_err(e, span);
         }
         Ok(())
     }
@@ -285,10 +336,12 @@ impl Elaborator<'_> {
     // ---- instance elaboration (pop rule) ---------------------------------
 
     fn elaborate_instance(&mut self, id: InstanceId) -> EResult<()> {
-        let module = self
-            .pending_module
-            .remove(&id)
-            .expect("popped instance must have a pending module body");
+        let Some(module) = self.pending_module.remove(&id) else {
+            return self.err(
+                "internal error: popped instance has no pending module body",
+                Span::synthetic(),
+            );
+        };
         let (path, parent_known) = {
             let inst = self.netlist.instance(id);
             (inst.path.clone(), inst.from_library)
@@ -794,6 +847,7 @@ impl Elaborator<'_> {
         }
         self.trace(|| format!("port {}.{name} width={width}", ctx.path));
         ctx.self_ports.insert(name.clone(), dir);
+        self.count_netlist_item(decl.span)?;
         let name_sym = self.netlist.intern(name);
         self.netlist.instance_mut(inst).ports.push(Port {
             name: name_sym,
@@ -827,14 +881,44 @@ impl Elaborator<'_> {
             );
         };
         if self.netlist.instances.len() >= self.opts.max_instances {
-            return self.err(
-                format!(
-                    "model exceeds {} instances (recursive module instantiation?)",
-                    self.opts.max_instances
-                ),
-                span,
-            );
+            let e = BudgetError::new(
+                BudgetKind::Instances,
+                "elaborate",
+                self.opts.max_instances as u64,
+            )
+            .with_progress("recursive module instantiation?".to_string());
+            return self.budget_err(e, span);
         }
+        // Self-instantiating modules recurse one hierarchy level per
+        // instance; cap the depth so they fail in milliseconds instead of
+        // burning the whole instance budget first.
+        let mut depth = 0u32;
+        let mut up = parent;
+        while let Some(pid) = up {
+            depth += 1;
+            up = self.netlist.instance(pid).parent;
+        }
+        if depth as usize >= self.opts.max_depth {
+            // A path at the depth cap repeats one segment hundreds of
+            // times; elide the middle so the diagnostic stays readable
+            // (char_indices keeps the cuts on char boundaries).
+            let head = path.char_indices().nth(40).map(|(i, _)| i);
+            let tail = path.char_indices().rev().nth(19).map(|(i, _)| i);
+            let shown = match (head, tail) {
+                (Some(h), Some(t)) if h < t => format!("{}...{}", &path[..h], &path[t..]),
+                _ => path.to_string(),
+            };
+            let e = BudgetError::new(BudgetKind::Depth, "elaborate", self.opts.max_depth as u64)
+                .with_progress(format!(
+                    "while instantiating `{shown}` (self-instantiating module?)"
+                ));
+            return self.budget_err(e, span);
+        }
+        if let Err(e) = self.opts.budget.check_depth(depth, "elaborate") {
+            let e = e.with_progress(format!("while instantiating `{path}`"));
+            return self.budget_err(e, span);
+        }
+        self.count_netlist_item(span)?;
         let module_sym = self.netlist.intern(module_name);
         let id = self.netlist.add_instance(Instance {
             id: InstanceId(0),
@@ -920,7 +1004,10 @@ impl Elaborator<'_> {
         match &inner.kind {
             ExprKind::Ident(id) => {
                 if ctx.self_ports.contains_key(&id.name) {
-                    let inst = ctx.inst.expect("self ports imply a module body");
+                    let Some(inst) = ctx.inst else {
+                        return self
+                            .err("internal error: self port outside a module body", id.span);
+                    };
                     Ok(((inst, id.name.clone()), index))
                 } else {
                     self.err(
@@ -1082,15 +1169,17 @@ impl Elaborator<'_> {
                         }
                         let path = self.netlist.instance(cid).path.clone();
                         self.trace(|| format!("record-assign {path}.{} = {value}", field.name));
-                        self.use_ctx
-                            .get_mut(&cid)
-                            .expect("children have use contexts")
-                            .param_assigns
-                            .push(ParamAssign {
-                                field: field.name.clone(),
-                                value,
-                                span: target.span,
-                            });
+                        let Some(use_ctx) = self.use_ctx.get_mut(&cid) else {
+                            return self.err(
+                                "internal error: child instance has no use context",
+                                target.span,
+                            );
+                        };
+                        use_ctx.param_assigns.push(ParamAssign {
+                            field: field.name.clone(),
+                            value,
+                            span: target.span,
+                        });
                         Ok(())
                     }
                     other => self.err(
@@ -1222,7 +1311,12 @@ impl Elaborator<'_> {
                 if field.name == "width" {
                     if let ExprKind::Ident(p) = &base.kind {
                         if ctx.self_ports.contains_key(&p.name) {
-                            let inst = ctx.inst.expect("self ports imply module body");
+                            let Some(inst) = ctx.inst else {
+                                return self.err(
+                                    "internal error: self port outside a module body",
+                                    p.span,
+                                );
+                            };
                             let width = self
                                 .netlist
                                 .sym(&p.name)
@@ -1392,7 +1486,9 @@ impl Elaborator<'_> {
                 BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or => unreachable!(),
             })
         } else {
-            let (a, b) = (l.as_int().expect("checked"), r.as_int().expect("checked"));
+            let (Some(a), Some(b)) = (l.as_int(), r.as_int()) else {
+                return self.err("internal error: non-numeric operands in arithmetic", span);
+            };
             if matches!(op, BinOp::Div | BinOp::Rem) && b == 0 {
                 return self.err("division by zero", span);
             }

@@ -47,6 +47,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// The interpreter runs user-supplied programs: failures must surface as
+// spanned diagnostics, never panics (tests opt back in per-module).
+#![warn(clippy::unwrap_used)]
 
 pub mod env;
 pub mod eval;
@@ -69,6 +72,16 @@ pub struct CompileOptions {
     pub elab: ElabOptions,
     /// Type-inference configuration (heuristics on by default).
     pub solver: SolverConfig,
+}
+
+impl CompileOptions {
+    /// Threads one shared [`lss_types::Budget`] handle through every
+    /// stage, so elaboration and inference draw down a single wall-clock
+    /// allowance.
+    pub fn set_budget(&mut self, budget: lss_types::Budget) {
+        self.elab.budget = budget.clone();
+        self.solver.budget = budget;
+    }
 }
 
 /// A fully compiled model: elaborated netlist with inferred port types.

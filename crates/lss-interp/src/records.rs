@@ -83,6 +83,8 @@ pub struct ConnRec {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

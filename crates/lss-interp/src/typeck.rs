@@ -5,9 +5,17 @@
 //! the inferred basic type onto every port.
 
 use lss_ast::{Diagnostic, DiagnosticBag, Span};
-use lss_types::{SolveError, SolveStats, SolverConfig, Ty};
+use lss_types::{BudgetKind, SolveError, SolveStats, SolverConfig, Ty};
 
 use lss_netlist::Netlist;
+
+/// The raise-the-limit note attached to `LSS4xx` inference diagnostics.
+fn budget_hint(kind: BudgetKind) -> String {
+    format!(
+        "raise the limit with `{} N` (or remove it) and retry",
+        kind.flag()
+    )
+}
 
 /// Runs type inference and stores each port's resolved [`Ty`].
 ///
@@ -38,8 +46,17 @@ pub fn infer(
             ));
             return None;
         }
-        Err(e @ SolveError::BudgetExhausted { .. }) => {
-            diags.push(Diagnostic::error(e.to_string(), Span::synthetic()));
+        // Resource exhaustion, not a type error: the diagnostic carries
+        // the LSS4xx code and the flag that raises the limit.
+        Err(e) => {
+            let kind = e
+                .budget_kind()
+                .unwrap_or(lss_types::BudgetKind::SolverSteps);
+            diags.push(
+                Diagnostic::error(e.to_string(), Span::synthetic())
+                    .with_code(kind.code())
+                    .with_note(budget_hint(kind)),
+            );
             return None;
         }
     };
@@ -77,6 +94,8 @@ pub fn infer(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use lss_netlist::{Dir, InstanceKind, Netlist};
     use lss_types::{Constraint, Scheme, VarGen};

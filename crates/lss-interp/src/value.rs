@@ -180,6 +180,8 @@ impl fmt::Display for Value {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -605,6 +605,114 @@ fn parameter_type_mismatch_is_an_error() {
 }
 
 #[test]
+fn self_instantiation_hits_depth_cap_by_default() {
+    // With default options the depth cap (256) fires long before the
+    // 100k instance budget, so the failure is fast and names LSS404.
+    let mut sources = SourceMap::new();
+    let src = "module looper { instance inner:looper; };\ninstance top:looper;";
+    let file = sources.add_file("loop.lss", src);
+    let mut diags = DiagnosticBag::new();
+    let program = parse(file, src, &mut diags);
+    assert!(!diags.has_errors());
+    let start = std::time::Instant::now();
+    let out = elaborate(
+        &[Unit {
+            program: &program,
+            library: false,
+        }],
+        &ElabOptions::default(),
+        &mut diags,
+    );
+    assert!(out.is_none());
+    let rendered = diags.render(&sources);
+    assert!(
+        rendered.contains("error[LSS404]") && rendered.contains("depth limit of 256"),
+        "want a coded depth diagnostic, got:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("--max-depth"),
+        "hint missing:\n{rendered}"
+    );
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "depth cap must fire quickly"
+    );
+}
+
+#[test]
+fn expired_deadline_aborts_elaboration_with_lss401() {
+    let mut sources = SourceMap::new();
+    let src = "var x:int = 0;\nwhile (true) { x = x + 1; }";
+    let file = sources.add_file("spin.lss", src);
+    let mut diags = DiagnosticBag::new();
+    let program = parse(file, src, &mut diags);
+    let opts = ElabOptions {
+        budget: lss_types::BudgetCaps {
+            deadline: Some(std::time::Duration::from_millis(20)),
+            ..Default::default()
+        }
+        .start(),
+        ..Default::default()
+    };
+    let start = std::time::Instant::now();
+    let out = elaborate(
+        &[Unit {
+            program: &program,
+            library: false,
+        }],
+        &opts,
+        &mut diags,
+    );
+    assert!(out.is_none());
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "deadline must abort the loop promptly"
+    );
+    let rendered = diags.render(&sources);
+    assert!(
+        rendered.contains("error[LSS401]") && rendered.contains("wall-clock deadline"),
+        "want a coded deadline diagnostic, got:\n{rendered}"
+    );
+}
+
+#[test]
+fn netlist_size_cap_reports_lss407() {
+    let mut sources = SourceMap::new();
+    let mut src =
+        String::from(r#"module leaf { inport in:int; outport out:int; tar_file = "x.tar"; };"#);
+    for i in 0..16 {
+        src.push_str(&format!("\ninstance n{i}:leaf;"));
+    }
+    let src = src.as_str();
+    let file = sources.add_file("wide.lss", src);
+    let mut diags = DiagnosticBag::new();
+    let program = parse(file, src, &mut diags);
+    assert!(!diags.has_errors(), "{}", diags.render(&sources));
+    let opts = ElabOptions {
+        budget: lss_types::BudgetCaps {
+            max_netlist_items: Some(20),
+            ..Default::default()
+        }
+        .start(),
+        ..Default::default()
+    };
+    let out = elaborate(
+        &[Unit {
+            program: &program,
+            library: false,
+        }],
+        &opts,
+        &mut diags,
+    );
+    assert!(out.is_none());
+    let rendered = diags.render(&sources);
+    assert!(
+        rendered.contains("error[LSS407]") && rendered.contains("netlist size budget"),
+        "want a coded netlist-size diagnostic, got:\n{rendered}"
+    );
+}
+
+#[test]
 fn recursive_instantiation_is_caught() {
     let mut sources = SourceMap::new();
     let src = "module looper { instance inner:looper; };\ninstance top:looper;";
@@ -625,7 +733,15 @@ fn recursive_instantiation_is_caught() {
         &mut diags,
     );
     assert!(out.is_none());
-    assert!(diags.render(&sources).contains("exceeds 100 instances"));
+    let rendered = diags.render(&sources);
+    assert!(
+        rendered.contains("error[LSS403]") && rendered.contains("instance budget of 100"),
+        "want a coded instance-budget diagnostic, got:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("--max-instances"),
+        "hint missing:\n{rendered}"
+    );
 }
 
 #[test]
@@ -648,7 +764,11 @@ fn infinite_loop_is_caught() {
         &mut diags,
     );
     assert!(out.is_none());
-    assert!(diags.render(&sources).contains("exceeded 10000 steps"));
+    let rendered = diags.render(&sources);
+    assert!(
+        rendered.contains("error[LSS402]") && rendered.contains("step budget of 10000"),
+        "want a coded step-budget diagnostic, got:\n{rendered}"
+    );
 }
 
 // ---------------------------------------------------------------------------

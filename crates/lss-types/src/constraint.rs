@@ -172,6 +172,8 @@ impl fmt::Display for ConstraintSet {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::ty::TyVar;
 

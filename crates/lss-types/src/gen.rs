@@ -178,6 +178,8 @@ fn shift(scheme: &Scheme, offset: u32) -> Scheme {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::solve::{solve, SolveError, SolverConfig};
     use crate::ty::Ty;

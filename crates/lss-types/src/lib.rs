@@ -30,7 +30,11 @@
 //! ```
 
 #![warn(missing_docs)]
+// User-reachable failure paths must surface diagnostics, not panics
+// (tests opt back in per-module).
+#![warn(clippy::unwrap_used)]
 
+pub mod budget;
 pub mod constraint;
 pub mod gen;
 pub mod rng;
@@ -40,6 +44,7 @@ pub mod ty;
 pub mod unify;
 pub mod value;
 
+pub use budget::{Budget, BudgetCaps, BudgetError, BudgetKind};
 pub use constraint::{Constraint, ConstraintOrigin, ConstraintSet};
 pub use rng::SplitMix64;
 pub use solve::{partition, solve, Solution, SolveError, SolveStats, SolverConfig};

@@ -156,6 +156,8 @@ pub fn decode(solution: &crate::solve::Solution, num_vars: usize) -> Option<Vec<
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::solve::{solve, SolveError, SolverConfig};
 

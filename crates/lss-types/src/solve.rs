@@ -31,6 +31,7 @@
 
 use std::fmt;
 
+use crate::budget::{Budget, BudgetError, BudgetKind};
 use crate::constraint::{Constraint, ConstraintSet};
 use crate::ty::{Scheme, Ty, TyVar};
 use crate::unify::{unify, Subst, UnifyError, UnifyStats};
@@ -52,6 +53,10 @@ pub struct SolverConfig {
     pub step_budget: Option<u64>,
     /// Maximum number of disjunct expansions considered per scheme.
     pub expansion_cap: usize,
+    /// Shared pipeline budget; its wall-clock deadline is polled at every
+    /// search loop header so a pathological system degrades into
+    /// [`SolveError::DeadlineExceeded`] instead of spinning.
+    pub budget: Budget,
 }
 
 impl SolverConfig {
@@ -63,6 +68,7 @@ impl SolverConfig {
             partition: true,
             step_budget: None,
             expansion_cap: 4096,
+            budget: Budget::unlimited(),
         }
     }
 
@@ -74,12 +80,20 @@ impl SolverConfig {
             partition: false,
             step_budget: None,
             expansion_cap: 4096,
+            budget: Budget::unlimited(),
         }
     }
 
     /// Sets the step budget, returning `self` for chaining.
     pub fn with_budget(mut self, steps: u64) -> Self {
         self.step_budget = Some(steps);
+        self
+    }
+
+    /// Attaches a shared wall-clock [`Budget`], returning `self` for
+    /// chaining.
+    pub fn with_wall_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 }
@@ -122,6 +136,37 @@ pub enum SolveError {
         /// Steps consumed when the solver gave up.
         steps: u64,
     },
+    /// The shared wall-clock deadline passed mid-search. Graceful
+    /// degradation: the heuristic search is abandoned and the smallest
+    /// still-unresolved constraints are reported so the user sees *where*
+    /// the search was stuck.
+    DeadlineExceeded {
+        /// Renderings of the smallest unresolved constraints (capped).
+        unresolved: Vec<String>,
+        /// Total constraints still unresolved when the search aborted.
+        total_unresolved: usize,
+    },
+    /// A single constraint needed more disjunct expansions than the
+    /// configured cap — a resource limit, not an unsatisfiability verdict.
+    ExpansionCap {
+        /// The constraint whose disjunction product overflowed.
+        constraint: Constraint,
+        /// The configured [`SolverConfig::expansion_cap`].
+        cap: usize,
+    },
+}
+
+impl SolveError {
+    /// The `LSS4xx` budget code for resource-limit errors (`None` for a
+    /// genuine unsatisfiability verdict).
+    pub fn budget_kind(&self) -> Option<BudgetKind> {
+        match self {
+            SolveError::Unsatisfiable { .. } => None,
+            SolveError::BudgetExhausted { .. } => Some(BudgetKind::SolverSteps),
+            SolveError::DeadlineExceeded { .. } => Some(BudgetKind::Deadline),
+            SolveError::ExpansionCap { .. } => Some(BudgetKind::Expansions),
+        }
+    }
 }
 
 impl fmt::Display for SolveError {
@@ -138,6 +183,35 @@ impl fmt::Display for SolveError {
                 write!(
                     f,
                     "type inference exceeded its step budget after {steps} steps"
+                )
+            }
+            SolveError::DeadlineExceeded {
+                unresolved,
+                total_unresolved,
+            } => {
+                write!(
+                    f,
+                    "type inference hit the wall-clock deadline with {total_unresolved} \
+                     constraint(s) unresolved"
+                )?;
+                for u in unresolved {
+                    write!(f, "\n  unresolved: {u}")?;
+                }
+                if *total_unresolved > unresolved.len() {
+                    write!(
+                        f,
+                        "\n  ... and {} more",
+                        total_unresolved - unresolved.len()
+                    )?;
+                }
+                Ok(())
+            }
+            SolveError::ExpansionCap { constraint, cap } => {
+                write!(
+                    f,
+                    "constraint `{constraint}` ({}) needs more than {cap} disjunct \
+                     expansions",
+                    constraint.origin
                 )
             }
         }
@@ -265,14 +339,36 @@ struct Solver<'a> {
     unify_stats: UnifyStats,
 }
 
+/// The "smallest unresolved subset" report for deadline aborts: the
+/// pending constraints ordered simplest-first (fewest disjunct
+/// alternatives), capped for readability.
+fn unresolved_subset(pending: &[&Constraint]) -> Vec<String> {
+    const CAP: usize = 5;
+    let mut by_size: Vec<&&Constraint> = pending.iter().collect();
+    by_size.sort_by_key(|c| c.lhs.size() + c.rhs.size());
+    by_size
+        .iter()
+        .take(CAP)
+        .map(|c| format!("{c} ({})", c.origin))
+        .collect()
+}
+
 impl Solver<'_> {
-    fn check_budget(&self) -> Result<(), SolveError> {
+    /// Polls every resource limit at a search loop header. `pending` is
+    /// the still-unresolved queue, reported on deadline abort.
+    fn check_budget(&self, pending: &[&Constraint]) -> Result<(), SolveError> {
         if let Some(budget) = self.config.step_budget {
             if self.unify_stats.steps > budget {
                 return Err(SolveError::BudgetExhausted {
                     steps: self.unify_stats.steps,
                 });
             }
+        }
+        if let Err(BudgetError { .. }) = self.config.budget.check_deadline("infer") {
+            return Err(SolveError::DeadlineExceeded {
+                unresolved: unresolved_subset(pending),
+                total_unresolved: pending.len(),
+            });
         }
         Ok(())
     }
@@ -298,7 +394,7 @@ impl Solver<'_> {
                     disjunctive.push(*c);
                     continue;
                 }
-                self.check_budget()?;
+                self.check_budget(constraints)?;
                 unify(&c.lhs, &c.rhs, subst, &mut self.unify_stats)
                     .map_err(|e| self.unsat(c, e))?;
             }
@@ -314,16 +410,14 @@ impl Solver<'_> {
     /// with disjunctions multiplied out.
     fn expansions(&self, c: &Constraint) -> Result<Vec<(Scheme, Scheme)>, SolveError> {
         let cap = self.config.expansion_cap;
-        let lhs = c
-            .lhs
-            .expand_disjuncts(cap)
-            .ok_or_else(|| self.unsat(c, format!("more than {cap} disjunct expansions")))?;
-        let rhs = c
-            .rhs
-            .expand_disjuncts(cap)
-            .ok_or_else(|| self.unsat(c, format!("more than {cap} disjunct expansions")))?;
+        let overflow = || SolveError::ExpansionCap {
+            constraint: (*c).clone(),
+            cap,
+        };
+        let lhs = c.lhs.expand_disjuncts(cap).ok_or_else(overflow)?;
+        let rhs = c.rhs.expand_disjuncts(cap).ok_or_else(overflow)?;
         if lhs.len().saturating_mul(rhs.len()) > cap {
-            return Err(self.unsat(c, format!("more than {cap} disjunct expansions")));
+            return Err(overflow());
         }
         let mut pairs = Vec::with_capacity(lhs.len() * rhs.len());
         for l in &lhs {
@@ -358,7 +452,7 @@ impl Solver<'_> {
         depth: u32,
     ) -> Result<(), SolveError> {
         self.stats.max_depth = self.stats.max_depth.max(depth);
-        self.check_budget()?;
+        self.check_budget(queue)?;
         if queue.is_empty() {
             return Ok(());
         }
@@ -367,7 +461,7 @@ impl Solver<'_> {
         if self.config.smart {
             // Heuristic 2: repeatedly commit forced disjunctions.
             loop {
-                self.check_budget()?;
+                self.check_budget(&pending)?;
                 let mut progressed = false;
                 let mut next = Vec::with_capacity(pending.len());
                 for c in pending.drain(..) {
@@ -395,7 +489,8 @@ impl Solver<'_> {
         }
 
         // Pick the branching constraint: fewest viable disjuncts when smart,
-        // otherwise the first in the queue.
+        // otherwise the first in the queue. (`pending` is non-empty here,
+        // so the smart scan always produces a candidate.)
         let (pick_idx, pairs) = if self.config.smart {
             let mut best: Option<(usize, Vec<(Scheme, Scheme)>)> = None;
             for (i, c) in pending.iter().enumerate() {
@@ -408,13 +503,16 @@ impl Solver<'_> {
                     best = Some((i, viable));
                 }
             }
-            best.expect("pending is non-empty")
+            match best {
+                Some(picked) => picked,
+                None => return Ok(()),
+            }
         } else {
             (0, self.expansions(pending[0])?)
         };
         let constraint = pending.remove(pick_idx);
         for (l, r) in pairs {
-            self.check_budget()?;
+            self.check_budget(&pending)?;
             self.stats.branches += 1;
             let mut scratch = subst.clone();
             if unify(&l, &r, &mut scratch, &mut self.unify_stats).is_err() {
@@ -426,8 +524,10 @@ impl Solver<'_> {
                     *subst = scratch;
                     return Ok(());
                 }
-                Err(e @ SolveError::BudgetExhausted { .. }) => return Err(e),
-                Err(_) => self.stats.backtracks += 1,
+                // Only a genuine contradiction is worth backtracking over;
+                // resource exhaustion aborts the whole search.
+                Err(SolveError::Unsatisfiable { .. }) => self.stats.backtracks += 1,
+                Err(e) => return Err(e),
             }
         }
         Err(self.unsat(constraint, "every disjunct led to a contradiction"))
@@ -443,7 +543,7 @@ impl Solver<'_> {
         depth: u32,
     ) -> Result<(), SolveError> {
         self.stats.max_depth = self.stats.max_depth.max(depth);
-        self.check_budget()?;
+        self.check_budget(&constraints[index.min(constraints.len())..])?;
         let Some(c) = constraints.get(index) else {
             return Ok(());
         };
@@ -453,7 +553,7 @@ impl Solver<'_> {
                 let pairs = self.expansions(c)?;
                 let mut last_err = None;
                 for (l, r) in pairs {
-                    self.check_budget()?;
+                    self.check_budget(&constraints[index..])?;
                     self.stats.branches += 1;
                     let mut scratch = subst.clone();
                     if unify(&l, &r, &mut scratch, &mut self.unify_stats).is_err() {
@@ -465,11 +565,11 @@ impl Solver<'_> {
                             *subst = scratch;
                             return Ok(());
                         }
-                        Err(e @ SolveError::BudgetExhausted { .. }) => return Err(e),
-                        Err(e) => {
+                        Err(e @ SolveError::Unsatisfiable { .. }) => {
                             self.stats.backtracks += 1;
                             last_err = Some(e);
                         }
+                        Err(e) => return Err(e),
                     }
                 }
                 Err(last_err
@@ -482,6 +582,8 @@ impl Solver<'_> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn var(n: u32) -> Scheme {
@@ -503,6 +605,7 @@ mod tests {
                         partition: part,
                         step_budget: None,
                         expansion_cap: 4096,
+                        budget: Budget::unlimited(),
                     });
                 }
             }
@@ -686,6 +789,64 @@ mod tests {
         let config = SolverConfig::naive().with_budget(200);
         let err = solve(&set, &config).unwrap_err();
         assert!(matches!(err, SolveError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn expired_deadline_degrades_with_unresolved_subset() {
+        // A search space big enough that the naive solver cannot finish
+        // instantly, under an already-expired deadline: the solver must
+        // abort gracefully and name the constraints it was stuck on.
+        let mut set = ConstraintSet::new();
+        for i in 0..10 {
+            set.push_eq(var(i), or(&[Scheme::Int, Scheme::Float, Scheme::Bool]));
+        }
+        for i in 0..10 {
+            set.push_eq(var(i), Scheme::Bool);
+        }
+        let config = SolverConfig::naive().with_wall_budget(
+            crate::budget::BudgetCaps {
+                deadline: Some(std::time::Duration::ZERO),
+                ..Default::default()
+            }
+            .start(),
+        );
+        let err = solve(&set, &config).unwrap_err();
+        match err {
+            SolveError::DeadlineExceeded {
+                unresolved,
+                total_unresolved,
+            } => {
+                assert!(total_unresolved > 0);
+                assert!(!unresolved.is_empty());
+                assert!(unresolved.len() <= 5);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(
+            SolveError::DeadlineExceeded {
+                unresolved: vec![],
+                total_unresolved: 0
+            }
+            .budget_kind()
+            .map(BudgetKind::code),
+            Some("LSS401")
+        );
+    }
+
+    #[test]
+    fn expansion_cap_is_a_budget_error_not_unsat() {
+        // 2^13 struct-field combinations overflow the default 4096 cap.
+        let fields: Vec<(String, Scheme)> = (0..13)
+            .map(|i| (format!("f{i}"), or(&[Scheme::Int, Scheme::Float])))
+            .collect();
+        let mut set = ConstraintSet::new();
+        set.push_eq(var(0), Scheme::Struct(fields));
+        let err = solve(&set, &SolverConfig::heuristic()).unwrap_err();
+        match &err {
+            SolveError::ExpansionCap { cap, .. } => assert_eq!(*cap, 4096),
+            other => panic!("expected ExpansionCap, got {other:?}"),
+        }
+        assert_eq!(err.budget_kind().map(BudgetKind::code), Some("LSS406"));
     }
 
     #[test]

@@ -322,6 +322,8 @@ impl fmt::Display for Scheme {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

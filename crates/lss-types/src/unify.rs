@@ -185,6 +185,8 @@ pub fn unifiable(a: &Scheme, b: &Scheme, subst: &Subst, stats: &mut UnifyStats) 
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn var(n: u32) -> Scheme {

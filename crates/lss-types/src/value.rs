@@ -190,6 +190,8 @@ impl From<&str> for Datum {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -1,0 +1,615 @@
+//! Adversarial crash-fuzzing (`lssc fuzz --adversarial`).
+//!
+//! The differential fuzzer ([`crate::fuzz`]) feeds the pipeline
+//! *well-formed* programs and checks semantic oracles. This module attacks
+//! from the other side: hostile inputs — byte-mutated sources, shuffled
+//! token streams, generated garbage — and asserts the **robustness
+//! contract** instead of a semantic one:
+//!
+//! 1. the compiler never panics, whatever the input;
+//! 2. it terminates within its wall-clock budget (no input can pin it);
+//! 3. every parse rejection points at a real source location.
+//!
+//! Violations are shrunk with a text-level ddmin (line granularity, then
+//! character chunks — the byte-level cousin of [`crate::minimize`]'s
+//! instance-level reducer) and written under the output directory as
+//! replayable `.lss` files.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use lss_driver::{Driver, Stage};
+use lss_types::{BudgetCaps, SplitMix64};
+
+use crate::gen::{generate, GenConfig};
+
+/// Configuration for one adversarial run.
+#[derive(Debug, Clone)]
+pub struct AdversarialConfig {
+    /// Master seed; every iteration derives its own stream.
+    pub seed: u64,
+    /// Number of hostile inputs to try.
+    pub iters: u64,
+    /// Per-case wall-clock compile budget (contract 2 is "terminates
+    /// within this, give or take the polling stride").
+    pub deadline: Duration,
+    /// Where minimized violation repros are written.
+    pub out_dir: PathBuf,
+}
+
+impl Default for AdversarialConfig {
+    fn default() -> Self {
+        AdversarialConfig {
+            seed: 1,
+            iters: 100,
+            deadline: Duration::from_secs(2),
+            out_dir: PathBuf::from("target/verify"),
+        }
+    }
+}
+
+/// One contract violation, shrunk and written out.
+#[derive(Debug)]
+pub struct AdversarialFinding {
+    /// Iteration that produced the input.
+    pub iter: u64,
+    /// Which contract broke: `panic`, `missing-span`, or
+    /// `deadline-overrun`.
+    pub kind: &'static str,
+    /// Panic payload or diagnostic summary.
+    pub detail: String,
+    /// Bytes before and after shrinking.
+    pub original_len: usize,
+    /// Bytes after shrinking.
+    pub minimized_len: usize,
+    /// The replayable repro file, if writable.
+    pub repro: Option<PathBuf>,
+}
+
+/// Summary of an adversarial run.
+#[derive(Debug, Default)]
+pub struct AdversarialReport {
+    /// Inputs tried.
+    pub iters: u64,
+    /// Inputs that compiled clean (mutants are not always fatal).
+    pub compiled: u64,
+    /// Inputs rejected with well-formed diagnostics — the expected case.
+    pub rejected: u64,
+    /// Inputs stopped by the budget with an `LSS4xx` code — also a pass:
+    /// graceful degradation is the contract, not success.
+    pub budget_stops: u64,
+    /// Contract violations.
+    pub findings: Vec<AdversarialFinding>,
+}
+
+impl AdversarialReport {
+    /// True when the contract held for every input.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// What one compile attempt did, as seen from the contract.
+enum Outcome {
+    Compiled,
+    Rejected,
+    BudgetStop,
+    MissingSpan(String),
+}
+
+/// Compiles one hostile source under a budget and classifies the result.
+fn compile_outcome(source: &str, deadline: Duration) -> Outcome {
+    let mut driver = Driver::with_corelib();
+    driver.set_budget(BudgetCaps {
+        deadline: Some(deadline),
+        ..BudgetCaps::default()
+    });
+    driver.add_source("adv.lss", source);
+    match driver.elaborate() {
+        Ok(_) => Outcome::Compiled,
+        Err(e) if e.is_budget_exhausted() => Outcome::BudgetStop,
+        Err(e) => {
+            if e.diagnostics.is_empty() {
+                return Outcome::MissingSpan(format!(
+                    "stage `{}` failed without any diagnostic",
+                    e.stage
+                ));
+            }
+            // Parse errors must name a location — an unlocated syntax
+            // error on hostile input means the lexer lost track of where
+            // it was. (Later stages may legitimately use synthetic spans:
+            // inference failures have no single source point.)
+            if e.stage == Stage::Parse && e.diagnostics.iter().all(|d| d.span.is_synthetic()) {
+                return Outcome::MissingSpan(format!("parse error without a source location: {e}"));
+            }
+            Outcome::Rejected
+        }
+    }
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one case under `catch_unwind` and reports a violation, if any.
+/// `None` means the contract held (compiled, rejected, or budget-stopped).
+fn violation(source: &str, deadline: Duration) -> Option<(&'static str, String)> {
+    let started = Instant::now();
+    let result = panic::catch_unwind(AssertUnwindSafe(|| compile_outcome(source, deadline)));
+    let elapsed = started.elapsed();
+    match result {
+        Err(payload) => Some(("panic", panic_message(payload))),
+        Ok(outcome) => {
+            // Grace factor: the strided deadline polls and the corelib
+            // preamble legitimately overshoot a small budget; an unpolled
+            // loop overshoots by orders of magnitude.
+            if elapsed > deadline * 20 + Duration::from_secs(1) {
+                return Some((
+                    "deadline-overrun",
+                    format!("took {elapsed:?} against a {deadline:?} budget"),
+                ));
+            }
+            match outcome {
+                Outcome::MissingSpan(detail) => Some(("missing-span", detail)),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Token vocabulary for splices and generated soup: every keyword and
+/// sigil the grammar knows, plus a few things it doesn't.
+const VOCAB: &[&str] = &[
+    "module",
+    "instance",
+    "parameter",
+    "inport",
+    "outport",
+    "var",
+    "if",
+    "else",
+    "while",
+    "for",
+    "fun",
+    "return",
+    "struct",
+    "true",
+    "false",
+    "print",
+    "tar_file",
+    "int",
+    "float",
+    "bool",
+    "string",
+    "->",
+    "::",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    "=",
+    ",",
+    ".",
+    "+",
+    "-",
+    "*",
+    "/",
+    "==",
+    "!=",
+    "<",
+    "<=",
+    ">",
+    ">=",
+    "&&",
+    "||",
+    "!",
+    "\"",
+    "\"unterminated",
+    "0",
+    "1",
+    "9999",
+    "x",
+    "y",
+    "gen",
+    "source",
+    "sink",
+    "out",
+    "in",
+    "\u{fffd}",
+    "@",
+    "#",
+    "$",
+];
+
+/// A pool of plausible starting points: generated well-formed programs
+/// plus hand-written snippets covering the grammar's corners.
+fn seed_pool(seed: u64) -> Vec<String> {
+    let mut pool: Vec<String> = (0..4)
+        .map(|i| {
+            generate(
+                seed.wrapping_add(i).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                &GenConfig {
+                    max_insts: 6,
+                    ..GenConfig::default()
+                },
+            )
+            .render()
+        })
+        .collect();
+    pool.push(
+        "module counter {\n  parameter width = 8:int;\n  inport tick:int;\n  outport val:int;\n  \
+         tar_file = \"corelib/delay.tar\";\n};\ninstance c:counter;\nc.width = 4;\n"
+            .to_string(),
+    );
+    pool.push(
+        "var total = 0;\nfor (var i = 0; i < 10; i = i + 1) { total = total + i; }\n\
+         print(total);\n"
+            .to_string(),
+    );
+    pool.push(
+        "instance gen:source;\ninstance hole:sink;\ngen.out -> hole.in;\ngen.out :: int;\n"
+            .to_string(),
+    );
+    pool.push("fun twice(x) { return x * 2; }\nvar y = twice(21);\nprint(y);\n".to_string());
+    pool
+}
+
+/// Splits a source into coarse tokens (identifier/number runs, string
+/// literals, single sigils) with their joining whitespace folded in.
+fn tokenize(source: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    for ch in source.chars() {
+        if in_string {
+            current.push(ch);
+            if ch == '"' {
+                tokens.push(std::mem::take(&mut current));
+                in_string = false;
+            }
+            continue;
+        }
+        if ch == '"' {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            current.push(ch);
+            in_string = true;
+        } else if ch.is_alphanumeric() || ch == '_' {
+            current.push(ch);
+        } else {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            if !ch.is_whitespace() {
+                tokens.push(ch.to_string());
+            }
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Byte-level mutations: flips, insertions, deletions, truncation,
+/// duplication. Operates on raw bytes and lossy-decodes, so the lexer
+/// also sees invalid-UTF-8 replacement characters.
+fn mutate_bytes(rng: &mut SplitMix64, source: &str) -> String {
+    let mut bytes = source.as_bytes().to_vec();
+    let rounds = 1 + rng.index(8);
+    for _ in 0..rounds {
+        if bytes.is_empty() {
+            bytes.push(rng.next_u32() as u8);
+            continue;
+        }
+        let at = rng.index(bytes.len());
+        match rng.index(5) {
+            0 => bytes[at] = rng.next_u32() as u8,
+            1 => bytes.insert(at, rng.next_u32() as u8),
+            2 => {
+                bytes.remove(at);
+            }
+            3 => bytes.truncate(at),
+            _ => {
+                let end = (at + 1 + rng.index(16)).min(bytes.len());
+                let chunk: Vec<u8> = bytes[at..end].to_vec();
+                bytes.splice(at..at, chunk);
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Token-level mutations: delete, duplicate, swap, or splice in random
+/// vocabulary — structurally plausible garbage that gets deeper into the
+/// parser than byte noise does.
+fn mutate_tokens(rng: &mut SplitMix64, source: &str) -> String {
+    let mut tokens = tokenize(source);
+    let rounds = 1 + rng.index(6);
+    for _ in 0..rounds {
+        if tokens.is_empty() {
+            tokens.push(VOCAB[rng.index(VOCAB.len())].to_string());
+            continue;
+        }
+        let at = rng.index(tokens.len());
+        match rng.index(4) {
+            0 => {
+                tokens.remove(at);
+            }
+            1 => {
+                let t = tokens[at].clone();
+                tokens.insert(at, t);
+            }
+            2 => {
+                let other = rng.index(tokens.len());
+                tokens.swap(at, other);
+            }
+            _ => tokens.insert(at, VOCAB[rng.index(VOCAB.len())].to_string()),
+        }
+    }
+    tokens.join(" ")
+}
+
+/// Generates malformed programs from whole cloth: token soup, pathological
+/// nesting, unterminated strings, self-instantiation — each aimed at a
+/// specific guard in the front end.
+fn generate_malformed(rng: &mut SplitMix64) -> String {
+    match rng.index(6) {
+        0 => {
+            let n = 5 + rng.index(120);
+            (0..n)
+                .map(|_| VOCAB[rng.index(VOCAB.len())])
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+        1 => {
+            // Deep expression nesting — the parser's recursion guard.
+            let depth = 50 + rng.index(8000);
+            format!("var x = {}1{};\n", "(".repeat(depth), ")".repeat(depth))
+        }
+        2 => {
+            // Deep type nesting on an annotation.
+            let depth = 50 + rng.index(2000);
+            format!(
+                "instance g:source;\ng.out :: {}int{};\n",
+                "struct { f: ".repeat(depth),
+                "; }".repeat(depth)
+            )
+        }
+        3 => format!(
+            "var s = \"never closed {};\nvar t = 1;\n",
+            "x".repeat(rng.index(200))
+        ),
+        4 => {
+            // Self-instantiating module — the depth budget, not a hang.
+            "module m { instance child:m; };\ninstance root:m;\n".to_string()
+        }
+        _ => {
+            // One enormous token.
+            let n = 1 + rng.index(50_000);
+            format!("var {} = 1;\n", "a".repeat(n))
+        }
+    }
+}
+
+/// Derives the hostile input for one iteration.
+fn hostile_input(rng: &mut SplitMix64, pool: &[String]) -> String {
+    let strategy = rng.index(8);
+    let seed_text = pool[rng.index(pool.len())].clone();
+    match strategy {
+        // Occasionally feed a pristine seed: the contract must hold on
+        // well-formed inputs too, and it keeps the mutators honest.
+        0 => seed_text,
+        1..=3 => mutate_bytes(rng, &seed_text),
+        4 | 5 => mutate_tokens(rng, &seed_text),
+        _ => generate_malformed(rng),
+    }
+}
+
+/// Text-level ddmin: repeatedly deletes chunks (lines first, then
+/// character spans) while `still_fails` holds, bounded by `max_checks`
+/// predicate evaluations.
+pub fn ddmin_text(
+    source: &str,
+    mut still_fails: impl FnMut(&str) -> bool,
+    max_checks: usize,
+) -> String {
+    let mut checks = 0usize;
+    let mut shrink_pass = |pieces: Vec<String>| -> Vec<String> {
+        let mut pieces = pieces;
+        let mut chunks = 2usize;
+        while pieces.len() >= 2 && checks < max_checks {
+            let chunk_len = pieces.len().div_ceil(chunks);
+            let mut reduced = false;
+            let mut start = 0;
+            while start < pieces.len() && checks < max_checks {
+                let end = (start + chunk_len).min(pieces.len());
+                let candidate: Vec<String> = pieces[..start]
+                    .iter()
+                    .chain(&pieces[end..])
+                    .cloned()
+                    .collect();
+                checks += 1;
+                if !candidate.is_empty() && still_fails(&candidate.concat()) {
+                    pieces = candidate;
+                    chunks = chunks.saturating_sub(1).max(2);
+                    reduced = true;
+                    break;
+                }
+                start = end;
+            }
+            if !reduced {
+                if chunks >= pieces.len() {
+                    break;
+                }
+                chunks = (chunks * 2).min(pieces.len());
+            }
+        }
+        pieces
+    };
+
+    // Pass 1: line granularity (keeping the newlines attached).
+    let lines: Vec<String> = source.split_inclusive('\n').map(str::to_string).collect();
+    let reduced = shrink_pass(lines).concat();
+    // Pass 2: character granularity over what's left.
+    let chars: Vec<String> = reduced.chars().map(String::from).collect();
+    shrink_pass(chars).concat()
+}
+
+/// Runs the adversarial fuzzer. `log` receives progress lines.
+///
+/// Panics raised by the compiler are caught per-case; the process-global
+/// panic hook is silenced for the duration of the run (and restored
+/// after) so expected-caught panics don't spew backtraces.
+pub fn run_adversarial(cfg: &AdversarialConfig, mut log: impl FnMut(&str)) -> AdversarialReport {
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+
+    let pool = seed_pool(cfg.seed);
+    let mut report = AdversarialReport {
+        iters: cfg.iters,
+        ..AdversarialReport::default()
+    };
+    for iter in 0..cfg.iters {
+        let mut rng =
+            SplitMix64::new(cfg.seed ^ iter.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1));
+        let source = hostile_input(&mut rng, &pool);
+        match violation(&source, cfg.deadline) {
+            None => {
+                // Re-classify for the counters (cheap relative to fuzzing).
+                match panic::catch_unwind(AssertUnwindSafe(|| {
+                    compile_outcome(&source, cfg.deadline)
+                })) {
+                    Ok(Outcome::Compiled) => report.compiled += 1,
+                    Ok(Outcome::BudgetStop) => report.budget_stops += 1,
+                    _ => report.rejected += 1,
+                }
+            }
+            Some((kind, detail)) => {
+                log(&format!(
+                    "iter {iter}: {kind} — shrinking {} bytes",
+                    source.len()
+                ));
+                let minimized = ddmin_text(
+                    &source,
+                    |candidate| violation(candidate, cfg.deadline).is_some_and(|(k, _)| k == kind),
+                    200,
+                );
+                let repro = write_adversarial_repro(cfg, iter, kind, &detail, &minimized);
+                report.findings.push(AdversarialFinding {
+                    iter,
+                    kind,
+                    detail,
+                    original_len: source.len(),
+                    minimized_len: minimized.len(),
+                    repro,
+                });
+            }
+        }
+        if (iter + 1) % 100 == 0 {
+            log(&format!(
+                "adversarial: {}/{} cases, {} ok, {} rejected, {} budget stop(s), {} finding(s)",
+                iter + 1,
+                cfg.iters,
+                report.compiled,
+                report.rejected,
+                report.budget_stops,
+                report.findings.len()
+            ));
+        }
+    }
+
+    panic::set_hook(prev_hook);
+    report
+}
+
+/// Writes a minimized violation under the output directory.
+fn write_adversarial_repro(
+    cfg: &AdversarialConfig,
+    iter: u64,
+    kind: &str,
+    detail: &str,
+    minimized: &str,
+) -> Option<PathBuf> {
+    std::fs::create_dir_all(&cfg.out_dir).ok()?;
+    let path = cfg.out_dir.join(format!("adv-{}-{iter}.lss", cfg.seed));
+    let body = format!(
+        "// lssc fuzz --adversarial --seed {} repro\n// iter {iter}: {kind}\n// {}\n{minimized}",
+        cfg.seed,
+        detail.replace('\n', " "),
+    );
+    std::fs::write(&path, body).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversarial_smoke_is_clean_and_deterministic() {
+        let cfg = AdversarialConfig {
+            seed: 7,
+            iters: 30,
+            deadline: Duration::from_millis(900),
+            out_dir: std::env::temp_dir().join("lss-adv-test"),
+        };
+        let report = run_adversarial(&cfg, |_| {});
+        assert_eq!(report.iters, 30);
+        assert!(
+            report.clean(),
+            "robustness contract violated: {:?}",
+            report.findings
+        );
+        // Hostile inputs must actually exercise the rejection paths.
+        assert!(report.rejected > 0, "{report:?}");
+        assert_eq!(
+            report.compiled + report.rejected + report.budget_stops,
+            30,
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn ddmin_shrinks_to_the_failing_line() {
+        let source = "good line one\nBAD\ngood line two\ngood line three\n";
+        let reduced = ddmin_text(source, |s| s.contains("BAD"), 500);
+        assert_eq!(reduced, "BAD");
+    }
+
+    #[test]
+    fn tokenizer_round_trips_structure() {
+        let toks = tokenize("instance g:source;\ng.out :: int;");
+        assert!(toks.contains(&"instance".to_string()));
+        assert!(toks.contains(&";".to_string()));
+        // A string literal stays one token.
+        let toks = tokenize("var s = \"a b c\";");
+        assert!(toks.contains(&"\"a b c\"".to_string()), "{toks:?}");
+    }
+
+    #[test]
+    fn self_instantiation_is_a_budget_stop_not_a_hang() {
+        let started = Instant::now();
+        let outcome = compile_outcome(
+            "module m { instance child:m; };\ninstance root:m;\n",
+            Duration::from_secs(2),
+        );
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert!(
+            matches!(outcome, Outcome::BudgetStop | Outcome::Rejected),
+            "self-instantiation must stop on a budget"
+        );
+    }
+}

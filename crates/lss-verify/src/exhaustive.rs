@@ -160,7 +160,13 @@ pub fn check_types(set: &ConstraintSet, config: &SolverConfig) -> Option<TypeDis
         return None;
     }
     match solve(set, config) {
-        Err(SolveError::BudgetExhausted { .. }) => None,
+        // Resource exhaustion of any kind (step budget, deadline,
+        // expansion cap) is a skip, not a verdict.
+        Err(
+            SolveError::BudgetExhausted { .. }
+            | SolveError::DeadlineExceeded { .. }
+            | SolveError::ExpansionCap { .. },
+        ) => None,
         Err(SolveError::Unsatisfiable { constraint, reason }) => match oracle {
             Verdict::Sat => Some(TypeDiscrepancy::HeuristicUnsatOracleSat {
                 constraint: constraint.to_string(),

@@ -21,9 +21,14 @@
 //! * [`fuzz`] — the orchestrating loop behind `lssc fuzz`, with
 //!   `lssc difftest` replaying single files (the checked-in corpus under
 //!   `tests/corpus/` goes through the same path).
+//! * [`adversarial`] — the crash-fuzzing loop behind
+//!   `lssc fuzz --adversarial`: hostile (mutated and malformed) inputs
+//!   checked against the robustness contract — no panics, bounded
+//!   wall-clock, located parse errors — rather than a semantic oracle.
 
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod difftest;
 pub mod exhaustive;
 pub mod fuzz;
@@ -31,6 +36,7 @@ pub mod gen;
 pub mod minimize;
 pub mod refsim;
 
+pub use adversarial::{run_adversarial, AdversarialConfig, AdversarialFinding, AdversarialReport};
 pub use difftest::{
     check_roundtrip, compile_source, diff_netlist, difftest_source, DiffOptions, Discrepancy,
 };

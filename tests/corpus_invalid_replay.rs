@@ -1,0 +1,162 @@
+//! Deterministic replay of the invalid-input corpus.
+//!
+//! Every `.lss` file under `tests/corpus-invalid/` is a program the
+//! compiler must *reject* — hand-written hostile specs plus minimized
+//! adversarial fuzz repros. Each file declares its contract in header
+//! comments:
+//!
+//! * `// expect: <substring>` — the rendered error must contain it
+//!   (repeatable; all must match).
+//! * `// expect-budget: yes` — the failure must be a coded LSS4xx
+//!   resource-exhaustion error, not a plain diagnostic.
+//! * `// expect-located: yes` — at least one diagnostic must point at
+//!   real source (the renderer's `-->` span line).
+//!
+//! Every replay additionally asserts the blanket robustness contract:
+//! compilation never panics and terminates promptly under a small step
+//! budget plus a wall-clock deadline.
+
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use liberty::driver::{Driver, DriverError};
+use liberty::types::BudgetCaps;
+
+/// Per-file wall-clock ceiling: generous next to the step budget, which
+/// is what actually stops the loops in this corpus.
+const FILE_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Elaboration step cap for the replay: small enough that `spin_loop.lss`
+/// trips it in well under a second.
+const STEP_CAP: u64 = 200_000;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus-invalid"))
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(corpus_dir())
+        .expect("tests/corpus-invalid must exist")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "lss"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// The expectations a corpus file declares in its comment header.
+#[derive(Default)]
+struct Expectations {
+    substrings: Vec<String>,
+    budget: bool,
+    located: bool,
+}
+
+fn parse_header(text: &str) -> Expectations {
+    let mut exp = Expectations::default();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("//") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if let Some(s) = rest.strip_prefix("expect:") {
+            exp.substrings.push(s.trim().to_string());
+        } else if let Some(s) = rest.strip_prefix("expect-budget:") {
+            exp.budget = s.trim() == "yes";
+        } else if let Some(s) = rest.strip_prefix("expect-located:") {
+            exp.located = s.trim() == "yes";
+        }
+    }
+    exp
+}
+
+fn compile(name: &str, text: &str) -> Result<(), DriverError> {
+    let mut driver = Driver::with_corelib();
+    driver.options.elab.max_steps = STEP_CAP;
+    driver.set_budget(BudgetCaps {
+        deadline: Some(FILE_DEADLINE),
+        ..BudgetCaps::default()
+    });
+    driver.add_source(name, text);
+    driver.elaborate().map(|_| ())
+}
+
+#[test]
+fn corpus_invalid_is_nonempty() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 8,
+        "expected at least 8 invalid corpus entries, found {}",
+        files.len()
+    );
+}
+
+#[test]
+fn every_corpus_file_declares_an_expectation() {
+    for path in corpus_files() {
+        let text = fs::read_to_string(&path).expect("corpus file readable");
+        let exp = parse_header(&text);
+        assert!(
+            !exp.substrings.is_empty(),
+            "{}: missing `// expect:` header",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_invalid_replays_with_expected_errors_and_no_panics() {
+    let mut failures = Vec::new();
+    for path in corpus_files() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = fs::read_to_string(&path).expect("corpus file readable");
+        let exp = parse_header(&text);
+
+        let start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| compile(&name, &text)));
+        let elapsed = start.elapsed();
+
+        if elapsed > FILE_DEADLINE + Duration::from_secs(2) {
+            failures.push(format!("{name}: took {elapsed:?}, past the deadline"));
+        }
+        let err = match outcome {
+            Err(_) => {
+                failures.push(format!("{name}: compilation panicked"));
+                continue;
+            }
+            Ok(Ok(())) => {
+                failures.push(format!("{name}: compiled cleanly, expected an error"));
+                continue;
+            }
+            Ok(Err(e)) => e,
+        };
+
+        let rendered = err.to_string();
+        for want in &exp.substrings {
+            if !rendered.contains(want) {
+                failures.push(format!("{name}: error missing `{want}`:\n{rendered}"));
+            }
+        }
+        if exp.budget && !err.is_budget_exhausted() {
+            failures.push(format!(
+                "{name}: expected a coded LSS4xx budget error, got:\n{rendered}"
+            ));
+        }
+        if !exp.budget && err.is_budget_exhausted() {
+            failures.push(format!("{name}: unexpected budget exhaustion:\n{rendered}"));
+        }
+        if exp.located && !rendered.contains("-->") {
+            failures.push(format!(
+                "{name}: diagnostic has no source span:\n{rendered}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "invalid-corpus violations:\n{}",
+        failures.join("\n")
+    );
+}
