@@ -31,6 +31,17 @@ for f in examples/lss/*.lss; do
     --format sarif --output "target/analysis/example_${name}.sarif"
 done
 
+echo "==> protocol: composition checks clean over Table 3 models and examples"
+for m in A B C D E F; do
+  ./target/release/lssc check --model "$m" --deny LSS105 --deny LSS107
+done
+for f in examples/lss/*.lss; do
+  ./target/release/lssc check "$f" --deny LSS105 --deny LSS107
+done
+
+echo "==> protocol: static pass vs runtime monitor agreement smoke (fixed seed)"
+./target/release/lssc fuzz --protocols --seed 1 --iters 200
+
 echo "==> pipeline: cold-then-warm batch builds of the Table 3 models"
 rm -rf target/lss-cache-ci
 MODELS=(crates/lss-models/models/model_{a,b,c,d,e,f}.lss)

@@ -44,5 +44,32 @@ fn main() {
         std::hint::black_box(analysis.findings.len());
     }));
 
+    // The protocol composition pass in isolation: its `run` method on the
+    // precomputed context, without the shared flatten/dep-graph setup the
+    // manager amortizes over the whole suite. Declared automata are tiny,
+    // so composing them per wire must stay in the noise (< 5% of a full
+    // check) or the pass gets evicted from the on-every-compile suite.
+    let deps = leaf_dep_graph(&compiled.netlist, &wires, &comb);
+    let ctx = lss_analyze::AnalysisCtx {
+        netlist: &compiled.netlist,
+        wires: &wires,
+        deps: &deps,
+        comb: &comb,
+    };
+    let pass = lss_analyze::passes::protocol::ProtocolPass;
+    let protocol = measure(format!("analyze_protocol_pass/{id}"), 2, 20, || {
+        let mut findings = Vec::new();
+        lss_analyze::Pass::run(&pass, &ctx, &mut findings);
+        std::hint::black_box(findings.len());
+    });
+    let full_median = samples.last().expect("full-check sample present").median_ns;
+    assert!(
+        protocol.median_ns <= full_median / 20,
+        "protocol pass costs {}ns median, over 5% of the {}ns full check",
+        protocol.median_ns,
+        full_median
+    );
+    samples.push(protocol);
+
     write_json("BENCH_analyze.json", &samples);
 }

@@ -52,6 +52,10 @@
 //!                      the semantic oracles; checks that the compiler
 //!                      never panics, terminates within --deadline-ms
 //!                      (default 2000), and locates every parse error
+//!   --protocols        plant protocol bugs (credit over-issue, role
+//!                      flips, deadlocking custom automata) and check
+//!                      that the LSS105/LSS107 static pass and the
+//!                      runtime protocol monitor agree on every program
 //!   --mutate M         inject a known scheduler bug into the reference
 //!                      (reversed | single-pass); for exercising the
 //!                      harness, not for real verification
@@ -115,7 +119,7 @@ use std::sync::Mutex;
 
 use liberty::types::BudgetCaps;
 use liberty::{AnalysisConfig, Driver, DriverError, Lse, Scheduler, StageTimings};
-use lss_analyze::{to_jsonl, to_sarif, to_text, Code};
+use lss_analyze::{to_jsonl, to_sarif_located, to_text_located, Code};
 use lss_netlist::{dump, reuse_stats};
 
 /// Renders the engine counters and the static-schedule shape after a run.
@@ -319,6 +323,7 @@ fn usage() -> ! {
          \x20           [--naive-inference] [BUDGET-FLAGS] FILE.lss...\n\
          \x20      lssc fuzz [--seed N] [--iters N] [--max-insts N] [--cycles N]\n\
          \x20           [--out DIR] [--types-only | --sim-only] [--adversarial]\n\
+         \x20           [--protocols]\n\
          \x20           [--deadline-ms N] [--mutate reversed|single-pass]\n\
          \x20      lssc difftest [--cycles N] [--mutate reversed|single-pass]\n\
          \x20           FILE.lss...\n\
@@ -504,9 +509,9 @@ fn run_check(args: impl Iterator<Item = String>) -> ExitCode {
 
     let analysis = &analyzed.analysis;
     let report = match opts.format {
-        CheckFormat::Text => to_text(&analysis.findings),
+        CheckFormat::Text => to_text_located(&analysis.findings, Some(lse.sources())),
         CheckFormat::Json => to_jsonl(&analysis.findings),
-        CheckFormat::Sarif => to_sarif(&analysis.findings),
+        CheckFormat::Sarif => to_sarif_located(&analysis.findings, Some(lse.sources())),
     };
     match &opts.output {
         Some(path) => {
@@ -744,6 +749,7 @@ struct FuzzCliOptions {
     types_only: bool,
     sim_only: bool,
     adversarial: bool,
+    protocols: bool,
     deadline_ms: u64,
     mutation: lss_verify::Mutation,
 }
@@ -758,6 +764,7 @@ fn parse_fuzz_args(args: impl Iterator<Item = String>) -> FuzzCliOptions {
         types_only: false,
         sim_only: false,
         adversarial: false,
+        protocols: false,
         deadline_ms: 2000,
         mutation: lss_verify::Mutation::None,
     };
@@ -787,6 +794,7 @@ fn parse_fuzz_args(args: impl Iterator<Item = String>) -> FuzzCliOptions {
             "--types-only" => opts.types_only = true,
             "--sim-only" => opts.sim_only = true,
             "--adversarial" => opts.adversarial = true,
+            "--protocols" => opts.protocols = true,
             "--deadline-ms" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) if n >= 1 => opts.deadline_ms = n,
                 _ => usage(),
@@ -849,11 +857,46 @@ fn run_adversarial_cmd(opts: &FuzzCliOptions) -> ExitCode {
     }
 }
 
+/// The `lssc fuzz --protocols` mode: planted protocol bugs checked for
+/// static-pass/runtime-monitor agreement.
+fn run_protocol_fuzz_cmd(opts: &FuzzCliOptions) -> ExitCode {
+    let cfg = lss_verify::ProtocolFuzzConfig {
+        seed: opts.seed,
+        iters: opts.iters,
+        gen: lss_verify::GenConfig {
+            max_insts: opts.max_insts,
+            ..lss_verify::GenConfig::default()
+        },
+    };
+    let report = lss_verify::run_protocol_fuzz(&cfg, |line| eprintln!("{line}"));
+    eprintln!(
+        "fuzz --protocols: seed {} — {} program(s), {} base clean, \
+         {} static flag(s), {} runtime flag(s), {} disagreement(s)",
+        cfg.seed,
+        report.iters,
+        report.base_clean,
+        report.static_flagged,
+        report.runtime_flagged,
+        report.findings.len()
+    );
+    for finding in &report.findings {
+        eprintln!("disagreement: {finding}");
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
 /// The `lssc fuzz` subcommand: generate, check both oracles, minimize.
 fn run_fuzz_cmd(args: impl Iterator<Item = String>) -> ExitCode {
     let opts = parse_fuzz_args(args);
     if opts.adversarial {
         return run_adversarial_cmd(&opts);
+    }
+    if opts.protocols {
+        return run_protocol_fuzz_cmd(&opts);
     }
     let mut gen = lss_verify::GenConfig {
         max_insts: opts.max_insts,
@@ -1308,7 +1351,10 @@ fn real_main() -> ExitCode {
         if analyzed.analysis.is_clean() {
             println!("lint: clean");
         } else {
-            print!("{}", to_text(&analyzed.analysis.findings));
+            print!(
+                "{}",
+                to_text_located(&analyzed.analysis.findings, Some(lse.sources()))
+            );
         }
         lint_denied = analyzed.analysis.denied;
     }

@@ -22,6 +22,12 @@ pub enum Code {
     IsolatedInstance,
     /// `LSS104` — hierarchical port connected on only one face.
     DanglingHierPort,
+    /// `LSS105` — connected port groups declare incompatible protocols.
+    ProtocolMismatch,
+    /// `LSS106` — annotated group engages a peer with no declared protocol.
+    ProtocolUnannotatedPeer,
+    /// `LSS107` — composed protocol automata can reach a deadlock state.
+    ProtocolDeadlock,
     /// `LSS201` — leaf input never driven (on a partially wired instance).
     UnconnectedInput,
     /// `LSS202` — leaf output with no consumers.
@@ -77,11 +83,14 @@ impl fmt::Display for Severity {
 
 impl Code {
     /// Every code, in id order.
-    pub const ALL: [Code; 10] = [
+    pub const ALL: [Code; 13] = [
         Code::CombCycle,
         Code::MultiDriver,
         Code::IsolatedInstance,
         Code::DanglingHierPort,
+        Code::ProtocolMismatch,
+        Code::ProtocolUnannotatedPeer,
+        Code::ProtocolDeadlock,
         Code::UnconnectedInput,
         Code::UnconnectedOutput,
         Code::DeadLogic,
@@ -97,6 +106,9 @@ impl Code {
             Code::MultiDriver => "LSS102",
             Code::IsolatedInstance => "LSS103",
             Code::DanglingHierPort => "LSS104",
+            Code::ProtocolMismatch => "LSS105",
+            Code::ProtocolUnannotatedPeer => "LSS106",
+            Code::ProtocolDeadlock => "LSS107",
             Code::UnconnectedInput => "LSS201",
             Code::UnconnectedOutput => "LSS202",
             Code::DeadLogic => "LSS203",
@@ -113,6 +125,9 @@ impl Code {
             Code::MultiDriver => "MultiDriverConflict",
             Code::IsolatedInstance => "IsolatedInstance",
             Code::DanglingHierPort => "DanglingHierarchicalPort",
+            Code::ProtocolMismatch => "ProtocolMismatch",
+            Code::ProtocolUnannotatedPeer => "ProtocolUnannotatedPeer",
+            Code::ProtocolDeadlock => "ProtocolDeadlock",
             Code::UnconnectedInput => "UnconnectedInput",
             Code::UnconnectedOutput => "UnconnectedOutput",
             Code::DeadLogic => "DeadLogic",
@@ -129,6 +144,11 @@ impl Code {
             Code::MultiDriver => "input port instance driven by more than one source",
             Code::IsolatedInstance => "instance declares ports but none are connected",
             Code::DanglingHierPort => "hierarchical port connected on only one face",
+            Code::ProtocolMismatch => "connected port groups declare incompatible protocols",
+            Code::ProtocolUnannotatedPeer => {
+                "annotated port group engages a peer with no declared protocol"
+            }
+            Code::ProtocolDeadlock => "composed protocol automata can reach a deadlock",
             Code::UnconnectedInput => "leaf input port is never driven",
             Code::UnconnectedOutput => "leaf output port has no consumers",
             Code::DeadLogic => {
@@ -153,6 +173,18 @@ impl Code {
             }
             Code::IsolatedInstance => "connect the instance or delete it",
             Code::DanglingHierPort => "connect the missing face or remove the boundary port",
+            Code::ProtocolMismatch => {
+                "align the two sides' `protocol` annotations (same template family and a consumer \
+                 capacity at least the producer's credit count), or fix the connection"
+            }
+            Code::ProtocolUnannotatedPeer => {
+                "declare a matching `protocol` group on the peer module, or silence with \
+                 `--allow LSS106` if the peer intentionally ignores the discipline"
+            }
+            Code::ProtocolDeadlock => {
+                "wire the group's reverse channel (credit/ready return) or reorder the automata \
+                 so one side can always make progress"
+            }
             Code::UnconnectedInput => {
                 "drive the input, or silence with `--allow LSS201` if intended"
             }
@@ -174,7 +206,10 @@ impl Code {
     /// Default severity (the per-code severity defaults the CLI exposes).
     pub fn default_severity(self) -> Severity {
         match self {
-            Code::CombCycle | Code::MultiDriver => Severity::Error,
+            Code::CombCycle
+            | Code::MultiDriver
+            | Code::ProtocolMismatch
+            | Code::ProtocolDeadlock => Severity::Error,
             Code::WidthMismatch => Severity::Info,
             _ => Severity::Warning,
         }
@@ -331,7 +366,10 @@ mod tests {
                 Code::CombCycle,
                 Code::MultiDriver,
                 Code::IsolatedInstance,
-                Code::DanglingHierPort
+                Code::DanglingHierPort,
+                Code::ProtocolMismatch,
+                Code::ProtocolUnannotatedPeer,
+                Code::ProtocolDeadlock,
             ]
         );
         assert_eq!(Code::parse_selector("lss3XX").unwrap().len(), 3);
@@ -348,8 +386,22 @@ mod tests {
         let config = AnalysisConfig::default();
         assert!(config.is_denied(Code::CombCycle, Code::CombCycle.default_severity()));
         assert!(config.is_denied(Code::MultiDriver, Code::MultiDriver.default_severity()));
+        assert!(config.is_denied(
+            Code::ProtocolMismatch,
+            Code::ProtocolMismatch.default_severity()
+        ));
+        assert!(config.is_denied(
+            Code::ProtocolDeadlock,
+            Code::ProtocolDeadlock.default_severity()
+        ));
+        let error_codes = [
+            Code::CombCycle,
+            Code::MultiDriver,
+            Code::ProtocolMismatch,
+            Code::ProtocolDeadlock,
+        ];
         for code in Code::ALL {
-            if code != Code::CombCycle && code != Code::MultiDriver {
+            if !error_codes.contains(&code) {
                 assert!(
                     !config.is_denied(code, code.default_severity()),
                     "{code} should not be denied by default"

@@ -5,14 +5,27 @@
 
 use std::fmt::Write as _;
 
+use lss_ast::SourceMap;
+
 use crate::diag::{Code, Finding};
 
 /// Renders findings as human-readable lines, one per finding, with
 /// supporting notes indented underneath.
 pub fn to_text(findings: &[Finding]) -> String {
+    to_text_located(findings, None)
+}
+
+/// Like [`to_text`], but findings that carry a source span get a
+/// `--> file:line:col` locator line resolved through `sources`.
+pub fn to_text_located(findings: &[Finding], sources: Option<&SourceMap>) -> String {
     let mut out = String::new();
     for f in findings {
         let _ = writeln!(out, "{f}");
+        if let (Some(span), Some(map)) = (f.span, sources) {
+            if !span.is_synthetic() {
+                let _ = writeln!(out, "    --> {}", map.describe(span));
+            }
+        }
         for note in &f.related {
             let _ = writeln!(out, "    note: {note}");
         }
@@ -21,13 +34,21 @@ pub fn to_text(findings: &[Finding]) -> String {
 }
 
 /// Renders findings as JSON lines: one object per finding per line.
+/// Findings carrying a span include a `"span": [file, start, end]` triple
+/// of raw byte offsets.
 pub fn to_jsonl(findings: &[Finding]) -> String {
     let mut out = String::new();
     for f in findings {
         let related: Vec<String> = f.related.iter().map(|n| quote(n)).collect();
+        let span = match f.span {
+            Some(s) if !s.is_synthetic() => {
+                format!(", \"span\": [{}, {}, {}]", s.file.0, s.start, s.end)
+            }
+            _ => String::new(),
+        };
         let _ = writeln!(
             out,
-            "{{\"code\": {}, \"severity\": {}, \"subject\": {}, \"message\": {}, \"related\": [{}]}}",
+            "{{\"code\": {}, \"severity\": {}, \"subject\": {}, \"message\": {}, \"related\": [{}]{span}}}",
             quote(f.code.id()),
             quote(f.severity.as_str()),
             quote(&f.subject),
@@ -44,6 +65,12 @@ pub fn to_jsonl(findings: &[Finding]) -> String {
 /// titles and help for clean runs too); each result carries the instance
 /// path as a logical location's `fullyQualifiedName`.
 pub fn to_sarif(findings: &[Finding]) -> String {
+    to_sarif_located(findings, None)
+}
+
+/// Like [`to_sarif`], but findings with spans also carry a
+/// `physicalLocation` (artifact uri + region) resolved through `sources`.
+pub fn to_sarif_located(findings: &[Finding], sources: Option<&SourceMap>) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
@@ -76,11 +103,28 @@ pub fn to_sarif(findings: &[Finding]) -> String {
             text.push_str("; ");
             text.push_str(note);
         }
+        let physical = match (f.span, sources) {
+            (Some(span), Some(map)) if !span.is_synthetic() => match map.get(span.file) {
+                Some(file) => {
+                    let (line, col) = file.line_col(span.start);
+                    format!(
+                        ", \"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+                         \"region\": {{\"startLine\": {line}, \"startColumn\": {col}, \
+                         \"byteOffset\": {}, \"byteLength\": {}}}}}",
+                        quote(&file.name),
+                        span.start,
+                        span.end.saturating_sub(span.start),
+                    )
+                }
+                None => String::new(),
+            },
+            _ => String::new(),
+        };
         let _ = writeln!(
             out,
             "        {{\"ruleId\": {}, \"ruleIndex\": {rule_index}, \"level\": {}, \
              \"message\": {{\"text\": {}}}, \"locations\": [{{\"logicalLocations\": \
-             [{{\"fullyQualifiedName\": {}}}]}}]}}{comma}",
+             [{{\"fullyQualifiedName\": {}}}]{physical}}}]}}{comma}",
             quote(f.code.id()),
             quote(f.severity.sarif_level()),
             quote(&text),

@@ -46,7 +46,7 @@ pub mod passes;
 use lss_netlist::{Netlist, Wire};
 
 pub use diag::{AnalysisConfig, Code, Finding, Severity};
-pub use emit::{to_jsonl, to_sarif, to_text};
+pub use emit::{to_jsonl, to_sarif, to_sarif_located, to_text, to_text_located};
 pub use graph::{leaf_dep_graph, CombInfo, Condensation, DepGraph, LeafDepGraph};
 
 /// Everything a pass may consult, computed once per [`PassManager::run`].

@@ -5,6 +5,7 @@ pub mod cycles;
 pub mod deadlogic;
 pub mod multidriver;
 pub mod netlist_lints;
+pub mod protocol;
 pub mod residue;
 
 use crate::Pass;
@@ -17,6 +18,7 @@ pub fn default_passes() -> Vec<Box<dyn Pass>> {
         Box::new(multidriver::MultiDriverPass),
         Box::new(netlist_lints::IsolatedInstancePass),
         Box::new(netlist_lints::DanglingHierPortPass),
+        Box::new(protocol::ProtocolPass),
         Box::new(netlist_lints::UnconnectedPortsPass),
         Box::new(deadlogic::DeadLogicPass),
         Box::new(netlist_lints::WidthMismatchPass),

@@ -11,7 +11,8 @@ use std::path::PathBuf;
 
 use lss_analyze::{to_text, AnalysisConfig, CombInfo, PassManager};
 use lss_netlist::{
-    Connection, Dir, Endpoint, Instance, InstanceId, InstanceKind, Netlist, Port, PortId,
+    ActionDir, Automaton, Connection, Dir, Endpoint, Instance, InstanceId, InstanceKind, Netlist,
+    Port, PortId, ProtocolBinding, Role, SrcSpan, Template, Transition,
 };
 use lss_types::Scheme;
 
@@ -48,6 +49,7 @@ fn add_leaf(n: &mut Netlist, path: &str, module: &str, ports: &[(&str, Dir, u32)
         userpoints: Vec::new(),
         runtime_vars: Vec::new(),
         events: Vec::new(),
+        protocols: Vec::new(),
     })
 }
 
@@ -171,6 +173,377 @@ fn dead_logic_netlist_reports_lss203() {
     );
     connect(&mut n, ep(gen2, 0, 0), ep(stage, 0, 0));
     assert_golden("deadlogic.txt", &report(&n, &CombInfo::all_combinational()));
+}
+
+/// Attaches a template-based protocol binding to an instance.
+fn annotate(
+    n: &mut Netlist,
+    inst: InstanceId,
+    group: &str,
+    role: Role,
+    template: Template,
+    ports: &[u32],
+) {
+    n.instances[inst.0 as usize]
+        .protocols
+        .push(ProtocolBinding {
+            group: group.to_string(),
+            role,
+            automaton: Automaton {
+                template,
+                states: Vec::new(),
+                transitions: Vec::new(),
+            },
+            ports: ports.iter().map(|&p| PortId(p)).collect(),
+            span: SrcSpan::default(),
+        });
+}
+
+fn analyze(n: &Netlist) -> lss_analyze::Analysis {
+    PassManager::with_default_passes().run(
+        n,
+        &CombInfo::all_combinational(),
+        &AnalysisConfig::default(),
+    )
+}
+
+/// fetch-like producer (out, credit_in) into a queue-like consumer
+/// (in, credit) with the credit channel wired back.
+fn credit_pair(n: &mut Netlist) -> (InstanceId, InstanceId) {
+    let f = add_leaf(
+        n,
+        "f",
+        "fetch",
+        &[("out", Dir::Out, 8), ("credit_in", Dir::In, 1)],
+    );
+    let q = add_leaf(
+        n,
+        "q",
+        "queue",
+        &[
+            ("in", Dir::In, 8),
+            ("out", Dir::Out, 8),
+            ("credit", Dir::Out, 1),
+            ("credit_in", Dir::In, 1),
+        ],
+    );
+    connect(n, ep(f, 0, 0), ep(q, 0, 0));
+    connect(n, ep(q, 2, 0), ep(f, 1, 0));
+    (f, q)
+}
+
+#[test]
+fn matched_credit_pair_is_protocol_clean() {
+    let mut n = Netlist::new();
+    let (f, q) = credit_pair(&mut n);
+    annotate(
+        &mut n,
+        f,
+        "outs",
+        Role::Producer,
+        Template::Credit(None),
+        &[0, 1],
+    );
+    annotate(
+        &mut n,
+        q,
+        "ins",
+        Role::Consumer,
+        Template::Credit(Some(4)),
+        &[0, 2],
+    );
+    let analysis = analyze(&n);
+    for code in [
+        lss_analyze::Code::ProtocolMismatch,
+        lss_analyze::Code::ProtocolUnannotatedPeer,
+        lss_analyze::Code::ProtocolDeadlock,
+    ] {
+        assert_eq!(
+            analysis.with_code(code).count(),
+            0,
+            "unexpected {code} in:\n{}",
+            to_text(&analysis.findings)
+        );
+    }
+}
+
+#[test]
+fn role_flip_reports_lss105() {
+    let mut n = Netlist::new();
+    let (f, q) = credit_pair(&mut n);
+    // Both sides claim to consume: the wire's source cannot be a consumer.
+    annotate(
+        &mut n,
+        f,
+        "outs",
+        Role::Consumer,
+        Template::Credit(None),
+        &[0, 1],
+    );
+    annotate(
+        &mut n,
+        q,
+        "ins",
+        Role::Consumer,
+        Template::Credit(Some(4)),
+        &[0, 2],
+    );
+    let analysis = analyze(&n);
+    let f = analysis
+        .with_code(lss_analyze::Code::ProtocolMismatch)
+        .next()
+        .expect("role flip must be a protocol mismatch");
+    assert!(f.message.contains("requires a producer"), "{}", f.message);
+}
+
+#[test]
+fn credit_over_issue_reports_lss105() {
+    let mut n = Netlist::new();
+    let (f, q) = credit_pair(&mut n);
+    annotate(
+        &mut n,
+        f,
+        "outs",
+        Role::Producer,
+        Template::Credit(Some(8)),
+        &[0, 1],
+    );
+    annotate(
+        &mut n,
+        q,
+        "ins",
+        Role::Consumer,
+        Template::Credit(Some(4)),
+        &[0, 2],
+    );
+    let analysis = analyze(&n);
+    let f = analysis
+        .with_code(lss_analyze::Code::ProtocolMismatch)
+        .next()
+        .expect("credit over-issue must be a protocol mismatch");
+    assert!(f.message.contains("only buffers 4"), "{}", f.message);
+}
+
+#[test]
+fn custom_wait_loop_reports_lss107() {
+    let mut n = Netlist::new();
+    let (f, q) = credit_pair(&mut n);
+    // Producer that must *receive* `go` before it ever sends, wired to a
+    // consumer that only sends `go` *after* receiving an item.
+    n.instances[f.0 as usize].protocols.push(ProtocolBinding {
+        group: "outs".to_string(),
+        role: Role::Producer,
+        automaton: Automaton {
+            template: Template::Custom("polite".to_string()),
+            states: vec!["p0".to_string(), "p1".to_string()],
+            transitions: vec![
+                Transition {
+                    from: 0,
+                    to: 1,
+                    dir: ActionDir::Recv,
+                    action: "go".to_string(),
+                },
+                Transition {
+                    from: 1,
+                    to: 0,
+                    dir: ActionDir::Send,
+                    action: "item".to_string(),
+                },
+            ],
+        },
+        ports: vec![PortId(0), PortId(1)],
+        span: SrcSpan::default(),
+    });
+    n.instances[q.0 as usize].protocols.push(ProtocolBinding {
+        group: "ins".to_string(),
+        role: Role::Consumer,
+        automaton: Automaton {
+            template: Template::Custom("shy".to_string()),
+            states: vec!["c0".to_string(), "c1".to_string()],
+            transitions: vec![
+                Transition {
+                    from: 0,
+                    to: 1,
+                    dir: ActionDir::Recv,
+                    action: "item".to_string(),
+                },
+                Transition {
+                    from: 1,
+                    to: 0,
+                    dir: ActionDir::Send,
+                    action: "go".to_string(),
+                },
+            ],
+        },
+        ports: vec![PortId(0), PortId(2)],
+        span: SrcSpan::default(),
+    });
+    let analysis = analyze(&n);
+    let f = analysis
+        .with_code(lss_analyze::Code::ProtocolDeadlock)
+        .next()
+        .expect("mutual wait must be a protocol deadlock");
+    assert!(f.message.contains("wait for the other"), "{}", f.message);
+}
+
+#[test]
+fn engaged_unannotated_peer_reports_lss106() {
+    let mut n = Netlist::new();
+    let (f, q) = credit_pair(&mut n);
+    // Only the queue declares its discipline; fetch still wires the credit
+    // return path, so it demonstrably participates.
+    let _ = f;
+    annotate(
+        &mut n,
+        q,
+        "ins",
+        Role::Consumer,
+        Template::Credit(Some(4)),
+        &[0, 2],
+    );
+    let analysis = analyze(&n);
+    let f = analysis
+        .with_code(lss_analyze::Code::ProtocolUnannotatedPeer)
+        .next()
+        .expect("engaged peer must warn");
+    assert_eq!(f.subject, "f");
+    assert!(f.message.contains("credit traffic"), "{}", f.message);
+}
+
+#[test]
+fn unengaged_peer_stays_silent() {
+    let mut n = Netlist::new();
+    let s = add_leaf(&mut n, "s", "source", &[("out", Dir::Out, 8)]);
+    let q = add_leaf(
+        &mut n,
+        "q",
+        "queue",
+        &[
+            ("in", Dir::In, 8),
+            ("out", Dir::Out, 8),
+            ("credit", Dir::Out, 1),
+            ("credit_in", Dir::In, 1),
+        ],
+    );
+    connect(&mut n, ep(s, 0, 0), ep(q, 0, 0));
+    // Credit return is unwired: the source does not participate in the
+    // discipline, so no warning (§4.2 degradation).
+    annotate(
+        &mut n,
+        q,
+        "ins",
+        Role::Consumer,
+        Template::Credit(Some(4)),
+        &[0, 2],
+    );
+    let analysis = analyze(&n);
+    assert_eq!(
+        analysis
+            .with_code(lss_analyze::Code::ProtocolUnannotatedPeer)
+            .count(),
+        0
+    );
+    assert_eq!(
+        analysis
+            .with_code(lss_analyze::Code::ProtocolDeadlock)
+            .count(),
+        0
+    );
+}
+
+/// Pins the analyzer's credit-to-credit fast path: after the direct role
+/// and over-issue checks, every credit pairing composes cleanly — the
+/// only finding a credit/credit pair can produce is a concrete producer
+/// budget exceeding a concrete consumer budget. Sweeps adaptive and
+/// concrete counts on both sides, with the return channel wired and
+/// unwired (§4.2 degradation).
+#[test]
+fn credit_sweep_agrees_with_product_walk() {
+    let counts: [Option<u32>; 4] = [None, Some(1), Some(4), Some(9)];
+    for p_count in counts {
+        for c_count in counts {
+            for wired in [true, false] {
+                let mut n = Netlist::new();
+                let (f, q) = credit_pair(&mut n);
+                if !wired {
+                    // Drop the credit return connection (q.credit -> f.credit_in).
+                    n.connections
+                        .retain(|c| c.src.inst != q || c.src.port != PortId(2));
+                }
+                annotate(
+                    &mut n,
+                    f,
+                    "outs",
+                    Role::Producer,
+                    Template::Credit(p_count),
+                    &[0, 1],
+                );
+                annotate(
+                    &mut n,
+                    q,
+                    "ins",
+                    Role::Consumer,
+                    Template::Credit(c_count),
+                    &[0, 2],
+                );
+                let analysis = analyze(&n);
+                let over_issue = matches!((p_count, c_count), (Some(p), Some(c)) if p > c);
+                let mismatches = analysis
+                    .with_code(lss_analyze::Code::ProtocolMismatch)
+                    .count();
+                let deadlocks = analysis
+                    .with_code(lss_analyze::Code::ProtocolDeadlock)
+                    .count();
+                assert_eq!(
+                    (mismatches, deadlocks),
+                    (usize::from(over_issue), 0),
+                    "credit({p_count:?}) -> credit({c_count:?}), wired={wired}:\n{}",
+                    to_text(&analysis.findings)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dangling_handshake_reverse_reports_lss107() {
+    let mut n = Netlist::new();
+    let fu = add_leaf(
+        &mut n,
+        "fu",
+        "fu",
+        &[("mem_req", Dir::Out, 8), ("mem_resp", Dir::In, 8)],
+    );
+    let c = add_leaf(
+        &mut n,
+        "c",
+        "cache",
+        &[("req", Dir::In, 8), ("resp", Dir::Out, 8)],
+    );
+    // Request path wired, response path forgotten.
+    connect(&mut n, ep(fu, 0, 0), ep(c, 0, 0));
+    annotate(
+        &mut n,
+        fu,
+        "mem",
+        Role::Producer,
+        Template::ReqResp,
+        &[0, 1],
+    );
+    annotate(
+        &mut n,
+        c,
+        "upper",
+        Role::Consumer,
+        Template::ReqResp,
+        &[0, 1],
+    );
+    let analysis = analyze(&n);
+    let f = analysis
+        .with_code(lss_analyze::Code::ProtocolDeadlock)
+        .next()
+        .expect("dangling resp must deadlock");
+    assert!(f.message.contains("not connected"), "{}", f.message);
 }
 
 #[test]

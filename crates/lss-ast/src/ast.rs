@@ -109,6 +109,10 @@ pub enum Stmt {
     Return(Option<Expr>, Span),
     /// `fun name(a, b) { .. }` — compile-time helper function.
     Fun(FunDecl),
+    /// `protocol name { state s; s -> t : send a; .. }` — automaton decl.
+    ProtocolDecl(ProtocolDecl),
+    /// `protocol group : role spec on ports;` — port-group annotation.
+    ProtocolAnnot(ProtocolAnnot),
 }
 
 impl Stmt {
@@ -132,6 +136,109 @@ impl Stmt {
             Stmt::Block(_, s) => *s,
             Stmt::Return(_, s) => *s,
             Stmt::Fun(d) => d.span,
+            Stmt::ProtocolDecl(d) => d.span,
+            Stmt::ProtocolAnnot(d) => d.span,
+        }
+    }
+}
+
+/// Direction of a protocol transition's action: the side declaring the
+/// automaton either sends (`!`/`send`) or receives (`?`/`recv`) the action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolActionDir {
+    /// The declaring side emits the action.
+    Send,
+    /// The declaring side consumes the action.
+    Recv,
+}
+
+impl std::fmt::Display for ProtocolActionDir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolActionDir::Send => write!(f, "send"),
+            ProtocolActionDir::Recv => write!(f, "recv"),
+        }
+    }
+}
+
+/// One transition in an explicit protocol automaton:
+/// `from -> to : send action;` (or `recv`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionDecl {
+    /// Source state.
+    pub from: Ident,
+    /// Destination state.
+    pub to: Ident,
+    /// Whether the declaring side sends or receives.
+    pub dir: ProtocolActionDir,
+    /// The named action carried on the channel.
+    pub action: Ident,
+    /// Whole-transition span.
+    pub span: Span,
+}
+
+/// A named interface automaton declaration:
+/// `protocol name { state s0; state s1; s0 -> s1 : send item; ... };`
+/// The first declared state is the initial state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolDecl {
+    /// Automaton name, referenced by annotations.
+    pub name: Ident,
+    /// Declared states (first is initial).
+    pub states: Vec<Ident>,
+    /// Transitions between declared states.
+    pub transitions: Vec<TransitionDecl>,
+    /// Whole-declaration span.
+    pub span: Span,
+}
+
+/// The protocol specification an annotation attaches to a port group:
+/// a built-in template or a reference to a declared automaton.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolSpecExpr {
+    /// `valid_ready` — one item per ready handshake.
+    ValidReady,
+    /// `credit` (adaptive) or `credit(n)` — credit-based flow control with
+    /// an optional compile-time credit count.
+    Credit(Option<Expr>),
+    /// `req_resp` — strictly alternating request/response.
+    ReqResp,
+    /// A named `protocol { .. }` automaton declared elsewhere.
+    Named(Ident),
+}
+
+/// A port-group protocol annotation:
+/// `protocol group : producer credit(depth) on in, credit;`
+/// The first port is the group's primary (data) port; any further ports
+/// form the reverse channel (credit return / ready).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolAnnot {
+    /// Group name (diagnostic label; unique per instance).
+    pub group: Ident,
+    /// `producer` or `consumer`.
+    pub role: ProtocolRole,
+    /// The automaton template or named automaton.
+    pub spec: ProtocolSpecExpr,
+    /// Annotated ports (same-instance port expressions; first is primary).
+    pub ports: Vec<Expr>,
+    /// Whole-annotation span.
+    pub span: Span,
+}
+
+/// Which side of a connection a protocol annotation describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolRole {
+    /// The group drives data into the connection.
+    Producer,
+    /// The group accepts data from the connection.
+    Consumer,
+}
+
+impl std::fmt::Display for ProtocolRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolRole::Producer => write!(f, "producer"),
+            ProtocolRole::Consumer => write!(f, "consumer"),
         }
     }
 }

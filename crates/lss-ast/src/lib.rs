@@ -31,8 +31,9 @@ pub mod token;
 
 pub use ast::{
     AssignStmt, BinOp, CollectorDecl, ConnectStmt, EventDecl, Expr, ExprKind, ForStmt, FunDecl,
-    Ident, IfStmt, InstanceDecl, ModuleDecl, ParamDecl, PortDecl, PortDir, Program, RuntimeVarDecl,
-    Stmt, TypeExpr, TypeInstStmt, UnOp, UserpointSig, VarDecl, WhileStmt,
+    Ident, IfStmt, InstanceDecl, ModuleDecl, ParamDecl, PortDecl, PortDir, Program,
+    ProtocolActionDir, ProtocolAnnot, ProtocolDecl, ProtocolRole, ProtocolSpecExpr, RuntimeVarDecl,
+    Stmt, TransitionDecl, TypeExpr, TypeInstStmt, UnOp, UserpointSig, VarDecl, WhileStmt,
 };
 pub use diag::{Diagnostic, DiagnosticBag, Note, Severity};
 pub use lexer::lex;

@@ -17,8 +17,13 @@
 //!            | 'while' '(' expr ')' block
 //!            | 'fun' IDENT '(' IDENT,* ')' block
 //!            | 'return' expr? ';'
+//!            | 'protocol' IDENT '{' protobody '}' ';'?
+//!            | 'protocol' IDENT ':' role pspec 'on' expr,* ';'
 //!            | block
 //!            | simple ';'
+//! protobody := ('state' IDENT ';' | IDENT '->' IDENT ':' ('send'|'recv') IDENT ';')*
+//! role      := 'producer' | 'consumer'
+//! pspec     := 'valid_ready' | 'credit' ('(' expr ')')? | 'req_resp' | IDENT
 //! simple    := expr ('=' expr | '->' expr (':' type)? | '::' type)?
 //! type      := tprim ('|' tprim)*
 //! tprim     := ('int'|'bool'|'float'|'string'|TYPEVAR|structty|instref|upoint|'(' type ')') ('[' expr? ']')*
@@ -268,6 +273,7 @@ impl<'a> Parser<'a> {
             TokenKind::For => self.for_stmt(),
             TokenKind::While => self.while_stmt(),
             TokenKind::Fun => self.fun_stmt(),
+            TokenKind::Protocol => self.protocol_stmt(),
             TokenKind::Return => {
                 self.bump();
                 let value = if self.at(&TokenKind::Semi) {
@@ -531,6 +537,123 @@ impl<'a> Parser<'a> {
             body,
             span: start.merge(self.prev_span()),
         }))
+    }
+
+    /// `protocol name { .. }` (automaton declaration) or
+    /// `protocol group : role spec on ports;` (port-group annotation).
+    /// `state`, `send`, `recv`, `producer`, `consumer`, and `on` are
+    /// contextual identifiers, not keywords.
+    fn protocol_stmt(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        self.bump(); // protocol
+        let name = self.ident()?;
+        if self.at(&TokenKind::LBrace) {
+            self.bump();
+            let (states, transitions) = self.protocol_body()?;
+            let end = self.prev_span();
+            self.eat(&TokenKind::Semi); // trailing `;` after `}` is optional
+            return Some(Stmt::ProtocolDecl(ProtocolDecl {
+                name,
+                states,
+                transitions,
+                span: start.merge(end),
+            }));
+        }
+        self.expect(&TokenKind::Colon);
+        let role_id = self.ident()?;
+        let role = match role_id.name.as_str() {
+            "producer" => ProtocolRole::Producer,
+            "consumer" => ProtocolRole::Consumer,
+            other => {
+                self.diags.push(Diagnostic::error(
+                    format!("expected `producer` or `consumer`, found `{other}`"),
+                    role_id.span,
+                ));
+                return None;
+            }
+        };
+        let spec = self.protocol_spec()?;
+        let on_id = self.ident()?;
+        if on_id.name != "on" {
+            self.diags.push(Diagnostic::error(
+                format!("expected `on`, found `{}`", on_id.name),
+                on_id.span,
+            ));
+            return None;
+        }
+        let mut ports = Vec::new();
+        loop {
+            ports.push(self.expr()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Semi);
+        Some(Stmt::ProtocolAnnot(ProtocolAnnot {
+            group: name,
+            role,
+            spec,
+            ports,
+            span: start.merge(self.prev_span()),
+        }))
+    }
+
+    fn protocol_spec(&mut self) -> Option<ProtocolSpecExpr> {
+        let id = self.ident()?;
+        Some(match id.name.as_str() {
+            "valid_ready" => ProtocolSpecExpr::ValidReady,
+            "req_resp" => ProtocolSpecExpr::ReqResp,
+            "credit" => {
+                if self.eat(&TokenKind::LParen) {
+                    let count = self.expr()?;
+                    self.expect(&TokenKind::RParen);
+                    ProtocolSpecExpr::Credit(Some(count))
+                } else {
+                    ProtocolSpecExpr::Credit(None)
+                }
+            }
+            _ => ProtocolSpecExpr::Named(id),
+        })
+    }
+
+    fn protocol_body(&mut self) -> Option<(Vec<Ident>, Vec<TransitionDecl>)> {
+        let mut states = Vec::new();
+        let mut transitions = Vec::new();
+        while !self.at(&TokenKind::RBrace) && !self.at(&TokenKind::Eof) {
+            let first = self.ident()?;
+            if first.name == "state" && matches!(self.peek(), TokenKind::Ident(_)) {
+                states.push(self.ident()?);
+                self.expect(&TokenKind::Semi);
+                continue;
+            }
+            let tr_start = first.span;
+            self.expect(&TokenKind::Arrow);
+            let to = self.ident()?;
+            self.expect(&TokenKind::Colon);
+            let dir_id = self.ident()?;
+            let dir = match dir_id.name.as_str() {
+                "send" => ProtocolActionDir::Send,
+                "recv" => ProtocolActionDir::Recv,
+                other => {
+                    self.diags.push(Diagnostic::error(
+                        format!("expected `send` or `recv`, found `{other}`"),
+                        dir_id.span,
+                    ));
+                    return None;
+                }
+            };
+            let action = self.ident()?;
+            self.expect(&TokenKind::Semi);
+            transitions.push(TransitionDecl {
+                from: first,
+                to,
+                dir,
+                action,
+                span: tr_start.merge(self.prev_span()),
+            });
+        }
+        self.expect(&TokenKind::RBrace);
+        Some((states, transitions))
     }
 
     /// An expression statement, assignment, connection, or explicit type
@@ -1232,6 +1355,89 @@ mod tests {
         );
         let diags = parse_err(&src);
         assert!(diags.iter().any(|d| d.message.contains("nesting exceeds")));
+    }
+
+    #[test]
+    fn parses_protocol_declaration() {
+        let prog = parse_ok(
+            r#"
+            protocol handshake {
+                state idle;
+                state sent;
+                idle -> sent : send item;
+                sent -> idle : recv ack;
+            };
+            "#,
+        );
+        match &prog.top[0] {
+            Stmt::ProtocolDecl(p) => {
+                assert_eq!(p.name.name, "handshake");
+                assert_eq!(p.states.len(), 2);
+                assert_eq!(p.states[0].name, "idle");
+                assert_eq!(p.transitions.len(), 2);
+                assert_eq!(p.transitions[0].dir, ProtocolActionDir::Send);
+                assert_eq!(p.transitions[0].action.name, "item");
+                assert_eq!(p.transitions[1].dir, ProtocolActionDir::Recv);
+            }
+            other => panic!("expected protocol decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_protocol_annotations() {
+        let prog = parse_ok(
+            r#"
+            module queue {
+                parameter depth = 8:int;
+                inport in:'a;
+                outport credit:int;
+                protocol ins : consumer credit(depth) on in, credit;
+                protocol outs : producer credit on out, credit_in;
+            };
+            protocol flood : producer valid_ready on q.in;
+            protocol mem : consumer req_resp on c.req, c.resp;
+            protocol custom : producer loopy on q.out;
+            "#,
+        );
+        let m = &prog.modules[0];
+        match &m.body[3] {
+            Stmt::ProtocolAnnot(a) => {
+                assert_eq!(a.group.name, "ins");
+                assert_eq!(a.role, ProtocolRole::Consumer);
+                assert!(matches!(&a.spec, ProtocolSpecExpr::Credit(Some(_))));
+                assert_eq!(a.ports.len(), 2);
+            }
+            other => panic!("expected protocol annot, got {other:?}"),
+        }
+        assert!(matches!(
+            &m.body[4],
+            Stmt::ProtocolAnnot(a) if matches!(a.spec, ProtocolSpecExpr::Credit(None))
+        ));
+        assert!(matches!(
+            &prog.top[0],
+            Stmt::ProtocolAnnot(a) if a.spec == ProtocolSpecExpr::ValidReady && a.ports.len() == 1
+        ));
+        assert!(matches!(
+            &prog.top[1],
+            Stmt::ProtocolAnnot(a) if a.spec == ProtocolSpecExpr::ReqResp
+        ));
+        assert!(matches!(
+            &prog.top[2],
+            Stmt::ProtocolAnnot(a)
+                if matches!(&a.spec, ProtocolSpecExpr::Named(n) if n.name == "loopy")
+        ));
+    }
+
+    #[test]
+    fn error_on_bad_protocol_role_and_direction() {
+        let diags = parse_err("protocol g : router credit on a.b;");
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("expected `producer` or `consumer`")));
+        let diags = parse_err("protocol p { state s; s -> s : push x; };");
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("expected `send` or `recv`")));
     }
 
     #[test]

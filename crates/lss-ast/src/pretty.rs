@@ -223,6 +223,45 @@ impl Printer {
                 self.body(&f.body);
                 self.out.push('\n');
             }
+            Stmt::ProtocolDecl(p) => {
+                let _ = writeln!(self.out, "protocol {} {{", p.name);
+                self.indent += 1;
+                for s in &p.states {
+                    self.line_start();
+                    let _ = writeln!(self.out, "state {s};");
+                }
+                for t in &p.transitions {
+                    self.line_start();
+                    let _ = writeln!(self.out, "{} -> {} : {} {};", t.from, t.to, t.dir, t.action);
+                }
+                self.indent -= 1;
+                self.line_start();
+                self.out.push_str("};\n");
+            }
+            Stmt::ProtocolAnnot(a) => {
+                let _ = write!(self.out, "protocol {} : {} ", a.group, a.role);
+                match &a.spec {
+                    ProtocolSpecExpr::ValidReady => self.out.push_str("valid_ready"),
+                    ProtocolSpecExpr::ReqResp => self.out.push_str("req_resp"),
+                    ProtocolSpecExpr::Credit(None) => self.out.push_str("credit"),
+                    ProtocolSpecExpr::Credit(Some(n)) => {
+                        self.out.push_str("credit(");
+                        self.expr(n);
+                        self.out.push(')');
+                    }
+                    ProtocolSpecExpr::Named(n) => {
+                        let _ = write!(self.out, "{n}");
+                    }
+                }
+                self.out.push_str(" on ");
+                for (i, p) in a.ports.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(p);
+                }
+                self.out.push_str(";\n");
+            }
         }
     }
 
@@ -443,6 +482,30 @@ mod tests {
         assert_stable(
             "fun f(x) { if (x > 0) { return x; } else { return -(x); } }\nwhile (false) { }\n",
         );
+    }
+
+    #[test]
+    fn stable_protocols() {
+        assert_stable(
+            r#"
+            protocol loopy {
+                state idle;
+                state busy;
+                idle -> busy : recv go;
+                busy -> idle : send item;
+            };
+            module q {
+                parameter depth = 8:int;
+                inport in:'a;
+                outport credit:int;
+                protocol ins : consumer credit(depth) on in, credit;
+            };
+            protocol flood : producer credit(9) on s.out;
+            protocol hs : producer valid_ready on s.out, s.ready_in;
+            "#,
+        );
+        let out = roundtrip("protocol mem : consumer req_resp on c.req, c.resp;");
+        assert!(out.contains("protocol mem : consumer req_resp on c.req, c.resp;"));
     }
 
     #[test]

@@ -70,6 +70,8 @@ pub enum TokenKind {
     Return,
     /// `fun` — compile-time helper function definition.
     Fun,
+    /// `protocol` — interface automaton declaration / port-group annotation.
+    Protocol,
 
     // Punctuation and operators.
     /// `{`
@@ -165,6 +167,7 @@ impl TokenKind {
             "string" => TokenKind::StringTy,
             "return" => TokenKind::Return,
             "fun" => TokenKind::Fun,
+            "protocol" => TokenKind::Protocol,
             _ => return None,
         })
     }
@@ -216,6 +219,7 @@ impl fmt::Display for TokenKind {
             TokenKind::StringTy => "string",
             TokenKind::Return => "return",
             TokenKind::Fun => "fun",
+            TokenKind::Protocol => "protocol",
             TokenKind::LBrace => "{",
             TokenKind::RBrace => "}",
             TokenKind::LParen => "(",
@@ -293,6 +297,7 @@ mod tests {
             "string",
             "return",
             "fun",
+            "protocol",
         ] {
             let k = TokenKind::keyword(kw).unwrap_or_else(|| panic!("{kw} should be a keyword"));
             assert_eq!(k.to_string(), kw);

@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
-use lss_netlist::{EventId, RtvId};
+use lss_netlist::{EventId, RtvId, SrcSpan};
 use lss_sim::{BuildError, CompCtx, CompSpec, Component, SimError};
 use lss_types::Datum;
 
@@ -317,6 +317,8 @@ pub struct Dispatch {
     depth: usize,
     classes: Vec<i64>,
     buf: VecDeque<Instr>,
+    /// Declared contract on `in` (group name, annotation span).
+    contract: (String, Option<SrcSpan>),
 }
 
 impl Dispatch {
@@ -324,14 +326,16 @@ impl Dispatch {
     pub fn new(spec: &CompSpec) -> Result<Box<dyn Component>, BuildError> {
         let out = spec.port_index("out")?;
         let classes = classes_param(spec, spec.ports[out].width)?;
+        let inp = spec.port_index("in")?;
         Ok(Box::new(Dispatch {
-            inp: spec.port_index("in")?,
+            inp,
             credit: spec.port_index("credit")?,
             out,
             rs_credit: spec.port_index("rs_credit")?,
             depth: spec.int_param_or("depth", 8)?.max(1) as usize,
             classes,
             buf: VecDeque::new(),
+            contract: spec.protocol_context(inp),
         }))
     }
 
@@ -388,8 +392,10 @@ impl Component for Dispatch {
         for lane in 0..ctx.width(self.inp) {
             if let Some(instr) = instr_at(ctx, self.inp, lane)? {
                 if self.buf.len() >= self.depth {
-                    return Err(SimError::new(
-                        "dispatch overflow: producer ignored the credit protocol",
+                    return Err(SimError::protocol_violation(
+                        &self.contract.0,
+                        "dispatch buffer overflow: producer sent beyond the advertised credit",
+                        self.contract.1,
                     ));
                 }
                 self.buf.push_back(instr);
@@ -435,6 +441,8 @@ pub struct Issue {
     window: VecDeque<Instr>,
     /// In-flight destination registers (register → writers outstanding).
     pending: HashMap<i64, u32>,
+    /// Declared contract on `in` (group name, annotation span).
+    contract: (String, Option<SrcSpan>),
 }
 
 impl Issue {
@@ -442,8 +450,9 @@ impl Issue {
     pub fn new(spec: &CompSpec) -> Result<Box<dyn Component>, BuildError> {
         let out = spec.port_index("out")?;
         let classes = classes_param(spec, spec.ports[out].width)?;
+        let inp = spec.port_index("in")?;
         Ok(Box::new(Issue {
-            inp: spec.port_index("in")?,
+            inp,
             credit: spec.port_index("credit")?,
             out,
             fu_credit: spec.port_index("fu_credit")?,
@@ -454,6 +463,7 @@ impl Issue {
             classes,
             window: VecDeque::new(),
             pending: HashMap::new(),
+            contract: spec.protocol_context(inp),
         }))
     }
 
@@ -549,8 +559,10 @@ impl Component for Issue {
         for lane in 0..ctx.width(self.inp) {
             if let Some(instr) = instr_at(ctx, self.inp, lane)? {
                 if self.window.len() >= self.window_size {
-                    return Err(SimError::new(
-                        "issue window overflow: producer ignored the credit protocol",
+                    return Err(SimError::protocol_violation(
+                        &self.contract.0,
+                        "issue window overflow: producer sent beyond the advertised credit",
+                        self.contract.1,
                     ));
                 }
                 self.window.push_back(instr);
@@ -600,13 +612,16 @@ pub struct Fu {
     in_flight: Vec<(Instr, i64)>,
     /// Finished instructions awaiting the (optional) CDB grant.
     done_buf: VecDeque<Instr>,
+    /// Declared contract on `in` (group name, annotation span).
+    contract: (String, Option<SrcSpan>),
 }
 
 impl Fu {
     /// Factory.
     pub fn new(spec: &CompSpec) -> Result<Box<dyn Component>, BuildError> {
+        let inp = spec.port_index("in")?;
         Ok(Box::new(Fu {
-            inp: spec.port_index("in")?,
+            inp,
             credit: spec.port_index("credit")?,
             done: spec.port_index("done")?,
             grant_in: spec.port_index("grant_in")?,
@@ -617,6 +632,7 @@ impl Fu {
             agen: None,
             in_flight: Vec::new(),
             done_buf: VecDeque::new(),
+            contract: spec.protocol_context(inp),
         }))
     }
 
@@ -695,8 +711,10 @@ impl Component for Fu {
         // Accept a new instruction.
         if let Some(instr) = instr_at(ctx, self.inp, 0)? {
             if self.agen.is_some() {
-                return Err(SimError::new(
-                    "functional unit overflow: producer ignored the credit protocol",
+                return Err(SimError::protocol_violation(
+                    &self.contract.0,
+                    "functional unit overflow: producer sent beyond the advertised credit",
+                    self.contract.1,
                 ));
             }
             self.agen = Some(instr);

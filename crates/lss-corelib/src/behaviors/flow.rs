@@ -8,7 +8,7 @@
 
 use std::collections::VecDeque;
 
-use lss_netlist::UserpointId;
+use lss_netlist::{SrcSpan, UserpointId};
 use lss_sim::{BuildError, CompCtx, CompSpec, Component, SimError};
 use lss_types::Datum;
 
@@ -37,6 +37,8 @@ pub struct Queue {
     credit_in: usize,
     depth: usize,
     buf: VecDeque<Datum>,
+    /// Declared contract on `in` (group name, annotation span).
+    contract: (String, Option<SrcSpan>),
 }
 
 impl Queue {
@@ -49,13 +51,15 @@ impl Queue {
                 spec.path
             )));
         }
+        let inp = spec.port_index("in")?;
         Ok(Box::new(Queue {
-            inp: spec.port_index("in")?,
+            inp,
             out: spec.port_index("out")?,
             credit: spec.port_index("credit")?,
             credit_in: spec.port_index("credit_in")?,
             depth: depth as usize,
             buf: VecDeque::new(),
+            contract: spec.protocol_context(inp),
         }))
     }
 
@@ -88,8 +92,10 @@ impl Component for Queue {
         for lane in 0..ctx.width(self.inp) {
             if let Some(v) = ctx.input(self.inp, lane) {
                 if self.buf.len() >= self.depth {
-                    return Err(SimError::new(
-                        "queue overflow: producer ignored the credit protocol",
+                    return Err(SimError::protocol_violation(
+                        &self.contract.0,
+                        "queue overflow: producer sent beyond the advertised credit",
+                        self.contract.1,
                     ));
                 }
                 self.buf.push_back(v);

@@ -38,7 +38,7 @@ pub use registry::registry;
 /// itself covers the full corelib *text* (it is hashed as a source unit),
 /// so this only needs to change when behavior changes without the LSS
 /// source changing (e.g. a leaf behavior fix in Rust).
-pub const VERSION: &str = "2";
+pub const VERSION: &str = "3";
 
 /// The corelib LSS source with the instruction struct type spliced in.
 ///

@@ -433,8 +433,8 @@ fn queue_overflow_from_credit_violation_is_a_hard_error() {
     sim.step().unwrap();
     let err = sim.step().unwrap_err();
     assert!(
-        err.message.contains("ignored the credit protocol"),
-        "expected a credit-violation error, got: {err}"
+        err.message.contains("protocol violation on group `ins`"),
+        "expected a protocol-violation error, got: {err}"
     );
     assert!(
         err.message.contains("q:"),

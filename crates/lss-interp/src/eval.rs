@@ -33,8 +33,9 @@ use lss_ast::{
     BinOp, DiagnosticBag, Expr, ExprKind, ModuleDecl, PortDir, Program, Span, Stmt, TypeExpr, UnOp,
 };
 use lss_netlist::{
-    Collector, Connection, Dir, Endpoint, EventDecl, Instance, InstanceId, InstanceKind,
-    ModuleMeta, Netlist, Port, PortId, RuntimeVar, Userpoint,
+    ActionDir, Automaton, Collector, Connection, Dir, Endpoint, EventDecl, Instance, InstanceId,
+    InstanceKind, ModuleMeta, Netlist, Port, PortId, ProtocolBinding, Role, RuntimeVar, SrcSpan,
+    Template, Transition, Userpoint,
 };
 use lss_types::{
     Budget, BudgetError, BudgetKind, Constraint, ConstraintOrigin, Datum, Scheme, Ty, TyVar,
@@ -136,6 +137,8 @@ pub fn elaborate(
         explicit_ports: HashSet::new(),
         collector_recs: Vec::new(),
         global_funs: HashMap::new(),
+        protocol_defs: HashMap::new(),
+        protocol_recs: Vec::new(),
         diags,
         opts: opts.clone(),
         steps: 0,
@@ -163,6 +166,30 @@ type EResult<T> = Result<T, Abort>;
 enum Flow {
     Normal,
     Return(Value),
+}
+
+/// Converts an AST span to its dependency-free netlist mirror.
+fn src_span(span: Span) -> SrcSpan {
+    SrcSpan {
+        file: span.file.0,
+        start: span.start,
+        end: span.end,
+    }
+}
+
+/// A deferred `protocol` annotation: recorded when the statement runs,
+/// resolved to port positions in [`Elaborator::finalize`] (the annotated
+/// instance's body — and hence its port list — may not have run yet).
+struct ProtoRec {
+    inst: InstanceId,
+    group: String,
+    role: Role,
+    template: Template,
+    states: Vec<String>,
+    transitions: Vec<Transition>,
+    /// Port names with the spans they were written at.
+    ports: Vec<(String, Span)>,
+    span: Span,
 }
 
 /// Per-body evaluation context (`L`, `A`, and the local interface tables).
@@ -240,6 +267,12 @@ struct Elaborator<'a> {
     collector_recs: Vec<(String, String, String, Span)>,
     /// `fun` helpers declared at top level, visible in every module body.
     global_funs: HashMap<String, Rc<lss_ast::FunDecl>>,
+    /// Declared `protocol name { .. }` automata: states, transitions, and
+    /// the declaration span. Global like modules; re-running the same
+    /// declaration (a module body elaborated twice) is idempotent.
+    protocol_defs: HashMap<String, (Vec<String>, Vec<Transition>, Span)>,
+    /// Deferred protocol annotations, resolved in `finalize`.
+    protocol_recs: Vec<ProtoRec>,
     diags: &'a mut DiagnosticBag,
     opts: ElabOptions,
     steps: u64,
@@ -651,6 +684,14 @@ impl Elaborator<'_> {
                 };
                 return Ok(Flow::Return(v));
             }
+            Stmt::ProtocolDecl(decl) => {
+                self.require_structural("a protocol declaration", decl.span, ctx)?;
+                self.declare_protocol(decl)?;
+            }
+            Stmt::ProtocolAnnot(annot) => {
+                self.require_structural("a protocol annotation", annot.span, ctx)?;
+                self.record_protocol_annot(annot, ctx)?;
+            }
             Stmt::Fun(decl) => {
                 if ctx.env.declared_here(&decl.name.name) {
                     return self.err(
@@ -861,6 +902,186 @@ impl Elaborator<'_> {
         Ok(())
     }
 
+    fn declare_protocol(&mut self, decl: &lss_ast::ProtocolDecl) -> EResult<()> {
+        let name = &decl.name.name;
+        if decl.states.is_empty() {
+            return self.err(format!("protocol `{name}` declares no states"), decl.span);
+        }
+        let mut states: Vec<String> = Vec::with_capacity(decl.states.len());
+        for s in &decl.states {
+            if states.contains(&s.name) {
+                return self.err(
+                    format!("protocol `{name}` declares state `{}` twice", s.name),
+                    s.span,
+                );
+            }
+            states.push(s.name.clone());
+        }
+        let mut transitions = Vec::with_capacity(decl.transitions.len());
+        for t in &decl.transitions {
+            let resolve = |ident: &lss_ast::Ident| states.iter().position(|s| *s == ident.name);
+            let Some(from) = resolve(&t.from) else {
+                return self.err(
+                    format!("protocol `{name}` has no state `{}`", t.from.name),
+                    t.from.span,
+                );
+            };
+            let Some(to) = resolve(&t.to) else {
+                return self.err(
+                    format!("protocol `{name}` has no state `{}`", t.to.name),
+                    t.to.span,
+                );
+            };
+            transitions.push(Transition {
+                from: from as u32,
+                to: to as u32,
+                dir: match t.dir {
+                    lss_ast::ProtocolActionDir::Send => ActionDir::Send,
+                    lss_ast::ProtocolActionDir::Recv => ActionDir::Recv,
+                },
+                action: t.action.name.clone(),
+            });
+        }
+        match self.protocol_defs.get(name) {
+            // A module body containing the declaration can elaborate many
+            // times; the identical automaton is not a redeclaration.
+            Some((s, t, _)) if *s == states && *t == transitions => Ok(()),
+            Some((_, _, prev)) => {
+                let prev = *prev;
+                self.diags.push(
+                    lss_ast::Diagnostic::error(
+                        format!("protocol `{name}` is declared twice"),
+                        decl.name.span,
+                    )
+                    .with_note_at("previous declaration here", prev),
+                );
+                Err(Abort)
+            }
+            None => {
+                self.protocol_defs
+                    .insert(name.clone(), (states, transitions, decl.span));
+                Ok(())
+            }
+        }
+    }
+
+    fn record_protocol_annot(
+        &mut self,
+        annot: &lss_ast::ProtocolAnnot,
+        ctx: &mut BodyCtx,
+    ) -> EResult<()> {
+        let role = match annot.role {
+            lss_ast::ProtocolRole::Producer => Role::Producer,
+            lss_ast::ProtocolRole::Consumer => Role::Consumer,
+        };
+        let (template, states, transitions) = match &annot.spec {
+            lss_ast::ProtocolSpecExpr::ValidReady => (Template::ValidReady, Vec::new(), Vec::new()),
+            lss_ast::ProtocolSpecExpr::ReqResp => (Template::ReqResp, Vec::new(), Vec::new()),
+            lss_ast::ProtocolSpecExpr::Credit(None) => {
+                (Template::Credit(None), Vec::new(), Vec::new())
+            }
+            lss_ast::ProtocolSpecExpr::Credit(Some(count)) => {
+                let n = match self.eval(count, ctx)? {
+                    Value::Int(v) if v >= 0 => v as u32,
+                    Value::Int(v) => {
+                        return self.err(format!("credit count must be >= 0, got {v}"), count.span)
+                    }
+                    other => {
+                        return self.err(
+                            format!("credit count must be an int, got {}", other.kind()),
+                            count.span,
+                        )
+                    }
+                };
+                (Template::Credit(Some(n)), Vec::new(), Vec::new())
+            }
+            lss_ast::ProtocolSpecExpr::Named(name) => {
+                let Some((states, transitions, _)) = self.protocol_defs.get(&name.name).cloned()
+                else {
+                    return self.err(
+                        format!("unknown protocol `{}` (declare it with `protocol {} {{ .. }}` before use)",
+                            name.name, name.name),
+                        name.span,
+                    );
+                };
+                (Template::Custom(name.name.clone()), states, transitions)
+            }
+        };
+        // Resolve each port expression to (instance, port-name); the whole
+        // group must live on one instance. Port *existence* is checked in
+        // `finalize` — an annotated child's body has not run yet.
+        let mut target: Option<InstanceId> = None;
+        let mut ports = Vec::with_capacity(annot.ports.len());
+        for pexpr in &annot.ports {
+            let (inst, port) = match &pexpr.kind {
+                ExprKind::Ident(id) => {
+                    let Some(inst) = ctx.inst else {
+                        return self.err(
+                            format!(
+                                "`{}` names a module port, but this annotation is outside a module body",
+                                id.name
+                            ),
+                            id.span,
+                        );
+                    };
+                    (inst, id.name.clone())
+                }
+                ExprKind::Field(base, field) => match self.eval(base, ctx)? {
+                    Value::Instance(cid) => (cid, field.name.clone()),
+                    other => {
+                        return self.err(
+                            format!(
+                                "expected an instance before `.{}`, got {}",
+                                field.name,
+                                other.kind()
+                            ),
+                            base.span,
+                        )
+                    }
+                },
+                _ => {
+                    return self.err(
+                        "expected a port name or `inst.port` in a protocol port group",
+                        pexpr.span,
+                    )
+                }
+            };
+            match target {
+                None => target = Some(inst),
+                Some(t) if t == inst => {}
+                Some(_) => {
+                    return self.err(
+                        "all ports of a protocol group must belong to one instance",
+                        pexpr.span,
+                    )
+                }
+            }
+            ports.push((port, pexpr.span));
+        }
+        let Some(inst) = target else {
+            return self.err("protocol annotation names no ports", annot.span);
+        };
+        let path = self.netlist.instance(inst).path.clone();
+        self.trace(|| {
+            format!(
+                "record-protocol {path}.{} : {role} {}",
+                annot.group.name,
+                template.describe()
+            )
+        });
+        self.protocol_recs.push(ProtoRec {
+            inst,
+            group: annot.group.name.clone(),
+            role,
+            template,
+            states,
+            transitions,
+            ports,
+            span: annot.span,
+        });
+        Ok(())
+    }
+
     fn create_instance(
         &mut self,
         module_name: &str,
@@ -932,6 +1153,7 @@ impl Elaborator<'_> {
             userpoints: Vec::new(),
             runtime_vars: Vec::new(),
             events: Vec::new(),
+            protocols: Vec::new(),
         });
         self.pending_module.insert(id, module);
         self.use_ctx.insert(id, UseCtx::default());
@@ -1838,6 +2060,78 @@ impl Elaborator<'_> {
                     )
                 }
             }
+        }
+
+        // Resolve protocol annotations: every named port must exist on the
+        // annotated instance (its body has run by now), and neither a group
+        // name nor a primary port may be bound twice.
+        for rec in std::mem::take(&mut self.protocol_recs) {
+            let path = self.netlist.instance(rec.inst).path.clone();
+            let mut port_ids: Vec<PortId> = Vec::with_capacity(rec.ports.len());
+            for (name, span) in &rec.ports {
+                let sym = self.netlist.sym(name);
+                let inst = self.netlist.instance(rec.inst);
+                let Some(pos) = sym.and_then(|s| inst.ports.iter().position(|p| p.name == s))
+                else {
+                    return self.err(
+                        format!(
+                            "protocol `{}` names unknown port `{path}.{name}`",
+                            rec.group
+                        ),
+                        *span,
+                    );
+                };
+                let pid = PortId(pos as u32);
+                if port_ids.contains(&pid) {
+                    return self.err(
+                        format!("protocol `{}` lists port `{path}.{name}` twice", rec.group),
+                        *span,
+                    );
+                }
+                port_ids.push(pid);
+            }
+            let inst = self.netlist.instance(rec.inst);
+            if let Some(prev) = inst
+                .protocols
+                .iter()
+                .find(|b| b.group == rec.group || b.ports[0] == port_ids[0])
+            {
+                let prev_span = Span::new(
+                    lss_ast::FileId(prev.span.file),
+                    prev.span.start,
+                    prev.span.end,
+                );
+                let what = if prev.group == rec.group {
+                    format!(
+                        "instance `{path}` declares protocol group `{}` twice",
+                        rec.group
+                    )
+                } else {
+                    format!(
+                        "conflicting protocol annotations on `{path}`: groups `{}` and `{}` share a primary port",
+                        prev.group, rec.group
+                    )
+                };
+                self.diags.push(
+                    lss_ast::Diagnostic::error(what, rec.span)
+                        .with_note_at("previous annotation here", prev_span),
+                );
+                return Err(Abort);
+            }
+            self.netlist
+                .instance_mut(rec.inst)
+                .protocols
+                .push(ProtocolBinding {
+                    group: rec.group,
+                    role: rec.role,
+                    automaton: Automaton {
+                        template: rec.template,
+                        states: rec.states,
+                        transitions: rec.transitions,
+                    },
+                    ports: port_ids,
+                    span: src_span(rec.span),
+                });
         }
 
         // Validate recorded connections and lower them to netlist

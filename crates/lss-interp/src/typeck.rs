@@ -137,6 +137,7 @@ mod tests {
             userpoints: vec![],
             runtime_vars: vec![],
             events: vec![],
+            protocols: vec![],
         }
     }
 

@@ -78,6 +78,118 @@ fn generated_programs_round_trip_through_json() {
     assert_eq!(compiled_count, 24);
 }
 
+/// A model exercising every protocol-binding shape: concrete and
+/// adaptive credit (corelib queue), req_resp handshakes (fu and cache),
+/// and a custom declared automaton on an instance port group.
+const PROTOCOL_MODEL: &str = r#"
+instance s:source;
+instance q:queue;
+instance k:sink;
+instance cs:sink;
+q.depth = 4;
+s.out -> q.in;
+q.out -> k.in;
+q.credit -> cs.in;
+s.out :: int;
+instance f:fu;
+instance c:cache;
+f.mem_req -> c.req;
+c.resp -> f.mem_resp;
+protocol chatty {
+    state idle;
+    state busy;
+    idle -> busy : send item;
+    busy -> idle : recv ack;
+};
+instance d:delay;
+instance ds:sink;
+d.out -> ds.in;
+protocol talk : producer chatty on d.out;
+"#;
+
+#[test]
+fn protocol_annotations_round_trip_byte_identically() {
+    let mut driver = Driver::with_corelib();
+    driver.add_source("protocol_roundtrip.lss", PROTOCOL_MODEL);
+    let compiled = driver
+        .finish()
+        .unwrap_or_else(|e| panic!("protocol model failed to compile:\n{e}"));
+    let netlist = &compiled.netlist;
+
+    // The format-3 JSON carries the bindings: queue (2 groups), fu (2),
+    // cache (2), memory-free; plus the instance-level custom automaton.
+    let annotated: usize = netlist.instances.iter().map(|i| i.protocols.len()).sum();
+    assert!(
+        annotated >= 7,
+        "expected at least 7 protocol bindings in the compiled netlist, found {annotated}"
+    );
+    let custom = netlist
+        .instances
+        .iter()
+        .flat_map(|i| &i.protocols)
+        .find(|b| b.group == "talk")
+        .expect("instance-level custom binding survives elaboration");
+    assert_eq!(custom.automaton.states.len(), 2);
+    assert_eq!(custom.automaton.transitions.len(), 2);
+
+    assert_round_trip("protocol model", netlist);
+
+    // Binding-level fidelity, not just byte identity: every group, role,
+    // template, and transition table survives the trip.
+    let restored = from_json(&to_json(netlist)).expect("reparses");
+    for (a, b) in netlist.instances.iter().zip(restored.instances.iter()) {
+        assert_eq!(
+            a.protocols, b.protocols,
+            "protocols changed across the round trip on `{}`",
+            a.path
+        );
+    }
+}
+
+#[test]
+fn cache_warm_loads_preserve_protocol_annotations() {
+    let dir =
+        std::env::temp_dir().join(format!("lss-models-protocol-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let compile_cached = || {
+        let mut driver = Driver::with_corelib();
+        driver.set_cache_dir(Some(dir.clone()));
+        driver.add_source("protocol_cache.lss", PROTOCOL_MODEL);
+        driver
+            .finish()
+            .unwrap_or_else(|e| panic!("protocol model failed to compile:\n{e}"))
+    };
+    let cold = compile_cached();
+    let warm = compile_cached();
+    assert!(
+        matches!(warm.cache, lss_driver::CacheOutcome::Hit),
+        "second build should warm-load from the cache, got {:?}",
+        warm.cache
+    );
+    for (a, b) in cold
+        .netlist
+        .instances
+        .iter()
+        .zip(warm.netlist.instances.iter())
+    {
+        assert_eq!(
+            a.protocols, b.protocols,
+            "cache warm-load changed protocols on `{}`",
+            a.path
+        );
+    }
+    let custom = warm
+        .netlist
+        .instances
+        .iter()
+        .flat_map(|i| &i.protocols)
+        .find(|b| b.group == "talk")
+        .expect("custom binding survives the cache");
+    assert_eq!(custom.automaton.transitions.len(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn example_sources_round_trip_through_json() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/lss");

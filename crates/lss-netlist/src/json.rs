@@ -1,6 +1,6 @@
 //! JSON serialization of the elaborated netlist.
 //!
-//! [`to_json`] emits a complete, self-contained document (format 2):
+//! [`to_json`] emits a complete, self-contained document (format 3):
 //! interner symbols, type-variable names, elaboration counters, module
 //! metadata, full instances (ports with schemes and inferred types,
 //! userpoints, runtime variables, events), raw connections, derived
@@ -26,9 +26,14 @@ use crate::netlist::{
     Collector, Connection, Endpoint, EventDecl, Instance, InstanceId, InstanceKind, ModuleMeta,
     Netlist, Port, RuntimeVar, Userpoint,
 };
+use crate::protocol::{ActionDir, Automaton, ProtocolBinding, Role, SrcSpan, Template, Transition};
 
 /// The serialization format this module reads and writes.
-pub const JSON_FORMAT: u32 = 2;
+///
+/// Format 3 added per-instance `protocols` (port-group protocol bindings);
+/// format-2 documents are rejected, which transparently invalidates older
+/// driver caches.
+pub const JSON_FORMAT: u32 = 3;
 
 /// Escapes a string for embedding in a JSON string literal (without the
 /// surrounding quotes). Public so the driver's cache envelope and the CLI
@@ -235,10 +240,12 @@ fn instance_json(netlist: &Netlist, inst: &Instance) -> String {
             )
         })
         .collect();
+    let protocols: Vec<String> = inst.protocols.iter().map(protocol_json).collect();
     format!(
         "{{\"path\": \"{}\", \"module\": \"{}\", \"kind\": {kind}, \
          \"from_library\": {}, \"parent\": {}, \"params\": {{{}}}, \"ports\": [{}], \
-         \"userpoints\": [{}], \"runtime_vars\": [{}], \"events\": [{}]}}",
+         \"userpoints\": [{}], \"runtime_vars\": [{}], \"events\": [{}], \
+         \"protocols\": [{}]}}",
         escape(&inst.path),
         escape(netlist.name(inst.module)),
         inst.from_library,
@@ -250,10 +257,58 @@ fn instance_json(netlist: &Netlist, inst: &Instance) -> String {
         userpoints.join(", "),
         rtvs.join(", "),
         events.join(", "),
+        protocols.join(", "),
     )
 }
 
-/// Serializes the netlist to a complete JSON document (format 2).
+fn protocol_json(b: &ProtocolBinding) -> String {
+    let template = match &b.automaton.template {
+        Template::ValidReady => "\"valid_ready\"".to_string(),
+        Template::Credit(None) => "{\"credit\": null}".to_string(),
+        Template::Credit(Some(n)) => format!("{{\"credit\": {n}}}"),
+        Template::ReqResp => "\"req_resp\"".to_string(),
+        Template::Custom(name) => format!("{{\"custom\": \"{}\"}}", escape(name)),
+    };
+    let states: Vec<String> = b
+        .automaton
+        .states
+        .iter()
+        .map(|s| format!("\"{}\"", escape(s)))
+        .collect();
+    let transitions: Vec<String> = b
+        .automaton
+        .transitions
+        .iter()
+        .map(|t| {
+            let dir = match t.dir {
+                ActionDir::Send => "send",
+                ActionDir::Recv => "recv",
+            };
+            format!(
+                "[{}, {}, \"{dir}\", \"{}\"]",
+                t.from,
+                t.to,
+                escape(&t.action)
+            )
+        })
+        .collect();
+    let ports: Vec<String> = b.ports.iter().map(|p| p.0.to_string()).collect();
+    format!(
+        "{{\"group\": \"{}\", \"role\": \"{}\", \"template\": {template}, \
+         \"states\": [{}], \"transitions\": [{}], \"ports\": [{}], \
+         \"span\": [{}, {}, {}]}}",
+        escape(&b.group),
+        b.role,
+        states.join(", "),
+        transitions.join(", "),
+        ports.join(", "),
+        b.span.file,
+        b.span.start,
+        b.span.end,
+    )
+}
+
+/// Serializes the netlist to a complete JSON document (format 3).
 ///
 /// Everything [`from_json`] needs to rebuild an observationally identical
 /// netlist is included; the `wires` section is derived (ignored on read).
@@ -647,6 +702,10 @@ fn instance_from(n: &Netlist, id: u32, v: &JsonValue) -> Result<Instance, String
             })
         })
         .collect::<Result<Vec<_>, String>>()?;
+    let protocols = want_array(v, "protocols")?
+        .iter()
+        .map(protocol_from)
+        .collect::<Result<Vec<_>, String>>()?;
     Ok(Instance {
         id: InstanceId(id),
         path: want_str(v, "path")?.to_string(),
@@ -659,10 +718,105 @@ fn instance_from(n: &Netlist, id: u32, v: &JsonValue) -> Result<Instance, String
         userpoints,
         runtime_vars,
         events,
+        protocols,
     })
 }
 
-/// Rebuilds a [`Netlist`] from a parsed format-2 JSON document.
+fn protocol_from(v: &JsonValue) -> Result<ProtocolBinding, String> {
+    let as_u32 = |v: &JsonValue, what: &str| {
+        v.as_i64()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| format!("bad protocol {what}"))
+    };
+    let role = match want_str(v, "role")? {
+        "producer" => Role::Producer,
+        "consumer" => Role::Consumer,
+        other => return Err(format!("unknown protocol role `{other}`")),
+    };
+    let template = match want(v, "template")? {
+        JsonValue::Str(s) if s == "valid_ready" => Template::ValidReady,
+        JsonValue::Str(s) if s == "req_resp" => Template::ReqResp,
+        obj @ JsonValue::Object(_) => {
+            if let Some(credit) = obj.get("credit") {
+                match credit {
+                    JsonValue::Null => Template::Credit(None),
+                    n => Template::Credit(Some(
+                        n.as_i64()
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or("bad credit count")?,
+                    )),
+                }
+            } else if let Some(name) = obj.get("custom") {
+                Template::Custom(
+                    name.as_str()
+                        .ok_or("custom protocol name not a string")?
+                        .to_string(),
+                )
+            } else {
+                return Err("unknown protocol template object".to_string());
+            }
+        }
+        other => return Err(format!("unknown protocol template `{other}`")),
+    };
+    let states = want_array(v, "states")?
+        .iter()
+        .map(|s| {
+            Ok(s.as_str()
+                .ok_or("protocol state is not a string")?
+                .to_string())
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let transitions = want_array(v, "transitions")?
+        .iter()
+        .map(|t| {
+            let [from, to, dir, action] = t.as_array().ok_or("malformed protocol transition")?
+            else {
+                return Err("malformed protocol transition".to_string());
+            };
+            Ok(Transition {
+                from: as_u32(from, "transition from")?,
+                to: as_u32(to, "transition to")?,
+                dir: match dir.as_str().ok_or("transition dir not a string")? {
+                    "send" => ActionDir::Send,
+                    "recv" => ActionDir::Recv,
+                    other => return Err(format!("unknown transition dir `{other}`")),
+                },
+                action: action
+                    .as_str()
+                    .ok_or("transition action not a string")?
+                    .to_string(),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let ports = want_array(v, "ports")?
+        .iter()
+        .map(|p| Ok(PortId(as_u32(p, "protocol port")?)))
+        .collect::<Result<Vec<_>, String>>()?;
+    if ports.is_empty() {
+        return Err("protocol binding has no ports".to_string());
+    }
+    let span = match want_array(v, "span")? {
+        [file, start, end] => SrcSpan {
+            file: as_u32(file, "span file")?,
+            start: as_u32(start, "span start")?,
+            end: as_u32(end, "span end")?,
+        },
+        _ => return Err("malformed protocol span".to_string()),
+    };
+    Ok(ProtocolBinding {
+        group: want_str(v, "group")?.to_string(),
+        role,
+        automaton: Automaton {
+            template,
+            states,
+            transitions,
+        },
+        ports,
+        span,
+    })
+}
+
+/// Rebuilds a [`Netlist`] from a parsed format-3 JSON document.
 ///
 /// This is the entry point the driver's cache uses for the netlist object
 /// nested inside its envelope; [`from_json`] wraps it for standalone
@@ -923,6 +1077,46 @@ mod tests {
                 port: "a.out".into(),
             },
         ));
+        // Protocol bindings: a built-in template plus a custom automaton.
+        n.instances[0].protocols.push(ProtocolBinding {
+            group: "outs".into(),
+            role: Role::Producer,
+            automaton: Automaton {
+                template: Template::Credit(Some(4)),
+                states: Vec::new(),
+                transitions: Vec::new(),
+            },
+            ports: vec![PortId(0)],
+            span: SrcSpan {
+                file: 1,
+                start: 10,
+                end: 42,
+            },
+        });
+        n.instances[1].protocols.push(ProtocolBinding {
+            group: "ins".into(),
+            role: Role::Consumer,
+            automaton: Automaton {
+                template: Template::Custom("loopy".into()),
+                states: vec!["idle".into(), "busy".into()],
+                transitions: vec![
+                    Transition {
+                        from: 0,
+                        to: 1,
+                        dir: ActionDir::Recv,
+                        action: "item".into(),
+                    },
+                    Transition {
+                        from: 1,
+                        to: 0,
+                        dir: ActionDir::Send,
+                        action: "go".into(),
+                    },
+                ],
+            },
+            ports: vec![PortId(0)],
+            span: SrcSpan::default(),
+        });
 
         let json = to_json(&n);
         let back = from_json(&json).expect("round trip");
@@ -948,6 +1142,9 @@ mod tests {
         // NaN params survive (can't use ==; check the variant by re-dump).
         let nan = back.instances[1].params.get("nan").unwrap();
         assert!(matches!(nan, Datum::Float(f) if f.is_nan()));
+        // Protocol bindings survive structurally, not just textually.
+        assert_eq!(back.instances[0].protocols, n.instances[0].protocols);
+        assert_eq!(back.instances[1].protocols, n.instances[1].protocols);
     }
 
     #[test]
@@ -978,7 +1175,7 @@ mod tests {
         // Truncation.
         assert!(from_json(&json[..json.len() / 2]).is_err());
         // Wrong format version.
-        assert!(from_json(&json.replace("\"format\": 2", "\"format\": 1")).is_err());
+        assert!(from_json(&json.replace("\"format\": 3", "\"format\": 1")).is_err());
         // Dangling connection reference.
         let bad = json.replace("[[0,0,0],[1,0,0]]", "[[0,0,0],[9,0,0]]");
         assert!(from_json(&bad).is_err());

@@ -32,6 +32,7 @@ pub mod json;
 pub mod jsonval;
 pub mod lint;
 pub mod netlist;
+pub mod protocol;
 pub mod stats;
 
 pub use intern::{CollectorId, EventId, Interner, PortId, RtvId, SlotId, Symbol, UserpointId};
@@ -45,4 +46,5 @@ pub use netlist::{
     Collector, Connection, Dir, ElabStats, Endpoint, EventDecl, InstRef, Instance, InstanceId,
     InstanceKind, ModuleMeta, Netlist, Port, RuntimeVar, Userpoint, Wire,
 };
+pub use protocol::{ActionDir, Automaton, ProtocolBinding, Role, SrcSpan, Template, Transition};
 pub use stats::{format_row, header, reuse_stats, total, ReuseStats};

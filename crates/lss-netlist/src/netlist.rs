@@ -20,6 +20,7 @@ use std::ops::Deref;
 use lss_types::{ConstraintSet, Datum, Scheme, Ty, TyVar, VarGen};
 
 use crate::intern::{Interner, PortId, Symbol};
+use crate::protocol::ProtocolBinding;
 
 /// Index of an instance in [`Netlist::instances`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -156,6 +157,8 @@ pub struct Instance {
     pub runtime_vars: Vec<RuntimeVar>,
     /// Declared events, addressed by `EventId`.
     pub events: Vec<EventDecl>,
+    /// Protocol contracts bound to this instance's port groups.
+    pub protocols: Vec<ProtocolBinding>,
 }
 
 impl Instance {
@@ -185,6 +188,16 @@ impl Instance {
     /// True for leaf instances.
     pub fn is_leaf(&self) -> bool {
         matches!(self.kind, InstanceKind::Leaf { .. })
+    }
+
+    /// The protocol binding whose primary (data) port is `port`, if any.
+    pub fn protocol_with_primary(&self, port: PortId) -> Option<&ProtocolBinding> {
+        self.protocols.iter().find(|b| b.primary() == port)
+    }
+
+    /// The protocol binding that lists `port` anywhere in its group.
+    pub fn protocol_with_port(&self, port: PortId) -> Option<&ProtocolBinding> {
+        self.protocols.iter().find(|b| b.ports.contains(&port))
     }
 }
 
@@ -520,6 +533,7 @@ pub(crate) mod testutil {
             userpoints: Vec::new(),
             runtime_vars: Vec::new(),
             events: Vec::new(),
+            protocols: Vec::new(),
         })
     }
 

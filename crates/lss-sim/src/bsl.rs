@@ -71,6 +71,8 @@ fn check_behavioral(stmt: &Stmt) -> Result<(), String> {
         Stmt::RuntimeVar(_) => bad("runtime variable declarations (declare them in the module)"),
         Stmt::Event(_) => bad("event declarations"),
         Stmt::Collector(_) => bad("collectors"),
+        Stmt::ProtocolDecl(_) => bad("protocol declarations"),
+        Stmt::ProtocolAnnot(_) => bad("protocol annotations"),
         Stmt::Fun(f) => f.body.iter().try_for_each(check_behavioral),
         Stmt::If(s) => s
             .then_body

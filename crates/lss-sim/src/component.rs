@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use lss_netlist::{Dir, EventId, RtvId, UserpointId};
+use lss_netlist::{Dir, EventId, ProtocolBinding, RtvId, SrcSpan, UserpointId};
 use lss_types::{Datum, Ty};
 
 use crate::bsl::BslProgram;
@@ -45,6 +45,11 @@ pub struct CompSpec {
     pub userpoints: HashMap<String, BslProgram>,
     /// Runtime variables with initial values.
     pub runtime_vars: Vec<(String, Datum)>,
+    /// Declared port-protocol contracts (interface automata), in
+    /// declaration order. Behaviors consult these for diagnostic context
+    /// (group name, annotation span); the engine's opt-in monitor
+    /// (`SimOptions::check_protocols`) enforces them.
+    pub protocols: Vec<ProtocolBinding>,
 }
 
 impl CompSpec {
@@ -102,6 +107,39 @@ impl CompSpec {
     pub fn flag_param(&self, name: &str, default: bool) -> Result<bool, BuildError> {
         Ok(self.int_param_or(name, default as i64)? != 0)
     }
+
+    /// The protocol binding whose *primary* (data) port is `port`, if the
+    /// instance declares one. Behaviors use this to name the violated
+    /// group and carry the annotation's source span in runtime protocol
+    /// diagnostics.
+    pub fn protocol_for_port(&self, port: usize) -> Option<&ProtocolBinding> {
+        self.protocols.iter().find(|b| b.primary().index() == port)
+    }
+
+    /// Diagnostic context for protocol violations observed on `port`: the
+    /// declared group name and annotation span, falling back to the port's
+    /// own name (and no span) when the instance declares no contract
+    /// there. Feed the result to [`SimError::protocol_violation`].
+    pub fn protocol_context(&self, port: usize) -> (String, Option<SrcSpan>) {
+        match self.protocol_for_port(port) {
+            Some(b) => {
+                let s = &b.span;
+                let span = if s.file == u32::MAX || (s.file == 0 && s.start == 0 && s.end == 0) {
+                    None
+                } else {
+                    Some(*s)
+                };
+                (b.group.clone(), span)
+            }
+            None => (
+                self.ports
+                    .get(port)
+                    .map(|p| p.name.clone())
+                    .unwrap_or_else(|| format!("port{port}")),
+                None,
+            ),
+        }
+    }
 }
 
 /// An error while constructing a simulator from a netlist.
@@ -133,6 +171,9 @@ impl std::error::Error for BuildError {}
 pub struct SimError {
     /// What went wrong.
     pub message: String,
+    /// Source span of the declaration this error traces back to (today:
+    /// the `protocol` annotation a violation breaches), when known.
+    pub span: Option<SrcSpan>,
 }
 
 impl SimError {
@@ -140,6 +181,27 @@ impl SimError {
     pub fn new(message: impl Into<String>) -> Self {
         SimError {
             message: message.into(),
+            span: None,
+        }
+    }
+
+    /// The uniform protocol-violation diagnostic — the runtime counterpart
+    /// of the static checker's `LSS105`/`LSS107`. Every credit/handshake
+    /// breach, whether raised by a behavior (buffer overflow) or by the
+    /// engine's protocol monitor, renders through this constructor so the
+    /// message shape is greppable and names the violated transition.
+    ///
+    /// `group` labels the port group (`<group>` from the annotation, or a
+    /// port name when the instance declares no contract); `violated` says
+    /// which transition of the discipline was broken.
+    pub fn protocol_violation(
+        group: impl fmt::Display,
+        violated: impl fmt::Display,
+        span: Option<SrcSpan>,
+    ) -> Self {
+        SimError {
+            message: format!("protocol violation on group `{group}`: {violated}"),
+            span,
         }
     }
 }
@@ -378,6 +440,7 @@ mod tests {
             }],
             userpoints: HashMap::new(),
             runtime_vars: vec![],
+            protocols: vec![],
         }
     }
 

@@ -33,7 +33,10 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
-use lss_netlist::{Dir, EventId, InstanceId, InstanceKind, Netlist, RtvId, UserpointId};
+use lss_netlist::{
+    ActionDir, Dir, EventId, InstanceId, InstanceKind, Netlist, Role, RtvId, SrcSpan, Template,
+    UserpointId,
+};
 use lss_types::{Datum, Ty};
 
 use lss_analyze::{leaf_dep_graph, CombInfo};
@@ -69,6 +72,15 @@ pub struct SimOptions {
     /// type, failing the cycle on a violation. Catches behaviors that
     /// disagree with the static types; costs a structural check per send.
     pub check_types: bool,
+    /// Enforce declared port protocols (interface automata) at runtime,
+    /// failing the cycle on a violated transition. The dynamic counterpart
+    /// of the static `LSS105`/`LSS107` pass: role-flipped groups fail on
+    /// their first send, concrete-credit producers fail when they exceed
+    /// their granted budget, and custom automata fail on any move their
+    /// declared transitions do not enable. Adaptive credit and handshake
+    /// templates are left to the behaviors and the static checker (strict
+    /// runtime stepping would reject legal pipelined traffic).
+    pub check_protocols: bool,
 }
 
 impl Default for SimOptions {
@@ -78,6 +90,7 @@ impl Default for SimOptions {
             max_fixpoint_iters: 64,
             bsl_max_steps: 1_000_000,
             check_types: false,
+            check_protocols: false,
         }
     }
 }
@@ -316,6 +329,8 @@ pub struct Simulator {
     opts: SimOptions,
     stats: SimStats,
     initialized: bool,
+    /// Protocol-enforcement state (empty unless `check_protocols`).
+    monitors: Vec<ProtocolMonitor>,
     /// Firing-log filter: record values from instance paths starting with
     /// any of these prefixes (empty = logging disabled).
     watch_prefixes: Vec<String>,
@@ -346,6 +361,41 @@ impl std::fmt::Debug for Simulator {
             .field("scheduler", &self.opts.scheduler)
             .finish()
     }
+}
+
+/// How the runtime monitor enforces one protocol binding.
+enum MonitorKind {
+    /// A consumer-role group whose primary port is an *output*: the first
+    /// value it drives is a violation (consumers have no send transition
+    /// on the data channel).
+    ConsumerDrives,
+    /// A producer with a concrete `credit(n)` budget and no wired credit
+    /// return: its total sends may never exceed `budget`. (With a wired
+    /// return channel the corelib's absolute-credit discipline applies and
+    /// consumer behaviors enforce it via their overflow checks.)
+    ProducerBudget { budget: i64, sent: i64 },
+    /// A custom automaton stepped on observed traffic: data on the primary
+    /// port must match an enabled transition of the right direction, as
+    /// must traffic on the reverse port.
+    Custom {
+        /// Reverse port and whether it is an output on this instance.
+        rev: Option<(usize, bool)>,
+        state: u32,
+    },
+}
+
+/// Runtime enforcement state for one declared protocol binding
+/// ([`SimOptions::check_protocols`]).
+struct ProtocolMonitor {
+    comp: usize,
+    group: String,
+    span: Option<SrcSpan>,
+    /// Primary (data) port index and whether it is an output here.
+    port: usize,
+    port_out: bool,
+    states: Vec<String>,
+    transitions: Vec<(u32, ActionDir, String, u32)>,
+    kind: MonitorKind,
 }
 
 struct Placeholder;
@@ -436,6 +486,7 @@ pub fn comb_info(netlist: &Netlist, registry: &ComponentRegistry) -> lss_analyze
                 .iter()
                 .map(|rv| (netlist.name(rv.name).to_string(), rv.init.clone()))
                 .collect(),
+            protocols: inst.protocols.clone(),
         };
         let Ok(comp) = registry.build(tar_file, &spec) else {
             continue;
@@ -588,6 +639,7 @@ pub fn build(
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.clone()))
                 .collect(),
+            protocols: inst.protocols.clone(),
         };
         let comp = registry.build(tar_file, &spec)?;
         comps.push(comp);
@@ -714,6 +766,67 @@ pub fn build(
         .iter()
         .map(|ports| ports.iter().flatten().copied().collect())
         .collect();
+
+    // Protocol monitors: one per enforceable declared binding.
+    let mut monitors = Vec::new();
+    if opts.check_protocols {
+        for (c, &id) in leaf_ids.iter().enumerate() {
+            let inst = netlist.instance(id);
+            for b in &inst.protocols {
+                let primary = b.primary().index();
+                let Some(pport) = inst.ports.get(primary) else {
+                    continue;
+                };
+                let port_out = pport.dir == Dir::Out;
+                let s = &b.span;
+                let span = if s.file == u32::MAX || (s.file == 0 && s.start == 0 && s.end == 0) {
+                    None
+                } else {
+                    Some(*s)
+                };
+                let kind = match (&b.automaton.template, b.role) {
+                    (Template::Custom(_), _) => {
+                        let rev = b.reverse().and_then(|r| {
+                            inst.ports
+                                .get(r.index())
+                                .map(|p| (r.index(), p.dir == Dir::Out))
+                        });
+                        MonitorKind::Custom { rev, state: 0 }
+                    }
+                    (_, Role::Consumer) if port_out => MonitorKind::ConsumerDrives,
+                    (Template::Credit(Some(count)), Role::Producer) if port_out => {
+                        let rev_wired = b
+                            .reverse()
+                            .and_then(|r| inst.ports.get(r.index()))
+                            .is_some_and(|p| p.width > 0);
+                        if rev_wired {
+                            continue;
+                        }
+                        MonitorKind::ProducerBudget {
+                            budget: *count as i64,
+                            sent: 0,
+                        }
+                    }
+                    _ => continue,
+                };
+                monitors.push(ProtocolMonitor {
+                    comp: c,
+                    group: b.group.clone(),
+                    span,
+                    port: primary,
+                    port_out,
+                    states: b.automaton.states.clone(),
+                    transitions: b
+                        .automaton
+                        .transitions
+                        .iter()
+                        .map(|t| (t.from, t.dir, t.action.clone(), t.to))
+                        .collect(),
+                    kind,
+                });
+            }
+        }
+    }
     Ok(Simulator {
         core: Core {
             cycle: 0,
@@ -744,6 +857,7 @@ pub fn build(
         opts,
         stats: SimStats::default(),
         initialized: false,
+        monitors,
         watch_prefixes: Vec::new(),
         firing_log: Vec::new(),
         firing_log_cap: 100_000,
@@ -823,7 +937,123 @@ impl Simulator {
     }
 
     fn locate(&self, comp: usize, e: SimError) -> SimError {
-        SimError::new(format!("{}: {}", self.paths[comp], e.message))
+        SimError {
+            message: format!("{}: {}", self.paths[comp], e.message),
+            span: e.span,
+        }
+    }
+
+    /// Number of lanes of `port` carrying a value after settle.
+    fn port_item_count(&self, comp: usize, port: usize, out: bool) -> usize {
+        if out {
+            self.core.out_slots[comp].get(port).map_or(0, |lanes| {
+                lanes
+                    .iter()
+                    .filter(|&&s| self.core.values[s].is_some())
+                    .count()
+            })
+        } else {
+            self.core.in_slots[comp].get(port).map_or(0, |lanes| {
+                lanes
+                    .iter()
+                    .filter(|s| s.is_some_and(|s| self.core.values[s].is_some()))
+                    .count()
+            })
+        }
+    }
+
+    /// Steps every protocol monitor on this cycle's observed traffic
+    /// ([`SimOptions::check_protocols`]), failing on a violated transition.
+    fn enforce_protocols(&mut self) -> Result<(), SimError> {
+        for i in 0..self.monitors.len() {
+            let (comp, port, port_out, rev_info) = {
+                let m = &self.monitors[i];
+                let rev = match &m.kind {
+                    MonitorKind::Custom { rev, .. } => *rev,
+                    _ => None,
+                };
+                (m.comp, m.port, m.port_out, rev)
+            };
+            let primary_items = self.port_item_count(comp, port, port_out);
+            let rev_items = rev_info.map_or(0, |(rp, ro)| self.port_item_count(comp, rp, ro));
+            let m = &mut self.monitors[i];
+            let mut violation: Option<SimError> = None;
+            match &mut m.kind {
+                MonitorKind::ConsumerDrives => {
+                    if primary_items > 0 {
+                        violation = Some(SimError::protocol_violation(
+                            &m.group,
+                            "consumer-role group drove its data port; \
+                             a consumer has no enabled send transition",
+                            m.span,
+                        ));
+                    }
+                }
+                MonitorKind::ProducerBudget { budget, sent } => {
+                    *sent += primary_items as i64;
+                    if *sent > *budget {
+                        violation = Some(SimError::protocol_violation(
+                            &m.group,
+                            format!(
+                                "send `item` is not enabled in state `{budget} in flight`: \
+                                 credit budget {budget} exhausted with no return channel"
+                            ),
+                            m.span,
+                        ));
+                    }
+                }
+                MonitorKind::Custom { rev, state } => {
+                    // Receive-direction moves first: a credit or ack that
+                    // arrives this cycle enables the send it pays for.
+                    let prim_dir = if port_out {
+                        ActionDir::Send
+                    } else {
+                        ActionDir::Recv
+                    };
+                    let rev_dir =
+                        rev.map(|(_, ro)| if ro { ActionDir::Send } else { ActionDir::Recv });
+                    let mut ordered: Vec<(ActionDir, usize)> = Vec::new();
+                    for want in [ActionDir::Recv, ActionDir::Send] {
+                        if rev_dir == Some(want) && rev_items > 0 {
+                            ordered.push((want, rev_items));
+                        }
+                        if prim_dir == want && primary_items > 0 {
+                            ordered.push((want, primary_items));
+                        }
+                    }
+                    'moves: for (dir, count) in ordered {
+                        for _ in 0..count {
+                            match m.transitions.iter().find(|t| t.0 == *state && t.1 == dir) {
+                                Some(t) => *state = t.3,
+                                None => {
+                                    let name = m
+                                        .states
+                                        .get(*state as usize)
+                                        .cloned()
+                                        .unwrap_or_else(|| format!("s{state}"));
+                                    violation = Some(SimError::protocol_violation(
+                                        &m.group,
+                                        format!(
+                                            "no {} transition is enabled in state `{name}`",
+                                            match dir {
+                                                ActionDir::Send => "send",
+                                                ActionDir::Recv => "receive",
+                                            }
+                                        ),
+                                        m.span,
+                                    ));
+                                    break 'moves;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(e) = violation {
+                return Err(self.locate(comp, e));
+            }
+        }
+        Ok(())
     }
 
     /// One-time initialization: `init` hooks plus `init` userpoints.
@@ -859,6 +1089,9 @@ impl Simulator {
             Scheduler::Dynamic => self.settle_dynamic()?,
         }
         self.fire_port_events()?;
+        if self.opts.check_protocols {
+            self.enforce_protocols()?;
+        }
         // Synchronous state update.
         for comp in 0..self.comps.len() {
             self.core.states[comp].in_eot = true;

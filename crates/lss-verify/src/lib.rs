@@ -21,6 +21,9 @@
 //! * [`fuzz`] — the orchestrating loop behind `lssc fuzz`, with
 //!   `lssc difftest` replaying single files (the checked-in corpus under
 //!   `tests/corpus/` goes through the same path).
+//! * [`protocol`] — the agreement loop behind `lssc fuzz --protocols`:
+//!   planted protocol bugs (credit over-issue, role flips, deadlocking
+//!   custom automata) checked for static-pass/runtime-monitor agreement.
 //! * [`adversarial`] — the crash-fuzzing loop behind
 //!   `lssc fuzz --adversarial`: hostile (mutated and malformed) inputs
 //!   checked against the robustness contract — no panics, bounded
@@ -34,6 +37,7 @@ pub mod exhaustive;
 pub mod fuzz;
 pub mod gen;
 pub mod minimize;
+pub mod protocol;
 pub mod refsim;
 
 pub use adversarial::{run_adversarial, AdversarialConfig, AdversarialFinding, AdversarialReport};
@@ -44,4 +48,7 @@ pub use exhaustive::{check_types, solve_exhaustive, ExhaustiveConfig, TypeDiscre
 pub use fuzz::{run_fuzz, Finding, FuzzConfig, FuzzReport};
 pub use gen::{generate, GenConfig, Spec};
 pub use minimize::{minimize, write_repro, Minimized};
+pub use protocol::{
+    run_protocol_fuzz, ProtocolFinding, ProtocolFuzzConfig, ProtocolFuzzReport, ProtocolMutation,
+};
 pub use refsim::{Mutation, RefSim};

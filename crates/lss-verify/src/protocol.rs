@@ -1,0 +1,418 @@
+//! Protocol-mutation fuzzing: static checker vs runtime monitor.
+//!
+//! The protocol story has two enforcement points — the `lss-analyze`
+//! composition pass (`LSS105`/`LSS106`/`LSS107`) before any cycle runs,
+//! and the simulator's opt-in `check_protocols` monitors while cycles
+//! run. This loop proves they agree: every generated program is checked
+//! clean both ways in its unmutated form, then a protocol-violating
+//! annotation is injected and the program is checked again. The contract:
+//!
+//! * the **base** program raises no protocol finding and no runtime
+//!   protocol violation (no false positives);
+//! * the **mutated** program is always flagged statically (the analyzer
+//!   sees every planted bug);
+//! * any **runtime** monitor violation is also flagged statically — the
+//!   paper's pitch is that the netlist admits the check *before* cycle
+//!   zero, so the monitor must never be the only line of defense.
+//!
+//! The three mutation shapes map one-to-one onto the checker's direct
+//! checks and its product walk: [`ProtocolMutation::OverCredit`] (concrete
+//! credit over-issue), [`ProtocolMutation::RoleFlip`] (role orientation),
+//! and [`ProtocolMutation::DeadlockLoop`] (a custom automaton whose first
+//! move waits on an action nobody sends).
+
+use lss_analyze::{AnalysisConfig, Code};
+use lss_types::SplitMix64;
+
+use crate::difftest::compile_source;
+use crate::gen::{generate, GenConfig, Spec};
+
+/// One injected protocol bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolMutation {
+    /// A producer annotated `credit(depth + k)` feeding a `credit(depth)`
+    /// queue: statically a concrete over-issue (`LSS105`), at runtime a
+    /// producer-budget exhaustion once the extra items flow.
+    OverCredit,
+    /// A `consumer` annotation on a driving outport: statically a role
+    /// mismatch (`LSS105`), at runtime a consumer-drives violation on the
+    /// first emitted item.
+    RoleFlip,
+    /// A custom automaton whose initial state only *receives* an action
+    /// the peer never sends: statically a product-walk deadlock
+    /// (`LSS107`), at runtime a no-enabled-transition violation when the
+    /// source emits anyway.
+    DeadlockLoop,
+}
+
+impl ProtocolMutation {
+    /// All mutation shapes, in the order the loop cycles through them.
+    pub const ALL: [ProtocolMutation; 3] = [
+        ProtocolMutation::OverCredit,
+        ProtocolMutation::RoleFlip,
+        ProtocolMutation::DeadlockLoop,
+    ];
+
+    /// Short tag for logs and reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ProtocolMutation::OverCredit => "over-credit",
+            ProtocolMutation::RoleFlip => "role-flip",
+            ProtocolMutation::DeadlockLoop => "deadlock-loop",
+        }
+    }
+}
+
+/// Configuration for [`run_protocol_fuzz`].
+#[derive(Debug, Clone)]
+pub struct ProtocolFuzzConfig {
+    /// Master seed for the run.
+    pub seed: u64,
+    /// Number of generated programs (each is checked base + mutated).
+    pub iters: u64,
+    /// Shape knobs for the surrounding generated program.
+    pub gen: GenConfig,
+}
+
+impl Default for ProtocolFuzzConfig {
+    fn default() -> Self {
+        ProtocolFuzzConfig {
+            seed: 0,
+            iters: 200,
+            gen: GenConfig::default(),
+        }
+    }
+}
+
+/// One violation of the agreement contract.
+#[derive(Debug)]
+pub struct ProtocolFinding {
+    /// Iteration (0-based).
+    pub iter: u64,
+    /// Per-item seed (regenerate with `generate(item_seed, &cfg.gen)`).
+    pub item_seed: u64,
+    /// The mutation in play (`None` for base-program false positives).
+    pub mutation: Option<ProtocolMutation>,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ProtocolFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "iter {} (seed {}, {}): {}",
+            self.iter,
+            self.item_seed,
+            self.mutation.map_or("base", ProtocolMutation::tag),
+            self.detail
+        )
+    }
+}
+
+/// Aggregate result of a protocol-fuzz run.
+#[derive(Debug, Default)]
+pub struct ProtocolFuzzReport {
+    /// Iterations completed.
+    pub iters: u64,
+    /// Base programs confirmed clean both statically and at runtime.
+    pub base_clean: u64,
+    /// Mutated programs the static pass flagged.
+    pub static_flagged: u64,
+    /// Mutated programs the runtime monitor flagged.
+    pub runtime_flagged: u64,
+    /// Contract violations (empty on a passing run).
+    pub findings: Vec<ProtocolFinding>,
+}
+
+impl ProtocolFuzzReport {
+    /// True when the static pass and the runtime monitor agreed on every
+    /// program, base and mutated.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// The protocol diagnostic codes ([`Code::ProtocolMismatch`],
+/// [`Code::ProtocolUnannotatedPeer`], [`Code::ProtocolDeadlock`]).
+fn is_protocol_code(code: Code) -> bool {
+    matches!(
+        code,
+        Code::ProtocolMismatch | Code::ProtocolUnannotatedPeer | Code::ProtocolDeadlock
+    )
+}
+
+/// Appends the mutation's carrier cluster (`pfsrc -> pfq -> pfsnk`) to the
+/// spec and returns the annotation text to splice after the rendered
+/// program. The cluster is self-contained, so the surrounding generated
+/// program stays untouched and the planted bug is the only protocol error.
+fn plant(spec: &mut Spec, mutation: ProtocolMutation, rng: &mut SplitMix64) -> String {
+    let depth = 1 + rng.below(4);
+    let src = spec.inst("pfsrc", "source");
+    spec.insts[src]
+        .params
+        .push(("start".into(), rng.range_i64(0, 40).to_string()));
+    let q = spec.inst("pfq", "queue");
+    spec.insts[q]
+        .params
+        .push(("depth".into(), depth.to_string()));
+    let snk = spec.inst("pfsnk", "sink");
+    spec.connect(src, "out", q, "in");
+    spec.connect(q, "out", snk, "in");
+    spec.pins.push(crate::gen::Pin {
+        inst: src,
+        port: "out",
+        ty: "int",
+    });
+    match mutation {
+        ProtocolMutation::OverCredit => {
+            let over = depth + 1 + rng.below(3);
+            // The runtime budget trips on the (over+1)-th item; make sure
+            // the stimulus is long enough to emit it.
+            spec.cycles = spec.cycles.max(over + 3);
+            format!("protocol pfflood : producer credit({over}) on pfsrc.out;\n")
+        }
+        ProtocolMutation::RoleFlip => {
+            "protocol pfflip : consumer credit on pfsrc.out;\n".to_string()
+        }
+        ProtocolMutation::DeadlockLoop => concat!(
+            "protocol pfloopy {\n",
+            "    state p0;\n",
+            "    state p1;\n",
+            "    p0 -> p1 : recv go;\n",
+            "    p1 -> p0 : send item;\n",
+            "};\n",
+            "protocol pfdl : producer pfloopy on pfsrc.out;\n"
+        )
+        .to_string(),
+    }
+}
+
+/// Outcome of checking one program both ways.
+struct Checked {
+    /// Protocol findings from the static pass, rendered.
+    static_hits: Vec<String>,
+    /// First runtime protocol violation, if any.
+    runtime_hit: Option<String>,
+    /// Harness failure (compile or simulator-build error).
+    harness_error: Option<String>,
+}
+
+/// Compiles `text`, runs the analyzer, then steps the simulator with
+/// `check_protocols` enabled for `cycles` cycles.
+fn check_both(name: &str, text: &str, cycles: u64) -> Checked {
+    let (mut driver, elab) = match compile_source(name, text) {
+        Ok(pair) => pair,
+        Err(error) => {
+            return Checked {
+                static_hits: Vec::new(),
+                runtime_hit: None,
+                harness_error: Some(format!("compile failure: {error}")),
+            }
+        }
+    };
+    let static_hits = match driver.analyze(&AnalysisConfig::default()) {
+        Ok(analyzed) => analyzed
+            .analysis
+            .findings
+            .iter()
+            .filter(|f| is_protocol_code(f.code))
+            .map(|f| f.to_string())
+            .collect(),
+        Err(e) => {
+            return Checked {
+                static_hits: Vec::new(),
+                runtime_hit: None,
+                harness_error: Some(format!("analyzer failure: {e}")),
+            }
+        }
+    };
+    driver.sim_options.check_protocols = true;
+    let mut sim = match driver.simulator(&elab.netlist) {
+        Ok(sim) => sim,
+        Err(e) => {
+            return Checked {
+                static_hits,
+                runtime_hit: None,
+                harness_error: Some(format!("simulator build failure: {e}")),
+            }
+        }
+    };
+    let mut runtime_hit = None;
+    for _ in 0..cycles {
+        if let Err(e) = sim.step() {
+            if e.message.contains("protocol violation") {
+                runtime_hit = Some(e.message);
+            }
+            // Non-protocol runtime errors end the run without a verdict;
+            // the differential fuzzer owns those.
+            break;
+        }
+    }
+    Checked {
+        static_hits,
+        runtime_hit,
+        harness_error: None,
+    }
+}
+
+/// Runs the protocol-agreement fuzzing loop; `log` receives one line per
+/// event worth showing.
+pub fn run_protocol_fuzz(
+    cfg: &ProtocolFuzzConfig,
+    mut log: impl FnMut(&str),
+) -> ProtocolFuzzReport {
+    let mut master = SplitMix64::new(cfg.seed);
+    let mut report = ProtocolFuzzReport::default();
+    for iter in 0..cfg.iters {
+        let item_seed = master.next_u64();
+        let mut rng = SplitMix64::new(item_seed);
+        let base = generate(item_seed, &cfg.gen);
+        let mutation = ProtocolMutation::ALL[(iter % 3) as usize];
+        let mut fail = |report: &mut ProtocolFuzzReport,
+                        mutation: Option<ProtocolMutation>,
+                        detail: String| {
+            let finding = ProtocolFinding {
+                iter,
+                item_seed,
+                mutation,
+                detail,
+            };
+            log(&format!("protocol disagreement: {finding}"));
+            report.findings.push(finding);
+        };
+
+        // Base program: both enforcement points must stay silent.
+        let base_text = base.render();
+        let checked = check_both("protofuzz-base.lss", &base_text, base.cycles);
+        if let Some(e) = checked.harness_error {
+            fail(&mut report, None, e);
+        } else if !checked.static_hits.is_empty() {
+            fail(
+                &mut report,
+                None,
+                format!(
+                    "static false positive on unmutated program: {}",
+                    checked.static_hits.join("; ")
+                ),
+            );
+        } else if let Some(v) = checked.runtime_hit {
+            fail(
+                &mut report,
+                None,
+                format!("runtime false positive on unmutated program: {v}"),
+            );
+        } else {
+            report.base_clean += 1;
+        }
+
+        // Mutated program: static must flag it, and a runtime flag without
+        // a static flag breaks the "checkable before cycle zero" claim.
+        let mut mutated = base.clone();
+        let annotation = plant(&mut mutated, mutation, &mut rng);
+        let mutated_text = format!("{}{annotation}", mutated.render());
+        let checked = check_both("protofuzz-mutated.lss", &mutated_text, mutated.cycles);
+        if let Some(e) = checked.harness_error {
+            fail(&mut report, Some(mutation), e);
+            report.iters += 1;
+            continue;
+        }
+        let static_hit = !checked.static_hits.is_empty();
+        if static_hit {
+            report.static_flagged += 1;
+        }
+        if checked.runtime_hit.is_some() {
+            report.runtime_flagged += 1;
+        }
+        match (static_hit, &checked.runtime_hit) {
+            (false, Some(v)) => fail(
+                &mut report,
+                Some(mutation),
+                format!("runtime monitor caught what the static pass missed: {v}"),
+            ),
+            (false, None) => fail(
+                &mut report,
+                Some(mutation),
+                "planted protocol bug escaped both the static pass and the monitor".to_string(),
+            ),
+            (true, None) => fail(
+                &mut report,
+                Some(mutation),
+                format!(
+                    "runtime monitor silent on a statically flagged bug: {}",
+                    checked.static_hits.join("; ")
+                ),
+            ),
+            (true, Some(_)) => {}
+        }
+        report.iters += 1;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_mutations_are_deterministic() {
+        let cfg = GenConfig::default();
+        for mutation in ProtocolMutation::ALL {
+            let mut a = generate(7, &cfg);
+            let mut b = generate(7, &cfg);
+            let ta = plant(&mut a, mutation, &mut SplitMix64::new(7));
+            let tb = plant(&mut b, mutation, &mut SplitMix64::new(7));
+            assert_eq!(ta, tb);
+            assert_eq!(a.render(), b.render());
+        }
+    }
+
+    #[test]
+    fn each_mutation_is_caught_by_both_enforcement_points() {
+        for (i, mutation) in ProtocolMutation::ALL.iter().enumerate() {
+            let mut spec = Spec::empty();
+            let annotation = plant(&mut spec, *mutation, &mut SplitMix64::new(i as u64));
+            let text = format!("{}{annotation}", spec.render());
+            let checked = check_both("plant.lss", &text, spec.cycles.max(12));
+            assert_eq!(
+                checked.harness_error,
+                None,
+                "{}: harness error",
+                mutation.tag()
+            );
+            assert!(
+                !checked.static_hits.is_empty(),
+                "{}: static pass missed the planted bug",
+                mutation.tag()
+            );
+            assert!(
+                checked.runtime_hit.is_some(),
+                "{}: runtime monitor missed the planted bug",
+                mutation.tag()
+            );
+        }
+    }
+
+    #[test]
+    fn short_agreement_run_is_clean() {
+        let cfg = ProtocolFuzzConfig {
+            seed: 11,
+            iters: 9,
+            gen: GenConfig::default(),
+        };
+        let report = run_protocol_fuzz(&cfg, |_| {});
+        assert!(
+            report.clean(),
+            "disagreements: {:?}",
+            report
+                .findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(report.iters, 9);
+        assert_eq!(report.base_clean, 9);
+        assert_eq!(report.static_flagged, 9);
+        assert_eq!(report.runtime_flagged, 9);
+    }
+}

@@ -318,6 +318,7 @@ impl RefSim {
                     .iter()
                     .map(|(k, v)| (k.to_string(), v.clone()))
                     .collect(),
+                protocols: inst.protocols.clone(),
             };
             comps.push(registry.build(tar_file, &spec)?);
             states.push(RefState {

@@ -11,6 +11,10 @@
 //!   resource-exhaustion error, not a plain diagnostic.
 //! * `// expect-located: yes` — at least one diagnostic must point at
 //!   real source (the renderer's `-->` span line).
+//! * `// expect-code: LSSxxx` — the file compiles, but the static
+//!   analyzer must report a finding with this code (repeatable). The
+//!   `expect:`/`expect-located:` headers then match against the rendered
+//!   findings instead of a compile error.
 //!
 //! Every replay additionally asserts the blanket robustness contract:
 //! compilation never panics and terminates promptly under a small step
@@ -23,6 +27,7 @@ use std::time::{Duration, Instant};
 
 use liberty::driver::{Driver, DriverError};
 use liberty::types::BudgetCaps;
+use liberty::AnalysisConfig;
 
 /// Per-file wall-clock ceiling: generous next to the step budget, which
 /// is what actually stops the loops in this corpus.
@@ -51,6 +56,7 @@ fn corpus_files() -> Vec<PathBuf> {
 #[derive(Default)]
 struct Expectations {
     substrings: Vec<String>,
+    codes: Vec<String>,
     budget: bool,
     located: bool,
 }
@@ -64,6 +70,8 @@ fn parse_header(text: &str) -> Expectations {
         let rest = rest.trim();
         if let Some(s) = rest.strip_prefix("expect:") {
             exp.substrings.push(s.trim().to_string());
+        } else if let Some(s) = rest.strip_prefix("expect-code:") {
+            exp.codes.push(s.trim().to_string());
         } else if let Some(s) = rest.strip_prefix("expect-budget:") {
             exp.budget = s.trim() == "yes";
         } else if let Some(s) = rest.strip_prefix("expect-located:") {
@@ -73,7 +81,7 @@ fn parse_header(text: &str) -> Expectations {
     exp
 }
 
-fn compile(name: &str, text: &str) -> Result<(), DriverError> {
+fn session(name: &str, text: &str) -> Driver {
     let mut driver = Driver::with_corelib();
     driver.options.elab.max_steps = STEP_CAP;
     driver.set_budget(BudgetCaps {
@@ -81,7 +89,27 @@ fn compile(name: &str, text: &str) -> Result<(), DriverError> {
         ..BudgetCaps::default()
     });
     driver.add_source(name, text);
-    driver.elaborate().map(|_| ())
+    driver
+}
+
+fn compile(name: &str, text: &str) -> Result<(), DriverError> {
+    session(name, text).elaborate().map(|_| ())
+}
+
+/// Compiles and analyzes; returns the findings' code ids plus the located
+/// text rendering.
+fn analyze(name: &str, text: &str) -> Result<(Vec<String>, String), DriverError> {
+    let mut driver = session(name, text);
+    let analyzed = driver.analyze(&AnalysisConfig::default())?;
+    let codes = analyzed
+        .analysis
+        .findings
+        .iter()
+        .map(|f| f.code.id().to_string())
+        .collect();
+    let rendered =
+        liberty::analyze::to_text_located(&analyzed.analysis.findings, Some(driver.sources()));
+    Ok((codes, rendered))
 }
 
 #[test]
@@ -114,6 +142,39 @@ fn corpus_invalid_replays_with_expected_errors_and_no_panics() {
         let name = path.file_name().unwrap().to_string_lossy().into_owned();
         let text = fs::read_to_string(&path).expect("corpus file readable");
         let exp = parse_header(&text);
+
+        if !exp.codes.is_empty() {
+            let outcome = catch_unwind(AssertUnwindSafe(|| analyze(&name, &text)));
+            let (codes, rendered) = match outcome {
+                Err(_) => {
+                    failures.push(format!("{name}: analysis panicked"));
+                    continue;
+                }
+                Ok(Err(e)) => {
+                    failures.push(format!(
+                        "{name}: failed to compile, expected analyzer findings:\n{e}"
+                    ));
+                    continue;
+                }
+                Ok(Ok(pair)) => pair,
+            };
+            for code in &exp.codes {
+                if !codes.contains(code) {
+                    failures.push(format!(
+                        "{name}: no `{code}` finding; analyzer reported: {codes:?}\n{rendered}"
+                    ));
+                }
+            }
+            for want in &exp.substrings {
+                if !rendered.contains(want) {
+                    failures.push(format!("{name}: findings missing `{want}`:\n{rendered}"));
+                }
+            }
+            if exp.located && !rendered.contains("-->") {
+                failures.push(format!("{name}: finding has no source span:\n{rendered}"));
+            }
+            continue;
+        }
 
         let start = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| compile(&name, &text)));
