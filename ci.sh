@@ -56,6 +56,37 @@ if [ "${hits}" -ne "${#MODELS[@]}" ]; then
   exit 1
 fi
 
+echo "==> projects: multi-file example builds + module-granular incremental rebuild"
+rm -rf target/lss-cache-ci-proj
+for p in examples/lss/model_a examples/lss/model_e; do
+  ./target/release/lssc build --cache-dir target/lss-cache-ci-proj "$p"
+done
+# Touch one member file of model_a and rebuild: the --timings modules
+# array must show only the touched module and its importer re-elaborating
+# while the untouched sibling replays from its per-unit cache entry.
+proj_file=examples/lss/model_a/debug.lss
+proj_orig="$(cat "${proj_file}")"
+restore_proj() { printf '%s' "${proj_orig}" > "${proj_file}"; }
+trap restore_proj EXIT
+printf '%s\n// ci: touched\n' "${proj_orig}" > "${proj_file}"
+proj_out="$(./target/release/lssc build --timings --cache-dir target/lss-cache-ci-proj \
+  examples/lss/model_a)"
+restore_proj
+trap - EXIT
+echo "${proj_out}"
+if ! grep -q 'machine.lss", "cache": "hit"' <<<"${proj_out}"; then
+  echo "projects: untouched machine.lss should replay from its unit cache" >&2
+  exit 1
+fi
+if ! grep -q 'debug.lss", "cache": "miss"' <<<"${proj_out}"; then
+  echo "projects: touched debug.lss should re-elaborate" >&2
+  exit 1
+fi
+if ! grep -q 'top.lss", "cache": "miss"' <<<"${proj_out}"; then
+  echo "projects: top.lss imports debug.lss and should re-elaborate" >&2
+  exit 1
+fi
+
 echo "==> pipeline: BENCH_pipeline.json (cold vs warm, largest model)"
 cargo run --release -q -p bench --bin pipeline
 
@@ -98,8 +129,8 @@ if ! grep -q 'LSS4' <<<"${smoke_err}"; then
   exit 1
 fi
 
-echo "==> verify: corpus replay through both oracles"
-./target/release/lssc difftest tests/corpus/*.lss
+echo "==> verify: corpus replay through both oracles (incl. multi-file projects)"
+./target/release/lssc difftest tests/corpus/*.lss tests/corpus/project_*
 
 echo "==> verify: BENCH_verify.json (generator + difftest throughput)"
 cargo run --release -q -p bench --bin verify

@@ -89,8 +89,11 @@ fn main() {
         cold_stage.push(b.elaborate_infer);
     }
 
-    // Warm: the entry written by the last cold run answers every build.
-    let (mut warm_total, mut warm_stage) = (Vec::new(), Vec::new());
+    // Warm: the entry written by the last cold run answers every build. A
+    // hit skips elaboration and inference outright, so there is no
+    // `warm_elaborate_infer` sample — a stage that never ran is absent
+    // from the report, not recorded as a zero.
+    let mut warm_total = Vec::new();
     for _ in 0..ITERS {
         let b = build(largest, Some(&cache_dir));
         assert_eq!(b.cache, CacheOutcome::Hit, "warm build must hit");
@@ -100,7 +103,6 @@ fn main() {
             "a cache hit must skip elaboration and inference"
         );
         warm_total.push(b.total);
-        warm_stage.push(b.elaborate_infer);
     }
     let _ = std::fs::remove_dir_all(&cache_dir);
 
@@ -110,31 +112,28 @@ fn main() {
             &format!("pipeline/{model}/cold_elaborate_infer"),
             &mut cold_stage,
         ),
-        sample(
-            &format!("pipeline/{model}/warm_elaborate_infer"),
-            &mut warm_stage,
-        ),
         sample(&format!("pipeline/{model}/cold_total"), &mut cold_total),
         sample(&format!("pipeline/{model}/warm_total"), &mut warm_total),
     ];
 
-    let cold_ns = samples[0].median_ns;
-    let warm_ns = samples[1].median_ns;
     println!(
-        "cold elaborate+infer median: {:.3}ms, warm: {:.3}ms",
-        cold_ns as f64 / 1e6,
-        warm_ns as f64 / 1e6
+        "cold elaborate+infer median: {:.3}ms",
+        samples[0].median_ns as f64 / 1e6
     );
+    let cold_total_ns = samples[1].median_ns;
+    let warm_total_ns = samples[2].median_ns;
     println!(
         "cold total median: {:.3}ms, warm total median: {:.3}ms",
-        samples[2].median_ns as f64 / 1e6,
-        samples[3].median_ns as f64 / 1e6
+        cold_total_ns as f64 / 1e6,
+        warm_total_ns as f64 / 1e6
     );
+    // The end-to-end guarantee: a warm build (probe + binary decode) costs
+    // at most 40% of a cold build (parse + elaborate + infer + encode).
     assert!(
-        cold_ns >= 5 * warm_ns && cold_ns > 0,
-        "warm elaborate+infer ({warm_ns}ns) must be at least 5x faster than cold ({cold_ns}ns)"
+        cold_total_ns > 0 && warm_total_ns * 10 <= cold_total_ns * 4,
+        "warm total ({warm_total_ns}ns) must be <= 40% of cold total ({cold_total_ns}ns)"
     );
-    println!("warm elaborate+infer is >= 5x faster than cold: ok");
+    println!("warm total is <= 40% of cold total: ok");
 
     write_json(
         concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_pipeline.json"),

@@ -260,16 +260,41 @@ fn failure_exit(e: &DriverError) -> ExitCode {
 }
 
 /// One `--timings` JSON line: cache outcome plus per-stage milliseconds.
-fn timings_json(file: &str, cache: &str, timings: &StageTimings) -> String {
+/// Stages that never ran (a cache hit skips elaborate/infer entirely) are
+/// absent from the line, not reported as zero. Multi-file projects add a
+/// `modules` array with each unit's own cache outcome, so incremental
+/// rebuilds can be asserted from the outside.
+fn timings_json(
+    file: &str,
+    cache: &str,
+    timings: &StageTimings,
+    modules: &[lss_driver::ModuleBuild],
+) -> String {
     let mut line = format!(
         "{{\"file\": \"{}\", \"cache\": \"{cache}\"",
         lss_netlist::json::escape(file)
     );
     for (stage, duration) in timings.stages() {
+        if duration.is_zero() {
+            continue;
+        }
         line.push_str(&format!(
             ", \"{stage}_ms\": {:.3}",
             duration.as_secs_f64() * 1e3
         ));
+    }
+    if !modules.is_empty() {
+        let entries: Vec<String> = modules
+            .iter()
+            .map(|m| {
+                format!(
+                    "{{\"name\": \"{}\", \"cache\": \"{}\"}}",
+                    lss_netlist::json::escape(&m.name),
+                    m.outcome.name()
+                )
+            })
+            .collect();
+        line.push_str(&format!(", \"modules\": [{}]", entries.join(", ")));
     }
     line.push_str(&format!(
         ", \"total_ms\": {:.3}}}",
@@ -297,6 +322,10 @@ struct Options {
     dump_tree: bool,
     dump_dot: bool,
     dump_json: bool,
+    /// `--emit netlist-bin|netlist-json`: persist the compiled netlist.
+    emit: Option<EmitKind>,
+    /// `--output FILE` for `--emit` (required for the binary format).
+    output: Option<String>,
     stats: bool,
     naive: bool,
     lint: bool,
@@ -308,12 +337,24 @@ struct Options {
     wave: bool,
 }
 
+/// Netlist serialization formats reachable from `--emit`.
+#[derive(Clone, Copy, PartialEq)]
+enum EmitKind {
+    /// The compact binary format (`lss_netlist::to_binary`).
+    NetlistBin,
+    /// The diff-friendly JSON format (`lss_netlist::to_json`).
+    NetlistJson,
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: lssc [--lib FILE]... [--no-corelib] [--model A-F] [--run N] [--run-model]\n\
          \x20           [--scheduler static|dynamic] [--dump-tree] [--dump-dot] [--stats]\n\
+         \x20           [--emit netlist-bin|netlist-json] [--output FILE]\n\
          \x20           [--timings] [--no-cache] [--cache-dir DIR]\n\
-         \x20           [--naive-inference] [BUDGET-FLAGS] FILE.lss...\n\
+         \x20           [--naive-inference] [BUDGET-FLAGS] TARGET...\n\
+         \x20           (TARGET: FILE.lss, a project root file whose imports are\n\
+         \x20            loaded with it, a directory with lss.toml, or the manifest)\n\
          \x20      lssc build [--jobs N] [--lib FILE]... [--no-corelib] [--timings]\n\
          \x20           [--no-cache] [--cache-dir DIR] [--naive-inference]\n\
          \x20           [BUDGET-FLAGS] FILE.lss...\n\
@@ -601,19 +642,10 @@ struct BuildReport {
     budget_exhausted: bool,
 }
 
-/// Compiles one file in its own driver session.
+/// Compiles one build target — a single `.lss` file, a project root whose
+/// `import` closure is loaded with it, a directory holding an `lss.toml`,
+/// or the manifest itself — in its own driver session.
 fn build_one(file: &str, libs: &[(String, String)], opts: &BuildOptions) -> BuildReport {
-    let text = match std::fs::read_to_string(file) {
-        Ok(text) => text,
-        Err(e) => {
-            return BuildReport {
-                summary: Err(format!("cannot read {file}: {e}")),
-                timings: None,
-                warnings: Vec::new(),
-                budget_exhausted: false,
-            }
-        }
-    };
     let mut driver = if opts.corelib {
         Driver::with_corelib()
     } else {
@@ -627,18 +659,29 @@ fn build_one(file: &str, libs: &[(String, String)], opts: &BuildOptions) -> Buil
     for (name, text) in libs {
         driver.add_library(name, text);
     }
-    driver.add_source(file, &text);
+    if let Err(e) = driver.add_root_file(file) {
+        return BuildReport {
+            summary: Err(e),
+            timings: None,
+            warnings: Vec::new(),
+            budget_exhausted: false,
+        };
+    }
     let mut budget_exhausted = false;
+    let mut modules = Vec::new();
     let (summary, cache_name) = match driver.elaborate() {
-        Ok(elaborated) => (
-            Ok(format!(
-                "{file}: ok ({} instances, {} connections, cache {})",
-                elaborated.netlist.instances.len(),
-                elaborated.netlist.connections.len(),
-                elaborated.cache.name()
-            )),
-            elaborated.cache.name(),
-        ),
+        Ok(elaborated) => {
+            modules = elaborated.modules.clone();
+            (
+                Ok(format!(
+                    "{file}: ok ({} instances, {} connections, cache {})",
+                    elaborated.netlist.instances.len(),
+                    elaborated.netlist.connections.len(),
+                    elaborated.cache.name()
+                )),
+                elaborated.cache.name(),
+            )
+        }
         Err(e) => {
             budget_exhausted = e.is_budget_exhausted();
             (
@@ -651,7 +694,7 @@ fn build_one(file: &str, libs: &[(String, String)], opts: &BuildOptions) -> Buil
         summary,
         timings: opts
             .timings
-            .then(|| timings_json(file, cache_name, driver.timings())),
+            .then(|| timings_json(file, cache_name, driver.timings(), &modules)),
         warnings: driver.warnings().to_vec(),
         budget_exhausted,
     }
@@ -911,18 +954,20 @@ fn run_fuzz_cmd(args: impl Iterator<Item = String>) -> ExitCode {
         gen,
         check_types: !opts.sim_only,
         check_sim: !opts.types_only,
+        check_projects: !opts.types_only,
         mutation: opts.mutation,
         out_dir: opts.out,
     };
     let report = lss_verify::run_fuzz(&cfg, |line| eprintln!("{line}"));
     eprintln!(
         "fuzz: seed {} — {} program(s), {} compiled, {} type check(s), \
-         {} differential sim cycle(s), {} finding(s)",
+         {} differential sim cycle(s), {} project split check(s), {} finding(s)",
         cfg.seed,
         report.iters,
         report.compiled,
         report.type_checks,
         report.sim_cycles,
+        report.project_checks,
         report.findings.len()
     );
     for finding in &report.findings {
@@ -991,15 +1036,32 @@ fn run_difftest(args: impl Iterator<Item = String>) -> ExitCode {
     };
     let mut failed = 0usize;
     for file in &opts.files {
-        let text = match std::fs::read_to_string(file) {
-            Ok(text) => text,
-            Err(e) => {
-                eprintln!("cannot read {file}: {e}");
-                failed += 1;
-                continue;
+        let mut path = std::path::Path::new(file).to_path_buf();
+        // A directory without a manifest replays via its top.lss (the
+        // layout minimized multi-file repros are written in).
+        if path.is_dir() && !path.join("lss.toml").is_file() && path.join("top.lss").is_file() {
+            path = path.join("top.lss");
+        }
+        // Project roots (directories, manifests, or files with imports)
+        // go through the multi-file loader so their closure is followed.
+        let project = path.is_dir()
+            || path.file_name().is_some_and(|n| n == "lss.toml")
+            || std::fs::read_to_string(&path)
+                .map(|t| t.lines().any(|l| l.trim_start().starts_with("import ")))
+                .unwrap_or(false);
+        let result = if project {
+            lss_verify::difftest_root(&path, &diff)
+        } else {
+            match std::fs::read_to_string(&path) {
+                Ok(text) => lss_verify::difftest_source(file, &text, &diff),
+                Err(e) => {
+                    eprintln!("cannot read {file}: {e}");
+                    failed += 1;
+                    continue;
+                }
             }
         };
-        match lss_verify::difftest_source(file, &text, &diff) {
+        match result {
             Ok(None) => println!("{file}: ok ({} cycles, traces agree)", opts.cycles),
             Ok(Some(d)) => {
                 eprintln!("{file}: {d}");
@@ -1032,6 +1094,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
         dump_tree: false,
         dump_dot: false,
         dump_json: false,
+        emit: None,
+        output: None,
         stats: false,
         naive: false,
         lint: false,
@@ -1065,6 +1129,18 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
                 _ => usage(),
             },
             "--emit-lss" => opts.emit_lss = true,
+            "--emit" => match args.next().as_deref() {
+                Some("netlist-bin") => opts.emit = Some(EmitKind::NetlistBin),
+                Some("netlist-json") => opts.emit = Some(EmitKind::NetlistJson),
+                _ => {
+                    eprintln!("--emit needs `netlist-bin` or `netlist-json`");
+                    usage();
+                }
+            },
+            "--output" => match args.next() {
+                Some(f) => opts.output = Some(f),
+                None => usage(),
+            },
             "--dump-tree" => opts.dump_tree = true,
             "--dump-dot" => opts.dump_dot = true,
             "--dump-json" => opts.dump_json = true,
@@ -1282,12 +1358,11 @@ fn real_main() -> ExitCode {
         }
     }
     for file in &opts.files {
-        match std::fs::read_to_string(file) {
-            Ok(text) => lse.add_source(file, &text),
-            Err(e) => {
-                eprintln!("cannot read {file}: {e}");
-                return ExitCode::from(1);
-            }
+        // A target may be a plain file, a project root with imports, a
+        // directory with an `lss.toml`, or the manifest itself.
+        if let Err(e) = lse.add_root_file(file) {
+            eprintln!("{e}");
+            return ExitCode::from(1);
         }
     }
 
@@ -1336,6 +1411,35 @@ fn real_main() -> ExitCode {
     }
     if opts.dump_json {
         print!("{}", lss_netlist::to_json(&compiled.netlist));
+    }
+    match opts.emit {
+        Some(EmitKind::NetlistBin) => {
+            let Some(out) = &opts.output else {
+                eprintln!("--emit netlist-bin needs --output FILE (binary data)");
+                return ExitCode::from(2);
+            };
+            let bytes = lss_netlist::to_binary(&compiled.netlist);
+            if let Err(e) = std::fs::write(out, &bytes) {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::from(1);
+            }
+            eprintln!(
+                "wrote {out} ({} bytes, format {})",
+                bytes.len(),
+                lss_netlist::BIN_FORMAT
+            );
+        }
+        Some(EmitKind::NetlistJson) => match &opts.output {
+            Some(out) => {
+                if let Err(e) = std::fs::write(out, lss_netlist::to_json(&compiled.netlist)) {
+                    eprintln!("cannot write {out}: {e}");
+                    return ExitCode::from(1);
+                }
+                eprintln!("wrote {out}");
+            }
+            None => print!("{}", lss_netlist::to_json(&compiled.netlist)),
+        },
+        None => {}
     }
     let mut lint_denied = 0;
     if opts.lint {
@@ -1433,7 +1537,12 @@ fn real_main() -> ExitCode {
     if opts.timings {
         println!(
             "{}",
-            timings_json(&timings_name, compiled.cache.name(), lse.timings())
+            timings_json(
+                &timings_name,
+                compiled.cache.name(),
+                lse.timings(),
+                &compiled.modules
+            )
         );
     }
     if lint_denied > 0 {

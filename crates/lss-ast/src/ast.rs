@@ -33,10 +33,53 @@ impl std::fmt::Display for Ident {
     }
 }
 
+/// How an `import` names the file it pulls in.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ImportPath {
+    /// `import "lib/foo.lss";` — a (relative) file path, verbatim.
+    File(String),
+    /// `import foo;` — shorthand for `import "foo.lss";` next to the
+    /// importing file.
+    Name(String),
+}
+
+impl ImportPath {
+    /// The relative file path the import resolves against, e.g.
+    /// `"lib/foo.lss"` or `"foo.lss"`.
+    pub fn rel_path(&self) -> String {
+        match self {
+            ImportPath::File(p) => p.clone(),
+            ImportPath::Name(n) => format!("{n}.lss"),
+        }
+    }
+}
+
+impl std::fmt::Display for ImportPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportPath::File(p) => write!(f, "\"{p}\""),
+            ImportPath::Name(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// An `import "path";` / `import name;` declaration. Imports bring the
+/// target file's module templates (and top-level `fun` / `protocol`
+/// declarations) into scope; they do not run its top-level statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportDecl {
+    /// What is imported.
+    pub path: ImportPath,
+    /// Where the declaration appeared.
+    pub span: Span,
+}
+
 /// A complete LSS specification: module declarations plus the top-level
 /// statement list (the "main" elaboration body, `S0` in the paper's §6.2).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Program {
+    /// Files this program imports (multi-file projects).
+    pub imports: Vec<ImportDecl>,
     /// Module templates declared in this program.
     pub modules: Vec<ModuleDecl>,
     /// Top-level statements executed to elaborate the model.

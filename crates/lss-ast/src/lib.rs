@@ -31,9 +31,10 @@ pub mod token;
 
 pub use ast::{
     AssignStmt, BinOp, CollectorDecl, ConnectStmt, EventDecl, Expr, ExprKind, ForStmt, FunDecl,
-    Ident, IfStmt, InstanceDecl, ModuleDecl, ParamDecl, PortDecl, PortDir, Program,
-    ProtocolActionDir, ProtocolAnnot, ProtocolDecl, ProtocolRole, ProtocolSpecExpr, RuntimeVarDecl,
-    Stmt, TransitionDecl, TypeExpr, TypeInstStmt, UnOp, UserpointSig, VarDecl, WhileStmt,
+    Ident, IfStmt, ImportDecl, ImportPath, InstanceDecl, ModuleDecl, ParamDecl, PortDecl, PortDir,
+    Program, ProtocolActionDir, ProtocolAnnot, ProtocolDecl, ProtocolRole, ProtocolSpecExpr,
+    RuntimeVarDecl, Stmt, TransitionDecl, TypeExpr, TypeInstStmt, UnOp, UserpointSig, VarDecl,
+    WhileStmt,
 };
 pub use diag::{Diagnostic, DiagnosticBag, Note, Severity};
 pub use lexer::lex;

@@ -3,7 +3,8 @@
 //! The grammar follows the paper's examples:
 //!
 //! ```text
-//! program   := (module | stmt)* EOF
+//! program   := import* (module | stmt)* EOF
+//! import    := 'import' (STRING | IDENT) ';'
 //! module    := 'module' IDENT '{' stmt* '}' ';'?
 //! stmt      := 'parameter' IDENT ('=' expr)? ':' type ';'
 //!            | ('inport' | 'outport') IDENT ':' type ';'
@@ -169,7 +170,18 @@ impl<'a> Parser<'a> {
     fn program(mut self) -> Program {
         let mut program = Program::default();
         while !self.at(&TokenKind::Eof) {
-            if self.at(&TokenKind::Module) {
+            if self.at(&TokenKind::Import) {
+                if !program.modules.is_empty() || !program.top.is_empty() {
+                    self.error_here(
+                        "`import` declarations must appear before any module or statement"
+                            .to_string(),
+                    );
+                }
+                match self.import_decl() {
+                    Some(i) => program.imports.push(i),
+                    None => self.recover_to_stmt_end(),
+                }
+            } else if self.at(&TokenKind::Module) {
                 if let Some(m) = self.module_decl() {
                     program.modules.push(m);
                 }
@@ -190,6 +202,40 @@ impl<'a> Parser<'a> {
             }
         }
         program
+    }
+
+    fn import_decl(&mut self) -> Option<ImportDecl> {
+        let start = self.span();
+        self.expect(&TokenKind::Import);
+        let path = match self.peek().clone() {
+            TokenKind::Str(s) => {
+                if s.is_empty() {
+                    self.error_here("import path must not be empty".to_string());
+                    return None;
+                }
+                self.bump();
+                ImportPath::File(s)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                ImportPath::Name(name)
+            }
+            other => {
+                self.error_here(format!(
+                    "expected a file path string or module file name after `import`, found {}",
+                    other.describe()
+                ));
+                return None;
+            }
+        };
+        let end = self.prev_span();
+        if !self.expect(&TokenKind::Semi) {
+            return None;
+        }
+        Some(ImportDecl {
+            path,
+            span: start.merge(end),
+        })
     }
 
     fn module_decl(&mut self) -> Option<ModuleDecl> {
@@ -1073,6 +1119,38 @@ mod tests {
         let _ = parse(id, src, &mut diags);
         assert!(diags.has_errors(), "expected parse errors for: {src}");
         diags
+    }
+
+    #[test]
+    fn parses_both_import_forms() {
+        let prog = parse_ok("import \"lib/alu.lss\";\nimport helpers;\ninstance a:alu;\n");
+        assert_eq!(prog.imports.len(), 2);
+        assert_eq!(
+            prog.imports[0].path,
+            ImportPath::File("lib/alu.lss".to_string())
+        );
+        assert_eq!(
+            prog.imports[1].path,
+            ImportPath::Name("helpers".to_string())
+        );
+        assert_eq!(prog.imports[1].path.rel_path(), "helpers.lss");
+    }
+
+    #[test]
+    fn imports_must_precede_declarations() {
+        let diags = parse_err("instance a:alu;\nimport \"lib/alu.lss\";\n");
+        let rendered = format!("{diags:?}");
+        assert!(
+            rendered.contains("before any module or statement"),
+            "unexpected diagnostics: {rendered}"
+        );
+    }
+
+    #[test]
+    fn empty_and_malformed_import_paths_are_errors() {
+        parse_err("import \"\";\n");
+        parse_err("import 42;\n");
+        parse_err("import \"a.lss\"\n");
     }
 
     #[test]

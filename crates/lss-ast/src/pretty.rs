@@ -10,6 +10,12 @@ use crate::ast::*;
 /// Renders a whole program as canonical LSS source.
 pub fn program_to_string(program: &Program) -> String {
     let mut p = Printer::default();
+    for import in &program.imports {
+        let _ = writeln!(p.out, "import {};", import.path);
+    }
+    if !program.imports.is_empty() {
+        p.out.push('\n');
+    }
     for module in &program.modules {
         p.module(module);
         p.out.push('\n');

@@ -72,6 +72,8 @@ pub enum TokenKind {
     Fun,
     /// `protocol` — interface automaton declaration / port-group annotation.
     Protocol,
+    /// `import` — multi-file project import declaration.
+    Import,
 
     // Punctuation and operators.
     /// `{`
@@ -168,6 +170,7 @@ impl TokenKind {
             "return" => TokenKind::Return,
             "fun" => TokenKind::Fun,
             "protocol" => TokenKind::Protocol,
+            "import" => TokenKind::Import,
             _ => return None,
         })
     }
@@ -220,6 +223,7 @@ impl fmt::Display for TokenKind {
             TokenKind::Return => "return",
             TokenKind::Fun => "fun",
             TokenKind::Protocol => "protocol",
+            TokenKind::Import => "import",
             TokenKind::LBrace => "{",
             TokenKind::RBrace => "}",
             TokenKind::LParen => "(",
@@ -298,6 +302,7 @@ mod tests {
             "return",
             "fun",
             "protocol",
+            "import",
         ] {
             let k = TokenKind::keyword(kw).unwrap_or_else(|| panic!("{kw} should be a keyword"));
             assert_eq!(k.to_string(), kw);

@@ -1,21 +1,35 @@
 //! Content-addressed on-disk cache for elaborated netlists.
 //!
 //! The cache key is an FNV-1a 64-bit hash over everything that determines
-//! the build output: a format tag, the netlist JSON format version, the
+//! the build output: a format tag, the binary netlist format version, the
 //! corelib revision, the `Debug` rendering of the session's
 //! [`CompileOptions`](lss_interp::CompileOptions), and every source unit
 //! (name, library flag, full text). A warm entry replays the stored
 //! netlist, solver statistics, and `print(...)` output without running
 //! elaboration or inference.
 //!
-//! Integrity: the envelope stores a hash of the canonical netlist JSON;
-//! on load the raw stored netlist text is re-hashed and compared before
-//! the netlist is reconstructed (the envelope writer controls the layout,
-//! so the text is recoverable exactly without a re-emission pass).
-//! Any mismatch — truncation, bit rot, a format change, a stale entry
-//! whose key happens to collide — is reported as an error and the caller
-//! falls back to a clean rebuild. A corrupt cache can cost time, never
-//! correctness.
+//! Entries are encoded in the compact binary netlist format
+//! ([`lss_netlist::binary`], format 4) inside a small binary envelope —
+//! magic, version, key, solver counters, prints, then the length-prefixed
+//! netlist section guarded by its own hash. Three entry families share
+//! the cache directory:
+//!
+//! * `{key:016x}.bin` — whole-build entries ([`store`] / [`load`]);
+//! * `u{key:016x}.bin` — per-module elaboration units of a multi-file
+//!   project ([`store_unit`] / [`load_unit`]), including the unit's
+//!   deferred cross-file connections for the linker;
+//! * `p{key:016x}.bin` — solved type-inference partitions ([`DiskMemo`]).
+//!
+//! Legacy format-1 entries (`{key:016x}.json`, netlist JSON format 3) are
+//! detected by [`load`], reported as an error so the driver warns and
+//! rebuilds, and removed when the binary replacement is stored.
+//!
+//! Integrity: the envelope stores a hash of the raw netlist bytes; on
+//! load the stored bytes are re-hashed and compared before the netlist is
+//! decoded. Any mismatch — truncation, bit rot, a format change, a stale
+//! entry whose key happens to collide — is reported as an error and the
+//! caller falls back to a clean rebuild. A corrupt cache can cost time,
+//! never correctness.
 //!
 //! Writes go through a per-process temp file renamed into place, so
 //! parallel `lssc build --jobs` workers racing on the same entry end with
@@ -23,11 +37,21 @@
 
 use std::path::{Path, PathBuf};
 
-use lss_netlist::{JsonValue, Netlist};
-use lss_types::SolveStats;
+use lss_netlist::binary::{read_scheme, read_ty, write_scheme, write_ty, Reader, Writer};
+use lss_netlist::{DeferredConnection, DeferredEndpoint, Netlist, SrcSpan};
+use lss_types::{PartitionMemo, SolveStats, Ty};
 
 /// Envelope format version; bump on any envelope layout change.
-pub const CACHE_VERSION: u32 = 1;
+/// Version 1 was the JSON envelope around netlist JSON format 3; version
+/// 2 is the binary envelope around netlist binary format 4.
+pub const CACHE_VERSION: u32 = 2;
+
+/// Envelope magic for whole-build entries.
+const BUILD_MAGIC: [u8; 4] = *b"LSSC";
+/// Envelope magic for per-module unit entries.
+const UNIT_MAGIC: [u8; 4] = *b"LSSU";
+/// Envelope magic for solved-partition memo entries.
+const MEMO_MAGIC: [u8; 4] = *b"LSSP";
 
 /// Incremental FNV-1a 64-bit hasher (same family PR 1 uses for seeding;
 /// not cryptographic, which is fine — the cache only ever trades wrong
@@ -99,7 +123,7 @@ fn injected_fault(point: &str) -> bool {
 /// The payload a warm cache entry restores.
 #[derive(Debug)]
 pub struct CachedBuild {
-    /// The typed netlist, reconstructed from its canonical JSON.
+    /// The typed netlist, reconstructed from its binary encoding.
     pub netlist: Netlist,
     /// Solver work counters from the original cold build.
     pub solve_stats: SolveStats,
@@ -107,78 +131,142 @@ pub struct CachedBuild {
     pub prints: Vec<String>,
 }
 
-/// The on-disk location of the entry for `key`.
+/// The payload a warm per-module unit entry restores.
+#[derive(Debug)]
+pub struct CachedUnit {
+    /// The module's own (pre-link) netlist.
+    pub netlist: Netlist,
+    /// Cross-file connections deferred to link time.
+    pub deferred: Vec<DeferredConnection>,
+    /// `print(...)` output from the module's elaboration.
+    pub prints: Vec<String>,
+}
+
+/// The on-disk location of the whole-build entry for `key`.
 pub fn entry_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.bin"))
+}
+
+/// Where a format-1 (JSON) entry for `key` would live. Kept only so the
+/// driver can detect, warn about, and clean up entries written by older
+/// builds.
+pub fn legacy_entry_path(dir: &Path, key: u64) -> PathBuf {
     dir.join(format!("{key:016x}.json"))
 }
 
-fn want<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
-    v.get(key).ok_or_else(|| format!("missing key `{key}`"))
+/// The on-disk location of the per-module unit entry for `key`.
+pub fn unit_entry_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("u{key:016x}.bin"))
 }
 
-fn want_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
-    want(v, key)?
-        .as_i64()
-        .and_then(|n| u64::try_from(n).ok())
-        .ok_or_else(|| format!("key `{key}` is not a u64"))
+/// The on-disk location of the solved-partition memo entry for `key`.
+pub fn memo_entry_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("p{key:016x}.bin"))
 }
 
-/// Loads and verifies the entry for `key`.
-///
-/// Returns `Ok(None)` for a clean miss (no file). Every other failure —
-/// unreadable file, JSON syntax error, version or key mismatch, netlist
-/// hash mismatch — is an `Err` describing the corruption; the caller must
-/// rebuild from sources and should overwrite the entry.
-pub fn load(dir: &Path, key: u64) -> Result<Option<CachedBuild>, String> {
-    let path = entry_path(dir, key);
+fn write_atomic(dir: &Path, path: &Path, out: &[u8]) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let stem = path.file_name().map(|n| n.to_string_lossy().into_owned());
+    let tmp = dir.join(format!(
+        ".{}.{}.tmp",
+        stem.unwrap_or_default(),
+        std::process::id()
+    ));
+    std::fs::write(&tmp, out).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("cannot publish {}: {e}", path.display())
+    })?;
+    Ok(())
+}
+
+fn read_entry(path: &Path) -> Result<Option<Vec<u8>>, String> {
     if injected_fault("read-error") {
         return Err(format!("injected read fault reading {}", path.display()));
     }
-    let text = match std::fs::read_to_string(&path) {
-        Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
-    };
-    let doc = lss_netlist::parse_json(&text)
+    match std::fs::read(path) {
+        Ok(bytes) => Ok(Some(bytes)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+/// Writes the common envelope head: magic, version, key.
+fn write_head(w: &mut Writer, magic: [u8; 4], key: u64) {
+    for b in magic {
+        w.put_u8(b);
+    }
+    w.put_u32(CACHE_VERSION);
+    w.put_varint(key);
+}
+
+/// Reads and verifies the common envelope head against `magic` and `key`.
+fn read_head(r: &mut Reader<'_>, path: &Path, magic: [u8; 4], key: u64) -> Result<(), String> {
+    let mut got = [0u8; 4];
+    for b in &mut got {
+        *b = r
+            .get_u8()
+            .map_err(|e| format!("corrupt cache entry {}: {e}", path.display()))?;
+    }
+    if got != magic {
+        return Err(format!(
+            "cache entry {} has wrong magic {got:?}",
+            path.display()
+        ));
+    }
+    let version = r
+        .get_u32()
         .map_err(|e| format!("corrupt cache entry {}: {e}", path.display()))?;
-    let version = want_u64(&doc, "lss_cache")?;
-    if version != u64::from(CACHE_VERSION) {
+    if version != CACHE_VERSION {
         return Err(format!(
             "cache entry {} has version {version}, expected {CACHE_VERSION}",
             path.display()
         ));
     }
-    let stored_key = want(&doc, "key")?
-        .as_str()
-        .and_then(|s| u64::from_str_radix(s, 16).ok())
-        .ok_or("bad `key` field")?;
+    let stored_key = r
+        .get_varint()
+        .map_err(|e| format!("corrupt cache entry {}: {e}", path.display()))?;
     if stored_key != key {
         return Err(format!(
             "cache entry {} is keyed {stored_key:016x}, expected {key:016x}",
             path.display()
         ));
     }
-    // Integrity gate: the raw stored netlist text must hash to the
-    // recorded value. `store` writes the netlist as the envelope's last
-    // field, and every raw newline inside string literals is escaped, so
-    // the first `\n"netlist": ` at a line start and the final `}` bracket
-    // the stored text exactly.
-    let stored_hash = want(&doc, "netlist_hash")?
-        .as_str()
-        .and_then(|s| u64::from_str_radix(s, 16).ok())
-        .ok_or("bad `netlist_hash` field")?;
-    let marker = "\n\"netlist\": ";
-    let start = text
-        .find(marker)
-        .ok_or_else(|| format!("cache entry {} has no netlist field", path.display()))?
-        + marker.len();
-    let end = text.rfind('}').filter(|&end| end > start).ok_or_else(|| {
-        format!(
-            "cache entry {} has a malformed netlist field",
-            path.display()
-        )
-    })?;
-    let actual = fnv1a64(&text.as_bytes()[start..end]);
+    Ok(())
+}
+
+fn write_prints(w: &mut Writer, prints: &[String]) {
+    w.put_varint(prints.len() as u64);
+    for p in prints {
+        w.put_str(p);
+    }
+}
+
+fn read_prints(r: &mut Reader<'_>) -> Result<Vec<String>, String> {
+    let n = r.get_len()?;
+    let mut prints = Vec::with_capacity(n);
+    for _ in 0..n {
+        prints.push(r.get_str()?);
+    }
+    Ok(prints)
+}
+
+/// Writes the integrity-guarded netlist tail: hash, then bytes.
+fn write_netlist(w: &mut Writer, netlist: &Netlist) {
+    let bytes = lss_netlist::to_binary(netlist);
+    w.put_varint(fnv1a64(&bytes));
+    w.put_bytes(&bytes);
+}
+
+/// Reads the netlist tail, enforcing the integrity gate before decoding.
+fn read_netlist(r: &mut Reader<'_>, path: &Path) -> Result<Netlist, String> {
+    let stored_hash = r
+        .get_varint()
+        .map_err(|e| format!("corrupt cache entry {}: {e}", path.display()))?;
+    let bytes = r
+        .get_bytes()
+        .map_err(|e| format!("corrupt cache entry {}: {e}", path.display()))?;
+    let actual = fnv1a64(bytes);
     if actual != stored_hash {
         return Err(format!(
             "cache entry {} failed integrity check \
@@ -186,23 +274,70 @@ pub fn load(dir: &Path, key: u64) -> Result<Option<CachedBuild>, String> {
             path.display()
         ));
     }
-    let netlist = lss_netlist::from_value(want(&doc, "netlist")?)
-        .map_err(|e| format!("corrupt netlist in {}: {e}", path.display()))?;
-    let stats = want(&doc, "solve_stats")?;
-    let solve_stats = SolveStats {
-        unify_steps: want_u64(stats, "unify_steps")?,
-        branches: want_u64(stats, "branches")?,
-        backtracks: want_u64(stats, "backtracks")?,
-        partitions: want_u64(stats, "partitions")? as usize,
-        smart_commits: want_u64(stats, "smart_commits")?,
-        max_depth: want_u64(stats, "max_depth")? as u32,
+    lss_netlist::from_binary(bytes)
+        .map_err(|e| format!("corrupt netlist in {}: {e}", path.display()))
+}
+
+fn write_solve_stats(w: &mut Writer, s: &SolveStats) {
+    w.put_varint(s.unify_steps);
+    w.put_varint(s.branches);
+    w.put_varint(s.backtracks);
+    w.put_varint(s.partitions as u64);
+    w.put_varint(s.smart_commits);
+    w.put_varint(u64::from(s.max_depth));
+    w.put_varint(s.memo_hits as u64);
+}
+
+fn read_solve_stats(r: &mut Reader<'_>) -> Result<SolveStats, String> {
+    Ok(SolveStats {
+        unify_steps: r.get_varint()?,
+        branches: r.get_varint()?,
+        backtracks: r.get_varint()?,
+        partitions: r.get_len()?,
+        smart_commits: r.get_varint()?,
+        max_depth: r.get_varint_u32()?,
+        memo_hits: r.get_len()?,
+    })
+}
+
+/// Loads and verifies the whole-build entry for `key`.
+///
+/// Returns `Ok(None)` for a clean miss (no file). Every other failure —
+/// unreadable file, decode error, version or key mismatch, netlist hash
+/// mismatch, a leftover format-1 JSON entry — is an `Err` describing the
+/// problem; the caller must rebuild from sources and should overwrite the
+/// entry.
+pub fn load(dir: &Path, key: u64) -> Result<Option<CachedBuild>, String> {
+    let path = entry_path(dir, key);
+    let Some(bytes) = read_entry(&path)? else {
+        // No binary entry: an old `.json` sibling means a pre-format-4
+        // build cached this key. It cannot be replayed (format 1 stored
+        // netlist JSON format 3); surface it so the driver warns,
+        // rebuilds, and replaces it with a binary entry.
+        let legacy = legacy_entry_path(dir, key);
+        if legacy.exists() {
+            return Err(format!(
+                "legacy format-1 JSON cache entry {} (netlist JSON format 3) \
+                 predates the binary cache",
+                legacy.display()
+            ));
+        }
+        return Ok(None);
     };
-    let prints = want(&doc, "prints")?
-        .as_array()
-        .ok_or("`prints` is not an array")?
-        .iter()
-        .map(|p| p.as_str().map(str::to_string).ok_or("non-string print"))
-        .collect::<Result<Vec<_>, _>>()?;
+    let mut r = Reader::new(&bytes);
+    read_head(&mut r, &path, BUILD_MAGIC, key)?;
+    let solve_stats = read_solve_stats(&mut r)
+        .map_err(|e| format!("corrupt cache entry {}: {e}", path.display()))?;
+    let prints =
+        read_prints(&mut r).map_err(|e| format!("corrupt cache entry {}: {e}", path.display()))?;
+    let netlist = read_netlist(&mut r, &path)?;
+    if !r.at_end() {
+        return Err(format!(
+            "cache entry {} has {} trailing byte(s)",
+            path.display(),
+            r.remaining()
+        ));
+    }
     Ok(Some(CachedBuild {
         netlist,
         solve_stats,
@@ -210,7 +345,8 @@ pub fn load(dir: &Path, key: u64) -> Result<Option<CachedBuild>, String> {
     }))
 }
 
-/// Writes the entry for `key` atomically (temp file + rename).
+/// Writes the whole-build entry for `key` atomically (temp file +
+/// rename) and removes any leftover format-1 JSON entry for the same key.
 pub fn store(
     dir: &Path,
     key: u64,
@@ -224,51 +360,231 @@ pub fn store(
             dir.display()
         ));
     }
-    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-    let netlist_json = lss_netlist::to_json(netlist);
-    let netlist_hash = fnv1a64(netlist_json.as_bytes());
-    let mut out = String::with_capacity(netlist_json.len() + 512);
-    out.push_str(&format!(
-        "{{\n\"lss_cache\": {CACHE_VERSION},\n\"key\": \"{key:016x}\",\n\"corelib\": \"{}\",\n",
-        lss_netlist::json::escape(lss_corelib::VERSION)
-    ));
-    let s = solve_stats;
-    out.push_str(&format!(
-        "\"solve_stats\": {{\"unify_steps\": {}, \"branches\": {}, \"backtracks\": {}, \
-         \"partitions\": {}, \"smart_commits\": {}, \"max_depth\": {}}},\n",
-        s.unify_steps, s.branches, s.backtracks, s.partitions, s.smart_commits, s.max_depth
-    ));
-    let prints_json: Vec<String> = prints
-        .iter()
-        .map(|p| format!("\"{}\"", lss_netlist::json::escape(p)))
-        .collect();
-    out.push_str(&format!("\"prints\": [{}],\n", prints_json.join(", ")));
-    out.push_str(&format!("\"netlist_hash\": \"{netlist_hash:016x}\",\n"));
-    out.push_str("\"netlist\": ");
-    out.push_str(&netlist_json);
-    out.push_str("}\n");
+    let mut w = Writer::new();
+    write_head(&mut w, BUILD_MAGIC, key);
+    write_solve_stats(&mut w, solve_stats);
+    write_prints(&mut w, prints);
+    write_netlist(&mut w, netlist);
+    let out = w.finish();
 
-    let path = entry_path(dir, key);
-    let tmp = dir.join(format!(".{key:016x}.{}.tmp", std::process::id()));
     // A short-write fault tears the entry but reports success, exactly
     // like a crash after rename on a filesystem that reordered the data
     // blocks; the integrity gate in `load` must catch it later.
     let bytes: &[u8] = if injected_fault("short-write") {
-        &out.as_bytes()[..out.len() / 2]
+        &out[..out.len() / 2]
     } else {
-        out.as_bytes()
+        &out
     };
-    std::fs::write(&tmp, bytes).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
-    std::fs::rename(&tmp, &path).map_err(|e| {
-        let _ = std::fs::remove_file(&tmp);
-        format!("cannot publish {}: {e}", path.display())
-    })?;
+    write_atomic(dir, &entry_path(dir, key), bytes)?;
+    let _ = std::fs::remove_file(legacy_entry_path(dir, key));
     Ok(())
+}
+
+fn write_deferred_endpoint(w: &mut Writer, e: &DeferredEndpoint) {
+    w.put_str(&e.path);
+    w.put_str(&e.port);
+}
+
+fn read_deferred_endpoint(r: &mut Reader<'_>) -> Result<DeferredEndpoint, String> {
+    Ok(DeferredEndpoint {
+        path: r.get_str()?,
+        port: r.get_str()?,
+    })
+}
+
+fn write_deferred(w: &mut Writer, deferred: &[DeferredConnection]) {
+    w.put_varint(deferred.len() as u64);
+    for d in deferred {
+        write_deferred_endpoint(w, &d.src);
+        write_deferred_endpoint(w, &d.dst);
+        match &d.annot {
+            None => w.put_u8(0),
+            Some(s) => {
+                w.put_u8(1);
+                write_scheme(w, s);
+            }
+        }
+        w.put_u32(d.span.file);
+        w.put_u32(d.span.start);
+        w.put_u32(d.span.end);
+    }
+}
+
+fn read_deferred(r: &mut Reader<'_>) -> Result<Vec<DeferredConnection>, String> {
+    let n = r.get_len()?;
+    let mut deferred = Vec::with_capacity(n);
+    for _ in 0..n {
+        let src = read_deferred_endpoint(r)?;
+        let dst = read_deferred_endpoint(r)?;
+        let annot = match r.get_u8()? {
+            0 => None,
+            1 => Some(read_scheme(r)?),
+            t => return Err(format!("bad deferred-annotation tag {t}")),
+        };
+        let span = SrcSpan {
+            file: r.get_u32()?,
+            start: r.get_u32()?,
+            end: r.get_u32()?,
+        };
+        deferred.push(DeferredConnection {
+            src,
+            dst,
+            annot,
+            span,
+        });
+    }
+    Ok(deferred)
+}
+
+/// Loads and verifies the per-module unit entry for `key`; same contract
+/// as [`load`].
+pub fn load_unit(dir: &Path, key: u64) -> Result<Option<CachedUnit>, String> {
+    let path = unit_entry_path(dir, key);
+    let Some(bytes) = read_entry(&path)? else {
+        return Ok(None);
+    };
+    let mut r = Reader::new(&bytes);
+    read_head(&mut r, &path, UNIT_MAGIC, key)?;
+    let prints =
+        read_prints(&mut r).map_err(|e| format!("corrupt cache entry {}: {e}", path.display()))?;
+    let deferred = read_deferred(&mut r)
+        .map_err(|e| format!("corrupt cache entry {}: {e}", path.display()))?;
+    let netlist = read_netlist(&mut r, &path)?;
+    if !r.at_end() {
+        return Err(format!(
+            "cache entry {} has {} trailing byte(s)",
+            path.display(),
+            r.remaining()
+        ));
+    }
+    Ok(Some(CachedUnit {
+        netlist,
+        deferred,
+        prints,
+    }))
+}
+
+/// Writes the per-module unit entry for `key` atomically.
+pub fn store_unit(
+    dir: &Path,
+    key: u64,
+    netlist: &Netlist,
+    deferred: &[DeferredConnection],
+    prints: &[String],
+) -> Result<(), String> {
+    if injected_fault("unwritable") {
+        return Err(format!(
+            "injected fault: cache dir {} is unwritable",
+            dir.display()
+        ));
+    }
+    let mut w = Writer::new();
+    write_head(&mut w, UNIT_MAGIC, key);
+    write_prints(&mut w, prints);
+    write_deferred(&mut w, deferred);
+    write_netlist(&mut w, netlist);
+    let out = w.finish();
+    let bytes: &[u8] = if injected_fault("short-write") {
+        &out[..out.len() / 2]
+    } else {
+        &out
+    };
+    write_atomic(dir, &unit_entry_path(dir, key), bytes)
+}
+
+/// A [`PartitionMemo`] persisted in the cache directory, one
+/// `p{key:016x}.bin` file per solved constraint partition.
+///
+/// Strictly best-effort: unreadable, corrupt, or unwritable entries are
+/// treated as misses (a memo can cost solver time, never correctness).
+/// The partition key already covers the constraint structure and solver
+/// config, so entries stay valid across source edits — exactly the
+/// property that makes a touched module's re-inference cheap.
+#[derive(Debug)]
+pub struct DiskMemo {
+    dir: PathBuf,
+    hits: u64,
+    misses: u64,
+}
+
+impl DiskMemo {
+    /// A memo rooted at `dir` (created on first store).
+    pub fn new(dir: PathBuf) -> Self {
+        DiskMemo {
+            dir,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Successful lookups since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Failed lookups since creation.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn try_read(&self, key: u64) -> Option<Vec<Option<Ty>>> {
+        let path = memo_entry_path(&self.dir, key);
+        let bytes = read_entry(&path).ok().flatten()?;
+        let mut r = Reader::new(&bytes);
+        read_head(&mut r, &path, MEMO_MAGIC, key).ok()?;
+        let n = r.get_len().ok()?;
+        let mut tys = Vec::with_capacity(n);
+        for _ in 0..n {
+            match r.get_u8().ok()? {
+                0 => tys.push(None),
+                1 => tys.push(Some(read_ty(&mut r).ok()?)),
+                _ => return None,
+            }
+        }
+        r.at_end().then_some(tys)
+    }
+}
+
+impl PartitionMemo for DiskMemo {
+    fn lookup(&mut self, key: u64) -> Option<Vec<Option<Ty>>> {
+        match self.try_read(key) {
+            Some(tys) => {
+                self.hits += 1;
+                Some(tys)
+            }
+            None => {
+                // Drop anything unreadable so it cannot fail again.
+                let _ = std::fs::remove_file(memo_entry_path(&self.dir, key));
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn store(&mut self, key: u64, tys: &[Option<Ty>]) {
+        if injected_fault("unwritable") {
+            return;
+        }
+        let mut w = Writer::new();
+        write_head(&mut w, MEMO_MAGIC, key);
+        w.put_varint(tys.len() as u64);
+        for ty in tys {
+            match ty {
+                None => w.put_u8(0),
+                Some(ty) => {
+                    w.put_u8(1);
+                    write_ty(&mut w, ty);
+                }
+            }
+        }
+        let _ = write_atomic(&self.dir, &memo_entry_path(&self.dir, key), &w.finish());
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lss_types::{Scheme, TyVar};
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir =
@@ -306,6 +622,7 @@ mod tests {
             partitions: 3,
             smart_commits: 4,
             max_depth: 5,
+            memo_hits: 6,
         };
         let prints = vec!["hello \"world\"".to_string()];
         store(&dir, 42, &n, &stats, &prints).expect("store");
@@ -324,8 +641,8 @@ mod tests {
         let n = Netlist::new();
         store(&dir, 1, &n, &SolveStats::default(), &[]).expect("store");
         let path = entry_path(&dir, 1);
-        let text = std::fs::read_to_string(&path).unwrap();
-        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert!(load(&dir, 1).is_err(), "truncated entry must error");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -337,11 +654,12 @@ mod tests {
         n.intern("module_a");
         store(&dir, 9, &n, &SolveStats::default(), &[]).expect("store");
         let path = entry_path(&dir, 9);
-        let text = std::fs::read_to_string(&path).unwrap();
-        // Flip netlist content without touching the recorded hash.
-        let tampered = text.replace("module_a", "module_b");
-        assert_ne!(tampered, text);
-        std::fs::write(&path, tampered).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a bit inside the netlist section (the envelope's last
+        // field) without touching the recorded hash.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, bytes).unwrap();
         let err = load(&dir, 9).unwrap_err();
         assert!(err.contains("integrity"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
@@ -355,6 +673,82 @@ mod tests {
         // Copy the entry for key 5 into the slot for key 6.
         std::fs::copy(entry_path(&dir, 5), entry_path(&dir, 6)).unwrap();
         assert!(load(&dir, 6).is_err(), "foreign key must be rejected");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_json_entries_are_detected_and_replaced() {
+        let dir = temp_dir("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            legacy_entry_path(&dir, 7),
+            "{\"lss_cache\": 1, \"key\": \"0000000000000007\"}",
+        )
+        .unwrap();
+        let err = load(&dir, 7).unwrap_err();
+        assert!(err.contains("legacy format-1"), "{err}");
+        assert!(err.contains("format 3"), "{err}");
+        // Storing the rebuilt entry removes the stale JSON file, so the
+        // next probe is a clean hit.
+        store(&dir, 7, &Netlist::new(), &SolveStats::default(), &[]).expect("store");
+        assert!(!legacy_entry_path(&dir, 7).exists());
+        assert!(load(&dir, 7).expect("hit").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unit_entries_round_trip_with_deferred_connections() {
+        let dir = temp_dir("unit");
+        let mut n = Netlist::new();
+        n.intern("m");
+        let deferred = vec![DeferredConnection {
+            src: DeferredEndpoint {
+                path: "alu".into(),
+                port: "out".into(),
+            },
+            dst: DeferredEndpoint {
+                path: "regs".into(),
+                port: "in".into(),
+            },
+            annot: Some(Scheme::Or(vec![Scheme::Int, Scheme::Var(TyVar(3))])),
+            span: SrcSpan {
+                file: 2,
+                start: 10,
+                end: 25,
+            },
+        }];
+        let prints = vec!["linked".to_string()];
+        store_unit(&dir, 11, &n, &deferred, &prints).expect("store");
+        let back = load_unit(&dir, 11).expect("load").expect("hit");
+        assert_eq!(back.prints, prints);
+        assert_eq!(back.deferred.len(), 1);
+        assert_eq!(back.deferred[0].src.path, "alu");
+        assert_eq!(back.deferred[0].dst.port, "in");
+        assert_eq!(back.deferred[0].annot, deferred[0].annot);
+        assert_eq!(back.deferred[0].span, deferred[0].span);
+        // Unit and build entries for the same key do not collide.
+        assert!(load(&dir, 11).expect("no build entry").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_memo_round_trips_and_survives_corruption() {
+        let dir = temp_dir("memo");
+        let mut memo = DiskMemo::new(dir.clone());
+        assert_eq!(memo.lookup(1), None);
+        memo.store(1, &[Some(Ty::Int), None, Some(Ty::Float)]);
+        assert_eq!(
+            memo.lookup(1),
+            Some(vec![Some(Ty::Int), None, Some(Ty::Float)])
+        );
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+
+        // Corrupt the entry: the memo treats it as a miss and removes it.
+        let path = memo_entry_path(&dir, 1);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        assert_eq!(memo.lookup(1), None);
+        assert!(!path.exists(), "corrupt memo entry must be removed");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -39,20 +39,23 @@
 
 pub mod cache;
 pub mod error;
+pub mod project;
 pub mod timing;
 
-pub use cache::{CachedBuild, Fnv64};
+pub use cache::{CachedBuild, CachedUnit, DiskMemo, Fnv64};
 pub use error::{DriverError, Stage};
+pub use project::Manifest;
 pub use timing::StageTimings;
 
-use std::path::PathBuf;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use lss_analyze::{Analysis, AnalysisConfig, PassManager};
-use lss_ast::{parse, Diagnostic, DiagnosticBag, FileId, Program, Severity, SourceMap};
+use lss_ast::{parse, Diagnostic, DiagnosticBag, FileId, Program, Severity, SourceMap, Span};
 use lss_interp::{CompileOptions, Unit};
-use lss_netlist::Netlist;
+use lss_netlist::{LinkUnit, Netlist};
 use lss_sim::{ComponentRegistry, SimOptions, Simulator};
 use lss_types::{Budget, BudgetCaps, SolveStats};
 
@@ -143,6 +146,16 @@ impl CacheOutcome {
     }
 }
 
+/// How one module of a multi-file project was built (project mode only).
+#[derive(Debug, Clone)]
+pub struct ModuleBuild {
+    /// The module's display name (its source path).
+    pub name: String,
+    /// Whether the module's elaboration unit came from the cache. `Hit`
+    /// means the module was *not* re-elaborated this session.
+    pub outcome: CacheOutcome,
+}
+
 /// Artifact of the elaborate + infer stages: the typed netlist.
 #[derive(Debug, Clone)]
 pub struct Elaborated {
@@ -157,6 +170,11 @@ pub struct Elaborated {
     pub prints: Vec<String>,
     /// Whether this artifact came from the cache.
     pub cache: CacheOutcome,
+    /// Per-module build records for multi-file projects: which modules
+    /// were re-elaborated and which replayed from per-unit cache entries.
+    /// Empty for single-file builds and for whole-build cache hits (a
+    /// whole-build hit elaborates nothing at all).
+    pub modules: Vec<ModuleBuild>,
 }
 
 /// Artifact of the analyze stage.
@@ -197,6 +215,12 @@ struct UnitEntry {
     file: FileId,
     library: bool,
     corelib: bool,
+    /// Direct imports, as indices into `Driver::units` (project mode).
+    deps: Vec<usize>,
+    /// True for units that belong to a multi-file project (added through
+    /// [`Driver::add_root_file`]); false for context units (corelib,
+    /// libraries, plain sources).
+    project: bool,
 }
 
 /// A compilation session: sources, options, registry, cache
@@ -220,6 +244,12 @@ pub struct Driver {
     elaborated: Option<Arc<Elaborated>>,
     timings: StageTimings,
     warnings: Vec<String>,
+    /// Import-resolution diagnostics (LSS001 cycle, LSS002 missing file),
+    /// surfaced through the parse stage.
+    pending_diags: Vec<Diagnostic>,
+    /// True once any unit declared an `import`: elaboration switches to
+    /// per-module units linked by `lss_netlist::link`.
+    project: bool,
 }
 
 impl std::fmt::Debug for Driver {
@@ -252,6 +282,8 @@ impl Driver {
             elaborated: None,
             timings: StageTimings::default(),
             warnings: Vec::new(),
+            pending_diags: Vec::new(),
+            project: false,
         }
     }
 
@@ -275,7 +307,161 @@ impl Driver {
             file,
             library,
             corelib,
+            deps: Vec::new(),
+            project: false,
         });
+    }
+
+    /// Adds a multi-file project rooted at `path`: a `.lss` file (whose
+    /// transitive `import` closure is loaded, depth-first, dependencies
+    /// before importers), a directory containing an `lss.toml` manifest,
+    /// or the manifest file itself.
+    ///
+    /// Import problems do not fail this call: a missing imported file
+    /// (`LSS002`) or an import cycle (`LSS001`) becomes a spanned
+    /// diagnostic surfaced by the parse stage, exactly like a syntax
+    /// error. A file with no imports behaves like [`Driver::add_source`].
+    ///
+    /// # Errors
+    ///
+    /// Only for problems with the root itself: an unreadable root file or
+    /// a missing/invalid manifest.
+    pub fn add_root_file(&mut self, path: impl AsRef<Path>) -> Result<(), String> {
+        let path = path.as_ref();
+        if path.is_dir()
+            || path
+                .file_name()
+                .is_some_and(|n| n == project::MANIFEST_NAME)
+        {
+            return self.add_project(path);
+        }
+        let mut visiting = Vec::new();
+        let mut done = HashMap::new();
+        self.load_module(path, None, &mut visiting, &mut done)
+            .map(|_| ())
+    }
+
+    /// Adds a project by manifest: `path` is a directory holding an
+    /// `lss.toml`, or the manifest file itself. The manifest's `root`
+    /// names the file whose import closure forms the project.
+    ///
+    /// # Errors
+    ///
+    /// Unreadable or invalid manifest, or an unreadable root file.
+    pub fn add_project(&mut self, path: impl AsRef<Path>) -> Result<(), String> {
+        let path = path.as_ref();
+        let manifest_path = if path.is_dir() {
+            path.join(project::MANIFEST_NAME)
+        } else {
+            path.to_path_buf()
+        };
+        let text = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+        let base = manifest_path.parent().unwrap_or(Path::new("."));
+        let manifest = project::parse_manifest(&text, base)
+            .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+        self.add_root_file(&manifest.root)
+    }
+
+    /// Loads one project file, its imports first (post-order), recording
+    /// the dependency edges. `origin` is the span of the `import` that
+    /// requested this file (`None` for the root). Returns the unit index,
+    /// or `None` when the file was skipped with a pending diagnostic.
+    fn load_module(
+        &mut self,
+        path: &Path,
+        origin: Option<Span>,
+        visiting: &mut Vec<(PathBuf, String)>,
+        done: &mut HashMap<PathBuf, Option<usize>>,
+    ) -> Result<Option<usize>, String> {
+        assert!(
+            self.parsed.is_none() && self.elaborated.is_none(),
+            "cannot add sources after compilation has started"
+        );
+        let canon = path.canonicalize().unwrap_or_else(|_| path.to_path_buf());
+        if let Some(idx) = done.get(&canon) {
+            return Ok(*idx);
+        }
+        let display = path.display().to_string();
+        if let Some(pos) = visiting.iter().position(|(p, _)| *p == canon) {
+            let mut chain: Vec<String> = visiting[pos..].iter().map(|(_, n)| n.clone()).collect();
+            chain.push(display);
+            self.pending_diags.push(
+                Diagnostic::error(
+                    format!("import cycle detected: {}", chain.join(" -> ")),
+                    origin.unwrap_or_else(Span::synthetic),
+                )
+                .with_code("LSS001")
+                .with_note("every file along the cycle imports the next; break one edge"),
+            );
+            // Leave the entry unresolved so re-imports of the same file
+            // do not repeat the report.
+            done.insert(canon, None);
+            return Ok(None);
+        }
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => match origin {
+                Some(span) => {
+                    self.pending_diags.push(
+                        Diagnostic::error(
+                            format!("cannot read imported file `{display}`: {e}"),
+                            span,
+                        )
+                        .with_code("LSS002")
+                        .with_note("import paths resolve relative to the importing file"),
+                    );
+                    done.insert(canon, None);
+                    return Ok(None);
+                }
+                None => return Err(format!("cannot read {display}: {e}")),
+            },
+        };
+        let file = self.sources.add_file(&display, &*text);
+        // Throwaway parse for the import list only; `Driver::parse`
+        // re-parses the unit and is where syntax errors surface.
+        let mut bag = DiagnosticBag::new();
+        let program = parse(file, &text, &mut bag);
+        self.project |= !program.imports.is_empty();
+        visiting.push((canon.clone(), display.clone()));
+        let parent = path.parent().map(Path::to_path_buf).unwrap_or_default();
+        let mut deps = Vec::new();
+        for import in &program.imports {
+            let target = parent.join(import.path.rel_path());
+            if let Some(idx) = self.load_module(&target, Some(import.span), visiting, done)? {
+                deps.push(idx);
+            }
+        }
+        visiting.pop();
+        let idx = self.units.len();
+        self.units.push(UnitEntry {
+            name: display,
+            file,
+            library: false,
+            corelib: false,
+            deps,
+            project: true,
+        });
+        done.insert(canon, Some(idx));
+        Ok(Some(idx))
+    }
+
+    /// The transitive imports of unit `root`, in deterministic dependency
+    /// post-order (dependencies before importers), excluding `root`.
+    fn import_closure(&self, root: usize) -> Vec<usize> {
+        fn visit(units: &[UnitEntry], idx: usize, seen: &mut [bool], order: &mut Vec<usize>) {
+            for &dep in &units[idx].deps {
+                if !seen[dep] {
+                    seen[dep] = true;
+                    visit(units, dep, seen, order);
+                    order.push(dep);
+                }
+            }
+        }
+        let mut order = Vec::new();
+        let mut seen = vec![false; self.units.len()];
+        visit(&self.units, root, &mut seen, &mut order);
+        order
     }
 
     /// Adds a library source (its instances count as "from library" in
@@ -346,7 +532,7 @@ impl Driver {
         let mut h = Fnv64::new();
         h.write_str("lss-driver-cache");
         h.write(&cache::CACHE_VERSION.to_le_bytes());
-        h.write(&lss_netlist::JSON_FORMAT.to_le_bytes());
+        h.write(&lss_netlist::BIN_FORMAT.to_le_bytes());
         h.write_str(lss_corelib::VERSION);
         h.write_str(&format!("{:?}", self.options));
         for entry in &self.units {
@@ -355,6 +541,37 @@ impl Driver {
             let text = &self.sources.get(entry.file).expect("unit registered").text;
             h.write_str(text);
         }
+        h.finish()
+    }
+
+    /// The content-address of one project unit's elaboration inputs: the
+    /// context units (corelib, libraries), the unit's transitive import
+    /// closure, and the unit itself. Editing a module changes only the
+    /// keys of the units that (transitively) import it.
+    fn unit_cache_key(&self, idx: usize, closure: &[usize]) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str("lss-driver-unit");
+        h.write(&cache::CACHE_VERSION.to_le_bytes());
+        h.write(&lss_netlist::BIN_FORMAT.to_le_bytes());
+        h.write_str(lss_corelib::VERSION);
+        h.write_str(&format!("{:?}", self.options));
+        let feed = |h: &mut Fnv64, i: usize| {
+            let entry = &self.units[i];
+            // File ids pin the spans baked into the cached netlist.
+            h.write(&u64::from(entry.file.0).to_le_bytes());
+            h.write_str(&entry.name);
+            h.write(&[entry.library as u8]);
+            h.write_str(&self.sources.get(entry.file).expect("unit registered").text);
+        };
+        for (i, entry) in self.units.iter().enumerate() {
+            if !entry.project {
+                feed(&mut h, i);
+            }
+        }
+        for &i in closure {
+            feed(&mut h, i);
+        }
+        feed(&mut h, idx);
         h.finish()
     }
 
@@ -368,7 +585,7 @@ impl Driver {
             return Arc::clone(parsed);
         }
         let start = Instant::now();
-        let mut diagnostics = Vec::new();
+        let mut diagnostics = self.pending_diags.clone();
         let mut units = Vec::new();
         for entry in &self.units {
             let program = if entry.corelib && entry.file == FileId(0) {
@@ -427,6 +644,7 @@ impl Driver {
                         trace: Vec::new(),
                         prints: build.prints,
                         cache: CacheOutcome::Hit,
+                        modules: Vec::new(),
                     });
                     self.elaborated = Some(Arc::clone(&elaborated));
                     return Ok(elaborated);
@@ -446,6 +664,9 @@ impl Driver {
                 parsed.diagnostics.clone(),
                 &self.sources,
             ));
+        }
+        if self.project {
+            return self.elaborate_project(&parsed, cache_dir.as_ref(), key);
         }
         let units: Vec<Unit<'_>> = parsed
             .units
@@ -470,17 +691,11 @@ impl Driver {
             mut netlist,
             trace,
             prints,
+            deferred: _,
         } = out;
-        let start = Instant::now();
-        let solve = lss_interp::infer(&mut netlist, &self.options.solver, &mut bag);
-        self.timings.infer += start.elapsed();
-        let Some(solve_stats) = solve else {
-            return Err(DriverError::new(
-                Stage::Infer,
-                bag.into_vec(),
-                &self.sources,
-            ));
-        };
+        let solve_stats = self
+            .run_inference(&mut netlist, cache_dir.as_ref())
+            .map_err(|diags| DriverError::new(Stage::Infer, diags, &self.sources))?;
         let mut outcome = CacheOutcome::Disabled;
         if let Some(dir) = &cache_dir {
             outcome = CacheOutcome::Miss;
@@ -494,6 +709,168 @@ impl Driver {
             trace,
             prints,
             cache: outcome,
+            modules: Vec::new(),
+        });
+        self.elaborated = Some(Arc::clone(&elaborated));
+        Ok(elaborated)
+    }
+
+    /// Runs type inference over `netlist`, threading the on-disk
+    /// solved-partition memo when the cache is enabled.
+    fn run_inference(
+        &mut self,
+        netlist: &mut Netlist,
+        cache_dir: Option<&PathBuf>,
+    ) -> Result<SolveStats, Vec<Diagnostic>> {
+        let mut bag = DiagnosticBag::new();
+        let mut memo = cache_dir.map(|dir| cache::DiskMemo::new(dir.clone()));
+        let start = Instant::now();
+        let solve = lss_interp::infer_with_memo(
+            netlist,
+            &self.options.solver,
+            &mut bag,
+            memo.as_mut()
+                .map(|m| m as &mut dyn lss_types::PartitionMemo),
+        );
+        self.timings.infer += start.elapsed();
+        solve.ok_or_else(|| bag.into_vec())
+    }
+
+    /// Project-mode elaboration: each project unit elaborates on its own
+    /// (against declaration-only views of its import closure), per-unit
+    /// results are cached individually, and `lss_netlist::link` merges
+    /// the unit netlists and resolves the deferred cross-file
+    /// connections. Editing one module re-elaborates only that module and
+    /// the modules that import it.
+    fn elaborate_project(
+        &mut self,
+        parsed: &Arc<Parsed>,
+        cache_dir: Option<&PathBuf>,
+        key: u64,
+    ) -> Result<Arc<Elaborated>, DriverError> {
+        let mk = |i: usize| Unit {
+            program: parsed.units[i].program(),
+            library: parsed.units[i].library,
+        };
+        let mut unit_opts = self.options.elab.clone();
+        unit_opts.allow_deferred = true;
+        let context: Vec<usize> = (0..self.units.len())
+            .filter(|&i| !self.units[i].project)
+            .collect();
+        let project_units: Vec<usize> = (0..self.units.len())
+            .filter(|&i| self.units[i].project)
+            .collect();
+
+        let mut link_units = Vec::new();
+        let mut prints = Vec::new();
+        let mut trace = Vec::new();
+        let mut modules = Vec::new();
+        for &u in &project_units {
+            let closure = self.import_closure(u);
+            let unit_key = self.unit_cache_key(u, &closure);
+            let mut replayed = None;
+            if let Some(dir) = cache_dir {
+                let start = Instant::now();
+                let loaded = cache::load_unit(dir, unit_key);
+                self.timings.cache_probe += start.elapsed();
+                match loaded {
+                    Ok(found) => replayed = found,
+                    Err(msg) => self.warnings.push(format!(
+                        "cache: {msg}; re-elaborating {}",
+                        self.units[u].name
+                    )),
+                }
+            }
+            let (netlist, deferred, unit_prints, unit_trace, outcome) = match replayed {
+                Some(unit) => (
+                    unit.netlist,
+                    unit.deferred,
+                    unit.prints,
+                    Vec::new(),
+                    CacheOutcome::Hit,
+                ),
+                None => {
+                    let decl_units: Vec<Unit<'_>> = context
+                        .iter()
+                        .chain(closure.iter())
+                        .map(|&i| mk(i))
+                        .collect();
+                    let full = [mk(u)];
+                    let mut bag = DiagnosticBag::new();
+                    let start = Instant::now();
+                    let out =
+                        lss_interp::elaborate_scoped(&decl_units, &full, &unit_opts, &mut bag);
+                    self.timings.elaborate += start.elapsed();
+                    let Some(out) = out else {
+                        return Err(DriverError::new(
+                            Stage::Elaborate,
+                            bag.into_vec(),
+                            &self.sources,
+                        ));
+                    };
+                    let outcome = match cache_dir {
+                        Some(dir) => {
+                            if let Err(msg) = cache::store_unit(
+                                dir,
+                                unit_key,
+                                &out.netlist,
+                                &out.deferred,
+                                &out.prints,
+                            ) {
+                                self.warnings.push(format!("cache: {msg}"));
+                            }
+                            CacheOutcome::Miss
+                        }
+                        None => CacheOutcome::Disabled,
+                    };
+                    (out.netlist, out.deferred, out.prints, out.trace, outcome)
+                }
+            };
+            modules.push(ModuleBuild {
+                name: self.units[u].name.clone(),
+                outcome,
+            });
+            prints.extend(unit_prints);
+            trace.extend(unit_trace);
+            link_units.push(LinkUnit { netlist, deferred });
+        }
+
+        let start = Instant::now();
+        let linked = lss_netlist::link(link_units);
+        self.timings.elaborate += start.elapsed();
+        let mut netlist = linked.map_err(|e| {
+            let span = e
+                .span
+                .map(|s| Span {
+                    file: FileId(s.file),
+                    start: s.start,
+                    end: s.end,
+                })
+                .unwrap_or_else(Span::synthetic);
+            DriverError::new(
+                Stage::Elaborate,
+                vec![Diagnostic::error(e.message, span)],
+                &self.sources,
+            )
+        })?;
+
+        let solve_stats = self
+            .run_inference(&mut netlist, cache_dir)
+            .map_err(|diags| DriverError::new(Stage::Infer, diags, &self.sources))?;
+        let mut outcome = CacheOutcome::Disabled;
+        if let Some(dir) = cache_dir {
+            outcome = CacheOutcome::Miss;
+            if let Err(msg) = cache::store(dir, key, &netlist, &solve_stats, &prints) {
+                self.warnings.push(format!("cache: {msg}"));
+            }
+        }
+        let elaborated = Arc::new(Elaborated {
+            netlist,
+            solve_stats,
+            trace,
+            prints,
+            cache: outcome,
+            modules,
         });
         self.elaborated = Some(Arc::clone(&elaborated));
         Ok(elaborated)
@@ -732,8 +1109,8 @@ mod tests {
 
         // Truncate the entry on disk.
         let path = cache::entry_path(&dir, key);
-        let text = std::fs::read_to_string(&path).unwrap();
-        std::fs::write(&path, &text[..text.len() / 3]).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
 
         let mut warm = Driver::with_corelib();
         warm.set_cache_dir(Some(dir.clone()));

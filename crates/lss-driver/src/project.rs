@@ -1,0 +1,111 @@
+//! Multi-file project manifests (`lss.toml`).
+//!
+//! A project is a root `.lss` file plus the transitive closure of its
+//! `import` declarations ([`crate::Driver::add_root_file`]). The optional
+//! manifest names that root so tools can be pointed at a directory:
+//!
+//! ```toml
+//! [project]
+//! name = "two_core"        # optional, informational
+//! root = "top.lss"         # required, relative to the manifest
+//! ```
+//!
+//! The parser is deliberately a tiny subset of TOML — one `[project]`
+//! table of `key = "string"` pairs with `#` comments — because the
+//! workspace takes no external dependencies. Unknown keys are tolerated
+//! so manifests can grow without breaking older tools.
+
+use std::path::{Path, PathBuf};
+
+/// A parsed `lss.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Optional project name (informational only).
+    pub name: Option<String>,
+    /// The root source file, already joined onto the manifest's directory.
+    pub root: PathBuf,
+}
+
+/// The manifest file name.
+pub const MANIFEST_NAME: &str = "lss.toml";
+
+/// Parses manifest `text`; relative paths resolve against `base` (the
+/// manifest's directory).
+pub fn parse_manifest(text: &str, base: &Path) -> Result<Manifest, String> {
+    let mut in_project = false;
+    let mut name = None;
+    let mut root = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(table) = line.strip_prefix('[') {
+            let table = table
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {}: unterminated table header", lineno + 1))?;
+            in_project = table.trim() == "project";
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "line {}: expected `key = \"value\"`, got `{line}`",
+                lineno + 1
+            ));
+        };
+        if !in_project {
+            continue;
+        }
+        let key = key.trim();
+        let value = value.trim();
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("line {}: `{key}` needs a double-quoted value", lineno + 1))?;
+        match key {
+            "name" => name = Some(value.to_string()),
+            "root" => root = Some(base.join(value)),
+            _ => {}
+        }
+    }
+    let root = root.ok_or_else(|| {
+        format!("missing `root = \"file.lss\"` under [project] (see {MANIFEST_NAME} docs)")
+    })?;
+    Ok(Manifest { name, root })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_manifest() {
+        let m = parse_manifest(
+            "# two-core project\n[project]\nname = \"two_core\"\nroot = \"top.lss\"\n",
+            Path::new("/proj"),
+        )
+        .expect("parses");
+        assert_eq!(m.name.as_deref(), Some("two_core"));
+        assert_eq!(m.root, PathBuf::from("/proj/top.lss"));
+    }
+
+    #[test]
+    fn unknown_keys_and_tables_are_tolerated() {
+        let m = parse_manifest(
+            "[project]\nroot = \"a.lss\"\nfuture = \"thing\"\n[build]\njobs = \"4\"\n",
+            Path::new("."),
+        )
+        .expect("parses");
+        assert_eq!(m.root, PathBuf::from("./a.lss"));
+    }
+
+    #[test]
+    fn missing_root_and_bad_lines_are_errors() {
+        let err = parse_manifest("[project]\nname = \"x\"\n", Path::new(".")).unwrap_err();
+        assert!(err.contains("root"), "{err}");
+        let err = parse_manifest("[project]\nroot = bare\n", Path::new(".")).unwrap_err();
+        assert!(err.contains("double-quoted"), "{err}");
+        let err = parse_manifest("nonsense\n", Path::new(".")).unwrap_err();
+        assert!(err.contains("expected"), "{err}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Multi-file projects end to end: import resolution, cross-file linking,
+//! per-module incremental caching, and the import diagnostics
+//! (`LSS001`–`LSS003`).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lss_driver::{CacheOutcome, Driver};
+
+const PRODUCER: &str = "instance gen:source;\ngen.out :: int;\n";
+const CONSUMER: &str = "instance hole:sink;\n";
+const TOP: &str = "import \"producer.lss\";\nimport \"consumer.lss\";\n\ngen.out -> hole.in;\n";
+
+fn temp_proj(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lss-project-test-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create project dir");
+    dir
+}
+
+fn write(dir: &Path, name: &str, text: &str) {
+    fs::write(dir.join(name), text).expect("write project file");
+}
+
+fn write_three_file_project(dir: &Path) {
+    write(dir, "producer.lss", PRODUCER);
+    write(dir, "consumer.lss", CONSUMER);
+    write(dir, "top.lss", TOP);
+}
+
+/// The per-module cache outcome for the unit whose path ends in `suffix`.
+fn outcome_of(e: &lss_driver::Elaborated, suffix: &str) -> CacheOutcome {
+    e.modules
+        .iter()
+        .find(|m| m.name.ends_with(suffix))
+        .unwrap_or_else(|| panic!("no module build named *{suffix}: {:?}", e.modules))
+        .outcome
+}
+
+#[test]
+fn imports_link_across_files_and_simulate() {
+    let dir = temp_proj("links");
+    write_three_file_project(&dir);
+
+    let mut driver = Driver::with_corelib();
+    driver.add_root_file(dir.join("top.lss")).expect("root");
+    let elaborated = driver.elaborate().expect("elaborates");
+    assert_eq!(elaborated.netlist.instances.len(), 2);
+    // Dependencies elaborate before their importers; cache disabled.
+    let names: Vec<&str> = elaborated
+        .modules
+        .iter()
+        .map(|m| m.name.rsplit('/').next().unwrap())
+        .collect();
+    assert_eq!(names, ["producer.lss", "consumer.lss", "top.lss"]);
+    assert!(elaborated
+        .modules
+        .iter()
+        .all(|m| m.outcome == CacheOutcome::Disabled));
+    // The cross-file connection grew both widths at link time.
+    let gen = elaborated.netlist.find("gen").expect("gen");
+    assert_eq!(gen.inst.ports[0].width, 1);
+
+    let mut ready = driver.build_simulator().expect("builds");
+    ready.run(5).expect("runs");
+    assert_eq!(ready.rtv("hole", "count").unwrap().as_int(), Some(5));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn editing_one_module_re_elaborates_only_it_and_its_importers() {
+    let dir = temp_proj("incremental");
+    write_three_file_project(&dir);
+    let cache = dir.join("cache");
+
+    let build = |dir: &Path| {
+        let mut driver = Driver::with_corelib();
+        driver.set_cache_dir(Some(dir.join("cache")));
+        driver.add_root_file(dir.join("top.lss")).expect("root");
+        driver.elaborate().expect("elaborates")
+    };
+
+    // Cold: every module misses.
+    let cold = build(&dir);
+    assert_eq!(cold.cache, CacheOutcome::Miss);
+    assert_eq!(cold.modules.len(), 3);
+    assert!(cold.modules.iter().all(|m| m.outcome == CacheOutcome::Miss));
+
+    // Warm with nothing touched: the whole-build entry hits and no
+    // module is even considered.
+    let warm = build(&dir);
+    assert_eq!(warm.cache, CacheOutcome::Hit);
+    assert!(warm.modules.is_empty());
+
+    // Touch one leaf module: only it and its importers (here the root,
+    // whose closure contains it) re-elaborate; the untouched sibling
+    // replays from its unit entry.
+    write(&dir, "consumer.lss", "// touched\ninstance hole:sink;\n");
+    let edited = build(&dir);
+    assert_eq!(edited.cache, CacheOutcome::Miss);
+    assert_eq!(outcome_of(&edited, "producer.lss"), CacheOutcome::Hit);
+    assert_eq!(outcome_of(&edited, "consumer.lss"), CacheOutcome::Miss);
+    assert_eq!(outcome_of(&edited, "top.lss"), CacheOutcome::Miss);
+    assert_eq!(edited.netlist.instances.len(), 2);
+
+    let _ = fs::remove_dir_all(&cache);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn import_cycles_are_spanned_lss001_errors() {
+    let dir = temp_proj("cycle");
+    write(&dir, "a.lss", "import \"b.lss\";\ninstance gen:source;\n");
+    write(&dir, "b.lss", "import \"a.lss\";\ninstance hole:sink;\n");
+
+    let mut driver = Driver::with_corelib();
+    driver.add_root_file(dir.join("a.lss")).expect("root loads");
+    let err = driver.elaborate().expect_err("cycle must fail");
+    let msg = err.rendered().to_string();
+    assert!(msg.contains("LSS001"), "{msg}");
+    assert!(msg.contains("import cycle detected"), "{msg}");
+    assert!(
+        msg.contains("a.lss -> b.lss -> a.lss") || msg.contains("b.lss"),
+        "{msg}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_imports_are_spanned_lss002_errors() {
+    let dir = temp_proj("missing");
+    write(
+        &dir,
+        "top.lss",
+        "import \"nope.lss\";\ninstance gen:source;\n",
+    );
+
+    let mut driver = Driver::with_corelib();
+    driver
+        .add_root_file(dir.join("top.lss"))
+        .expect("root loads");
+    let err = driver.elaborate().expect_err("missing import must fail");
+    let msg = err.rendered().to_string();
+    assert!(msg.contains("LSS002"), "{msg}");
+    assert!(msg.contains("cannot read imported file"), "{msg}");
+    assert!(msg.contains("nope.lss"), "{msg}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_modules_across_files_are_lss003_errors() {
+    let dir = temp_proj("dup");
+    let widget = "module widget {\n  inport in:int;\n  tar_file = \"corelib/sink.tar\";\n};\n";
+    write(&dir, "lib1.lss", widget);
+    write(&dir, "lib2.lss", widget);
+    write(
+        &dir,
+        "top.lss",
+        "import \"lib1.lss\";\nimport \"lib2.lss\";\ninstance w:widget;\n",
+    );
+
+    let mut driver = Driver::with_corelib();
+    driver
+        .add_root_file(dir.join("top.lss"))
+        .expect("root loads");
+    let err = driver.elaborate().expect_err("duplicate module must fail");
+    let msg = err.rendered().to_string();
+    assert!(msg.contains("declared twice"), "{msg}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn manifests_name_the_root_file() {
+    let dir = temp_proj("manifest");
+    write_three_file_project(&dir);
+    write(
+        &dir,
+        "lss.toml",
+        "[project]\nname = \"pipe\"\nroot = \"top.lss\"\n",
+    );
+
+    // Pointing at the directory, or at the manifest itself, both work.
+    for target in [dir.clone(), dir.join("lss.toml")] {
+        let mut driver = Driver::with_corelib();
+        driver.add_root_file(&target).expect("manifest resolves");
+        let elaborated = driver.elaborate().expect("elaborates");
+        assert_eq!(elaborated.netlist.instances.len(), 2);
+        assert_eq!(elaborated.modules.len(), 3);
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rootless_files_behave_like_single_file_builds() {
+    let dir = temp_proj("single");
+    write(
+        &dir,
+        "m.lss",
+        "instance gen:source;\ninstance hole:sink;\ngen.out -> hole.in;\ngen.out :: int;\n",
+    );
+
+    let mut via_root = Driver::with_corelib();
+    via_root.add_root_file(dir.join("m.lss")).expect("root");
+    let a = via_root.elaborate().expect("elaborates");
+    // No imports: the classic single-netlist pipeline runs and there are
+    // no per-module builds to report.
+    assert!(a.modules.is_empty());
+    assert_eq!(a.netlist.instances.len(), 2);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -61,6 +61,11 @@ pub struct ElabOptions {
     pub budget: Budget,
     /// Record a machine-step trace (used by the §6.2 semantics tests).
     pub trace: bool,
+    /// Allow top-level connections whose endpoints live in another unit of
+    /// a multi-file project: instead of erroring on the unknown instance
+    /// name, the connection is recorded textually in
+    /// [`ElabOutput::deferred`] for the linker to resolve.
+    pub allow_deferred: bool,
 }
 
 impl Default for ElabOptions {
@@ -71,6 +76,7 @@ impl Default for ElabOptions {
             max_depth: 256,
             budget: Budget::unlimited(),
             trace: false,
+            allow_deferred: false,
         }
     }
 }
@@ -95,6 +101,9 @@ pub struct ElabOutput {
     pub trace: Vec<String>,
     /// Output of `print(...)` builtin calls.
     pub prints: Vec<String>,
+    /// Cross-unit connections awaiting link-time resolution (empty unless
+    /// [`ElabOptions::allow_deferred`]).
+    pub deferred: Vec<lss_netlist::DeferredConnection>,
 }
 
 /// Elaborates `units` (library sources first by convention, though any
@@ -106,9 +115,32 @@ pub fn elaborate(
     opts: &ElabOptions,
     diags: &mut DiagnosticBag,
 ) -> Option<ElabOutput> {
+    elaborate_scoped(&[], units, opts, diags)
+}
+
+/// Elaborates one unit of a multi-file project.
+///
+/// `decl_units` are the unit's transitive imports (plus shared libraries):
+/// they contribute module, `fun`, and `protocol` declarations but their
+/// other top-level statements do **not** execute — each project unit's
+/// structural statements elaborate exactly once, in that unit's own
+/// [`elaborate_scoped`] call, and the per-unit netlists are merged by
+/// [`lss_netlist::link`]. `full_units` execute completely.
+///
+/// On error, diagnostics are pushed into `diags` and `None` is returned.
+pub fn elaborate_scoped(
+    decl_units: &[Unit<'_>],
+    full_units: &[Unit<'_>],
+    opts: &ElabOptions,
+    diags: &mut DiagnosticBag,
+) -> Option<ElabOutput> {
     let mut modules: HashMap<String, (Rc<ModuleDecl>, bool)> = HashMap::new();
     let mut top: Vec<&Stmt> = Vec::new();
-    for unit in units {
+    for (unit, full) in decl_units
+        .iter()
+        .map(|u| (u, false))
+        .chain(full_units.iter().map(|u| (u, true)))
+    {
         for m in &unit.program.modules {
             if let Some((prev, _)) = modules.get(&m.name.name) {
                 diags.push(
@@ -116,13 +148,25 @@ pub fn elaborate(
                         format!("module `{}` is declared twice", m.name.name),
                         m.name.span,
                     )
+                    .with_code("LSS003")
                     .with_note_at("previous declaration here", prev.name.span),
                 );
                 return None;
             }
             modules.insert(m.name.name.clone(), (Rc::new(m.clone()), unit.library));
         }
-        top.extend(unit.program.top.iter());
+        if full {
+            top.extend(unit.program.top.iter());
+        } else {
+            // Declaration-only units keep their helpers and protocol
+            // automata visible without re-running their structure.
+            top.extend(
+                unit.program
+                    .top
+                    .iter()
+                    .filter(|s| matches!(s, Stmt::Fun(_) | Stmt::ProtocolDecl(_))),
+            );
+        }
     }
     let mut elab = Elaborator {
         modules,
@@ -136,6 +180,7 @@ pub fn elaborate(
         port_vars: HashMap::new(),
         explicit_ports: HashSet::new(),
         collector_recs: Vec::new(),
+        deferred: Vec::new(),
         global_funs: HashMap::new(),
         protocol_defs: HashMap::new(),
         protocol_recs: Vec::new(),
@@ -151,6 +196,7 @@ pub fn elaborate(
             netlist: elab.netlist,
             trace: elab.trace,
             prints: elab.prints,
+            deferred: elab.deferred,
         }),
         Err(Abort) => None,
     }
@@ -265,6 +311,9 @@ struct Elaborator<'a> {
     explicit_ports: HashSet<(InstanceId, String)>,
     /// Collector records: (instance path, event, code, span).
     collector_recs: Vec<(String, String, String, Span)>,
+    /// Cross-unit connections recorded textually for link-time resolution
+    /// (only with [`ElabOptions::allow_deferred`]).
+    deferred: Vec<lss_netlist::DeferredConnection>,
     /// `fun` helpers declared at top level, visible in every module body.
     global_funs: HashMap<String, Rc<lss_ast::FunDecl>>,
     /// Declared `protocol name { .. }` automata: states, transitions, and
@@ -602,13 +651,33 @@ impl Elaborator<'_> {
             }
             Stmt::Connect(conn) => {
                 self.require_structural("a connection", conn.span, ctx)?;
-                let src = self.resolve_endpoint(&conn.src, ctx)?;
-                let dst = self.resolve_endpoint(&conn.dst, ctx)?;
-                let annot = match &conn.ty {
-                    Some(t) => Some(self.convert_scheme(t, ctx, conn.span)?),
-                    None => None,
-                };
-                self.record_connection(src, dst, annot, conn.span, ctx.in_library)?;
+                if self.opts.allow_deferred
+                    && ctx.inst.is_none()
+                    && (self.is_foreign_endpoint(&conn.src, ctx)
+                        || self.is_foreign_endpoint(&conn.dst, ctx))
+                {
+                    let src = self.deferred_endpoint(&conn.src, ctx)?;
+                    let dst = self.deferred_endpoint(&conn.dst, ctx)?;
+                    let annot = match &conn.ty {
+                        Some(t) => Some(self.convert_scheme(t, ctx, conn.span)?),
+                        None => None,
+                    };
+                    self.trace(|| format!("defer-connect {src} -> {dst}"));
+                    self.deferred.push(lss_netlist::DeferredConnection {
+                        src,
+                        dst,
+                        annot,
+                        span: src_span(conn.span),
+                    });
+                } else {
+                    let src = self.resolve_endpoint(&conn.src, ctx)?;
+                    let dst = self.resolve_endpoint(&conn.dst, ctx)?;
+                    let annot = match &conn.ty {
+                        Some(t) => Some(self.convert_scheme(t, ctx, conn.span)?),
+                        None => None,
+                    };
+                    self.record_connection(src, dst, annot, conn.span, ctx.in_library)?;
+                }
             }
             Stmt::TypeInstantiation(ti) => {
                 self.require_structural("a type instantiation", ti.span, ctx)?;
@@ -1257,6 +1326,99 @@ impl Elaborator<'_> {
                 inner.span,
             ),
         }
+    }
+
+    /// The textual dotted path of a pure `a.b.c` identifier chain.
+    fn dotted_path(expr: &Expr) -> Option<String> {
+        match &expr.kind {
+            ExprKind::Ident(id) => Some(id.name.clone()),
+            ExprKind::Field(base, f) => Some(format!("{}.{}", Self::dotted_path(base)?, f.name)),
+            _ => None,
+        }
+    }
+
+    /// The leading identifier of an endpoint expression, if it has one.
+    fn head_ident(expr: &Expr) -> Option<&str> {
+        match &expr.kind {
+            ExprKind::Ident(id) => Some(&id.name),
+            ExprKind::Field(base, _) => Self::head_ident(base),
+            ExprKind::Index(base, _) => Self::head_ident(base),
+            _ => None,
+        }
+    }
+
+    /// True if `expr` is a `path.port` endpoint whose head name is not
+    /// defined in this unit — i.e. it must refer to an instance declared
+    /// in another file of the project.
+    fn is_foreign_endpoint(&self, expr: &Expr, ctx: &BodyCtx) -> bool {
+        let inner = match &expr.kind {
+            ExprKind::Index(base, _) => base,
+            _ => expr,
+        };
+        match &inner.kind {
+            ExprKind::Field(base, _) => match Self::head_ident(base) {
+                Some(name) => {
+                    Self::dotted_path(base).is_some()
+                        && ctx.env.get(name).is_none()
+                        && !ctx.self_ports.contains_key(name)
+                }
+                None => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Lowers one side of a cross-file connection to its textual form.
+    /// Local sides are resolved against this unit's netlist (so typos in
+    /// the unit are reported here); foreign sides stay as written.
+    fn deferred_endpoint(
+        &mut self,
+        expr: &Expr,
+        ctx: &mut BodyCtx,
+    ) -> EResult<lss_netlist::DeferredEndpoint> {
+        if let ExprKind::Index(..) = &expr.kind {
+            return self.err(
+                "cross-file connections do not support explicit port indices; \
+                 port-instance indices are assigned at link time",
+                expr.span,
+            );
+        }
+        let ExprKind::Field(base, port) = &expr.kind else {
+            return self.err(
+                "expected a port reference (`inst.port`) in a cross-file connection",
+                expr.span,
+            );
+        };
+        if self.is_foreign_endpoint(expr, ctx) {
+            let path = Self::dotted_path(base).unwrap_or_default();
+            return Ok(lss_netlist::DeferredEndpoint {
+                path,
+                port: port.name.clone(),
+            });
+        }
+        let value = self.eval(base, ctx)?;
+        let Value::Instance(cid) = value else {
+            return self.err(
+                format!(
+                    "expected an instance before `.{}`, got {}",
+                    port.name,
+                    value.kind()
+                ),
+                base.span,
+            );
+        };
+        let inst = self.netlist.instance(cid);
+        if inst.parent.is_some() {
+            let path = inst.path.clone();
+            return self.err(
+                format!("`{path}` is not a direct sub-instance of this context"),
+                expr.span,
+            );
+        }
+        Ok(lss_netlist::DeferredEndpoint {
+            path: inst.path.clone(),
+            port: port.name.clone(),
+        })
     }
 
     fn resolve_endpoint(&mut self, expr: &Expr, ctx: &mut BodyCtx) -> EResult<EndRec> {

@@ -57,8 +57,8 @@ pub mod records;
 pub mod typeck;
 pub mod value;
 
-pub use eval::{elaborate, ElabOptions, ElabOutput, Unit};
-pub use typeck::infer;
+pub use eval::{elaborate, elaborate_scoped, ElabOptions, ElabOutput, Unit};
+pub use typeck::{infer, infer_with_memo};
 pub use value::Value;
 
 use lss_ast::DiagnosticBag;

@@ -34,7 +34,19 @@ pub fn infer(
     config: &SolverConfig,
     diags: &mut DiagnosticBag,
 ) -> Option<SolveStats> {
-    let solution = match lss_types::solve(&netlist.constraints, config) {
+    infer_with_memo(netlist, config, diags, None)
+}
+
+/// [`infer`] with an optional solved-partition memo (see
+/// [`lss_types::memo`]): partitions whose canonical content hash is
+/// already cached replay their solution without running the solver.
+pub fn infer_with_memo(
+    netlist: &mut Netlist,
+    config: &SolverConfig,
+    diags: &mut DiagnosticBag,
+    memo: Option<&mut dyn lss_types::PartitionMemo>,
+) -> Option<SolveStats> {
+    let solution = match lss_types::solve_with_memo(&netlist.constraints, config, memo) {
         Ok(s) => s,
         Err(SolveError::Unsatisfiable { constraint, reason }) => {
             diags.push(Diagnostic::error(

@@ -1,0 +1,517 @@
+//! Linking per-unit sub-netlists into one model netlist.
+//!
+//! Multi-file projects elaborate each source unit separately (so an edit
+//! re-elaborates only the touched unit); the per-unit results are merged
+//! here. Merging re-bases every unit-local table onto the combined
+//! netlist — symbols re-interned, [`InstanceId`]s and [`TyVar`]s offset,
+//! module metadata unioned, elaboration counters summed — and then
+//! resolves the units' *deferred connections*: top-level `a.x -> b.y`
+//! statements whose other end lives in a different unit and therefore
+//! could not be recorded during that unit's elaboration.
+//!
+//! Resolution reproduces exactly what intra-unit elaboration would have
+//! done: each endpoint gets the next free port-instance index (growing the
+//! port's use-inferred width, §6.1), the connection is recorded, and the
+//! two ports' type variables are equated (plus any annotation constraints,
+//! §5). Cross-unit semantics is thus *separate compilation*: a module body
+//! sees only its own unit's uses at elaboration time; widths induced by
+//! other units appear at link time.
+//!
+//! Errors carry a [`SrcSpan`] (the connection statement) so the driver can
+//! render them against the project's source map.
+
+use std::collections::{HashMap, HashSet};
+
+use lss_types::{Constraint, ConstraintOrigin, Scheme, TyVar};
+
+use crate::intern::{PortId, Symbol};
+use crate::netlist::{Connection, Dir, Endpoint, Instance, InstanceId, Netlist};
+use crate::protocol::SrcSpan;
+
+/// One side of a connection that crosses unit boundaries, kept textual
+/// until link time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeferredEndpoint {
+    /// Full hierarchical instance path (`front.fetch` style).
+    pub path: String,
+    /// Port name on that instance.
+    pub port: String,
+}
+
+impl std::fmt::Display for DeferredEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.path, self.port)
+    }
+}
+
+/// A top-level connection recorded during per-unit elaboration whose
+/// endpoints resolve only once every unit's instances exist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeferredConnection {
+    /// Data source.
+    pub src: DeferredEndpoint,
+    /// Data sink.
+    pub dst: DeferredEndpoint,
+    /// Connection type annotation, if written (`->` with `: scheme`).
+    /// Variables are unit-local; [`link`] re-bases them.
+    pub annot: Option<Scheme>,
+    /// The connection statement's source span.
+    pub span: SrcSpan,
+}
+
+/// One unit's elaboration result entering the link.
+#[derive(Debug)]
+pub struct LinkUnit {
+    /// The unit's sub-netlist.
+    pub netlist: Netlist,
+    /// Cross-unit connections awaiting resolution. Their type-variable
+    /// references (in `annot`) are local to `netlist`.
+    pub deferred: Vec<DeferredConnection>,
+}
+
+/// Why linking failed. `span` (when present) points at the offending
+/// deferred connection statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkError {
+    /// Human-readable description.
+    pub message: String,
+    /// The source location to report, if one is known.
+    pub span: Option<SrcSpan>,
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+fn remap_scheme(s: &Scheme, var_off: u32) -> Scheme {
+    match s {
+        Scheme::Int | Scheme::Bool | Scheme::Float | Scheme::String => s.clone(),
+        Scheme::Array(t, n) => Scheme::Array(Box::new(remap_scheme(t, var_off)), *n),
+        Scheme::Struct(fields) => Scheme::Struct(
+            fields
+                .iter()
+                .map(|(name, t)| (name.clone(), remap_scheme(t, var_off)))
+                .collect(),
+        ),
+        Scheme::Var(v) => Scheme::Var(TyVar(v.0 + var_off)),
+        Scheme::Or(alts) => Scheme::Or(alts.iter().map(|a| remap_scheme(a, var_off)).collect()),
+    }
+}
+
+/// Merges per-unit netlists and resolves their deferred connections.
+///
+/// Unit order is significant only for id assignment (instances keep their
+/// relative order); the result is deterministic for a fixed unit order.
+///
+/// # Errors
+///
+/// * two units declare a top-level instance with the same path;
+/// * a deferred endpoint names an unknown instance path, a non-top-level
+///   instance, or an unknown port;
+/// * a deferred connection's direction is illegal (source must be an
+///   outport, sink an inport).
+pub fn link(units: Vec<LinkUnit>) -> Result<Netlist, LinkError> {
+    let mut merged = Netlist::new();
+    let mut deferred = Vec::new();
+    let mut top_paths: HashSet<String> = HashSet::new();
+
+    for unit in units {
+        let LinkUnit {
+            netlist: n,
+            deferred: unit_deferred,
+        } = unit;
+        let inst_off = merged.instances.len() as u32;
+        let var_off = merged.vars.len() as u32;
+
+        let sym_map: Vec<Symbol> = n
+            .interner
+            .iter()
+            .map(|(_, name)| merged.interner.intern(name))
+            .collect();
+        for i in 0..n.vars.len() {
+            let name = n.vars.name(TyVar(i as u32)).to_string();
+            merged.vars.fresh(name);
+        }
+
+        for (sym, meta) in &n.modules {
+            merged
+                .modules
+                .entry(sym_map[sym.index()])
+                .or_insert_with(|| meta.clone());
+        }
+        merged.elab.explicit_type_instantiations += n.elab.explicit_type_instantiations;
+        merged.elab.inferred_widths += n.elab.inferred_widths;
+        merged.elab.defaulted_params += n.elab.defaulted_params;
+        merged.elab.width_reads += n.elab.width_reads;
+
+        for mut inst in n.instances {
+            if inst.parent.is_none() && !top_paths.insert(inst.path.clone()) {
+                return Err(LinkError {
+                    message: format!(
+                        "top-level instance `{}` is declared in more than one file",
+                        inst.path
+                    ),
+                    span: None,
+                });
+            }
+            rebase_instance(&mut inst, inst_off, var_off, &sym_map);
+            merged.instances.push(inst);
+        }
+        for c in n.connections {
+            merged.connections.push(Connection {
+                src: rebase_endpoint(c.src, inst_off),
+                dst: rebase_endpoint(c.dst, inst_off),
+            });
+        }
+        for mut c in n.collectors {
+            c.inst = InstanceId(c.inst.0 + inst_off);
+            c.event = sym_map[c.event.index()];
+            merged.collectors.push(c);
+        }
+        for c in n.constraints.iter() {
+            merged.constraints.push(Constraint::with_origin(
+                remap_scheme(&c.lhs, var_off),
+                remap_scheme(&c.rhs, var_off),
+                c.origin.clone(),
+            ));
+        }
+        for d in unit_deferred {
+            deferred.push(DeferredConnection {
+                annot: d.annot.as_ref().map(|s| remap_scheme(s, var_off)),
+                ..d
+            });
+        }
+    }
+
+    for d in &deferred {
+        resolve_deferred(&mut merged, d)?;
+    }
+    Ok(merged)
+}
+
+fn rebase_instance(inst: &mut Instance, inst_off: u32, var_off: u32, sym_map: &[Symbol]) {
+    inst.id = InstanceId(inst.id.0 + inst_off);
+    inst.module = sym_map[inst.module.index()];
+    inst.parent = inst.parent.map(|p| InstanceId(p.0 + inst_off));
+    for p in &mut inst.ports {
+        p.name = sym_map[p.name.index()];
+        p.scheme = remap_scheme(&p.scheme, var_off);
+        p.var = TyVar(p.var.0 + var_off);
+    }
+    for u in &mut inst.userpoints {
+        u.name = sym_map[u.name.index()];
+        for (arg, _) in &mut u.args {
+            *arg = sym_map[arg.index()];
+        }
+    }
+    for rv in &mut inst.runtime_vars {
+        rv.name = sym_map[rv.name.index()];
+    }
+    for e in &mut inst.events {
+        e.name = sym_map[e.name.index()];
+    }
+    // Protocol bindings address ports by per-instance `PortId` and carry
+    // no symbols, so they rebase for free.
+}
+
+fn rebase_endpoint(e: Endpoint, inst_off: u32) -> Endpoint {
+    Endpoint {
+        inst: InstanceId(e.inst.0 + inst_off),
+        ..e
+    }
+}
+
+/// Resolves one textual endpoint: allocates the next port-instance index
+/// (growing the width) and returns the endpoint plus the port's type
+/// variable.
+fn resolve_end(
+    n: &mut Netlist,
+    e: &DeferredEndpoint,
+    want: Dir,
+    span: SrcSpan,
+) -> Result<(Endpoint, TyVar), LinkError> {
+    let err = |message: String| LinkError {
+        message,
+        span: Some(span),
+    };
+    let inst_id = n.find(&e.path).map(|r| r.inst.id).ok_or_else(|| {
+        err(format!(
+            "no instance named `{}` in any project file",
+            e.path
+        ))
+    })?;
+    if n.instance(inst_id).parent.is_some() {
+        return Err(err(format!(
+            "`{}` is not a top-level instance; cross-file connections may only \
+             reach top-level instances",
+            e.path
+        )));
+    }
+    let port_sym = n.interner.get(&e.port);
+    let inst = n.instance_mut(inst_id);
+    let pos = port_sym
+        .and_then(|sym| inst.ports.iter().position(|p| p.name == sym))
+        .ok_or_else(|| err(format!("`{}` has no port named `{}`", e.path, e.port)))?;
+    let port = &mut inst.ports[pos];
+    if port.dir != want {
+        let (have, need) = match want {
+            Dir::Out => ("an inport", "the data source"),
+            Dir::In => ("an outport", "the data sink"),
+        };
+        return Err(err(format!(
+            "`{}` is {have} and cannot be {need} of a cross-file connection",
+            e
+        )));
+    }
+    let index = port.width;
+    port.width += 1;
+    let var = port.var;
+    Ok((
+        Endpoint {
+            inst: inst_id,
+            port: PortId(pos as u32),
+            index,
+        },
+        var,
+    ))
+}
+
+fn resolve_deferred(n: &mut Netlist, d: &DeferredConnection) -> Result<(), LinkError> {
+    let (src, src_var) = resolve_end(n, &d.src, Dir::Out, d.span)?;
+    let (dst, dst_var) = resolve_end(n, &d.dst, Dir::In, d.span)?;
+    n.connections.push(Connection { src, dst });
+    let src_name = d.src.to_string();
+    let dst_name = d.dst.to_string();
+    n.constraints.push(Constraint::with_origin(
+        Scheme::Var(src_var),
+        Scheme::Var(dst_var),
+        ConstraintOrigin::Connection {
+            src: src_name.clone(),
+            dst: dst_name.clone(),
+        },
+    ));
+    if let Some(scheme) = &d.annot {
+        n.constraints.push(Constraint::with_origin(
+            Scheme::Var(src_var),
+            scheme.clone(),
+            ConstraintOrigin::Annotation { target: src_name },
+        ));
+        n.constraints.push(Constraint::with_origin(
+            Scheme::Var(dst_var),
+            scheme.clone(),
+            ConstraintOrigin::Annotation { target: dst_name },
+        ));
+        n.elab.explicit_type_instantiations += 1;
+        for (end, _) in [(src, ()), (dst, ())] {
+            let inst = n.instance_mut(end.inst);
+            inst.ports[end.port.index()].explicit = true;
+        }
+    }
+    Ok(())
+}
+
+/// Convenience used by generators/tests: counts the deferred endpoints per
+/// referenced path (useful for asserting a project's cross-file fan-out).
+pub fn deferred_fanout(deferred: &[DeferredConnection]) -> HashMap<String, usize> {
+    let mut map = HashMap::new();
+    for d in deferred {
+        *map.entry(d.src.path.clone()).or_insert(0) += 1;
+        *map.entry(d.dst.path.clone()).or_insert(0) += 1;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::testutil::add;
+    use crate::netlist::InstanceKind;
+
+    fn unit_with(path: &str, port: &str, dir: Dir) -> Netlist {
+        let mut n = Netlist::new();
+        add(
+            &mut n,
+            path,
+            "m",
+            InstanceKind::Leaf {
+                tar_file: "t".into(),
+            },
+            None,
+            &[(port, dir)],
+        );
+        n
+    }
+
+    fn dc(src: &str, sport: &str, dst: &str, dport: &str) -> DeferredConnection {
+        DeferredConnection {
+            src: DeferredEndpoint {
+                path: src.into(),
+                port: sport.into(),
+            },
+            dst: DeferredEndpoint {
+                path: dst.into(),
+                port: dport.into(),
+            },
+            annot: None,
+            span: SrcSpan {
+                file: 0,
+                start: 0,
+                end: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn merges_disjoint_units_and_resolves_cross_links() {
+        let a = unit_with("a", "out", Dir::Out);
+        let b = unit_with("b", "in", Dir::In);
+        let merged = link(vec![
+            LinkUnit {
+                netlist: a,
+                deferred: vec![dc("a", "out", "b", "in")],
+            },
+            LinkUnit {
+                netlist: b,
+                deferred: vec![],
+            },
+        ])
+        .expect("links");
+        assert_eq!(merged.instances.len(), 2);
+        assert_eq!(merged.connections.len(), 1);
+        let c = merged.connections[0];
+        assert_eq!(merged.endpoint_name(c.src), "a.out[0]");
+        assert_eq!(merged.endpoint_name(c.dst), "b.in[0]");
+        // The link grew both widths and equated the port vars.
+        assert_eq!(merged.instances[0].ports[0].width, 1);
+        assert_eq!(merged.instances[1].ports[0].width, 1);
+        assert_eq!(merged.constraints.len(), 1);
+    }
+
+    #[test]
+    fn rebases_ids_vars_and_symbols() {
+        let mut a = unit_with("a", "out", Dir::Out);
+        // Give unit A an extra interned name so B's symbols shift.
+        a.intern("only_in_a");
+        let b = unit_with("b", "in", Dir::In);
+        let b_var = b.instances[0].ports[0].var;
+        let merged = link(vec![
+            LinkUnit {
+                netlist: a,
+                deferred: vec![],
+            },
+            LinkUnit {
+                netlist: b,
+                deferred: vec![],
+            },
+        ])
+        .expect("links");
+        let bi = &merged.instances[1];
+        assert_eq!(bi.id, InstanceId(1));
+        assert_eq!(merged.interner.resolve(bi.ports[0].name), "in");
+        assert_ne!(bi.ports[0].var, b_var, "type vars must be offset");
+        assert_eq!(
+            merged.vars.name(bi.ports[0].var),
+            "b.in",
+            "offset var keeps its name"
+        );
+    }
+
+    #[test]
+    fn duplicate_top_level_paths_are_link_errors() {
+        let a = unit_with("x", "out", Dir::Out);
+        let b = unit_with("x", "in", Dir::In);
+        let err = link(vec![
+            LinkUnit {
+                netlist: a,
+                deferred: vec![],
+            },
+            LinkUnit {
+                netlist: b,
+                deferred: vec![],
+            },
+        ])
+        .unwrap_err();
+        assert!(err.message.contains("more than one file"), "{err}");
+    }
+
+    #[test]
+    fn unknown_paths_ports_and_directions_are_errors() {
+        let mk = || {
+            vec![
+                LinkUnit {
+                    netlist: unit_with("a", "out", Dir::Out),
+                    deferred: vec![],
+                },
+                LinkUnit {
+                    netlist: unit_with("b", "in", Dir::In),
+                    deferred: vec![],
+                },
+            ]
+        };
+        let mut units = mk();
+        units[0].deferred.push(dc("ghost", "out", "b", "in"));
+        let err = link(units).unwrap_err();
+        assert!(err.message.contains("no instance named `ghost`"), "{err}");
+        assert!(err.span.is_some());
+
+        let mut units = mk();
+        units[0].deferred.push(dc("a", "ghost", "b", "in"));
+        let err = link(units).unwrap_err();
+        assert!(err.message.contains("no port named `ghost`"), "{err}");
+
+        let mut units = mk();
+        units[0].deferred.push(dc("b", "in", "a", "out"));
+        let err = link(units).unwrap_err();
+        assert!(err.message.contains("inport"), "{err}");
+    }
+
+    #[test]
+    fn annotations_add_constraints_and_mark_ports_explicit() {
+        let mut d = dc("a", "out", "b", "in");
+        d.annot = Some(Scheme::Int);
+        let merged = link(vec![
+            LinkUnit {
+                netlist: unit_with("a", "out", Dir::Out),
+                deferred: vec![d],
+            },
+            LinkUnit {
+                netlist: unit_with("b", "in", Dir::In),
+                deferred: vec![],
+            },
+        ])
+        .expect("links");
+        assert_eq!(merged.constraints.len(), 3);
+        assert!(merged.instances.iter().all(|i| i.ports[0].explicit));
+        assert_eq!(merged.elab.explicit_type_instantiations, 1);
+    }
+
+    #[test]
+    fn repeated_cross_links_grow_widths_with_fresh_indices() {
+        let merged = link(vec![
+            LinkUnit {
+                netlist: unit_with("a", "out", Dir::Out),
+                deferred: vec![dc("a", "out", "b", "in"), dc("a", "out", "b", "in")],
+            },
+            LinkUnit {
+                netlist: unit_with("b", "in", Dir::In),
+                deferred: vec![],
+            },
+        ])
+        .expect("links");
+        assert_eq!(merged.instances[0].ports[0].width, 2);
+        let idx: Vec<u32> = merged.connections.iter().map(|c| c.src.index).collect();
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn fanout_counts_both_sides() {
+        let d = vec![dc("a", "out", "b", "in"), dc("a", "out", "c", "in")];
+        let f = deferred_fanout(&d);
+        assert_eq!(f["a"], 2);
+        assert_eq!(f["b"], 1);
+    }
+}

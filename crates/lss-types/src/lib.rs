@@ -37,6 +37,7 @@
 pub mod budget;
 pub mod constraint;
 pub mod gen;
+pub mod memo;
 pub mod rng;
 pub mod sat;
 pub mod solve;
@@ -46,8 +47,11 @@ pub mod value;
 
 pub use budget::{Budget, BudgetCaps, BudgetError, BudgetKind};
 pub use constraint::{Constraint, ConstraintOrigin, ConstraintSet};
+pub use memo::{partition_key, MemoryMemo, PartitionMemo};
 pub use rng::SplitMix64;
-pub use solve::{partition, solve, Solution, SolveError, SolveStats, SolverConfig};
+pub use solve::{
+    partition, solve, solve_with_memo, Solution, SolveError, SolveStats, SolverConfig,
+};
 pub use ty::{Scheme, Ty, TyVar, VarGen};
 pub use unify::{unifiable, unify, Subst, UnifyError, UnifyStats};
 pub use value::Datum;

@@ -1,0 +1,331 @@
+//! Solver partition memoization.
+//!
+//! Heuristic 3 (divide and conquer) splits a model's constraint
+//! conjunction into sub-systems that share no type variables. Those
+//! sub-systems recur heavily across builds of multi-file projects: editing
+//! one module leaves most partitions byte-for-byte identical, and two
+//! instances of the same library component generate structurally identical
+//! partitions that differ only in variable numbering. This module lets a
+//! caller cache *solved partitions* across [`solve_with_memo`] runs:
+//!
+//! * [`partition_key`] computes a canonical content hash of one partition —
+//!   variables are renumbered by first occurrence so the key is invariant
+//!   under variable renaming, and constraint origins (pure provenance) are
+//!   excluded;
+//! * [`PartitionMemo`] is the cache interface: the stored value is the
+//!   inferred ground type (or `None` for legitimately unresolved) of each
+//!   partition variable, in the same canonical first-occurrence order;
+//! * [`MemoryMemo`] is the trivial in-process implementation; the driver
+//!   layers an on-disk store with the same interface.
+//!
+//! Only *successful* solves are cached. Replaying a hit binds the stored
+//! types directly into the substitution, skipping unification and
+//! disjunction search entirely; [`crate::SolveStats::memo_hits`] counts the
+//! partitions satisfied this way.
+
+use std::collections::HashMap;
+
+use crate::constraint::Constraint;
+use crate::solve::SolverConfig;
+use crate::ty::{Scheme, Ty, TyVar};
+
+/// A cache of solved constraint partitions.
+///
+/// Keys come from [`partition_key`]; values are the solved ground types of
+/// the partition's variables in canonical (first-occurrence) order, with
+/// `None` marking a variable the solver legitimately left unresolved.
+pub trait PartitionMemo {
+    /// Returns the stored solution for `key`, if any.
+    fn lookup(&mut self, key: u64) -> Option<Vec<Option<Ty>>>;
+    /// Stores the solution for `key`.
+    fn store(&mut self, key: u64, tys: &[Option<Ty>]);
+}
+
+/// An in-process [`PartitionMemo`] backed by a `HashMap`.
+#[derive(Debug, Default)]
+pub struct MemoryMemo {
+    entries: HashMap<u64, Vec<Option<Ty>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MemoryMemo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of successful lookups since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of failed lookups since creation.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of stored partitions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl PartitionMemo for MemoryMemo {
+    fn lookup(&mut self, key: u64) -> Option<Vec<Option<Ty>>> {
+        match self.entries.get(&key) {
+            Some(v) => {
+                self.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn store(&mut self, key: u64, tys: &[Option<Ty>]) {
+        self.entries.insert(key, tys.to_vec());
+    }
+}
+
+/// FNV-1a 64-bit, the same function the driver uses for content hashes.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1_0000_0000_01b3;
+
+    fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write(&(v as u64).to_le_bytes());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The canonical variable order of a partition: every variable mentioned by
+/// `constraints`, in order of first occurrence (left-to-right within each
+/// constraint, constraints in partition order).
+pub fn canonical_vars(constraints: &[&Constraint]) -> Vec<TyVar> {
+    let mut order = Vec::new();
+    let mut seen = HashMap::new();
+    for c in constraints {
+        for v in c.vars() {
+            if seen.insert(v, ()).is_none() {
+                order.push(v);
+            }
+        }
+    }
+    order
+}
+
+fn hash_scheme(h: &mut Fnv64, s: &Scheme, canon: &HashMap<TyVar, u32>) {
+    match s {
+        Scheme::Int => h.write_u8(0),
+        Scheme::Bool => h.write_u8(1),
+        Scheme::Float => h.write_u8(2),
+        Scheme::String => h.write_u8(3),
+        Scheme::Array(t, n) => {
+            h.write_u8(4);
+            hash_scheme(h, t, canon);
+            h.write_usize(*n);
+        }
+        Scheme::Struct(fields) => {
+            h.write_u8(5);
+            h.write_usize(fields.len());
+            for (name, t) in fields {
+                h.write_str(name);
+                hash_scheme(h, t, canon);
+            }
+        }
+        Scheme::Var(v) => {
+            h.write_u8(6);
+            // Canonical id, so the key is invariant under renaming.
+            h.write_u32(canon[v]);
+        }
+        Scheme::Or(alts) => {
+            h.write_u8(7);
+            h.write_usize(alts.len());
+            for a in alts {
+                hash_scheme(h, a, canon);
+            }
+        }
+    }
+}
+
+/// Computes the canonical content key of one partition together with its
+/// canonical variable order.
+///
+/// The key covers the structure of every constraint (variables renumbered
+/// by first occurrence, origins excluded — they are provenance, not
+/// content) plus the solver heuristics that can change *which* solution a
+/// disjunctive system resolves to. Two partitions with equal keys solve to
+/// the same types for corresponding variables.
+pub fn partition_key(constraints: &[&Constraint], config: &SolverConfig) -> (u64, Vec<TyVar>) {
+    let vars = canonical_vars(constraints);
+    let canon: HashMap<TyVar, u32> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (*v, i as u32))
+        .collect();
+    let mut h = Fnv64::new();
+    // Heuristic switches steer the search order, and a disjunctive system
+    // can have several valid solutions — different configs may commit to
+    // different ones, so the config is part of the key.
+    h.write_u8(config.reorder as u8);
+    h.write_u8(config.smart as u8);
+    h.write_usize(config.expansion_cap);
+    h.write_usize(constraints.len());
+    for c in constraints {
+        hash_scheme(&mut h, &c.lhs, &canon);
+        hash_scheme(&mut h, &c.rhs, &canon);
+    }
+    (h.finish(), vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintOrigin;
+
+    fn eq(lhs: Scheme, rhs: Scheme) -> Constraint {
+        Constraint::with_origin(lhs, rhs, ConstraintOrigin::Synthetic)
+    }
+
+    #[test]
+    fn key_is_invariant_under_variable_renaming() {
+        let cfg = SolverConfig::heuristic();
+        let a = eq(Scheme::Var(TyVar(0)), Scheme::Int);
+        let b = eq(Scheme::Var(TyVar(7)), Scheme::Int);
+        let (ka, va) = partition_key(&[&a], &cfg);
+        let (kb, vb) = partition_key(&[&b], &cfg);
+        assert_eq!(ka, kb);
+        assert_eq!(va, vec![TyVar(0)]);
+        assert_eq!(vb, vec![TyVar(7)]);
+    }
+
+    #[test]
+    fn key_distinguishes_structure() {
+        let cfg = SolverConfig::heuristic();
+        let a = eq(Scheme::Var(TyVar(0)), Scheme::Int);
+        let b = eq(Scheme::Var(TyVar(0)), Scheme::Float);
+        assert_ne!(partition_key(&[&a], &cfg).0, partition_key(&[&b], &cfg).0);
+    }
+
+    #[test]
+    fn key_ignores_origins_but_not_config() {
+        let a = Constraint::with_origin(
+            Scheme::Var(TyVar(0)),
+            Scheme::Int,
+            ConstraintOrigin::Connection {
+                src: "a.out".into(),
+                dst: "b.in".into(),
+            },
+        );
+        let b = eq(Scheme::Var(TyVar(0)), Scheme::Int);
+        let heuristic = SolverConfig::heuristic();
+        let naive = SolverConfig::naive();
+        assert_eq!(
+            partition_key(&[&a], &heuristic).0,
+            partition_key(&[&b], &heuristic).0
+        );
+        assert_ne!(
+            partition_key(&[&a], &heuristic).0,
+            partition_key(&[&a], &naive).0
+        );
+    }
+
+    #[test]
+    fn shared_variables_keep_their_identity() {
+        // v0 = v1 and v0 = v0 must hash differently.
+        let cfg = SolverConfig::heuristic();
+        let a = eq(Scheme::Var(TyVar(0)), Scheme::Var(TyVar(1)));
+        let b = eq(Scheme::Var(TyVar(0)), Scheme::Var(TyVar(0)));
+        assert_ne!(partition_key(&[&a], &cfg).0, partition_key(&[&b], &cfg).0);
+    }
+
+    #[test]
+    fn memoized_solve_matches_cold_solve() {
+        use crate::constraint::ConstraintSet;
+        use crate::solve::solve_with_memo;
+
+        let cfg = SolverConfig::heuristic();
+        let mut set = ConstraintSet::new();
+        // Two independent partitions, one disjunctive.
+        set.push(eq(
+            Scheme::Var(TyVar(0)),
+            Scheme::Or(vec![Scheme::Int, Scheme::Float]),
+        ));
+        set.push(eq(Scheme::Var(TyVar(0)), Scheme::Float));
+        set.push(eq(Scheme::Var(TyVar(1)), Scheme::Int));
+
+        let mut memo = MemoryMemo::new();
+        let cold = solve_with_memo(&set, &cfg, Some(&mut memo)).expect("cold solve succeeds");
+        assert_eq!(cold.stats.memo_hits, 0);
+        assert_eq!(memo.len(), 2);
+
+        let warm = solve_with_memo(&set, &cfg, Some(&mut memo)).expect("warm solve succeeds");
+        assert_eq!(warm.stats.memo_hits, 2);
+        assert_eq!(warm.stats.unify_steps, 0, "replay must skip unification");
+        for v in [TyVar(0), TyVar(1)] {
+            assert_eq!(warm.ty_of(v), cold.ty_of(v));
+        }
+
+        // A renamed but isomorphic system hits the same entries.
+        let mut renamed = ConstraintSet::new();
+        renamed.push(eq(
+            Scheme::Var(TyVar(9)),
+            Scheme::Or(vec![Scheme::Int, Scheme::Float]),
+        ));
+        renamed.push(eq(Scheme::Var(TyVar(9)), Scheme::Float));
+        renamed.push(eq(Scheme::Var(TyVar(3)), Scheme::Int));
+        let iso =
+            solve_with_memo(&renamed, &cfg, Some(&mut memo)).expect("isomorphic solve succeeds");
+        assert_eq!(iso.stats.memo_hits, 2);
+        assert_eq!(iso.ty_of(TyVar(9)), Some(Ty::Float));
+        assert_eq!(iso.ty_of(TyVar(3)), Some(Ty::Int));
+    }
+
+    #[test]
+    fn memory_memo_round_trips() {
+        let mut memo = MemoryMemo::new();
+        assert_eq!(memo.lookup(1), None);
+        memo.store(1, &[Some(Ty::Int), None]);
+        assert_eq!(memo.lookup(1), Some(vec![Some(Ty::Int), None]));
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.misses(), 1);
+        assert_eq!(memo.len(), 1);
+    }
+}

@@ -119,6 +119,9 @@ pub struct SolveStats {
     pub smart_commits: u64,
     /// Deepest branching recursion reached.
     pub max_depth: u32,
+    /// Partitions satisfied from a [`crate::memo::PartitionMemo`] without
+    /// running the solver.
+    pub memo_hits: usize,
 }
 
 /// Why solving failed.
@@ -251,6 +254,28 @@ impl Solution {
 /// Returns [`SolveError::Unsatisfiable`] when no assignment exists and
 /// [`SolveError::BudgetExhausted`] when `config.step_budget` runs out.
 pub fn solve(set: &ConstraintSet, config: &SolverConfig) -> Result<Solution, SolveError> {
+    solve_with_memo(set, config, None)
+}
+
+/// Solves `set` under `config`, consulting `memo` (when given) for
+/// already-solved partitions.
+///
+/// Partitions found in the memo are replayed by binding their stored types
+/// directly into the substitution — no unification or disjunction search
+/// runs for them, and [`SolveStats::memo_hits`] counts them. Freshly solved
+/// partitions are stored back. Only heuristic-3 partitioning produces
+/// cacheable units; with `config.partition` off the single whole-system
+/// group is still memoized (useful for repeated identical builds).
+///
+/// # Errors
+///
+/// Same failure modes as [`solve()`]; memo lookups never fail a solve
+/// (a missing or mismatched entry just falls back to solving).
+pub fn solve_with_memo(
+    set: &ConstraintSet,
+    config: &SolverConfig,
+    mut memo: Option<&mut dyn crate::memo::PartitionMemo>,
+) -> Result<Solution, SolveError> {
     let mut solver = Solver {
         config,
         stats: SolveStats::default(),
@@ -265,7 +290,28 @@ pub fn solve(set: &ConstraintSet, config: &SolverConfig) -> Result<Solution, Sol
     solver.stats.partitions = groups.len();
     for group in &groups {
         let constraints: Vec<&Constraint> = group.iter().map(|&i| &set.constraints[i]).collect();
-        solver.solve_group(&constraints, &mut subst)?;
+        let Some(memo) = memo.as_deref_mut() else {
+            solver.solve_group(&constraints, &mut subst)?;
+            continue;
+        };
+        let (key, vars) = crate::memo::partition_key(&constraints, config);
+        match memo.lookup(key) {
+            // Groups never share variables, so replaying bindings cannot
+            // conflict with other groups' solutions.
+            Some(tys) if tys.len() == vars.len() => {
+                for (var, ty) in vars.iter().zip(&tys) {
+                    if let Some(ty) = ty {
+                        subst.bind(*var, Scheme::from_ty(ty));
+                    }
+                }
+                solver.stats.memo_hits += 1;
+            }
+            _ => {
+                solver.solve_group(&constraints, &mut subst)?;
+                let tys: Vec<Option<Ty>> = vars.iter().map(|v| subst.ground(*v)).collect();
+                memo.store(key, &tys);
+            }
+        }
     }
     solver.stats.unify_steps = solver.unify_stats.steps;
     Ok(Solution {

@@ -8,10 +8,11 @@
 //! is a [`Discrepancy`], the currency the fuzzer and the minimizer trade
 //! in.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use lss_driver::{Driver, Elaborated};
-use lss_netlist::{from_json, to_json, Netlist};
+use lss_netlist::{from_binary, from_json, to_binary, to_json, Netlist};
 use lss_sim::Scheduler;
 
 use crate::exhaustive::TypeDiscrepancy;
@@ -77,6 +78,13 @@ pub enum Discrepancy {
         /// What went wrong (parse error or first differing line).
         detail: String,
     },
+    /// The multi-file project split of a program disagrees with its
+    /// single-file build (separate compilation must be transparent).
+    Split {
+        /// What diverged: a project-only compile failure, a structural
+        /// count mismatch, or the first differing trace lines.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for Discrepancy {
@@ -104,6 +112,7 @@ impl std::fmt::Display for Discrepancy {
                 )
             }
             Discrepancy::Roundtrip { detail } => write!(f, "JSON round-trip: {detail}"),
+            Discrepancy::Split { detail } => write!(f, "project split: {detail}"),
         }
     }
 }
@@ -118,6 +127,7 @@ impl Discrepancy {
             Discrepancy::EngineError { .. } => "engine-error",
             Discrepancy::RefError { .. } => "ref-error",
             Discrepancy::Roundtrip { .. } => "roundtrip",
+            Discrepancy::Split { .. } => "split",
         }
     }
 }
@@ -137,17 +147,22 @@ pub fn compile_source(name: &str, text: &str) -> Result<(Driver, Arc<Elaborated>
     Ok((driver, elab))
 }
 
-fn trace_diff(engine: &[String], reference: &[String]) -> Vec<String> {
+fn labeled_diff(
+    left_label: &str,
+    left: &[String],
+    right_label: &str,
+    right: &[String],
+) -> Vec<String> {
     const CAP: usize = 12;
     let mut out = Vec::new();
-    for line in engine {
-        if !reference.contains(line) {
-            out.push(format!("engine:    {line}"));
+    for line in left {
+        if !right.contains(line) {
+            out.push(format!("{left_label} {line}"));
         }
     }
-    for line in reference {
-        if !engine.contains(line) {
-            out.push(format!("reference: {line}"));
+    for line in right {
+        if !left.contains(line) {
+            out.push(format!("{right_label} {line}"));
         }
     }
     if out.len() > CAP {
@@ -156,6 +171,10 @@ fn trace_diff(engine: &[String], reference: &[String]) -> Vec<String> {
         out.push(format!("... and {extra} more differing line(s)"));
     }
     out
+}
+
+fn trace_diff(engine: &[String], reference: &[String]) -> Vec<String> {
+    labeled_diff("engine:   ", engine, "reference:", reference)
 }
 
 /// Runs the compiled netlist on both simulators and compares state
@@ -256,5 +275,186 @@ pub fn difftest_source(
     if let Some(d) = diff_netlist(&mut driver, &elab.netlist, opts)? {
         return Ok(Some(d));
     }
-    Ok(check_roundtrip(&elab.netlist))
+    if let Some(d) = check_roundtrip(&elab.netlist) {
+        return Ok(Some(d));
+    }
+    Ok(check_binary_roundtrip(&elab.netlist))
+}
+
+/// Checks that `netlist` survives `to_binary` → `from_binary` →
+/// `to_binary` byte-identically (and that the decoded netlist is the same
+/// netlist, via the canonical JSON dump).
+pub fn check_binary_roundtrip(netlist: &Netlist) -> Option<Discrepancy> {
+    let first = to_binary(netlist);
+    let reparsed = match from_binary(&first) {
+        Ok(n) => n,
+        Err(e) => {
+            return Some(Discrepancy::Roundtrip {
+                detail: format!("binary-encoded netlist fails to decode: {e}"),
+            })
+        }
+    };
+    let second = to_binary(&reparsed);
+    if first != second {
+        let offset = first
+            .iter()
+            .zip(second.iter())
+            .position(|(a, b)| a != b)
+            .map(|i| format!("binary dumps first differ at byte {i}"))
+            .unwrap_or_else(|| "binary dumps differ in length".to_string());
+        return Some(Discrepancy::Roundtrip { detail: offset });
+    }
+    if to_json(&reparsed) != to_json(netlist) {
+        return Some(Discrepancy::Roundtrip {
+            detail: "binary decode changes the netlist (JSON dumps differ)".to_string(),
+        });
+    }
+    None
+}
+
+/// Compiles a project root file (or directory / manifest) through the
+/// driver pipeline, following its import closure.
+///
+/// # Errors
+///
+/// The driver's rendered diagnostics on any load/parse/elaborate/type
+/// failure.
+pub fn compile_root(root: &Path) -> Result<(Driver, Arc<Elaborated>), String> {
+    let mut driver = Driver::with_corelib();
+    driver.add_root_file(root)?;
+    let elab = driver.elaborate().map_err(|e| e.to_string())?;
+    Ok((driver, elab))
+}
+
+/// Full differential run over an on-disk program: compile the root (with
+/// its import closure), trace-compare, and round-trip-check. This is the
+/// multi-file analogue of [`difftest_source`].
+///
+/// # Errors
+///
+/// Harness-level failures only (simulator build); a compile failure is
+/// reported as [`Discrepancy::Compile`].
+pub fn difftest_root(root: &Path, opts: &DiffOptions) -> Result<Option<Discrepancy>, String> {
+    let (mut driver, elab) = match compile_root(root) {
+        Ok(pair) => pair,
+        Err(error) => return Ok(Some(Discrepancy::Compile { error })),
+    };
+    if let Some(d) = diff_netlist(&mut driver, &elab.netlist, opts)? {
+        return Ok(Some(d));
+    }
+    if let Some(d) = check_roundtrip(&elab.netlist) {
+        return Ok(Some(d));
+    }
+    Ok(check_binary_roundtrip(&elab.netlist))
+}
+
+/// Writes a rendered project (element 0 is the root) into `dir`, replacing
+/// whatever was there.
+fn write_project_files(dir: &Path, files: &[(String, String)]) -> std::io::Result<()> {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir)?;
+    for (name, text) in files {
+        std::fs::write(dir.join(name), text)?;
+    }
+    Ok(())
+}
+
+/// Checks that a multi-file project split of a program is transparent:
+/// the project build must succeed, produce the same instance/connection/
+/// collector counts, and simulate to the same canonical state as the
+/// already-compiled single-file build, cycle by cycle.
+///
+/// `files` is a rendered project (element 0 the root, as produced by
+/// [`Spec::render_project`](crate::gen::Spec::render_project)); it is
+/// written under `dir`, which is wiped first and removed afterwards.
+/// State lines are compared as sorted sets — component order differs
+/// between a linked project and a single-unit elaboration.
+///
+/// # Errors
+///
+/// Harness-level failures only (I/O, simulator build); divergence is a
+/// [`Discrepancy::Split`].
+pub fn diff_project_vs_single(
+    single_driver: &mut Driver,
+    single_netlist: &Netlist,
+    dir: &Path,
+    files: &[(String, String)],
+    opts: &DiffOptions,
+) -> Result<Option<Discrepancy>, String> {
+    write_project_files(dir, files).map_err(|e| format!("writing project files: {e}"))?;
+    let result = diff_project_vs_single_inner(single_driver, single_netlist, dir, files, opts);
+    let _ = std::fs::remove_dir_all(dir);
+    result
+}
+
+fn diff_project_vs_single_inner(
+    single_driver: &mut Driver,
+    single_netlist: &Netlist,
+    dir: &Path,
+    files: &[(String, String)],
+    opts: &DiffOptions,
+) -> Result<Option<Discrepancy>, String> {
+    let (mut project_driver, project) = match compile_root(&dir.join(&files[0].0)) {
+        Ok(pair) => pair,
+        Err(error) => {
+            return Ok(Some(Discrepancy::Split {
+                detail: format!("project build failed where single-file build succeeded: {error}"),
+            }))
+        }
+    };
+    let counts = |n: &Netlist| (n.instances.len(), n.connections.len(), n.collectors.len());
+    if counts(&project.netlist) != counts(single_netlist) {
+        let (pi, pc, pk) = counts(&project.netlist);
+        let (si, sc, sk) = counts(single_netlist);
+        return Ok(Some(Discrepancy::Split {
+            detail: format!(
+                "structure mismatch: project has {pi} instance(s), {pc} connection(s), \
+                 {pk} collector(s); single-file has {si}, {sc}, {sk}"
+            ),
+        }));
+    }
+    single_driver.sim_options.scheduler = opts.scheduler;
+    project_driver.sim_options.scheduler = opts.scheduler;
+    let mut single = single_driver
+        .simulator(single_netlist)
+        .map_err(|e| e.to_string())?;
+    let mut project_sim = project_driver
+        .simulator(&project.netlist)
+        .map_err(|e| format!("project simulator build: {e}"))?;
+    for cycle in 0..opts.cycles {
+        match (single.step(), project_sim.step()) {
+            (Ok(()), Ok(())) => {}
+            (Err(_), Err(_)) => return Ok(None),
+            (Ok(()), Err(e)) => {
+                return Ok(Some(Discrepancy::Split {
+                    detail: format!(
+                        "project build fails at cycle {cycle} (single-file ran clean): {}",
+                        e.message
+                    ),
+                }))
+            }
+            (Err(e), Ok(())) => {
+                return Ok(Some(Discrepancy::Split {
+                    detail: format!(
+                        "single-file build fails at cycle {cycle} (project ran clean): {}",
+                        e.message
+                    ),
+                }))
+            }
+        }
+        let mut single_lines = single.state_lines();
+        let mut project_lines = project_sim.state_lines();
+        single_lines.sort();
+        project_lines.sort();
+        if single_lines != project_lines {
+            let diff = labeled_diff("single: ", &single_lines, "project:", &project_lines);
+            return Ok(Some(Discrepancy::Split {
+                detail: format!(
+                    "state divergence at cycle {cycle}:\n  {}",
+                    diff.join("\n  ")
+                ),
+            }));
+        }
+    }
+    Ok(None)
 }

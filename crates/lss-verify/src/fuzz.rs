@@ -9,7 +9,10 @@ use std::path::PathBuf;
 
 use lss_types::{SolverConfig, SplitMix64};
 
-use crate::difftest::{check_roundtrip, compile_source, diff_netlist, DiffOptions, Discrepancy};
+use crate::difftest::{
+    check_binary_roundtrip, check_roundtrip, compile_source, diff_netlist, diff_project_vs_single,
+    DiffOptions, Discrepancy,
+};
 use crate::exhaustive::check_types;
 use crate::gen::{generate, GenConfig};
 use crate::minimize::{minimize, write_repro};
@@ -28,6 +31,9 @@ pub struct FuzzConfig {
     pub check_types: bool,
     /// Run the reference-simulator trace oracle.
     pub check_sim: bool,
+    /// Split each generated program into a 2–3-file import project and
+    /// check the project build against the single-file build.
+    pub check_projects: bool,
     /// Injected reference bug (mutation testing; [`Mutation::None`] for
     /// real runs).
     pub mutation: Mutation,
@@ -43,6 +49,7 @@ impl Default for FuzzConfig {
             gen: GenConfig::default(),
             check_types: true,
             check_sim: true,
+            check_projects: true,
             mutation: Mutation::None,
             out_dir: PathBuf::from("target/verify"),
         }
@@ -79,6 +86,8 @@ pub struct FuzzReport {
     pub type_checks: u64,
     /// Simulator cycles differentially executed.
     pub sim_cycles: u64,
+    /// Multi-file project splits checked against single-file builds.
+    pub project_checks: u64,
     /// All confirmed findings, already minimized and written out.
     pub findings: Vec<Finding>,
 }
@@ -172,5 +181,25 @@ fn check_one(
             }
         }
     }
-    check_roundtrip(&elab.netlist)
+    if let Some(d) = check_roundtrip(&elab.netlist) {
+        return Some(d);
+    }
+    if let Some(d) = check_binary_roundtrip(&elab.netlist) {
+        return Some(d);
+    }
+    if cfg.check_projects && spec.insts.len() >= 2 {
+        report.project_checks += 1;
+        let files = spec.render_project(spec.default_members());
+        let dir = cfg.out_dir.join("split-scratch");
+        match diff_project_vs_single(&mut driver, &elab.netlist, &dir, &files, opts) {
+            Ok(Some(d)) => return Some(d),
+            Ok(None) => {}
+            Err(e) => {
+                return Some(Discrepancy::Compile {
+                    error: format!("project harness: {e}"),
+                })
+            }
+        }
+    }
+    None
 }

@@ -187,16 +187,12 @@ impl Spec {
             .unwrap_or(0)
     }
 
-    /// Renders the spec as concrete LSS source.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "// generated by lss-verify: seed={} cycles={}\n",
-            self.seed, self.cycles
-        ));
-        // Wrapper modules are nested: wrapK routes through wrap(K-1) plus
-        // one latch stage of its own, so a depth-K use elaborates into a
-        // K-deep hierarchy with K latch leaves.
+    /// Renders the generated `wrapN` module declarations into `out`.
+    ///
+    /// Wrapper modules are nested: wrapK routes through wrap(K-1) plus
+    /// one latch stage of its own, so a depth-K use elaborates into a
+    /// K-deep hierarchy with K latch leaves.
+    fn render_wrappers(&self, out: &mut String) {
         for depth in 1..=self.max_wrapper_depth() {
             out.push_str(&format!("module wrap{depth} {{\n"));
             out.push_str("    inport in:'a;\n    outport out:'a;\n");
@@ -212,6 +208,16 @@ impl Spec {
             }
             out.push_str("};\n");
         }
+    }
+
+    /// Renders the spec as concrete LSS source.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "// generated by lss-verify: seed={} cycles={}\n",
+            self.seed, self.cycles
+        ));
+        self.render_wrappers(&mut out);
         for inst in &self.insts {
             out.push_str(&format!("instance {}:{};\n", inst.name, inst.module));
         }
@@ -318,6 +324,159 @@ impl Spec {
                     .unwrap_or(1)
             })
             .sum()
+    }
+
+    /// Member-file count used when this spec is split for the project
+    /// oracle: 1 or 2 member files (2–3 files with the root), derived
+    /// deterministically from the generation seed.
+    pub fn default_members(&self) -> usize {
+        1 + (self.seed % 2) as usize
+    }
+
+    /// Assigns each instance to one of `members` member files.
+    ///
+    /// Cross-file connections are deferred to link time, *after* module
+    /// bodies have elaborated — so a connection whose endpoint module
+    /// reads port widths during elaboration (use-based specialization:
+    /// `cache`, `bp`, or the `in.width`-replicating `delayn`) must stay in
+    /// the same file as both endpoints. Those connections are treated as
+    /// glue edges; their connected components are assigned to files as a
+    /// unit, round-robin in first-appearance order.
+    fn file_assignment(&self, members: usize) -> Vec<usize> {
+        fn width_sensitive(module: &str) -> bool {
+            matches!(module, "cache" | "bp" | "delayn")
+        }
+        // Union-find over instances glued by width-sensitive connections.
+        let mut parent: Vec<usize> = (0..self.insts.len()).collect();
+        fn find(parent: &mut [usize], i: usize) -> usize {
+            let mut root = i;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = i;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for conn in &self.conns {
+            if width_sensitive(&self.insts[conn.src].module)
+                || width_sensitive(&self.insts[conn.dst].module)
+            {
+                let a = find(&mut parent, conn.src);
+                let b = find(&mut parent, conn.dst);
+                if a != b {
+                    parent[a.max(b)] = a.min(b);
+                }
+            }
+        }
+        let mut file_of_group = vec![usize::MAX; self.insts.len()];
+        let mut next_file = 0usize;
+        let mut assignment = vec![0usize; self.insts.len()];
+        for (i, slot) in assignment.iter_mut().enumerate() {
+            let group = find(&mut parent, i);
+            if file_of_group[group] == usize::MAX {
+                file_of_group[group] = next_file % members;
+                next_file += 1;
+            }
+            *slot = file_of_group[group];
+        }
+        assignment
+    }
+
+    /// Splits the spec into a multi-file project: `members` member files
+    /// holding the instances (with their params, pins, collectors, and
+    /// intra-file connections), a `wrappers.lss` library file when the
+    /// spec uses generated `wrapN` hierarchy, and a `top.lss` root that
+    /// imports every member file and carries the cross-file connections.
+    ///
+    /// Returns `(file name, file text)` pairs; element 0 is always the
+    /// project root. The split is semantics-preserving for specs whose
+    /// ports carry at most one connection each (everything [`generate`]
+    /// emits): cross-file connections resolve at link time, so ports with
+    /// fan-in/fan-out split across files could see different lane orders.
+    pub fn render_project(&self, members: usize) -> Vec<(String, String)> {
+        let members = members.clamp(1, self.insts.len().max(1)).min(8);
+        let assignment = self.file_assignment(members);
+        let member_name = |f: usize| format!("part_{}.lss", char::from(b'a' + f as u8));
+        let has_wrappers = self.max_wrapper_depth() > 0;
+
+        let mut member_texts: Vec<String> = (0..members)
+            .map(|f| {
+                let mut out = format!(
+                    "// generated by lss-verify: seed={} member file {}/{members}\n",
+                    self.seed,
+                    f + 1
+                );
+                let uses_wrap = self
+                    .insts
+                    .iter()
+                    .enumerate()
+                    .any(|(i, inst)| assignment[i] == f && inst.module.starts_with("wrap"));
+                if has_wrappers && uses_wrap {
+                    out.push_str("import \"wrappers.lss\";\n");
+                }
+                out
+            })
+            .collect();
+        for (i, inst) in self.insts.iter().enumerate() {
+            member_texts[assignment[i]]
+                .push_str(&format!("instance {}:{};\n", inst.name, inst.module));
+        }
+        for (i, inst) in self.insts.iter().enumerate() {
+            for (key, value) in &inst.params {
+                member_texts[assignment[i]].push_str(&format!("{}.{key} = {value};\n", inst.name));
+            }
+        }
+        let mut cross = String::new();
+        for conn in &self.conns {
+            let line = format!(
+                "{}.{} -> {}.{};\n",
+                self.insts[conn.src].name, conn.src_port, self.insts[conn.dst].name, conn.dst_port
+            );
+            if assignment[conn.src] == assignment[conn.dst] {
+                member_texts[assignment[conn.src]].push_str(&line);
+            } else {
+                cross.push_str(&line);
+            }
+        }
+        for pin in &self.pins {
+            member_texts[assignment[pin.inst]].push_str(&format!(
+                "{}.{} :: {};\n",
+                self.insts[pin.inst].name, pin.port, pin.ty
+            ));
+        }
+        for coll in &self.collectors {
+            member_texts[assignment[coll.inst]].push_str(&format!(
+                "collector {} : {} = \"{}\";\n",
+                self.insts[coll.inst].name, coll.event, coll.code
+            ));
+        }
+
+        let mut root = format!(
+            "// generated by lss-verify: seed={} cycles={} project root ({members} member file(s))\n",
+            self.seed, self.cycles
+        );
+        for f in 0..members {
+            root.push_str(&format!("import \"{}\";\n", member_name(f)));
+        }
+        root.push_str(&cross);
+
+        let mut files = vec![("top.lss".to_string(), root)];
+        for (f, text) in member_texts.into_iter().enumerate() {
+            files.push((member_name(f), text));
+        }
+        if has_wrappers {
+            let mut lib = format!(
+                "// generated by lss-verify: seed={} shared wrapper modules\n",
+                self.seed
+            );
+            self.render_wrappers(&mut lib);
+            files.push(("wrappers.lss".to_string(), lib));
+        }
+        files
     }
 }
 
@@ -588,6 +747,97 @@ mod tests {
             );
             assert!(spec.insts.len() >= 2, "seed {seed} produced a trivial spec");
         }
+    }
+
+    #[test]
+    fn project_split_declares_every_instance_exactly_once() {
+        let cfg = GenConfig::default();
+        for seed in 0..30 {
+            let spec = generate(seed, &cfg);
+            for members in 1..=3 {
+                let files = spec.render_project(members);
+                assert_eq!(files[0].0, "top.lss", "seed {seed}: root must come first");
+                for inst in &spec.insts {
+                    let decl = format!("instance {}:{};\n", inst.name, inst.module);
+                    let count = files.iter().filter(|(_, t)| t.contains(&decl)).count();
+                    assert_eq!(
+                        count,
+                        1,
+                        "seed {seed}: `{}` declared {count} times",
+                        decl.trim()
+                    );
+                }
+                for (name, _) in files.iter().filter(|(n, _)| n.starts_with("part_")) {
+                    assert!(
+                        files[0].1.contains(&format!("import \"{name}\";")),
+                        "seed {seed}: root does not import {name}"
+                    );
+                }
+                // Deterministic: same spec, same split.
+                assert_eq!(files, spec.render_project(members));
+            }
+        }
+    }
+
+    #[test]
+    fn width_sensitive_connections_never_cross_files() {
+        let cfg = GenConfig {
+            specialize_pct: 100,
+            ..GenConfig::default()
+        };
+        let sensitive = |m: &str| matches!(m, "cache" | "bp" | "delayn");
+        let mut checked = 0;
+        for seed in 0..60 {
+            let spec = generate(seed, &cfg);
+            for members in 2..=3 {
+                let assignment = spec.file_assignment(members);
+                for conn in &spec.conns {
+                    if sensitive(&spec.insts[conn.src].module)
+                        || sensitive(&spec.insts[conn.dst].module)
+                    {
+                        assert_eq!(
+                            assignment[conn.src],
+                            assignment[conn.dst],
+                            "seed {seed}: width-sensitive connection {}.{} -> {}.{} crosses files",
+                            spec.insts[conn.src].name,
+                            conn.src_port,
+                            spec.insts[conn.dst].name,
+                            conn.dst_port
+                        );
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert!(checked > 0, "no width-sensitive connections generated");
+    }
+
+    #[test]
+    fn wrapper_modules_land_in_a_shared_library_file() {
+        let mut spec = Spec::empty();
+        let a = spec.inst("a", "source");
+        let b = spec.inst("b", "wrap2");
+        let c = spec.inst("c", "sink");
+        spec.connect(a, "out", b, "in");
+        spec.connect(b, "out", c, "in");
+        let files = spec.render_project(3);
+        let lib = files
+            .iter()
+            .find(|(n, _)| n == "wrappers.lss")
+            .expect("wrapper library file");
+        assert!(lib.1.contains("module wrap2 {"));
+        // Exactly one file declares the wrappers; the member holding `b`
+        // imports the library.
+        let declaring = files
+            .iter()
+            .filter(|(_, t)| t.contains("module wrap1 {"))
+            .count();
+        assert_eq!(declaring, 1);
+        let member = files
+            .iter()
+            .find(|(_, t)| t.contains("instance b:wrap2;"))
+            .expect("member holding b");
+        assert!(member.1.contains("import \"wrappers.lss\";"));
     }
 
     #[test]

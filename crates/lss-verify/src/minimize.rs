@@ -11,7 +11,9 @@
 
 use std::path::{Path, PathBuf};
 
-use crate::difftest::{difftest_source, DiffOptions, Discrepancy};
+use crate::difftest::{
+    compile_source, diff_project_vs_single, difftest_source, DiffOptions, Discrepancy,
+};
 use crate::gen::Spec;
 
 /// Outcome of a minimization run.
@@ -29,15 +31,30 @@ struct Shrinker<'a> {
     opts: &'a DiffOptions,
     tag: &'static str,
     tests_run: usize,
+    /// For `split`-class findings: the scratch directory project
+    /// candidates are written under while re-checking.
+    split_scratch: Option<PathBuf>,
 }
 
 impl Shrinker<'_> {
     /// Does `spec` still exhibit a discrepancy of the original class?
     fn check(&mut self, spec: &Spec) -> Option<Discrepancy> {
         self.tests_run += 1;
-        match difftest_source("minimize.lss", &spec.render(), self.opts) {
-            Ok(Some(d)) if d.tag() == self.tag => Some(d),
-            _ => None,
+        if let Some(scratch) = &self.split_scratch {
+            // Split findings are project-vs-single divergences: the
+            // candidate must still compile as a single file AND still
+            // disagree with its own multi-file split.
+            let (mut driver, elab) = compile_source("minimize.lss", &spec.render()).ok()?;
+            let files = spec.render_project(spec.default_members());
+            match diff_project_vs_single(&mut driver, &elab.netlist, scratch, &files, self.opts) {
+                Ok(Some(d)) if d.tag() == self.tag => Some(d),
+                _ => None,
+            }
+        } else {
+            match difftest_source("minimize.lss", &spec.render(), self.opts) {
+                Ok(Some(d)) if d.tag() == self.tag => Some(d),
+                _ => None,
+            }
         }
     }
 }
@@ -113,6 +130,9 @@ pub fn minimize(spec: &Spec, original: &Discrepancy, opts: &DiffOptions) -> Mini
         opts,
         tag: original.tag(),
         tests_run: 0,
+        split_scratch: matches!(original, Discrepancy::Split { .. }).then(|| {
+            std::env::temp_dir().join(format!("lss-verify-minimize-{}", std::process::id()))
+        }),
     };
     let (current, last) = ddmin_instances(&mut shrinker, spec);
     let (current, last) = greedy(
@@ -136,27 +156,52 @@ pub fn minimize(spec: &Spec, original: &Discrepancy, opts: &DiffOptions) -> Mini
     }
 }
 
-/// Writes a self-describing repro file for a minimized finding.
+/// Writes a self-describing repro for a minimized finding.
 ///
-/// The file is a valid `.lss` program; the discrepancy report rides along
-/// as a comment header, so replaying is just `lssc difftest <file>`.
+/// Most findings become a single valid `.lss` file replayable with
+/// `lssc difftest <file>`. A `split` finding (multi-file project build
+/// diverging from the single-file build) becomes a project *directory*
+/// — `top.lss` plus its imported member files — replayable with
+/// `lssc difftest <dir>/top.lss`; the discrepancy report rides along as
+/// a comment header either way.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors creating `dir` or writing the file.
+/// Propagates I/O errors creating `dir` or writing the file(s).
 pub fn write_repro(dir: &Path, minimized: &Minimized, item_seed: u64) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
+    let mut header = String::new();
+    for line in minimized.discrepancy.to_string().lines() {
+        header.push_str("// ");
+        header.push_str(line);
+        header.push('\n');
+    }
+    if matches!(minimized.discrepancy, Discrepancy::Split { .. }) {
+        let project = dir.join(format!("repro_seed{item_seed}_split"));
+        std::fs::create_dir_all(&project)?;
+        let files = minimized
+            .spec
+            .render_project(minimized.spec.default_members());
+        for (name, text) in &files {
+            let body = if name == &files[0].0 {
+                format!(
+                    "// Minimized fuzz repro (project split). Replay with: \
+                     lssc difftest <this dir>/top.lss\n{header}{text}"
+                )
+            } else {
+                text.clone()
+            };
+            std::fs::write(project.join(name), body)?;
+        }
+        return Ok(project);
+    }
     let path = dir.join(format!(
         "repro_seed{item_seed}_{}.lss",
         minimized.discrepancy.tag()
     ));
     let mut text = String::new();
     text.push_str("// Minimized fuzz repro. Replay with: lssc difftest <this file>\n");
-    for line in minimized.discrepancy.to_string().lines() {
-        text.push_str("// ");
-        text.push_str(line);
-        text.push('\n');
-    }
+    text.push_str(&header);
     text.push_str(&minimized.spec.render());
     std::fs::write(&path, text)?;
     Ok(path)

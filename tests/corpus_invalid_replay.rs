@@ -11,10 +11,16 @@
 //!   resource-exhaustion error, not a plain diagnostic.
 //! * `// expect-located: yes` — at least one diagnostic must point at
 //!   real source (the renderer's `-->` span line).
-//! * `// expect-code: LSSxxx` — the file compiles, but the static
-//!   analyzer must report a finding with this code (repeatable). The
-//!   `expect:`/`expect-located:` headers then match against the rendered
-//!   findings instead of a compile error.
+//! * `// expect-code: LSSxxx` — either the file compiles and the static
+//!   analyzer must report a finding with this code, or compilation fails
+//!   and a *diagnostic* must carry the code (repeatable). The
+//!   `expect:`/`expect-located:` headers then match against whichever
+//!   rendering applies.
+//!
+//! Files containing `import` declarations are compiled as project roots
+//! (their import paths resolve relative to the file, so auxiliary files
+//! live in `tests/corpus-invalid/imports/`, which the corpus walk does
+//! not descend into).
 //!
 //! Every replay additionally asserts the blanket robustness contract:
 //! compilation never panics and terminates promptly under a small step
@@ -81,25 +87,34 @@ fn parse_header(text: &str) -> Expectations {
     exp
 }
 
-fn session(name: &str, text: &str) -> Driver {
+fn session(path: &PathBuf, text: &str) -> Driver {
     let mut driver = Driver::with_corelib();
     driver.options.elab.max_steps = STEP_CAP;
     driver.set_budget(BudgetCaps {
         deadline: Some(FILE_DEADLINE),
         ..BudgetCaps::default()
     });
-    driver.add_source(name, text);
+    // Files with imports are project roots: their import closure loads
+    // relative to the file on disk. Plain files stay in-memory.
+    if text.lines().any(|l| l.trim_start().starts_with("import ")) {
+        driver
+            .add_root_file(path)
+            .expect("corpus project root readable");
+    } else {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        driver.add_source(&name, text);
+    }
     driver
 }
 
-fn compile(name: &str, text: &str) -> Result<(), DriverError> {
-    session(name, text).elaborate().map(|_| ())
+fn compile(path: &PathBuf, text: &str) -> Result<(), DriverError> {
+    session(path, text).elaborate().map(|_| ())
 }
 
 /// Compiles and analyzes; returns the findings' code ids plus the located
 /// text rendering.
-fn analyze(name: &str, text: &str) -> Result<(Vec<String>, String), DriverError> {
-    let mut driver = session(name, text);
+fn analyze(path: &PathBuf, text: &str) -> Result<(Vec<String>, String), DriverError> {
+    let mut driver = session(path, text);
     let analyzed = driver.analyze(&AnalysisConfig::default())?;
     let codes = analyzed
         .analysis
@@ -144,18 +159,22 @@ fn corpus_invalid_replays_with_expected_errors_and_no_panics() {
         let exp = parse_header(&text);
 
         if !exp.codes.is_empty() {
-            let outcome = catch_unwind(AssertUnwindSafe(|| analyze(&name, &text)));
+            let outcome = catch_unwind(AssertUnwindSafe(|| analyze(&path, &text)));
             let (codes, rendered) = match outcome {
                 Err(_) => {
                     failures.push(format!("{name}: analysis panicked"));
                     continue;
                 }
-                Ok(Err(e)) => {
-                    failures.push(format!(
-                        "{name}: failed to compile, expected analyzer findings:\n{e}"
-                    ));
-                    continue;
-                }
+                // A compile failure satisfies `expect-code:` too, as long
+                // as a diagnostic carries the code (import errors, for
+                // example, are compile errors with stable codes).
+                Ok(Err(e)) => (
+                    e.diagnostics
+                        .iter()
+                        .filter_map(|d| d.code.map(str::to_string))
+                        .collect(),
+                    e.to_string(),
+                ),
                 Ok(Ok(pair)) => pair,
             };
             for code in &exp.codes {
@@ -177,7 +196,7 @@ fn corpus_invalid_replays_with_expected_errors_and_no_panics() {
         }
 
         let start = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| compile(&name, &text)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| compile(&path, &text)));
         let elapsed = start.elapsed();
 
         if elapsed > FILE_DEADLINE + Duration::from_secs(2) {
