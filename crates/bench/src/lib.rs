@@ -57,15 +57,19 @@ pub fn delay_chain_source(n: usize, lanes: usize) -> String {
 
 /// Builds a simulator for `netlist` with the corelib registry.
 pub fn simulator(netlist: &Netlist, scheduler: lss_sim::Scheduler) -> lss_sim::Simulator {
-    lss_sim::build(
+    simulator_opts(
         netlist,
-        &lss_corelib::registry(),
         lss_sim::SimOptions {
             scheduler,
             ..Default::default()
         },
     )
-    .unwrap_or_else(|e| panic!("simulator build failed: {e}"))
+}
+
+/// Builds a simulator with full engine options (compiled kernels, threads).
+pub fn simulator_opts(netlist: &Netlist, opts: lss_sim::SimOptions) -> lss_sim::Simulator {
+    lss_sim::build(netlist, &lss_corelib::registry(), opts)
+        .unwrap_or_else(|e| panic!("simulator build failed: {e}"))
 }
 
 #[cfg(test)]

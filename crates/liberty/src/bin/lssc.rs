@@ -56,22 +56,26 @@
 //!                      flips, deadlocking custom automata) and check
 //!                      that the LSS105/LSS107 static pass and the
 //!                      runtime protocol monitor agree on every program
-//!   --mutate M         inject a known scheduler bug into the reference
-//!                      (reversed | single-pass); for exercising the
-//!                      harness, not for real verification
+//!   --mutate M         inject a known bug for exercising the harness,
+//!                      not for real verification: `reversed` and
+//!                      `single-pass` break the reference scheduler;
+//!                      `stale-commit` and `skip-barrier` break the
+//!                      compiled kernel engine's stage commits
 //!
 //! `fuzz` generates random well-formed programs, checks the heuristic type
 //! solver against exhaustive disjunct enumeration and the static-schedule
-//! engine against a naive fixpoint reference, minimizes any discrepancy
+//! engine against a naive fixpoint reference (plus the compiled kernel
+//! engine as a third cross-checked simulator), minimizes any discrepancy
 //! with delta debugging, writes the repro under --out, and exits 1.
 //!
 //! difftest options:
-//!   --cycles N         cycles to run both simulators (default 16)
+//!   --cycles N         cycles to run the simulators (default 16)
 //!   --mutate M         as for fuzz
 //!
 //! `difftest` replays .lss files (e.g. the checked-in corpus under
-//! tests/corpus/) through the same compile + dual-simulate + compare
-//! pipeline and exits 1 on the first discrepancy.
+//! tests/corpus/) through the same compile + simulate + compare pipeline —
+//! interpreter vs compiled kernel engine vs naive reference — and exits 1
+//! on the first discrepancy.
 //!
 //! Options:
 //!   --lib FILE         add FILE as a library source (counts as "from library")
@@ -80,6 +84,17 @@
 //!   --run N            simulate N cycles after compiling
 //!   --run-model        run a built-in model to completion and report CPI
 //!   --scheduler S      static (default) or dynamic
+//!   --engine E         interp (default) or compiled: the compiled engine
+//!                      lowers hot corelib behaviors to per-SCC kernels
+//!                      over the flat state arena and executes independent
+//!                      condensation stages with barrier-committed writes
+//!   --threads N        worker threads for the compiled engine's stage
+//!                      execution (default 1; traces are byte-identical
+//!                      for every value)
+//!   --batch N          with --run: simulate N lanes of the same netlist
+//!                      in lockstep, seeded 0..N-1, and print per-lane
+//!                      summaries (lane k is byte-identical to a solo
+//!                      run with --seed k)
 //!   --emit-lss         pretty-print the parsed sources in canonical form
 //!   --dump-tree        print the instance hierarchy
 //!   --dump-dot         print the flattened wire graph as GraphViz dot
@@ -318,6 +333,10 @@ struct Options {
     run: Option<u64>,
     run_model: bool,
     scheduler: Scheduler,
+    engine: liberty::Engine,
+    threads: usize,
+    /// `--batch N`: lockstep lanes seeded `0..N-1` (requires `--run`).
+    batch: Option<usize>,
     emit_lss: bool,
     dump_tree: bool,
     dump_dot: bool,
@@ -349,7 +368,8 @@ enum EmitKind {
 fn usage() -> ! {
     eprintln!(
         "usage: lssc [--lib FILE]... [--no-corelib] [--model A-F] [--run N] [--run-model]\n\
-         \x20           [--scheduler static|dynamic] [--dump-tree] [--dump-dot] [--stats]\n\
+         \x20           [--scheduler static|dynamic] [--engine interp|compiled]\n\
+         \x20           [--threads N] [--batch N] [--dump-tree] [--dump-dot] [--stats]\n\
          \x20           [--emit netlist-bin|netlist-json] [--output FILE]\n\
          \x20           [--timings] [--no-cache] [--cache-dir DIR]\n\
          \x20           [--naive-inference] [BUDGET-FLAGS] TARGET...\n\
@@ -365,8 +385,10 @@ fn usage() -> ! {
          \x20      lssc fuzz [--seed N] [--iters N] [--max-insts N] [--cycles N]\n\
          \x20           [--out DIR] [--types-only | --sim-only] [--adversarial]\n\
          \x20           [--protocols]\n\
-         \x20           [--deadline-ms N] [--mutate reversed|single-pass]\n\
-         \x20      lssc difftest [--cycles N] [--mutate reversed|single-pass]\n\
+         \x20           [--deadline-ms N]\n\
+         \x20           [--mutate reversed|single-pass|stale-commit|skip-barrier]\n\
+         \x20      lssc difftest [--cycles N]\n\
+         \x20           [--mutate reversed|single-pass|stale-commit|skip-barrier]\n\
          \x20           FILE.lss...\n\
          BUDGET-FLAGS: [--deadline-ms N] [--max-steps N] [--max-instances N]\n\
          \x20           [--max-depth N] [--solver-steps N] [--expansion-cap N]\n\
@@ -771,13 +793,33 @@ fn run_build(args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
-/// Parses a `--mutate` value, exiting with usage on nonsense.
-fn parse_mutation(arg: Option<String>) -> lss_verify::Mutation {
+/// Parses a `--mutate` value, exiting with usage on nonsense. Reference
+/// mutations (`reversed`, `single-pass`) and compiled-engine mutations
+/// (`stale-commit`, `skip-barrier`) share the flag; exactly one side of
+/// the pair is non-`None`.
+fn parse_mutation(arg: Option<String>) -> (lss_verify::Mutation, lss_verify::KernelMutation) {
     match arg.as_deref() {
-        Some("reversed") => lss_verify::Mutation::ReversedSinglePass,
-        Some("single-pass") => lss_verify::Mutation::ForwardSinglePass,
-        _ => {
-            eprintln!("--mutate needs `reversed` or `single-pass`");
+        Some("reversed") => (
+            lss_verify::Mutation::ReversedSinglePass,
+            lss_verify::KernelMutation::None,
+        ),
+        Some("single-pass") => (
+            lss_verify::Mutation::ForwardSinglePass,
+            lss_verify::KernelMutation::None,
+        ),
+        Some(other) => match lss_verify::KernelMutation::parse(other) {
+            Some(k) => (lss_verify::Mutation::None, k),
+            None => {
+                eprintln!(
+                    "--mutate needs `reversed`, `single-pass`, `stale-commit`, or `skip-barrier`"
+                );
+                usage();
+            }
+        },
+        None => {
+            eprintln!(
+                "--mutate needs `reversed`, `single-pass`, `stale-commit`, or `skip-barrier`"
+            );
             usage();
         }
     }
@@ -795,6 +837,7 @@ struct FuzzCliOptions {
     protocols: bool,
     deadline_ms: u64,
     mutation: lss_verify::Mutation,
+    kernel_mutation: lss_verify::KernelMutation,
 }
 
 fn parse_fuzz_args(args: impl Iterator<Item = String>) -> FuzzCliOptions {
@@ -810,6 +853,7 @@ fn parse_fuzz_args(args: impl Iterator<Item = String>) -> FuzzCliOptions {
         protocols: false,
         deadline_ms: 2000,
         mutation: lss_verify::Mutation::None,
+        kernel_mutation: lss_verify::KernelMutation::None,
     };
     let mut args = args;
     while let Some(arg) = args.next() {
@@ -842,7 +886,7 @@ fn parse_fuzz_args(args: impl Iterator<Item = String>) -> FuzzCliOptions {
                 Some(n) if n >= 1 => opts.deadline_ms = n,
                 _ => usage(),
             },
-            "--mutate" => opts.mutation = parse_mutation(args.next()),
+            "--mutate" => (opts.mutation, opts.kernel_mutation) = parse_mutation(args.next()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option {other}");
@@ -956,6 +1000,7 @@ fn run_fuzz_cmd(args: impl Iterator<Item = String>) -> ExitCode {
         check_sim: !opts.types_only,
         check_projects: !opts.types_only,
         mutation: opts.mutation,
+        kernel_mutation: opts.kernel_mutation,
         out_dir: opts.out,
     };
     let report = lss_verify::run_fuzz(&cfg, |line| eprintln!("{line}"));
@@ -995,6 +1040,7 @@ struct DifftestOptions {
     files: Vec<String>,
     cycles: u64,
     mutation: lss_verify::Mutation,
+    kernel_mutation: lss_verify::KernelMutation,
 }
 
 fn parse_difftest_args(args: impl Iterator<Item = String>) -> DifftestOptions {
@@ -1002,6 +1048,7 @@ fn parse_difftest_args(args: impl Iterator<Item = String>) -> DifftestOptions {
         files: Vec::new(),
         cycles: 16,
         mutation: lss_verify::Mutation::None,
+        kernel_mutation: lss_verify::KernelMutation::None,
     };
     let mut args = args;
     while let Some(arg) = args.next() {
@@ -1010,7 +1057,7 @@ fn parse_difftest_args(args: impl Iterator<Item = String>) -> DifftestOptions {
                 Some(n) if n >= 1 => opts.cycles = n,
                 _ => usage(),
             },
-            "--mutate" => opts.mutation = parse_mutation(args.next()),
+            "--mutate" => (opts.mutation, opts.kernel_mutation) = parse_mutation(args.next()),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown option {other}");
@@ -1032,6 +1079,7 @@ fn run_difftest(args: impl Iterator<Item = String>) -> ExitCode {
     let diff = lss_verify::DiffOptions {
         cycles: opts.cycles,
         mutation: opts.mutation,
+        kernel_mutation: opts.kernel_mutation,
         ..lss_verify::DiffOptions::default()
     };
     let mut failed = 0usize;
@@ -1090,6 +1138,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
         run: None,
         run_model: false,
         scheduler: Scheduler::Static,
+        engine: liberty::Engine::Interp,
+        threads: 1,
+        batch: None,
         emit_lss: false,
         dump_tree: false,
         dump_dot: false,
@@ -1126,6 +1177,22 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
             "--scheduler" => match args.next().as_deref() {
                 Some("static") => opts.scheduler = Scheduler::Static,
                 Some("dynamic") => opts.scheduler = Scheduler::Dynamic,
+                _ => usage(),
+            },
+            "--engine" => match args.next().as_deref() {
+                Some("interp") => opts.engine = liberty::Engine::Interp,
+                Some("compiled") => opts.engine = liberty::Engine::Compiled,
+                _ => {
+                    eprintln!("--engine needs `interp` or `compiled`");
+                    usage();
+                }
+            },
+            "--threads" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => opts.threads = n,
+                _ => usage(),
+            },
+            "--batch" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => opts.batch = Some(n),
                 _ => usage(),
             },
             "--emit-lss" => opts.emit_lss = true,
@@ -1172,6 +1239,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Options {
         }
     }
     if opts.files.is_empty() && opts.model.is_none() {
+        usage();
+    }
+    if opts.batch.is_some() && opts.run.is_none() {
+        eprintln!("--batch needs --run N (lockstep lanes simulate a fixed cycle count)");
         usage();
     }
     opts
@@ -1336,6 +1407,8 @@ fn real_main() -> ExitCode {
     }
     opts.budget.apply(&mut lse);
     lse.sim_options.scheduler = opts.scheduler;
+    lse.sim_options.engine = opts.engine;
+    lse.sim_options.threads = opts.threads;
 
     let timings_name = if let Some(id) = opts.model {
         let Some(model) = lss_models::model(id) else {
@@ -1487,6 +1560,36 @@ fn real_main() -> ExitCode {
                 eprintln!("{e}");
                 return ExitCode::from(1);
             }
+        }
+    } else if let (Some(cycles), Some(lanes)) = (opts.run, opts.batch) {
+        // Lockstep batch: one netlist, N lanes seeded 0..N-1. Lane k's
+        // trace is byte-identical to a solo run with seed k.
+        let seeds: Vec<i64> = (0..lanes as i64).collect();
+        let mut batch = match liberty::build_batch(
+            &compiled.netlist,
+            lse.registry(),
+            lse.sim_options.clone(),
+            &seeds,
+        ) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(1);
+            }
+        };
+        if let Err(e) = batch.run(cycles) {
+            eprintln!("batch simulation failed: {e}");
+            return ExitCode::from(1);
+        }
+        println!("batch: {lanes} lane(s), {cycles} cycles each");
+        for k in 0..batch.lane_count() {
+            let stats = batch.lane(k).stats();
+            println!(
+                "  lane {k} (seed {}): {} component evaluations, {} port firings",
+                batch.seeds()[k],
+                stats.comp_evals,
+                stats.port_firings
+            );
         }
     } else if let Some(cycles) = opts.run {
         let mut sim = match lse.simulator(&compiled.netlist) {

@@ -59,7 +59,9 @@ pub use lss_driver::{
 };
 pub use lss_interp::CompileOptions;
 pub use lss_netlist::{reuse_stats, Netlist, ReuseStats};
-pub use lss_sim::{Scheduler, SimOptions, SimStats, Simulator};
+pub use lss_sim::{
+    build_batch, BatchSim, Engine, KernelMutation, Scheduler, SimOptions, SimStats, Simulator,
+};
 pub use lss_types::SolverConfig;
 
 /// The elaborated artifact, under the name the pre-driver facade used.

@@ -1,13 +1,15 @@
 //! Basic data-movement components: sources, sinks, registers, fan-out.
 
-use lss_netlist::{EventId, RtvId};
+use lss_netlist::{EventId, KernelClass, RtvId};
 use lss_sim::{BuildError, CompCtx, CompSpec, Component, SimError};
 use lss_types::{Datum, Ty};
 
 /// `corelib/source.tar` — emits a value on every lane of `out` each cycle.
 ///
-/// For `int` ports it counts from `start`; for any other inferred type it
-/// emits the type's default value (the polymorphic case).
+/// For `int` ports it counts from `start + seed` (the seed comes from
+/// [`CompCtx::seed`], so batch lanes produce distinct streams); for any
+/// other inferred type it emits the type's default value (the polymorphic
+/// case).
 pub struct Source {
     out: usize,
     start: i64,
@@ -29,13 +31,24 @@ impl Source {
 impl Component for Source {
     fn eval(&mut self, ctx: &mut dyn CompCtx) -> Result<(), SimError> {
         let value = match self.ty {
-            Ty::Int => Datum::Int(self.start + ctx.cycle() as i64),
+            Ty::Int => Datum::Int(self.start + ctx.seed() + ctx.cycle() as i64),
             ref other => Datum::default_for(other),
         };
         for lane in 0..ctx.width(self.out) {
             ctx.set_output(self.out, lane, value.clone());
         }
         Ok(())
+    }
+
+    fn kernel_class(&self) -> Option<KernelClass> {
+        Some(KernelClass::Source {
+            out: self.out,
+            start: self.start,
+            konst: match self.ty {
+                Ty::Int => None,
+                ref other => Some(Datum::default_for(other)),
+            },
+        })
     }
 }
 
@@ -81,6 +94,10 @@ impl Component for Sink {
     fn input_is_combinational(&self, _port: usize) -> bool {
         false
     }
+
+    fn kernel_class(&self) -> Option<KernelClass> {
+        Some(KernelClass::Sink { inp: self.inp })
+    }
 }
 
 /// `corelib/delay.tar` — the paper's Figure 5 single-cycle delay element:
@@ -120,6 +137,14 @@ impl Component for Delay {
 
     fn input_is_combinational(&self, _port: usize) -> bool {
         false
+    }
+
+    fn kernel_class(&self) -> Option<KernelClass> {
+        Some(KernelClass::Delay {
+            inp: self.inp,
+            out: self.out,
+            init: self.state.clone(),
+        })
     }
 }
 
@@ -165,6 +190,13 @@ impl Component for Latch {
     fn input_is_combinational(&self, _port: usize) -> bool {
         false
     }
+
+    fn kernel_class(&self) -> Option<KernelClass> {
+        Some(KernelClass::Latch {
+            inp: self.inp,
+            out: self.out,
+        })
+    }
 }
 
 /// `corelib/tee.tar` — combinational fan-out: copies `in[0]` to every lane
@@ -192,6 +224,13 @@ impl Component for Tee {
             }
         }
         Ok(())
+    }
+
+    fn kernel_class(&self) -> Option<KernelClass> {
+        Some(KernelClass::Tee {
+            inp: self.inp,
+            out: self.out,
+        })
     }
 }
 

@@ -1,6 +1,6 @@
 //! Computation and storage components: ALU, register file, memories, cache.
 
-use lss_netlist::{EventId, UserpointId};
+use lss_netlist::{EventId, KernelAluOp, KernelClass, UserpointId};
 use lss_sim::{BuildError, CompCtx, CompSpec, Component, SimError};
 use lss_types::{Datum, Ty};
 
@@ -92,6 +92,20 @@ impl Component for Alu {
             ctx.set_output(self.res, lane, result);
         }
         Ok(())
+    }
+
+    fn kernel_class(&self) -> Option<KernelClass> {
+        Some(KernelClass::Alu {
+            a: self.a,
+            b: self.b,
+            res: self.res,
+            op: match self.op {
+                AluOp::Add => KernelAluOp::Add,
+                AluOp::Sub => KernelAluOp::Sub,
+                AluOp::Mul => KernelAluOp::Mul,
+            },
+            float: self.float_impl,
+        })
     }
 }
 

@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
-use lss_netlist::{EventId, RtvId, SrcSpan};
+use lss_netlist::{EventId, KernelClass, RtvId, SrcSpan};
 use lss_sim::{BuildError, CompCtx, CompSpec, Component, SimError};
 use lss_types::Datum;
 
@@ -579,6 +579,22 @@ impl Component for Issue {
         // `credit` is free window space — pure state, no eval input.
         output == self.out && input == self.fu_credit
     }
+
+    fn kernel_class(&self) -> Option<KernelClass> {
+        Some(KernelClass::Issue {
+            inp: self.inp,
+            credit: self.credit,
+            out: self.out,
+            fu_credit: self.fu_credit,
+            complete: self.complete,
+            window_size: self.window_size,
+            issue_width: self.issue_width,
+            in_order: self.in_order,
+            classes: self.classes.clone(),
+            group: self.contract.0.clone(),
+            span: self.contract.1,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -724,6 +740,21 @@ impl Component for Fu {
 
     fn input_is_combinational(&self, _port: usize) -> bool {
         false
+    }
+
+    fn kernel_class(&self) -> Option<KernelClass> {
+        Some(KernelClass::Fu {
+            inp: self.inp,
+            credit: self.credit,
+            done: self.done,
+            grant_in: self.grant_in,
+            mem_req: self.mem_req,
+            mem_resp: self.mem_resp,
+            pipelined: self.pipelined,
+            max_inflight: self.max_inflight,
+            group: self.contract.0.clone(),
+            span: self.contract.1,
+        })
     }
 }
 

@@ -8,7 +8,7 @@
 
 use std::collections::VecDeque;
 
-use lss_netlist::{SrcSpan, UserpointId};
+use lss_netlist::{KernelClass, SrcSpan, UserpointId};
 use lss_sim::{BuildError, CompCtx, CompSpec, Component, SimError};
 use lss_types::Datum;
 
@@ -112,6 +112,18 @@ impl Component for Queue {
     fn output_depends_on(&self, output: usize, input: usize) -> bool {
         // `credit` is free space at the start of the cycle — pure state.
         output == self.out && input == self.credit_in
+    }
+
+    fn kernel_class(&self) -> Option<KernelClass> {
+        Some(KernelClass::Queue {
+            inp: self.inp,
+            out: self.out,
+            credit: self.credit,
+            credit_in: self.credit_in,
+            depth: self.depth,
+            group: self.contract.0.clone(),
+            span: self.contract.1,
+        })
     }
 }
 

@@ -31,15 +31,23 @@ pub struct RunStats {
 ///
 /// Propagates simulator build errors as strings.
 pub fn build_sim(netlist: &Netlist, scheduler: Scheduler) -> Result<Simulator, String> {
-    build(
+    build_sim_opts(
         netlist,
-        &lss_corelib::registry(),
         SimOptions {
             scheduler,
             ..Default::default()
         },
     )
-    .map_err(|e| e.to_string())
+}
+
+/// Like [`build_sim`] but with full control over the engine options
+/// (compiled vs. interpreted engine, thread count, batch seed, ...).
+///
+/// # Errors
+///
+/// Propagates simulator build errors as strings.
+pub fn build_sim_opts(netlist: &Netlist, opts: SimOptions) -> Result<Simulator, String> {
+    build(netlist, &lss_corelib::registry(), opts).map_err(|e| e.to_string())
 }
 
 /// Runs until every fetch unit's instructions have committed (or
@@ -51,6 +59,26 @@ pub fn build_sim(netlist: &Netlist, scheduler: Scheduler) -> Result<Simulator, S
 pub fn run_to_completion(
     netlist: &Netlist,
     scheduler: Scheduler,
+    max_cycles: u64,
+) -> Result<RunStats, String> {
+    run_to_completion_opts(
+        netlist,
+        SimOptions {
+            scheduler,
+            ..Default::default()
+        },
+        max_cycles,
+    )
+}
+
+/// Like [`run_to_completion`] but with full control over engine options.
+///
+/// # Errors
+///
+/// Simulation errors and non-termination are reported as strings.
+pub fn run_to_completion_opts(
+    netlist: &Netlist,
+    opts: SimOptions,
     max_cycles: u64,
 ) -> Result<RunStats, String> {
     let commit_sym = netlist.sym("commit");
@@ -79,7 +107,7 @@ pub fn run_to_completion(
         })
         .sum();
 
-    let mut sim = build_sim(netlist, scheduler)?;
+    let mut sim = build_sim_opts(netlist, opts)?;
     let committed_total = |sim: &Simulator| -> i64 {
         commit_paths
             .iter()

@@ -31,6 +31,7 @@ pub mod dump;
 pub mod intern;
 pub mod json;
 pub mod jsonval;
+pub mod kernel;
 pub mod link;
 pub mod lint;
 pub mod netlist;
@@ -41,6 +42,7 @@ pub use binary::{from_binary, to_binary, BIN_FORMAT};
 pub use intern::{CollectorId, EventId, Interner, PortId, RtvId, SlotId, Symbol, UserpointId};
 pub use json::{from_json, from_value, to_json, JSON_FORMAT};
 pub use jsonval::{parse_json, JsonValue};
+pub use kernel::{KernelAluOp, KernelClass};
 pub use link::{link, DeferredConnection, DeferredEndpoint, LinkError, LinkUnit};
 pub use lint::{
     check_dangling_hierarchical, check_isolated, check_unbound_collectors, check_unconnected,

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use lss_netlist::{Dir, EventId, ProtocolBinding, RtvId, SrcSpan, UserpointId};
+use lss_netlist::{Dir, EventId, KernelClass, ProtocolBinding, RtvId, SrcSpan, UserpointId};
 use lss_types::{Datum, Ty};
 
 use crate::bsl::BslProgram;
@@ -230,6 +230,13 @@ impl std::error::Error for SimError {}
 pub trait CompCtx {
     /// Current cycle number (0-based).
     fn cycle(&self) -> u64;
+    /// The simulation seed (`SimOptions::seed` in the engine; batch lanes
+    /// get one seed each). Behaviors fold it into generated stimulus so
+    /// lanes diverge deterministically; contexts without a seed concept
+    /// keep the default of 0.
+    fn seed(&self) -> i64 {
+        0
+    }
     /// Reads input `port` lane `lane`. `None` when nothing was sent.
     fn input(&self, port: usize, lane: u32) -> Option<Datum>;
     /// Writes output `port` lane `lane` for this cycle.
@@ -344,6 +351,20 @@ pub trait Component {
     /// zero-delay loop.
     fn output_depends_on(&self, _output: usize, input: usize) -> bool {
         self.input_is_combinational(input)
+    }
+
+    /// The behavior's kernel lowering for the compiled engine, if any.
+    ///
+    /// Returning a [`KernelClass`] lets the compiled engine devirtualize
+    /// this instance into direct slot reads/writes over the flat value
+    /// arena (no vtable, no change-detection snapshots). The description
+    /// must mirror `eval`/`end_of_timestep` *exactly* — the kernel
+    /// equivalence suite and the differential fuzzer pin the two
+    /// implementations against each other. `None` (the default) keeps the
+    /// instance on the dyn path; the engine also declines lowerings for
+    /// instances inside combinational cycles or carrying userpoints.
+    fn kernel_class(&self) -> Option<KernelClass> {
+        None
     }
 }
 

@@ -46,6 +46,10 @@ use crate::bsl::{compile_bsl, exec, BslEnv, BslProgram};
 use crate::component::{
     BuildError, CompCtx, CompSpec, Component, ComponentRegistry, PortSpec, SimError,
 };
+use crate::exec::{
+    commit_stage, eval_stage, BatchSim, CompiledPlan, KernelMutation, SerialStep, StageInfo,
+};
+use crate::kernel::{lower, KernelUnit};
 use crate::sched::{Schedule, ScheduleStep};
 use crate::slots::SlotTable;
 
@@ -59,11 +63,37 @@ pub enum Scheduler {
     Dynamic,
 }
 
+/// Which settle-loop engine executes the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Interpret boxed `Component`s through the vtable (the baseline; obeys
+    /// [`SimOptions::scheduler`]).
+    #[default]
+    Interp,
+    /// Lower the condensation into per-SCC compiled kernels executed stage
+    /// by stage with barrier-committed writes (implies static scheduling;
+    /// behaviors without a lowering fall back to the dyn path inline).
+    Compiled,
+}
+
 /// Simulation options.
 #[derive(Debug, Clone)]
 pub struct SimOptions {
     /// Scheduler choice.
     pub scheduler: Scheduler,
+    /// Settle-loop engine choice.
+    pub engine: Engine,
+    /// Worker threads for the compiled engine's stage execution (1 =
+    /// in-line). Traces are byte-identical for every value: kernels write
+    /// through per-stage buffers committed at the stage barrier.
+    pub threads: usize,
+    /// Simulation seed, visible to behaviors via [`CompCtx::seed`] (the
+    /// corelib source folds it into its counter). Batch lanes get one seed
+    /// each; seed 0 reproduces unseeded runs exactly.
+    pub seed: i64,
+    /// Injected compiled-engine bug for differential testing
+    /// ([`KernelMutation::None`] for correct execution).
+    pub kernel_mutation: KernelMutation,
     /// Iteration cap for combinational-cycle fixpoints.
     pub max_fixpoint_iters: usize,
     /// Step budget per BSL invocation.
@@ -71,6 +101,7 @@ pub struct SimOptions {
     /// Validate every value sent on a port against the port's inferred
     /// type, failing the cycle on a violation. Catches behaviors that
     /// disagree with the static types; costs a structural check per send.
+    /// Disables kernel lowering (the check lives on the dyn write path).
     pub check_types: bool,
     /// Enforce declared port protocols (interface automata) at runtime,
     /// failing the cycle on a violated transition. The dynamic counterpart
@@ -87,6 +118,10 @@ impl Default for SimOptions {
     fn default() -> Self {
         SimOptions {
             scheduler: Scheduler::Static,
+            engine: Engine::Interp,
+            threads: 1,
+            seed: 0,
+            kernel_mutation: KernelMutation::None,
             max_fixpoint_iters: 64,
             bsl_max_steps: 1_000_000,
             check_types: false,
@@ -144,6 +179,7 @@ struct CompState {
 
 struct Core {
     cycle: u64,
+    seed: i64,
     values: Vec<Option<Datum>>,
     /// Per-slot flag: written during the current component evaluation.
     written: Vec<bool>,
@@ -168,6 +204,10 @@ struct Ctx<'a> {
 impl CompCtx for Ctx<'_> {
     fn cycle(&self) -> u64 {
         self.core.cycle
+    }
+
+    fn seed(&self) -> i64 {
+        self.core.seed
     }
 
     fn input(&self, port: usize, lane: u32) -> Option<Datum> {
@@ -310,6 +350,14 @@ pub struct Simulator {
     /// `sched_order`, so settling iterates without cloning step vectors.
     sched_steps: Vec<(usize, usize, bool)>,
     sched_order: Vec<usize>,
+    /// Compiled-engine plan (empty stages unless [`Engine::Compiled`]).
+    plan: CompiledPlan,
+    /// Lowered kernels, contiguous per stage ([`StageInfo`] windows).
+    kernels: Vec<KernelUnit>,
+    /// comp -> index into `kernels` for kernel-executed components.
+    kernel_of: Vec<Option<usize>>,
+    /// Scratch buffer for staged kernel writes, reused across stages.
+    kernel_buf: Vec<(usize, Datum)>,
     /// comp -> all output slots, flattened (eval bookkeeping).
     out_flat: Vec<Vec<usize>>,
     /// Scratch buffer for eval change detection, reused across evals.
@@ -676,7 +724,8 @@ pub fn build(
     }
     let deps = leaf_dep_graph(netlist, &wires, &comb);
     debug_assert_eq!(deps.leaves, leaf_ids, "analyzer and engine leaf order");
-    let static_schedule = Schedule::from_condensation(&deps.graph.condense());
+    let cond = deps.graph.condense();
+    let static_schedule = Schedule::from_condensation(&cond);
     let mut sched_steps = Vec::with_capacity(static_schedule.steps.len());
     let mut sched_order = Vec::with_capacity(n);
     for step in &static_schedule.steps {
@@ -689,6 +738,58 @@ pub fn build(
                 sched_steps.push((sched_order.len(), block.len(), true));
                 sched_order.extend_from_slice(block);
             }
+        }
+    }
+
+    // Compiled plan: group the condensation's SCCs into dependency stages
+    // (mutually independent units per stage) and lower each acyclic
+    // singleton whose behavior describes a kernel. Everything else — dyn
+    // behaviors, fixpoint blocks, instances with userpoints — stays on the
+    // serial interpreter path inside its stage. Type checking lives on the
+    // dyn write path, so `check_types` disables lowering wholesale.
+    let mut plan = CompiledPlan::default();
+    let mut kernels: Vec<KernelUnit> = Vec::new();
+    let mut kernel_of: Vec<Option<usize>> = vec![None; n];
+    if opts.engine == Engine::Compiled {
+        for stage_sccs in cond.stages(&deps.graph) {
+            let kstart = kernels.len();
+            let sstart = plan.serial_steps.len();
+            for &si in &stage_sccs {
+                let scc = &cond.sccs[si];
+                let cyclic = cond.cyclic[si];
+                let lowered = if !cyclic && scc.len() == 1 && !opts.check_types {
+                    let c = scc[0];
+                    if states[c].userpoints.is_empty() {
+                        comps[c].kernel_class().and_then(|class| {
+                            lower(c, &class, &out_slots[c], &in_slots[c], &mut states[c].rtvs)
+                        })
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                match lowered {
+                    Some(unit) => {
+                        kernel_of[unit.comp] = Some(kernels.len());
+                        kernels.push(unit);
+                    }
+                    None => {
+                        plan.serial_steps.push(SerialStep {
+                            start: plan.serial_order.len(),
+                            len: scc.len(),
+                            fixpoint: cyclic,
+                        });
+                        plan.serial_order.extend_from_slice(scc);
+                    }
+                }
+            }
+            plan.stages.push(StageInfo {
+                kstart,
+                klen: kernels.len() - kstart,
+                sstart,
+                slen: plan.serial_steps.len() - sstart,
+            });
         }
     }
 
@@ -830,6 +931,7 @@ pub fn build(
     Ok(Simulator {
         core: Core {
             cycle: 0,
+            seed: opts.seed,
             values: vec![None; slot_count],
             written: vec![false; slot_count],
             states,
@@ -846,6 +948,10 @@ pub fn build(
         static_schedule,
         sched_steps,
         sched_order,
+        plan,
+        kernels,
+        kernel_of,
+        kernel_buf: Vec::new(),
         out_flat,
         prev_scratch: Vec::new(),
         consumers,
@@ -864,10 +970,54 @@ pub fn build(
     })
 }
 
+/// Builds a lockstep batch: one netlist, `seeds.len()` lanes, lane `k`
+/// simulated with `SimOptions::seed = seeds[k]` (every other option shared).
+/// Lane traces are byte-identical to solo runs with the matching seed.
+///
+/// # Errors
+///
+/// Same conditions as [`build`].
+pub fn build_batch(
+    netlist: &Netlist,
+    registry: &ComponentRegistry,
+    opts: SimOptions,
+    seeds: &[i64],
+) -> Result<BatchSim, BuildError> {
+    let mut lanes = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let mut lane_opts = opts.clone();
+        lane_opts.seed = seed;
+        lanes.push(build(netlist, registry, lane_opts)?);
+    }
+    Ok(BatchSim::new(lanes, seeds.to_vec()))
+}
+
 impl Simulator {
     /// Number of leaf components.
     pub fn component_count(&self) -> usize {
         self.comps.len()
+    }
+
+    /// Number of components executing as compiled kernels (0 on the interp
+    /// engine).
+    pub fn kernel_count(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Number of dependency stages in the compiled plan (0 on the interp
+    /// engine).
+    pub fn stage_count(&self) -> usize {
+        self.plan.stages.len()
+    }
+
+    /// Per-leaf lowering outcome: `(path, lowered_to_kernel)`, in component
+    /// order. Diagnostics for tooling and the equivalence suite.
+    pub fn kernel_report(&self) -> Vec<(&str, bool)> {
+        self.paths
+            .iter()
+            .enumerate()
+            .map(|(c, p)| (p.as_str(), self.kernel_of[c].is_some()))
+            .collect()
     }
 
     /// Current cycle (number of completed cycles).
@@ -1084,16 +1234,29 @@ impl Simulator {
         for v in &mut self.core.values {
             *v = None;
         }
-        match self.opts.scheduler {
-            Scheduler::Static => self.settle_static()?,
-            Scheduler::Dynamic => self.settle_dynamic()?,
+        match (self.opts.engine, self.opts.scheduler) {
+            (Engine::Compiled, _) => self.settle_compiled()?,
+            (Engine::Interp, Scheduler::Static) => self.settle_static()?,
+            (Engine::Interp, Scheduler::Dynamic) => self.settle_dynamic()?,
         }
         self.fire_port_events()?;
         if self.opts.check_protocols {
             self.enforce_protocols()?;
         }
-        // Synchronous state update.
+        // Synchronous state update. Kernel-executed components update their
+        // devirtualized state directly (their runtime variables stay in the
+        // shared per-component table so `state_lines()` sees them); the
+        // rest take the dyn path. Lowering is gated on the instance having
+        // no userpoints, so the `end_of_timestep` userpoint hook cannot be
+        // skipped by a kernel.
         for comp in 0..self.comps.len() {
+            if let Some(k) = self.kernel_of[comp] {
+                self.kernels[k]
+                    .kernel
+                    .end_of_timestep(&self.core.values, &mut self.core.states[comp].rtvs)
+                    .map_err(|e| self.locate(comp, e))?;
+                continue;
+            }
             self.core.states[comp].in_eot = true;
             self.with_comp(comp, |c, ctx| c.end_of_timestep(ctx))
                 .map_err(|e| self.locate(comp, e))?;
@@ -1124,34 +1287,107 @@ impl Simulator {
     fn settle_static(&mut self) -> Result<(), SimError> {
         for si in 0..self.sched_steps.len() {
             let (start, len, fixpoint) = self.sched_steps[si];
-            if !fixpoint {
-                let comp = self.sched_order[start];
-                self.eval_comp(comp)?;
-                continue;
+            self.settle_window(start, len, fixpoint, false)?;
+        }
+        Ok(())
+    }
+
+    /// The component id at position `j` of the active order array: the
+    /// static schedule's, or the compiled plan's serial order.
+    fn window_comp(&self, serial: bool, j: usize) -> usize {
+        if serial {
+            self.plan.serial_order[j]
+        } else {
+            self.sched_order[j]
+        }
+    }
+
+    /// Evaluates one schedule window through the interpreter: a single
+    /// component, or a combinational-cycle fixpoint block iterated until
+    /// its outputs stop changing.
+    fn settle_window(
+        &mut self,
+        start: usize,
+        len: usize,
+        fixpoint: bool,
+        serial: bool,
+    ) -> Result<(), SimError> {
+        if !fixpoint {
+            let comp = self.window_comp(serial, start);
+            self.eval_comp(comp)?;
+            return Ok(());
+        }
+        let mut iters = 0;
+        loop {
+            let mut any = false;
+            for j in start..start + len {
+                let comp = self.window_comp(serial, j);
+                any |= self.eval_comp(comp)?;
             }
-            let mut iters = 0;
-            loop {
-                let mut any = false;
-                for j in start..start + len {
-                    let comp = self.sched_order[j];
-                    any |= self.eval_comp(comp)?;
-                }
-                if !any {
-                    break;
-                }
-                iters += 1;
-                if iters > self.opts.max_fixpoint_iters {
-                    let names: Vec<&str> = self.sched_order[start..start + len]
-                        .iter()
-                        .map(|&c| self.paths[c].as_str())
-                        .collect();
-                    return Err(SimError::new(format!(
-                        "combinational cycle did not settle after {} iterations: {}",
-                        self.opts.max_fixpoint_iters,
-                        names.join(", ")
-                    )));
-                }
+            if !any {
+                break;
             }
+            iters += 1;
+            if iters > self.opts.max_fixpoint_iters {
+                let names: Vec<&str> = (start..start + len)
+                    .map(|j| self.paths[self.window_comp(serial, j)].as_str())
+                    .collect();
+                return Err(SimError::new(format!(
+                    "combinational cycle did not settle after {} iterations: {}",
+                    self.opts.max_fixpoint_iters,
+                    names.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The compiled settle loop: per dependency stage, evaluate the
+    /// stage's kernels (in parallel when configured) with writes buffered
+    /// and committed at the stage barrier, then run the stage's serial
+    /// units through the interpreter. Stage members are mutually
+    /// independent, so the barrier commit makes the result identical to
+    /// the interpreted static schedule — at every thread count.
+    fn settle_compiled(&mut self) -> Result<(), SimError> {
+        let mut held: VecDeque<(usize, Datum)> = VecDeque::new();
+        for si in 0..self.plan.stages.len() {
+            let stage = self.plan.stages[si];
+            if stage.klen > 0 {
+                let mut buf = std::mem::take(&mut self.kernel_buf);
+                buf.clear();
+                let res = eval_stage(
+                    &mut self.kernels[stage.kstart..stage.kstart + stage.klen],
+                    &self.core.values,
+                    self.core.cycle,
+                    self.core.seed,
+                    self.opts.threads,
+                    &mut buf,
+                );
+                if let Err((comp, e)) = res {
+                    self.kernel_buf = buf;
+                    return Err(self.locate(comp, e));
+                }
+                self.stats.comp_evals += stage.klen as u64;
+                commit_stage(
+                    &mut buf,
+                    &mut self.core.values,
+                    self.opts.kernel_mutation,
+                    &mut held,
+                );
+                self.kernel_buf = buf;
+            }
+            for sj in stage.sstart..stage.sstart + stage.slen {
+                let SerialStep {
+                    start,
+                    len,
+                    fixpoint,
+                } = self.plan.serial_steps[sj];
+                self.settle_window(start, len, fixpoint, true)?;
+            }
+        }
+        // Only the skipped-barrier mutation holds writes back this long.
+        for (slot, v) in held {
+            self.core.values[slot] = Some(v);
         }
         Ok(())
     }
@@ -1198,22 +1434,25 @@ impl Simulator {
                 let has_listeners = !self.fire_listeners[comp][port].is_empty();
                 for lane in 0..lanes {
                     let slot = self.core.out_slots[comp][port][lane];
-                    let Some(value) = self.core.values[slot].clone() else {
+                    // Values are cloned only on the observation paths; the
+                    // common unobserved firing just bumps the counter.
+                    if self.core.values[slot].is_none() {
                         continue;
-                    };
+                    }
                     self.stats.port_firings += 1;
                     if watched && self.firing_log.len() < self.firing_log_cap {
+                        let value = self.core.values[slot].clone().expect("checked above");
                         self.firing_log.push(FiringRecord {
                             cycle: self.core.cycle,
                             path: self.paths[comp].clone(),
                             port: self.port_names[comp][port].clone(),
                             lane: lane as u32,
-                            value: value.clone(),
+                            value,
                         });
                     }
                     if has_listeners {
                         let args = vec![
-                            value,
+                            self.core.values[slot].clone().expect("checked above"),
                             Datum::Int(lane as i64),
                             Datum::Int(self.core.cycle as i64),
                         ];

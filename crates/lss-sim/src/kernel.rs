@@ -1,0 +1,854 @@
+//! Compiled per-component kernels: devirtualized corelib behaviors.
+//!
+//! The interpreter walks the static schedule calling `Component::eval`
+//! through a vtable, snapshotting outputs for change detection and
+//! retracting unwritten lanes — machinery only fixpoint blocks need. For
+//! the hot corelib behaviors the netlist already tells us everything at
+//! build time, so the compiled engine lowers each such component into a
+//! [`Kernel`]: a monomorphized closure over resolved port *slots* in the
+//! flat value arena. Kernel `eval` is a pure function of the arena and the
+//! kernel's own state that appends `(slot, value)` writes to a buffer; the
+//! executor (`exec.rs`) commits buffers at stage barriers, which is what
+//! makes multi-threaded stage execution deterministic.
+//!
+//! Every kernel mirrors its dyn counterpart's observable behavior exactly
+//! — same values, same `state_lines()`, same error messages. The
+//! three-way equivalence suite (workspace `tests/kernel_equivalence.rs`)
+//! and the differential fuzzer keep the two implementations pinned
+//! together.
+
+use std::collections::{HashMap, VecDeque};
+
+use lss_netlist::{KernelAluOp, KernelClass, RtvId, SrcSpan};
+use lss_types::Datum;
+
+use crate::component::SimError;
+use crate::slots::SlotTable;
+
+/// A devirtualized behavior instance: resolved slots plus private state.
+#[derive(Debug, Clone)]
+pub enum Kernel {
+    /// `corelib/source.tar`.
+    Source {
+        /// Output slots, one per `out` lane.
+        out: Vec<usize>,
+        /// Counter base (`int` overload).
+        start: i64,
+        /// Fixed value for non-`int` types; `None` selects the counter.
+        konst: Option<Datum>,
+    },
+    /// `corelib/sink.tar`.
+    Sink {
+        /// Driving slot per `in` lane (`None` = unconnected).
+        inp: Vec<Option<usize>>,
+        /// The `count` runtime variable.
+        count: RtvId,
+    },
+    /// `corelib/delay.tar`.
+    Delay {
+        /// Driving slot of `in[0]`.
+        inp0: Option<usize>,
+        /// Output slots, one per `out` lane.
+        out: Vec<usize>,
+        /// Register state.
+        state: Datum,
+    },
+    /// `corelib/latch.tar`.
+    Latch {
+        /// Driving slot per `in` lane.
+        inp: Vec<Option<usize>>,
+        /// Output slots, one per `out` lane.
+        out: Vec<usize>,
+        /// Per-lane register state.
+        state: Vec<Option<Datum>>,
+    },
+    /// `corelib/tee.tar`.
+    Tee {
+        /// Driving slot of `in[0]`.
+        inp0: Option<usize>,
+        /// Output slots, one per `out` lane.
+        out: Vec<usize>,
+    },
+    /// `corelib/queue.tar`.
+    Queue {
+        /// Driving slot per `in` lane.
+        inp: Vec<Option<usize>>,
+        /// Output slots, one per `out` lane.
+        out: Vec<usize>,
+        /// Output slots of `credit`.
+        credit: Vec<usize>,
+        /// Driving slot of `credit_in[0]` (`None` = unconnected).
+        credit_in: Option<usize>,
+        /// Buffer capacity.
+        depth: usize,
+        /// FIFO state.
+        buf: VecDeque<Datum>,
+        /// Protocol group for overflow diagnostics.
+        group: String,
+        /// Annotation span for overflow diagnostics.
+        span: Option<SrcSpan>,
+    },
+    /// `corelib/alu.tar`.
+    Alu {
+        /// Driving slot per `a` lane.
+        a: Vec<Option<usize>>,
+        /// Driving slot per `b` lane.
+        b: Vec<Option<usize>>,
+        /// Output slots, one per `res` lane.
+        res: Vec<usize>,
+        /// Operation.
+        op: KernelAluOp,
+        /// Float overload family member.
+        float: bool,
+    },
+    /// `corelib/issue.tar`.
+    Issue {
+        /// Driving slot per `in` lane.
+        inp: Vec<Option<usize>>,
+        /// Output slots of `credit`.
+        credit: Vec<usize>,
+        /// Output slots, one per `out` lane.
+        out: Vec<usize>,
+        /// Driving slot per `fu_credit` lane.
+        fu_credit: Vec<Option<usize>>,
+        /// Driving slot per `complete` lane.
+        complete: Vec<Option<usize>>,
+        /// Window capacity.
+        window_size: usize,
+        /// Maximum issues per cycle.
+        issue_width: usize,
+        /// Strict program-order issue when set.
+        in_order: bool,
+        /// Per-out-lane accepted op-class codes (0 = any).
+        classes: Vec<i64>,
+        /// The issue window.
+        window: VecDeque<FuInstr>,
+        /// In-flight destination registers (register → writers outstanding).
+        pending: HashMap<i64, u32>,
+        /// Selection computed in `eval`, reused by `end_of_timestep` (the
+        /// arena cannot change in between on a lowered component).
+        picks: Vec<(usize, u32)>,
+        /// Protocol group for overflow diagnostics.
+        group: String,
+        /// Annotation span for overflow diagnostics.
+        span: Option<SrcSpan>,
+    },
+    /// `corelib/fu.tar`.
+    Fu {
+        /// Driving slot per `in` lane.
+        inp: Vec<Option<usize>>,
+        /// Output slots of `credit`.
+        credit: Vec<usize>,
+        /// Output slots, one per `done` lane.
+        done: Vec<usize>,
+        /// Driving slot per `grant_in` lane.
+        grant_in: Vec<Option<usize>>,
+        /// Output slots of `mem_req`.
+        mem_req: Vec<usize>,
+        /// Driving slot per `mem_resp` lane.
+        mem_resp: Vec<Option<usize>>,
+        /// Accept a new instruction every cycle when set.
+        pipelined: bool,
+        /// In-flight capacity.
+        max_inflight: usize,
+        /// Instruction in the address-generation stage.
+        agen: Option<FuInstr>,
+        /// Executing instructions with remaining cycle counts.
+        in_flight: Vec<(FuInstr, i64)>,
+        /// Finished instructions awaiting the (optional) CDB grant.
+        done_buf: VecDeque<FuInstr>,
+        /// Protocol group for overflow diagnostics.
+        group: String,
+        /// Annotation span for overflow diagnostics.
+        span: Option<SrcSpan>,
+    },
+}
+
+/// The functional-unit kernel's decoded instruction — the devirtualized
+/// twin of the corelib's `Instr`, kept field-for-field identical so the
+/// kernel re-serializes instructions in the same canonical order the dyn
+/// path does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuInstr {
+    pc: i64,
+    op: i64,
+    dst: i64,
+    src1: i64,
+    src2: i64,
+    lat: i64,
+    tgt: i64,
+    taken: i64,
+}
+
+/// `OpClass::Load` / `OpClass::Store` codes from the corelib instruction
+/// model (the only op classes the functional unit inspects).
+const OP_LOAD: i64 = 4;
+const OP_STORE: i64 = 5;
+
+impl FuInstr {
+    fn from_datum(datum: &Datum) -> Option<FuInstr> {
+        let f = |name: &str| datum.field(name)?.as_int();
+        Some(FuInstr {
+            pc: f("pc")?,
+            op: f("op")?,
+            dst: f("dst")?,
+            src1: f("src1")?,
+            src2: f("src2")?,
+            lat: f("lat")?,
+            tgt: f("tgt")?,
+            taken: f("taken")?,
+        })
+    }
+
+    fn to_datum(self) -> Datum {
+        Datum::Struct(vec![
+            ("pc".into(), Datum::Int(self.pc)),
+            ("op".into(), Datum::Int(self.op)),
+            ("dst".into(), Datum::Int(self.dst)),
+            ("src1".into(), Datum::Int(self.src1)),
+            ("src2".into(), Datum::Int(self.src2)),
+            ("lat".into(), Datum::Int(self.lat)),
+            ("tgt".into(), Datum::Int(self.tgt)),
+            ("taken".into(), Datum::Int(self.taken)),
+        ])
+    }
+
+    fn is_mem(self) -> bool {
+        self.op == OP_LOAD || self.op == OP_STORE
+    }
+}
+
+/// `OpClass` codes the issue window's class constraints reference.
+const OP_IALU: i64 = 1;
+const OP_IMUL: i64 = 2;
+const OP_BRANCH: i64 = 6;
+
+/// Out-of-range op codes behave as `Nop` (code 0), mirroring
+/// `OpClass::from_code(..).unwrap_or(Nop)` on the dyn path.
+fn op_norm(op: i64) -> i64 {
+    if (0..=6).contains(&op) {
+        op
+    } else {
+        0
+    }
+}
+
+/// Mirrors the corelib's `class_accepts`: which op classes an out lane's
+/// class constraint admits (0 = any, 7 = memory, 8 = integer side).
+fn class_accepts(class: i64, op: i64) -> bool {
+    match class {
+        0 => true,
+        7 => op == OP_LOAD || op == OP_STORE,
+        8 => op == OP_IALU || op == OP_IMUL || op == OP_BRANCH,
+        c => c == op,
+    }
+}
+
+fn reg_ready(pending: &HashMap<i64, u32>, reg: i64) -> bool {
+    reg < 0 || !pending.contains_key(&reg)
+}
+
+/// The issue selection: (window index, out lane) pairs. Pure function of
+/// the settled arena and the window/scoreboard state.
+#[allow(clippy::too_many_arguments)]
+fn issue_select(
+    values: &[Option<Datum>],
+    window: &VecDeque<FuInstr>,
+    pending: &HashMap<i64, u32>,
+    fu_credit: &[Option<usize>],
+    out_lanes: usize,
+    classes: &[i64],
+    issue_width: usize,
+    in_order: bool,
+) -> Vec<(usize, u32)> {
+    let mut lane_used = vec![false; out_lanes];
+    let mut lane_credit: Vec<i64> = (0..out_lanes)
+        .map(|lane| {
+            match fu_credit
+                .get(lane)
+                .copied()
+                .flatten()
+                .and_then(|s| values[s].as_ref())
+            {
+                Some(Datum::Int(v)) => *v,
+                _ => 0,
+            }
+        })
+        .collect();
+    let mut picks = Vec::new();
+    for (i, instr) in window.iter().enumerate() {
+        if picks.len() >= issue_width {
+            break;
+        }
+        let op = op_norm(instr.op);
+        // RAW on sources; conservative WAW on destination.
+        let ready = reg_ready(pending, instr.src1)
+            && reg_ready(pending, instr.src2)
+            && reg_ready(pending, instr.dst);
+        let mut placed = false;
+        if ready {
+            for (lane, used) in lane_used.iter_mut().enumerate() {
+                if !*used
+                    && lane_credit[lane] > 0
+                    && class_accepts(*classes.get(lane).unwrap_or(&0), op)
+                {
+                    *used = true;
+                    lane_credit[lane] -= 1;
+                    picks.push((i, lane as u32));
+                    placed = true;
+                    break;
+                }
+            }
+        }
+        if in_order && !placed {
+            break; // younger instructions cannot bypass the stalled head
+        }
+    }
+    picks
+}
+
+fn fu_can_accept(
+    agen: &Option<FuInstr>,
+    in_flight: &[(FuInstr, i64)],
+    done_buf: &VecDeque<FuInstr>,
+    pipelined: bool,
+    max_inflight: usize,
+) -> bool {
+    if agen.is_some() || done_buf.len() >= max_inflight {
+        return false;
+    }
+    if pipelined {
+        in_flight.len() < max_inflight
+    } else {
+        in_flight.is_empty()
+    }
+}
+
+/// A kernel bound to its component index (for error location and
+/// `end_of_timestep` state access).
+#[derive(Debug, Clone)]
+pub struct KernelUnit {
+    /// The component this kernel executes.
+    pub comp: usize,
+    /// The devirtualized behavior.
+    pub kernel: Kernel,
+}
+
+fn read(values: &[Option<Datum>], slot: Option<usize>) -> Option<Datum> {
+    values[slot?].clone()
+}
+
+fn read_lane(values: &[Option<Datum>], row: &[Option<usize>], lane: usize) -> Option<Datum> {
+    values[row.get(lane).copied().flatten()?].clone()
+}
+
+/// Unconnected-port semantics for optional integer inputs, mirroring the
+/// corelib's `read_int_or`.
+fn read_int_or(values: &[Option<Datum>], slot: Option<usize>, default: i64) -> i64 {
+    match slot.map(|s| &values[s]) {
+        Some(Some(Datum::Int(v))) => *v,
+        _ => default,
+    }
+}
+
+fn queue_emit_count(
+    values: &[Option<Datum>],
+    buf_len: usize,
+    out_lanes: usize,
+    credit_in: Option<usize>,
+) -> usize {
+    let allowed = read_int_or(values, credit_in, out_lanes as i64).max(0) as usize;
+    buf_len.min(out_lanes).min(allowed)
+}
+
+impl Kernel {
+    /// Combinational evaluation: reads the settled arena, appends buffered
+    /// `(slot, value)` writes. Never touches the arena directly — stage
+    /// peers run concurrently over disjoint `&mut` chunks and the executor
+    /// commits `out` at the stage barrier. `&mut self` exists only so a
+    /// kernel may cache work for its own `end_of_timestep` (the issue
+    /// window's selection, for example) — a kernel runs exactly once per
+    /// cycle, after its combinational inputs are final, so such caching is
+    /// sound on the non-cyclic components the engine lowers.
+    pub fn eval(
+        &mut self,
+        values: &[Option<Datum>],
+        cycle: u64,
+        seed: i64,
+        out: &mut Vec<(usize, Datum)>,
+    ) -> Result<(), SimError> {
+        match self {
+            Kernel::Source {
+                out: lanes,
+                start,
+                konst,
+            } => {
+                let value = match konst {
+                    Some(d) => d.clone(),
+                    None => Datum::Int(*start + seed + cycle as i64),
+                };
+                for &s in lanes.iter() {
+                    out.push((s, value.clone()));
+                }
+            }
+            Kernel::Sink { .. } => {}
+            Kernel::Delay {
+                out: lanes, state, ..
+            } => {
+                for &s in lanes.iter() {
+                    out.push((s, state.clone()));
+                }
+            }
+            Kernel::Latch {
+                out: lanes, state, ..
+            } => {
+                for (lane, &s) in lanes.iter().enumerate() {
+                    if let Some(v) = state.get(lane).cloned().flatten() {
+                        out.push((s, v));
+                    }
+                }
+            }
+            Kernel::Tee { inp0, out: lanes } => {
+                if let Some(v) = read(values, *inp0) {
+                    for &s in lanes.iter() {
+                        out.push((s, v.clone()));
+                    }
+                }
+            }
+            Kernel::Queue {
+                out: lanes,
+                credit,
+                credit_in,
+                depth,
+                buf,
+                ..
+            } => {
+                let emit = queue_emit_count(values, buf.len(), lanes.len(), *credit_in);
+                for (lane, item) in buf.iter().take(emit).enumerate() {
+                    out.push((lanes[lane], item.clone()));
+                }
+                // Credit reflects space at the start of the cycle.
+                let free = (*depth - buf.len()) as i64;
+                for &s in credit.iter() {
+                    out.push((s, Datum::Int(free)));
+                }
+            }
+            Kernel::Alu {
+                a,
+                b,
+                res,
+                op,
+                float,
+            } => {
+                for (lane, &rs) in res.iter().enumerate() {
+                    let (Some(x), Some(y)) =
+                        (read_lane(values, a, lane), read_lane(values, b, lane))
+                    else {
+                        continue;
+                    };
+                    let result = if *float {
+                        let (Some(x), Some(y)) = (x.as_float(), y.as_float()) else {
+                            return Err(SimError::new("float ALU received non-float data"));
+                        };
+                        Datum::Float(match op {
+                            KernelAluOp::Add => x + y,
+                            KernelAluOp::Sub => x - y,
+                            KernelAluOp::Mul => x * y,
+                        })
+                    } else {
+                        let (Some(x), Some(y)) = (x.as_int(), y.as_int()) else {
+                            return Err(SimError::new("int ALU received non-int data"));
+                        };
+                        Datum::Int(match op {
+                            KernelAluOp::Add => x.wrapping_add(y),
+                            KernelAluOp::Sub => x.wrapping_sub(y),
+                            KernelAluOp::Mul => x.wrapping_mul(y),
+                        })
+                    };
+                    out.push((rs, result));
+                }
+            }
+            Kernel::Issue {
+                credit,
+                out: out_row,
+                fu_credit,
+                window_size,
+                issue_width,
+                in_order,
+                classes,
+                window,
+                pending,
+                picks,
+                ..
+            } => {
+                *picks = issue_select(
+                    values,
+                    window,
+                    pending,
+                    fu_credit,
+                    out_row.len(),
+                    classes,
+                    *issue_width,
+                    *in_order,
+                );
+                for &(i, lane) in picks.iter() {
+                    out.push((out_row[lane as usize], window[i].to_datum()));
+                }
+                if let Some(&s) = credit.first() {
+                    let free = (*window_size - window.len()) as i64;
+                    out.push((s, Datum::Int(free)));
+                }
+            }
+            Kernel::Fu {
+                credit,
+                done,
+                mem_req,
+                pipelined,
+                max_inflight,
+                agen,
+                in_flight,
+                done_buf,
+                ..
+            } => {
+                // Address generation: memory ops probe the cache one cycle
+                // after acceptance.
+                if let Some(instr) = agen {
+                    if instr.is_mem() {
+                        if let Some(&s) = mem_req.first() {
+                            out.push((s, Datum::Int(instr.tgt)));
+                        }
+                    }
+                }
+                if let Some(front) = done_buf.front() {
+                    for &s in done.iter() {
+                        out.push((s, front.to_datum()));
+                    }
+                }
+                if let Some(&s) = credit.first() {
+                    let ok = fu_can_accept(agen, in_flight, done_buf, *pipelined, *max_inflight);
+                    out.push((s, Datum::Int(ok as i64)));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Synchronous state update after settle, reading committed arena
+    /// values. `rtvs` is the owning component's runtime-variable table
+    /// (kernels with observable counters, like the sink, keep them visible
+    /// to `state_lines()` through it).
+    pub fn end_of_timestep(
+        &mut self,
+        values: &[Option<Datum>],
+        rtvs: &mut SlotTable,
+    ) -> Result<(), SimError> {
+        match self {
+            Kernel::Sink { inp, count } => {
+                let mut c = rtvs.value(count.index()).as_int().unwrap_or(0);
+                for s in inp.iter() {
+                    if s.is_some_and(|s| values[s].is_some()) {
+                        c += 1;
+                    }
+                }
+                rtvs.set(count.index(), Datum::Int(c));
+            }
+            Kernel::Delay { inp0, state, .. } => {
+                if let Some(v) = read(values, *inp0) {
+                    *state = v;
+                }
+            }
+            Kernel::Latch { inp, out, state } => {
+                let lanes = inp.len().max(out.len());
+                state.resize(lanes, None);
+                for (lane, slot) in state.iter_mut().enumerate() {
+                    *slot = read_lane(values, inp, lane);
+                }
+            }
+            Kernel::Queue {
+                inp,
+                out,
+                credit_in,
+                depth,
+                buf,
+                group,
+                span,
+                ..
+            } => {
+                // Pop what was consumed this cycle, then accept arrivals;
+                // overflow means the producer violated credits.
+                let emitted = queue_emit_count(values, buf.len(), out.len(), *credit_in);
+                buf.drain(..emitted);
+                for s in inp.iter() {
+                    if let Some(v) = s.and_then(|s| values[s].clone()) {
+                        if buf.len() >= *depth {
+                            return Err(SimError::protocol_violation(
+                                &*group,
+                                "queue overflow: producer sent beyond the advertised credit",
+                                *span,
+                            ));
+                        }
+                        buf.push_back(v);
+                    }
+                }
+            }
+            Kernel::Issue {
+                inp,
+                complete,
+                window_size,
+                window,
+                pending,
+                picks,
+                group,
+                span,
+                ..
+            } => {
+                // The selection was computed in this cycle's eval against
+                // the same (final) arena; reuse it instead of re-selecting.
+                let picks = std::mem::take(picks);
+                // Mark issued destinations pending, then remove from the
+                // window back-to-front so indices stay valid.
+                let mut indices: Vec<usize> = Vec::with_capacity(picks.len());
+                for (i, _) in &picks {
+                    let instr = window[*i];
+                    if instr.dst >= 0 {
+                        *pending.entry(instr.dst).or_insert(0) += 1;
+                    }
+                    indices.push(*i);
+                }
+                indices.sort_unstable_by(|a, b| b.cmp(a));
+                for i in indices {
+                    window.remove(i);
+                }
+                // Completions release destinations.
+                for s in complete.iter() {
+                    let Some(d) = s.and_then(|s| values[s].as_ref()) else {
+                        continue;
+                    };
+                    let instr = FuInstr::from_datum(d).ok_or_else(|| {
+                        SimError::new(format!("malformed instruction datum: {d}"))
+                    })?;
+                    if instr.dst >= 0 {
+                        if let Some(count) = pending.get_mut(&instr.dst) {
+                            *count -= 1;
+                            if *count == 0 {
+                                pending.remove(&instr.dst);
+                            }
+                        }
+                    }
+                }
+                // Accept arrivals.
+                for s in inp.iter() {
+                    let Some(d) = s.and_then(|s| values[s].as_ref()) else {
+                        continue;
+                    };
+                    let instr = FuInstr::from_datum(d).ok_or_else(|| {
+                        SimError::new(format!("malformed instruction datum: {d}"))
+                    })?;
+                    if window.len() >= *window_size {
+                        return Err(SimError::protocol_violation(
+                            &*group,
+                            "issue window overflow: producer sent beyond the advertised credit",
+                            *span,
+                        ));
+                    }
+                    window.push_back(instr);
+                }
+            }
+            Kernel::Fu {
+                inp,
+                grant_in,
+                mem_resp,
+                agen,
+                in_flight,
+                done_buf,
+                group,
+                span,
+                ..
+            } => {
+                // Retire the granted result (or unconditionally without an
+                // arbiter).
+                if !done_buf.is_empty() {
+                    let granted = if grant_in.is_empty() {
+                        true
+                    } else {
+                        matches!(
+                            read_lane(values, grant_in, 0),
+                            Some(Datum::Int(v)) if v != 0
+                        )
+                    };
+                    if granted {
+                        done_buf.pop_front();
+                    }
+                }
+                // Move the agen-stage instruction into execution, with its
+                // latency possibly provided by the attached memory
+                // hierarchy; then advance, so a 1-cycle operation completes
+                // in the same step it enters.
+                if let Some(instr) = agen.take() {
+                    let lat = if instr.is_mem() && !mem_resp.is_empty() {
+                        match read_lane(values, mem_resp, 0) {
+                            Some(Datum::Int(l)) => l.max(1),
+                            _ => instr.lat.max(1),
+                        }
+                    } else {
+                        instr.lat.max(1)
+                    };
+                    in_flight.push((instr, lat));
+                }
+                let mut finished = Vec::new();
+                for (i, (_, remaining)) in in_flight.iter_mut().enumerate() {
+                    *remaining -= 1;
+                    if *remaining <= 0 {
+                        finished.push(i);
+                    }
+                }
+                for &i in finished.iter().rev() {
+                    let (instr, _) = in_flight.remove(i);
+                    done_buf.push_back(instr);
+                }
+                // Accept a new instruction.
+                if let Some(d) = read_lane(values, inp, 0) {
+                    let instr = FuInstr::from_datum(&d).ok_or_else(|| {
+                        SimError::new(format!("malformed instruction datum: {d}"))
+                    })?;
+                    if agen.is_some() {
+                        return Err(SimError::protocol_violation(
+                            &*group,
+                            "functional unit overflow: producer sent beyond the advertised credit",
+                            *span,
+                        ));
+                    }
+                    *agen = Some(instr);
+                }
+            }
+            Kernel::Source { .. } | Kernel::Tee { .. } | Kernel::Alu { .. } => {}
+        }
+        Ok(())
+    }
+}
+
+/// Resolves a behavior's [`KernelClass`] self-description against the
+/// component's slot mapping. Returns `None` (leaving the component on the
+/// dyn path) when a port index is out of range — a misdescribed class must
+/// never crash the build.
+pub fn lower(
+    comp: usize,
+    class: &KernelClass,
+    out_slots: &[Vec<usize>],
+    in_slots: &[Vec<Option<usize>>],
+    rtvs: &mut SlotTable,
+) -> Option<KernelUnit> {
+    let out_row = |p: usize| out_slots.get(p).cloned();
+    let in_row = |p: usize| in_slots.get(p).cloned();
+    let kernel = match class {
+        KernelClass::Source { out, start, konst } => Kernel::Source {
+            out: out_row(*out)?,
+            start: *start,
+            konst: konst.clone(),
+        },
+        KernelClass::Sink { inp } => Kernel::Sink {
+            inp: in_row(*inp)?,
+            count: RtvId::from_index(rtvs.ensure("count", Datum::Int(0))),
+        },
+        KernelClass::Delay { inp, out, init } => Kernel::Delay {
+            inp0: in_row(*inp)?.first().copied().flatten(),
+            out: out_row(*out)?,
+            state: init.clone(),
+        },
+        KernelClass::Latch { inp, out } => Kernel::Latch {
+            inp: in_row(*inp)?,
+            out: out_row(*out)?,
+            state: Vec::new(),
+        },
+        KernelClass::Tee { inp, out } => Kernel::Tee {
+            inp0: in_row(*inp)?.first().copied().flatten(),
+            out: out_row(*out)?,
+        },
+        KernelClass::Queue {
+            inp,
+            out,
+            credit,
+            credit_in,
+            depth,
+            group,
+            span,
+        } => Kernel::Queue {
+            inp: in_row(*inp)?,
+            out: out_row(*out)?,
+            credit: out_row(*credit)?,
+            credit_in: in_row(*credit_in)?.first().copied().flatten(),
+            depth: *depth,
+            buf: VecDeque::new(),
+            group: group.clone(),
+            span: *span,
+        },
+        KernelClass::Alu {
+            a,
+            b,
+            res,
+            op,
+            float,
+        } => Kernel::Alu {
+            a: in_row(*a)?,
+            b: in_row(*b)?,
+            res: out_row(*res)?,
+            op: *op,
+            float: *float,
+        },
+        KernelClass::Issue {
+            inp,
+            credit,
+            out,
+            fu_credit,
+            complete,
+            window_size,
+            issue_width,
+            in_order,
+            classes,
+            group,
+            span,
+        } => Kernel::Issue {
+            inp: in_row(*inp)?,
+            credit: out_row(*credit)?,
+            out: out_row(*out)?,
+            fu_credit: in_row(*fu_credit)?,
+            complete: in_row(*complete)?,
+            window_size: *window_size,
+            issue_width: *issue_width,
+            in_order: *in_order,
+            classes: classes.clone(),
+            window: VecDeque::new(),
+            pending: HashMap::new(),
+            picks: Vec::new(),
+            group: group.clone(),
+            span: *span,
+        },
+        KernelClass::Fu {
+            inp,
+            credit,
+            done,
+            grant_in,
+            mem_req,
+            mem_resp,
+            pipelined,
+            max_inflight,
+            group,
+            span,
+        } => Kernel::Fu {
+            inp: in_row(*inp)?,
+            credit: out_row(*credit)?,
+            done: out_row(*done)?,
+            grant_in: in_row(*grant_in)?,
+            mem_req: out_row(*mem_req)?,
+            mem_resp: in_row(*mem_resp)?,
+            pipelined: *pipelined,
+            max_inflight: *max_inflight,
+            agen: None,
+            in_flight: Vec::new(),
+            done_buf: VecDeque::new(),
+            group: group.clone(),
+            span: *span,
+        },
+    };
+    Some(KernelUnit { comp, kernel })
+}

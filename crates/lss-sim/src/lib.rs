@@ -16,6 +16,12 @@
 //! * [`engine`] — the cycle engine with both the static scheduler and a
 //!   SystemC-style dynamic (worklist fixpoint) baseline, plus the
 //!   aspect-oriented event/collector instrumentation of §4.5;
+//! * [`kernel`] — devirtualized corelib behaviors for the compiled engine:
+//!   monomorphized slot-level kernels lowered from
+//!   [`lss_netlist::KernelClass`] metadata;
+//! * [`exec`] — the compiled engine's staged plan, barrier-committed
+//!   (optionally multi-threaded) settle loop, injected kernel mutations
+//!   for the differential harness, and lockstep batch simulation;
 //! * [`wave`] — VCD and ASCII waveform output from the firing log.
 
 #![warn(missing_docs)]
@@ -23,6 +29,8 @@
 pub mod bsl;
 pub mod component;
 pub mod engine;
+pub mod exec;
+pub mod kernel;
 pub mod sched;
 pub mod slots;
 pub mod wave;
@@ -31,7 +39,11 @@ pub use bsl::{compile_bsl, datum_binary, exec, BslEnv, BslProgram};
 pub use component::{
     BuildError, CompCtx, CompSpec, Component, ComponentRegistry, PortSpec, SimError,
 };
-pub use engine::{build, comb_info, FiringRecord, Scheduler, SimOptions, SimStats, Simulator};
+pub use engine::{
+    build, build_batch, comb_info, Engine, FiringRecord, Scheduler, SimOptions, SimStats, Simulator,
+};
+pub use exec::{BatchSim, CompiledPlan, KernelMutation};
+pub use kernel::{Kernel, KernelUnit};
 pub use sched::{schedule, Schedule, ScheduleStep};
 pub use slots::SlotTable;
 pub use wave::{to_ascii, to_vcd};

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use lss_driver::{Driver, Elaborated};
 use lss_netlist::{from_binary, from_json, to_binary, to_json, Netlist};
-use lss_sim::Scheduler;
+use lss_sim::{Engine, KernelMutation, Scheduler, SimOptions};
 
 use crate::exhaustive::TypeDiscrepancy;
 use crate::refsim::{Mutation, RefSim};
@@ -28,6 +28,12 @@ pub struct DiffOptions {
     /// Injected reference bug (mutation testing only; [`Mutation::None`]
     /// for real verification runs).
     pub mutation: Mutation,
+    /// Injected compiled-engine bug (mutation testing only;
+    /// [`KernelMutation::None`] for real verification runs). The compiled
+    /// kernel engine always runs as a third simulator cross-checked against
+    /// the interpreter, so a mutation here must surface as a
+    /// [`Discrepancy::Kernel`].
+    pub kernel_mutation: KernelMutation,
 }
 
 impl Default for DiffOptions {
@@ -36,6 +42,7 @@ impl Default for DiffOptions {
             cycles: 16,
             scheduler: Scheduler::Static,
             mutation: Mutation::None,
+            kernel_mutation: KernelMutation::None,
         }
     }
 }
@@ -72,6 +79,16 @@ pub enum Discrepancy {
         cycle: u64,
         /// The reference's error.
         error: String,
+    },
+    /// The compiled kernel engine diverges from the interpreter on the
+    /// same netlist (a lowering or stage-commit bug, not a frontend one).
+    Kernel {
+        /// First cycle whose post-step states (or step verdicts) differ
+        /// (0-based).
+        cycle: u64,
+        /// Lines present in exactly one dump (prefixed `interp:` /
+        /// `compiled:`), or a description of a step-verdict mismatch.
+        diff: Vec<String>,
     },
     /// The netlist did not survive a JSON round-trip byte-identically.
     Roundtrip {
@@ -111,6 +128,13 @@ impl std::fmt::Display for Discrepancy {
                     "reference error at cycle {cycle} (engine ran clean): {error}"
                 )
             }
+            Discrepancy::Kernel { cycle, diff } => {
+                writeln!(f, "compiled engine divergence at cycle {cycle}:")?;
+                for line in diff {
+                    writeln!(f, "  {line}")?;
+                }
+                Ok(())
+            }
             Discrepancy::Roundtrip { detail } => write!(f, "JSON round-trip: {detail}"),
             Discrepancy::Split { detail } => write!(f, "project split: {detail}"),
         }
@@ -126,6 +150,7 @@ impl Discrepancy {
             Discrepancy::Trace { .. } => "trace",
             Discrepancy::EngineError { .. } => "engine-error",
             Discrepancy::RefError { .. } => "ref-error",
+            Discrepancy::Kernel { .. } => "kernel",
             Discrepancy::Roundtrip { .. } => "roundtrip",
             Discrepancy::Split { .. } => "split",
         }
@@ -177,14 +202,21 @@ fn trace_diff(engine: &[String], reference: &[String]) -> Vec<String> {
     labeled_diff("engine:   ", engine, "reference:", reference)
 }
 
-/// Runs the compiled netlist on both simulators and compares state
-/// cycle-by-cycle.
+fn kernel_diff(interp: &[String], compiled: &[String]) -> Vec<String> {
+    labeled_diff("interp:  ", interp, "compiled:", compiled)
+}
+
+/// Runs the compiled netlist on three simulators — the interpreter, the
+/// compiled kernel engine, and the naive reference — and compares state
+/// cycle-by-cycle. A compiled-vs-interpreter mismatch is reported as
+/// [`Discrepancy::Kernel`]; an interpreter-vs-reference mismatch keeps the
+/// original `Trace`/`EngineError`/`RefError` shapes.
 ///
 /// Returns `Ok(None)` when the traces agree for all requested cycles.
 ///
 /// # Errors
 ///
-/// Only on harness-level failures (either simulator fails to *build*);
+/// Only on harness-level failures (a simulator fails to *build*);
 /// runtime divergence is a `Discrepancy`, not an error.
 pub fn diff_netlist(
     driver: &mut Driver,
@@ -193,11 +225,62 @@ pub fn diff_netlist(
 ) -> Result<Option<Discrepancy>, String> {
     driver.sim_options.scheduler = opts.scheduler;
     let mut engine = driver.simulator(netlist).map_err(|e| e.to_string())?;
+    let compiled_opts = SimOptions {
+        engine: Engine::Compiled,
+        kernel_mutation: opts.kernel_mutation,
+        ..driver.sim_options.clone()
+    };
+    let mut compiled = lss_sim::build(netlist, driver.registry(), compiled_opts)
+        .map_err(|e| format!("compiled engine build: {}", e.message))?;
     let mut reference = RefSim::build(netlist, driver.registry(), opts.mutation)
         .map_err(|e| format!("reference build: {}", e.message))?;
     for cycle in 0..opts.cycles {
         let engine_step = engine.step();
+        let compiled_step = compiled.step();
         let ref_step = reference.step();
+        // The compiled engine must mirror the interpreter exactly: same
+        // verdict, same error message, same state.
+        match (&engine_step, &compiled_step) {
+            (Ok(()), Ok(())) => {}
+            (Err(a), Err(b)) if a.message == b.message => {}
+            (Ok(()), Err(b)) => {
+                return Ok(Some(Discrepancy::Kernel {
+                    cycle,
+                    diff: vec![format!(
+                        "compiled engine failed where the interpreter ran clean: {}",
+                        b.message
+                    )],
+                }))
+            }
+            (Err(a), Ok(())) => {
+                return Ok(Some(Discrepancy::Kernel {
+                    cycle,
+                    diff: vec![format!(
+                        "interpreter failed where the compiled engine ran clean: {}",
+                        a.message
+                    )],
+                }))
+            }
+            (Err(a), Err(b)) => {
+                return Ok(Some(Discrepancy::Kernel {
+                    cycle,
+                    diff: vec![
+                        format!("interp:   error: {}", a.message),
+                        format!("compiled: error: {}", b.message),
+                    ],
+                }))
+            }
+        }
+        if engine_step.is_ok() {
+            let engine_lines = engine.state_lines();
+            let compiled_lines = compiled.state_lines();
+            if engine_lines != compiled_lines {
+                return Ok(Some(Discrepancy::Kernel {
+                    cycle,
+                    diff: kernel_diff(&engine_lines, &compiled_lines),
+                }));
+            }
+        }
         match (engine_step, ref_step) {
             (Ok(()), Ok(())) => {}
             (Err(e), Err(_)) => {

@@ -17,6 +17,7 @@ use crate::exhaustive::check_types;
 use crate::gen::{generate, GenConfig};
 use crate::minimize::{minimize, write_repro};
 use crate::refsim::Mutation;
+use lss_sim::KernelMutation;
 
 /// Configuration for a fuzzing run.
 #[derive(Debug, Clone)]
@@ -37,6 +38,9 @@ pub struct FuzzConfig {
     /// Injected reference bug (mutation testing; [`Mutation::None`] for
     /// real runs).
     pub mutation: Mutation,
+    /// Injected compiled-engine bug (mutation testing;
+    /// [`KernelMutation::None`] for real runs).
+    pub kernel_mutation: KernelMutation,
     /// Directory for minimized repro files.
     pub out_dir: PathBuf,
 }
@@ -51,6 +55,7 @@ impl Default for FuzzConfig {
             check_sim: true,
             check_projects: true,
             mutation: Mutation::None,
+            kernel_mutation: KernelMutation::None,
             out_dir: PathBuf::from("target/verify"),
         }
     }
@@ -109,6 +114,7 @@ pub fn run_fuzz(cfg: &FuzzConfig, mut log: impl FnMut(&str)) -> FuzzReport {
         let opts = DiffOptions {
             cycles: spec.cycles,
             mutation: cfg.mutation,
+            kernel_mutation: cfg.kernel_mutation,
             ..DiffOptions::default()
         };
         let discrepancy = check_one(cfg, &spec, &opts, &mut report);

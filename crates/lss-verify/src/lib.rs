@@ -53,3 +53,7 @@ pub use protocol::{
     run_protocol_fuzz, ProtocolFinding, ProtocolFuzzConfig, ProtocolFuzzReport, ProtocolMutation,
 };
 pub use refsim::{Mutation, RefSim};
+
+/// Re-exported so harness callers can inject compiled-engine bugs without
+/// depending on `lss-sim` directly.
+pub use lss_sim::KernelMutation;

@@ -5,8 +5,8 @@
 
 use lss_verify::gen::Pin;
 use lss_verify::{
-    difftest_source, generate, run_fuzz, DiffOptions, Discrepancy, FuzzConfig, GenConfig, Mutation,
-    Spec,
+    difftest_source, generate, run_fuzz, DiffOptions, Discrepancy, FuzzConfig, GenConfig,
+    KernelMutation, Mutation, Spec,
 };
 
 /// A hand-built chain with a combinational consumer: `source -> tee ->
@@ -160,6 +160,99 @@ fn minimizer_shrinks_hand_built_finding_to_three_instances() {
         "expected <= 3 instances after ddmin, got {} ({:?})",
         minimized.spec.insts.len(),
         minimized.spec.insts
+    );
+}
+
+#[test]
+fn stale_commit_kernel_mutation_is_caught_and_minimized() {
+    // The compiled engine runs as a third simulator inside every difftest;
+    // an injected stage-commit bug (the last buffered write of each stage
+    // silently dropped) must surface as a `kernel` discrepancy and shrink
+    // to a small repro, exactly like the reference-simulator mutations.
+    let out = std::env::temp_dir().join("lss-verify-kernel-mutation");
+    let _ = std::fs::remove_dir_all(&out);
+    let cfg = FuzzConfig {
+        seed: 7,
+        iters: 20,
+        kernel_mutation: KernelMutation::StaleCommit,
+        check_types: false,
+        check_projects: false,
+        out_dir: out.clone(),
+        ..FuzzConfig::default()
+    };
+    let report = run_fuzz(&cfg, |_line| {});
+    let kernel_findings: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.discrepancy.tag() == "kernel")
+        .collect();
+    assert!(
+        !kernel_findings.is_empty(),
+        "the stale-commit kernel mutation went undetected over {} programs: {:?}",
+        report.iters,
+        report.findings
+    );
+    for finding in &kernel_findings {
+        assert!(
+            finding.minimized_insts <= 10,
+            "kernel repro not minimal: {} instances (from {})",
+            finding.minimized_insts,
+            finding.original_insts
+        );
+        let path = finding.repro.as_ref().expect("repro file written");
+        let text = std::fs::read_to_string(path).expect("repro readable");
+        assert!(
+            text.contains("instance"),
+            "repro should be a runnable program"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn skip_barrier_kernel_mutation_is_caught() {
+    // The second injected kernel bug: all buffered writes held past the
+    // stage barriers and committed only after the settle pass, so any
+    // *combinational* consumer (the tee here) reads an absent value while
+    // the interpreter sees the real one. A pure delay chain cannot tell —
+    // delays sample at end-of-timestep, after the late commit — which is
+    // exactly why the repro needs the combinational hop.
+    let opts = DiffOptions {
+        kernel_mutation: KernelMutation::SkipBarrier,
+        ..DiffOptions::default()
+    };
+    let verdict = difftest_source("chain.lss", &chain_spec().render(), &opts)
+        .expect("harness-level failure")
+        .expect("a skipped barrier must diverge across a combinational tee");
+    assert!(
+        matches!(verdict, Discrepancy::Kernel { .. }),
+        "expected a kernel discrepancy, got: {verdict}"
+    );
+    // And the minimizer preserves the finding class while shrinking.
+    let minimized = lss_verify::minimize(&chain_spec(), &verdict, &opts);
+    assert!(
+        minimized.spec.insts.len() <= 3,
+        "expected <= 3 instances after ddmin, got {}",
+        minimized.spec.insts.len()
+    );
+    assert_eq!(minimized.discrepancy.tag(), "kernel");
+}
+
+#[test]
+fn kernel_mutations_do_not_confuse_the_reference_oracle() {
+    // A kernel mutation lives strictly on the compiled path: the
+    // interpreter-vs-reference comparison must still run clean, so every
+    // finding it produces is attributed to the compiled engine.
+    let opts = DiffOptions {
+        kernel_mutation: KernelMutation::StaleCommit,
+        ..DiffOptions::default()
+    };
+    let verdict = difftest_source("chain.lss", &chain_spec().render(), &opts)
+        .expect("harness-level failure")
+        .expect("a stale commit must diverge on the chain");
+    assert!(
+        matches!(verdict, Discrepancy::Kernel { .. }),
+        "mutation misattributed (should be kernel, not trace/ref): {verdict}"
     );
 }
 

@@ -1,0 +1,189 @@
+//! Kernel-equivalence harness: the compiled engine must be observationally
+//! indistinguishable from the interpreter and from the naive fixpoint
+//! reference simulator.
+//!
+//! Three-way lockstep over all six Table 3 models and every single-file
+//! fuzz-corpus entry, comparing the canonical `state_lines()` dump after
+//! every cycle; plus a determinism check that the compiled engine's trace
+//! is byte-identical at `--threads 1`, `2`, and `8`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use lss_interp::CompileOptions;
+use lss_models::{compile_model, compile_source, models};
+use lss_netlist::Netlist;
+use lss_sim::{build, Engine, Scheduler, SimOptions, Simulator};
+use lss_verify::{Mutation, RefSim};
+
+const CYCLES: u64 = 50;
+
+fn interp_opts() -> SimOptions {
+    SimOptions {
+        scheduler: Scheduler::Static,
+        ..Default::default()
+    }
+}
+
+fn compiled_opts(threads: usize) -> SimOptions {
+    SimOptions {
+        scheduler: Scheduler::Static,
+        engine: Engine::Compiled,
+        threads,
+        ..Default::default()
+    }
+}
+
+fn build_engine(netlist: &Netlist, opts: SimOptions) -> Simulator {
+    build(netlist, &lss_corelib::registry(), opts).expect("engine build")
+}
+
+/// Steps all three simulators in lockstep, comparing `state_lines()` after
+/// every cycle. Returns an error message naming the first divergence.
+fn three_way(netlist: &Netlist, name: &str, cycles: u64) -> Result<(), String> {
+    let registry = lss_corelib::registry();
+    let mut interp = build_engine(netlist, interp_opts());
+    let mut compiled = build_engine(netlist, compiled_opts(1));
+    let mut reference =
+        RefSim::build(netlist, &registry, Mutation::None).map_err(|e| format!("{name}: {e}"))?;
+    reference.init().map_err(|e| format!("{name}: {e}"))?;
+    for cycle in 0..cycles {
+        // All three must agree on success/failure as well as on state.
+        let ri = interp.step();
+        let rc = compiled.step();
+        let rr = reference.step();
+        match (&ri, &rc, &rr) {
+            (Ok(()), Ok(()), Ok(())) => {}
+            (Err(a), Err(b), Err(c)) => {
+                let (a, b, c) = (a.to_string(), b.to_string(), c.to_string());
+                if a == b && b == c {
+                    return Ok(()); // agreed failure: equivalent behavior
+                }
+                return Err(format!(
+                    "{name} cycle {cycle}: engines disagree on error:\n  interp:   {a}\n  compiled: {b}\n  refsim:   {c}"
+                ));
+            }
+            _ => {
+                return Err(format!(
+                    "{name} cycle {cycle}: engines disagree on success: interp={ri:?} compiled={rc:?} refsim={rr:?}"
+                ));
+            }
+        }
+        let li = interp.state_lines();
+        let lc = compiled.state_lines();
+        let lr = reference.state_lines();
+        if li != lc {
+            let diff = first_diff(&li, &lc);
+            return Err(format!(
+                "{name} cycle {cycle}: compiled diverges from interp:\n{diff}"
+            ));
+        }
+        if li != lr {
+            let diff = first_diff(&li, &lr);
+            return Err(format!(
+                "{name} cycle {cycle}: refsim diverges from interp:\n{diff}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn first_diff(a: &[String], b: &[String]) -> String {
+    for i in 0..a.len().max(b.len()) {
+        let la = a.get(i).map(String::as_str).unwrap_or("<missing>");
+        let lb = b.get(i).map(String::as_str).unwrap_or("<missing>");
+        if la != lb {
+            return format!("  line {i}:\n    left:  {la}\n    right: {lb}");
+        }
+    }
+    "  (no line diff — lengths equal?)".to_string()
+}
+
+#[test]
+fn all_table3_models_agree_three_ways() {
+    let mut failures = Vec::new();
+    for m in models() {
+        let compiled =
+            compile_model(m).unwrap_or_else(|e| panic!("model {} failed to compile:\n{e}", m.id));
+        if let Err(e) = three_way(&compiled.netlist, &format!("model {}", m.id), CYCLES) {
+            failures.push(e);
+        }
+    }
+    assert!(failures.is_empty(), "divergences:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn all_table3_models_lower_kernels() {
+    // The compiled engine must actually be compiled: on every Table 3
+    // model the bulk of the leaves lower to kernels (the whole point of
+    // the engine — the dyn fallback is for the exotic residue).
+    for m in models() {
+        let compiled = compile_model(m).expect("compile");
+        let sim = build_engine(&compiled.netlist, compiled_opts(1));
+        assert!(
+            sim.kernel_count() * 3 >= compiled.netlist.leaves().count(),
+            "model {}: only {} of {} leaves lowered to kernels",
+            m.id,
+            sim.kernel_count(),
+            compiled.netlist.leaves().count()
+        );
+        assert!(sim.stage_count() > 1, "model {}: no staging", m.id);
+    }
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> =
+        fs::read_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus"))
+            .expect("tests/corpus must exist")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "lss"))
+            .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_agrees_three_ways() {
+    let mut failures = Vec::new();
+    for path in corpus_files() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = fs::read_to_string(&path).expect("corpus file readable");
+        let compiled = match compile_source(&text, &CompileOptions::default()) {
+            Ok(c) => c,
+            Err(_) => continue, // invalid corpus entries are covered elsewhere
+        };
+        if let Err(e) = three_way(&compiled.netlist, &name, 30) {
+            failures.push(e);
+        }
+    }
+    assert!(failures.is_empty(), "divergences:\n{}", failures.join("\n"));
+}
+
+/// Runs the compiled engine and returns its per-cycle trace as one string.
+fn compiled_trace(netlist: &Netlist, threads: usize, cycles: u64) -> String {
+    let mut sim = build_engine(netlist, compiled_opts(threads));
+    let mut out = String::new();
+    for cycle in 0..cycles {
+        sim.step().expect("step");
+        out.push_str(&format!("cycle {cycle}\n"));
+        for line in sim.state_lines() {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn thread_count_does_not_change_the_trace() {
+    // Model C is the largest (two superscalar cores); ~40 cycles of its
+    // trace must be byte-identical at 1, 2 and 8 worker threads.
+    let m = lss_models::model('C').expect("model C");
+    let compiled = compile_model(m).expect("compile");
+    let t1 = compiled_trace(&compiled.netlist, 1, 40);
+    let t2 = compiled_trace(&compiled.netlist, 2, 40);
+    let t8 = compiled_trace(&compiled.netlist, 8, 40);
+    assert!(t1 == t2, "threads=2 trace differs from threads=1");
+    assert!(t1 == t8, "threads=8 trace differs from threads=1");
+}
