@@ -150,6 +150,66 @@ if ! grep -q 'LSS4' <<<"${smoke_err}"; then
   exit 1
 fi
 
+echo "==> service: lssd daemon multi-client smoke + chaos canaries (docs/SERVICE.md)"
+rm -rf target/lss-cache-ci-daemon target/lssd-ci-addr
+./target/release/lssd --tcp 127.0.0.1:0 --print-addr \
+  --cache-dir target/lss-cache-ci-daemon --chaos > target/lssd-ci-addr &
+LSSD_PID=$!
+kill_lssd() { kill "${LSSD_PID}" 2>/dev/null || true; }
+trap kill_lssd EXIT
+for _ in $(seq 100); do [ -s target/lssd-ci-addr ] && break; sleep 0.05; done
+LSSD_ADDR="$(cat target/lssd-ci-addr)"
+lsscli() { ./target/release/lssc client --tcp "${LSSD_ADDR}" "$@"; }
+# Models A-F compiled and simulated by concurrent clients; every request
+# must succeed (shed requests retry with backoff inside the client).
+pids=()
+for m in A B C D E F; do
+  lsscli --model "$m" compile >/dev/null &
+  pids+=($!)
+  lsscli --model "$m" --cycles 200 simulate >/dev/null &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do wait "${pid}"; done
+# Daemon compiles must be byte-identical to a one-shot lssc build.
+lsscli --model A --netlist compile > target/lssd-ci-daemon.json
+./target/release/lssc --model A --no-cache \
+  --emit netlist-json --output target/lssd-ci-oneshot.json >/dev/null
+cmp target/lssd-ci-daemon.json target/lssd-ci-oneshot.json
+# Chaos canary 1: a worker panic is answered as `ice` (exit 4), then the
+# daemon keeps serving.
+set +e
+lsscli chaos worker-panic >/dev/null 2>&1
+panic_code=$?
+set -e
+if [ "${panic_code}" -ne 4 ]; then
+  echo "service: worker panic should map to exit 4, got ${panic_code}" >&2
+  exit 1
+fi
+# Chaos canary 2: a truncated frame (header promises more than is sent)
+# costs only that connection.
+exec 3<>"/dev/tcp/${LSSD_ADDR%:*}/${LSSD_ADDR##*:}"
+printf '\x00\x00\x00\x64partial' >&3
+exec 3>&- 3<&-
+lsscli ping >/dev/null
+# Quota shed: a runaway simulate is stopped with the LSS408 budget code
+# (exit 3), not by killing the worker.
+set +e
+lsscli --model A --cycles 1000000 --max-cycles 50 simulate >/dev/null 2>&1
+budget_code=$?
+set -e
+if [ "${budget_code}" -ne 3 ]; then
+  echo "service: cycle-capped simulate should exit 3, got ${budget_code}" >&2
+  exit 1
+fi
+# Graceful drain: SIGTERM must finish in-flight work and exit 0.
+kill -TERM "${LSSD_PID}"
+wait "${LSSD_PID}"
+trap - EXIT
+rm -f target/lssd-ci-addr target/lssd-ci-daemon.json target/lssd-ci-oneshot.json
+
+echo "==> service: BENCH_service.json (req/sec + latency ladders, shedding gate)"
+cargo run --release -q -p bench --bin service
+
 echo "==> verify: corpus replay through both oracles (incl. multi-file projects)"
 ./target/release/lssc difftest tests/corpus/*.lss tests/corpus/project_*
 

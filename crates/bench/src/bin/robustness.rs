@@ -44,6 +44,7 @@ fn main() {
         deadline: Some(Duration::from_secs(600)),
         max_depth: Some(10_000),
         max_netlist_items: Some(100_000_000),
+        max_sim_cycles: Some(u64::MAX),
     };
 
     // Scheduler/allocator jitter on a shared machine swamps the real
@@ -71,6 +72,57 @@ fn main() {
     let (off, on) = kept.unwrap_or_else(|| {
         panic!("budget governance must cost < 3% on the Table 3 sweep in one of 3 attempts")
     });
+    samples.push(off);
+    samples.push(on);
+
+    // Simulation budget overhead: the same Table 3 sweep run for 500
+    // cycles with no budget versus with the cycle cap and deadline armed
+    // far above need — every per-step check executes, none trips. The
+    // cycle check is one integer compare and the deadline poll is
+    // strided, so the design bar is < 1% on the noise-robust minimum,
+    // with the same three-attempt jitter allowance as above.
+    let compiled: Vec<_> = models().iter().map(bench::compiled_model).collect();
+    let sim_sweep = |budget: Option<&lss_types::Budget>| {
+        for model in &compiled {
+            let opts = lss_sim::SimOptions {
+                budget: budget.cloned().unwrap_or_else(lss_types::Budget::unlimited),
+                ..Default::default()
+            };
+            let mut sim = bench::simulator_opts(&model.netlist, opts);
+            sim.run(500).unwrap();
+            std::hint::black_box(sim.stats().comp_evals);
+        }
+    };
+    // The true overhead is far below the scheduler noise band on a
+    // shared machine, so the gate compares *accumulated minima*: noise
+    // only ever inflates a run, so the min across attempts converges to
+    // the real cost while single-attempt ratios bounce around it.
+    let mut kept = None;
+    let (mut min_off, mut min_on) = (u64::MAX, u64::MAX);
+    for attempt in 1..=5 {
+        let off = measure("robustness/table3_sim_500cycles_budget_off", 1, 10, || {
+            sim_sweep(None);
+        });
+        let armed_sim = armed.start();
+        let on = measure("robustness/table3_sim_500cycles_budget_on", 1, 10, || {
+            sim_sweep(Some(&armed_sim));
+        });
+        min_off = min_off.min(off.min_ns);
+        min_on = min_on.min(on.min_ns);
+        let overhead = min_on as f64 / min_off as f64 - 1.0;
+        println!(
+            "sim budget-check overhead (attempt {attempt}, accumulated min): {:.2}%",
+            overhead * 100.0
+        );
+        kept = Some((off, on));
+        if overhead < 0.01 {
+            break;
+        }
+        if attempt == 5 {
+            panic!("sim budget checks must cost < 1% on the Table 3 sweep (got {overhead:.4})");
+        }
+    }
+    let (off, on) = kept.expect("at least one attempt ran");
     samples.push(off);
     samples.push(on);
 

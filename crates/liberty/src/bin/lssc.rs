@@ -209,6 +209,7 @@ struct BudgetFlags {
     solver_steps: Option<u64>,    // LSS405
     expansion_cap: Option<usize>, // LSS406
     max_netlist: Option<u64>,     // LSS407
+    max_cycles: Option<u64>,      // LSS408
 }
 
 impl BudgetFlags {
@@ -229,6 +230,7 @@ impl BudgetFlags {
             "--solver-steps" => self.solver_steps = Some(num(args)),
             "--expansion-cap" => self.expansion_cap = Some(num(args)),
             "--max-netlist" => self.max_netlist = Some(num(args)),
+            "--max-cycles" => self.max_cycles = Some(num(args)),
             _ => return false,
         }
         true
@@ -257,6 +259,7 @@ impl BudgetFlags {
             deadline: self.deadline_ms.map(std::time::Duration::from_millis),
             max_depth: self.max_depth,
             max_netlist_items: self.max_netlist,
+            max_sim_cycles: self.max_cycles,
         };
         if caps != BudgetCaps::default() {
             driver.set_budget(caps);
@@ -390,9 +393,14 @@ fn usage() -> ! {
          \x20      lssc difftest [--cycles N]\n\
          \x20           [--mutate reversed|single-pass|stale-commit|skip-barrier]\n\
          \x20           FILE.lss...\n\
+         \x20      lssc client (--connect SOCKET | --tcp ADDR) [--model A-F]\n\
+         \x20           [--lib FILE]... [--cycles N] [--no-retry] [BUDGET-FLAGS]\n\
+         \x20           VERB [FILE.lss...]\n\
+         \x20           (VERB: ping, stats, shutdown, compile, check, simulate,\n\
+         \x20            difftest, chaos FAULT; talks to a running lssd)\n\
          BUDGET-FLAGS: [--deadline-ms N] [--max-steps N] [--max-instances N]\n\
          \x20           [--max-depth N] [--solver-steps N] [--expansion-cap N]\n\
-         \x20           [--max-netlist N]\n\
+         \x20           [--max-netlist N] [--max-cycles N]\n\
          exit codes: 0 ok, 1 findings/compile error, 2 usage,\n\
          \x20           3 resource budget exhausted, 4 internal compiler error"
     );
@@ -1129,6 +1137,180 @@ fn run_difftest(args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+/// `lssc client`: the thin-client mode talking to a running `lssd`.
+/// Same exit-code contract as one-shot compilation (0 ok, 1 error or
+/// discrepancy, 2 usage, 3 budget exhausted, 4 daemon-side ICE), so
+/// scripts can swap `lssc FILE` for `lssc client ... compile FILE`
+/// without changing their error handling. Shed requests (`busy` after
+/// all retries) exit 75, the conventional "temporary failure; retry".
+fn run_client(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut endpoint: Option<lssd::Endpoint> = None;
+    let mut budget = BudgetFlags::default();
+    let mut libs: Vec<String> = Vec::new();
+    let mut cycles: Option<u64> = None;
+    let mut retry = true;
+    let mut dump_netlist = false;
+    let mut model: Option<char> = None;
+    let mut verb: Option<lssd::Verb> = None;
+    let mut fault: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if budget.try_parse(&arg, &mut args) {
+            continue;
+        }
+        match arg.as_str() {
+            "--connect" => match args.next() {
+                Some(path) => endpoint = Some(lssd::Endpoint::Unix(path.into())),
+                None => usage(),
+            },
+            "--tcp" => match args.next() {
+                Some(addr) => endpoint = Some(lssd::Endpoint::Tcp(addr)),
+                None => usage(),
+            },
+            "--lib" => match args.next() {
+                Some(file) => libs.push(file),
+                None => usage(),
+            },
+            "--cycles" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => cycles = Some(n),
+                None => usage(),
+            },
+            "--model" => {
+                match args.next().and_then(|m| {
+                    let mut chars = m.chars();
+                    chars.next().filter(|_| chars.next().is_none())
+                }) {
+                    Some(id) => model = Some(id.to_ascii_uppercase()),
+                    None => usage(),
+                }
+            }
+            "--no-retry" => retry = false,
+            "--netlist" => dump_netlist = true,
+            other if verb.is_none() => match lssd::Verb::parse(other) {
+                Some(v) => verb = Some(v),
+                None => usage(),
+            },
+            other if verb == Some(lssd::Verb::Chaos) && fault.is_none() => {
+                fault = Some(other.to_string());
+            }
+            other if !other.starts_with('-') => files.push(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let (Some(endpoint), Some(verb)) = (endpoint, verb) else {
+        usage();
+    };
+
+    let mut request = lssd::Request::new(verb);
+    request.model = model;
+    request.fault = fault;
+    if let Some(n) = cycles {
+        request.cycles = n;
+    }
+    request.quota = lssd::Quota {
+        deadline_ms: budget.deadline_ms,
+        max_steps: budget.max_steps,
+        max_instances: budget.max_instances.map(|n| n as u64),
+        max_depth: budget.max_depth,
+        solver_steps: budget.solver_steps,
+        expansion_cap: budget.expansion_cap.map(|n| n as u64),
+        max_netlist: budget.max_netlist,
+        max_cycles: budget.max_cycles,
+    };
+    for (dest, names) in [(&mut request.libs, &libs), (&mut request.sources, &files)] {
+        for name in names {
+            match std::fs::read_to_string(name) {
+                Ok(text) => dest.push((name.clone(), text)),
+                Err(e) => {
+                    eprintln!("cannot read {name}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    let mut client = match lssd::Client::connect(&endpoint) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cannot connect to lssd: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let sent = if retry {
+        client.request_with_retry(&request)
+    } else {
+        client.request(&request)
+    };
+    let response = match sent {
+        Ok(value) => value,
+        Err(e) => {
+            eprintln!("client error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let status = response
+        .get("status")
+        .and_then(lss_netlist::jsonval::JsonValue::as_str)
+        .unwrap_or("")
+        .to_string();
+    if let Some(error) = response
+        .get("error")
+        .and_then(lss_netlist::jsonval::JsonValue::as_str)
+    {
+        eprintln!("{status}: {error}");
+    }
+    if dump_netlist {
+        // The raw netlist JSON, byte-identical to `--emit netlist-json`
+        // from a one-shot build (pinned by the chaos suite and ci.sh).
+        if let Some(netlist) = response
+            .get("netlist")
+            .and_then(lss_netlist::jsonval::JsonValue::as_str)
+        {
+            print!("{netlist}");
+        }
+    } else if let lss_netlist::jsonval::JsonValue::Object(members) = &response {
+        for (key, value) in members {
+            if key == "netlist" {
+                if let Some(text) = value.as_str() {
+                    println!("netlist: {} bytes (print with --netlist)", text.len());
+                }
+                continue;
+            }
+            match value {
+                lss_netlist::jsonval::JsonValue::Str(s) => println!("{key}: {s}"),
+                other => println!("{key}: {other}"),
+            }
+        }
+    }
+
+    match status.as_str() {
+        "ok" => {
+            // `difftest` disagreement and `check` findings are failures
+            // even though the daemon served them fine.
+            let disagree = response
+                .get("agree")
+                .is_some_and(|v| matches!(v, lss_netlist::jsonval::JsonValue::Bool(false)));
+            let findings = response
+                .get("errors")
+                .and_then(lss_netlist::jsonval::JsonValue::as_i64)
+                .unwrap_or(0);
+            if disagree || findings > 0 {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        "budget" => ExitCode::from(3),
+        "ice" => ExitCode::from(4),
+        "bad-request" => ExitCode::from(2),
+        "busy" => ExitCode::from(75),
+        _ => ExitCode::from(1),
+    }
+}
+
 fn parse_args(args: impl Iterator<Item = String>) -> Options {
     let mut opts = Options {
         files: Vec::new(),
@@ -1386,6 +1568,10 @@ fn real_main() -> ExitCode {
             argv.next();
             return run_difftest(argv);
         }
+        Some("client") => {
+            argv.next();
+            return run_client(argv);
+        }
         _ => {}
     }
     let opts = parse_args(argv);
@@ -1579,7 +1765,7 @@ fn real_main() -> ExitCode {
         };
         if let Err(e) = batch.run(cycles) {
             eprintln!("batch simulation failed: {e}");
-            return ExitCode::from(1);
+            return ExitCode::from(if e.budget_code().is_some() { 3 } else { 1 });
         }
         println!("batch: {lanes} lane(s), {cycles} cycles each");
         for k in 0..batch.lane_count() {
@@ -1604,7 +1790,10 @@ fn real_main() -> ExitCode {
         }
         if let Err(e) = sim.run(cycles) {
             eprintln!("simulation failed: {e}");
-            return ExitCode::from(1);
+            // A budget-tagged stop (LSS408 cycle cap, LSS401 deadline) is
+            // resource exhaustion, not a model failure: exit 3, like the
+            // compile-time budgets.
+            return ExitCode::from(if e.budget_code().is_some() { 3 } else { 1 });
         }
         let stats = sim.stats();
         println!(

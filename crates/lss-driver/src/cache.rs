@@ -31,9 +31,15 @@
 //! caller falls back to a clean rebuild. A corrupt cache can cost time,
 //! never correctness.
 //!
-//! Writes go through a per-process temp file renamed into place, so
-//! parallel `lssc build --jobs` workers racing on the same entry end with
-//! one winner and no torn files.
+//! Writes go through a per-process temp file *hard-linked* into place:
+//! `link(2)` fails with `EEXIST` when the entry already exists, so when
+//! parallel `lssc build --jobs` workers or concurrent `lssd` sessions
+//! race on the same key, exactly one writer publishes (its [`store`]
+//! returns `true`) and the rest observe the winner's entry — no torn
+//! files, no double writes. Corrupt entries never block republishing:
+//! [`load`]/[`load_unit`] remove an entry whose *bytes* are demonstrably
+//! bad (decode failure, integrity mismatch) before reporting the error,
+//! so the caller's rebuild finds the slot free.
 
 use std::path::{Path, PathBuf};
 
@@ -164,20 +170,45 @@ pub fn memo_entry_path(dir: &Path, key: u64) -> PathBuf {
     dir.join(format!("p{key:016x}.bin"))
 }
 
-fn write_atomic(dir: &Path, path: &Path, out: &[u8]) -> Result<(), String> {
-    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+fn tmp_path(dir: &Path, path: &Path) -> PathBuf {
     let stem = path.file_name().map(|n| n.to_string_lossy().into_owned());
-    let tmp = dir.join(format!(
+    dir.join(format!(
         ".{}.{}.tmp",
         stem.unwrap_or_default(),
         std::process::id()
-    ));
+    ))
+}
+
+/// Last-writer-wins atomic write (temp file + rename). Used for memo
+/// entries, where overwriting is the desired semantics.
+fn write_atomic(dir: &Path, path: &Path, out: &[u8]) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let tmp = tmp_path(dir, path);
     std::fs::write(&tmp, out).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
     std::fs::rename(&tmp, path).map_err(|e| {
         let _ = std::fs::remove_file(&tmp);
         format!("cannot publish {}: {e}", path.display())
     })?;
     Ok(())
+}
+
+/// Exactly-once atomic publish: writes `out` to a per-process temp file
+/// and hard-links it into place. `link(2)` is atomic and fails with
+/// `EEXIST` when the destination exists, so among any number of racing
+/// writers exactly one publishes. Returns `Ok(true)` for the winner,
+/// `Ok(false)` when another writer already published this entry (which
+/// is success — the bytes under a content-addressed key are equivalent).
+fn publish_once(dir: &Path, path: &Path, out: &[u8]) -> Result<bool, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let tmp = tmp_path(dir, path);
+    std::fs::write(&tmp, out).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    let linked = std::fs::hard_link(&tmp, path);
+    let _ = std::fs::remove_file(&tmp);
+    match linked {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(false),
+        Err(e) => Err(format!("cannot publish {}: {e}", path.display())),
+    }
 }
 
 fn read_entry(path: &Path) -> Result<Option<Vec<u8>>, String> {
@@ -305,8 +336,11 @@ fn read_solve_stats(r: &mut Reader<'_>) -> Result<SolveStats, String> {
 /// Returns `Ok(None)` for a clean miss (no file). Every other failure —
 /// unreadable file, decode error, version or key mismatch, netlist hash
 /// mismatch, a leftover format-1 JSON entry — is an `Err` describing the
-/// problem; the caller must rebuild from sources and should overwrite the
-/// entry.
+/// problem; the caller must rebuild from sources. Entries whose *bytes*
+/// are demonstrably corrupt (decode or integrity failure, as opposed to
+/// an I/O error where the file may be fine) are removed before the error
+/// is returned, so the rebuild's [`store`] finds the slot free and the
+/// exactly-once publish cannot be wedged by a torn entry.
 pub fn load(dir: &Path, key: u64) -> Result<Option<CachedBuild>, String> {
     let path = entry_path(dir, key);
     let Some(bytes) = read_entry(&path)? else {
@@ -324,36 +358,45 @@ pub fn load(dir: &Path, key: u64) -> Result<Option<CachedBuild>, String> {
         }
         return Ok(None);
     };
-    let mut r = Reader::new(&bytes);
-    read_head(&mut r, &path, BUILD_MAGIC, key)?;
-    let solve_stats = read_solve_stats(&mut r)
-        .map_err(|e| format!("corrupt cache entry {}: {e}", path.display()))?;
-    let prints =
-        read_prints(&mut r).map_err(|e| format!("corrupt cache entry {}: {e}", path.display()))?;
-    let netlist = read_netlist(&mut r, &path)?;
-    if !r.at_end() {
-        return Err(format!(
-            "cache entry {} has {} trailing byte(s)",
-            path.display(),
-            r.remaining()
-        ));
-    }
-    Ok(Some(CachedBuild {
-        netlist,
-        solve_stats,
-        prints,
-    }))
+    let decode = || -> Result<CachedBuild, String> {
+        let mut r = Reader::new(&bytes);
+        read_head(&mut r, &path, BUILD_MAGIC, key)?;
+        let solve_stats = read_solve_stats(&mut r)
+            .map_err(|e| format!("corrupt cache entry {}: {e}", path.display()))?;
+        let prints = read_prints(&mut r)
+            .map_err(|e| format!("corrupt cache entry {}: {e}", path.display()))?;
+        let netlist = read_netlist(&mut r, &path)?;
+        if !r.at_end() {
+            return Err(format!(
+                "cache entry {} has {} trailing byte(s)",
+                path.display(),
+                r.remaining()
+            ));
+        }
+        Ok(CachedBuild {
+            netlist,
+            solve_stats,
+            prints,
+        })
+    };
+    decode().map(Some).inspect_err(|_| {
+        // Self-heal: the bytes are demonstrably bad, so drop the entry
+        // and let the caller's rebuild republish into the free slot.
+        let _ = std::fs::remove_file(&path);
+    })
 }
 
-/// Writes the whole-build entry for `key` atomically (temp file +
-/// rename) and removes any leftover format-1 JSON entry for the same key.
+/// Writes the whole-build entry for `key` atomically with exactly-once
+/// publish semantics and removes any leftover format-1 JSON entry for
+/// the same key. Returns whether *this* caller published the entry
+/// (`false` means a concurrent writer already did — also success).
 pub fn store(
     dir: &Path,
     key: u64,
     netlist: &Netlist,
     solve_stats: &SolveStats,
     prints: &[String],
-) -> Result<(), String> {
+) -> Result<bool, String> {
     if injected_fault("unwritable") {
         return Err(format!(
             "injected fault: cache dir {} is unwritable",
@@ -375,9 +418,9 @@ pub fn store(
     } else {
         &out
     };
-    write_atomic(dir, &entry_path(dir, key), bytes)?;
+    let published = publish_once(dir, &entry_path(dir, key), bytes)?;
     let _ = std::fs::remove_file(legacy_entry_path(dir, key));
-    Ok(())
+    Ok(published)
 }
 
 fn write_deferred_endpoint(w: &mut Writer, e: &DeferredEndpoint) {
@@ -443,35 +486,41 @@ pub fn load_unit(dir: &Path, key: u64) -> Result<Option<CachedUnit>, String> {
     let Some(bytes) = read_entry(&path)? else {
         return Ok(None);
     };
-    let mut r = Reader::new(&bytes);
-    read_head(&mut r, &path, UNIT_MAGIC, key)?;
-    let prints =
-        read_prints(&mut r).map_err(|e| format!("corrupt cache entry {}: {e}", path.display()))?;
-    let deferred = read_deferred(&mut r)
-        .map_err(|e| format!("corrupt cache entry {}: {e}", path.display()))?;
-    let netlist = read_netlist(&mut r, &path)?;
-    if !r.at_end() {
-        return Err(format!(
-            "cache entry {} has {} trailing byte(s)",
-            path.display(),
-            r.remaining()
-        ));
-    }
-    Ok(Some(CachedUnit {
-        netlist,
-        deferred,
-        prints,
-    }))
+    let decode = || -> Result<CachedUnit, String> {
+        let mut r = Reader::new(&bytes);
+        read_head(&mut r, &path, UNIT_MAGIC, key)?;
+        let prints = read_prints(&mut r)
+            .map_err(|e| format!("corrupt cache entry {}: {e}", path.display()))?;
+        let deferred = read_deferred(&mut r)
+            .map_err(|e| format!("corrupt cache entry {}: {e}", path.display()))?;
+        let netlist = read_netlist(&mut r, &path)?;
+        if !r.at_end() {
+            return Err(format!(
+                "cache entry {} has {} trailing byte(s)",
+                path.display(),
+                r.remaining()
+            ));
+        }
+        Ok(CachedUnit {
+            netlist,
+            deferred,
+            prints,
+        })
+    };
+    decode().map(Some).inspect_err(|_| {
+        let _ = std::fs::remove_file(&path);
+    })
 }
 
-/// Writes the per-module unit entry for `key` atomically.
+/// Writes the per-module unit entry for `key` atomically with
+/// exactly-once publish semantics (see [`store`]).
 pub fn store_unit(
     dir: &Path,
     key: u64,
     netlist: &Netlist,
     deferred: &[DeferredConnection],
     prints: &[String],
-) -> Result<(), String> {
+) -> Result<bool, String> {
     if injected_fault("unwritable") {
         return Err(format!(
             "injected fault: cache dir {} is unwritable",
@@ -489,7 +538,7 @@ pub fn store_unit(
     } else {
         &out
     };
-    write_atomic(dir, &unit_entry_path(dir, key), bytes)
+    publish_once(dir, &unit_entry_path(dir, key), bytes)
 }
 
 /// A [`PartitionMemo`] persisted in the cache directory, one
@@ -625,7 +674,10 @@ mod tests {
             memo_hits: 6,
         };
         let prints = vec!["hello \"world\"".to_string()];
-        store(&dir, 42, &n, &stats, &prints).expect("store");
+        assert!(store(&dir, 42, &n, &stats, &prints).expect("store"));
+        // A second writer for the same key loses the publish race: still
+        // success, but it reports that it did not write.
+        assert!(!store(&dir, 42, &n, &stats, &prints).expect("re-store"));
         let back = load(&dir, 42).expect("load").expect("hit");
         assert_eq!(back.solve_stats, stats);
         assert_eq!(back.prints, prints);

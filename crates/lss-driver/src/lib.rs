@@ -507,6 +507,7 @@ impl Driver {
     pub fn set_budget(&mut self, caps: BudgetCaps) {
         let budget = caps.start();
         self.options.set_budget(budget.clone());
+        self.sim_options.budget = budget.clone();
         self.budget = budget;
     }
 

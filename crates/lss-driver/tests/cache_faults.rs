@@ -190,3 +190,93 @@ fn legacy_json_entries_are_detected_warned_about_and_replaced() {
     assert_eq!(lss_netlist::to_json(&hit.netlist), reference);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn concurrent_same_key_builds_publish_exactly_once() {
+    // Two sessions compiling the same project simultaneously must both
+    // succeed, produce identical netlists, and end with exactly one
+    // published cache entry — `link(2)`-based publish makes one writer
+    // win and the others observe its entry, so `lssd` worker threads
+    // racing on a shared cache directory can never tear an entry.
+    let dir = temp_cache("concurrent");
+    let reference = reference_netlist_json();
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(4));
+    let results: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let barrier = std::sync::Arc::clone(&barrier);
+                let dir = dir.clone();
+                s.spawn(move || {
+                    barrier.wait();
+                    let built = session(&dir).elaborate().expect("racing build");
+                    lss_netlist::to_json(&built.netlist)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for json in &results {
+        assert_eq!(json, &reference, "racing sessions must agree");
+    }
+    // Exactly one whole-build entry exists and it serves a verified hit.
+    let builds = std::fs::read_dir(&dir)
+        .expect("cache dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "bin")
+                && !p.file_name().unwrap().to_string_lossy().starts_with('p')
+                && !p.file_name().unwrap().to_string_lossy().starts_with('u')
+        })
+        .count();
+    assert_eq!(builds, 1, "same key must yield exactly one build entry");
+    assert!(
+        !std::fs::read_dir(&dir)
+            .expect("cache dir")
+            .filter_map(Result::ok)
+            .any(|e| e.path().to_string_lossy().ends_with(".tmp")),
+        "no temp files may leak past a publish race"
+    );
+    let mut warm = session(&dir);
+    let hit = warm.elaborate().expect("warm hit after race");
+    assert_eq!(hit.cache, CacheOutcome::Hit);
+    assert_eq!(lss_netlist::to_json(&hit.netlist), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_entries_self_heal_so_republish_is_never_wedged() {
+    // Exactly-once publish refuses to overwrite an existing entry, so a
+    // torn entry must be *removed* when its corruption is detected —
+    // otherwise the rebuild could never republish and every warm session
+    // would rebuild forever.
+    let dir = temp_cache("self-heal");
+    let reference = reference_netlist_json();
+    let built = session(&dir).elaborate().expect("cold build");
+    assert_eq!(built.cache, CacheOutcome::Miss);
+    let entry = std::fs::read_dir(&dir)
+        .expect("cache dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| {
+            p.extension().is_some_and(|x| x == "bin")
+                && !p.file_name().unwrap().to_string_lossy().starts_with('p')
+        })
+        .expect("build entry written");
+    let bytes = std::fs::read(&entry).unwrap();
+    std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+
+    let mut warm = session(&dir);
+    let rebuilt = warm.elaborate().expect("rebuild past corrupt entry");
+    assert_eq!(rebuilt.cache, CacheOutcome::Miss);
+    assert_eq!(lss_netlist::to_json(&rebuilt.netlist), reference);
+    assert!(
+        entry.exists(),
+        "rebuild must republish into the healed slot"
+    );
+    // And the republished entry is whole: a third session hits.
+    let hit = session(&dir).elaborate().expect("clean hit");
+    assert_eq!(hit.cache, CacheOutcome::Hit);
+    assert_eq!(lss_netlist::to_json(&hit.netlist), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}

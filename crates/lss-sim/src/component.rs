@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use lss_netlist::{Dir, EventId, KernelClass, ProtocolBinding, RtvId, SrcSpan, UserpointId};
-use lss_types::{Datum, Ty};
+use lss_types::{BudgetError, BudgetKind, Datum, Ty};
 
 use crate::bsl::BslProgram;
 
@@ -174,6 +174,12 @@ pub struct SimError {
     /// Source span of the declaration this error traces back to (today:
     /// the `protocol` annotation a violation breaches), when known.
     pub span: Option<SrcSpan>,
+    /// The exhausted resource class when this error is a budget stop
+    /// (`LSS4xx`), `None` for ordinary runtime failures. Lets callers —
+    /// the `lssc` exit-code contract, the `lssd` response mapper — tell
+    /// "your model is wrong" from "give this run a bigger allowance"
+    /// without string matching.
+    pub budget: Option<BudgetKind>,
 }
 
 impl SimError {
@@ -182,7 +188,23 @@ impl SimError {
         SimError {
             message: message.into(),
             span: None,
+            budget: None,
         }
+    }
+
+    /// Wraps a resource-budget stop, preserving its `LSS4xx` kind and
+    /// appending the raise-the-limit hint.
+    pub fn budget(e: BudgetError) -> Self {
+        SimError {
+            message: format!("{} [{}]; {}", e, e.code(), e.hint()),
+            span: None,
+            budget: Some(e.kind),
+        }
+    }
+
+    /// The stable `LSS4xx` code when this error is a budget stop.
+    pub fn budget_code(&self) -> Option<&'static str> {
+        self.budget.map(BudgetKind::code)
     }
 
     /// The uniform protocol-violation diagnostic — the runtime counterpart
@@ -202,6 +224,7 @@ impl SimError {
         SimError {
             message: format!("protocol violation on group `{group}`: {violated}"),
             span,
+            budget: None,
         }
     }
 }

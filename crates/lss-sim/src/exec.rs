@@ -198,8 +198,11 @@ impl BatchSim {
     /// batch step with its lane index attached.
     pub fn step(&mut self) -> Result<(), SimError> {
         for (k, lane) in self.lanes.iter_mut().enumerate() {
-            lane.step()
-                .map_err(|e| SimError::new(format!("lane {k}: {}", e.message)))?;
+            lane.step().map_err(|e| SimError {
+                message: format!("lane {k}: {}", e.message),
+                span: e.span,
+                budget: e.budget,
+            })?;
         }
         Ok(())
     }

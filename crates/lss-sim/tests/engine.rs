@@ -685,3 +685,58 @@ fn type_checking_mode_passes_clean_models() {
     sim.run(5).unwrap();
     assert_eq!(sim.rtv("a", "total"), Some(Datum::Int(10)));
 }
+
+#[test]
+fn cycle_budget_stops_runs_with_lss408() {
+    use lss_types::{BudgetCaps, BudgetKind};
+    let netlist = netlist_of("instance c:counter;\ninstance a:acc;\nc.out -> a.in;");
+    let mut sim = build(
+        &netlist,
+        &registry(),
+        SimOptions {
+            budget: BudgetCaps {
+                max_sim_cycles: Some(3),
+                ..Default::default()
+            }
+            .start(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Three cycles fit the allowance exactly...
+    sim.run(3).unwrap();
+    assert_eq!(sim.stats().cycles, 3);
+    // ...the fourth is shed before any work, leaving state at the cycle-3
+    // boundary (accumulator saw 0+1+2).
+    let err = sim.run(1).unwrap_err();
+    assert_eq!(err.budget, Some(BudgetKind::SimCycles));
+    assert_eq!(err.budget_code(), Some("LSS408"));
+    assert!(err.message.contains("LSS408"), "{err}");
+    assert!(err.message.contains("--max-cycles"), "{err}");
+    assert_eq!(sim.stats().cycles, 3);
+    assert_eq!(sim.rtv("a", "total"), Some(Datum::Int(3)));
+}
+
+#[test]
+fn expired_deadline_stops_simulation_with_lss401() {
+    use lss_types::{BudgetCaps, BudgetKind};
+    use std::time::Duration;
+    let netlist = netlist_of("instance c:counter;\ninstance a:acc;\nc.out -> a.in;");
+    let mut sim = build(
+        &netlist,
+        &registry(),
+        SimOptions {
+            budget: BudgetCaps {
+                deadline: Some(Duration::ZERO),
+                ..Default::default()
+            }
+            .start(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // The deadline poll is strided, so run long enough to guarantee a poll.
+    let err = sim.run(10_000).unwrap_err();
+    assert_eq!(err.budget, Some(BudgetKind::Deadline));
+    assert_eq!(err.budget_code(), Some("LSS401"));
+}

@@ -46,6 +46,8 @@ pub enum BudgetKind {
     Expansions,
     /// Total elaborated netlist items (instances + port instances).
     NetlistSize,
+    /// Simulation cycles executed by one run.
+    SimCycles,
 }
 
 impl BudgetKind {
@@ -59,6 +61,7 @@ impl BudgetKind {
             BudgetKind::SolverSteps => "LSS405",
             BudgetKind::Expansions => "LSS406",
             BudgetKind::NetlistSize => "LSS407",
+            BudgetKind::SimCycles => "LSS408",
         }
     }
 
@@ -72,6 +75,7 @@ impl BudgetKind {
             BudgetKind::SolverSteps => "--solver-steps",
             BudgetKind::Expansions => "--expansion-cap",
             BudgetKind::NetlistSize => "--max-netlist",
+            BudgetKind::SimCycles => "--max-cycles",
         }
     }
 
@@ -85,6 +89,7 @@ impl BudgetKind {
             BudgetKind::SolverSteps => "solver step budget",
             BudgetKind::Expansions => "disjunct-expansion budget",
             BudgetKind::NetlistSize => "netlist size budget",
+            BudgetKind::SimCycles => "simulation cycle budget",
         }
     }
 }
@@ -172,6 +177,8 @@ pub struct BudgetCaps {
     pub max_depth: Option<u32>,
     /// Maximum elaborated netlist items (instances + port instances).
     pub max_netlist_items: Option<u64>,
+    /// Maximum simulation cycles one run may execute.
+    pub max_sim_cycles: Option<u64>,
 }
 
 impl BudgetCaps {
@@ -299,6 +306,19 @@ impl Budget {
             _ => Ok(()),
         }
     }
+
+    /// Checks the simulation cycle cap against the cycles executed so far.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetKind::SimCycles`] when `cycles` exceeds the configured cap.
+    pub fn check_cycles(&self, cycles: u64, stage: &'static str) -> Result<(), BudgetError> {
+        match self.inner.caps.max_sim_cycles {
+            Some(max) if cycles > max => Err(BudgetError::new(BudgetKind::SimCycles, stage, max)
+                .with_progress(format!("{max} cycle(s) executed"))),
+            _ => Ok(()),
+        }
+    }
 }
 
 impl Default for Budget {
@@ -377,6 +397,23 @@ mod tests {
     }
 
     #[test]
+    fn sim_cycle_cap_enforced_as_lss408() {
+        let b = BudgetCaps {
+            max_sim_cycles: Some(1000),
+            ..BudgetCaps::default()
+        }
+        .start();
+        b.check_cycles(1000, "simulate").unwrap();
+        let err = b.check_cycles(1001, "simulate").unwrap_err();
+        assert_eq!(err.code(), "LSS408");
+        assert_eq!(err.stage, "simulate");
+        assert!(err.hint().contains("--max-cycles"));
+        assert!(Budget::unlimited()
+            .check_cycles(u64::MAX, "simulate")
+            .is_ok());
+    }
+
+    #[test]
     fn clones_share_one_allowance() {
         let b = BudgetCaps {
             deadline: Some(Duration::from_secs(3600)),
@@ -423,6 +460,7 @@ mod tests {
             BudgetKind::SolverSteps,
             BudgetKind::Expansions,
             BudgetKind::NetlistSize,
+            BudgetKind::SimCycles,
         ];
         let codes: std::collections::HashSet<_> = kinds.iter().map(|k| k.code()).collect();
         let flags: std::collections::HashSet<_> = kinds.iter().map(|k| k.flag()).collect();
